@@ -1,0 +1,97 @@
+//! Detector ablation runtimes: CoDA vs the four baselines on the same
+//! cleaned investor graph. Recovery *quality* is reported by the companion
+//! binary `ablation-report` (benches measure time, not correctness).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdnet_bench::bench_outcome;
+use crowdnet_core::experiments::communities::MIN_INVESTMENTS;
+use crowdnet_core::features::investment_edges;
+use crowdnet_graph::bigclam::{BigClam, BigClamConfig};
+use crowdnet_graph::labelprop::{label_propagation, LabelPropConfig};
+use crowdnet_graph::louvain::{louvain, LouvainConfig};
+use crowdnet_graph::projection::Projection;
+use crowdnet_graph::sbm::{self, SbmConfig};
+use crowdnet_graph::{BipartiteGraph, Coda, CodaConfig};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn graph() -> &'static BipartiteGraph {
+    static GRAPH: OnceLock<BipartiteGraph> = OnceLock::new();
+    GRAPH.get_or_init(|| {
+        let outcome = bench_outcome();
+        BipartiteGraph::from_edges(investment_edges(outcome).expect("edges"))
+            .filter_min_investments(MIN_INVESTMENTS)
+    })
+}
+
+fn communities() -> usize {
+    bench_outcome().config.world.communities
+}
+
+fn bench_coda(c: &mut Criterion) {
+    let g = graph();
+    let cfg = CodaConfig {
+        communities: communities(),
+        iterations: 15,
+        ..Default::default()
+    };
+    c.bench_function("ablation_coda", |b| {
+        b.iter(|| {
+            let model = Coda::fit(g, &cfg);
+            black_box(model.investor_communities(g, &cfg).len())
+        })
+    });
+}
+
+fn bench_bigclam(c: &mut Criterion) {
+    let g = graph();
+    let cfg = BigClamConfig {
+        communities: communities(),
+        iterations: 15,
+        ..Default::default()
+    };
+    c.bench_function("ablation_bigclam", |b| {
+        b.iter(|| {
+            let model = BigClam::fit(g, &cfg);
+            black_box(model.investor_communities(g).len())
+        })
+    });
+}
+
+fn bench_labelprop(c: &mut Criterion) {
+    let g = graph();
+    c.bench_function("ablation_labelprop", |b| {
+        b.iter(|| black_box(label_propagation(g, &LabelPropConfig::default()).len()))
+    });
+}
+
+fn bench_louvain(c: &mut Criterion) {
+    let g = graph();
+    c.bench_function("ablation_louvain", |b| {
+        b.iter(|| {
+            let p = Projection::from_bipartite(g, 500);
+            black_box(louvain(&p, &LouvainConfig::default()).len())
+        })
+    });
+}
+
+fn bench_sbm(c: &mut Criterion) {
+    let g = graph();
+    let p = Projection::from_bipartite(g, 500);
+    let cfg = SbmConfig {
+        blocks: communities(),
+        restarts: 2,
+        max_passes: 8,
+        ..Default::default()
+    };
+    c.bench_function("ablation_sbm", |b| {
+        b.iter(|| black_box(sbm::fit(&p, &cfg).assignment.len()))
+    });
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default().sample_size(10);
+    targets = bench_coda, bench_bigclam, bench_labelprop, bench_louvain, bench_sbm,
+}
+criterion_main!(ablation);

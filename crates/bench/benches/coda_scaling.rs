@@ -1,0 +1,73 @@
+//! CoDA scaling: fit time vs graph size and vs community count `C` — the
+//! knobs the paper would have turned going from their 47k-investor crawl to
+//! larger platforms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crowdnet_graph::{BipartiteGraph, Coda, CodaConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A planted bipartite graph with `blocks` communities of `per_block`
+/// investors over `pool` companies each.
+fn planted(blocks: u32, per_block: u32, pool: u32, p: f64, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for block in 0..blocks {
+        for u in 0..per_block {
+            let uid = block * per_block + u;
+            for c in 0..pool {
+                if rng.random::<f64>() < p {
+                    edges.push((uid, 1_000_000 + block * pool + c));
+                }
+            }
+        }
+    }
+    BipartiteGraph::from_edges(edges)
+}
+
+fn bench_graph_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coda_vs_graph_size");
+    group.sample_size(10);
+    for &blocks in &[4u32, 8, 16] {
+        let g = planted(blocks, 40, 20, 0.25, 7);
+        group.throughput(Throughput::Elements(g.edge_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}edges", g.edge_count())),
+            &g,
+            |b, g| {
+                let cfg = CodaConfig {
+                    communities: blocks as usize,
+                    iterations: 10,
+                    ..Default::default()
+                };
+                b.iter(|| black_box(Coda::fit(g, &cfg).ll_trace.len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_community_count(c: &mut Criterion) {
+    let g = planted(8, 40, 20, 0.25, 7);
+    let mut group = c.benchmark_group("coda_vs_community_count");
+    group.sample_size(10);
+    for &k in &[4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let cfg = CodaConfig {
+                communities: k,
+                iterations: 10,
+                ..Default::default()
+            };
+            b.iter(|| black_box(Coda::fit(&g, &cfg).ll_trace.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = scaling;
+    config = Criterion::default().sample_size(10);
+    targets = bench_graph_size, bench_community_count,
+}
+criterion_main!(scaling);

@@ -1,0 +1,78 @@
+//! Dataflow-engine scaling: the Spark-substitute's operators at 1–8 worker
+//! threads (the "parallel statistical … queries" claim of the paper's
+//! platform section).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crowdnet_dataflow::{Dataset, ExecCtx, Pairs};
+use std::hint::black_box;
+
+const N: usize = 1_000_000;
+
+fn input() -> Vec<u64> {
+    (0..N as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 16).collect()
+}
+
+fn bench_map_filter(c: &mut Criterion) {
+    let data = input();
+    let mut group = c.benchmark_group("dataflow_map_filter");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let ctx = ExecCtx::new(t);
+            b.iter(|| {
+                let out = Dataset::from_vec(data.clone(), ctx)
+                    .map(|x| x.rotate_left(7) ^ 0xABCD)
+                    .filter(|x| x % 3 == 0)
+                    .count();
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce_by_key(c: &mut Criterion) {
+    let data: Vec<(u32, u64)> = input().into_iter().map(|x| ((x % 4096) as u32, x)).collect();
+    let mut group = c.benchmark_group("dataflow_reduce_by_key");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let ctx = ExecCtx::new(t);
+            b.iter(|| {
+                let out = Pairs::from_vec(data.clone(), ctx)
+                    .reduce_by_key(|a, b| a.wrapping_add(b))
+                    .count();
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let left: Vec<(u32, u64)> = (0..200_000u64).map(|i| ((i % 50_000) as u32, i)).collect();
+    let right: Vec<(u32, u64)> = (0..50_000u64).map(|i| (i as u32, i * 7)).collect();
+    let mut group = c.benchmark_group("dataflow_join");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let ctx = ExecCtx::new(t);
+            b.iter(|| {
+                let out = Pairs::from_vec(left.clone(), ctx)
+                    .join(Pairs::from_vec(right.clone(), ctx))
+                    .count();
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = dataflow;
+    config = Criterion::default().sample_size(10);
+    targets = bench_map_filter, bench_reduce_by_key, bench_join,
+}
+criterion_main!(dataflow);

@@ -1,0 +1,69 @@
+//! One bench per paper figure: each iteration regenerates the figure's data
+//! series from the shared crawled store (the paper's "Spark analysis" tier).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdnet_bench::bench_outcome;
+use crowdnet_core::experiments::{fig3, fig4, fig5, fig6, fig7};
+use std::hint::black_box;
+
+fn bench_fig3_investment_cdf(c: &mut Criterion) {
+    let outcome = bench_outcome();
+    c.bench_function("fig3_investment_cdf", |b| {
+        b.iter(|| {
+            let r = fig3::run(black_box(outcome)).expect("fig3");
+            black_box(r.cdf_points.len())
+        })
+    });
+}
+
+fn bench_fig4_shared_investment_cdf(c: &mut Criterion) {
+    let outcome = bench_outcome();
+    c.bench_function("fig4_shared_investment_cdf", |b| {
+        b.iter(|| {
+            let r = fig4::run(black_box(outcome)).expect("fig4");
+            black_box((r.strong.len(), r.global_cdf_points.len()))
+        })
+    });
+}
+
+fn bench_fig5_community_pdf(c: &mut Criterion) {
+    let outcome = bench_outcome();
+    c.bench_function("fig5_community_pdf", |b| {
+        b.iter(|| {
+            let r = fig5::run(black_box(outcome)).expect("fig5");
+            black_box((r.mean_pct, r.pdf_points.len()))
+        })
+    });
+}
+
+fn bench_fig6_social_engagement(c: &mut Criterion) {
+    let outcome = bench_outcome();
+    c.bench_function("fig6_social_engagement", |b| {
+        b.iter(|| {
+            let r = fig6::run(black_box(outcome)).expect("fig6");
+            black_box((r.rows.len(), r.facebook_lift))
+        })
+    });
+}
+
+fn bench_fig7_visualization(c: &mut Criterion) {
+    let outcome = bench_outcome();
+    c.bench_function("fig7_visualization", |b| {
+        b.iter(|| {
+            let r = fig7::run(black_box(outcome)).expect("fig7");
+            black_box((r.strong.svg.len(), r.weak.svg.len()))
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig3_investment_cdf,
+        bench_fig4_shared_investment_cdf,
+        bench_fig5_community_pdf,
+        bench_fig6_social_engagement,
+        bench_fig7_visualization,
+}
+criterion_main!(figures);

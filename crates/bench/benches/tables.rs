@@ -1,0 +1,98 @@
+//! One bench per paper table / numbered analysis: §3 dataset statistics,
+//! the §5.1 investor-graph structure, the §5.2 CoDA run, and the two §7
+//! extensions (longitudinal causality, success prediction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdnet_bench::{bench_outcome, custom_config};
+use crowdnet_core::experiments::{
+    causality, communities, correlations, dataset_stats, dynamic_communities, investor_graph,
+    predict,
+};
+use std::hint::black_box;
+
+fn bench_dataset_stats(c: &mut Criterion) {
+    let outcome = bench_outcome();
+    c.bench_function("table_dataset_stats", |b| {
+        b.iter(|| {
+            let r = dataset_stats::run(black_box(outcome)).expect("stats");
+            black_box((r.companies, r.mean_investments))
+        })
+    });
+}
+
+fn bench_investor_graph(c: &mut Criterion) {
+    let outcome = bench_outcome();
+    c.bench_function("table_investor_graph", |b| {
+        b.iter(|| {
+            let (r, g) = investor_graph::run(black_box(outcome)).expect("graph");
+            black_box((r.edges, g.investor_count()))
+        })
+    });
+}
+
+fn bench_communities(c: &mut Criterion) {
+    let outcome = bench_outcome();
+    c.bench_function("table_coda_communities", |b| {
+        b.iter(|| {
+            let (r, ..) = communities::run(black_box(outcome)).expect("communities");
+            black_box((r.communities, r.avg_size))
+        })
+    });
+}
+
+fn bench_causality(c: &mut Criterion) {
+    // The causality experiment runs its own longitudinal crawl per
+    // iteration, so use a deliberately small world.
+    let cfg = custom_config(21, 6_000, 400);
+    c.bench_function("table_causality_study", |b| {
+        b.iter(|| {
+            let r = causality::run(black_box(&cfg), 20).expect("causality");
+            black_box((r.treated, r.controls))
+        })
+    });
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let outcome = bench_outcome();
+    c.bench_function("table_success_prediction", |b| {
+        b.iter(|| {
+            let r = predict::run(black_box(outcome)).expect("predict");
+            black_box(r.auc_full)
+        })
+    });
+}
+
+fn bench_correlations(c: &mut Criterion) {
+    let outcome = bench_outcome();
+    c.bench_function("table_correlations", |b| {
+        b.iter(|| {
+            let r = correlations::run(black_box(outcome)).expect("correlations");
+            black_box(r.rows.len())
+        })
+    });
+}
+
+fn bench_dynamic_communities(c: &mut Criterion) {
+    // Each iteration runs multiple crawls; keep the world small.
+    let cfg = custom_config(13, 4_000, 6_000);
+    c.bench_function("table_dynamic_communities", |b| {
+        b.iter(|| {
+            let r = dynamic_communities::run(black_box(&cfg), 2, 20).expect("dynamic");
+            black_box(r.totals)
+        })
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_dataset_stats,
+        bench_investor_graph,
+        bench_communities,
+        bench_causality,
+        bench_predict,
+        bench_correlations,
+        bench_dynamic_communities,
+}
+criterion_main!(tables);

@@ -1,0 +1,124 @@
+//! `ablation-report` — quality side of the detector ablation: recovery of
+//! planted ground truth (best-match F1), the paper's strength metrics, and
+//! runtime, for CoDA and every baseline, across several world seeds.
+//!
+//! ```sh
+//! cargo run --release -p crowdnet-bench --bin ablation-report
+//! ```
+
+use crowdnet_bench::custom_config;
+use crowdnet_core::experiments::communities::MIN_INVESTMENTS;
+use crowdnet_core::features::investment_edges;
+use crowdnet_core::pipeline::Pipeline;
+use crowdnet_graph::bigclam::{BigClam, BigClamConfig};
+use crowdnet_graph::eval::best_match_f1;
+use crowdnet_graph::labelprop::{label_propagation, LabelPropConfig};
+use crowdnet_graph::louvain::{louvain, LouvainConfig};
+use crowdnet_graph::metrics::{self, Community};
+use crowdnet_graph::projection::Projection;
+use crowdnet_graph::sbm::{self, SbmConfig};
+use crowdnet_graph::{BipartiteGraph, Coda, CodaConfig, Cover};
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    f1: f64,
+    shared_pct: f64,
+    communities: usize,
+    ms: u128,
+}
+
+fn measure(name: &'static str, graph: &BipartiteGraph, truth: &Cover, f: impl FnOnce() -> Cover) -> Row {
+    let t = Instant::now();
+    let cover = f();
+    let ms = t.elapsed().as_millis();
+    let pcts = metrics::cover_shared_investor_pcts(graph, &cover, 2);
+    Row {
+        name,
+        f1: best_match_f1(&cover, truth),
+        shared_pct: pcts.iter().sum::<f64>() / pcts.len().max(1) as f64,
+        communities: cover.len(),
+        ms,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seeds = [11u64, 23, 47];
+    let mut totals: std::collections::HashMap<&'static str, (f64, f64, u128, usize)> =
+        std::collections::HashMap::new();
+
+    for &seed in &seeds {
+        let cfg = custom_config(seed, 20_000, 30_000);
+        let outcome = Pipeline::new(cfg).run()?;
+        let graph = BipartiteGraph::from_edges(investment_edges(&outcome)?)
+            .filter_min_investments(MIN_INVESTMENTS);
+        let truth: Cover = outcome
+            .world
+            .planted_communities
+            .iter()
+            .filter_map(|pc| {
+                let members: Vec<u32> = pc
+                    .investors
+                    .iter()
+                    .filter_map(|u| graph.investor_index(u.0))
+                    .collect();
+                (members.len() >= 3).then_some(Community { members })
+            })
+            .collect();
+        let k = outcome.config.world.communities;
+        println!(
+            "seed {seed}: graph {} investors / {} companies / {} edges; {} planted communities",
+            graph.investor_count(),
+            graph.company_count(),
+            graph.edge_count(),
+            truth.len()
+        );
+
+        let projection = Projection::from_bipartite(&graph, 500);
+        let rows = vec![
+            measure("CoDA", &graph, &truth, || {
+                let cfg = CodaConfig { communities: k, iterations: 25, ..Default::default() };
+                Coda::fit(&graph, &cfg).investor_communities(&graph, &cfg)
+            }),
+            measure("BigCLAM", &graph, &truth, || {
+                let cfg = BigClamConfig { communities: k, iterations: 25, ..Default::default() };
+                BigClam::fit(&graph, &cfg).investor_communities(&graph)
+            }),
+            measure("LabelProp", &graph, &truth, || {
+                label_propagation(&graph, &LabelPropConfig::default())
+            }),
+            measure("Louvain", &graph, &truth, || {
+                louvain(&projection, &LouvainConfig::default())
+            }),
+            measure("SBM", &graph, &truth, || {
+                sbm::cover_of(&sbm::fit(&projection, &SbmConfig { blocks: k, ..Default::default() }), k)
+            }),
+        ];
+        for r in rows {
+            println!(
+                "  {:<10} F1 {:.3}  shared-investor {:>5.1}%  {:>3} communities  {:>6} ms",
+                r.name, r.f1, r.shared_pct, r.communities, r.ms
+            );
+            let e = totals.entry(r.name).or_insert((0.0, 0.0, 0, 0));
+            e.0 += r.f1;
+            e.1 += r.shared_pct;
+            e.2 += r.ms;
+            e.3 += 1;
+        }
+    }
+
+    println!("\naverages over {} seeds:", seeds.len());
+    let mut names: Vec<&&str> = totals.keys().collect();
+    names.sort();
+    for name in names {
+        let (f1, pct, ms, n) = totals[*name];
+        println!(
+            "  {:<10} F1 {:.3}  shared-investor {:>5.1}%  {:>6} ms",
+            name,
+            f1 / n as f64,
+            pct / n as f64,
+            ms / n as u128
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Every figure/table bench measures the *analysis* stage over a shared
+//! pre-crawled store (building the world and crawling it once per process),
+//! because that is what the paper's Spark jobs correspond to. The crawl
+//! itself is measured separately by `crawl_throughput`.
+
+use crowdnet_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
+use crowdnet_socialsim::{Scale, WorldConfig};
+use std::sync::OnceLock;
+
+/// The shared bench-scale pipeline outcome (1/64 of the paper's crawl).
+pub fn bench_outcome() -> &'static PipelineOutcome {
+    static OUTCOME: OnceLock<PipelineOutcome> = OnceLock::new();
+    OUTCOME.get_or_init(|| {
+        Pipeline::new(PipelineConfig::small(42))
+            .run()
+            .expect("bench pipeline")
+    })
+}
+
+/// A smaller outcome for the heavier per-iteration benches.
+pub fn tiny_outcome() -> &'static PipelineOutcome {
+    static OUTCOME: OnceLock<PipelineOutcome> = OnceLock::new();
+    OUTCOME.get_or_init(|| {
+        Pipeline::new(PipelineConfig::tiny(42))
+            .run()
+            .expect("tiny pipeline")
+    })
+}
+
+/// A pipeline config with an explicit custom scale.
+pub fn custom_config(seed: u64, companies: u32, users: u32) -> PipelineConfig {
+    let mut cfg = PipelineConfig::tiny(seed);
+    cfg.world = WorldConfig::at_scale(seed, Scale::Custom { companies, users });
+    cfg
+}

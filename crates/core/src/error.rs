@@ -1,0 +1,58 @@
+//! Core error type.
+
+use crowdnet_crawl::CrawlError;
+use crowdnet_store::StoreError;
+use std::fmt;
+
+/// A platform-level failure.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Crawling failed.
+    Crawl(CrawlError),
+    /// Store access failed.
+    Store(StoreError),
+    /// An analysis had nothing to work on (e.g. empty namespace).
+    EmptyInput(String),
+    /// Writing result files failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Crawl(e) => write!(f, "crawl failed: {e}"),
+            CoreError::Store(e) => write!(f, "store failed: {e}"),
+            CoreError::EmptyInput(what) => write!(f, "no input for analysis: {what}"),
+            CoreError::Io(e) => write!(f, "I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Crawl(e) => Some(e),
+            CoreError::Store(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            CoreError::EmptyInput(_) => None,
+        }
+    }
+}
+
+impl From<CrawlError> for CoreError {
+    fn from(e: CrawlError) -> Self {
+        CoreError::Crawl(e)
+    }
+}
+
+impl From<StoreError> for CoreError {
+    fn from(e: StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}

@@ -1,0 +1,99 @@
+//! §7 extension: community detection on dynamic graphs.
+//!
+//! "We also plan to understand the dynamics in terms of formation or
+//! disbanding of community clusters over time."
+//!
+//! The driver runs several epochs: crawl the world, detect communities over
+//! the ≥4-investment graph, convert members to stable AngelList ids, let the
+//! world evolve (new investments accrue, engagement grows, rounds close),
+//! and re-crawl. A [`DynamicTracker`] then classifies what happened to each
+//! community between epochs — continuations, splits, merges, births,
+//! dissolutions.
+
+use crate::error::CoreError;
+use crate::experiments::communities;
+use crate::pipeline::{Pipeline, PipelineConfig};
+use crowdnet_graph::dynamic::{DynamicTracker, IdCommunity};
+use crowdnet_socialsim::World;
+use std::sync::Arc;
+
+/// Dynamic-communities output.
+#[derive(Debug, Clone)]
+pub struct DynamicResult {
+    /// Epochs observed.
+    pub epochs: usize,
+    /// Days evolved between epochs.
+    pub interval_days: u32,
+    /// Communities detected per epoch.
+    pub communities_per_epoch: Vec<usize>,
+    /// Totals: (continued, split, merged, born, dissolved).
+    pub totals: (usize, usize, usize, usize, usize),
+}
+
+/// Run `epochs` crawl–detect–evolve rounds of `interval_days` each.
+pub fn run(config: &PipelineConfig, epochs: usize, interval_days: u32) -> Result<DynamicResult, CoreError> {
+    let mut world = World::generate(&config.world);
+    let mut tracker = DynamicTracker::new();
+    let mut communities_per_epoch = Vec::with_capacity(epochs);
+
+    for epoch in 0..epochs {
+        let outcome =
+            Pipeline::new(config.clone()).run_with_world(Arc::new(world.clone()))?;
+        let (result, graph, _model, _cfg) = communities::run(&outcome)?;
+        // Stable ids: dense indices differ between epochs' graphs.
+        let cover: Vec<IdCommunity> = result
+            .cover
+            .iter()
+            .map(|c| IdCommunity {
+                members: c.members.iter().map(|&m| graph.investor_id(m)).collect(),
+            })
+            .collect();
+        communities_per_epoch.push(cover.len());
+        tracker.push(cover);
+
+        if epoch + 1 < epochs {
+            world.evolve(interval_days, epoch as u32, config.world.seed ^ 0xD1);
+        }
+    }
+
+    Ok(DynamicResult {
+        epochs,
+        interval_days,
+        communities_per_epoch,
+        totals: tracker.event_totals(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use crowdnet_socialsim::{Scale, WorldConfig};
+
+    #[test]
+    fn communities_persist_and_drift_across_epochs() {
+        let mut cfg = PipelineConfig::tiny(13);
+        cfg.world = WorldConfig::at_scale(
+            13,
+            Scale::Custom {
+                companies: 8_000,
+                users: 12_000,
+            },
+        );
+        let r = run(&cfg, 3, 30).unwrap();
+        assert_eq!(r.epochs, 3);
+        assert_eq!(r.communities_per_epoch.len(), 3);
+        assert!(r.communities_per_epoch.iter().all(|&n| n > 0));
+        let (continued, split, merged, born, dissolved) = r.totals;
+        let total_events = continued + split + merged + born + dissolved;
+        assert!(total_events > 0);
+        // Some communities persist across epochs (the planted pools keep
+        // pulling the same investors together). Churn is also expected and
+        // is *measured*, not asserted away: part of it is genuine drift (new
+        // investments), part is detector instability between refits — the
+        // standard confound in dynamic community detection, and exactly why
+        // the paper leaves this to future work.
+        assert!(continued >= 1, "no community persisted: {:?}", r.totals);
+        assert!(born + dissolved + split + merged > 0, "no dynamics at all");
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 5: PDF estimation of the per-community shared-investor
+//! percentage.
+//!
+//! "We compute the percentage of companies that have at least two common
+//! investors for each of the 96 communities. Figure 5 shows a PDF of the
+//! average percentages across all 96 communities. … The average percentage
+//! across all communities is 23.1%. As a point of comparison with a
+//! randomized community of investors, we observe that the shared investment
+//! percentage is only 5.8%."
+
+use crate::error::CoreError;
+use crate::experiments::communities;
+use crate::pipeline::PipelineOutcome;
+use crowdnet_dataflow::stats::Kde;
+use crowdnet_graph::metrics;
+
+/// The measured Figure 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Per-community percentages (K = 2).
+    pub pcts: Vec<f64>,
+    /// KDE-estimated density series `(pct, density)`.
+    pub pdf_points: Vec<(f64, f64)>,
+    /// Mean percentage across communities (paper: 23.1 %).
+    pub mean_pct: f64,
+    /// Mean percentage for size-matched randomized communities (paper: 5.8 %).
+    pub randomized_mean_pct: f64,
+}
+
+/// Run the Figure 5 analysis.
+pub fn run(outcome: &PipelineOutcome) -> Result<Fig5Result, CoreError> {
+    let (result, graph, _model, _cfg) = communities::run(outcome)?;
+    let pcts = metrics::cover_shared_investor_pcts(&graph, &result.cover, 2);
+    if pcts.is_empty() {
+        return Err(CoreError::EmptyInput("non-empty communities".into()));
+    }
+    let mean_pct = pcts.iter().sum::<f64>() / pcts.len() as f64;
+
+    let randomized = metrics::randomized_cover(&graph, &result.cover, outcome.config.world.seed ^ 0xF5);
+    let rnd_pcts = metrics::cover_shared_investor_pcts(&graph, &randomized, 2);
+    let randomized_mean_pct = if rnd_pcts.is_empty() {
+        0.0
+    } else {
+        rnd_pcts.iter().sum::<f64>() / rnd_pcts.len() as f64
+    };
+
+    let kde = Kde::new(pcts.clone());
+    Ok(Fig5Result {
+        pdf_points: kde.grid(256),
+        pcts,
+        mean_pct,
+        randomized_mean_pct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineConfig};
+
+    #[test]
+    fn herding_beats_the_randomized_control() {
+        // Mid-size world: the randomized control needs enough companies that
+        // random investors rarely collide (the paper's sparsity regime).
+        let mut cfg = PipelineConfig::tiny(42);
+        cfg.world = crowdnet_socialsim::WorldConfig::at_scale(
+            42,
+            crowdnet_socialsim::Scale::Custom { companies: 20_000, users: 20_000 },
+        );
+        let outcome = Pipeline::new(cfg).run().unwrap();
+        let r = run(&outcome).unwrap();
+        assert!(!r.pcts.is_empty());
+        // Detected communities co-invest far above chance (paper: 23.1 vs 5.8).
+        assert!(
+            r.mean_pct > r.randomized_mean_pct * 1.3,
+            "mean {} vs randomized {}",
+            r.mean_pct,
+            r.randomized_mean_pct
+        );
+        assert!(r.mean_pct > 5.0, "mean pct {}", r.mean_pct);
+        // Some communities approach the 20%+ regime the paper highlights
+        // (exact threshold crossings need full scale).
+        assert!(r.pcts.iter().any(|&p| p >= 12.0), "max pct {:?}",
+            r.pcts.iter().cloned().fold(0.0f64, f64::max));
+        // The KDE is a usable density series.
+        assert!(r.pdf_points.len() == 256);
+        assert!(r.pdf_points.iter().all(|&(_, d)| d.is_finite() && d >= 0.0));
+    }
+}

@@ -1,0 +1,31 @@
+//! One driver per paper experiment.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`dataset_stats`] | §3 dataset counts, role mix, follow/investment means |
+//! | [`fig3`] | Figure 3 — CDF of investments per investor |
+//! | [`fig6`] | Figure 6 — social engagement vs fund-raising table |
+//! | [`investor_graph`] | §5.1 — bipartite graph structure and concentration |
+//! | [`communities`] | §5.2 — CoDA communities over ≥4-investment investors |
+//! | [`fig4`] | Figure 4 — shared-investment-size CDFs vs global sample |
+//! | [`fig5`] | Figure 5 — KDE of per-community shared-investor percentages |
+//! | [`fig7`] | Figure 7 — strong/weak community visualizations |
+//! | [`causality`] | §7 extension — longitudinal event study |
+//! | [`predict`] | §7 extension — success prediction + feature selection |
+//! | [`dynamic_communities`] | §7 extension — community dynamics over time |
+//! | [`correlations`] | §4 supplement — engagement↔success correlations |
+//! | [`syndicates`] | §2's observable co-investment groups vs detected communities |
+
+pub mod causality;
+pub mod communities;
+pub mod correlations;
+pub mod dynamic_communities;
+pub mod dataset_stats;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod investor_graph;
+pub mod predict;
+pub mod syndicates;

@@ -1,0 +1,150 @@
+//! The end-to-end platform pipeline: generate the world, run the full
+//! four-source crawl into a store, and expose everything analyses need.
+
+use crate::error::CoreError;
+use crowdnet_crawl::{CrawlConfig, CrawlStats, Crawler};
+use crowdnet_dataflow::ExecCtx;
+use crowdnet_socialsim::{World, WorldConfig};
+use crowdnet_store::Store;
+use std::sync::Arc;
+
+/// Everything the pipeline needs.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// World generation parameters.
+    pub world: WorldConfig,
+    /// Crawl parameters.
+    pub crawl: CrawlConfig,
+    /// Analysis parallelism.
+    pub threads: usize,
+    /// Store partitions per snapshot.
+    pub partitions: usize,
+}
+
+impl PipelineConfig {
+    /// Toy scale (~1500 companies): unit tests, doctests.
+    pub fn tiny(seed: u64) -> PipelineConfig {
+        PipelineConfig {
+            world: WorldConfig::tiny(seed),
+            crawl: CrawlConfig::default(),
+            threads: 4,
+            partitions: 4,
+        }
+    }
+
+    /// Bench scale (1/64 of the paper's crawl).
+    pub fn small(seed: u64) -> PipelineConfig {
+        PipelineConfig {
+            world: WorldConfig::small(seed),
+            crawl: CrawlConfig::default(),
+            threads: 4,
+            partitions: 8,
+        }
+    }
+
+    /// The default evaluation scale (1/16 of the paper's crawl).
+    pub fn default_eval(seed: u64) -> PipelineConfig {
+        PipelineConfig {
+            world: WorldConfig::default_eval(seed),
+            crawl: CrawlConfig::default(),
+            threads: ExecCtx::auto().threads(),
+            partitions: 16,
+        }
+    }
+}
+
+/// Top-line dataset counters (the §3 numbers).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DatasetStats {
+    /// AngelList company documents crawled.
+    pub companies: usize,
+    /// AngelList user documents crawled.
+    pub users: usize,
+    /// CrunchBase profiles resolved.
+    pub crunchbase: usize,
+    /// Facebook pages fetched.
+    pub facebook: usize,
+    /// Twitter profiles fetched.
+    pub twitter: usize,
+}
+
+/// The product of a pipeline run.
+pub struct PipelineOutcome {
+    /// The generated world (ground truth; analyses must not read it).
+    pub world: Arc<World>,
+    /// The crawled document store.
+    pub store: Store,
+    /// Crawl counters.
+    pub crawl: CrawlStats,
+    /// Top-line dataset counters.
+    pub dataset: DatasetStats,
+    /// Execution context for dataflow analyses.
+    pub ctx: ExecCtx,
+    /// The configuration that produced this outcome.
+    pub config: PipelineConfig,
+}
+
+/// The platform runner.
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Create a pipeline.
+    pub fn new(config: PipelineConfig) -> Pipeline {
+        Pipeline { config }
+    }
+
+    /// Generate, crawl, and return the analysis-ready outcome.
+    pub fn run(&self) -> Result<PipelineOutcome, CoreError> {
+        let world = Arc::new(World::generate(&self.config.world));
+        self.run_with_world(world)
+    }
+
+    /// Run the crawl over an existing world (reused across experiments).
+    pub fn run_with_world(&self, world: Arc<World>) -> Result<PipelineOutcome, CoreError> {
+        let store = Store::memory(self.config.partitions);
+        let crawler = Crawler::new(Arc::clone(&world), self.config.crawl.clone());
+        let crawl = crawler.run(&store)?;
+        let dataset = DatasetStats {
+            companies: crawl.bfs.companies,
+            users: crawl.bfs.users,
+            crunchbase: crawl.augment.resolved(),
+            facebook: crawl.facebook.facebook_pages,
+            twitter: crawl.twitter.twitter_profiles,
+        };
+        Ok(PipelineOutcome {
+            world,
+            store,
+            crawl,
+            dataset,
+            ctx: ExecCtx::new(self.config.threads),
+            config: self.config.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_pipeline_runs_end_to_end() {
+        let outcome = Pipeline::new(PipelineConfig::tiny(42)).run().unwrap();
+        assert!(outcome.dataset.companies > 1000);
+        assert!(outcome.dataset.users > 500);
+        assert!(outcome.dataset.crunchbase > 0);
+        assert!(outcome.dataset.facebook > 0);
+        assert!(outcome.dataset.twitter > 0);
+        // Proportions roughly match the paper's §3 shares.
+        let fb_share = outcome.dataset.facebook as f64 / outcome.dataset.companies as f64;
+        assert!(fb_share > 0.02 && fb_share < 0.10, "fb share {fb_share}");
+    }
+
+    #[test]
+    fn same_seed_same_dataset() {
+        let a = Pipeline::new(PipelineConfig::tiny(7)).run().unwrap();
+        let b = Pipeline::new(PipelineConfig::tiny(7)).run().unwrap();
+        assert_eq!(a.dataset, b.dataset);
+    }
+}

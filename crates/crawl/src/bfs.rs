@@ -1,0 +1,600 @@
+//! The breadth-first frontier crawl over AngelList (§3).
+//!
+//! "We first collect information on all currently raising startups. We call
+//! this set the frontier. We next collect a list of all users that are
+//! following a startup in the frontier. This set of users becomes the new
+//! frontier, and we collect the set of users followed by all users in the
+//! frontier, as well as all startups and users followed by a user in the
+//! frontier. As before, we make this newly collected set the frontier,
+//! ignoring any startups or users that have been in the frontier before."
+//!
+//! The implementation is a level-synchronous parallel BFS: each round's
+//! frontier is split across worker threads; every fetched profile is written
+//! to the store as a JSON document; newly discovered ids that were never in
+//! any frontier join the next round.
+
+use crate::error::CrawlError;
+use crate::retry::{with_retry, RetryPolicy};
+use crowdnet_json::Value;
+use crowdnet_socialsim::sources::angellist::AngelListApi;
+use crowdnet_socialsim::sources::ApiError;
+use crowdnet_socialsim::Clock;
+use crowdnet_store::{Document, Store};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Store namespace for AngelList company documents.
+pub const NS_COMPANIES: &str = "angellist/companies";
+/// Store namespace for AngelList user documents.
+pub const NS_USERS: &str = "angellist/users";
+
+/// One unit of frontier work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Entity {
+    /// A startup id.
+    Company(u32),
+    /// A user id.
+    User(u32),
+}
+
+/// BFS crawl configuration.
+#[derive(Debug, Clone)]
+pub struct BfsConfig {
+    /// Parallel worker threads per round.
+    pub workers: usize,
+    /// Maximum BFS rounds ("after several rounds, we are able to collect
+    /// more than 700K startups").
+    pub max_rounds: usize,
+    /// Stop after roughly this many entities (None = exhaust the graph).
+    pub max_entities: Option<usize>,
+    /// Retry policy for flaky calls.
+    pub retry: RetryPolicy,
+}
+
+impl Default for BfsConfig {
+    fn default() -> Self {
+        BfsConfig {
+            workers: 4,
+            max_rounds: 8,
+            max_entities: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Counters from a BFS run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BfsStats {
+    /// Company profiles stored.
+    pub companies: usize,
+    /// User profiles stored.
+    pub users: usize,
+    /// Rounds executed (including the seed round).
+    pub rounds: usize,
+    /// Entities skipped because the API permanently errored on them.
+    pub skipped: usize,
+}
+
+/// Fetch every page of a paginated endpoint, concatenating `items`.
+fn fetch_all_pages<F>(mut fetch: F) -> Result<Vec<Value>, CrawlError>
+where
+    F: FnMut(usize) -> Result<Value, CrawlError>,
+{
+    let mut items = Vec::new();
+    let mut page = 1usize;
+    loop {
+        let doc = fetch(page)?;
+        let last = doc.get("last_page").and_then(Value::as_u64).unwrap_or(1);
+        if let Some(arr) = doc.get("items").and_then(Value::as_arr) {
+            items.extend(arr.iter().cloned());
+        }
+        if page as u64 >= last {
+            return Ok(items);
+        }
+        page += 1;
+    }
+}
+
+/// Run the BFS crawl, writing documents into `store` and returning counters.
+pub fn crawl_angellist(
+    api: &AngelListApi,
+    store: &Store,
+    clock: &Arc<dyn Clock>,
+    cfg: &BfsConfig,
+) -> Result<BfsStats, CrawlError> {
+    if cfg.workers == 0 {
+        return Err(CrawlError::Config("workers must be ≥ 1".into()));
+    }
+
+    // Seed frontier: all currently raising startups.
+    let seed_items = fetch_all_pages(|page| {
+        with_retry(clock.as_ref(), &cfg.retry, || api.raising_startups(page))
+    })?;
+    let mut frontier: Vec<Entity> = seed_items
+        .iter()
+        .filter_map(|item| item.get("id").and_then(Value::as_u64))
+        .map(|id| Entity::Company(id as u32))
+        .collect();
+
+    let visited: Mutex<HashSet<Entity>> = Mutex::new(frontier.iter().copied().collect());
+    let stats = Mutex::new(BfsStats::default());
+
+    let mut rounds = 0usize;
+    while !frontier.is_empty() && rounds < cfg.max_rounds {
+        rounds += 1;
+        if let Some(cap) = cfg.max_entities {
+            let seen = visited.lock().len();
+            if seen >= cap {
+                break;
+            }
+        }
+
+        let next: Mutex<Vec<Entity>> = Mutex::new(Vec::new());
+        let queue: Mutex<std::vec::IntoIter<Entity>> =
+            Mutex::new(std::mem::take(&mut frontier).into_iter());
+
+        std::thread::scope(|scope| {
+            for _ in 0..cfg.workers {
+                scope.spawn(|| loop {
+                    let entity = { queue.lock().next() };
+                    let Some(entity) = entity else { break };
+                    match crawl_entity(api, store, clock, &cfg.retry, entity) {
+                        Ok(discovered) => {
+                            let mut stats = stats.lock();
+                            match entity {
+                                Entity::Company(_) => stats.companies += 1,
+                                Entity::User(_) => stats.users += 1,
+                            }
+                            drop(stats);
+                            let mut visited = visited.lock();
+                            let mut next = next.lock();
+                            for d in discovered {
+                                if visited.insert(d) {
+                                    next.push(d);
+                                }
+                            }
+                        }
+                        Err(CrawlError::Api(_)) => {
+                            stats.lock().skipped += 1;
+                        }
+                        Err(_) => {
+                            // Store/config errors are fatal; surface by
+                            // draining the queue so the scope exits.
+                            queue.lock().by_ref().for_each(drop);
+                        }
+                    }
+                });
+            }
+        });
+
+        frontier = next.into_inner();
+    }
+
+    let mut out = stats.into_inner();
+    out.rounds = rounds;
+    Ok(out)
+}
+
+/// Crawl one entity: store its profile, return the ids it links to.
+fn crawl_entity(
+    api: &AngelListApi,
+    store: &Store,
+    clock: &Arc<dyn Clock>,
+    retry: &RetryPolicy,
+    entity: Entity,
+) -> Result<Vec<Entity>, CrawlError> {
+    match entity {
+        Entity::Company(id) => {
+            let profile = with_retry(clock.as_ref(), retry, || api.startup(id))?;
+            store.put(NS_COMPANIES, Document::new(format!("company:{id}"), profile))?;
+            let followers = fetch_all_pages(|page| {
+                with_retry(clock.as_ref(), retry, || api.startup_followers(id, page))
+            })?;
+            Ok(followers
+                .iter()
+                .filter_map(Value::as_u64)
+                .map(|u| Entity::User(u as u32))
+                .collect())
+        }
+        Entity::User(id) => {
+            let profile = with_retry(clock.as_ref(), retry, || api.user(id))?;
+            store.put(NS_USERS, Document::new(format!("user:{id}"), profile))?;
+            let mut discovered = Vec::new();
+            let startups = fetch_all_pages(|page| {
+                with_retry(clock.as_ref(), retry, || api.user_following_startups(id, page))
+            })?;
+            discovered.extend(
+                startups
+                    .iter()
+                    .filter_map(Value::as_u64)
+                    .map(|c| Entity::Company(c as u32)),
+            );
+            let users = fetch_all_pages(|page| {
+                with_retry(clock.as_ref(), retry, || api.user_following_users(id, page))
+            })?;
+            discovered.extend(
+                users
+                    .iter()
+                    .filter_map(Value::as_u64)
+                    .map(|u| Entity::User(u as u32)),
+            );
+            Ok(discovered)
+        }
+    }
+}
+
+// Silence an unused-import warning when compiled without tests: ApiError is
+// referenced in match documentation contexts.
+#[allow(unused)]
+fn _uses(_: ApiError) {}
+
+/// Store namespace holding crawl checkpoints.
+pub const NS_CHECKPOINT: &str = "crawl/state";
+/// Checkpoint document key for the AngelList BFS.
+pub const CHECKPOINT_KEY: &str = "angellist-bfs";
+
+fn encode_entity(e: Entity) -> Value {
+    match e {
+        Entity::Company(id) => crowdnet_json::arr![0u32, id],
+        Entity::User(id) => crowdnet_json::arr![1u32, id],
+    }
+}
+
+fn decode_entity(v: &Value) -> Option<Entity> {
+    let tag = v.at(0)?.as_u64()?;
+    let id = v.at(1)?.as_u64()? as u32;
+    match tag {
+        0 => Some(Entity::Company(id)),
+        1 => Some(Entity::User(id)),
+        _ => None,
+    }
+}
+
+/// A resumable crawl's persisted state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Entities already fetched or queued (never re-fetched on resume).
+    pub visited: Vec<Entity>,
+    /// The frontier to process next.
+    pub frontier: Vec<Entity>,
+    /// Counters so far.
+    pub stats: BfsStats,
+    /// True once the crawl exhausted its frontier.
+    pub complete: bool,
+}
+
+impl Checkpoint {
+    /// Serialize to a JSON document body.
+    pub fn encode(&self) -> Value {
+        crowdnet_json::obj! {
+            "visited" => Value::Arr(self.visited.iter().map(|&e| encode_entity(e)).collect::<Vec<_>>()),
+            "frontier" => Value::Arr(self.frontier.iter().map(|&e| encode_entity(e)).collect::<Vec<_>>()),
+            "companies" => self.stats.companies,
+            "users" => self.stats.users,
+            "rounds" => self.stats.rounds,
+            "skipped" => self.stats.skipped,
+            "complete" => self.complete,
+        }
+    }
+
+    /// Deserialize; `None` for malformed documents.
+    pub fn decode(v: &Value) -> Option<Checkpoint> {
+        let list = |field: &str| -> Option<Vec<Entity>> {
+            v.get(field)?
+                .as_arr()?
+                .iter()
+                .map(decode_entity)
+                .collect::<Option<Vec<_>>>()
+        };
+        Some(Checkpoint {
+            visited: list("visited")?,
+            frontier: list("frontier")?,
+            stats: BfsStats {
+                companies: v.get("companies")?.as_u64()? as usize,
+                users: v.get("users")?.as_u64()? as usize,
+                rounds: v.get("rounds")?.as_u64()? as usize,
+                skipped: v.get("skipped")?.as_u64()? as usize,
+            },
+            complete: v.get("complete")?.as_bool()?,
+        })
+    }
+}
+
+/// Load the latest checkpoint from the store, if any.
+pub fn load_checkpoint(store: &Store) -> Result<Option<Checkpoint>, CrawlError> {
+    match store.scan(NS_CHECKPOINT) {
+        Ok(docs) => Ok(docs
+            .into_iter().rfind(|d| d.key == CHECKPOINT_KEY)
+            .and_then(|d| Checkpoint::decode(&d.body))),
+        Err(crowdnet_store::StoreError::NamespaceNotFound(_)) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+fn save_checkpoint(store: &Store, cp: &Checkpoint) -> Result<(), CrawlError> {
+    store
+        .put(NS_CHECKPOINT, Document::new(CHECKPOINT_KEY, cp.encode()))
+        .map_err(Into::into)
+}
+
+/// Resumable BFS: like [`crawl_angellist`], but persists a checkpoint after
+/// every round and, when a checkpoint exists in the store, continues from it
+/// instead of starting over (never re-fetching visited entities — the
+/// recovery behaviour a multi-day production crawl needs).
+pub fn crawl_angellist_resumable(
+    api: &AngelListApi,
+    store: &Store,
+    clock: &Arc<dyn Clock>,
+    cfg: &BfsConfig,
+) -> Result<BfsStats, CrawlError> {
+    if cfg.workers == 0 {
+        return Err(CrawlError::Config("workers must be ≥ 1".into()));
+    }
+
+    let (mut frontier, visited_init, stats_init, rounds_done) = match load_checkpoint(store)? {
+        Some(cp) if cp.complete => return Ok(cp.stats),
+        Some(cp) => {
+            let rounds = cp.stats.rounds;
+            (cp.frontier.clone(), cp.visited, cp.stats, rounds)
+        }
+        None => {
+            let seed_items = fetch_all_pages(|page| {
+                with_retry(clock.as_ref(), &cfg.retry, || api.raising_startups(page))
+            })?;
+            let frontier: Vec<Entity> = seed_items
+                .iter()
+                .filter_map(|item| item.get("id").and_then(Value::as_u64))
+                .map(|id| Entity::Company(id as u32))
+                .collect();
+            (frontier.clone(), frontier, BfsStats::default(), 0)
+        }
+    };
+
+    let visited: Mutex<HashSet<Entity>> = Mutex::new(visited_init.into_iter().collect());
+    let stats = Mutex::new(stats_init);
+
+    let mut rounds = rounds_done;
+    while !frontier.is_empty() && rounds < cfg.max_rounds {
+        rounds += 1;
+        if let Some(cap) = cfg.max_entities {
+            if visited.lock().len() >= cap {
+                break;
+            }
+        }
+        let next: Mutex<Vec<Entity>> = Mutex::new(Vec::new());
+        let queue: Mutex<std::vec::IntoIter<Entity>> =
+            Mutex::new(std::mem::take(&mut frontier).into_iter());
+        std::thread::scope(|scope| {
+            for _ in 0..cfg.workers {
+                scope.spawn(|| loop {
+                    let entity = { queue.lock().next() };
+                    let Some(entity) = entity else { break };
+                    match crawl_entity(api, store, clock, &cfg.retry, entity) {
+                        Ok(discovered) => {
+                            let mut stats = stats.lock();
+                            match entity {
+                                Entity::Company(_) => stats.companies += 1,
+                                Entity::User(_) => stats.users += 1,
+                            }
+                            drop(stats);
+                            let mut visited = visited.lock();
+                            let mut next = next.lock();
+                            for d in discovered {
+                                if visited.insert(d) {
+                                    next.push(d);
+                                }
+                            }
+                        }
+                        Err(CrawlError::Api(_)) => {
+                            stats.lock().skipped += 1;
+                        }
+                        Err(_) => {
+                            queue.lock().by_ref().for_each(drop);
+                        }
+                    }
+                });
+            }
+        });
+        frontier = next.into_inner();
+
+        // Persist progress: a crash after this point loses at most nothing;
+        // a crash during the round re-fetches only that round's frontier.
+        let mut snapshot_stats = stats.lock().clone();
+        snapshot_stats.rounds = rounds;
+        save_checkpoint(
+            store,
+            &Checkpoint {
+                visited: visited.lock().iter().copied().collect(),
+                frontier: frontier.clone(),
+                stats: snapshot_stats,
+                complete: frontier.is_empty(),
+            },
+        )?;
+    }
+
+    let mut out = stats.into_inner();
+    out.rounds = rounds;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdnet_socialsim::clock::SimClock;
+    use crowdnet_socialsim::sources::FaultModel;
+    use crowdnet_socialsim::{World, WorldConfig};
+
+    fn setup(fault_rate: f64) -> (Arc<World>, AngelListApi, Store, Arc<dyn Clock>) {
+        let world = Arc::new(World::generate(&WorldConfig::tiny(42)));
+        let api = AngelListApi::new(Arc::clone(&world), FaultModel::new(fault_rate, 5));
+        let store = Store::memory(4);
+        let clock: Arc<dyn Clock> = Arc::new(SimClock::new());
+        (world, api, store, clock)
+    }
+
+    #[test]
+    fn bfs_discovers_most_of_the_graph() {
+        let (world, api, store, clock) = setup(0.0);
+        let stats = crawl_angellist(&api, &store, &clock, &BfsConfig::default()).unwrap();
+        assert!(stats.rounds >= 2);
+        assert_eq!(stats.skipped, 0);
+        // Most of the world is reachable from the raising seeds within the
+        // default round budget.
+        let coverage = stats.companies as f64 / world.companies.len() as f64;
+        assert!(coverage > 0.9, "coverage {coverage}");
+        assert_eq!(store.doc_count(NS_COMPANIES).unwrap(), stats.companies);
+        assert_eq!(store.doc_count(NS_USERS).unwrap(), stats.users);
+    }
+
+    #[test]
+    fn crawl_is_deterministic_in_document_set() {
+        let (_, api, store, clock) = setup(0.0);
+        let s1 = crawl_angellist(&api, &store, &clock, &BfsConfig::default()).unwrap();
+        let (_, api2, store2, clock2) = setup(0.0);
+        let s2 = crawl_angellist(&api2, &store2, &clock2, &BfsConfig::default()).unwrap();
+        assert_eq!(s1.companies, s2.companies);
+        assert_eq!(s1.users, s2.users);
+    }
+
+    #[test]
+    fn entity_budget_caps_the_crawl() {
+        let (_, api, store, clock) = setup(0.0);
+        let cfg = BfsConfig {
+            max_entities: Some(100),
+            ..BfsConfig::default()
+        };
+        let stats = crawl_angellist(&api, &store, &clock, &cfg).unwrap();
+        // The cap is checked per round, so we overshoot by at most a round.
+        assert!(stats.companies + stats.users >= 50);
+        assert!(stats.rounds <= 3);
+    }
+
+    #[test]
+    fn round_budget_caps_depth() {
+        let (_, api, store, clock) = setup(0.0);
+        let cfg = BfsConfig {
+            max_rounds: 1,
+            ..BfsConfig::default()
+        };
+        let stats = crawl_angellist(&api, &store, &clock, &cfg).unwrap();
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.users, 0); // round 1 only crawls seed companies
+        assert!(stats.companies > 0);
+    }
+
+    #[test]
+    fn survives_transient_faults_via_retry() {
+        let (world, api, store, clock) = setup(0.10);
+        let stats = crawl_angellist(&api, &store, &clock, &BfsConfig::default()).unwrap();
+        // With 10% faults and 5 attempts, effectively everything succeeds.
+        let coverage = stats.companies as f64 / world.companies.len() as f64;
+        assert!(coverage > 0.85, "coverage {coverage}");
+    }
+
+    #[test]
+    fn zero_workers_is_a_config_error() {
+        let (_, api, store, clock) = setup(0.0);
+        let cfg = BfsConfig {
+            workers: 0,
+            ..BfsConfig::default()
+        };
+        assert!(matches!(
+            crawl_angellist(&api, &store, &clock, &cfg),
+            Err(CrawlError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_json() {
+        let cp = Checkpoint {
+            visited: vec![Entity::Company(3), Entity::User(9)],
+            frontier: vec![Entity::User(12)],
+            stats: BfsStats {
+                companies: 1,
+                users: 1,
+                rounds: 2,
+                skipped: 0,
+            },
+            complete: false,
+        };
+        let decoded = Checkpoint::decode(&cp.encode()).unwrap();
+        assert_eq!(decoded, cp);
+        assert!(Checkpoint::decode(&crowdnet_json::obj! {"junk" => 1}).is_none());
+    }
+
+    #[test]
+    fn resumable_crawl_matches_one_shot_crawl() {
+        let (_, api, store, clock) = setup(0.0);
+        let one_shot = crawl_angellist(&api, &store, &clock, &BfsConfig::default()).unwrap();
+
+        // Interrupted run: budget of 2 rounds, then resume to completion.
+        let (_, api2, store2, clock2) = setup(0.0);
+        let partial = crawl_angellist_resumable(
+            &api2,
+            &store2,
+            &clock2,
+            &BfsConfig {
+                max_rounds: 2,
+                ..BfsConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(partial.rounds, 2);
+        assert!(partial.companies < one_shot.companies);
+        let calls_after_partial = api2.calls();
+
+        let resumed =
+            crawl_angellist_resumable(&api2, &store2, &clock2, &BfsConfig::default()).unwrap();
+        assert_eq!(resumed.companies, one_shot.companies);
+        assert_eq!(resumed.users, one_shot.users);
+        // Resume did real work but never re-fetched round-1/2 entities: its
+        // call count is well under a full second crawl.
+        let resume_calls = api2.calls() - calls_after_partial;
+        assert!(
+            resume_calls < api.calls(),
+            "resume used {resume_calls} vs full {}",
+            api.calls()
+        );
+
+        // A third invocation is a no-op served from the complete checkpoint.
+        let calls_before_noop = api2.calls();
+        let again =
+            crawl_angellist_resumable(&api2, &store2, &clock2, &BfsConfig::default()).unwrap();
+        assert_eq!(again.companies, one_shot.companies);
+        assert_eq!(api2.calls(), calls_before_noop);
+    }
+
+    #[test]
+    fn resumable_from_scratch_equals_plain_crawl() {
+        let (_, api, store, clock) = setup(0.0);
+        let plain = crawl_angellist(&api, &store, &clock, &BfsConfig::default()).unwrap();
+        let (_, api2, store2, clock2) = setup(0.0);
+        let resumable =
+            crawl_angellist_resumable(&api2, &store2, &clock2, &BfsConfig::default()).unwrap();
+        assert_eq!(plain.companies, resumable.companies);
+        assert_eq!(plain.users, resumable.users);
+        // The completed checkpoint is marked complete.
+        let cp = load_checkpoint(&store2).unwrap().unwrap();
+        assert!(cp.complete);
+    }
+
+    #[test]
+    fn stored_documents_parse_back_with_expected_fields() {
+        let (_, api, store, clock) = setup(0.0);
+        crawl_angellist(&api, &store, &clock, &BfsConfig::default()).unwrap();
+        let docs = store.scan(NS_COMPANIES).unwrap();
+        assert!(!docs.is_empty());
+        for doc in docs.iter().take(50) {
+            assert!(doc.key.starts_with("company:"));
+            assert!(doc.body.get("name").is_some());
+            assert!(doc.body.get("follower_count").is_some());
+        }
+        let users = store.scan(NS_USERS).unwrap();
+        for doc in users.iter().take(50) {
+            assert!(doc.key.starts_with("user:"));
+            assert!(doc.body.get("role").is_some());
+            assert!(doc.body.get("investments").is_some());
+        }
+    }
+}

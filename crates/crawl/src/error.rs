@@ -1,0 +1,48 @@
+//! Crawl error type.
+
+use crowdnet_socialsim::sources::ApiError;
+use crowdnet_store::StoreError;
+use std::fmt;
+
+/// A crawl failure that survived the retry policy.
+#[derive(Debug)]
+pub enum CrawlError {
+    /// An API call still failing after all retries.
+    Api(ApiError),
+    /// The store rejected a write or read.
+    Store(StoreError),
+    /// Configuration problem (no tokens, zero workers, …).
+    Config(String),
+}
+
+impl fmt::Display for CrawlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrawlError::Api(e) => write!(f, "API error after retries: {e}"),
+            CrawlError::Store(e) => write!(f, "store error: {e}"),
+            CrawlError::Config(msg) => write!(f, "crawl configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CrawlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CrawlError::Api(e) => Some(e),
+            CrawlError::Store(e) => Some(e),
+            CrawlError::Config(_) => None,
+        }
+    }
+}
+
+impl From<ApiError> for CrawlError {
+    fn from(e: ApiError) -> Self {
+        CrawlError::Api(e)
+    }
+}
+
+impl From<StoreError> for CrawlError {
+    fn from(e: StoreError) -> Self {
+        CrawlError::Store(e)
+    }
+}

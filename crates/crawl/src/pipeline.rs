@@ -1,0 +1,222 @@
+//! The full four-source crawl (Figure 2's collection tier).
+//!
+//! [`Crawler::run`] chains the paper's collection process end to end:
+//! AngelList BFS → CrunchBase augmentation → Facebook pages → Twitter
+//! profiles, writing each source into its own store namespace.
+
+use crate::augment::{augment_crunchbase, AugmentStats};
+use crate::bfs::{crawl_angellist, BfsConfig, BfsStats};
+use crate::error::CrawlError;
+use crate::retry::RetryPolicy;
+use crate::social::{crawl_facebook, crawl_twitter, SocialStats};
+use crate::tokens::TokenPool;
+use crowdnet_socialsim::sources::angellist::AngelListApi;
+use crowdnet_socialsim::sources::crunchbase::CrunchBaseApi;
+use crowdnet_socialsim::sources::facebook::FacebookApi;
+use crowdnet_socialsim::sources::twitter::TwitterApi;
+use crowdnet_socialsim::sources::FaultModel;
+use crowdnet_socialsim::{Clock, SimClock, World};
+use crowdnet_store::Store;
+use std::sync::Arc;
+
+/// Configuration for a full crawl.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Worker threads for each stage.
+    pub workers: usize,
+    /// BFS depth/entity budgets.
+    pub bfs: BfsConfig,
+    /// Retry policy shared by all stages.
+    pub retry: RetryPolicy,
+    /// Simulated crawl machines (each registers Twitter apps).
+    pub twitter_owners: Vec<String>,
+    /// Twitter apps per owner (≤ 5, the service cap).
+    pub twitter_apps_per_owner: usize,
+    /// Transient-fault rate injected into every API (0.0 = reliable).
+    pub fault_rate: f64,
+    /// Seed for fault injection.
+    pub fault_seed: u64,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            workers: 4,
+            bfs: BfsConfig::default(),
+            retry: RetryPolicy::default(),
+            twitter_owners: vec!["machine-1".into(), "machine-2".into(), "machine-3".into()],
+            twitter_apps_per_owner: 5,
+            fault_rate: 0.0,
+            fault_seed: 0,
+        }
+    }
+}
+
+/// Aggregate counters from a full crawl.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlStats {
+    /// AngelList BFS counters.
+    pub bfs: BfsStats,
+    /// CrunchBase augmentation counters.
+    pub augment: AugmentStats,
+    /// Facebook counters.
+    pub facebook: SocialStats,
+    /// Twitter counters.
+    pub twitter: SocialStats,
+    /// Syndicate documents stored.
+    pub syndicates: usize,
+    /// Total virtual milliseconds the crawl's clock advanced.
+    pub virtual_elapsed_ms: u64,
+}
+
+/// The end-to-end crawler over a simulated world.
+pub struct Crawler {
+    world: Arc<World>,
+    clock: Arc<SimClock>,
+    config: CrawlConfig,
+}
+
+impl Crawler {
+    /// Build a crawler over `world`.
+    pub fn new(world: Arc<World>, config: CrawlConfig) -> Crawler {
+        Crawler {
+            world,
+            clock: Arc::new(SimClock::new()),
+            config,
+        }
+    }
+
+    /// The crawler's virtual clock (shared with every simulated service).
+    pub fn clock(&self) -> Arc<SimClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Run all four stages, writing into `store`.
+    pub fn run(&self, store: &Store) -> Result<CrawlStats, CrawlError> {
+        let cfg = &self.config;
+        let dyn_clock: Arc<dyn Clock> = self.clock.clone();
+        let start_ms = self.clock.now_ms();
+
+        // Stage 1: AngelList BFS.
+        let angellist = AngelListApi::new(
+            Arc::clone(&self.world),
+            FaultModel::new(cfg.fault_rate, cfg.fault_seed),
+        );
+        let mut bfs_cfg = cfg.bfs.clone();
+        bfs_cfg.workers = cfg.workers;
+        bfs_cfg.retry = cfg.retry;
+        let bfs = crawl_angellist(&angellist, store, &dyn_clock, &bfs_cfg)?;
+        let syndicates =
+            crate::syndicates::crawl_syndicates(&angellist, store, &dyn_clock, &cfg.retry)?;
+
+        // Stage 2: CrunchBase augmentation.
+        let crunchbase = CrunchBaseApi::new(
+            Arc::clone(&self.world),
+            FaultModel::new(cfg.fault_rate, cfg.fault_seed ^ 1),
+        );
+        let augment =
+            augment_crunchbase(&crunchbase, store, &dyn_clock, &cfg.retry, cfg.workers)?;
+
+        // Stage 3: Facebook pages.
+        let facebook = FacebookApi::new(
+            Arc::clone(&self.world),
+            self.clock.clone(),
+            FaultModel::new(cfg.fault_rate, cfg.fault_seed ^ 2),
+        );
+        let fb = crawl_facebook(&facebook, store, &dyn_clock, &cfg.retry, cfg.workers)?;
+
+        // Stage 4: Twitter profiles through the token pool.
+        let twitter = TwitterApi::new(
+            Arc::clone(&self.world),
+            self.clock.clone(),
+            FaultModel::new(cfg.fault_rate, cfg.fault_seed ^ 3),
+        );
+        let owners: Vec<&str> = cfg.twitter_owners.iter().map(String::as_str).collect();
+        if owners.is_empty() {
+            return Err(CrawlError::Config("need at least one twitter owner".into()));
+        }
+        let pool = TokenPool::register(
+            &twitter,
+            self.clock.clone(),
+            &owners,
+            cfg.twitter_apps_per_owner,
+        )
+        .map_err(CrawlError::Api)?;
+        let tw = crawl_twitter(&twitter, store, &pool, &dyn_clock, &cfg.retry, cfg.workers)?;
+
+        Ok(CrawlStats {
+            bfs,
+            augment,
+            facebook: fb,
+            twitter: tw,
+            syndicates,
+            virtual_elapsed_ms: self.clock.now_ms() - start_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::augment::NS_CRUNCHBASE;
+    use crate::bfs::{NS_COMPANIES, NS_USERS};
+    use crate::social::{NS_FACEBOOK, NS_TWITTER};
+    use crowdnet_socialsim::WorldConfig;
+
+    #[test]
+    fn full_pipeline_populates_all_namespaces() {
+        let world = Arc::new(World::generate(&WorldConfig::tiny(42)));
+        let store = Store::memory(4);
+        let crawler = Crawler::new(Arc::clone(&world), CrawlConfig::default());
+        let stats = crawler.run(&store).unwrap();
+
+        assert!(stats.bfs.companies > 0);
+        assert!(stats.bfs.users > 0);
+        assert!(stats.augment.resolved() > 0);
+        assert!(stats.facebook.facebook_pages > 0);
+        assert!(stats.twitter.twitter_profiles > 0);
+
+        let namespaces = store.namespaces().unwrap();
+        for required in [NS_COMPANIES, NS_USERS, NS_CRUNCHBASE, NS_FACEBOOK, NS_TWITTER] {
+            assert!(namespaces.contains(&required.to_string()), "missing {required}");
+        }
+        // The syndicate namespace appears exactly when syndicates exist
+        // (tiny worlds may legitimately have none).
+        let has_ns = namespaces.contains(&crate::syndicates::NS_SYNDICATES.to_string());
+        assert_eq!(has_ns, stats.syndicates > 0);
+    }
+
+    #[test]
+    fn pipeline_with_faults_still_completes() {
+        let world = Arc::new(World::generate(&WorldConfig::tiny(7)));
+        let store = Store::memory(4);
+        let cfg = CrawlConfig {
+            fault_rate: 0.10,
+            fault_seed: 99,
+            ..CrawlConfig::default()
+        };
+        let crawler = Crawler::new(Arc::clone(&world), cfg);
+        let stats = crawler.run(&store).unwrap();
+        // Everything the BFS found with a Facebook link gets fetched even
+        // under a 10% transient-fault rate.
+        let linked_fb = world.companies.iter().filter(|c| c.facebook.is_some()).count();
+        assert!(stats.facebook.facebook_pages as f64 >= linked_fb as f64 * 0.9);
+        assert!(stats.facebook.facebook_pages <= linked_fb);
+    }
+
+    #[test]
+    fn crawl_counts_mirror_world_marginals() {
+        let world = Arc::new(World::generate(&WorldConfig::tiny(42)));
+        let store = Store::memory(4);
+        let crawler = Crawler::new(Arc::clone(&world), CrawlConfig::default());
+        let stats = crawler.run(&store).unwrap();
+        // The BFS reaches essentially every company; FB/TW crawl exactly the
+        // linked subsets of what was crawled.
+        let fb_linked = world.companies.iter().filter(|c| c.facebook.is_some()).count();
+        let tw_linked = world.companies.iter().filter(|c| c.twitter.is_some()).count();
+        assert!(stats.facebook.facebook_pages <= fb_linked);
+        assert!(stats.twitter.twitter_profiles <= tw_linked);
+        assert!(stats.facebook.facebook_pages as f64 >= fb_linked as f64 * 0.9);
+        assert!(stats.twitter.twitter_profiles as f64 >= tw_linked as f64 * 0.9);
+    }
+}

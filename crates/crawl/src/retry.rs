@@ -1,0 +1,192 @@
+//! Retry with exponential backoff.
+//!
+//! Two failure classes get different treatment, as in any production
+//! crawler:
+//!
+//! * `ServerError` (transient 5xx) — retry after exponentially growing,
+//!   deterministically jittered delays;
+//! * `RateLimited { retry_after_ms }` — sleep exactly what the service asked
+//!   for, then retry (these do not count against the attempt budget: the
+//!   service told us when to come back);
+//! * everything else (404, 401, 400) — permanent, returned immediately.
+
+use crate::error::CrawlError;
+use crowdnet_socialsim::sources::{ApiError, ApiResult};
+use crowdnet_socialsim::Clock;
+use crowdnet_json::Value;
+
+/// Backoff policy.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum attempts for transient errors (≥ 1).
+    pub max_attempts: u32,
+    /// First backoff delay.
+    pub base_delay_ms: u64,
+    /// Exponential growth factor numerator / 100 (200 = double each time).
+    pub multiplier_pct: u64,
+    /// Hard cap on a single delay.
+    pub max_delay_ms: u64,
+    /// Cap on rate-limit sleeps (defensive: a buggy server could ask us to
+    /// sleep for a year).
+    pub max_rate_limit_wait_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay_ms: 100,
+            multiplier_pct: 200,
+            max_delay_ms: 10_000,
+            max_rate_limit_wait_ms: 20 * 60 * 1000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before attempt `n` (0-based retry index), with a small
+    /// deterministic jitter so synchronized workers fan out.
+    pub fn delay_ms(&self, retry_index: u32) -> u64 {
+        let mut d = self.base_delay_ms.max(1);
+        for _ in 0..retry_index {
+            d = (d.saturating_mul(self.multiplier_pct)) / 100;
+            if d >= self.max_delay_ms {
+                return self.max_delay_ms;
+            }
+        }
+        let jitter = (retry_index as u64 * 37) % (d / 4 + 1);
+        (d + jitter).min(self.max_delay_ms)
+    }
+}
+
+/// Run `call` under the policy, sleeping on the provided clock.
+pub fn with_retry<F>(clock: &dyn Clock, policy: &RetryPolicy, mut call: F) -> Result<Value, CrawlError>
+where
+    F: FnMut() -> ApiResult,
+{
+    let mut transient_failures = 0u32;
+    loop {
+        match call() {
+            Ok(v) => return Ok(v),
+            Err(ApiError::RateLimited { retry_after_ms }) => {
+                clock.sleep_ms(retry_after_ms.min(policy.max_rate_limit_wait_ms));
+            }
+            Err(ApiError::ServerError) => {
+                transient_failures += 1;
+                if transient_failures >= policy.max_attempts {
+                    return Err(CrawlError::Api(ApiError::ServerError));
+                }
+                clock.sleep_ms(policy.delay_ms(transient_failures - 1));
+            }
+            Err(permanent) => return Err(CrawlError::Api(permanent)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdnet_json::obj;
+    use crowdnet_socialsim::clock::RecordingClock;
+    use std::cell::Cell;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy::default()
+    }
+
+    #[test]
+    fn success_passes_through() {
+        let clock = RecordingClock::new();
+        let out = with_retry(&clock, &policy(), || Ok(obj! {"ok" => true})).unwrap();
+        assert_eq!(out.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(clock.total_slept_ms(), 0);
+    }
+
+    #[test]
+    fn transient_errors_retry_then_succeed() {
+        let clock = RecordingClock::new();
+        let attempts = Cell::new(0);
+        let out = with_retry(&clock, &policy(), || {
+            attempts.set(attempts.get() + 1);
+            if attempts.get() < 3 {
+                Err(ApiError::ServerError)
+            } else {
+                Ok(obj! {"attempt" => attempts.get()})
+            }
+        })
+        .unwrap();
+        assert_eq!(out.get("attempt").and_then(Value::as_i64), Some(3));
+        assert!(clock.total_slept_ms() >= 100 + 200);
+    }
+
+    #[test]
+    fn transient_errors_exhaust_attempts() {
+        let clock = RecordingClock::new();
+        let attempts = Cell::new(0u32);
+        let err = with_retry(&clock, &policy(), || {
+            attempts.set(attempts.get() + 1);
+            Err(ApiError::ServerError)
+        })
+        .unwrap_err();
+        assert!(matches!(err, CrawlError::Api(ApiError::ServerError)));
+        assert_eq!(attempts.get(), policy().max_attempts);
+    }
+
+    #[test]
+    fn rate_limits_sleep_the_requested_time() {
+        let clock = RecordingClock::new();
+        let attempts = Cell::new(0u32);
+        let out = with_retry(&clock, &policy(), || {
+            attempts.set(attempts.get() + 1);
+            if attempts.get() == 1 {
+                Err(ApiError::RateLimited {
+                    retry_after_ms: 90_000,
+                })
+            } else {
+                Ok(obj! {})
+            }
+        });
+        assert!(out.is_ok());
+        assert_eq!(clock.total_slept_ms(), 90_000);
+    }
+
+    #[test]
+    fn rate_limit_sleeps_are_capped() {
+        let clock = RecordingClock::new();
+        let attempts = Cell::new(0u32);
+        let _ = with_retry(&clock, &policy(), || {
+            attempts.set(attempts.get() + 1);
+            if attempts.get() == 1 {
+                Err(ApiError::RateLimited {
+                    retry_after_ms: u64::MAX,
+                })
+            } else {
+                Ok(obj! {})
+            }
+        });
+        assert_eq!(clock.total_slept_ms(), policy().max_rate_limit_wait_ms);
+    }
+
+    #[test]
+    fn permanent_errors_do_not_retry() {
+        let clock = RecordingClock::new();
+        let attempts = Cell::new(0u32);
+        let err = with_retry(&clock, &policy(), || {
+            attempts.set(attempts.get() + 1);
+            Err(ApiError::NotFound)
+        })
+        .unwrap_err();
+        assert!(matches!(err, CrawlError::Api(ApiError::NotFound)));
+        assert_eq!(attempts.get(), 1);
+        assert_eq!(clock.total_slept_ms(), 0);
+    }
+
+    #[test]
+    fn delays_grow_exponentially_and_cap() {
+        let p = policy();
+        assert!(p.delay_ms(0) >= 100);
+        assert!(p.delay_ms(1) >= 200);
+        assert!(p.delay_ms(2) >= 400);
+        assert_eq!(p.delay_ms(30), p.max_delay_ms);
+    }
+}

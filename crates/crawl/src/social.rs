@@ -1,0 +1,299 @@
+//! Facebook and Twitter profile crawls (§3).
+//!
+//! "The AngelList dataset includes links to startups' available Facebook and
+//! Twitter URLs." Facebook fetches use the Graph API after the short→long
+//! token exchange; Twitter fetches extract the username from the URL ("the
+//! string after the last '/' symbol") and shard calls across a
+//! [`TokenPool`](crate::tokens::TokenPool) to ride through the
+//! 180-calls/15-minutes windows.
+
+use crate::error::CrawlError;
+use crate::retry::{with_retry, RetryPolicy};
+use crate::tokens::TokenPool;
+use crowdnet_json::Value;
+use crowdnet_socialsim::sources::facebook::FacebookApi;
+use crowdnet_socialsim::sources::twitter::TwitterApi;
+use crowdnet_socialsim::sources::ApiError;
+use crowdnet_socialsim::Clock;
+use crowdnet_store::{Document, Store};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Store namespace for Facebook page documents.
+pub const NS_FACEBOOK: &str = "facebook/pages";
+/// Store namespace for Twitter profile documents.
+pub const NS_TWITTER: &str = "twitter/profiles";
+
+/// Counters from a social-media crawl.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SocialStats {
+    /// Facebook pages stored.
+    pub facebook_pages: usize,
+    /// Twitter profiles stored.
+    pub twitter_profiles: usize,
+    /// Linked accounts that permanently failed (404 after retries).
+    pub missing: usize,
+}
+
+/// Extract `(angellist_id, url)` pairs for a given URL field from the
+/// crawled AngelList company documents.
+fn linked_urls(store: &Store, field: &str) -> Result<Vec<(u64, String)>, CrawlError> {
+    Ok(store
+        .scan(crate::bfs::NS_COMPANIES)?
+        .into_iter()
+        .filter_map(|doc| {
+            let id = doc.body.get("id").and_then(Value::as_u64)?;
+            let url = doc.body.get(field).and_then(Value::as_str)?.to_string();
+            Some((id, url))
+        })
+        .collect())
+}
+
+/// Crawl every linked Facebook page. Performs the login + token exchange
+/// once, then fetches pages in parallel under the long-lived token.
+pub fn crawl_facebook(
+    api: &FacebookApi,
+    store: &Store,
+    clock: &Arc<dyn Clock>,
+    retry: &RetryPolicy,
+    workers: usize,
+) -> Result<SocialStats, CrawlError> {
+    let token = api
+        .exchange_token(&api.login())
+        .map_err(CrawlError::Api)?;
+    let targets = linked_urls(store, "facebook_url")?;
+    let stats = Mutex::new(SocialStats::default());
+    let queue = Mutex::new(targets.into_iter());
+    let fatal: Mutex<Option<CrawlError>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|| loop {
+                let item = { queue.lock().next() };
+                let Some((id, url)) = item else { break };
+                match with_retry(clock.as_ref(), retry, || api.page(&url, &token)) {
+                    Ok(page) => {
+                        if let Err(e) =
+                            store.put(NS_FACEBOOK, Document::new(format!("company:{id}"), page))
+                        {
+                            *fatal.lock() = Some(e.into());
+                            queue.lock().by_ref().for_each(drop);
+                        } else {
+                            stats.lock().facebook_pages += 1;
+                        }
+                    }
+                    Err(CrawlError::Api(ApiError::NotFound)) => {
+                        stats.lock().missing += 1;
+                    }
+                    Err(e) => {
+                        *fatal.lock() = Some(e);
+                        queue.lock().by_ref().for_each(drop);
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = fatal.into_inner() {
+        return Err(e);
+    }
+    Ok(stats.into_inner())
+}
+
+/// Crawl every linked Twitter profile through the token pool.
+///
+/// Rate-limited tokens are parked in the pool and the call retried on the
+/// next available token, so the crawl's virtual wall-clock shrinks roughly
+/// linearly with pool size (the paper's multi-machine trick; measured by the
+/// `crawl_throughput` bench).
+pub fn crawl_twitter(
+    api: &TwitterApi,
+    store: &Store,
+    pool: &TokenPool,
+    clock: &Arc<dyn Clock>,
+    retry: &RetryPolicy,
+    workers: usize,
+) -> Result<SocialStats, CrawlError> {
+    let targets = linked_urls(store, "twitter_url")?;
+    let stats = Mutex::new(SocialStats::default());
+    let queue = Mutex::new(targets.into_iter());
+    let fatal: Mutex<Option<CrawlError>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|| loop {
+                let item = { queue.lock().next() };
+                let Some((id, url)) = item else { break };
+                // §3: the username is the string after the last '/'.
+                let username = url.rsplit('/').next().unwrap_or_default().to_string();
+                match fetch_with_pool(api, pool, clock, retry, &username) {
+                    Ok(profile) => {
+                        if let Err(e) = store
+                            .put(NS_TWITTER, Document::new(format!("company:{id}"), profile))
+                        {
+                            *fatal.lock() = Some(e.into());
+                            queue.lock().by_ref().for_each(drop);
+                        } else {
+                            stats.lock().twitter_profiles += 1;
+                        }
+                    }
+                    Err(CrawlError::Api(ApiError::NotFound)) => {
+                        stats.lock().missing += 1;
+                    }
+                    Err(e) => {
+                        *fatal.lock() = Some(e);
+                        queue.lock().by_ref().for_each(drop);
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = fatal.into_inner() {
+        return Err(e);
+    }
+    Ok(stats.into_inner())
+}
+
+/// One profile fetch: lease a token; on 429 park it and lease another; on
+/// transient 5xx back off per the policy.
+fn fetch_with_pool(
+    api: &TwitterApi,
+    pool: &TokenPool,
+    clock: &Arc<dyn Clock>,
+    retry: &RetryPolicy,
+    username: &str,
+) -> Result<Value, CrawlError> {
+    let mut transient = 0u32;
+    loop {
+        let token = pool.lease();
+        match api.user_by_username(username, &token) {
+            Ok(v) => return Ok(v),
+            Err(ApiError::RateLimited { retry_after_ms }) => {
+                pool.park(&token, retry_after_ms);
+            }
+            Err(ApiError::ServerError) => {
+                transient += 1;
+                if transient >= retry.max_attempts {
+                    return Err(CrawlError::Api(ApiError::ServerError));
+                }
+                clock.sleep_ms(retry.delay_ms(transient - 1));
+            }
+            Err(permanent) => return Err(CrawlError::Api(permanent)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::{crawl_angellist, BfsConfig};
+    use crowdnet_socialsim::clock::{RecordingClock, SimClock};
+    use crowdnet_socialsim::sources::angellist::AngelListApi;
+    use crowdnet_socialsim::sources::FaultModel;
+    use crowdnet_socialsim::{World, WorldConfig};
+
+    fn crawled(seed: u64) -> (Arc<World>, Store, Arc<dyn Clock>) {
+        crawled_at(seed, WorldConfig::tiny(seed))
+    }
+
+    fn crawled_at(_seed: u64, cfg: WorldConfig) -> (Arc<World>, Store, Arc<dyn Clock>) {
+        let world = Arc::new(World::generate(&cfg));
+        let api = AngelListApi::reliable(Arc::clone(&world));
+        let store = Store::memory(4);
+        let clock: Arc<dyn Clock> = Arc::new(SimClock::new());
+        crawl_angellist(&api, &store, &clock, &BfsConfig::default()).unwrap();
+        (world, store, clock)
+    }
+
+    #[test]
+    fn facebook_crawl_covers_linked_pages() {
+        let (world, store, clock) = crawled(42);
+        let api = FacebookApi::new(Arc::clone(&world), Arc::new(SimClock::new()), FaultModel::none());
+        let stats =
+            crawl_facebook(&api, &store, &clock, &RetryPolicy::default(), 4).unwrap();
+        let _ = &world;
+        let linked = linked_urls(&store, "facebook_url").unwrap().len();
+        assert_eq!(stats.facebook_pages, linked);
+        assert_eq!(stats.missing, 0);
+        assert_eq!(store.doc_count(NS_FACEBOOK).unwrap(), linked);
+    }
+
+    #[test]
+    fn twitter_crawl_covers_linked_profiles_despite_rate_limits() {
+        // Enough companies that >180 Twitter links exist, forcing at least
+        // one full rate-limit window ride with a single token.
+        let (world, store, _) = crawled_at(
+            42,
+            WorldConfig::at_scale(
+                42,
+                crowdnet_socialsim::Scale::Custom { companies: 4_000, users: 1_200 },
+            ),
+        );
+        let sim = Arc::new(SimClock::new());
+        let clock: Arc<dyn Clock> = Arc::new(RecordingClock::new());
+        let api = TwitterApi::new(Arc::clone(&world), sim.clone(), FaultModel::none());
+        // Deliberately tiny pool: one token ⇒ the 15-minute window must be
+        // ridden out (virtually) several times if >180 profiles are linked.
+        let pool = TokenPool::register(&api, sim.clone(), &["m1"], 1).unwrap();
+        let stats =
+            crawl_twitter(&api, &store, &pool, &clock, &RetryPolicy::default(), 2).unwrap();
+        let _ = &world;
+        let linked = linked_urls(&store, "twitter_url").unwrap().len();
+        assert!(linked > 180, "need enough links to trip the limit: {linked}");
+        assert_eq!(stats.twitter_profiles, linked);
+        assert_eq!(store.doc_count(NS_TWITTER).unwrap(), linked);
+        // The single token had to ride out at least one 15-minute window.
+        assert!(sim.now_ms() >= crowdnet_socialsim::sources::twitter::WINDOW_MS / 2);
+    }
+
+    #[test]
+    fn twitter_docs_have_engagement_fields() {
+        let (world, store, _) = crawled(7);
+        let sim = Arc::new(SimClock::new());
+        let clock: Arc<dyn Clock> = sim.clone();
+        let api = TwitterApi::new(Arc::clone(&world), sim.clone(), FaultModel::none());
+        let pool = TokenPool::register(&api, sim.clone(), &["m1", "m2"], 5).unwrap();
+        crawl_twitter(&api, &store, &pool, &clock, &RetryPolicy::default(), 4).unwrap();
+        for doc in store.scan(NS_TWITTER).unwrap().iter().take(30) {
+            assert!(doc.body.get("followers_count").and_then(Value::as_u64).is_some());
+            assert!(doc.body.get("statuses_count").and_then(Value::as_u64).is_some());
+        }
+    }
+
+    #[test]
+    fn more_tokens_mean_less_virtual_waiting() {
+        let (world, store, _) = crawled(42);
+        let waiting_with = |tokens_per_owner: usize, owners: &[&str]| {
+            let sim = Arc::new(SimClock::new());
+            let api = TwitterApi::new(Arc::clone(&world), sim.clone(), FaultModel::none());
+            let pool = TokenPool::register(&api, sim.clone(), owners, tokens_per_owner).unwrap();
+            let clock = Arc::new(RecordingClock::new());
+            let dyn_clock: Arc<dyn Clock> = clock.clone();
+            crawl_twitter(&api, &store, &pool, &dyn_clock, &RetryPolicy::default(), 2)
+                .unwrap();
+            sim.now_ms() // virtual time the *service* clock advanced (parked waits)
+        };
+        let one = waiting_with(1, &["a"]);
+        let many = waiting_with(5, &["a", "b", "c"]);
+        assert!(
+            many <= one,
+            "15 tokens ({many} ms) should not wait longer than 1 token ({one} ms)"
+        );
+    }
+
+    #[test]
+    fn facebook_crawl_retries_through_faults() {
+        let (world, store, clock) = crawled(42);
+        let api = FacebookApi::new(
+            Arc::clone(&world),
+            Arc::new(SimClock::new()),
+            FaultModel::new(0.15, 3),
+        );
+        let stats =
+            crawl_facebook(&api, &store, &clock, &RetryPolicy::default(), 4).unwrap();
+        let _ = &world;
+        let linked = linked_urls(&store, "facebook_url").unwrap().len();
+        assert_eq!(stats.facebook_pages, linked);
+    }
+}

@@ -1,0 +1,187 @@
+//! Twitter access-token sharding.
+//!
+//! §3: "each twitter user is allowed to register at most five apps … Hence,
+//! we distribute the Twitter crawling job to several machines, using
+//! different access tokens, which tackles the rate limit issue effectively."
+//!
+//! [`TokenPool`] reproduces the strategy: register up to five apps per
+//! simulated "machine owner", lease tokens round-robin, and when a token is
+//! rate-limited park it until the window the server reported has passed.
+
+use crowdnet_socialsim::sources::twitter::TwitterApi;
+use crowdnet_socialsim::sources::ApiError;
+use crowdnet_socialsim::Clock;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+struct TokenState {
+    token: String,
+    /// Clock time at which the token becomes usable again.
+    available_at_ms: u64,
+}
+
+/// A shared pool of Twitter access tokens.
+pub struct TokenPool {
+    clock: Arc<dyn Clock>,
+    tokens: Mutex<Vec<TokenState>>,
+    cursor: Mutex<usize>,
+}
+
+impl TokenPool {
+    /// Register `owners × per_owner` apps on the service and pool their
+    /// tokens. `per_owner` is clamped to Twitter's five-app cap.
+    pub fn register(
+        api: &TwitterApi,
+        clock: Arc<dyn Clock>,
+        owners: &[&str],
+        per_owner: usize,
+    ) -> Result<TokenPool, ApiError> {
+        let per_owner = per_owner.clamp(1, 5);
+        let mut tokens = Vec::new();
+        for owner in owners {
+            for _ in 0..per_owner {
+                tokens.push(TokenState {
+                    token: api.register_app(owner)?,
+                    available_at_ms: 0,
+                });
+            }
+        }
+        if tokens.is_empty() {
+            return Err(ApiError::BadRequest("token pool needs ≥1 owner".into()));
+        }
+        Ok(TokenPool {
+            clock,
+            tokens: Mutex::new(tokens),
+            cursor: Mutex::new(0),
+        })
+    }
+
+    /// Number of pooled tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.lock().len()
+    }
+
+    /// True if the pool is empty (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lease the next usable token (round-robin). If every token is parked,
+    /// sleeps (virtually) until the earliest becomes available.
+    pub fn lease(&self) -> String {
+        loop {
+            let now = self.clock.now_ms();
+            let wait_ms = {
+                let tokens = self.tokens.lock();
+                let mut cursor = self.cursor.lock();
+                let n = tokens.len();
+                let mut earliest = u64::MAX;
+                let mut found = None;
+                for step in 0..n {
+                    let idx = (*cursor + step) % n;
+                    if tokens[idx].available_at_ms <= now {
+                        found = Some(idx);
+                        break;
+                    }
+                    earliest = earliest.min(tokens[idx].available_at_ms);
+                }
+                match found {
+                    Some(idx) => {
+                        *cursor = (idx + 1) % n;
+                        return tokens[idx].token.clone();
+                    }
+                    None => earliest.saturating_sub(now).max(1),
+                }
+            };
+            self.clock.sleep_ms(wait_ms);
+        }
+    }
+
+    /// Park `token` until `retry_after_ms` from now (called on 429).
+    pub fn park(&self, token: &str, retry_after_ms: u64) {
+        let until = self.clock.now_ms() + retry_after_ms;
+        let mut tokens = self.tokens.lock();
+        if let Some(t) = tokens.iter_mut().find(|t| t.token == token) {
+            t.available_at_ms = t.available_at_ms.max(until);
+        }
+    }
+
+    /// How many tokens are usable right now.
+    pub fn available_now(&self) -> usize {
+        let now = self.clock.now_ms();
+        self.tokens
+            .lock()
+            .iter()
+            .filter(|t| t.available_at_ms <= now)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdnet_socialsim::clock::SimClock;
+    use crowdnet_socialsim::sources::FaultModel;
+    use crowdnet_socialsim::{World, WorldConfig};
+
+    fn setup(owners: &[&str], per_owner: usize) -> (TokenPool, Arc<SimClock>) {
+        let world = Arc::new(World::generate(&WorldConfig::tiny(42)));
+        let clock = Arc::new(SimClock::new());
+        let api = TwitterApi::new(world, clock.clone(), FaultModel::none());
+        let pool = TokenPool::register(&api, clock.clone(), owners, per_owner).unwrap();
+        (pool, clock)
+    }
+
+    #[test]
+    fn registers_per_owner_times_owners() {
+        let (pool, _) = setup(&["m1", "m2", "m3"], 5);
+        assert_eq!(pool.len(), 15);
+        assert_eq!(pool.available_now(), 15);
+    }
+
+    #[test]
+    fn per_owner_clamps_to_five() {
+        let (pool, _) = setup(&["m1"], 50);
+        assert_eq!(pool.len(), 5);
+    }
+
+    #[test]
+    fn lease_round_robins() {
+        let (pool, _) = setup(&["m1"], 3);
+        let a = pool.lease();
+        let b = pool.lease();
+        let c = pool.lease();
+        let a2 = pool.lease();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn parked_tokens_are_skipped_then_recover() {
+        let (pool, clock) = setup(&["m1"], 2);
+        let a = pool.lease();
+        pool.park(&a, 1_000);
+        assert_eq!(pool.available_now(), 1);
+        // Only the unparked token is leased while the other is parked.
+        let next = pool.lease();
+        assert_ne!(next, a);
+        let next2 = pool.lease();
+        assert_ne!(next2, a);
+        clock.advance_ms(1_001);
+        assert_eq!(pool.available_now(), 2);
+    }
+
+    #[test]
+    fn lease_waits_when_all_parked() {
+        let (pool, clock) = setup(&["m1"], 2);
+        let a = pool.lease();
+        let b = pool.lease();
+        pool.park(&a, 5_000);
+        pool.park(&b, 3_000);
+        let t0 = clock.now_ms();
+        let leased = pool.lease(); // must virtually sleep ≥ 3000 ms
+        assert_eq!(leased, b);
+        assert!(clock.now_ms() - t0 >= 3_000);
+    }
+}

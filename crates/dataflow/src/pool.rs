@@ -1,0 +1,174 @@
+//! Partition-parallel execution.
+//!
+//! The engine's unit of parallelism is the partition (as in Spark). A stage
+//! maps every input partition through a function; partitions are handed to a
+//! bounded set of scoped worker threads through a shared queue, so skewed
+//! partitions don't serialize the stage.
+
+use std::sync::Mutex;
+
+/// Execution context: how many worker threads a stage may use.
+///
+/// `ExecCtx` is `Copy` and carried by every [`crate::Dataset`]; derived
+/// datasets inherit it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecCtx {
+    threads: usize,
+    default_partitions: usize,
+}
+
+impl ExecCtx {
+    /// A context with `threads` workers and `2 × threads` default partitions
+    /// (a mild over-partitioning that smooths skew, as Spark recommends).
+    pub fn new(threads: usize) -> ExecCtx {
+        let threads = threads.max(1);
+        ExecCtx {
+            threads,
+            default_partitions: threads * 2,
+        }
+    }
+
+    /// A context sized to the machine.
+    pub fn auto() -> ExecCtx {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        ExecCtx::new(n)
+    }
+
+    /// Single-threaded context (baseline for the scaling benchmarks).
+    pub fn serial() -> ExecCtx {
+        ExecCtx::new(1)
+    }
+
+    /// Override the default partition count.
+    pub fn with_partitions(mut self, partitions: usize) -> ExecCtx {
+        self.default_partitions = partitions.max(1);
+        self
+    }
+
+    /// Worker threads per stage.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Partition count used when materializing unpartitioned input.
+    pub fn default_partitions(&self) -> usize {
+        self.default_partitions
+    }
+}
+
+impl Default for ExecCtx {
+    fn default() -> Self {
+        ExecCtx::auto()
+    }
+}
+
+/// Run `f` over every partition in parallel, preserving partition order.
+pub fn run_stage<T, U, F>(ctx: ExecCtx, partitions: Vec<Vec<T>>, f: F) -> Vec<Vec<U>>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, Vec<T>) -> Vec<U> + Sync,
+{
+    let n = partitions.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = ctx.threads.min(n);
+    if workers <= 1 {
+        return partitions
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| f(i, p))
+            .collect();
+    }
+
+    let queue: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(partitions.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<Vec<U>>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("queue poisoned").pop();
+                match item {
+                    Some((idx, part)) => {
+                        let out = f(idx, part);
+                        results.lock().expect("results poisoned")[idx] = Some(out);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|o| o.expect("every partition must produce output"))
+        .collect()
+}
+
+/// Run `f` over every item of `tasks` in parallel, preserving order — the
+/// task-parallel sibling of [`run_stage`] for inputs that aren't
+/// `Vec<Vec<_>>` (e.g. zipped join partitions).
+pub fn run_tasks<T, U, F>(ctx: ExecCtx, tasks: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    run_stage(ctx, tasks.into_iter().map(|t| vec![t]).collect(), |i, mut one| {
+        vec![f(i, one.pop().expect("exactly one task per partition"))]
+    })
+    .into_iter()
+    .map(|mut v| v.pop().expect("exactly one result per task"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_defaults() {
+        let ctx = ExecCtx::new(4);
+        assert_eq!(ctx.threads(), 4);
+        assert_eq!(ctx.default_partitions(), 8);
+        assert_eq!(ExecCtx::new(0).threads(), 1);
+        assert_eq!(ExecCtx::serial().threads(), 1);
+        assert_eq!(ctx.with_partitions(3).default_partitions(), 3);
+    }
+
+    #[test]
+    fn stage_preserves_partition_order() {
+        let parts: Vec<Vec<u32>> = (0..16).map(|i| vec![i]).collect();
+        let out = run_stage(ExecCtx::new(4), parts, |idx, p| {
+            vec![(idx as u32, p[0] * 10)]
+        });
+        for (i, p) in out.iter().enumerate() {
+            assert_eq!(p[0], (i as u32, i as u32 * 10));
+        }
+    }
+
+    #[test]
+    fn stage_handles_empty_input() {
+        let out: Vec<Vec<u32>> = run_stage(ExecCtx::new(4), Vec::<Vec<u32>>::new(), |_, p| p);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stage_handles_empty_partitions() {
+        let parts: Vec<Vec<u32>> = vec![vec![], vec![1], vec![]];
+        let out = run_stage(ExecCtx::new(2), parts, |_, p| p);
+        assert_eq!(out, vec![vec![], vec![1], vec![]]);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let parts: Vec<Vec<u64>> = (0..32).map(|i| (i * 100..(i + 1) * 100).collect()).collect();
+        let f = |_: usize, p: Vec<u64>| p.into_iter().map(|x| x * 3 + 1).collect::<Vec<_>>();
+        let serial = run_stage(ExecCtx::serial(), parts.clone(), f);
+        let parallel = run_stage(ExecCtx::new(8), parts, f);
+        assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,142 @@
+//! Query AST.
+
+/// A literal value in a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// `NULL`
+    Null,
+    /// `TRUE` / `FALSE`
+    Bool(bool),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string.
+    String(String),
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Dotted JSON path into the document.
+    Field(String),
+    /// A literal.
+    Literal(Literal),
+    /// Comparison: `lhs op rhs`.
+    Compare {
+        /// Left side.
+        lhs: Box<Expr>,
+        /// One of `= != < <= > >=`.
+        op: CompareOp,
+        /// Right side.
+        rhs: Box<Expr>,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `lhs AND rhs`.
+    And(Box<Expr>, Box<Expr>),
+    /// `lhs OR rhs`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `NOT expr`.
+    Not(Box<Expr>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `COUNT(*)`
+    CountStar,
+    /// `COUNT(field)` — non-null values.
+    Count(String),
+    /// `SUM(field)`
+    Sum(String),
+    /// `AVG(field)`
+    Avg(String),
+    /// `MIN(field)`
+    Min(String),
+    /// `MAX(field)`
+    Max(String),
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain field projection.
+    Field {
+        /// Dotted path.
+        path: String,
+        /// Output column name.
+        alias: String,
+    },
+    /// An aggregate.
+    Agg {
+        /// The aggregate.
+        agg: Aggregate,
+        /// Output column name.
+        alias: String,
+    },
+}
+
+impl SelectItem {
+    /// The output column name.
+    pub fn alias(&self) -> &str {
+        match self {
+            SelectItem::Field { alias, .. } | SelectItem::Agg { alias, .. } => alias,
+        }
+    }
+}
+
+/// ORDER BY key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderKey {
+    /// Output column name.
+    pub column: String,
+    /// Descending?
+    pub descending: bool,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// FROM source name (informational; the caller binds the data).
+    pub from: String,
+    /// WHERE predicate.
+    pub filter: Option<Expr>,
+    /// GROUP BY field paths.
+    pub group_by: Vec<String>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// True if any select item is an aggregate.
+    pub fn has_aggregates(&self) -> bool {
+        self.select
+            .iter()
+            .any(|s| matches!(s, SelectItem::Agg { .. }))
+    }
+}

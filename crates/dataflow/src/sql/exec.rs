@@ -1,0 +1,483 @@
+//! Query execution over `Dataset<Value>`.
+//!
+//! Narrow queries map directly onto engine operators: WHERE → `filter`,
+//! projection → `map`, GROUP BY → `key_by(...).group_by_key()` (a real
+//! shuffle), ORDER BY/LIMIT at the driver. Aggregates without GROUP BY run
+//! as a single global group.
+
+use super::ast::*;
+use super::parser::SqlError;
+use crate::{Dataset, Pairs};
+use crowdnet_json::{Number, Value};
+use std::cmp::Ordering;
+
+/// A query result: named columns and value rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Output column names, in SELECT order.
+    pub columns: Vec<String>,
+    /// Rows of values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Render as an aligned text table (for examples and the repro binary).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(render_value).collect())
+            .collect();
+        for row in &cells {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, (c, w)) in self.columns.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{c:<w$}", w = w));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().max(1) - 1)));
+        out.push('\n');
+        for row in &cells {
+            for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:<w$}", w = w));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        other => other.to_compact(),
+    }
+}
+
+fn err<T>(message: impl Into<String>) -> Result<T, SqlError> {
+    Err(SqlError {
+        message: message.into(),
+    })
+}
+
+/// Evaluate a scalar expression against a document.
+fn eval(expr: &Expr, doc: &Value) -> Value {
+    match expr {
+        Expr::Field(path) => doc.path(path).cloned().unwrap_or(Value::Null),
+        Expr::Literal(lit) => match lit {
+            Literal::Null => Value::Null,
+            Literal::Bool(b) => Value::Bool(*b),
+            Literal::Number(n) => Value::from(*n),
+            Literal::String(s) => Value::from(s.as_str()),
+        },
+        Expr::Compare { lhs, op, rhs } => {
+            let l = eval(lhs, doc);
+            let r = eval(rhs, doc);
+            Value::Bool(compare(&l, &r, *op))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, doc);
+            Value::Bool(v.is_null() != *negated)
+        }
+        Expr::And(a, b) => Value::Bool(truthy(&eval(a, doc)) && truthy(&eval(b, doc))),
+        Expr::Or(a, b) => Value::Bool(truthy(&eval(a, doc)) || truthy(&eval(b, doc))),
+        Expr::Not(e) => Value::Bool(!truthy(&eval(e, doc))),
+    }
+}
+
+fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Bool(b) => *b,
+        Value::Null => false,
+        Value::Num(n) => n.as_f64() != 0.0,
+        _ => true,
+    }
+}
+
+fn compare(l: &Value, r: &Value, op: CompareOp) -> bool {
+    // SQL semantics: comparisons against NULL are false.
+    if l.is_null() || r.is_null() {
+        return false;
+    }
+    let ord = value_order(l, r);
+    match (ord, op) {
+        (Some(Ordering::Equal), CompareOp::Eq | CompareOp::Le | CompareOp::Ge) => true,
+        (Some(Ordering::Less), CompareOp::Lt | CompareOp::Le | CompareOp::Ne) => true,
+        (Some(Ordering::Greater), CompareOp::Gt | CompareOp::Ge | CompareOp::Ne) => true,
+        (None, CompareOp::Ne) => true, // incomparable types are "not equal"
+        _ => false,
+    }
+}
+
+/// Total-ish order used by comparisons and ORDER BY: numbers by value,
+/// strings lexicographically, bools false<true; cross-type → None (sorted
+/// by a stable type rank in ORDER BY).
+fn value_order(a: &Value, b: &Value) -> Option<Ordering> {
+    match (a, b) {
+        (Value::Num(x), Value::Num(y)) => x.as_f64().partial_cmp(&y.as_f64()),
+        (Value::Str(x), Value::Str(y)) => Some(x.cmp(y)),
+        (Value::Bool(x), Value::Bool(y)) => Some(x.cmp(y)),
+        _ => None,
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Num(_) => 2,
+        Value::Str(_) => 3,
+        Value::Arr(_) => 4,
+        Value::Obj(_) => 5,
+    }
+}
+
+fn order_for_sort(a: &Value, b: &Value) -> Ordering {
+    value_order(a, b).unwrap_or_else(|| type_rank(a).cmp(&type_rank(b)))
+}
+
+/// Group key: compact-encoded values (hashable, deterministic).
+fn group_key(doc: &Value, fields: &[String]) -> String {
+    let mut key = String::new();
+    for f in fields {
+        key.push_str(&doc.path(f).cloned().unwrap_or(Value::Null).to_compact());
+        key.push('\u{1f}');
+    }
+    key
+}
+
+/// Running state of one aggregate within one group.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(u64),
+    Sum(f64),
+    Avg { sum: f64, n: u64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(agg: &Aggregate) -> AggState {
+        match agg {
+            Aggregate::CountStar | Aggregate::Count(_) => AggState::Count(0),
+            Aggregate::Sum(_) => AggState::Sum(0.0),
+            Aggregate::Avg(_) => AggState::Avg { sum: 0.0, n: 0 },
+            Aggregate::Min(_) => AggState::Min(None),
+            Aggregate::Max(_) => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, agg: &Aggregate, doc: &Value) {
+        let field_value = |f: &str| doc.path(f).cloned().unwrap_or(Value::Null);
+        match (self, agg) {
+            (AggState::Count(n), Aggregate::CountStar) => *n += 1,
+            (AggState::Count(n), Aggregate::Count(f)) => {
+                if !field_value(f).is_null() {
+                    *n += 1;
+                }
+            }
+            (AggState::Sum(s), Aggregate::Sum(f)) => {
+                if let Some(x) = field_value(f).as_f64() {
+                    *s += x;
+                }
+            }
+            (AggState::Avg { sum, n }, Aggregate::Avg(f)) => {
+                if let Some(x) = field_value(f).as_f64() {
+                    *sum += x;
+                    *n += 1;
+                }
+            }
+            (AggState::Min(cur), Aggregate::Min(f)) => {
+                let v = field_value(f);
+                if !v.is_null()
+                    && cur
+                        .as_ref()
+                        .map(|c| order_for_sort(&v, c) == Ordering::Less)
+                        .unwrap_or(true)
+                {
+                    *cur = Some(v);
+                }
+            }
+            (AggState::Max(cur), Aggregate::Max(f)) => {
+                let v = field_value(f);
+                if !v.is_null()
+                    && cur
+                        .as_ref()
+                        .map(|c| order_for_sort(&v, c) == Ordering::Greater)
+                        .unwrap_or(true)
+                {
+                    *cur = Some(v);
+                }
+            }
+            _ => unreachable!("state/agg mismatch"),
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::from(n),
+            AggState::Sum(s) => Value::from(s),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::from(sum / n as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Execute a parsed query over a dataset of JSON documents.
+pub fn execute(q: &Query, data: Dataset<Value>) -> Result<Table, SqlError> {
+    if q.select.is_empty() {
+        return err("SELECT list is empty");
+    }
+    if q.has_aggregates() {
+        // Every non-aggregate select item must be a GROUP BY field.
+        for item in &q.select {
+            if let SelectItem::Field { path, .. } = item {
+                if !q.group_by.contains(path) {
+                    return err(format!(
+                        "column {path} must appear in GROUP BY or inside an aggregate"
+                    ));
+                }
+            }
+        }
+    } else if !q.group_by.is_empty() {
+        return err("GROUP BY requires at least one aggregate in SELECT");
+    }
+
+    let ctx = data.ctx();
+    let filtered = match &q.filter {
+        Some(predicate) => {
+            let predicate = predicate.clone();
+            data.filter(move |doc| truthy(&eval(&predicate, doc)))
+        }
+        None => data,
+    };
+
+    let columns: Vec<String> = q.select.iter().map(|s| s.alias().to_string()).collect();
+    let mut rows: Vec<Vec<Value>> = if q.has_aggregates() {
+        let group_fields = q.group_by.clone();
+        let keyed: Pairs<String, Value> =
+            filtered.key_by(move |doc| group_key(doc, &group_fields));
+        let select = q.select.clone();
+        keyed
+            .group_by_key()
+            .map_values(move |docs| {
+                let mut states: Vec<Option<AggState>> = select
+                    .iter()
+                    .map(|item| match item {
+                        SelectItem::Agg { agg, .. } => Some(AggState::new(agg)),
+                        SelectItem::Field { .. } => None,
+                    })
+                    .collect();
+                for doc in &docs {
+                    for (state, item) in states.iter_mut().zip(&select) {
+                        if let (Some(state), SelectItem::Agg { agg, .. }) = (state, item) {
+                            state.update(agg, doc);
+                        }
+                    }
+                }
+                let representative = docs.into_iter().next().unwrap_or(Value::Null);
+                states
+                    .into_iter()
+                    .zip(&select)
+                    .map(|(state, item)| match (state, item) {
+                        (Some(state), _) => state.finish(),
+                        (None, SelectItem::Field { path, .. }) => representative
+                            .path(path)
+                            .cloned()
+                            .unwrap_or(Value::Null),
+                        (None, SelectItem::Agg { .. }) => unreachable!(),
+                    })
+                    .collect::<Vec<Value>>()
+            })
+            .values()
+            .collect()
+    } else {
+        let select = q.select.clone();
+        filtered
+            .map(move |doc| {
+                select
+                    .iter()
+                    .map(|item| match item {
+                        SelectItem::Field { path, .. } => {
+                            doc.path(path).cloned().unwrap_or(Value::Null)
+                        }
+                        SelectItem::Agg { .. } => unreachable!("checked above"),
+                    })
+                    .collect::<Vec<Value>>()
+            })
+            .collect()
+    };
+    let _ = ctx;
+
+    // ORDER BY output columns.
+    if !q.order_by.is_empty() {
+        let mut keys = Vec::with_capacity(q.order_by.len());
+        for k in &q.order_by {
+            match columns.iter().position(|c| c == &k.column) {
+                Some(idx) => keys.push((idx, k.descending)),
+                None => return err(format!("ORDER BY references unknown column {}", k.column)),
+            }
+        }
+        rows.sort_by(|a, b| {
+            for &(idx, desc) in &keys {
+                let ord = order_for_sort(&a[idx], &b[idx]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    } else if q.has_aggregates() {
+        // Deterministic group order even without ORDER BY.
+        rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b) {
+                let ord = order_for_sort(x, y);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    if let Some(limit) = q.limit {
+        rows.truncate(limit);
+    }
+    Ok(Table { columns, rows })
+}
+
+// Re-export for the doc example in mod.rs.
+#[allow(unused)]
+fn _type_check(_: Number) {}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse_query;
+    use super::*;
+    use crate::ExecCtx;
+    use crowdnet_json::obj;
+
+    fn docs() -> Dataset<Value> {
+        let rows = vec![
+            obj! {"name" => "alpha", "funded" => true,  "likes" => 700, "sector" => "ai"},
+            obj! {"name" => "beta",  "funded" => false, "likes" => 12,  "sector" => "ai"},
+            obj! {"name" => "gamma", "funded" => true,  "likes" => 900, "sector" => "bio"},
+            obj! {"name" => "delta", "funded" => false, "likes" => 5,   "sector" => "bio"},
+            obj! {"name" => "eps",   "funded" => false, "sector" => "bio"}, // no likes
+        ];
+        Dataset::from_vec(rows, ExecCtx::new(2))
+    }
+
+    fn run(sql: &str) -> Table {
+        execute(&parse_query(sql).unwrap(), docs()).unwrap()
+    }
+
+    #[test]
+    fn projection_and_filter() {
+        let t = run("SELECT name FROM docs WHERE likes > 100 ORDER BY name");
+        assert_eq!(t.columns, vec!["name"]);
+        let names: Vec<&str> = t.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+        assert_eq!(names, vec!["alpha", "gamma"]);
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let t = run(
+            "SELECT sector, COUNT(*) AS n, AVG(likes) AS avg_likes, MAX(likes) AS max_likes \
+             FROM docs GROUP BY sector ORDER BY sector",
+        );
+        assert_eq!(t.columns, vec!["sector", "n", "avg_likes", "max_likes"]);
+        assert_eq!(t.rows.len(), 2);
+        let ai = &t.rows[0];
+        assert_eq!(ai[0].as_str(), Some("ai"));
+        assert_eq!(ai[1].as_u64(), Some(2));
+        assert_eq!(ai[2].as_f64(), Some(356.0));
+        assert_eq!(ai[3].as_i64(), Some(700));
+        let bio = &t.rows[1];
+        assert_eq!(bio[1].as_u64(), Some(3));
+        // AVG skips the missing-likes doc: (900+5)/2.
+        assert_eq!(bio[2].as_f64(), Some(452.5));
+    }
+
+    #[test]
+    fn count_field_skips_nulls() {
+        let t = run("SELECT COUNT(*) AS all_rows, COUNT(likes) AS with_likes FROM docs");
+        assert_eq!(t.rows[0][0].as_u64(), Some(5));
+        assert_eq!(t.rows[0][1].as_u64(), Some(4));
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let t = run("SELECT SUM(likes) FROM docs WHERE funded = true");
+        assert_eq!(t.columns, vec!["sum_likes"]);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][0].as_f64(), Some(1600.0));
+    }
+
+    #[test]
+    fn is_null_and_boolean_logic() {
+        let t = run("SELECT name FROM docs WHERE likes IS NULL OR NOT funded = false");
+        let mut names: Vec<&str> = t.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+        names.sort();
+        assert_eq!(names, vec!["alpha", "eps", "gamma"]);
+    }
+
+    #[test]
+    fn order_desc_and_limit() {
+        let t = run("SELECT name, likes FROM docs WHERE likes IS NOT NULL ORDER BY likes DESC LIMIT 2");
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0].as_str(), Some("gamma"));
+        assert_eq!(t.rows[1][0].as_str(), Some("alpha"));
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let t = run("SELECT name FROM docs WHERE likes > 0");
+        assert_eq!(t.rows.len(), 4); // eps (null likes) excluded
+        let t = run("SELECT name FROM docs WHERE likes != 700");
+        // NULL != 700 is false in SQL semantics.
+        assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn invalid_queries_error_cleanly() {
+        let bad = parse_query("SELECT name, COUNT(*) FROM docs").unwrap();
+        assert!(execute(&bad, docs()).is_err()); // name not grouped
+        let bad = parse_query("SELECT name FROM docs GROUP BY name").unwrap();
+        assert!(execute(&bad, docs()).is_err()); // group without aggregate
+        let bad = parse_query("SELECT name FROM docs ORDER BY ghost").unwrap();
+        assert!(execute(&bad, docs()).is_err()); // unknown order column
+    }
+
+    #[test]
+    fn table_renders_readably() {
+        let t = run("SELECT sector, COUNT(*) AS n FROM docs GROUP BY sector ORDER BY n DESC");
+        let text = t.render();
+        assert!(text.contains("sector"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn deterministic_group_order_without_order_by() {
+        let a = run("SELECT sector, COUNT(*) FROM docs GROUP BY sector");
+        let b = run("SELECT sector, COUNT(*) FROM docs GROUP BY sector");
+        assert_eq!(a, b);
+    }
+}

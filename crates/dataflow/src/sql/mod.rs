@@ -1,0 +1,57 @@
+//! A SQL-subset query layer over JSON document datasets.
+//!
+//! The paper's platform section promises "familiar interfaces for social
+//! scientists … a translation layer will map the theories to Spark queries
+//! for execution". This module is that layer for CrowdNet: a small SQL
+//! dialect parsed into an AST and executed on the partition-parallel
+//! [`Dataset`](crate::Dataset) engine.
+//!
+//! Supported shape:
+//!
+//! ```sql
+//! SELECT expr [AS name], …        -- fields (dotted paths), aggregates
+//! FROM <source>                   -- resolved by the caller to documents
+//! [WHERE predicate]               -- =, !=, <, <=, >, >=, AND, OR, NOT,
+//!                                 -- IS [NOT] NULL, literals
+//! [GROUP BY field, …]
+//! [ORDER BY column [DESC], …]     -- output columns by name
+//! [LIMIT n]
+//! ```
+//!
+//! Aggregates: `COUNT(*)`, `COUNT(field)`, `SUM`, `AVG`, `MIN`, `MAX`.
+//! Field references are dotted JSON paths into each document
+//! (`social.twitter_url`, `rounds[0].raised_usd`).
+//!
+//! ```
+//! use crowdnet_dataflow::sql::query;
+//! use crowdnet_dataflow::{Dataset, ExecCtx};
+//! use crowdnet_json::obj;
+//!
+//! let docs = vec![
+//!     obj! {"name" => "a", "funded" => true,  "likes" => 700},
+//!     obj! {"name" => "b", "funded" => false, "likes" => 12},
+//!     obj! {"name" => "c", "funded" => true,  "likes" => 900},
+//! ];
+//! let data = Dataset::from_vec(docs, ExecCtx::new(2));
+//! let table = query("SELECT funded, COUNT(*) AS n, AVG(likes) AS avg_likes \
+//!                    FROM docs GROUP BY funded ORDER BY n DESC", data).unwrap();
+//! assert_eq!(table.columns, vec!["funded", "n", "avg_likes"]);
+//! assert_eq!(table.rows.len(), 2);
+//! ```
+
+mod ast;
+mod exec;
+mod parser;
+
+pub use ast::{Aggregate, Expr, Literal, Query, SelectItem};
+pub use exec::{execute, Table};
+pub use parser::{parse_query, SqlError};
+
+use crate::Dataset;
+use crowdnet_json::Value;
+
+/// Parse and execute in one step.
+pub fn query(sql: &str, data: Dataset<Value>) -> Result<Table, SqlError> {
+    let q = parse_query(sql)?;
+    execute(&q, data)
+}

@@ -1,0 +1,506 @@
+//! Lexer and recursive-descent parser for the SQL subset.
+
+use super::ast::*;
+use std::fmt;
+
+/// A query-language error (lexing, parsing, or execution).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    /// Human-readable message with position context.
+    pub message: String,
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, SqlError> {
+    Err(SqlError {
+        message: message.into(),
+    })
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),   // bare identifiers / dotted paths / keywords
+    Number(f64),
+    String(String),
+    Symbol(&'static str), // ( ) , * = != <> < <= > >=
+}
+
+fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' | ')' | ',' | '*' => {
+                tokens.push(Token::Symbol(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    _ => "*",
+                }));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol("="));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol("!="));
+                    i += 2;
+                } else {
+                    return err(format!("unexpected '!' at byte {i}"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol("<="));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Symbol("!="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(">="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(">"));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return err("unterminated string literal"),
+                        Some(b'\'') => {
+                            // '' escapes a quote.
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::String(s));
+            }
+            '0'..='9' | '-' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E' | '+' | '-')
+                {
+                    // Stop a trailing '-' that's actually an operator context;
+                    // simple numbers don't need that sophistication here.
+                    i += 1;
+                }
+                let text = &input[start..i];
+                match text.parse::<f64>() {
+                    Ok(n) => tokens.push(Token::Number(n)),
+                    Err(_) => return err(format!("bad number {text:?}")),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char,
+                        'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | '.' | '[' | ']' | '/')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => return err(format!("unexpected character {other:?} at byte {i}")),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(word)) = self.peek() {
+            if word.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            err(format!("expected {kw}, found {:?}", self.peek()))
+        }
+    }
+
+    fn symbol(&mut self, sym: &str) -> bool {
+        if self.peek() == Some(&Token::Symbol(match sym {
+            "(" => "(",
+            ")" => ")",
+            "," => ",",
+            "*" => "*",
+            "=" => "=",
+            "!=" => "!=",
+            "<" => "<",
+            "<=" => "<=",
+            ">" => ">",
+            ">=" => ">=",
+            _ => return false,
+        })) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(name),
+            other => err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        const AGGS: &[&str] = &["count", "sum", "avg", "min", "max"];
+        // Aggregate?
+        if let Some(Token::Ident(word)) = self.peek() {
+            let lower = word.to_ascii_lowercase();
+            if AGGS.contains(&lower.as_str())
+                && self.tokens.get(self.pos + 1) == Some(&Token::Symbol("("))
+            {
+                self.pos += 2; // name + (
+                let agg = if lower == "count" && self.symbol("*") {
+                    Aggregate::CountStar
+                } else {
+                    let field = self.identifier()?;
+                    match lower.as_str() {
+                        "count" => Aggregate::Count(field),
+                        "sum" => Aggregate::Sum(field),
+                        "avg" => Aggregate::Avg(field),
+                        "min" => Aggregate::Min(field),
+                        "max" => Aggregate::Max(field),
+                        _ => unreachable!("gated by AGGS"),
+                    }
+                };
+                if !self.symbol(")") {
+                    return err("expected ')' after aggregate");
+                }
+                let alias = if self.keyword("as") {
+                    self.identifier()?
+                } else {
+                    default_agg_alias(&agg)
+                };
+                return Ok(SelectItem::Agg { agg, alias });
+            }
+        }
+        let path = self.identifier()?;
+        let alias = if self.keyword("as") {
+            self.identifier()?
+        } else {
+            path.clone()
+        };
+        Ok(SelectItem::Field { path, alias })
+    }
+
+    // Precedence: OR < AND < NOT < comparison < primary.
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.and_expr()?;
+        while self.keyword("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.not_expr()?;
+        while self.keyword("and") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.keyword("not") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, SqlError> {
+        let lhs = self.primary()?;
+        if self.keyword("is") {
+            let negated = self.keyword("not");
+            self.expect_keyword("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        for (sym, op) in [
+            ("=", CompareOp::Eq),
+            ("!=", CompareOp::Ne),
+            ("<=", CompareOp::Le),
+            (">=", CompareOp::Ge),
+            ("<", CompareOp::Lt),
+            (">", CompareOp::Gt),
+        ] {
+            if self.symbol(sym) {
+                let rhs = self.primary()?;
+                return Ok(Expr::Compare {
+                    lhs: Box::new(lhs),
+                    op,
+                    rhs: Box::new(rhs),
+                });
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        if self.symbol("(") {
+            let inner = self.expr()?;
+            if !self.symbol(")") {
+                return err("expected ')'");
+            }
+            return Ok(inner);
+        }
+        match self.next() {
+            Some(Token::Number(n)) => Ok(Expr::Literal(Literal::Number(n))),
+            Some(Token::String(s)) => Ok(Expr::Literal(Literal::String(s))),
+            Some(Token::Ident(word)) => {
+                let lower = word.to_ascii_lowercase();
+                Ok(match lower.as_str() {
+                    "true" => Expr::Literal(Literal::Bool(true)),
+                    "false" => Expr::Literal(Literal::Bool(false)),
+                    "null" => Expr::Literal(Literal::Null),
+                    _ => Expr::Field(word),
+                })
+            }
+            other => err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+fn default_agg_alias(agg: &Aggregate) -> String {
+    match agg {
+        Aggregate::CountStar => "count".to_string(),
+        Aggregate::Count(f) => format!("count_{f}"),
+        Aggregate::Sum(f) => format!("sum_{f}"),
+        Aggregate::Avg(f) => format!("avg_{f}"),
+        Aggregate::Min(f) => format!("min_{f}"),
+        Aggregate::Max(f) => format!("max_{f}"),
+    }
+}
+
+/// Parse a query string.
+pub fn parse_query(sql: &str) -> Result<Query, SqlError> {
+    let mut p = Parser {
+        tokens: lex(sql)?,
+        pos: 0,
+    };
+    p.expect_keyword("select")?;
+    let mut select = Vec::new();
+    loop {
+        select.push(p.select_item()?);
+        if !p.symbol(",") {
+            break;
+        }
+    }
+    p.expect_keyword("from")?;
+    let from = p.identifier()?;
+
+    let filter = if p.keyword("where") {
+        Some(p.expr()?)
+    } else {
+        None
+    };
+
+    let mut group_by = Vec::new();
+    if p.keyword("group") {
+        p.expect_keyword("by")?;
+        loop {
+            group_by.push(p.identifier()?);
+            if !p.symbol(",") {
+                break;
+            }
+        }
+    }
+
+    let mut order_by = Vec::new();
+    if p.keyword("order") {
+        p.expect_keyword("by")?;
+        loop {
+            let column = p.identifier()?;
+            let descending = p.keyword("desc") || {
+                p.keyword("asc"); // consume optional ASC
+                false
+            };
+            order_by.push(OrderKey { column, descending });
+            if !p.symbol(",") {
+                break;
+            }
+        }
+    }
+
+    let limit = if p.keyword("limit") {
+        match p.next() {
+            Some(Token::Number(n)) if n >= 0.0 => Some(n as usize),
+            other => return err(format!("expected LIMIT count, found {other:?}")),
+        }
+    } else {
+        None
+    };
+
+    if p.peek().is_some() {
+        return err(format!("trailing tokens after query: {:?}", p.peek()));
+    }
+    Ok(Query {
+        select,
+        from,
+        filter,
+        group_by,
+        order_by,
+        limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_select() {
+        let q = parse_query("SELECT name FROM docs").unwrap();
+        assert_eq!(q.from, "docs");
+        assert_eq!(
+            q.select,
+            vec![SelectItem::Field {
+                path: "name".into(),
+                alias: "name".into()
+            }]
+        );
+        assert!(q.filter.is_none());
+        assert!(!q.has_aggregates());
+    }
+
+    #[test]
+    fn parses_full_query() {
+        let q = parse_query(
+            "SELECT funded, COUNT(*) AS n, AVG(likes) \
+             FROM companies \
+             WHERE likes > 100 AND (funded = true OR name != 'x') \
+             GROUP BY funded ORDER BY n DESC, funded LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.select[1].alias(), "n");
+        assert_eq!(q.select[2].alias(), "avg_likes");
+        assert!(q.has_aggregates());
+        assert_eq!(q.group_by, vec!["funded"]);
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].descending);
+        assert!(!q.order_by[1].descending);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_dotted_paths_and_is_null() {
+        let q = parse_query(
+            "SELECT social.twitter_url FROM docs WHERE social.twitter_url IS NOT NULL",
+        )
+        .unwrap();
+        match &q.filter {
+            Some(Expr::IsNull { negated: true, expr }) => {
+                assert_eq!(**expr, Expr::Field("social.twitter_url".into()));
+            }
+            other => panic!("unexpected filter {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keyword_case_is_insensitive() {
+        assert!(parse_query("select a from t where a is null").is_ok());
+        assert!(parse_query("SeLeCt a FrOm t LiMiT 3").is_ok());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let q = parse_query("SELECT a FROM t WHERE name = 'O''Brien Labs'").unwrap();
+        match q.filter.unwrap() {
+            Expr::Compare { rhs, .. } => {
+                assert_eq!(*rhs, Expr::Literal(Literal::String("O'Brien Labs".into())));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("SELECT FROM t").is_err());
+        assert!(parse_query("SELECT a").is_err());
+        assert!(parse_query("SELECT a FROM t WHERE").is_err());
+        assert!(parse_query("SELECT a FROM t LIMIT x").is_err());
+        assert!(parse_query("SELECT a FROM t extra junk").is_err());
+        assert!(parse_query("SELECT a FROM t WHERE name = 'unterminated").is_err());
+        assert!(parse_query("SELECT COUNT( FROM t").is_err());
+    }
+
+    #[test]
+    fn not_and_precedence() {
+        let q = parse_query("SELECT a FROM t WHERE NOT a = 1 AND b = 2 OR c = 3").unwrap();
+        // ((NOT (a=1)) AND (b=2)) OR (c=3)
+        match q.filter.unwrap() {
+            Expr::Or(lhs, rhs) => {
+                assert!(matches!(*lhs, Expr::And(..)));
+                assert!(matches!(*rhs, Expr::Compare { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the SQL layer: the parser never panics, and execution
+//! semantics match a straightforward sequential interpreter.
+
+use crowdnet_dataflow::sql::{parse_query, query};
+use crowdnet_dataflow::{Dataset, ExecCtx};
+use crowdnet_json::{obj, Value};
+use proptest::prelude::*;
+
+fn docs(rows: &[(i64, bool)]) -> Dataset<Value> {
+    let values: Vec<Value> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, flag))| obj! {"i" => i, "x" => x, "flag" => flag})
+        .collect();
+    Dataset::from_vec(values, ExecCtx::new(3))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parser_never_panics(sql in "\\PC{0,120}") {
+        let _ = parse_query(&sql);
+    }
+
+    #[test]
+    fn parser_handles_keyword_ish_noise(
+        a in "[A-Za-z_\\.\\*\\(\\), ='<>0-9]{0,80}"
+    ) {
+        let _ = parse_query(&format!("SELECT {a} FROM t"));
+    }
+
+    #[test]
+    fn where_filter_matches_sequential_semantics(
+        rows in proptest::collection::vec((any::<i64>(), any::<bool>()), 0..60),
+        threshold in -100i64..100,
+    ) {
+        let data = docs(&rows);
+        let sql = format!("SELECT i FROM t WHERE x > {threshold} AND flag = true");
+        let table = query(&sql, data).unwrap();
+        let expected: Vec<u64> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, flag))| x > threshold && flag)
+            .map(|(i, _)| i as u64)
+            .collect();
+        let mut got: Vec<u64> = table.rows.iter().map(|r| r[0].as_u64().unwrap()).collect();
+        got.sort_unstable();
+        let mut expected = expected;
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn aggregates_match_sequential_semantics(
+        rows in proptest::collection::vec((-1000i64..1000, any::<bool>()), 1..60),
+    ) {
+        let data = docs(&rows);
+        let table = query(
+            "SELECT flag, COUNT(*) AS n, SUM(x) AS total FROM t GROUP BY flag ORDER BY flag",
+            data,
+        )
+        .unwrap();
+        for row in &table.rows {
+            let flag = row[0].as_bool().unwrap();
+            let n = row[1].as_u64().unwrap();
+            let total = row[2].as_f64().unwrap();
+            let matching: Vec<i64> = rows.iter().filter(|&&(_, f)| f == flag).map(|&(x, _)| x).collect();
+            prop_assert_eq!(n as usize, matching.len());
+            prop_assert!((total - matching.iter().sum::<i64>() as f64).abs() < 1e-6);
+        }
+        // Every present flag value has a row.
+        let distinct: std::collections::HashSet<bool> = rows.iter().map(|&(_, f)| f).collect();
+        prop_assert_eq!(table.rows.len(), distinct.len());
+    }
+
+    #[test]
+    fn limit_caps_rows(
+        rows in proptest::collection::vec((any::<i64>(), any::<bool>()), 0..40),
+        limit in 0usize..50,
+    ) {
+        let table = query(&format!("SELECT i FROM t LIMIT {limit}"), docs(&rows)).unwrap();
+        prop_assert!(table.rows.len() <= limit);
+        prop_assert!(table.rows.len() <= rows.len());
+    }
+}

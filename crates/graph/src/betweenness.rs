@@ -1,0 +1,232 @@
+//! Betweenness centrality (Brandes' algorithm, 2001).
+//!
+//! §7 of the paper: "our hypothesis is that graph characteristics such as
+//! centrality will be more useful for predicting the success in the case of
+//! the Twitter graphs, since a high measure of centrality would indicate the
+//! ability of a firm to bridge investors to potential customers."
+//! Betweenness is the bridging centrality par excellence; the prediction
+//! experiment offers it alongside PageRank.
+//!
+//! Unweighted Brandes: one BFS per source, accumulating pair-dependencies
+//! backwards, O(V·E). For large graphs use [`betweenness_sampled`], which
+//! runs Brandes from a random subset of sources and rescales — the standard
+//! unbiased estimator.
+
+use crate::projection::Projection;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Exact betweenness for every node (undirected, unweighted; edge weights of
+/// the projection are ignored for path counting).
+pub fn betweenness(projection: &Projection) -> Vec<f64> {
+    let n = projection.node_count();
+    brandes(projection, (0..n).collect())
+}
+
+/// Sampled betweenness from `samples` random sources, rescaled by `n/s` so
+/// the expectation matches the exact values. Deterministic in `seed`.
+pub fn betweenness_sampled(projection: &Projection, samples: usize, seed: u64) -> Vec<f64> {
+    let n = projection.node_count();
+    if samples >= n {
+        return betweenness(projection);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sources: Vec<usize> = crate::sample_indices(&mut rng, n, samples);
+    let mut scores = brandes(projection, sources);
+    let scale = n as f64 / samples.max(1) as f64;
+    for s in &mut scores {
+        *s *= scale;
+    }
+    scores
+}
+
+fn brandes(projection: &Projection, sources: Vec<usize>) -> Vec<f64> {
+    let n = projection.node_count();
+    let mut centrality = vec![0.0; n];
+    // Reused per-source buffers.
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![-1i32; n];
+    let mut delta = vec![0.0f64; n];
+    let mut predecessors: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+    for s in sources {
+        for i in 0..n {
+            sigma[i] = 0.0;
+            dist[i] = -1;
+            delta[i] = 0.0;
+            predecessors[i].clear();
+        }
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        let mut order: Vec<u32> = Vec::new();
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        queue.push_back(s as u32);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &(w, _) in &projection.adj[v as usize] {
+                if dist[w as usize] < 0 {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == dist[v as usize] + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                    predecessors[w as usize].push(v);
+                }
+            }
+        }
+        // Dependency accumulation in reverse BFS order.
+        for &w in order.iter().rev() {
+            for &v in &predecessors[w as usize] {
+                let share = sigma[v as usize] / sigma[w as usize].max(1e-300)
+                    * (1.0 + delta[w as usize]);
+                delta[v as usize] += share;
+            }
+            if w as usize != s {
+                centrality[w as usize] += delta[w as usize];
+            }
+        }
+    }
+    // Undirected graphs count each pair twice when all sources are used.
+    for c in &mut centrality {
+        *c /= 2.0;
+    }
+    centrality
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Projection {
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for i in 0..n - 1 {
+            adj[i].push(((i + 1) as u32, 1.0));
+            adj[i + 1].push((i as u32, 1.0));
+        }
+        Projection {
+            adj,
+            total_weight: (n - 1) as f64,
+        }
+    }
+
+    #[test]
+    fn path_graph_center_is_most_between() {
+        // Path 0-1-2-3-4: betweenness = (0, 3, 4, 3, 0).
+        let bc = betweenness(&path_graph(5));
+        assert_eq!(bc[0], 0.0);
+        assert_eq!(bc[4], 0.0);
+        assert!((bc[1] - 3.0).abs() < 1e-9, "{bc:?}");
+        assert!((bc[2] - 4.0).abs() < 1e-9, "{bc:?}");
+        assert!((bc[3] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_hub_carries_all_paths() {
+        // Star with hub 0 and 4 leaves: hub betweenness = C(4,2) = 6.
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); 5];
+        for leaf in 1..5u32 {
+            adj[0].push((leaf, 1.0));
+            adj[leaf as usize].push((0, 1.0));
+        }
+        let p = Projection {
+            adj,
+            total_weight: 4.0,
+        };
+        let bc = betweenness(&p);
+        assert!((bc[0] - 6.0).abs() < 1e-9, "{bc:?}");
+        for b in bc.iter().skip(1) {
+            assert_eq!(*b, 0.0);
+        }
+    }
+
+    #[test]
+    fn complete_graph_has_zero_betweenness() {
+        let n = 5;
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for (i, row) in adj.iter_mut().enumerate() {
+            for j in 0..n {
+                if i != j {
+                    row.push((j as u32, 1.0));
+                }
+            }
+        }
+        let p = Projection {
+            adj,
+            total_weight: 10.0,
+        };
+        for b in betweenness(&p) {
+            assert!(b.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multiple_shortest_paths_split_credit() {
+        // 4-cycle: two shortest paths between opposite corners, each middle
+        // node carries half a pair → betweenness 0.5 each.
+        let adj = vec![
+            vec![(1, 1.0), (3, 1.0)],
+            vec![(0, 1.0), (2, 1.0)],
+            vec![(1, 1.0), (3, 1.0)],
+            vec![(0, 1.0), (2, 1.0)],
+        ];
+        let p = Projection {
+            adj,
+            total_weight: 4.0,
+        };
+        let bc = betweenness(&p);
+        for b in bc {
+            assert!((b - 0.5).abs() < 1e-9, "{b}");
+        }
+    }
+
+    #[test]
+    fn sampled_estimator_tracks_exact() {
+        let p = path_graph(40);
+        let exact = betweenness(&p);
+        let sampled = betweenness_sampled(&p, 20, 7);
+        // The center should dominate in both.
+        let argmax = |v: &[f64]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        let e = argmax(&exact);
+        let s = argmax(&sampled);
+        assert!((e as i64 - s as i64).abs() <= 4, "exact max {e}, sampled max {s}");
+        // Full-sample request falls back to exact.
+        assert_eq!(betweenness_sampled(&p, 100, 1), exact);
+    }
+
+    #[test]
+    fn disconnected_components_are_independent() {
+        // Two disjoint paths of 3: centers get 1.0 each.
+        let adj = vec![
+            vec![(1, 1.0)],
+            vec![(0, 1.0), (2, 1.0)],
+            vec![(1, 1.0)],
+            vec![(4, 1.0)],
+            vec![(3, 1.0), (5, 1.0)],
+            vec![(4, 1.0)],
+        ];
+        let p = Projection {
+            adj,
+            total_weight: 4.0,
+        };
+        let bc = betweenness(&p);
+        assert!((bc[1] - 1.0).abs() < 1e-9);
+        assert!((bc[4] - 1.0).abs() < 1e-9);
+        assert_eq!(bc[0], 0.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let p = Projection {
+            adj: vec![],
+            total_weight: 0.0,
+        };
+        assert!(betweenness(&p).is_empty());
+    }
+}

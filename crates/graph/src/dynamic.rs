@@ -1,0 +1,359 @@
+//! Dynamic community tracking — the paper's §7 extension: "we also plan to
+//! understand the dynamics in terms of formation or disbanding of community
+//! clusters over time."
+//!
+//! Communities are tracked across snapshots in **stable member ids** (the
+//! dense per-snapshot graph indices differ between crawls). Consecutive
+//! covers are matched by F1 overlap; each pair of snapshots yields a list of
+//! [`CommunityEvent`]s:
+//!
+//! * `Continued` — a community matched one-to-one above the threshold,
+//! * `Split` — one community's members scattered over ≥ 2 successors,
+//! * `Merged` — ≥ 2 communities' members pooled into one successor,
+//! * `Born` — a successor with no matching predecessor,
+//! * `Dissolved` — a predecessor with no matching successor.
+
+use crate::eval::f1;
+use crate::fxhash::FxHashSet;
+
+/// A community expressed in stable (AngelList) investor ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdCommunity {
+    /// Member ids (stable across snapshots).
+    pub members: Vec<u32>,
+}
+
+/// What happened to communities between two consecutive snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommunityEvent {
+    /// Previous community `from` continued as next community `to`.
+    Continued {
+        /// Index in the previous cover.
+        from: usize,
+        /// Index in the next cover.
+        to: usize,
+    },
+    /// Previous community `from` split into the `to` communities.
+    Split {
+        /// Index in the previous cover.
+        from: usize,
+        /// Indices in the next cover.
+        to: Vec<usize>,
+    },
+    /// The `from` communities merged into next community `to`.
+    Merged {
+        /// Indices in the previous cover.
+        from: Vec<usize>,
+        /// Index in the next cover.
+        to: usize,
+    },
+    /// Next community `to` has no predecessor.
+    Born {
+        /// Index in the next cover.
+        to: usize,
+    },
+    /// Previous community `from` has no successor.
+    Dissolved {
+        /// Index in the previous cover.
+        from: usize,
+    },
+}
+
+/// Tracking thresholds.
+#[derive(Debug, Clone)]
+pub struct TrackConfig {
+    /// Minimum F1 for a one-to-one continuation.
+    pub continuation_f1: f64,
+    /// Minimum *bidirectional* containment for a continuation: both
+    /// communities must keep at least this fraction of their members in the
+    /// match. Without it, one half of a split out-scores the rest and the
+    /// split is misread as continuation-plus-birth.
+    pub continuation_containment: f64,
+    /// Minimum fraction of a community's members that must land in a
+    /// successor/predecessor for it to count as a split/merge part.
+    pub part_containment: f64,
+}
+
+impl Default for TrackConfig {
+    fn default() -> Self {
+        TrackConfig {
+            continuation_f1: 0.5,
+            continuation_containment: 0.6,
+            part_containment: 0.3,
+        }
+    }
+}
+
+fn containment(part: &[u32], whole: &FxHashSet<u32>) -> f64 {
+    if part.is_empty() {
+        return 0.0;
+    }
+    part.iter().filter(|m| whole.contains(m)).count() as f64 / part.len() as f64
+}
+
+/// Match two consecutive covers and classify the transitions.
+pub fn track(prev: &[IdCommunity], next: &[IdCommunity], cfg: &TrackConfig) -> Vec<CommunityEvent> {
+    let mut events = Vec::new();
+    let mut prev_matched = vec![false; prev.len()];
+    let mut next_matched = vec![false; next.len()];
+
+    // Pass 1: greedy one-to-one continuations by descending F1, gated on
+    // bidirectional containment (see `TrackConfig::continuation_containment`).
+    let all_next_sets: Vec<FxHashSet<u32>> = next
+        .iter()
+        .map(|c| c.members.iter().copied().collect())
+        .collect();
+    let all_prev_sets: Vec<FxHashSet<u32>> = prev
+        .iter()
+        .map(|c| c.members.iter().copied().collect())
+        .collect();
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, p) in prev.iter().enumerate() {
+        for (j, n) in next.iter().enumerate() {
+            let score = f1(&p.members, &n.members);
+            let kept_forward = containment(&p.members, &all_next_sets[j]);
+            let kept_backward = containment(&n.members, &all_prev_sets[i]);
+            if score >= cfg.continuation_f1
+                && kept_forward >= cfg.continuation_containment
+                && kept_backward >= cfg.continuation_containment
+            {
+                pairs.push((score, i, j));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+    for (_, i, j) in pairs {
+        if !prev_matched[i] && !next_matched[j] {
+            prev_matched[i] = true;
+            next_matched[j] = true;
+            events.push(CommunityEvent::Continued { from: i, to: j });
+        }
+    }
+
+    // Pass 2: splits — an unmatched prev whose members scatter into ≥2
+    // unmatched next communities.
+    let next_sets = all_next_sets;
+    let prev_sets = all_prev_sets;
+
+    for (i, p) in prev.iter().enumerate() {
+        if prev_matched[i] {
+            continue;
+        }
+        let parts: Vec<usize> = (0..next.len())
+            .filter(|&j| {
+                !next_matched[j]
+                    && containment(&next[j].members, &prev_sets[i]) >= cfg.part_containment
+            })
+            .collect();
+        if parts.len() >= 2
+            && parts
+                .iter()
+                .map(|&j| {
+                    p.members
+                        .iter()
+                        .filter(|m| next_sets[j].contains(m))
+                        .count()
+                })
+                .sum::<usize>() as f64
+                >= p.members.len() as f64 * cfg.part_containment
+        {
+            for &j in &parts {
+                next_matched[j] = true;
+            }
+            prev_matched[i] = true;
+            events.push(CommunityEvent::Split { from: i, to: parts });
+        }
+    }
+
+    // Pass 3: merges — an unmatched next fed by ≥2 unmatched prevs.
+    for (j, n) in next.iter().enumerate() {
+        if next_matched[j] {
+            continue;
+        }
+        let sources: Vec<usize> = (0..prev.len())
+            .filter(|&i| {
+                !prev_matched[i]
+                    && containment(&prev[i].members, &next_sets[j]) >= cfg.part_containment
+            })
+            .collect();
+        if sources.len() >= 2 {
+            for &i in &sources {
+                prev_matched[i] = true;
+            }
+            next_matched[j] = true;
+            let _ = n;
+            events.push(CommunityEvent::Merged { from: sources, to: j });
+        }
+    }
+
+    // Pass 4: births and dissolutions.
+    for (j, matched) in next_matched.iter().enumerate() {
+        if !matched {
+            events.push(CommunityEvent::Born { to: j });
+        }
+    }
+    for (i, matched) in prev_matched.iter().enumerate() {
+        if !matched {
+            events.push(CommunityEvent::Dissolved { from: i });
+        }
+    }
+    events
+}
+
+/// Multi-snapshot tracker: feed covers in time order, read events per step.
+#[derive(Debug, Default)]
+pub struct DynamicTracker {
+    snapshots: Vec<Vec<IdCommunity>>,
+    config: TrackConfig,
+}
+
+impl DynamicTracker {
+    /// Tracker with default thresholds.
+    pub fn new() -> DynamicTracker {
+        DynamicTracker::default()
+    }
+
+    /// Tracker with custom thresholds.
+    pub fn with_config(config: TrackConfig) -> DynamicTracker {
+        DynamicTracker {
+            snapshots: Vec::new(),
+            config,
+        }
+    }
+
+    /// Append the cover detected at the next snapshot.
+    pub fn push(&mut self, cover: Vec<IdCommunity>) {
+        self.snapshots.push(cover);
+    }
+
+    /// Number of snapshots pushed.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True if no snapshots were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Events for every consecutive snapshot pair.
+    pub fn events(&self) -> Vec<Vec<CommunityEvent>> {
+        self.snapshots
+            .windows(2)
+            .map(|w| track(&w[0], &w[1], &self.config))
+            .collect()
+    }
+
+    /// Count events of each kind across the whole timeline:
+    /// `(continued, split, merged, born, dissolved)`.
+    pub fn event_totals(&self) -> (usize, usize, usize, usize, usize) {
+        let mut totals = (0, 0, 0, 0, 0);
+        for step in self.events() {
+            for e in step {
+                match e {
+                    CommunityEvent::Continued { .. } => totals.0 += 1,
+                    CommunityEvent::Split { .. } => totals.1 += 1,
+                    CommunityEvent::Merged { .. } => totals.2 += 1,
+                    CommunityEvent::Born { .. } => totals.3 += 1,
+                    CommunityEvent::Dissolved { .. } => totals.4 += 1,
+                }
+            }
+        }
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(members: &[u32]) -> IdCommunity {
+        IdCommunity {
+            members: members.to_vec(),
+        }
+    }
+
+    #[test]
+    fn identical_covers_continue() {
+        let prev = vec![c(&[1, 2, 3]), c(&[4, 5, 6])];
+        let events = track(&prev, &prev, &TrackConfig::default());
+        let continued = events
+            .iter()
+            .filter(|e| matches!(e, CommunityEvent::Continued { .. }))
+            .count();
+        assert_eq!(continued, 2);
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn drifted_community_still_continues() {
+        let prev = vec![c(&[1, 2, 3, 4])];
+        let next = vec![c(&[2, 3, 4, 5])]; // one out, one in: F1 = 0.75
+        let events = track(&prev, &next, &TrackConfig::default());
+        assert_eq!(events, vec![CommunityEvent::Continued { from: 0, to: 0 }]);
+    }
+
+    #[test]
+    fn split_is_detected() {
+        let prev = vec![c(&[1, 2, 3, 4, 5, 6])];
+        let next = vec![c(&[1, 2, 3]), c(&[4, 5, 6])];
+        let events = track(&prev, &next, &TrackConfig::default());
+        assert!(events.iter().any(|e| matches!(
+            e,
+            CommunityEvent::Split { from: 0, to } if to.len() == 2
+        )), "events: {events:?}");
+    }
+
+    #[test]
+    fn merge_is_detected() {
+        let prev = vec![c(&[1, 2, 3]), c(&[4, 5, 6])];
+        let next = vec![c(&[1, 2, 3, 4, 5, 6])];
+        let events = track(&prev, &next, &TrackConfig::default());
+        assert!(events.iter().any(|e| matches!(
+            e,
+            CommunityEvent::Merged { from, to: 0 } if from.len() == 2
+        )), "events: {events:?}");
+    }
+
+    #[test]
+    fn birth_and_dissolution() {
+        let prev = vec![c(&[1, 2, 3])];
+        let next = vec![c(&[50, 51, 52])];
+        let events = track(&prev, &next, &TrackConfig::default());
+        assert!(events.contains(&CommunityEvent::Born { to: 0 }));
+        assert!(events.contains(&CommunityEvent::Dissolved { from: 0 }));
+    }
+
+    #[test]
+    fn tracker_accumulates_totals() {
+        let mut tracker = DynamicTracker::new();
+        tracker.push(vec![c(&[1, 2, 3]), c(&[7, 8, 9])]);
+        tracker.push(vec![c(&[1, 2, 3]), c(&[7, 8, 9])]); // 2 continuations
+        tracker.push(vec![c(&[1, 2, 3, 7, 8, 9])]); // 1 merge
+        let (cont, split, merged, born, dissolved) = tracker.event_totals();
+        assert_eq!(cont, 2);
+        assert_eq!(merged, 1);
+        assert_eq!(split, 0);
+        assert_eq!(born, 0);
+        assert_eq!(dissolved, 0);
+        assert_eq!(tracker.len(), 3);
+    }
+
+    #[test]
+    fn empty_covers_are_fine() {
+        let events = track(&[], &[c(&[1])], &TrackConfig::default());
+        assert_eq!(events, vec![CommunityEvent::Born { to: 0 }]);
+        let events = track(&[c(&[1])], &[], &TrackConfig::default());
+        assert_eq!(events, vec![CommunityEvent::Dissolved { from: 0 }]);
+    }
+
+    #[test]
+    fn best_continuation_wins_when_ambiguous() {
+        let prev = vec![c(&[1, 2, 3, 4])];
+        // Two candidates; the closer one must be chosen as continuation.
+        let next = vec![c(&[1, 2]), c(&[1, 2, 3, 4, 5])];
+        let events = track(&prev, &next, &TrackConfig::default());
+        assert!(events.contains(&CommunityEvent::Continued { from: 0, to: 1 }));
+        assert!(events.contains(&CommunityEvent::Born { to: 0 }));
+    }
+}

@@ -1,0 +1,117 @@
+//! Cover-recovery scoring for the detector ablation.
+//!
+//! Detected covers are compared against the generator's planted ground truth
+//! with the symmetric average best-match F1 — the standard score for
+//! (possibly overlapping) covers, used by the BigCLAM/CoDA papers
+//! themselves:
+//!
+//! ```text
+//! score = ½ · ( avg_{A∈detected} max_{B∈truth} F1(A,B)
+//!             + avg_{B∈truth}    max_{A∈detected} F1(A,B) )
+//! ```
+
+use crate::fxhash::FxHashSet;
+use crate::metrics::Cover;
+
+/// F1 overlap of two member sets.
+pub fn f1(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let sa: FxHashSet<u32> = a.iter().copied().collect();
+    let inter = b.iter().filter(|m| sa.contains(m)).count() as f64;
+    if inter == 0.0 {
+        0.0
+    } else {
+        2.0 * inter / (a.len() + b.len()) as f64
+    }
+}
+
+/// Symmetric average best-match F1 between two covers (0 = disjoint,
+/// 1 = identical). Empty covers score 0.
+pub fn best_match_f1(detected: &Cover, truth: &Cover) -> f64 {
+    if detected.is_empty() || truth.is_empty() {
+        return 0.0;
+    }
+    let forward: f64 = detected
+        .iter()
+        .map(|a| {
+            truth
+                .iter()
+                .map(|b| f1(&a.members, &b.members))
+                .fold(0.0f64, f64::max)
+        })
+        .sum::<f64>()
+        / detected.len() as f64;
+    let backward: f64 = truth
+        .iter()
+        .map(|b| {
+            detected
+                .iter()
+                .map(|a| f1(&a.members, &b.members))
+                .fold(0.0f64, f64::max)
+        })
+        .sum::<f64>()
+        / truth.len() as f64;
+    (forward + backward) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Community;
+
+    fn cover(groups: &[&[u32]]) -> Cover {
+        groups
+            .iter()
+            .map(|g| Community {
+                members: g.to_vec(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_covers_score_one() {
+        let c = cover(&[&[1, 2, 3], &[4, 5]]);
+        assert!((best_match_f1(&c, &c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_covers_score_zero() {
+        let a = cover(&[&[1, 2]]);
+        let b = cover(&[&[3, 4]]);
+        assert_eq!(best_match_f1(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_between() {
+        let truth = cover(&[&[1, 2, 3, 4]]);
+        let detected = cover(&[&[1, 2]]);
+        let score = best_match_f1(&detected, &truth);
+        // F1 = 2·2/(2+4) = 2/3 in both directions.
+        assert!((score - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = cover(&[&[1, 2, 3], &[7, 8]]);
+        let b = cover(&[&[2, 3, 4]]);
+        assert!((best_match_f1(&a, &b) - best_match_f1(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn splitting_a_true_community_costs_score() {
+        let truth = cover(&[&[1, 2, 3, 4, 5, 6]]);
+        let exact = cover(&[&[1, 2, 3, 4, 5, 6]]);
+        let split = cover(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert!(best_match_f1(&exact, &truth) > best_match_f1(&split, &truth));
+    }
+
+    #[test]
+    fn empty_covers() {
+        let c = cover(&[&[1]]);
+        assert_eq!(best_match_f1(&c, &Vec::new()), 0.0);
+        assert_eq!(best_match_f1(&Vec::new(), &c), 0.0);
+        assert_eq!(f1(&[], &[1]), 0.0);
+    }
+}

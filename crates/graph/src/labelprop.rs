@@ -1,0 +1,150 @@
+//! Label propagation baseline (Raghavan et al., 2007) on the bipartite
+//! expansion.
+//!
+//! Every node starts with its own label; each round, every node adopts the
+//! most frequent label among its neighbors (ties broken by smallest label,
+//! which keeps the algorithm deterministic). Converged label groups over the
+//! investor side are the detected communities. Fast and parameter-free, but
+//! blind to edge direction and prone to label avalanches — a useful contrast
+//! to CoDA in the ablation.
+
+use crate::bipartite::BipartiteGraph;
+use crate::fxhash::FxHashMap;
+use crate::metrics::{Community, Cover};
+
+/// Label propagation parameters.
+#[derive(Debug, Clone)]
+pub struct LabelPropConfig {
+    /// Maximum rounds before giving up on convergence.
+    pub max_rounds: usize,
+}
+
+impl Default for LabelPropConfig {
+    fn default() -> Self {
+        LabelPropConfig { max_rounds: 50 }
+    }
+}
+
+/// Run label propagation; returns the investor-side cover (disjoint).
+pub fn label_propagation(graph: &BipartiteGraph, cfg: &LabelPropConfig) -> Cover {
+    let nu = graph.investor_count();
+    let nc = graph.company_count();
+    let n = nu + nc;
+    // Undirected expansion adjacency.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for u in 0..nu as u32 {
+        for &ci in graph.companies_of(u) {
+            adj[u as usize].push(nu as u32 + ci);
+            adj[nu + ci as usize].push(u);
+        }
+    }
+
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..cfg.max_rounds {
+        let mut changed = false;
+        // Deterministic order; semi-asynchronous updates (standard LPA).
+        for i in 0..n {
+            if adj[i].is_empty() {
+                continue;
+            }
+            let mut counts: FxHashMap<u32, usize> = FxHashMap::default();
+            for &v in &adj[i] {
+                *counts.entry(labels[v as usize]).or_insert(0) += 1;
+            }
+            // Most frequent; ties → smallest label (determinism).
+            let best = counts
+                .iter()
+                .map(|(&l, &c)| (c, std::cmp::Reverse(l)))
+                .max()
+                .map(|(_, std::cmp::Reverse(l))| l)
+                .expect("non-empty counts");
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Group investors by final label.
+    let mut groups: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    for u in 0..nu as u32 {
+        groups.entry(labels[u as usize]).or_default().push(u);
+    }
+    let mut cover: Cover = groups
+        .into_values()
+        .map(|members| Community { members })
+        .collect();
+    cover.sort_by_key(|c| std::cmp::Reverse(c.members.len()));
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blocks() -> BipartiteGraph {
+        let mut edges = Vec::new();
+        for u in 0..10u32 {
+            for c in 100..106u32 {
+                edges.push((u, c));
+            }
+        }
+        for u in 20..30u32 {
+            for c in 200..206u32 {
+                edges.push((u, c));
+            }
+        }
+        BipartiteGraph::from_edges(edges)
+    }
+
+    #[test]
+    fn separates_disconnected_blocks() {
+        let g = two_blocks();
+        let cover = label_propagation(&g, &LabelPropConfig::default());
+        assert_eq!(cover.len(), 2);
+        assert_eq!(cover[0].members.len(), 10);
+        assert_eq!(cover[1].members.len(), 10);
+        // No investor in both (disjoint partition).
+        let all: Vec<u32> = cover.iter().flat_map(|c| c.members.iter().copied()).collect();
+        let set: std::collections::HashSet<u32> = all.iter().copied().collect();
+        assert_eq!(all.len(), set.len());
+    }
+
+    #[test]
+    fn bridged_blocks_may_merge_but_never_crash() {
+        let mut edges = Vec::new();
+        for u in 0..10u32 {
+            for c in 100..106u32 {
+                edges.push((u, c));
+            }
+        }
+        for u in 20..30u32 {
+            for c in 200..206u32 {
+                edges.push((u, c));
+            }
+        }
+        edges.push((0, 200)); // bridge
+        let g = BipartiteGraph::from_edges(edges);
+        let cover = label_propagation(&g, &LabelPropConfig::default());
+        let total: usize = cover.iter().map(|c| c.members.len()).sum();
+        assert_eq!(total, g.investor_count());
+        assert!(cover.len() <= 2);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = two_blocks();
+        let a = label_propagation(&g, &LabelPropConfig::default());
+        let b = label_propagation(&g, &LabelPropConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_cover() {
+        let g = BipartiteGraph::from_edges(Vec::<(u32, u32)>::new());
+        assert!(label_propagation(&g, &LabelPropConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! Louvain modularity maximization (Blondel et al., 2008) on the weighted
+//! investor projection — the classic undirected baseline.
+//!
+//! Standard two-phase loop: (1) local moving — greedily move nodes to the
+//! neighboring community with the best modularity gain until no move helps;
+//! (2) aggregation — collapse communities into super-nodes and repeat. Node
+//! order is fixed, so the algorithm is deterministic.
+
+use crate::fxhash::FxHashMap;
+use crate::metrics::{Community, Cover};
+use crate::projection::Projection;
+
+/// Louvain parameters.
+#[derive(Debug, Clone)]
+pub struct LouvainConfig {
+    /// Max local-moving sweeps per level.
+    pub max_sweeps: usize,
+    /// Max aggregation levels.
+    pub max_levels: usize,
+    /// Minimum modularity gain to keep iterating a level.
+    pub min_gain: f64,
+}
+
+impl Default for LouvainConfig {
+    fn default() -> Self {
+        LouvainConfig {
+            max_sweeps: 20,
+            max_levels: 8,
+            min_gain: 1e-7,
+        }
+    }
+}
+
+/// Weighted graph in aggregation form.
+struct Level {
+    adj: Vec<Vec<(u32, f64)>>,
+    /// Self-loop weight per node (intra-community weight after aggregation).
+    self_loops: Vec<f64>,
+    total_weight: f64, // m (undirected edges counted once, incl. self loops)
+}
+
+impl Level {
+    fn degree(&self, i: usize) -> f64 {
+        self.adj[i].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self.self_loops[i]
+    }
+}
+
+/// Run Louvain; returns a disjoint investor cover.
+pub fn louvain(projection: &Projection, cfg: &LouvainConfig) -> Cover {
+    let n = projection.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut level = Level {
+        adj: projection.adj.clone(),
+        self_loops: vec![0.0; n],
+        total_weight: projection.total_weight,
+    };
+    // membership[node_at_level_0] → community id chain.
+    let mut assignment: Vec<usize> = (0..n).collect();
+
+    for _ in 0..cfg.max_levels {
+        let (communities, improved) = local_moving(&level, cfg);
+        if !improved {
+            break;
+        }
+        // Renumber communities densely.
+        let mut renumber: FxHashMap<usize, usize> = FxHashMap::default();
+        for &c in &communities {
+            let next = renumber.len();
+            renumber.entry(c).or_insert(next);
+        }
+        let communities: Vec<usize> = communities.iter().map(|c| renumber[c]).collect();
+        // Map the level-0 assignment through this level's result.
+        for slot in assignment.iter_mut() {
+            *slot = communities[*slot];
+        }
+        let n_comms = renumber.len();
+        if n_comms == level.adj.len() {
+            break; // nothing merged
+        }
+        level = aggregate(&level, &communities, n_comms);
+    }
+
+    let mut groups: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
+    for (node, &comm) in assignment.iter().enumerate() {
+        groups.entry(comm).or_default().push(node as u32);
+    }
+    let mut cover: Cover = groups
+        .into_values()
+        .map(|members| Community { members })
+        .collect();
+    cover.sort_by_key(|c| std::cmp::Reverse(c.members.len()));
+    cover
+}
+
+/// Phase 1: greedy local moving. Returns (community per node, any_move).
+fn local_moving(level: &Level, cfg: &LouvainConfig) -> (Vec<usize>, bool) {
+    let n = level.adj.len();
+    let m = level.total_weight.max(1e-12);
+    let mut community: Vec<usize> = (0..n).collect();
+    // Σ of degrees per community.
+    let mut comm_degree: Vec<f64> = (0..n).map(|i| level.degree(i)).collect();
+    let node_degree: Vec<f64> = comm_degree.clone();
+    let mut any_move = false;
+
+    for _ in 0..cfg.max_sweeps {
+        let mut moved = false;
+        for i in 0..n {
+            if level.adj[i].is_empty() {
+                continue;
+            }
+            let current = community[i];
+            // Weight from i into each neighboring community.
+            let mut to_comm: FxHashMap<usize, f64> = FxHashMap::default();
+            for &(j, w) in &level.adj[i] {
+                *to_comm.entry(community[j as usize]).or_insert(0.0) += w;
+            }
+            let k_i = node_degree[i];
+            comm_degree[current] -= k_i;
+            let w_current = to_comm.get(&current).copied().unwrap_or(0.0);
+            let base_gain = w_current - comm_degree[current] * k_i / (2.0 * m);
+            let mut best = (current, base_gain);
+            for (&c, &w_ic) in &to_comm {
+                if c == current {
+                    continue;
+                }
+                let gain = w_ic - comm_degree[c] * k_i / (2.0 * m);
+                if gain > best.1 + cfg.min_gain {
+                    best = (c, gain);
+                }
+            }
+            community[i] = best.0;
+            comm_degree[best.0] += k_i;
+            if best.0 != current {
+                moved = true;
+                any_move = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    (community, any_move)
+}
+
+/// Phase 2: collapse communities into super-nodes.
+fn aggregate(level: &Level, communities: &[usize], n_comms: usize) -> Level {
+    let mut self_loops = vec![0.0; n_comms];
+    let mut between: Vec<FxHashMap<u32, f64>> = vec![FxHashMap::default(); n_comms];
+    for i in 0..level.adj.len() {
+        let ci = communities[i];
+        self_loops[ci] += level.self_loops[i];
+        for &(j, w) in &level.adj[i] {
+            let cj = communities[j as usize];
+            if ci == cj {
+                // Each intra edge visited from both endpoints: add half.
+                self_loops[ci] += w / 2.0;
+            } else {
+                *between[ci].entry(cj as u32).or_insert(0.0) += w;
+            }
+        }
+    }
+    let total_weight = level.total_weight;
+    let adj: Vec<Vec<(u32, f64)>> = between
+        .into_iter()
+        .map(|m| {
+            let mut v: Vec<(u32, f64)> = m.into_iter().collect();
+            v.sort_unstable_by_key(|&(j, _)| j);
+            v
+        })
+        .collect();
+    Level {
+        adj,
+        self_loops,
+        total_weight,
+    }
+}
+
+/// Modularity of a disjoint cover over a projection (for tests/ablation).
+pub fn modularity(projection: &Projection, cover: &Cover) -> f64 {
+    let n = projection.node_count();
+    let mut community = vec![usize::MAX; n];
+    for (ci, c) in cover.iter().enumerate() {
+        for &m in &c.members {
+            community[m as usize] = ci;
+        }
+    }
+    let m = projection.total_weight.max(1e-12);
+    let mut intra = 0.0;
+    let mut comm_degree: FxHashMap<usize, f64> = FxHashMap::default();
+    for i in 0..n {
+        let ci = community[i];
+        *comm_degree.entry(ci).or_insert(0.0) += projection.degree(i as u32);
+        for &(j, w) in &projection.adj[i] {
+            if community[j as usize] == ci {
+                intra += w; // counted twice
+            }
+        }
+    }
+    let mut q = intra / (2.0 * m);
+    for (_, d) in comm_degree {
+        q -= (d / (2.0 * m)).powi(2);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::BipartiteGraph;
+
+    fn two_block_projection() -> Projection {
+        let mut edges = Vec::new();
+        for u in 0..8u32 {
+            for c in 100..105u32 {
+                edges.push((u, c));
+            }
+        }
+        for u in 20..28u32 {
+            for c in 200..205u32 {
+                edges.push((u, c));
+            }
+        }
+        let g = BipartiteGraph::from_edges(edges);
+        Projection::from_bipartite(&g, 100)
+    }
+
+    #[test]
+    fn splits_two_cliques() {
+        let p = two_block_projection();
+        let cover = louvain(&p, &LouvainConfig::default());
+        assert_eq!(cover.len(), 2);
+        assert_eq!(cover[0].members.len(), 8);
+        assert_eq!(cover[1].members.len(), 8);
+    }
+
+    #[test]
+    fn modularity_is_high_for_true_split_and_low_for_merged() {
+        let p = two_block_projection();
+        let good = louvain(&p, &LouvainConfig::default());
+        let q_good = modularity(&p, &good);
+        let merged = vec![Community {
+            members: (0..p.node_count() as u32).collect(),
+        }];
+        let q_merged = modularity(&p, &merged);
+        assert!(q_good > 0.4, "q_good = {q_good}");
+        assert!(q_good > q_merged);
+        assert!(q_merged.abs() < 1e-9); // one community ⇒ Q = 0
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = two_block_projection();
+        let a = louvain(&p, &LouvainConfig::default());
+        let b = louvain(&p, &LouvainConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_projection() {
+        let p = Projection {
+            adj: vec![],
+            total_weight: 0.0,
+        };
+        assert!(louvain(&p, &LouvainConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_form_singletons() {
+        let p = Projection {
+            adj: vec![vec![], vec![(2, 1.0)], vec![(1, 1.0)]],
+            total_weight: 1.0,
+        };
+        let cover = louvain(&p, &LouvainConfig::default());
+        let total: usize = cover.iter().map(|c| c.members.len()).sum();
+        assert_eq!(total, 3);
+        assert!(cover.iter().any(|c| c.members.len() == 2));
+    }
+}

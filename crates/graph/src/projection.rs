@@ -1,0 +1,137 @@
+//! Investor co-investment projection.
+//!
+//! The undirected baselines (Louvain, SBM, BigCLAM-on-projection) need a
+//! one-mode graph: investors connected by how many companies they co-funded.
+//! The projection of a bipartite graph `G` has an edge `(i, j)` with weight
+//! `|companies(i) ∩ companies(j)|` for every co-investing pair.
+//!
+//! Companies with very many investors create quadratic clique blowups and
+//! carry little community signal (everyone co-invests with everyone through
+//! a mega-deal), so companies above `max_company_degree` are skipped — the
+//! usual hub-capping rule for bipartite projections.
+
+use crate::bipartite::BipartiteGraph;
+use crate::fxhash::FxHashMap;
+
+/// A weighted undirected investor graph.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    /// node → sorted (neighbor, weight) pairs.
+    pub adj: Vec<Vec<(u32, f64)>>,
+    /// Sum of all edge weights (each undirected edge counted once).
+    pub total_weight: f64,
+}
+
+impl Projection {
+    /// Project `graph` onto investors, skipping companies with more than
+    /// `max_company_degree` investors.
+    pub fn from_bipartite(graph: &BipartiteGraph, max_company_degree: usize) -> Projection {
+        let n = graph.investor_count();
+        let mut weights: Vec<FxHashMap<u32, f64>> = vec![FxHashMap::default(); n];
+        for c in 0..graph.company_count() as u32 {
+            let investors = graph.investors_of(c);
+            if investors.len() < 2 || investors.len() > max_company_degree {
+                continue;
+            }
+            for (a_pos, &a) in investors.iter().enumerate() {
+                for &b in &investors[a_pos + 1..] {
+                    *weights[a as usize].entry(b).or_insert(0.0) += 1.0;
+                    *weights[b as usize].entry(a).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        let mut total = 0.0;
+        let adj: Vec<Vec<(u32, f64)>> = weights
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(u32, f64)> = m.into_iter().collect();
+                v.sort_unstable_by_key(|&(n, _)| n);
+                total += v.iter().map(|&(_, w)| w).sum::<f64>();
+                v
+            })
+            .collect();
+        Projection {
+            adj,
+            total_weight: total / 2.0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Weighted degree of a node.
+    pub fn degree(&self, i: u32) -> f64 {
+        self.adj[i as usize].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> BipartiteGraph {
+        // Investors 0..3: 0 and 1 co-invest twice; 2 co-invests once with 1.
+        BipartiteGraph::from_edges(vec![
+            (0, 100),
+            (1, 100),
+            (0, 101),
+            (1, 101),
+            (1, 102),
+            (2, 102),
+            (3, 103), // isolated in the projection
+        ])
+    }
+
+    #[test]
+    fn weights_count_shared_companies() {
+        let p = Projection::from_bipartite(&toy(), 100);
+        let w01 = p.adj[0].iter().find(|&&(n, _)| n == 1).unwrap().1;
+        assert_eq!(w01, 2.0);
+        let w12 = p.adj[1].iter().find(|&&(n, _)| n == 2).unwrap().1;
+        assert_eq!(w12, 1.0);
+        assert!(p.adj[3].is_empty());
+        assert_eq!(p.total_weight, 3.0);
+        assert_eq!(p.edge_count(), 2);
+    }
+
+    #[test]
+    fn projection_is_symmetric() {
+        let p = Projection::from_bipartite(&toy(), 100);
+        for (i, neighbors) in p.adj.iter().enumerate() {
+            for &(j, w) in neighbors {
+                let back = p.adj[j as usize]
+                    .iter()
+                    .find(|&&(n, _)| n == i as u32)
+                    .map(|&(_, w)| w);
+                assert_eq!(back, Some(w));
+            }
+        }
+    }
+
+    #[test]
+    fn hub_companies_are_skipped() {
+        // One mega-company with 10 investors.
+        let mut edges: Vec<(u32, u32)> = (0..10).map(|i| (i, 500)).collect();
+        edges.push((0, 501));
+        edges.push((1, 501));
+        let g = BipartiteGraph::from_edges(edges);
+        let capped = Projection::from_bipartite(&g, 5);
+        // Only the small company contributes a single pair.
+        assert_eq!(capped.edge_count(), 1);
+        let full = Projection::from_bipartite(&g, 100);
+        assert_eq!(full.edge_count(), 10 * 9 / 2 + 1 - 1); // pair (0,1) merges weights
+    }
+
+    #[test]
+    fn degree_sums_weights() {
+        let p = Projection::from_bipartite(&toy(), 100);
+        assert_eq!(p.degree(1), 3.0); // 2 with investor 0, 1 with investor 2
+    }
+}

@@ -1,0 +1,287 @@
+//! Stochastic block model inference — the paper's §7 future-work algorithm
+//! ("we will perform community inference using stochastic block models …
+//! which outputs an assignment of nodes to communities based on the
+//! adjacency matrix of the graph").
+//!
+//! A Bernoulli SBM over the binarized investor projection, fit by greedy
+//! profile-likelihood ascent (Kernighan–Lin-style single-node moves): each
+//! pass tries moving every node to every block and keeps the best
+//! improvement, tracked incrementally through per-node block-edge counts.
+
+use crate::fxhash::FxHashMap;
+use crate::metrics::{Community, Cover};
+use crate::projection::Projection;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SBM parameters.
+#[derive(Debug, Clone)]
+pub struct SbmConfig {
+    /// Number of blocks `K`.
+    pub blocks: usize,
+    /// Maximum greedy passes.
+    pub max_passes: usize,
+    /// RNG seed (initial assignment).
+    pub seed: u64,
+    /// Independent random restarts; the best final likelihood wins. Greedy
+    /// single-node moves have symmetric local optima (a half/half split of
+    /// two cliques can be unescapable one move at a time), so restarts are
+    /// load-bearing, not a nicety.
+    pub restarts: usize,
+}
+
+impl Default for SbmConfig {
+    fn default() -> Self {
+        SbmConfig {
+            blocks: 8,
+            max_passes: 15,
+            seed: 11,
+            restarts: 8,
+        }
+    }
+}
+
+/// A fitted block assignment.
+#[derive(Debug, Clone)]
+pub struct Sbm {
+    /// Block of every node.
+    pub assignment: Vec<usize>,
+    /// Profile log-likelihood after each pass.
+    pub ll_trace: Vec<f64>,
+}
+
+/// Profile log-likelihood of a block partition of an undirected simple
+/// graph: `Σ_{r≤s} [ m_rs ln(m_rs / n_rs) + (n_rs − m_rs) ln(1 − m_rs/n_rs) ]`
+/// where `n_rs` is the number of possible pairs between blocks r and s.
+fn profile_ll(edges_between: &[Vec<f64>], sizes: &[usize]) -> f64 {
+    let k = sizes.len();
+    let mut ll = 0.0;
+    for r in 0..k {
+        for s in r..k {
+            let m = edges_between[r][s];
+            let pairs = if r == s {
+                sizes[r] as f64 * (sizes[r] as f64 - 1.0) / 2.0
+            } else {
+                sizes[r] as f64 * sizes[s] as f64
+            };
+            // m = 0 contributes pairs·ln(1) = 0; empty blocks contribute 0.
+            if pairs <= 0.0 || m <= 0.0 {
+                continue;
+            }
+            // Equivalent to xlnx(m) + xlnx(pairs − m) − xlnx(pairs).
+            let p = (m / pairs).min(1.0 - 1e-12);
+            ll += m * p.ln() + (pairs - m) * (1.0 - p).ln();
+        }
+    }
+    ll
+}
+
+/// Fit the SBM to a binarized projection: best of `restarts` greedy runs.
+pub fn fit(projection: &Projection, cfg: &SbmConfig) -> Sbm {
+    let mut best: Option<Sbm> = None;
+    for r in 0..cfg.restarts.max(1) {
+        let run = fit_once(projection, cfg, cfg.seed.wrapping_add(r as u64 * 0x9E37));
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                run.ll_trace.last().copied().unwrap_or(f64::NEG_INFINITY)
+                    > b.ll_trace.last().copied().unwrap_or(f64::NEG_INFINITY)
+            }
+        };
+        if better {
+            best = Some(run);
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+fn fit_once(projection: &Projection, cfg: &SbmConfig, seed: u64) -> Sbm {
+    let n = projection.node_count();
+    let k = cfg.blocks.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut assignment: Vec<usize> = (0..n).map(|_| rng.random_range(0..k)).collect();
+
+    // Block sizes and inter-block edge counts (binarized: weight ≥ 1 ⇒ edge).
+    let recount = |assignment: &[usize]| {
+        let mut sizes = vec![0usize; k];
+        for &a in assignment {
+            sizes[a] += 1;
+        }
+        let mut between = vec![vec![0.0; k]; k];
+        for i in 0..n {
+            for &(j, _) in &projection.adj[i] {
+                if (j as usize) > i {
+                    let (r, s) = (assignment[i], assignment[j as usize]);
+                    let (r, s) = if r <= s { (r, s) } else { (s, r) };
+                    between[r][s] += 1.0;
+                }
+            }
+        }
+        (sizes, between)
+    };
+
+    let (mut sizes, mut between) = recount(&assignment);
+    let mut ll_trace = vec![profile_ll(&between, &sizes)];
+
+    for _ in 0..cfg.max_passes {
+        let mut moved = false;
+        for i in 0..n {
+            let current = assignment[i];
+            // Edges from i to each block.
+            let mut to_block = vec![0.0; k];
+            for &(j, _) in &projection.adj[i] {
+                to_block[assignment[j as usize]] += 1.0;
+            }
+            let mut best = (current, profile_ll(&between, &sizes));
+            for cand in 0..k {
+                if cand == current {
+                    continue;
+                }
+                apply_move(&mut sizes, &mut between, i, current, cand, &to_block);
+                let ll = profile_ll(&between, &sizes);
+                if ll > best.1 + 1e-9 {
+                    best = (cand, ll);
+                }
+                apply_move(&mut sizes, &mut between, i, cand, current, &to_block);
+            }
+            if best.0 != current {
+                apply_move(&mut sizes, &mut between, i, current, best.0, &to_block);
+                assignment[i] = best.0;
+                moved = true;
+            }
+        }
+        ll_trace.push(profile_ll(&between, &sizes));
+        if !moved {
+            break;
+        }
+    }
+
+    Sbm {
+        assignment,
+        ll_trace,
+    }
+}
+
+/// Move node `i` from block `from` to block `to`, updating counts.
+/// `to_block[b]` = number of i's edges into block b (under the *current*
+/// assignment of all other nodes, which the move does not change).
+fn apply_move(
+    sizes: &mut [usize],
+    between: &mut [Vec<f64>],
+    _i: usize,
+    from: usize,
+    to: usize,
+    to_block: &[f64],
+) {
+    sizes[from] -= 1;
+    sizes[to] += 1;
+    for (b, &cnt) in to_block.iter().enumerate() {
+        if cnt == 0.0 {
+            continue;
+        }
+        // Remove i's edges from (from, b) and add to (to, b). Note edges to
+        // nodes in `from` and `to` themselves are handled by the same rule
+        // because to_block was computed before the size change.
+        let (r1, s1) = if from <= b { (from, b) } else { (b, from) };
+        between[r1][s1] -= cnt;
+        let (r2, s2) = if to <= b { (to, b) } else { (b, to) };
+        between[r2][s2] += cnt;
+    }
+}
+
+/// Convert an assignment into a cover (blocks as communities), dropping
+/// empty blocks.
+pub fn cover_of(sbm: &Sbm, blocks: usize) -> Cover {
+    let mut groups: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
+    for (node, &b) in sbm.assignment.iter().enumerate() {
+        groups.entry(b).or_default().push(node as u32);
+    }
+    let mut cover: Cover = groups
+        .into_values()
+        .map(|members| Community { members })
+        .collect();
+    cover.sort_by_key(|c| std::cmp::Reverse(c.members.len()));
+    cover.truncate(blocks);
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::BipartiteGraph;
+
+    fn two_block_projection() -> Projection {
+        let mut edges = Vec::new();
+        for u in 0..10u32 {
+            for c in 100..106u32 {
+                edges.push((u, c));
+            }
+        }
+        for u in 20..30u32 {
+            for c in 200..206u32 {
+                edges.push((u, c));
+            }
+        }
+        let g = BipartiteGraph::from_edges(edges);
+        Projection::from_bipartite(&g, 100)
+    }
+
+    #[test]
+    fn ll_is_nondecreasing() {
+        let p = two_block_projection();
+        let model = fit(&p, &SbmConfig { blocks: 2, ..Default::default() });
+        for w in model.ll_trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "LL fell: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn recovers_two_cliques() {
+        let p = two_block_projection();
+        let model = fit(&p, &SbmConfig { blocks: 2, seed: 5, ..Default::default() });
+        let cover = cover_of(&model, 2);
+        assert_eq!(cover.len(), 2);
+        // Each block should be (nearly) pure: members of one clique.
+        for c in &cover {
+            let in_first = c.members.iter().filter(|&&m| m < 10).count();
+            let purity =
+                in_first.max(c.members.len() - in_first) as f64 / c.members.len() as f64;
+            assert!(purity > 0.9, "impure block: {purity}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = two_block_projection();
+        let a = fit(&p, &SbmConfig::default());
+        let b = fit(&p, &SbmConfig::default());
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn profile_ll_prefers_planted_partition() {
+        let p = two_block_projection();
+        let n = p.node_count();
+        let planted: Vec<usize> = (0..n).map(|i| usize::from(i >= 10)).collect();
+        let merged: Vec<usize> = vec![0; n];
+        let count = |a: &[usize]| {
+            let mut sizes = vec![0usize; 2];
+            for &x in a {
+                sizes[x] += 1;
+            }
+            let mut between = vec![vec![0.0; 2]; 2];
+            for i in 0..n {
+                for &(j, _) in &p.adj[i] {
+                    if (j as usize) > i {
+                        let (r, s) = (a[i].min(a[j as usize]), a[i].max(a[j as usize]));
+                        between[r][s] += 1.0;
+                    }
+                }
+            }
+            (sizes, between)
+        };
+        let (s1, b1) = count(&planted);
+        let (s2, b2) = count(&merged);
+        assert!(profile_ll(&b1, &s1) > profile_ll(&b2, &s2));
+    }
+}

@@ -1,0 +1,48 @@
+//! # crowdnet-json
+//!
+//! A self-contained JSON implementation used as the wire and storage format of
+//! the CrowdNet platform.
+//!
+//! The paper stores every crawled record "in HDFS as files in the JSON
+//! format"; the simulated web APIs in `crowdnet-socialsim` likewise return
+//! JSON documents, and `crowdnet-store` persists JSON lines. This crate
+//! provides the full round trip:
+//!
+//! * [`Value`] — the document model (null / bool / number / string / array /
+//!   insertion-ordered object),
+//! * [`parse`] / [`Value::parse`] — an RFC 8259 recursive-descent parser with
+//!   precise error positions and a recursion-depth guard,
+//! * [`Value::to_compact`] / [`Value::to_pretty`] — serializers,
+//! * [`Value::path`] — dotted-path extraction (`profile.twitter_url`,
+//!   `rounds[0].raised_usd`) used by the analytics layer,
+//! * [`obj!`] / [`arr!`] — literal construction macros used throughout the
+//!   simulator.
+//!
+//! ```
+//! use crowdnet_json::{obj, arr, Value};
+//!
+//! let doc = obj! {
+//!     "name" => "Planetary Resources",
+//!     "follower_count" => 12_842,
+//!     "fundraising" => true,
+//!     "social" => obj! { "twitter_url" => "https://twitter.com/planetaryrsrcs" },
+//!     "tags" => arr!["space", "mining"],
+//! };
+//! let text = doc.to_compact();
+//! let back = Value::parse(&text).unwrap();
+//! assert_eq!(doc, back);
+//! assert_eq!(back.path("social.twitter_url").and_then(Value::as_str),
+//!            Some("https://twitter.com/planetaryrsrcs"));
+//! ```
+
+pub mod number;
+pub mod object;
+pub mod parse;
+pub mod path;
+pub mod ser;
+pub mod value;
+
+pub use number::Number;
+pub use object::Object;
+pub use parse::{parse, ParseError, ParseErrorKind};
+pub use value::Value;

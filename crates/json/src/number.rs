@@ -1,0 +1,233 @@
+//! JSON numbers.
+//!
+//! JSON does not distinguish integer from floating-point lexically, but the
+//! platform cares: identifiers (AngelList user ids), counters (likes, tweets)
+//! and money amounts must survive a round trip without precision loss, so
+//! integers in the i64/u64 range are kept exact rather than coerced to `f64`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact-when-possible JSON number.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A signed integer that fits in `i64`.
+    Int(i64),
+    /// An unsigned integer in `(i64::MAX, u64::MAX]`.
+    UInt(u64),
+    /// Everything else (fractions, exponents, out-of-range magnitudes).
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossy for 64-bit integers beyond 2^53).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::Int(i) => i as f64,
+            Number::UInt(u) => u as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::Int(i) => Some(i),
+            Number::UInt(u) => i64::try_from(u).ok(),
+            Number::Float(f) => {
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+                    Some(f as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer in range.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::Int(i) => u64::try_from(i).ok(),
+            Number::UInt(u) => Some(u),
+            Number::Float(f) => {
+                if f.fract() == 0.0 && f >= 0.0 && f <= u64::MAX as f64 {
+                    Some(f as u64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// True if the number is stored exactly as an integer.
+    pub fn is_integer(self) -> bool {
+        matches!(self, Number::Int(_) | Number::UInt(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (*self, *other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            (Number::UInt(a), Number::UInt(b)) => a == b,
+            (Number::Int(a), Number::UInt(b)) | (Number::UInt(b), Number::Int(a)) => {
+                u64::try_from(a).map(|a| a == b).unwrap_or(false)
+            }
+            // Mixed int/float comparisons go through f64; documents produced
+            // by the pipeline never rely on >2^53 integer/float equality.
+            (a, b) => a.as_f64() == b.as_f64(),
+        }
+    }
+}
+
+impl PartialOrd for Number {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (*self, *other) {
+            (Number::Int(a), Number::Int(b)) => Some(a.cmp(&b)),
+            (Number::UInt(a), Number::UInt(b)) => Some(a.cmp(&b)),
+            (a, b) => a.as_f64().partial_cmp(&b.as_f64()),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::UInt(u) => write!(f, "{u}"),
+            Number::Float(x) => {
+                if x.is_finite() {
+                    // `{}` on f64 always produces a valid JSON number for
+                    // finite values (Rust never prints `inf`-style text here).
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        // Keep a trailing ".0" so the value re-parses as float.
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                } else {
+                    // JSON has no NaN/Infinity; serialize as null-adjacent 0.
+                    // The platform never stores non-finite numbers (guarded in
+                    // Value::from), this is a defensive fallback.
+                    write!(f, "0.0")
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Self {
+        Number::Int(v)
+    }
+}
+
+impl From<u64> for Number {
+    fn from(v: u64) -> Self {
+        match i64::try_from(v) {
+            Ok(i) => Number::Int(i),
+            Err(_) => Number::UInt(v),
+        }
+    }
+}
+
+impl From<i32> for Number {
+    fn from(v: i32) -> Self {
+        Number::Int(v as i64)
+    }
+}
+
+impl From<u32> for Number {
+    fn from(v: u32) -> Self {
+        Number::Int(v as i64)
+    }
+}
+
+impl From<usize> for Number {
+    fn from(v: usize) -> Self {
+        Number::from(v as u64)
+    }
+}
+
+impl From<f64> for Number {
+    fn from(v: f64) -> Self {
+        Number::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip_accessors() {
+        let n = Number::from(42i64);
+        assert_eq!(n.as_i64(), Some(42));
+        assert_eq!(n.as_u64(), Some(42));
+        assert_eq!(n.as_f64(), 42.0);
+        assert!(n.is_integer());
+    }
+
+    #[test]
+    fn negative_int_has_no_u64() {
+        let n = Number::from(-3i64);
+        assert_eq!(n.as_i64(), Some(-3));
+        assert_eq!(n.as_u64(), None);
+    }
+
+    #[test]
+    fn large_u64_is_preserved() {
+        let big = u64::MAX - 5;
+        let n = Number::from(big);
+        assert!(matches!(n, Number::UInt(_)));
+        assert_eq!(n.as_u64(), Some(big));
+        assert_eq!(n.as_i64(), None);
+    }
+
+    #[test]
+    fn small_u64_normalizes_to_int() {
+        assert!(matches!(Number::from(7u64), Number::Int(7)));
+    }
+
+    #[test]
+    fn float_integral_accessors() {
+        let n = Number::from(8.0);
+        assert_eq!(n.as_i64(), Some(8));
+        assert_eq!(n.as_u64(), Some(8));
+        assert!(!n.is_integer());
+    }
+
+    #[test]
+    fn float_fractional_has_no_int() {
+        assert_eq!(Number::from(1.5).as_i64(), None);
+        assert_eq!(Number::from(1.5).as_u64(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Number::Int(-12).to_string(), "-12");
+        assert_eq!(Number::UInt(u64::MAX).to_string(), u64::MAX.to_string());
+        assert_eq!(Number::Float(2.5).to_string(), "2.5");
+        assert_eq!(Number::Float(3.0).to_string(), "3.0");
+    }
+
+    #[test]
+    fn cross_variant_eq() {
+        assert_eq!(Number::Int(5), Number::UInt(5));
+        assert_eq!(Number::Int(5), Number::Float(5.0));
+        assert_ne!(Number::Int(-1), Number::UInt(u64::MAX));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Number::Int(3) < Number::Int(4));
+        assert!(Number::Float(3.5) < Number::Int(4));
+        assert!(Number::UInt(10) > Number::Float(9.5));
+    }
+
+    #[test]
+    fn non_finite_serializes_defensively() {
+        assert_eq!(Number::Float(f64::NAN).to_string(), "0.0");
+        assert_eq!(Number::Float(f64::INFINITY).to_string(), "0.0");
+    }
+}

@@ -1,0 +1,237 @@
+//! Insertion-ordered JSON objects.
+//!
+//! API responses are easier to diff, test and eyeball when key order is
+//! stable, so objects preserve insertion order (like the `OrderedDict`s the
+//! original Python crawlers produced) while still offering O(1) lookup via a
+//! small side index once the object grows past a linear-scan-friendly size.
+
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Linear scans beat hashing for tiny objects; build the index lazily.
+const INDEX_THRESHOLD: usize = 12;
+
+/// An insertion-ordered string-keyed map of [`Value`]s.
+#[derive(Clone, Default)]
+pub struct Object {
+    entries: Vec<(String, Value)>,
+    /// Lazily populated key → entry-index map, kept in sync on mutation.
+    index: Option<HashMap<String, usize>>,
+}
+
+impl Object {
+    /// An empty object.
+    pub fn new() -> Self {
+        Object::default()
+    }
+
+    /// An empty object with pre-allocated room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Object {
+            entries: Vec::with_capacity(cap),
+            index: None,
+        }
+    }
+
+    /// Number of key/value entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the object has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn position(&self, key: &str) -> Option<usize> {
+        if let Some(idx) = &self.index {
+            idx.get(key).copied()
+        } else {
+            self.entries.iter().position(|(k, _)| k == key)
+        }
+    }
+
+    fn maybe_build_index(&mut self) {
+        if self.index.is_none() && self.entries.len() >= INDEX_THRESHOLD {
+            self.index = Some(
+                self.entries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (k, _))| (k.clone(), i))
+                    .collect(),
+            );
+        }
+    }
+
+    /// Look up a value by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.position(key).map(|i| &self.entries[i].1)
+    }
+
+    /// Mutable lookup by key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.position(key).map(|i| &mut self.entries[i].1)
+    }
+
+    /// True if `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.position(key).is_some()
+    }
+
+    /// Insert or replace; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+        let key = key.into();
+        let value = value.into();
+        match self.position(&key) {
+            Some(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            None => {
+                if let Some(idx) = &mut self.index {
+                    idx.insert(key.clone(), self.entries.len());
+                }
+                self.entries.push((key, value));
+                self.maybe_build_index();
+                None
+            }
+        }
+    }
+
+    /// Remove a key, preserving the order of remaining entries.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let i = self.position(key)?;
+        let (_, v) = self.entries.remove(i);
+        // Positions after `i` shifted; rebuilding lazily is simplest and
+        // removal is rare on the hot paths (documents are append-built).
+        self.index = None;
+        self.maybe_build_index();
+        Some(v)
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterate keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Iterate values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl PartialEq for Object {
+    /// Order-insensitive equality: two objects are equal when they hold the
+    /// same key/value set, matching JSON semantics rather than serialization.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self
+                .iter()
+                .all(|(k, v)| other.get(k).map(|ov| ov == v).unwrap_or(false))
+    }
+}
+
+impl fmt::Debug for Object {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<(String, Value)> for Object {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut obj = Object::new();
+        for (k, v) in iter {
+            obj.insert(k, v);
+        }
+        obj
+    }
+}
+
+impl IntoIterator for Object {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut o = Object::new();
+        assert!(o.insert("a", 1i64).is_none());
+        assert!(o.insert("b", "x").is_none());
+        assert_eq!(o.get("a").and_then(Value::as_i64), Some(1));
+        assert_eq!(o.get("b").and_then(Value::as_str), Some("x"));
+        assert_eq!(o.get("c"), None);
+        assert_eq!(o.len(), 2);
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut o = Object::new();
+        o.insert("k", 1i64);
+        let old = o.insert("k", 2i64);
+        assert_eq!(old.and_then(|v| v.as_i64()), Some(1));
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.get("k").and_then(Value::as_i64), Some(2));
+    }
+
+    #[test]
+    fn preserves_insertion_order() {
+        let mut o = Object::new();
+        for k in ["z", "a", "m", "b"] {
+            o.insert(k, Value::Null);
+        }
+        let keys: Vec<_> = o.keys().collect();
+        assert_eq!(keys, vec!["z", "a", "m", "b"]);
+    }
+
+    #[test]
+    fn index_kicks_in_for_large_objects() {
+        let mut o = Object::new();
+        for i in 0..100 {
+            o.insert(format!("k{i}"), i as i64);
+        }
+        assert_eq!(o.get("k57").and_then(Value::as_i64), Some(57));
+        assert_eq!(o.get("nope"), None);
+        // Replacement still works through the index.
+        o.insert("k57", -1i64);
+        assert_eq!(o.get("k57").and_then(Value::as_i64), Some(-1));
+        assert_eq!(o.len(), 100);
+    }
+
+    #[test]
+    fn remove_preserves_order_and_lookup() {
+        let mut o = Object::new();
+        for i in 0..20 {
+            o.insert(format!("k{i}"), i as i64);
+        }
+        assert!(o.remove("k3").is_some());
+        assert!(o.remove("k3").is_none());
+        assert_eq!(o.len(), 19);
+        assert_eq!(o.get("k19").and_then(Value::as_i64), Some(19));
+        let keys: Vec<_> = o.keys().take(4).collect();
+        assert_eq!(keys, vec!["k0", "k1", "k2", "k4"]);
+    }
+
+    #[test]
+    fn equality_is_order_insensitive() {
+        let a: Object = [("x", 1i64), ("y", 2i64)]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), Value::from(v)))
+            .collect();
+        let b: Object = [("y", 2i64), ("x", 1i64)]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), Value::from(v)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,529 @@
+//! RFC 8259 recursive-descent JSON parser.
+//!
+//! Byte-level scanning over the input with exact `(line, column)` error
+//! positions, full string-escape handling (including `\uXXXX` surrogate
+//! pairs), exact integer capture, and a recursion-depth guard so hostile or
+//! corrupted store files cannot blow the stack.
+
+use crate::number::Number;
+use crate::object::Object;
+use crate::value::Value;
+use std::fmt;
+
+/// Maximum nesting depth accepted by the parser.
+pub const MAX_DEPTH: usize = 256;
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended in the middle of a value.
+    UnexpectedEof,
+    /// A byte that cannot start or continue the expected construct.
+    UnexpectedChar(char),
+    /// Malformed literal (`true` / `false` / `null` misspelled).
+    BadLiteral,
+    /// Malformed number.
+    BadNumber,
+    /// Malformed string escape.
+    BadEscape,
+    /// `\uXXXX` did not form a valid scalar value / surrogate pair.
+    BadUnicode,
+    /// Control character inside a string (must be escaped).
+    BareControl,
+    /// Nesting beyond [`MAX_DEPTH`].
+    TooDeep,
+    /// Trailing non-whitespace after the document.
+    TrailingData,
+}
+
+/// A parse failure with its position in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Failure category.
+    pub kind: ParseErrorKind,
+    /// 1-based line of the offending byte.
+    pub line: usize,
+    /// 1-based column (in bytes) of the offending byte.
+    pub column: usize,
+    /// Byte offset of the offending byte.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at line {}, column {}: {:?}",
+            self.line, self.column, self.kind
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete JSON document; trailing whitespace is allowed, any other
+/// trailing content is an error.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser::new(text);
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err(ParseErrorKind::TrailingData));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        ParseError {
+            kind,
+            line,
+            column: col,
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(c) if c == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(c) => Err(self.err(ParseErrorKind::UnexpectedChar(c as char))),
+            None => Err(self.err(ParseErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(ParseErrorKind::TooDeep));
+        }
+        match self.peek() {
+            None => Err(self.err(ParseErrorKind::UnexpectedEof)),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal(b"true", Value::Bool(true)),
+            Some(b'f') => self.literal(b"false", Value::Bool(false)),
+            Some(b'n') => self.literal(b"null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(ParseErrorKind::UnexpectedChar(c as char))),
+        }
+    }
+
+    fn literal(&mut self, text: &[u8], value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(text) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(ParseErrorKind::BadLiteral))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut obj = Object::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(obj));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            obj.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Obj(obj)),
+                Some(c) => {
+                    self.pos -= 1;
+                    return Err(self.err(ParseErrorKind::UnexpectedChar(c as char)));
+                }
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Arr(items)),
+                Some(c) => {
+                    self.pos -= 1;
+                    return Err(self.err(ParseErrorKind::UnexpectedChar(c as char)));
+                }
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        // Fast path: copy runs of plain bytes in one shot.
+        let mut run_start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                Some(b'"') => {
+                    out.push_str(self.slice_str(run_start, self.pos));
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.slice_str(run_start, self.pos));
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                    run_start = self.pos;
+                }
+                Some(b) if b < 0x20 => return Err(self.err(ParseErrorKind::BareControl)),
+                Some(_) => {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn slice_str(&self, start: usize, end: usize) -> &'a str {
+        // Input is &str, and we only split at ASCII delimiters, so the slice
+        // is valid UTF-8 by construction.
+        std::str::from_utf8(&self.bytes[start..end]).expect("input was valid UTF-8")
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), ParseError> {
+        match self.bump() {
+            None => Err(self.err(ParseErrorKind::UnexpectedEof)),
+            Some(b'"') => {
+                out.push('"');
+                Ok(())
+            }
+            Some(b'\\') => {
+                out.push('\\');
+                Ok(())
+            }
+            Some(b'/') => {
+                out.push('/');
+                Ok(())
+            }
+            Some(b'b') => {
+                out.push('\u{0008}');
+                Ok(())
+            }
+            Some(b'f') => {
+                out.push('\u{000C}');
+                Ok(())
+            }
+            Some(b'n') => {
+                out.push('\n');
+                Ok(())
+            }
+            Some(b'r') => {
+                out.push('\r');
+                Ok(())
+            }
+            Some(b't') => {
+                out.push('\t');
+                Ok(())
+            }
+            Some(b'u') => {
+                let hi = self.hex4()?;
+                let ch = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: a \uXXXX low surrogate must follow.
+                    if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                        return Err(self.err(ParseErrorKind::BadUnicode));
+                    }
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err(ParseErrorKind::BadUnicode));
+                    }
+                    let scalar = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(scalar).ok_or_else(|| self.err(ParseErrorKind::BadUnicode))?
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(self.err(ParseErrorKind::BadUnicode));
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.err(ParseErrorKind::BadUnicode))?
+                };
+                out.push(ch);
+                Ok(())
+            }
+            Some(_) => Err(self.err(ParseErrorKind::BadEscape)),
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v: u32 = 0;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof))?;
+            let d = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a' + 10) as u32,
+                b'A'..=b'F' => (b - b'A' + 10) as u32,
+                _ => return Err(self.err(ParseErrorKind::BadUnicode)),
+            };
+            v = (v << 4) | d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        let neg = self.peek() == Some(b'-');
+        if neg {
+            self.pos += 1;
+        }
+        // Integer part: one digit, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err(ParseErrorKind::BadNumber)),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ParseErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ParseErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = self.slice_str(start, self.pos);
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Num(Number::Int(i)));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Num(Number::UInt(u)));
+            }
+            // Exceeds 64-bit range; fall through to float.
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Num(Number::Float(f)))
+            .map_err(|_| self.err(ParseErrorKind::BadNumber))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arr, obj};
+
+    fn p(s: &str) -> Value {
+        parse(s).unwrap_or_else(|e| panic!("parse {s:?} failed: {e}"))
+    }
+
+    fn fails(s: &str) -> ParseErrorKind {
+        parse(s).expect_err(&format!("expected {s:?} to fail")).kind
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(p("null"), Value::Null);
+        assert_eq!(p("true"), Value::Bool(true));
+        assert_eq!(p("false"), Value::Bool(false));
+        assert_eq!(p("0"), Value::from(0i64));
+        assert_eq!(p("-17"), Value::from(-17i64));
+        assert_eq!(p("3.25"), Value::from(3.25));
+        assert_eq!(p("1e3"), Value::from(1000.0));
+        assert_eq!(p("2.5E-1"), Value::from(0.25));
+        assert_eq!(p("\"hi\""), Value::from("hi"));
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(p("  \n\t 42 \r\n"), Value::from(42i64));
+    }
+
+    #[test]
+    fn large_integers_exact() {
+        assert_eq!(p(&i64::MAX.to_string()), Value::from(i64::MAX));
+        assert_eq!(p(&i64::MIN.to_string()), Value::from(i64::MIN));
+        assert_eq!(p(&u64::MAX.to_string()), Value::from(u64::MAX));
+    }
+
+    #[test]
+    fn beyond_u64_becomes_float() {
+        let v = p("99999999999999999999999");
+        assert!(matches!(v, Value::Num(Number::Float(_))));
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = p(r#"{"a": [1, {"b": null}, "s"], "c": {"d": false}}"#);
+        assert_eq!(
+            v,
+            obj! {
+                "a" => arr![1, obj!{"b" => Value::Null}, "s"],
+                "c" => obj!{"d" => false},
+            }
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(p("[]"), arr![]);
+        assert_eq!(p("{}"), obj! {});
+        assert_eq!(p("[ ]"), arr![]);
+        assert_eq!(p("{ }"), obj! {});
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(p(r#""\"\\\/\b\f\n\r\t""#), Value::from("\"\\/\u{8}\u{c}\n\r\t"));
+        assert_eq!(p(r#""A""#), Value::from("A"));
+        assert_eq!(p(r#""é""#), Value::from("é"));
+        // Surrogate pair: U+1F600
+        assert_eq!(p(r#""😀""#), Value::from("😀"));
+    }
+
+    #[test]
+    fn raw_utf8_passthrough() {
+        assert_eq!(p("\"héllo 世界\""), Value::from("héllo 世界"));
+    }
+
+    #[test]
+    fn error_unexpected_eof() {
+        assert_eq!(fails("{\"a\":"), ParseErrorKind::UnexpectedEof);
+        assert_eq!(fails("["), ParseErrorKind::UnexpectedEof);
+        assert_eq!(fails("\"abc"), ParseErrorKind::UnexpectedEof);
+        assert_eq!(fails(""), ParseErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn error_bad_literals() {
+        assert_eq!(fails("tru"), ParseErrorKind::BadLiteral);
+        assert_eq!(fails("nul"), ParseErrorKind::BadLiteral);
+        assert_eq!(fails("falsy"), ParseErrorKind::BadLiteral);
+    }
+
+    #[test]
+    fn error_bad_numbers() {
+        assert_eq!(fails("01"), ParseErrorKind::TrailingData); // "0" then junk
+        assert_eq!(fails("-"), ParseErrorKind::BadNumber);
+        assert_eq!(fails("1."), ParseErrorKind::BadNumber);
+        assert_eq!(fails("1e"), ParseErrorKind::BadNumber);
+        assert_eq!(fails("1e+"), ParseErrorKind::BadNumber);
+    }
+
+    #[test]
+    fn error_trailing_data() {
+        assert_eq!(fails("1 2"), ParseErrorKind::TrailingData);
+        assert_eq!(fails("{} x"), ParseErrorKind::TrailingData);
+    }
+
+    #[test]
+    fn error_bad_escape_and_control() {
+        assert_eq!(fails(r#""\q""#), ParseErrorKind::BadEscape);
+        assert_eq!(fails("\"a\nb\""), ParseErrorKind::BareControl);
+        assert_eq!(fails(r#""\ud83d""#), ParseErrorKind::BadUnicode); // lone high surrogate
+        assert_eq!(fails(r#""\ude00""#), ParseErrorKind::BadUnicode); // lone low surrogate
+        assert_eq!(fails(r#""\uZZZZ""#), ParseErrorKind::BadUnicode);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse("{\"a\": \n  @}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.column, 3);
+        assert_eq!(e.kind, ParseErrorKind::UnexpectedChar('@'));
+    }
+
+    #[test]
+    fn depth_guard() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert_eq!(fails(&deep), ParseErrorKind::TooDeep);
+        let ok = "[".repeat(MAX_DEPTH - 1) + &"]".repeat(MAX_DEPTH - 1);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        // RFC 8259 leaves duplicate-key behavior to implementations; we keep
+        // the last occurrence, matching the Python crawlers' dict semantics.
+        let v = p(r#"{"k": 1, "k": 2}"#);
+        assert_eq!(v.get("k").and_then(Value::as_i64), Some(2));
+        assert_eq!(v.as_obj().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn missing_separators() {
+        assert!(matches!(fails("[1 2]"), ParseErrorKind::UnexpectedChar(_)));
+        assert!(matches!(fails(r#"{"a" 1}"#), ParseErrorKind::UnexpectedChar(_)));
+        assert!(matches!(fails(r#"{"a":1 "b":2}"#), ParseErrorKind::UnexpectedChar(_)));
+    }
+}

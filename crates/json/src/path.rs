@@ -1,0 +1,138 @@
+//! Dotted-path extraction over [`Value`] trees.
+//!
+//! The analytics layer (the "Spark queries" of the paper) pulls fields out of
+//! heterogeneous crawled documents with paths like `"company.twitter_url"` or
+//! `"funding.rounds[0].raised_usd"`. A path is a sequence of object keys
+//! separated by `.`, each optionally followed by one or more `[index]` array
+//! subscripts.
+
+use crate::value::Value;
+
+/// One step of a parsed path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Descend into an object member.
+    Key(String),
+    /// Descend into an array element.
+    Index(usize),
+}
+
+/// Parse a dotted path into steps. Returns `None` for malformed paths
+/// (empty components, unterminated `[`, non-numeric subscripts).
+pub fn parse_path(path: &str) -> Option<Vec<Step>> {
+    let mut steps = Vec::new();
+    for component in path.split('.') {
+        let mut rest = component;
+        // Leading key part (may be empty only if component is pure subscripts,
+        // which we reject: `a..b` and `.a` are malformed).
+        let key_end = rest.find('[').unwrap_or(rest.len());
+        let key = &rest[..key_end];
+        if key.is_empty() {
+            return None;
+        }
+        steps.push(Step::Key(key.to_string()));
+        rest = &rest[key_end..];
+        while let Some(stripped) = rest.strip_prefix('[') {
+            let close = stripped.find(']')?;
+            let idx: usize = stripped[..close].parse().ok()?;
+            steps.push(Step::Index(idx));
+            rest = &stripped[close + 1..];
+        }
+        if !rest.is_empty() {
+            return None;
+        }
+    }
+    Some(steps)
+}
+
+/// Walk `value` along `path`; `None` on any mismatch.
+pub fn extract_path<'a>(value: &'a Value, path: &str) -> Option<&'a Value> {
+    let steps = parse_path(path)?;
+    let mut cur = value;
+    for step in &steps {
+        cur = match step {
+            Step::Key(k) => cur.get(k)?,
+            Step::Index(i) => cur.at(*i)?,
+        };
+    }
+    Some(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arr, obj, Value};
+
+    fn doc() -> Value {
+        obj! {
+            "company" => obj! {
+                "name" => "Acme",
+                "rounds" => arr![
+                    obj!{"raised_usd" => 100000, "investors" => arr![1, 2]},
+                    obj!{"raised_usd" => 250000},
+                ],
+            },
+            "ok" => true,
+        }
+    }
+
+    #[test]
+    fn parse_simple() {
+        assert_eq!(
+            parse_path("a.b").unwrap(),
+            vec![Step::Key("a".into()), Step::Key("b".into())]
+        );
+    }
+
+    #[test]
+    fn parse_subscripts() {
+        assert_eq!(
+            parse_path("a[3][0].b").unwrap(),
+            vec![
+                Step::Key("a".into()),
+                Step::Index(3),
+                Step::Index(0),
+                Step::Key("b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_path("").is_none());
+        assert!(parse_path(".a").is_none());
+        assert!(parse_path("a..b").is_none());
+        assert!(parse_path("a[").is_none());
+        assert!(parse_path("a[x]").is_none());
+        assert!(parse_path("a[1]b").is_none());
+    }
+
+    #[test]
+    fn extract_object_chain() {
+        let d = doc();
+        assert_eq!(d.path("company.name").and_then(Value::as_str), Some("Acme"));
+        assert_eq!(d.path("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn extract_array_elements() {
+        let d = doc();
+        assert_eq!(
+            d.path("company.rounds[1].raised_usd").and_then(Value::as_i64),
+            Some(250_000)
+        );
+        assert_eq!(
+            d.path("company.rounds[0].investors[1]").and_then(Value::as_i64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn extract_missing_is_none() {
+        let d = doc();
+        assert!(d.path("company.missing").is_none());
+        assert!(d.path("company.rounds[9]").is_none());
+        assert!(d.path("company.name.deeper").is_none());
+        assert!(d.path("company.rounds.key").is_none());
+    }
+}

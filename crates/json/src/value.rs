@@ -1,0 +1,389 @@
+//! The JSON document model.
+
+use crate::number::Number;
+use crate::object::Object;
+use crate::parse::{parse, ParseError};
+use crate::path::extract_path;
+use crate::ser;
+use std::fmt;
+
+/// A JSON value.
+///
+/// Objects preserve insertion order; numbers keep integers exact (see
+/// [`Number`]). Equality follows JSON semantics: object equality is
+/// key-set-based, `1` equals `1.0`.
+#[derive(Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (exact integer or float).
+    Num(Number),
+    /// A UTF-8 string.
+    Str(String),
+    /// An array of values.
+    Arr(Vec<Value>),
+    /// An insertion-ordered object.
+    Obj(Object),
+}
+
+impl Value {
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Value, ParseError> {
+        parse(text)
+    }
+
+    /// Serialize without whitespace (the storage format of `crowdnet-store`).
+    pub fn to_compact(&self) -> String {
+        ser::to_compact(self)
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        ser::to_pretty(self)
+    }
+
+    /// Extract a nested value by dotted path, e.g. `"rounds[0].raised_usd"`.
+    /// Returns `None` if any component is missing or of the wrong shape.
+    pub fn path(&self, path: &str) -> Option<&Value> {
+        extract_path(self, path)
+    }
+
+    /// True if the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64`, if this is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is an in-range non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_obj(&self) -> Option<&Object> {
+        match self {
+            Value::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Mutable object payload, if this is an object.
+    pub fn as_obj_mut(&mut self) -> Option<&mut Object> {
+        match self {
+            Value::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj().and_then(|o| o.get(key))
+    }
+
+    /// Array element lookup; `None` for non-arrays and out-of-range indices.
+    pub fn at(&self, index: usize) -> Option<&Value> {
+        self.as_arr().and_then(|a| a.get(index))
+    }
+
+    /// Deep-merge `patch` into `self` (RFC 7386 JSON-merge-patch semantics):
+    /// objects merge recursively, `null` members delete keys, everything
+    /// else replaces. Used by the longitudinal pipeline to fold profile
+    /// updates into earlier observations.
+    ///
+    /// ```
+    /// use crowdnet_json::{obj, Value};
+    /// let mut doc = obj! {"a" => 1, "b" => obj!{"x" => 1, "y" => 2}};
+    /// doc.merge(&obj! {"b" => obj!{"y" => 9, "z" => 3}, "a" => Value::Null});
+    /// assert_eq!(doc, obj! {"b" => obj!{"x" => 1, "y" => 9, "z" => 3}});
+    /// ```
+    pub fn merge(&mut self, patch: &Value) {
+        match (self, patch) {
+            (Value::Obj(base), Value::Obj(patch)) => {
+                for (k, v) in patch.iter() {
+                    if v.is_null() {
+                        base.remove(k);
+                    } else if let (Some(Value::Obj(_)), Value::Obj(_)) = (base.get(k), v) {
+                        base.get_mut(k).expect("just checked").merge(v);
+                    } else {
+                        base.insert(k, v.clone());
+                    }
+                }
+            }
+            (slot, patch) => *slot = patch.clone(),
+        }
+    }
+
+    /// A short tag naming the variant — used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Debug output is valid JSON; convenient in assertion diffs.
+        f.write_str(&self.to_compact())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Num(Number::from(v))
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Num(Number::from(v))
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Num(Number::from(v))
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Num(Number::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Num(Number::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        // JSON cannot represent non-finite numbers; store null like most
+        // web APIs do for missing measurements.
+        if v.is_finite() {
+            Value::Num(Number::from(v))
+        } else {
+            Value::Null
+        }
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Number> for Value {
+    fn from(v: Number) -> Self {
+        Value::Num(v)
+    }
+}
+impl From<Object> for Value {
+    fn from(v: Object) -> Self {
+        Value::Obj(v)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+/// Build a JSON object literal.
+///
+/// ```
+/// use crowdnet_json::{obj, Value};
+/// let v = obj! { "id" => 7, "name" => "x" };
+/// assert_eq!(v.get("id").and_then(Value::as_i64), Some(7));
+/// ```
+#[macro_export]
+macro_rules! obj {
+    () => { $crate::Value::Obj($crate::Object::new()) };
+    ( $( $k:expr => $v:expr ),+ $(,)? ) => {{
+        let mut o = $crate::Object::new();
+        $( o.insert($k, $crate::Value::from($v)); )+
+        $crate::Value::Obj(o)
+    }};
+}
+
+/// Build a JSON array literal.
+///
+/// ```
+/// use crowdnet_json::{arr, Value};
+/// let v = arr![1, "two", 3.0];
+/// assert_eq!(v.at(1).and_then(Value::as_str), Some("two"));
+/// ```
+#[macro_export]
+macro_rules! arr {
+    () => { $crate::Value::Arr(Vec::new()) };
+    ( $( $v:expr ),+ $(,)? ) => {
+        $crate::Value::Arr(vec![ $( $crate::Value::from($v) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    #[test]
+    fn accessors_match_variants() {
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(2i64).as_i64(), Some(2));
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert_eq!(arr![1, 2].as_arr().map(|a| a.len()), Some(2));
+        assert!(obj! {"a" => 1}.as_obj().is_some());
+    }
+
+    #[test]
+    fn wrong_variant_accessors_are_none() {
+        let v = Value::from("text");
+        assert_eq!(v.as_bool(), None);
+        assert_eq!(v.as_i64(), None);
+        assert_eq!(v.as_arr(), None);
+        assert!(v.as_obj().is_none());
+        assert_eq!(v.get("k"), None);
+        assert_eq!(v.at(0), None);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert!(Value::from(f64::NAN).is_null());
+        assert!(Value::from(f64::NEG_INFINITY).is_null());
+    }
+
+    #[test]
+    fn option_from() {
+        assert_eq!(Value::from(Some(3i64)).as_i64(), Some(3));
+        assert!(Value::from(None::<i64>).is_null());
+    }
+
+    #[test]
+    fn nested_macro_construction() {
+        let v = obj! {
+            "company" => obj! { "id" => 10, "tags" => arr!["a", "b"] },
+            "ok" => true,
+        };
+        assert_eq!(v.path("company.tags[1]").and_then(Value::as_str), Some("b"));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn number_semantics_in_equality() {
+        assert_eq!(Value::from(1i64), Value::from(1.0));
+        assert_ne!(Value::from(1i64), Value::from("1"));
+    }
+
+    #[test]
+    fn merge_replaces_scalars_and_arrays() {
+        let mut v = Value::from(1i64);
+        v.merge(&Value::from("x"));
+        assert_eq!(v, Value::from("x"));
+        let mut a = arr![1, 2];
+        a.merge(&arr![3]);
+        assert_eq!(a, arr![3]);
+    }
+
+    #[test]
+    fn merge_nested_objects_recursively() {
+        let mut doc = obj! {"u" => obj!{"a" => 1, "deep" => obj!{"k" => 1}}};
+        doc.merge(&obj! {"u" => obj!{"deep" => obj!{"k" => 2, "n" => 3}}});
+        assert_eq!(
+            doc,
+            obj! {"u" => obj!{"a" => 1, "deep" => obj!{"k" => 2, "n" => 3}}}
+        );
+    }
+
+    #[test]
+    fn merge_null_deletes() {
+        let mut doc = obj! {"keep" => 1, "drop" => 2};
+        doc.merge(&obj! {"drop" => Value::Null});
+        assert_eq!(doc, obj! {"keep" => 1});
+        // Deleting a missing key is a no-op.
+        doc.merge(&obj! {"ghost" => Value::Null});
+        assert_eq!(doc, obj! {"keep" => 1});
+    }
+
+    #[test]
+    fn merge_object_over_scalar_replaces() {
+        let mut doc = obj! {"x" => 5};
+        doc.merge(&obj! {"x" => obj!{"now" => "object"}});
+        assert_eq!(doc, obj! {"x" => obj!{"now" => "object"}});
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(arr![].type_name(), "array");
+        assert_eq!(obj! {}.type_name(), "object");
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests: any generated JSON value survives a
+//! serialize → parse round trip, in both compact and pretty form.
+
+use crowdnet_json::{Object, Value};
+use proptest::prelude::*;
+
+/// Strategy for arbitrary JSON values with bounded depth/size.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::from),
+        any::<i64>().prop_map(Value::from),
+        any::<u64>().prop_map(Value::from),
+        // Finite floats only: JSON cannot encode NaN/inf.
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::from),
+        // Strings including escapes, control chars, non-ASCII.
+        "\\PC*".prop_map(Value::from),
+        proptest::collection::vec(any::<u8>(), 0..8)
+            .prop_map(|bytes| Value::from(String::from_utf8_lossy(&bytes).into_owned())),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..8).prop_map(Value::Arr),
+            proptest::collection::vec(("[a-z_0-9]{0,12}", inner), 0..8).prop_map(|kvs| {
+                Value::Obj(kvs.into_iter().collect::<Object>())
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compact_roundtrip(v in value_strategy()) {
+        let text = v.to_compact();
+        let back = Value::parse(&text).expect("serialized JSON must parse");
+        prop_assert_eq!(&back, &v);
+    }
+
+    #[test]
+    fn pretty_roundtrip(v in value_strategy()) {
+        let text = v.to_pretty();
+        let back = Value::parse(&text).expect("pretty JSON must parse");
+        prop_assert_eq!(&back, &v);
+    }
+
+    #[test]
+    fn compact_is_single_line(v in value_strategy()) {
+        prop_assert!(!v.to_compact().contains('\n'));
+    }
+
+    #[test]
+    fn reserialization_is_stable(v in value_strategy()) {
+        // compact(parse(compact(v))) == compact(v): canonical after one trip.
+        let once = v.to_compact();
+        let twice = Value::parse(&once).unwrap().to_compact();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC*") {
+        let _ = Value::parse(&s);
+    }
+
+    #[test]
+    fn number_display_reparses(i in any::<i64>(), f in any::<f64>().prop_filter("finite", |f| f.is_finite())) {
+        let vi = Value::from(i);
+        prop_assert_eq!(Value::parse(&vi.to_compact()).unwrap(), vi);
+        let vf = Value::from(f);
+        let back = Value::parse(&vf.to_compact()).unwrap();
+        // f64 display in Rust is shortest-roundtrip, so exact equality holds.
+        prop_assert_eq!(back.as_f64(), Some(f));
+    }
+
+    #[test]
+    fn path_extraction_agrees_with_manual_walk(
+        v in value_strategy(),
+        key in "[a-z]{1,4}",
+        idx in 0usize..4,
+    ) {
+        // Wrap v so we know a valid path exists, then check path() finds it.
+        let doc = crowdnet_json::obj! { key.clone() => Value::Arr(vec![v.clone(); idx + 1]) };
+        let path = format!("{key}[{idx}]");
+        prop_assert_eq!(doc.path(&path), Some(&v));
+    }
+}

@@ -1,0 +1,145 @@
+//! Virtual time.
+//!
+//! Rate limits (Twitter's 180 calls / 15 min) and the longitudinal crawl
+//! schedule are time-based. Real deployments would use the system clock; the
+//! simulation uses [`SimClock`], which only moves when advanced, so a
+//! 15-minute rate-limit window or a 30-day daily-crawl study elapses
+//! instantly in tests while exercising exactly the same limiter logic.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A source of milliseconds-since-epoch timestamps.
+pub trait Clock: Send + Sync {
+    /// Current time in milliseconds.
+    fn now_ms(&self) -> u64;
+
+    /// Block (virtually or really) for `ms` milliseconds.
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// A manually advanced virtual clock. Cloning shares the underlying time.
+#[derive(Clone, Default)]
+pub struct SimClock {
+    now: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A clock starting at t = 0 ms.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// A clock starting at `start_ms`.
+    pub fn starting_at(start_ms: u64) -> SimClock {
+        let c = SimClock::new();
+        c.now.store(start_ms, Ordering::SeqCst);
+        c
+    }
+
+    /// Advance by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for SimClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        self.advance_ms(ms);
+    }
+}
+
+/// The real system clock (used when the platform runs against wall time).
+#[derive(Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// A clock whose `sleep_ms` records total virtual sleep — handy for asserting
+/// how long a crawl would have waited on rate limits.
+#[derive(Clone, Default)]
+pub struct RecordingClock {
+    inner: SimClock,
+    slept: Arc<RwLock<u64>>,
+}
+
+impl RecordingClock {
+    /// New recording clock at t = 0.
+    pub fn new() -> RecordingClock {
+        RecordingClock::default()
+    }
+
+    /// Total milliseconds spent sleeping.
+    pub fn total_slept_ms(&self) -> u64 {
+        *self.slept.read()
+    }
+}
+
+impl Clock for RecordingClock {
+    fn now_ms(&self) -> u64 {
+        self.inner.now_ms()
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        *self.slept.write() += ms;
+        self.inner.sleep_ms(ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_advances_only_when_told() {
+        let c = SimClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance_ms(500);
+        assert_eq!(c.now_ms(), 500);
+        c.sleep_ms(250);
+        assert_eq!(c.now_ms(), 750);
+    }
+
+    #[test]
+    fn sim_clock_clones_share_time() {
+        let a = SimClock::starting_at(10);
+        let b = a.clone();
+        a.advance_ms(5);
+        assert_eq!(b.now_ms(), 15);
+    }
+
+    #[test]
+    fn recording_clock_tracks_sleep() {
+        let c = RecordingClock::new();
+        c.sleep_ms(100);
+        c.sleep_ms(40);
+        assert_eq!(c.total_slept_ms(), 140);
+        assert_eq!(c.now_ms(), 140);
+    }
+
+    #[test]
+    fn system_clock_is_monotonicish() {
+        let c = SystemClock;
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+        assert!(a > 1_600_000_000_000); // after Sep 2020 — sanity
+    }
+}

@@ -1,0 +1,262 @@
+//! Sampling primitives for the world generator.
+//!
+//! Implemented from scratch on top of `rand`'s uniform generator so the
+//! generative model has no opaque dependencies: truncated discrete power
+//! laws (the Figure 3 investment long tail), log-normals (engagement counts
+//! with the paper's medians), and an append-weighted urn for preferential
+//! attachment (which concentrates investments the way §5.1 reports).
+
+use rand::Rng;
+
+/// Truncated discrete power law on `{min, …, max}`:
+/// `P(k) ∝ k^(−alpha)`. Sampled by inverse-CDF over a precomputed table.
+#[derive(Debug, Clone)]
+pub struct PowerLaw {
+    min: u64,
+    cdf: Vec<f64>,
+}
+
+impl PowerLaw {
+    /// Build the sampler. `alpha > 1` gives the heavy-tailed regimes used by
+    /// the generator.
+    pub fn new(alpha: f64, min: u64, max: u64) -> PowerLaw {
+        assert!(min >= 1 && max >= min, "need 1 <= min <= max");
+        let mut cdf = Vec::with_capacity((max - min + 1) as usize);
+        let mut acc = 0.0;
+        for k in min..=max {
+            acc += (k as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        PowerLaw { min, cdf }
+    }
+
+    /// Draw one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        self.min + idx.min(self.cdf.len() - 1) as u64
+    }
+
+    /// Expected value of the distribution (exact, from the table).
+    pub fn mean(&self) -> f64 {
+        let mut prev = 0.0;
+        let mut mean = 0.0;
+        for (i, &c) in self.cdf.iter().enumerate() {
+            mean += (self.min + i as u64) as f64 * (c - prev);
+            prev = c;
+        }
+        mean
+    }
+}
+
+/// Standard normal via Box–Muller.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Log-normal parameterized by its **median** and log-scale `sigma`:
+/// `X = median · exp(sigma · Z)`. The paper reports engagement medians
+/// (652 likes, 343 tweets, 339 followers), which makes this the natural
+/// parameterization.
+pub fn log_normal_by_median<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    median * (sigma * gaussian(rng)).exp()
+}
+
+/// Bernoulli draw.
+pub fn coin<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.random::<f64>() < p
+}
+
+/// An urn for preferential attachment: items are drawn proportionally to
+/// their weight, and `reinforce` appends another copy (the Barabási–Albert
+/// "repeated endpoints" trick, O(1) per operation).
+#[derive(Debug, Clone, Default)]
+pub struct Urn {
+    slots: Vec<u32>,
+}
+
+impl Urn {
+    /// An empty urn.
+    pub fn new() -> Urn {
+        Urn::default()
+    }
+
+    /// An urn with one base slot per item `0..n` (uniform start).
+    pub fn uniform(n: u32) -> Urn {
+        Urn {
+            slots: (0..n).collect(),
+        }
+    }
+
+    /// Add one more slot for `item` (increasing its weight by 1).
+    pub fn reinforce(&mut self, item: u32) {
+        self.slots.push(item);
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the urn has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Draw an item proportionally to its weight; `None` if empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u32> {
+        if self.slots.is_empty() {
+            None
+        } else {
+            Some(self.slots[rng.random_range(0..self.slots.len())])
+        }
+    }
+}
+
+/// Sample `k` distinct indices from `0..n` (k ≤ n) — Floyd's algorithm,
+/// O(k) expected.
+pub fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    use std::collections::HashSet;
+    let k = k.min(n);
+    let mut chosen: HashSet<usize> = HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.random_range(0..=j);
+        let pick = if chosen.contains(&t) { j } else { t };
+        chosen.insert(pick);
+        out.push(pick);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn power_law_respects_bounds() {
+        let pl = PowerLaw::new(2.1, 1, 1000);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let v = pl.sample(&mut r);
+            assert!((1..=1000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn power_law_is_heavy_tailed_with_median_one() {
+        let pl = PowerLaw::new(2.1, 1, 1000);
+        let mut r = rng();
+        let samples: Vec<u64> = (0..50_000).map(|_| pl.sample(&mut r)).collect();
+        let ones = samples.iter().filter(|&&v| v == 1).count();
+        // P(1) = 1/zeta-ish ≈ 0.64 for alpha=2.1 truncated at 1000.
+        assert!(ones as f64 / samples.len() as f64 > 0.5);
+        let max = *samples.iter().max().unwrap();
+        assert!(max > 100, "expected a long tail, max = {max}");
+    }
+
+    #[test]
+    fn power_law_mean_matches_samples() {
+        let pl = PowerLaw::new(1.8, 1, 500);
+        let analytic = pl.mean();
+        let mut r = rng();
+        let n = 200_000;
+        let emp: f64 = (0..n).map(|_| pl.sample(&mut r) as f64).sum::<f64>() / n as f64;
+        assert!(
+            (emp - analytic).abs() / analytic < 0.05,
+            "emp {emp} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = rng();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median_is_calibrated() {
+        let mut r = rng();
+        let mut samples: Vec<f64> =
+            (0..40_001).map(|_| log_normal_by_median(&mut r, 652.0, 1.5)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!(
+            (median - 652.0).abs() / 652.0 < 0.06,
+            "median {median} should be ~652"
+        );
+        assert!(samples.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn urn_prefers_heavy_items() {
+        let mut urn = Urn::uniform(10);
+        for _ in 0..90 {
+            urn.reinforce(3); // item 3 now holds 91 of 100 slots
+        }
+        let mut r = rng();
+        let hits = (0..10_000).filter(|_| urn.sample(&mut r) == Some(3)).count();
+        let frac = hits as f64 / 10_000.0;
+        assert!((frac - 0.91).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn urn_empty_returns_none() {
+        assert_eq!(Urn::new().sample(&mut rng()), None);
+        assert!(Urn::new().is_empty());
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let picks = sample_distinct(&mut r, 50, 20);
+            assert_eq!(picks.len(), 20);
+            let set: std::collections::HashSet<_> = picks.iter().collect();
+            assert_eq!(set.len(), 20);
+            assert!(picks.iter().all(|&i| i < 50));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_clamps_k() {
+        let mut r = rng();
+        let picks = sample_distinct(&mut r, 5, 50);
+        assert_eq!(picks.len(), 5);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let pl = PowerLaw::new(2.0, 1, 100);
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(99);
+            (0..100).map(|_| pl.sample(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(99);
+            (0..100).map(|_| pl.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

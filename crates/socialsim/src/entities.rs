@@ -1,0 +1,164 @@
+//! The entities of the simulated crowdfunding ecosystem.
+
+/// Dense company identifier (index into `World::companies`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CompanyId(pub u32);
+
+/// Dense user identifier (index into `World::users`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u32);
+
+/// A user's primary self-identified role on AngelList.
+///
+/// §3 of the paper: of 1,109,441 users, 4.3 % identified as investors,
+/// 18.3 % as founders and 44.2 % as prospective employees; the rest are
+/// unclassified visitors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Accredited investor.
+    Investor,
+    /// Startup founder.
+    Founder,
+    /// Prospective employee / job seeker.
+    Employee,
+    /// Registered but unclassified.
+    Other,
+}
+
+/// A funding round (the CrunchBase side of the data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FundingRound {
+    /// Days since the simulation epoch.
+    pub day: u32,
+    /// Amount raised in USD.
+    pub raised_usd: u64,
+    /// Number of participating investors.
+    pub investor_count: u32,
+}
+
+/// A startup's Facebook page (present only when the company links one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FacebookPage {
+    /// Page likes. Paper median across AngelList-linked pages: 652.
+    pub likes: u64,
+    /// Recent post count.
+    pub posts: u32,
+}
+
+/// A startup's Twitter account (present only when the company links one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwitterAccount {
+    /// Handle (the string after the last `/` of the profile URL).
+    pub username: String,
+    /// Follower count. Paper median: 339.
+    pub followers: u64,
+    /// Following count.
+    pub friends: u64,
+    /// Lifetime tweet count. Paper median: 343.
+    pub statuses: u64,
+    /// Day (since epoch) the account was created.
+    pub created_day: u32,
+}
+
+/// A startup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Company {
+    /// Identifier.
+    pub id: CompanyId,
+    /// Display name.
+    pub name: String,
+    /// Latent quality in [0, 1] (drives success and engagement jointly; not
+    /// exposed by any API — it exists so correlations have a realistic
+    /// confounder, which is exactly the paper's correlation-vs-causality
+    /// caveat in §4).
+    pub quality: f64,
+    /// Currently running a fundraising campaign (the AngelList "raising"
+    /// list — the BFS seed set, about 4000 companies at paper scale).
+    pub raising: bool,
+    /// Has a demo video on its AngelList profile (4.88 % at paper scale).
+    pub has_demo_video: bool,
+    /// Facebook page, if the AngelList profile links one.
+    pub facebook: Option<FacebookPage>,
+    /// Twitter account, if the AngelList profile links one.
+    pub twitter: Option<TwitterAccount>,
+    /// Successfully raised funding (recorded on CrunchBase).
+    pub funded: bool,
+    /// CrunchBase funding rounds (empty unless `funded`).
+    pub rounds: Vec<FundingRound>,
+    /// Whether the AngelList profile links its CrunchBase entry directly
+    /// (otherwise the crawler must fall back to name search, §3).
+    pub has_crunchbase_link: bool,
+    /// Users following this startup on AngelList.
+    pub followers: Vec<UserId>,
+    /// Investors who invested (the reverse of `User::investments`).
+    pub investors: Vec<UserId>,
+}
+
+/// An AngelList user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct User {
+    /// Identifier.
+    pub id: UserId,
+    /// Self-identified role.
+    pub role: Role,
+    /// Startups this user follows.
+    pub follows_companies: Vec<CompanyId>,
+    /// Other users this user follows.
+    pub follows_users: Vec<UserId>,
+    /// Companies this user invested in (investors only; §5.1 keeps only
+    /// investors with ≥1 investment in the bipartite graph).
+    pub investments: Vec<CompanyId>,
+}
+
+impl Company {
+    /// True if the profile links at least one social account.
+    pub fn has_social_presence(&self) -> bool {
+        self.facebook.is_some() || self.twitter.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn social_presence_logic() {
+        let base = Company {
+            id: CompanyId(0),
+            name: "X".into(),
+            quality: 0.5,
+            raising: false,
+            has_demo_video: false,
+            facebook: None,
+            twitter: None,
+            funded: false,
+            rounds: vec![],
+            has_crunchbase_link: false,
+            followers: vec![],
+            investors: vec![],
+        };
+        assert!(!base.has_social_presence());
+        let mut fb = base.clone();
+        fb.facebook = Some(FacebookPage { likes: 1, posts: 0 });
+        assert!(fb.has_social_presence());
+        let mut tw = base.clone();
+        tw.twitter = Some(TwitterAccount {
+            username: "x".into(),
+            followers: 0,
+            friends: 0,
+            statuses: 0,
+            created_day: 0,
+        });
+        assert!(tw.has_social_presence());
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(CompanyId(1));
+        set.insert(CompanyId(1));
+        assert_eq!(set.len(), 1);
+        assert!(UserId(2) < UserId(10));
+    }
+}

@@ -1,0 +1,4 @@
+//! World generation.
+
+pub mod names;
+pub mod world;

@@ -1,0 +1,91 @@
+//! Deterministic startup-name generation.
+//!
+//! Names matter to the pipeline: the CrunchBase augmentation step falls back
+//! to *name search* when an AngelList profile has no direct CrunchBase link
+//! (§3), so generated names must be mostly-unique strings with realistic
+//! collisions.
+
+use rand::Rng;
+
+const PREFIXES: &[&str] = &[
+    "Aero", "Agri", "Api", "Block", "Bright", "Byte", "Cloud", "Cogni", "Crypto", "Data",
+    "Deep", "Delta", "Echo", "Edge", "Flux", "Gene", "Grid", "Helio", "Hyper", "Insta",
+    "Iron", "Juno", "Kine", "Lambda", "Loop", "Lumen", "Magni", "Nano", "Neo", "Nimbus",
+    "Octo", "Omni", "Opti", "Orbit", "Pixel", "Plasma", "Pulse", "Quant", "Rapid", "Robo",
+    "Sensor", "Shift", "Signal", "Solar", "Spark", "Stellar", "Swift", "Terra", "Turbo",
+    "Ultra", "Vapor", "Vega", "Velo", "Verte", "Vision", "Volt", "Wave", "Zen", "Zephyr",
+    "Zync",
+];
+
+const SUFFIXES: &[&str] = &[
+    "ify", "ly", "Labs", "Works", "Hub", "Base", "Stack", "Flow", "Mind", "Sense",
+    "Logic", "Gen", "Link", "Loop", "Metrics", "Scale", "Sync", "Track", "Verse", "Ware",
+    "Cast", "Dash", "Forge", "Grid", "Kit", "Nest", "Path", "Pay", "Port", "Shift",
+];
+
+/// Generate a startup name for company index `i`. Collisions are possible by
+/// design (prefix × suffix is finite) — the CrunchBase name-search fallback
+/// must cope with ambiguous matches, as the paper notes ("if the CrunchBase
+/// search returns a unique result…").
+pub fn company_name<R: Rng + ?Sized>(rng: &mut R, i: u32) -> String {
+    let p = PREFIXES[rng.random_range(0..PREFIXES.len())];
+    let s = SUFFIXES[rng.random_range(0..SUFFIXES.len())];
+    // Most names carry a unique numeric disambiguator; a small slice of
+    // bare names remains so the CrunchBase name-search fallback still sees
+    // ambiguous and (rarely) falsely-unique matches, as a real corpus would.
+    if rng.random::<f64>() < 0.92 {
+        format!("{p}{s} {i}")
+    } else {
+        format!("{p}{s}")
+    }
+}
+
+/// Twitter handle for a company: lowercase alpha of the name plus id.
+pub fn twitter_username(name: &str, id: u32) -> String {
+    let stem: String = name
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .take(12)
+        .collect::<String>()
+        .to_lowercase();
+    format!("{stem}{id}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_are_deterministic_per_seed() {
+        let a: Vec<String> = {
+            let mut r = StdRng::seed_from_u64(5);
+            (0..20).map(|i| company_name(&mut r, i)).collect()
+        };
+        let b: Vec<String> = {
+            let mut r = StdRng::seed_from_u64(5);
+            (0..20).map(|i| company_name(&mut r, i)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_are_mostly_unique_with_some_collisions() {
+        let mut r = StdRng::seed_from_u64(1);
+        let names: Vec<String> = (0..20_000).map(|i| company_name(&mut r, i)).collect();
+        let distinct: std::collections::HashSet<&String> = names.iter().collect();
+        let ratio = distinct.len() as f64 / names.len() as f64;
+        assert!(ratio > 0.9, "too many collisions: {ratio}");
+        assert!(ratio < 1.0, "collisions must exist for the search fallback");
+    }
+
+    #[test]
+    fn twitter_usernames_are_url_safe_and_unique() {
+        let u1 = twitter_username("CloudLabs 42", 7);
+        let u2 = twitter_username("CloudLabs 42", 8);
+        assert_ne!(u1, u2);
+        assert!(u1.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        assert!(u1.starts_with("cloudlabs"));
+    }
+}

@@ -1,0 +1,919 @@
+//! The generative model of the crowdfunding ecosystem.
+//!
+//! Generation proceeds in five phases, each consuming calibration targets
+//! from [`WorldConfig`] (see that module for the paper sources):
+//!
+//! 1. **Companies** — quality, raising flag, social-media presence category
+//!    (none / FB / TW / both, with the Fig. 6 marginals), engagement counts
+//!    (log-normals with the paper's medians, tilted by latent quality so the
+//!    engagement–success correlation has a confounder, mirroring the paper's
+//!    §4 correlation-not-causality caveat), demo videos, and funding success
+//!    sampled from the [`SuccessModel`].
+//! 2. **Users** — §3 role mix; investors follow many companies (mean 247),
+//!    casual users follow a few; a sparse user→user follow graph.
+//! 3. **Communities** — active investors are partitioned into planted
+//!    communities with log-normal sizes and per-community cohesion π.
+//! 4. **Investments** — each active investor draws a power-law number of
+//!    investments (median 1, mean ≈ 3.3, max 1000); each investment comes
+//!    from the community's pool with probability π (herding) or from a
+//!    global preferential-attachment urn otherwise.
+//! 5. **Funding rounds** — funded companies get CrunchBase-style rounds
+//!    consistent with their investor counts.
+
+use crate::config::{self, WorldConfig};
+use crate::dist::{self, PowerLaw, Urn};
+use crate::entities::*;
+use crate::gen::names;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ground truth for one planted investor community.
+#[derive(Debug, Clone)]
+pub struct PlantedCommunity {
+    /// Index of the community.
+    pub id: usize,
+    /// Member investors.
+    pub investors: Vec<UserId>,
+    /// The company pool members preferentially co-invest in.
+    pub pool: Vec<CompanyId>,
+    /// Probability an investment is drawn from the pool (cohesion).
+    pub cohesion: f64,
+}
+
+/// A public investment syndicate (§2 of the paper: "AngelList also allows
+/// investors to invite other accredited investors to form syndicates for
+/// investment"). Unlike [`PlantedCommunity`] ground truth, syndicates are
+/// *observable*: the AngelList API lists them and their backers, so the
+/// crawler can fetch them and analyses can compare detected communities
+/// against real, crawlable groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Syndicate {
+    /// Syndicate id (dense).
+    pub id: u32,
+    /// The lead investor.
+    pub lead: UserId,
+    /// Backers who publicly joined (a subset of the underlying community).
+    pub backers: Vec<UserId>,
+}
+
+/// A fully generated world.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// All startups.
+    pub companies: Vec<Company>,
+    /// All users.
+    pub users: Vec<User>,
+    /// Ground-truth planted communities (not exposed through any API; used
+    /// only to score detector recovery in the ablation benches).
+    pub planted_communities: Vec<PlantedCommunity>,
+    /// Publicly listed syndicates (exposed through the AngelList API).
+    pub syndicates: Vec<Syndicate>,
+}
+
+impl World {
+    /// Generate a world from a configuration. Deterministic in
+    /// `(config.seed, config.scale)`.
+    pub fn generate(cfg: &WorldConfig) -> World {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut companies = generate_companies(cfg, &mut rng);
+        let mut users = generate_users(cfg, companies.len() as u32, &mut rng);
+        wire_follows(cfg, &mut companies, &mut users, &mut rng);
+        // Investable companies: funded ∪ raising ∪ a random slice of the
+        // rest — sized so mean investors-per-company lands near the paper's
+        // 2.6 (edges ≈ investors × 3.3 spread over ~8 % of companies).
+        let investable: Vec<CompanyId> = companies
+            .iter()
+            .filter(|c| c.funded || c.raising || rng.random::<f64>() < 0.08)
+            .map(|c| c.id)
+            .collect();
+        let planted = plant_communities(cfg, &investable, &users, &mut rng);
+        generate_investments(cfg, &mut companies, &mut users, &planted, &investable, &mut rng);
+        generate_rounds(&mut companies, &mut rng);
+        let syndicates = register_syndicates(&planted, &mut rng);
+        World {
+            companies,
+            users,
+            planted_communities: planted,
+            syndicates,
+        }
+    }
+
+    /// All users with the investor role.
+    pub fn investors(&self) -> impl Iterator<Item = &User> {
+        self.users.iter().filter(|u| u.role == Role::Investor)
+    }
+
+    /// Investor→company edges (the §5.1 bipartite graph's ground truth).
+    pub fn investment_edges(&self) -> impl Iterator<Item = (UserId, CompanyId)> + '_ {
+        self.users
+            .iter()
+            .flat_map(|u| u.investments.iter().map(move |&c| (u.id, c)))
+    }
+
+    /// Companies currently fundraising (the crawler's seed list).
+    pub fn raising_companies(&self) -> impl Iterator<Item = &Company> {
+        self.companies.iter().filter(|c| c.raising)
+    }
+
+    /// Total number of investment edges.
+    pub fn edge_count(&self) -> usize {
+        self.users.iter().map(|u| u.investments.len()).sum()
+    }
+
+    /// Advance the world by `days` of simulated activity — the dynamics the
+    /// §7 longitudinal study needs to observe:
+    ///
+    /// * social engagement grows (tweets accrue, likes/followers compound at
+    ///   a quality-tilted rate),
+    /// * raising companies may close a round; the closing probability rises
+    ///   with *current* engagement, so engagement growth genuinely precedes
+    ///   funding (a causal arrow the event-study analysis can detect),
+    /// * newly funded companies gain a CrunchBase funding round stamped with
+    ///   the current day.
+    ///
+    /// Deterministic in `(self, days, day_index, seed)`.
+    ///
+    /// Beyond engagement growth and round closings, investors keep
+    /// investing: each active community member may add a new investment
+    /// (from the community pool with its cohesion probability), so the
+    /// co-investment communities *drift* over time — the dynamics the §7
+    /// "community detection on dynamic graphs" extension tracks.
+    pub fn evolve(&mut self, days: u32, day_index: u32, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed ^ (day_index as u64) << 32);
+        self.evolve_investments(days, &mut rng);
+        for c in self.companies.iter_mut() {
+            let drive = 0.5 + c.quality; // quality tilts all growth
+            if let Some(tw) = c.twitter.as_mut() {
+                // Posting velocity rises with audience size (active accounts
+                // have more followers AND tweet more) — this is the signal
+                // the §7 event study detects: the same engagement level that
+                // raises the funding hazard also raises pre-event velocity.
+                let audience = (tw.followers as f64 / config::MEDIAN_TW_FOLLOWERS)
+                    .clamp(0.2, 6.0)
+                    .sqrt();
+                let new_tweets =
+                    (drive * audience * days as f64 * rng.random::<f64>() * 2.0).round() as u64;
+                tw.statuses += new_tweets;
+                let growth = 1.0 + 0.002 * drive * days as f64 * rng.random::<f64>();
+                tw.followers = ((tw.followers as f64) * growth).round() as u64;
+            }
+            if let Some(fb) = c.facebook.as_mut() {
+                let growth = 1.0 + 0.003 * drive * days as f64 * rng.random::<f64>();
+                fb.likes = ((fb.likes as f64) * growth).round() as u64;
+            }
+            if c.raising && !c.funded {
+                // Engagement-driven closing hazard per step.
+                let engagement = c
+                    .twitter
+                    .as_ref()
+                    .map(|t| (t.followers as f64 / config::MEDIAN_TW_FOLLOWERS).min(4.0))
+                    .unwrap_or(0.0)
+                    + c.facebook
+                        .as_ref()
+                        .map(|f| (f.likes as f64 / config::MEDIAN_FB_LIKES).min(4.0))
+                        .unwrap_or(0.0);
+                let hazard = (0.004 + 0.035 * engagement) * days as f64 / 7.0;
+                if dist::coin(&mut rng, hazard.min(0.5)) {
+                    c.funded = true;
+                    c.raising = false;
+                    c.has_crunchbase_link = true;
+                    c.rounds.push(FundingRound {
+                        day: day_index * days,
+                        raised_usd: dist::log_normal_by_median(&mut rng, 1_000_000.0, 0.8)
+                            .round() as u64,
+                        investor_count: rng.random_range(1..8),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Cohesive communities often register publicly as syndicates: a lead plus
+/// the backers who chose to join openly. Loose communities stay informal
+/// (they are "looser communities where investors largely make independent
+/// decisions", which have no reason to syndicate).
+fn register_syndicates(planted: &[PlantedCommunity], rng: &mut StdRng) -> Vec<Syndicate> {
+    let mut out = Vec::new();
+    for pc in planted {
+        if pc.cohesion < 0.45 || pc.investors.len() < 3 || !dist::coin(rng, 0.75) {
+            continue;
+        }
+        // 60–95% of members join publicly, proportional to cohesion.
+        let join_p = (0.4 + 0.6 * pc.cohesion).min(0.95);
+        let backers: Vec<UserId> = pc
+            .investors
+            .iter()
+            .copied()
+            .filter(|_| dist::coin(rng, join_p))
+            .collect();
+        if backers.len() < 2 {
+            continue;
+        }
+        out.push(Syndicate {
+            id: out.len() as u32,
+            lead: backers[0],
+            backers,
+        });
+    }
+    out
+}
+
+impl World {
+    /// New investments during evolution (see [`World::evolve`]).
+    fn evolve_investments(&mut self, days: u32, rng: &mut StdRng) {
+        let per_day_rate = 0.004;
+        let p_new = (per_day_rate * days as f64).min(0.5);
+        let n_companies = self.companies.len() as u32;
+        // Take the community list out to split the borrow with users/companies.
+        let planted = std::mem::take(&mut self.planted_communities);
+        for pc in &planted {
+            for &uid in &pc.investors {
+                if !dist::coin(rng, p_new) {
+                    continue;
+                }
+                let from_pool = dist::coin(rng, pc.cohesion) && !pc.pool.is_empty();
+                let pick = if from_pool {
+                    pc.pool[rng.random_range(0..pc.pool.len())]
+                } else {
+                    CompanyId(rng.random_range(0..n_companies))
+                };
+                let user = &mut self.users[uid.0 as usize];
+                if !user.investments.contains(&pick) {
+                    user.investments.push(pick);
+                    self.companies[pick.0 as usize].investors.push(uid);
+                }
+            }
+        }
+        self.planted_communities = planted;
+    }
+}
+
+fn generate_companies(cfg: &WorldConfig, rng: &mut StdRng) -> Vec<Company> {
+    let n = cfg.scale.companies();
+    let p_raising = config::RAISING_AT_PAPER_SCALE;
+    // Presence categories from the Fig. 6 marginals.
+    let p_both = config::BOTH_SOCIAL_FRACTION;
+    let p_fb_only = config::FACEBOOK_FRACTION - p_both;
+    let p_tw_only = config::TWITTER_FRACTION - p_both;
+    // Demo-video rates conditioned on social presence, solved so the overall
+    // fraction matches DEMO_VIDEO_FRACTION (see DESIGN.md §4).
+    let p_social = p_both + p_fb_only + p_tw_only;
+    let p_video_social = 0.26;
+    let p_video_none =
+        (config::DEMO_VIDEO_FRACTION - p_social * p_video_social) / (1.0 - p_social);
+
+    let mut out = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let quality: f64 = rng.random();
+        // Engagement medians tilt with quality; the tilt is symmetric in log
+        // space so the population median stays at the paper's value.
+        let tilt = (1.2 * (quality - 0.5)).exp();
+
+        let cat: f64 = rng.random();
+        let (facebook, twitter) = if cat < p_both {
+            (true, true)
+        } else if cat < p_both + p_fb_only {
+            (true, false)
+        } else if cat < p_both + p_fb_only + p_tw_only {
+            (false, true)
+        } else {
+            (false, false)
+        };
+
+        let name = names::company_name(rng, i);
+        let facebook = facebook.then(|| FacebookPage {
+            likes: dist::log_normal_by_median(rng, config::MEDIAN_FB_LIKES * tilt, cfg.engagement_sigma)
+                .round()
+                .max(0.0) as u64,
+            posts: dist::log_normal_by_median(rng, 40.0 * tilt, 1.0).round().max(0.0) as u32,
+        });
+        let twitter = twitter.then(|| TwitterAccount {
+            username: names::twitter_username(&name, i),
+            followers: dist::log_normal_by_median(
+                rng,
+                config::MEDIAN_TW_FOLLOWERS * tilt,
+                cfg.engagement_sigma,
+            )
+            .round()
+            .max(0.0) as u64,
+            friends: dist::log_normal_by_median(rng, 180.0, 1.0).round().max(0.0) as u64,
+            statuses: dist::log_normal_by_median(rng, config::MEDIAN_TWEETS * tilt, cfg.engagement_sigma)
+                .round()
+                .max(0.0) as u64,
+            created_day: rng.random_range(0..1500),
+        });
+
+        let has_social = facebook.is_some() || twitter.is_some();
+        let has_demo_video = dist::coin(
+            rng,
+            if has_social { p_video_social } else { p_video_none },
+        );
+
+        let funded = dist::coin(
+            rng,
+            success_probability(cfg, quality, &facebook, &twitter, has_demo_video),
+        );
+
+        out.push(Company {
+            id: CompanyId(i),
+            name,
+            quality,
+            raising: dist::coin(rng, p_raising),
+            has_demo_video,
+            facebook,
+            twitter,
+            funded,
+            rounds: Vec::new(),
+            has_crunchbase_link: funded && dist::coin(rng, cfg.crunchbase_link_fraction),
+            followers: Vec::new(),
+            investors: Vec::new(),
+        });
+    }
+    // Guarantee a non-empty crawl seed list at tiny scales.
+    if !out.iter().any(|c| c.raising) {
+        out[0].raising = true;
+    }
+    out
+}
+
+/// P(funded | features): the Fig. 6 calibration (see [`config::SuccessModel`]).
+pub fn success_probability(
+    cfg: &WorldConfig,
+    quality: f64,
+    facebook: &Option<FacebookPage>,
+    twitter: &Option<TwitterAccount>,
+    has_demo_video: bool,
+) -> f64 {
+    let m = &cfg.success;
+    let fb_high = facebook
+        .as_ref()
+        .map(|f| f.likes as f64 > config::MEDIAN_FB_LIKES);
+    let tw_high = twitter.as_ref().map(|t| {
+        t.statuses as f64 > config::MEDIAN_TWEETS
+            || t.followers as f64 > config::MEDIAN_TW_FOLLOWERS
+    });
+    let base = match (fb_high, tw_high) {
+        (None, None) => m.base_none,
+        (Some(high), None) => {
+            if high {
+                m.fb_high
+            } else {
+                m.fb_low
+            }
+        }
+        (None, Some(high)) => {
+            if high {
+                m.tw_high
+            } else {
+                m.tw_low
+            }
+        }
+        (Some(f), Some(t)) => match (f, t) {
+            (true, true) => m.both_high,
+            (true, false) => m.fb_high * 0.9,
+            (false, true) => m.tw_high * 0.9,
+            (false, false) => m.both_low,
+        },
+    };
+    let video = if has_demo_video { m.video_boost } else { 1.0 };
+    // Mild quality tilt with unit mean: the latent confounder.
+    let tilt = 0.6 + 0.8 * quality;
+    (base * video * tilt).clamp(0.0, 0.95)
+}
+
+fn generate_users(cfg: &WorldConfig, _companies: u32, rng: &mut StdRng) -> Vec<User> {
+    let n = cfg.scale.users();
+    let mut out = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let roll: f64 = rng.random();
+        let role = if roll < config::INVESTOR_FRACTION {
+            Role::Investor
+        } else if roll < config::INVESTOR_FRACTION + config::FOUNDER_FRACTION {
+            Role::Founder
+        } else if roll
+            < config::INVESTOR_FRACTION + config::FOUNDER_FRACTION + config::EMPLOYEE_FRACTION
+        {
+            Role::Employee
+        } else {
+            Role::Other
+        };
+        out.push(User {
+            id: UserId(i),
+            role,
+            follows_companies: Vec::new(),
+            follows_users: Vec::new(),
+            investments: Vec::new(),
+        });
+    }
+    // Tiny worlds must still contain investors.
+    if !out.iter().any(|u| u.role == Role::Investor) {
+        out[0].role = Role::Investor;
+    }
+    out
+}
+
+fn wire_follows(
+    cfg: &WorldConfig,
+    companies: &mut [Company],
+    users: &mut [User],
+    rng: &mut StdRng,
+) {
+    let nc = companies.len() as u32;
+    let nu = users.len() as u32;
+    // Popularity urn: follows beget follows (preferential attachment).
+    let mut urn = Urn::uniform(nc);
+    // Investors follow ~247 companies on average (§3): log-normal with
+    // median solved from mean = median · exp(σ²/2).
+    let sigma = 1.3f64;
+    let investor_median = config::MEAN_INVESTOR_FOLLOWS / (sigma * sigma / 2.0).exp();
+    let casual_median = cfg.mean_casual_follows / (0.9f64 * 0.9 / 2.0).exp();
+
+    for u in users.iter_mut() {
+        let target = if u.role == Role::Investor {
+            dist::log_normal_by_median(rng, investor_median, sigma)
+        } else {
+            dist::log_normal_by_median(rng, casual_median, 0.9)
+        };
+        let count = (target.round() as usize).clamp(1, (nc as usize).min(4000));
+        let mut seen = std::collections::HashSet::with_capacity(count);
+        let mut attempts = 0;
+        while seen.len() < count && attempts < count * 4 {
+            attempts += 1;
+            let pick = urn.sample(rng).expect("urn non-empty");
+            if seen.insert(pick) {
+                u.follows_companies.push(CompanyId(pick));
+                urn.reinforce(pick);
+            }
+        }
+        // A sparse user→user graph (the crawler's third expansion edge).
+        let friend_count = rng.random_range(0..6);
+        for _ in 0..friend_count {
+            let other = rng.random_range(0..nu);
+            if other != u.id.0 {
+                u.follows_users.push(UserId(other));
+            }
+        }
+    }
+    // Materialize reverse edges (the AngelList "followers of a startup"
+    // endpoint the BFS crawl expands through).
+    for u in users.iter() {
+        for &c in &u.follows_companies {
+            companies[c.0 as usize].followers.push(u.id);
+        }
+    }
+}
+
+fn plant_communities(
+    cfg: &WorldConfig,
+    investable: &[CompanyId],
+    users: &[User],
+    rng: &mut StdRng,
+) -> Vec<PlantedCommunity> {
+    // Active investors: 99% of investors (§5.1 keeps 46,966 of 47,345).
+    let mut active: Vec<UserId> = users
+        .iter()
+        .filter(|u| u.role == Role::Investor && rng.random::<f64>() < 0.992)
+        .map(|u| u.id)
+        .collect();
+    // Deterministic shuffle.
+    for i in (1..active.len()).rev() {
+        active.swap(i, rng.random_range(0..=i));
+    }
+
+    let k = cfg.communities.max(1).min(active.len().max(1));
+    // Log-normal community sizes, normalized to cover all active investors.
+    let mut raw: Vec<f64> = (0..k)
+        .map(|_| dist::log_normal_by_median(rng, 1.0, 0.8).max(0.05))
+        .collect();
+    let total: f64 = raw.iter().sum();
+    for r in &mut raw {
+        *r /= total;
+    }
+
+    let (lo, hi) = cfg.cohesion_range;
+    let mut out = Vec::with_capacity(k);
+    let mut cursor = 0usize;
+    for (i, frac) in raw.iter().enumerate() {
+        let size = if i == k - 1 {
+            active.len() - cursor
+        } else {
+            ((frac * active.len() as f64).round() as usize).min(active.len() - cursor)
+        };
+        let members: Vec<UserId> = active[cursor..cursor + size].to_vec();
+        cursor += size;
+        // Cohesion spans the configured range; spread deterministically so
+        // both strong (herding) and weak (independent) communities exist.
+        let cohesion = lo + (hi - lo) * (i as f64 / (k.max(2) - 1) as f64);
+        // Pool size well below membership × mean-investments, so cohesive
+        // communities overlap heavily (the paper's strongest community
+        // averages 2.1 shared investments per investor pair).
+        // Capped at 48: a community herds around a bounded set of deals (~2 dozen) no
+        // matter how many members it has (companies cap their rounds, which
+        // is also why the paper sees only 2.6 investors per company).
+        let pool_target = ((size as f64 * 0.35).ceil() as usize)
+            .clamp(4, 24)
+            .min(investable.len().max(4));
+        let pool: Vec<CompanyId> =
+            dist::sample_distinct(rng, investable.len(), pool_target.min(investable.len()))
+                .into_iter()
+                .map(|idx| investable[idx])
+                .collect();
+        out.push(PlantedCommunity {
+            id: i,
+            investors: members,
+            pool,
+            cohesion,
+        });
+    }
+    out
+}
+
+fn generate_investments(
+    cfg: &WorldConfig,
+    companies: &mut [Company],
+    users: &mut [User],
+    planted: &[PlantedCommunity],
+    investable: &[CompanyId],
+    rng: &mut StdRng,
+) {
+    let pl = PowerLaw::new(cfg.investment_alpha, 1, config::MAX_INVESTMENTS);
+    // Global market urn over the whole investable universe (one base slot
+    // each), reinforced per investment — preferential attachment, but broad
+    // enough that the company side stays larger than the investor side, as
+    // in the paper's 59,953-company bipartite graph.
+    let mut global = Urn::new();
+    for c in investable {
+        global.reinforce(c.0);
+    }
+    if global.is_empty() {
+        // Degenerate tiny world: fall back to every company.
+        global = Urn::uniform(companies.len() as u32);
+    }
+
+    // Per-community urns concentrate co-investment inside the pool.
+    let mut community_urns: Vec<Urn> = planted
+        .iter()
+        .map(|p| {
+            let mut u = Urn::new();
+            for c in &p.pool {
+                u.reinforce(c.0);
+            }
+            u
+        })
+        .collect();
+
+    for community in planted {
+        for &uid in &community.investors {
+            let k = pl.sample(rng) as usize;
+            let mut chosen = std::collections::HashSet::with_capacity(k);
+            let mut attempts = 0;
+            while chosen.len() < k && attempts < k * 6 + 12 {
+                attempts += 1;
+                let from_pool = rng.random::<f64>() < community.cohesion;
+                let pick = if from_pool {
+                    community_urns[community.id].sample(rng)
+                } else {
+                    global.sample(rng)
+                };
+                let Some(pick) = pick else { break };
+                if chosen.insert(pick) {
+                    users[uid.0 as usize].investments.push(CompanyId(pick));
+                    companies[pick as usize].investors.push(uid);
+                    if from_pool {
+                        community_urns[community.id].reinforce(pick);
+                    }
+                    global.reinforce(pick);
+                }
+            }
+        }
+    }
+}
+
+fn generate_rounds(companies: &mut [Company], rng: &mut StdRng) {
+    for c in companies.iter_mut() {
+        if !c.funded {
+            continue;
+        }
+        let n_rounds = rng.random_range(1..=3u32);
+        let investors_total = c.investors.len().max(1) as u32;
+        let mut day = rng.random_range(0..600);
+        for r in 0..n_rounds {
+            let raised =
+                dist::log_normal_by_median(rng, 1_200_000.0 * (r + 1) as f64, 0.9).round() as u64;
+            c.rounds.push(FundingRound {
+                day,
+                raised_usd: raised,
+                investor_count: (investors_total / n_rounds).max(1)
+                    + rng.random_range(0..3),
+            });
+            day += rng.random_range(120..500);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scale;
+
+    fn world() -> World {
+        World::generate(&WorldConfig::tiny(42))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(&WorldConfig::tiny(9));
+        let b = World::generate(&WorldConfig::tiny(9));
+        assert_eq!(a.companies.len(), b.companies.len());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.companies[7], b.companies[7]);
+        assert_eq!(a.users[13], b.users[13]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = World::generate(&WorldConfig::tiny(1));
+        let b = World::generate(&WorldConfig::tiny(2));
+        assert_ne!(
+            a.companies.iter().filter(|c| c.funded).count(),
+            b.companies.iter().filter(|c| c.funded).count()
+        );
+    }
+
+    #[test]
+    fn entity_counts_match_scale() {
+        let w = world();
+        assert_eq!(w.companies.len(), 1_500);
+        assert_eq!(w.users.len(), 2_200);
+    }
+
+    #[test]
+    fn role_fractions_near_paper() {
+        let cfg = WorldConfig::at_scale(3, Scale::Custom { companies: 2_000, users: 40_000 });
+        let w = World::generate(&cfg);
+        let n = w.users.len() as f64;
+        let frac = |role: Role| w.users.iter().filter(|u| u.role == role).count() as f64 / n;
+        assert!((frac(Role::Investor) - 0.043).abs() < 0.01);
+        assert!((frac(Role::Founder) - 0.183).abs() < 0.02);
+        assert!((frac(Role::Employee) - 0.442).abs() < 0.02);
+    }
+
+    #[test]
+    fn social_presence_marginals_near_paper() {
+        let cfg = WorldConfig::at_scale(4, Scale::Custom { companies: 60_000, users: 500 });
+        let w = World::generate(&cfg);
+        let n = w.companies.len() as f64;
+        let fb = w.companies.iter().filter(|c| c.facebook.is_some()).count() as f64 / n;
+        let tw = w.companies.iter().filter(|c| c.twitter.is_some()).count() as f64 / n;
+        let both = w
+            .companies
+            .iter()
+            .filter(|c| c.facebook.is_some() && c.twitter.is_some())
+            .count() as f64
+            / n;
+        let video = w.companies.iter().filter(|c| c.has_demo_video).count() as f64 / n;
+        assert!((fb - 0.0507).abs() < 0.005, "fb {fb}");
+        assert!((tw - 0.0948).abs() < 0.006, "tw {tw}");
+        assert!((both - 0.0437).abs() < 0.005, "both {both}");
+        assert!((video - 0.0488).abs() < 0.01, "video {video}");
+    }
+
+    #[test]
+    fn engagement_beats_no_social_on_success() {
+        let cfg = WorldConfig::at_scale(5, Scale::Custom { companies: 120_000, users: 500 });
+        let w = World::generate(&cfg);
+        let rate = |f: &dyn Fn(&Company) -> bool| {
+            let matching: Vec<&Company> = w.companies.iter().filter(|c| f(c)).collect();
+            matching.iter().filter(|c| c.funded).count() as f64 / matching.len().max(1) as f64
+        };
+        let none = rate(&|c| !c.has_social_presence());
+        let social = rate(&|c| c.has_social_presence());
+        assert!(none < 0.01, "no-social rate {none}");
+        assert!(social > 0.08, "social rate {social}");
+        // The 30× headline, within generative noise.
+        assert!(social / none > 10.0, "lift {}", social / none);
+    }
+
+    #[test]
+    fn investment_distribution_is_long_tailed() {
+        let cfg = WorldConfig::at_scale(6, Scale::Custom { companies: 30_000, users: 120_000 });
+        let w = World::generate(&cfg);
+        let counts: Vec<usize> = w
+            .investors()
+            .filter(|u| !u.investments.is_empty())
+            .map(|u| u.investments.len())
+            .collect();
+        assert!(!counts.is_empty());
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        let mut sorted = counts.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        assert_eq!(median, 1, "median investments should be 1");
+        assert!((mean - 3.3).abs() < 0.8, "mean investments {mean}");
+        assert!(*sorted.last().unwrap() > 30, "long tail expected");
+    }
+
+    #[test]
+    fn investments_are_distinct_and_reciprocal() {
+        let w = world();
+        for u in &w.users {
+            let set: std::collections::HashSet<_> = u.investments.iter().collect();
+            assert_eq!(set.len(), u.investments.len(), "duplicate investment");
+            for &c in &u.investments {
+                assert!(
+                    w.companies[c.0 as usize].investors.contains(&u.id),
+                    "reverse edge missing"
+                );
+            }
+        }
+        for c in &w.companies {
+            for &uid in &c.investors {
+                assert!(w.users[uid.0 as usize].investments.contains(&c.id));
+            }
+        }
+    }
+
+    #[test]
+    fn only_investors_invest() {
+        let w = world();
+        for u in &w.users {
+            if u.role != Role::Investor {
+                assert!(u.investments.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn follows_are_reciprocal_with_company_followers() {
+        let w = world();
+        let mut total = 0usize;
+        for u in &w.users {
+            for &c in &u.follows_companies {
+                assert!(w.companies[c.0 as usize].followers.contains(&u.id));
+            }
+            total += u.follows_companies.len();
+        }
+        let company_side: usize = w.companies.iter().map(|c| c.followers.len()).sum();
+        assert_eq!(total, company_side);
+    }
+
+    #[test]
+    fn funded_companies_have_rounds_and_only_them() {
+        let w = world();
+        for c in &w.companies {
+            if c.funded {
+                assert!(!c.rounds.is_empty());
+                for r in &c.rounds {
+                    assert!(r.raised_usd > 0);
+                    assert!(r.investor_count >= 1);
+                }
+            } else {
+                assert!(c.rounds.is_empty());
+                assert!(!c.has_crunchbase_link);
+            }
+        }
+    }
+
+    #[test]
+    fn planted_communities_partition_active_investors() {
+        let w = world();
+        let mut seen = std::collections::HashSet::new();
+        for pc in &w.planted_communities {
+            assert!(!pc.pool.is_empty());
+            assert!((0.0..=1.0).contains(&pc.cohesion));
+            for &m in &pc.investors {
+                assert!(seen.insert(m), "investor in two communities");
+                assert_eq!(w.users[m.0 as usize].role, Role::Investor);
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn strong_communities_coinvest_more_than_weak() {
+        let cfg = WorldConfig::at_scale(8, Scale::Custom { companies: 20_000, users: 60_000 });
+        let w = World::generate(&cfg);
+        // Average pairwise shared investments in the most vs least cohesive
+        // community with at least 10 members.
+        let shared_avg = |pc: &PlantedCommunity| {
+            let sets: Vec<std::collections::HashSet<u32>> = pc
+                .investors
+                .iter()
+                .map(|&u| w.users[u.0 as usize].investments.iter().map(|c| c.0).collect())
+                .collect();
+            let mut total = 0usize;
+            let mut pairs = 0usize;
+            for i in 0..sets.len().min(60) {
+                for j in (i + 1)..sets.len().min(60) {
+                    total += sets[i].intersection(&sets[j]).count();
+                    pairs += 1;
+                }
+            }
+            total as f64 / pairs.max(1) as f64
+        };
+        let eligible: Vec<&PlantedCommunity> = w
+            .planted_communities
+            .iter()
+            .filter(|p| p.investors.len() >= 10)
+            .collect();
+        let strongest = eligible
+            .iter()
+            .max_by(|a, b| a.cohesion.partial_cmp(&b.cohesion).unwrap())
+            .unwrap();
+        let weakest = eligible
+            .iter()
+            .min_by(|a, b| a.cohesion.partial_cmp(&b.cohesion).unwrap())
+            .unwrap();
+        let s = shared_avg(strongest);
+        let wk = shared_avg(weakest);
+        // The paper's 2.1 figure is for the *detected* densest core; the
+        // planted-average here only needs to show a clear herding gap.
+        assert!(s > wk * 3.0, "strong {s} should dwarf weak {wk}");
+        assert!(s > 0.2, "strong community should share investments: {s}");
+    }
+
+    #[test]
+    fn evolve_grows_engagement_and_closes_rounds() {
+        let cfg = WorldConfig::at_scale(11, Scale::Custom { companies: 30_000, users: 500 });
+        let mut w = World::generate(&cfg);
+        let before_funded = w.companies.iter().filter(|c| c.funded).count();
+        let before_tweets: u64 = w
+            .companies
+            .iter()
+            .filter_map(|c| c.twitter.as_ref())
+            .map(|t| t.statuses)
+            .sum();
+        for day in 0..30 {
+            w.evolve(1, day, 777);
+        }
+        let after_funded = w.companies.iter().filter(|c| c.funded).count();
+        let after_tweets: u64 = w
+            .companies
+            .iter()
+            .filter_map(|c| c.twitter.as_ref())
+            .map(|t| t.statuses)
+            .sum();
+        assert!(after_tweets > before_tweets, "tweets should accrue");
+        assert!(after_funded > before_funded, "some raising companies close");
+        // Newly funded companies carry a round stamped within the window.
+        let newly = w
+            .companies
+            .iter()
+            .filter(|c| c.funded && !c.raising && !c.rounds.is_empty())
+            .count();
+        assert!(newly >= after_funded - before_funded);
+    }
+
+    #[test]
+    fn evolve_is_deterministic() {
+        let cfg = WorldConfig::tiny(12);
+        let mut a = World::generate(&cfg);
+        let mut b = World::generate(&cfg);
+        for day in 0..5 {
+            a.evolve(1, day, 5);
+            b.evolve(1, day, 5);
+        }
+        assert_eq!(a.companies, b.companies);
+    }
+
+    #[test]
+    fn syndicates_come_from_cohesive_communities() {
+        let cfg = WorldConfig::at_scale(9, Scale::Custom { companies: 20_000, users: 60_000 });
+        let w = World::generate(&cfg);
+        assert!(!w.syndicates.is_empty(), "cohesive communities should syndicate");
+        for (i, s) in w.syndicates.iter().enumerate() {
+            assert_eq!(s.id as usize, i);
+            assert!(s.backers.len() >= 2);
+            assert!(s.backers.contains(&s.lead));
+            // Backers are a subset of exactly one planted community, and
+            // that community is cohesive.
+            let home = w
+                .planted_communities
+                .iter()
+                .find(|pc| pc.investors.contains(&s.lead))
+                .expect("lead belongs to a community");
+            assert!(home.cohesion >= 0.45);
+            for b in &s.backers {
+                assert!(home.investors.contains(b));
+            }
+        }
+        // Loose communities never syndicate.
+        let syndicated_leads: std::collections::HashSet<u32> =
+            w.syndicates.iter().map(|s| s.lead.0).collect();
+        for pc in w.planted_communities.iter().filter(|p| p.cohesion < 0.45) {
+            for inv in &pc.investors {
+                assert!(!syndicated_leads.contains(&inv.0));
+            }
+        }
+    }
+
+    #[test]
+    fn raising_list_is_nonempty_and_proportional() {
+        let cfg = WorldConfig::at_scale(10, Scale::Custom { companies: 100_000, users: 500 });
+        let w = World::generate(&cfg);
+        let raising = w.raising_companies().count();
+        // ~4000/744k of 100k ≈ 537.
+        assert!((300..900).contains(&raising), "raising = {raising}");
+    }
+}

@@ -1,0 +1,49 @@
+//! # crowdnet-socialsim
+//!
+//! The synthetic crowdfunding ecosystem — CrowdNet's substitute for the live
+//! AngelList, CrunchBase, Facebook and Twitter services the paper crawled in
+//! 2016 (none of which can be crawled here; see DESIGN.md §1).
+//!
+//! Two halves:
+//!
+//! * **World generation** ([`World::generate`]) — a seeded generative model
+//!   of startups, users (investors / founders / employees), follow edges,
+//!   investments, funding rounds and social-media accounts. Every marginal
+//!   the paper reports is a calibration target of this model: the §3 dataset
+//!   counts and role fractions, the Figure 3 long-tailed investment
+//!   distribution, the Figure 6 engagement→success rate table, the §5.1
+//!   bipartite degree structure, and the planted co-investment communities
+//!   behind §5.2–5.3. The planted structure is kept as ground truth
+//!   ([`World::planted_communities`]) so detector ablations can score
+//!   recovery quality.
+//!
+//! * **Simulated web APIs** ([`sources`]) — paginated, token-authenticated,
+//!   rate-limited JSON endpoints mimicking the four services' public APIs
+//!   (AngelList startups/followers, CrunchBase search + funding rounds, the
+//!   Facebook Graph API, and the Twitter REST API with its 180-calls-per-15
+//!   minutes window). The crawler in `crowdnet-crawl` speaks only to these
+//!   interfaces, exercising the same code paths as a live crawl: frontier
+//!   expansion, pagination, token sharding, rate-limit backoff, and fault
+//!   retry.
+//!
+//! ```
+//! use crowdnet_socialsim::{World, WorldConfig};
+//!
+//! let world = World::generate(&WorldConfig::tiny(42));
+//! assert!(world.companies.len() > 500);
+//! // The same seed regenerates the same world.
+//! let again = World::generate(&WorldConfig::tiny(42));
+//! assert_eq!(world.companies.len(), again.companies.len());
+//! ```
+
+pub mod clock;
+pub mod config;
+pub mod dist;
+pub mod entities;
+pub mod gen;
+pub mod sources;
+
+pub use clock::{Clock, SimClock};
+pub use config::{Scale, WorldConfig};
+pub use entities::{Company, CompanyId, Role, User, UserId};
+pub use gen::world::{PlantedCommunity, Syndicate, World};

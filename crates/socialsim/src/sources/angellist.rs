@@ -1,0 +1,281 @@
+//! Simulated AngelList API.
+//!
+//! The paper's crawl is anchored here: "AngelList's API currently only
+//! provides a list of all startups that are currently raising money (about
+//! 4000 of them)" — the BFS then expands through followers and follow lists.
+//! Endpoints mirror that surface:
+//!
+//! * [`AngelListApi::raising_startups`] — the paginated seed list,
+//! * [`AngelListApi::startup`] — a profile with social/CrunchBase URLs,
+//! * [`AngelListApi::startup_followers`] — users following a startup,
+//! * [`AngelListApi::user`] — a user profile (role + investment portfolio),
+//! * [`AngelListApi::user_following_startups`] / [`AngelListApi::user_following_users`]
+//!   — the outgoing follow lists the BFS expands through.
+
+use super::{paginate, ApiError, ApiResult, FaultModel};
+use crate::entities::{Role, UserId};
+use crate::gen::world::World;
+use crowdnet_json::{obj, Value};
+use std::sync::Arc;
+
+/// The simulated AngelList service.
+pub struct AngelListApi {
+    world: Arc<World>,
+    faults: FaultModel,
+}
+
+impl AngelListApi {
+    /// Wrap a world; `faults` injects transient errors.
+    pub fn new(world: Arc<World>, faults: FaultModel) -> AngelListApi {
+        AngelListApi { world, faults }
+    }
+
+    /// A fault-free API (tests).
+    pub fn reliable(world: Arc<World>) -> AngelListApi {
+        AngelListApi::new(world, FaultModel::none())
+    }
+
+    /// Calls served (for throughput reporting).
+    pub fn calls(&self) -> u64 {
+        self.faults.total_calls()
+    }
+
+    /// Paginated list of currently raising startups (ids + names).
+    pub fn raising_startups(&self, page: usize) -> ApiResult {
+        self.faults.check()?;
+        let raising: Vec<&crate::entities::Company> =
+            self.world.raising_companies().collect();
+        paginate(&raising, page, |c| {
+            obj! { "id" => c.id.0, "name" => c.name.as_str() }
+        })
+    }
+
+    /// Full startup profile.
+    pub fn startup(&self, id: u32) -> ApiResult {
+        self.faults.check()?;
+        let c = self
+            .world
+            .companies
+            .get(id as usize)
+            .ok_or(ApiError::NotFound)?;
+        Ok(obj! {
+            "id" => c.id.0,
+            "name" => c.name.as_str(),
+            "raising" => c.raising,
+            "follower_count" => c.followers.len() as u64,
+            "video_url" => c.has_demo_video.then(|| format!("https://angel.co/videos/{}", c.id.0)),
+            "facebook_url" => c.facebook.as_ref().map(|_| format!("https://facebook.com/pages/startup-{}", c.id.0)),
+            "twitter_url" => c.twitter.as_ref().map(|t| format!("https://twitter.com/{}", t.username)),
+            "crunchbase_url" => c.has_crunchbase_link.then(|| format!("https://crunchbase.com/organization/c-{}", c.id.0)),
+        })
+    }
+
+    /// Users following a startup (paginated ids).
+    pub fn startup_followers(&self, id: u32, page: usize) -> ApiResult {
+        self.faults.check()?;
+        let c = self
+            .world
+            .companies
+            .get(id as usize)
+            .ok_or(ApiError::NotFound)?;
+        paginate(&c.followers, page, |u| Value::from(u.0))
+    }
+
+    /// User profile: role and investment portfolio (AngelList displays an
+    /// investor's portfolio publicly — this is where the §5.1 bipartite
+    /// edges come from).
+    pub fn user(&self, id: u32) -> ApiResult {
+        self.faults.check()?;
+        let u = self
+            .world
+            .users
+            .get(id as usize)
+            .ok_or(ApiError::NotFound)?;
+        let role = match u.role {
+            Role::Investor => "investor",
+            Role::Founder => "founder",
+            Role::Employee => "employee",
+            Role::Other => "other",
+        };
+        Ok(obj! {
+            "id" => u.id.0,
+            "role" => role,
+            "follow_count" => (u.follows_companies.len() + u.follows_users.len()) as u64,
+            "investments" => Value::Arr(u.investments.iter().map(|c| Value::from(c.0)).collect::<Vec<_>>()),
+        })
+    }
+
+    /// Startups a user follows (paginated ids).
+    pub fn user_following_startups(&self, id: u32, page: usize) -> ApiResult {
+        self.faults.check()?;
+        let u = self
+            .world
+            .users
+            .get(id as usize)
+            .ok_or(ApiError::NotFound)?;
+        paginate(&u.follows_companies, page, |c| Value::from(c.0))
+    }
+
+    /// Paginated list of public syndicates (§2: investors "form syndicates
+    /// for investment"). Items carry the syndicate id and lead investor.
+    pub fn syndicates(&self, page: usize) -> ApiResult {
+        self.faults.check()?;
+        paginate(&self.world.syndicates, page, |s| {
+            obj! { "id" => s.id, "lead" => s.lead.0 }
+        })
+    }
+
+    /// One syndicate's backer list.
+    pub fn syndicate(&self, id: u32) -> ApiResult {
+        self.faults.check()?;
+        let s = self
+            .world
+            .syndicates
+            .get(id as usize)
+            .ok_or(ApiError::NotFound)?;
+        Ok(obj! {
+            "id" => s.id,
+            "lead" => s.lead.0,
+            "backers" => Value::Arr(s.backers.iter().map(|u| Value::from(u.0)).collect::<Vec<_>>()),
+        })
+    }
+
+    /// Users a user follows (paginated ids).
+    pub fn user_following_users(&self, id: u32, page: usize) -> ApiResult {
+        self.faults.check()?;
+        let u = self
+            .world
+            .users
+            .get(id as usize)
+            .ok_or(ApiError::NotFound)?;
+        paginate(&u.follows_users, page, |v: &UserId| Value::from(v.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn api() -> AngelListApi {
+        AngelListApi::reliable(Arc::new(World::generate(&WorldConfig::tiny(42))))
+    }
+
+    #[test]
+    fn raising_list_pages() {
+        let api = api();
+        let p1 = api.raising_startups(1).unwrap();
+        let total = p1.get("total").and_then(Value::as_u64).unwrap();
+        assert!(total > 0);
+        let items = p1.get("items").unwrap().as_arr().unwrap();
+        assert!(!items.is_empty());
+        assert!(items[0].get("id").is_some());
+    }
+
+    #[test]
+    fn startup_profile_has_urls_iff_accounts() {
+        let api = api();
+        let world = Arc::clone(&api.world);
+        for c in world.companies.iter().take(300) {
+            let doc = api.startup(c.id.0).unwrap();
+            assert_eq!(doc.get("facebook_url").map(|v| !v.is_null()), Some(c.facebook.is_some()));
+            assert_eq!(doc.get("twitter_url").map(|v| !v.is_null()), Some(c.twitter.is_some()));
+            assert_eq!(
+                doc.get("video_url").map(|v| !v.is_null()),
+                Some(c.has_demo_video)
+            );
+        }
+    }
+
+    #[test]
+    fn twitter_url_embeds_username() {
+        let api = api();
+        let world = Arc::clone(&api.world);
+        let c = world.companies.iter().find(|c| c.twitter.is_some()).unwrap();
+        let doc = api.startup(c.id.0).unwrap();
+        let url = doc.get("twitter_url").and_then(Value::as_str).unwrap();
+        let username = url.rsplit('/').next().unwrap();
+        assert_eq!(username, c.twitter.as_ref().unwrap().username);
+    }
+
+    #[test]
+    fn unknown_ids_are_404() {
+        let api = api();
+        assert_eq!(api.startup(10_000_000).unwrap_err(), ApiError::NotFound);
+        assert_eq!(api.user(10_000_000).unwrap_err(), ApiError::NotFound);
+        assert_eq!(
+            api.startup_followers(10_000_000, 1).unwrap_err(),
+            ApiError::NotFound
+        );
+    }
+
+    #[test]
+    fn user_profile_reports_investments() {
+        let api = api();
+        let world = Arc::clone(&api.world);
+        let inv = world
+            .users
+            .iter()
+            .find(|u| !u.investments.is_empty())
+            .expect("some investor invests");
+        let doc = api.user(inv.id.0).unwrap();
+        assert_eq!(doc.get("role").and_then(Value::as_str), Some("investor"));
+        let listed = doc.get("investments").unwrap().as_arr().unwrap().len();
+        assert_eq!(listed, inv.investments.len());
+    }
+
+    #[test]
+    fn follower_pagination_is_complete() {
+        let api = api();
+        let world = Arc::clone(&api.world);
+        let c = world
+            .companies
+            .iter()
+            .max_by_key(|c| c.followers.len())
+            .unwrap();
+        let mut collected = 0;
+        let mut page = 1;
+        loop {
+            let doc = api.startup_followers(c.id.0, page).unwrap();
+            collected += doc.get("items").unwrap().as_arr().unwrap().len();
+            if page as u64 >= doc.get("last_page").and_then(Value::as_u64).unwrap() {
+                break;
+            }
+            page += 1;
+        }
+        assert_eq!(collected, c.followers.len());
+    }
+
+    #[test]
+    fn syndicates_are_listed_and_fetchable() {
+        let api = api();
+        let world = Arc::clone(&api.world);
+        let p1 = api.syndicates(1).unwrap();
+        let total = p1.get("total").and_then(Value::as_u64).unwrap() as usize;
+        assert_eq!(total, world.syndicates.len());
+        if total > 0 {
+            let doc = api.syndicate(0).unwrap();
+            let backers = doc.get("backers").unwrap().as_arr().unwrap();
+            assert_eq!(backers.len(), world.syndicates[0].backers.len());
+            assert_eq!(
+                doc.get("lead").and_then(Value::as_u64),
+                Some(world.syndicates[0].lead.0 as u64)
+            );
+        }
+        assert_eq!(api.syndicate(9_999_999).unwrap_err(), ApiError::NotFound);
+    }
+
+    #[test]
+    fn faulty_api_errors_sometimes_but_counts_calls() {
+        let world = Arc::new(World::generate(&WorldConfig::tiny(1)));
+        let api = AngelListApi::new(world, FaultModel::new(0.5, 9));
+        let mut errs = 0;
+        for _ in 0..200 {
+            if api.raising_startups(1).is_err() {
+                errs += 1;
+            }
+        }
+        assert!(errs > 50 && errs < 150, "errs = {errs}");
+        assert_eq!(api.calls(), 200);
+    }
+}

@@ -1,0 +1,167 @@
+//! Simulated CrunchBase API.
+//!
+//! §3: "upon finishing our initial breadth-first search crawl over AngelList,
+//! we query CrunchBase for each of the AngelList startups. If the AngelList
+//! entry provides a CrunchBase URL, we use the associated CrunchBase entry;
+//! if not, we use the CrunchBase search API to find startups with matching
+//! names. If the CrunchBase search returns a unique result, we associate that
+//! result with the AngelList startup."
+//!
+//! Both routes are simulated: permalink lookup and name search (which can
+//! return zero, one or many matches — only unique matches are usable, as in
+//! the paper).
+
+use super::{ApiError, ApiResult, FaultModel};
+use crate::gen::world::World;
+use crowdnet_json::{obj, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The simulated CrunchBase service. Only funded companies have profiles
+/// (CrunchBase records funding events).
+pub struct CrunchBaseApi {
+    world: Arc<World>,
+    faults: FaultModel,
+    /// name → funded company ids bearing that name.
+    by_name: HashMap<String, Vec<u32>>,
+}
+
+impl CrunchBaseApi {
+    /// Wrap a world.
+    pub fn new(world: Arc<World>, faults: FaultModel) -> CrunchBaseApi {
+        let mut by_name: HashMap<String, Vec<u32>> = HashMap::new();
+        for c in world.companies.iter().filter(|c| c.funded) {
+            by_name.entry(c.name.clone()).or_default().push(c.id.0);
+        }
+        CrunchBaseApi {
+            world,
+            faults,
+            by_name,
+        }
+    }
+
+    /// A fault-free API (tests).
+    pub fn reliable(world: Arc<World>) -> CrunchBaseApi {
+        CrunchBaseApi::new(world, FaultModel::none())
+    }
+
+    /// Calls served.
+    pub fn calls(&self) -> u64 {
+        self.faults.total_calls()
+    }
+
+    /// Profile by permalink (`"c-<angellist id>"`, the form AngelList links).
+    pub fn company(&self, permalink: &str) -> ApiResult {
+        self.faults.check()?;
+        let id: u32 = permalink
+            .strip_prefix("c-")
+            .and_then(|s| s.parse().ok())
+            .ok_or(ApiError::NotFound)?;
+        let c = self
+            .world
+            .companies
+            .get(id as usize)
+            .filter(|c| c.funded)
+            .ok_or(ApiError::NotFound)?;
+        let rounds: Vec<Value> = c
+            .rounds
+            .iter()
+            .map(|r| {
+                obj! {
+                    "day" => r.day as u64,
+                    "raised_usd" => r.raised_usd,
+                    "investor_count" => r.investor_count as u64,
+                }
+            })
+            .collect();
+        Ok(obj! {
+            "permalink" => permalink,
+            "name" => c.name.as_str(),
+            "angellist_id" => c.id.0,
+            "total_raised_usd" => c.rounds.iter().map(|r| r.raised_usd).sum::<u64>(),
+            "rounds" => Value::Arr(rounds),
+        })
+    }
+
+    /// Exact-name search over funded companies; returns all matches. The
+    /// crawler must only use unique results (the paper's rule).
+    pub fn search(&self, name: &str) -> ApiResult {
+        self.faults.check()?;
+        let matches: Vec<Value> = self
+            .by_name
+            .get(name)
+            .map(|ids| {
+                ids.iter()
+                    .map(|id| {
+                        obj! {
+                            "permalink" => format!("c-{id}"),
+                            "name" => name,
+                        }
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(obj! { "matches" => Value::Arr(matches) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn api() -> CrunchBaseApi {
+        CrunchBaseApi::reliable(Arc::new(World::generate(&WorldConfig::tiny(42))))
+    }
+
+    #[test]
+    fn funded_companies_resolve_by_permalink() {
+        let api = api();
+        let world = Arc::clone(&api.world);
+        let funded = world.companies.iter().find(|c| c.funded).unwrap();
+        let doc = api.company(&format!("c-{}", funded.id.0)).unwrap();
+        assert_eq!(doc.get("angellist_id").and_then(Value::as_u64), Some(funded.id.0 as u64));
+        let rounds = doc.get("rounds").unwrap().as_arr().unwrap();
+        assert_eq!(rounds.len(), funded.rounds.len());
+        let total = doc.get("total_raised_usd").and_then(Value::as_u64).unwrap();
+        assert_eq!(total, funded.rounds.iter().map(|r| r.raised_usd).sum::<u64>());
+    }
+
+    #[test]
+    fn unfunded_companies_are_404() {
+        let api = api();
+        let world = Arc::clone(&api.world);
+        let unfunded = world.companies.iter().find(|c| !c.funded).unwrap();
+        assert_eq!(
+            api.company(&format!("c-{}", unfunded.id.0)).unwrap_err(),
+            ApiError::NotFound
+        );
+    }
+
+    #[test]
+    fn malformed_permalinks_are_404() {
+        let api = api();
+        assert_eq!(api.company("nope").unwrap_err(), ApiError::NotFound);
+        assert_eq!(api.company("c-abc").unwrap_err(), ApiError::NotFound);
+    }
+
+    #[test]
+    fn search_finds_funded_by_exact_name() {
+        let api = api();
+        let world = Arc::clone(&api.world);
+        let funded = world.companies.iter().find(|c| c.funded).unwrap();
+        let doc = api.search(&funded.name).unwrap();
+        let matches = doc.get("matches").unwrap().as_arr().unwrap();
+        assert!(!matches.is_empty());
+        assert!(matches
+            .iter()
+            .any(|m| m.get("permalink").and_then(Value::as_str) == Some(&format!("c-{}", funded.id.0))));
+    }
+
+    #[test]
+    fn search_misses_return_empty() {
+        let api = api();
+        let doc = api.search("No Such Startup Anywhere").unwrap();
+        assert!(doc.get("matches").unwrap().as_arr().unwrap().is_empty());
+    }
+}

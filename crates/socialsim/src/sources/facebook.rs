@@ -1,0 +1,225 @@
+//! Simulated Facebook Graph API.
+//!
+//! §3: "our Python-based crawler logs into Facebook as a user, and gets a
+//! valid access token before querying any data. The access token is at first
+//! short-lived, but we've used it to generate a long-lived one … Therefore,
+//! our Facebook crawler can work without any limitations."
+//!
+//! The simulation reproduces that token dance: [`FacebookApi::login`] issues
+//! a short-lived token (1 hour), [`FacebookApi::exchange_token`] upgrades it
+//! to a long-lived one (60 days), and [`FacebookApi::page`] rejects expired
+//! or unknown tokens with `Unauthorized`.
+
+use super::{ApiError, ApiResult, FaultModel};
+use crate::clock::Clock;
+use crate::gen::world::World;
+use crowdnet_json::obj;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Short-lived token lifetime: 1 hour.
+pub const SHORT_TOKEN_MS: u64 = 60 * 60 * 1000;
+/// Long-lived token lifetime: 60 days.
+pub const LONG_TOKEN_MS: u64 = 60 * 24 * 60 * 60 * 1000;
+
+struct TokenInfo {
+    expires_at_ms: u64,
+    long_lived: bool,
+}
+
+/// The simulated Facebook Graph API.
+pub struct FacebookApi {
+    world: Arc<World>,
+    clock: Arc<dyn Clock>,
+    faults: FaultModel,
+    tokens: Mutex<HashMap<String, TokenInfo>>,
+    next_token: Mutex<u64>,
+}
+
+impl FacebookApi {
+    /// Wrap a world with a clock (token expiry is clock-driven).
+    pub fn new(world: Arc<World>, clock: Arc<dyn Clock>, faults: FaultModel) -> FacebookApi {
+        FacebookApi {
+            world,
+            clock,
+            faults,
+            tokens: Mutex::new(HashMap::new()),
+            next_token: Mutex::new(0),
+        }
+    }
+
+    /// Calls served.
+    pub fn calls(&self) -> u64 {
+        self.faults.total_calls()
+    }
+
+    fn mint(&self, long_lived: bool) -> String {
+        let mut n = self.next_token.lock();
+        *n += 1;
+        let token = format!("fb-{}-{}", if long_lived { "long" } else { "short" }, *n);
+        let ttl = if long_lived { LONG_TOKEN_MS } else { SHORT_TOKEN_MS };
+        self.tokens.lock().insert(
+            token.clone(),
+            TokenInfo {
+                expires_at_ms: self.clock.now_ms() + ttl,
+                long_lived,
+            },
+        );
+        token
+    }
+
+    /// Log in as a user: a short-lived access token.
+    pub fn login(&self) -> String {
+        self.mint(false)
+    }
+
+    /// Exchange a valid short-lived token for a long-lived one (requires
+    /// "creating a Facebook App", which the simulation takes as given).
+    pub fn exchange_token(&self, short: &str) -> Result<String, ApiError> {
+        let now = self.clock.now_ms();
+        {
+            let tokens = self.tokens.lock();
+            let info = tokens.get(short).ok_or(ApiError::Unauthorized)?;
+            if info.expires_at_ms <= now {
+                return Err(ApiError::Unauthorized);
+            }
+        }
+        Ok(self.mint(true))
+    }
+
+    fn validate(&self, token: &str) -> Result<(), ApiError> {
+        let tokens = self.tokens.lock();
+        let info = tokens.get(token).ok_or(ApiError::Unauthorized)?;
+        if info.expires_at_ms <= self.clock.now_ms() {
+            Err(ApiError::Unauthorized)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Whether a token is long-lived (diagnostics).
+    pub fn is_long_lived(&self, token: &str) -> bool {
+        self.tokens
+            .lock()
+            .get(token)
+            .map(|t| t.long_lived)
+            .unwrap_or(false)
+    }
+
+    /// Fetch a page's public fields by its URL
+    /// (`https://facebook.com/pages/startup-<id>`).
+    pub fn page(&self, url: &str, token: &str) -> ApiResult {
+        self.faults.check()?;
+        self.validate(token)?;
+        let id: u32 = url
+            .rsplit('/')
+            .next()
+            .and_then(|seg| seg.strip_prefix("startup-"))
+            .and_then(|s| s.parse().ok())
+            .ok_or(ApiError::NotFound)?;
+        let c = self
+            .world
+            .companies
+            .get(id as usize)
+            .ok_or(ApiError::NotFound)?;
+        let fb = c.facebook.as_ref().ok_or(ApiError::NotFound)?;
+        Ok(obj! {
+            "id" => format!("startup-{id}"),
+            "name" => c.name.as_str(),
+            "likes" => fb.likes,
+            "posts" => fb.posts as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::config::WorldConfig;
+
+    fn setup() -> (FacebookApi, SimClock, Arc<World>) {
+        let world = Arc::new(World::generate(&WorldConfig::tiny(42)));
+        let clock = SimClock::new();
+        let api = FacebookApi::new(
+            Arc::clone(&world),
+            Arc::new(clock.clone()),
+            FaultModel::none(),
+        );
+        (api, clock, world)
+    }
+
+    fn fb_url(world: &World) -> String {
+        let c = world
+            .companies
+            .iter()
+            .find(|c| c.facebook.is_some())
+            .unwrap();
+        format!("https://facebook.com/pages/startup-{}", c.id.0)
+    }
+
+    #[test]
+    fn token_dance_and_page_fetch() {
+        let (api, _clock, world) = setup();
+        let short = api.login();
+        assert!(!api.is_long_lived(&short));
+        let long = api.exchange_token(&short).unwrap();
+        assert!(api.is_long_lived(&long));
+        let doc = api.page(&fb_url(&world), &long).unwrap();
+        assert!(doc.get("likes").and_then(|v| v.as_u64()).is_some());
+    }
+
+    #[test]
+    fn requests_without_valid_token_are_401() {
+        let (api, _, world) = setup();
+        assert_eq!(
+            api.page(&fb_url(&world), "garbage").unwrap_err(),
+            ApiError::Unauthorized
+        );
+    }
+
+    #[test]
+    fn short_tokens_expire_after_an_hour() {
+        let (api, clock, world) = setup();
+        let short = api.login();
+        assert!(api.page(&fb_url(&world), &short).is_ok());
+        clock.advance_ms(SHORT_TOKEN_MS + 1);
+        assert_eq!(
+            api.page(&fb_url(&world), &short).unwrap_err(),
+            ApiError::Unauthorized
+        );
+        // And an expired short token can no longer be exchanged.
+        assert_eq!(api.exchange_token(&short).unwrap_err(), ApiError::Unauthorized);
+    }
+
+    #[test]
+    fn long_tokens_survive_weeks() {
+        let (api, clock, world) = setup();
+        let long = api.exchange_token(&api.login()).unwrap();
+        clock.advance_ms(30 * 24 * 60 * 60 * 1000); // 30 days
+        assert!(api.page(&fb_url(&world), &long).is_ok());
+        clock.advance_ms(40 * 24 * 60 * 60 * 1000); // 70 days total
+        assert_eq!(
+            api.page(&fb_url(&world), &long).unwrap_err(),
+            ApiError::Unauthorized
+        );
+    }
+
+    #[test]
+    fn pages_without_facebook_are_404() {
+        let (api, _, world) = setup();
+        let token = api.login();
+        let c = world
+            .companies
+            .iter()
+            .find(|c| c.facebook.is_none())
+            .unwrap();
+        let url = format!("https://facebook.com/pages/startup-{}", c.id.0);
+        assert_eq!(api.page(&url, &token).unwrap_err(), ApiError::NotFound);
+        assert_eq!(
+            api.page("https://facebook.com/bogus", &token).unwrap_err(),
+            ApiError::NotFound
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Simulated web APIs for the four data sources.
+//!
+//! Each service exposes the subset of its 2016 public API the paper's
+//! crawlers used, as JSON-returning methods with the real services' failure
+//! modes: pagination, 404s, access tokens, token expiry, per-token rate
+//! limits and transient server errors. The crawler treats these exactly as
+//! HTTP clients treat the live services.
+
+pub mod angellist;
+pub mod crunchbase;
+pub mod facebook;
+pub mod twitter;
+
+use crowdnet_json::Value;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Items per page for every paginated endpoint (AngelList used 50).
+pub const PER_PAGE: usize = 50;
+
+/// An API call failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// Unknown entity (HTTP 404).
+    NotFound,
+    /// Missing/expired/invalid access token (HTTP 401).
+    Unauthorized,
+    /// Per-token rate limit hit (HTTP 429); retry after this many ms.
+    RateLimited {
+        /// Milliseconds until the window resets.
+        retry_after_ms: u64,
+    },
+    /// Transient server failure (HTTP 5xx); safe to retry.
+    ServerError,
+    /// Malformed request (HTTP 400), e.g. page 0.
+    BadRequest(String),
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::NotFound => write!(f, "404 not found"),
+            ApiError::Unauthorized => write!(f, "401 unauthorized"),
+            ApiError::RateLimited { retry_after_ms } => {
+                write!(f, "429 rate limited (retry after {retry_after_ms} ms)")
+            }
+            ApiError::ServerError => write!(f, "5xx transient server error"),
+            ApiError::BadRequest(msg) => write!(f, "400 bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Result of an API call: a JSON document or an error.
+pub type ApiResult = Result<Value, ApiError>;
+
+/// Injects transient `ServerError`s at a configured rate, so the crawler's
+/// retry logic is exercised by every test that uses a non-zero rate.
+pub struct FaultModel {
+    rate: f64,
+    rng: Mutex<StdRng>,
+    calls: Mutex<u64>,
+    faults: Mutex<u64>,
+}
+
+impl FaultModel {
+    /// Fail roughly `rate` of calls (0.0 = never).
+    pub fn new(rate: f64, seed: u64) -> FaultModel {
+        FaultModel {
+            rate: rate.clamp(0.0, 1.0),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            calls: Mutex::new(0),
+            faults: Mutex::new(0),
+        }
+    }
+
+    /// A model that never faults.
+    pub fn none() -> FaultModel {
+        FaultModel::new(0.0, 0)
+    }
+
+    /// Record a call; `Err(ServerError)` when this call faults.
+    pub fn check(&self) -> Result<(), ApiError> {
+        *self.calls.lock() += 1;
+        if self.rate > 0.0 && self.rng.lock().random::<f64>() < self.rate {
+            *self.faults.lock() += 1;
+            Err(ApiError::ServerError)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Total calls observed.
+    pub fn total_calls(&self) -> u64 {
+        *self.calls.lock()
+    }
+
+    /// Total faults injected.
+    pub fn total_faults(&self) -> u64 {
+        *self.faults.lock()
+    }
+}
+
+/// Paginate `items` and wrap page `page` (1-based) in the standard envelope:
+/// `{"items": […], "page": p, "per_page": k, "total": n, "last_page": m}`.
+pub(crate) fn paginate<T, F>(items: &[T], page: usize, render: F) -> ApiResult
+where
+    F: Fn(&T) -> Value,
+{
+    if page == 0 {
+        return Err(ApiError::BadRequest("page numbers are 1-based".into()));
+    }
+    let total = items.len();
+    let last_page = total.div_ceil(PER_PAGE).max(1);
+    let start = (page - 1) * PER_PAGE;
+    let slice: Vec<Value> = items
+        .iter()
+        .skip(start)
+        .take(PER_PAGE)
+        .map(render)
+        .collect();
+    Ok(crowdnet_json::obj! {
+        "items" => Value::Arr(slice),
+        "page" => page as u64,
+        "per_page" => PER_PAGE as u64,
+        "total" => total as u64,
+        "last_page" => last_page as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paginate_shapes_pages() {
+        let items: Vec<u32> = (0..120).collect();
+        let p1 = paginate(&items, 1, |i| Value::from(*i)).unwrap();
+        assert_eq!(p1.get("items").unwrap().as_arr().unwrap().len(), 50);
+        assert_eq!(p1.get("last_page").and_then(Value::as_u64), Some(3));
+        let p3 = paginate(&items, 3, |i| Value::from(*i)).unwrap();
+        assert_eq!(p3.get("items").unwrap().as_arr().unwrap().len(), 20);
+        let p4 = paginate(&items, 4, |i| Value::from(*i)).unwrap();
+        assert_eq!(p4.get("items").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn paginate_rejects_page_zero() {
+        let items: Vec<u32> = vec![1];
+        assert!(matches!(
+            paginate(&items, 0, |i| Value::from(*i)),
+            Err(ApiError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn paginate_empty_has_one_last_page() {
+        let items: Vec<u32> = vec![];
+        let p = paginate(&items, 1, |i| Value::from(*i)).unwrap();
+        assert_eq!(p.get("last_page").and_then(Value::as_u64), Some(1));
+        assert_eq!(p.get("total").and_then(Value::as_u64), Some(0));
+    }
+
+    #[test]
+    fn fault_model_rates() {
+        let fm = FaultModel::new(0.5, 3);
+        let mut failures = 0;
+        for _ in 0..1000 {
+            if fm.check().is_err() {
+                failures += 1;
+            }
+        }
+        assert!((300..700).contains(&failures), "failures = {failures}");
+        assert_eq!(fm.total_calls(), 1000);
+        assert_eq!(fm.total_faults(), failures);
+        let none = FaultModel::none();
+        for _ in 0..100 {
+            assert!(none.check().is_ok());
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Simulated Twitter REST API.
+//!
+//! §3: "Twitter API's rate limit is 180 calls every 15 minutes, and we are
+//! also required to use access tokens … each twitter user is allowed to
+//! register at most five apps … Hence, we distribute the Twitter crawling
+//! job to several machines, using different access tokens, which tackles the
+//! rate limit issue effectively."
+//!
+//! The simulation enforces exactly that: [`TwitterApi::register_app`] issues
+//! per-owner tokens (max five per owner), and [`TwitterApi::user_by_username`]
+//! maintains a sliding 15-minute window of 180 calls per token, answering
+//! `RateLimited { retry_after_ms }` when exhausted — which is what makes the
+//! crawler's multi-token sharding measurable (see the `crawl_throughput`
+//! bench).
+
+use super::{ApiError, ApiResult, FaultModel};
+use crate::clock::Clock;
+use crate::gen::world::World;
+use crowdnet_json::obj;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Window length: 15 minutes.
+pub const WINDOW_MS: u64 = 15 * 60 * 1000;
+/// Calls allowed per token per window.
+pub const CALLS_PER_WINDOW: usize = 180;
+/// Apps (tokens) each owner may register.
+pub const MAX_APPS_PER_OWNER: usize = 5;
+
+/// The simulated Twitter service.
+pub struct TwitterApi {
+    clock: Arc<dyn Clock>,
+    faults: FaultModel,
+    by_username: HashMap<String, u32>,
+    world: Arc<World>,
+    /// token → timestamps of calls within the current window.
+    windows: Mutex<HashMap<String, VecDeque<u64>>>,
+    apps_per_owner: Mutex<HashMap<String, usize>>,
+    next_token: Mutex<u64>,
+}
+
+impl TwitterApi {
+    /// Wrap a world with a clock.
+    pub fn new(world: Arc<World>, clock: Arc<dyn Clock>, faults: FaultModel) -> TwitterApi {
+        let by_username = world
+            .companies
+            .iter()
+            .filter_map(|c| c.twitter.as_ref().map(|t| (t.username.clone(), c.id.0)))
+            .collect();
+        TwitterApi {
+            clock,
+            faults,
+            by_username,
+            world,
+            windows: Mutex::new(HashMap::new()),
+            apps_per_owner: Mutex::new(HashMap::new()),
+            next_token: Mutex::new(0),
+        }
+    }
+
+    /// Calls served (including rate-limited ones).
+    pub fn calls(&self) -> u64 {
+        self.faults.total_calls()
+    }
+
+    /// Register an app for `owner`, yielding an access token. Each owner may
+    /// hold at most [`MAX_APPS_PER_OWNER`] tokens.
+    pub fn register_app(&self, owner: &str) -> Result<String, ApiError> {
+        let mut apps = self.apps_per_owner.lock();
+        let count = apps.entry(owner.to_string()).or_insert(0);
+        if *count >= MAX_APPS_PER_OWNER {
+            return Err(ApiError::BadRequest(format!(
+                "owner {owner} already registered {MAX_APPS_PER_OWNER} apps"
+            )));
+        }
+        *count += 1;
+        let mut n = self.next_token.lock();
+        *n += 1;
+        let token = format!("tw-{owner}-{}", *n);
+        self.windows.lock().insert(token.clone(), VecDeque::new());
+        Ok(token)
+    }
+
+    fn check_rate(&self, token: &str) -> Result<(), ApiError> {
+        let now = self.clock.now_ms();
+        let mut windows = self.windows.lock();
+        let window = windows.get_mut(token).ok_or(ApiError::Unauthorized)?;
+        while let Some(&front) = window.front() {
+            if now.saturating_sub(front) >= WINDOW_MS {
+                window.pop_front();
+            } else {
+                break;
+            }
+        }
+        if window.len() >= CALLS_PER_WINDOW {
+            let oldest = *window.front().expect("window non-empty");
+            return Err(ApiError::RateLimited {
+                retry_after_ms: WINDOW_MS - now.saturating_sub(oldest),
+            });
+        }
+        window.push_back(now);
+        Ok(())
+    }
+
+    /// Profile lookup by username (the crawler extracts the username from the
+    /// profile URL — "the string after the last '/' symbol").
+    pub fn user_by_username(&self, username: &str, token: &str) -> ApiResult {
+        self.faults.check()?;
+        self.check_rate(token)?;
+        let id = *self
+            .by_username
+            .get(username)
+            .ok_or(ApiError::NotFound)?;
+        let c = &self.world.companies[id as usize];
+        let t = c.twitter.as_ref().expect("indexed companies have twitter");
+        Ok(obj! {
+            "screen_name" => t.username.as_str(),
+            "followers_count" => t.followers,
+            "friends_count" => t.friends,
+            "statuses_count" => t.statuses,
+            "created_day" => t.created_day as u64,
+            "company_id" => c.id.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::config::WorldConfig;
+
+    fn setup() -> (TwitterApi, SimClock, Arc<World>) {
+        let world = Arc::new(World::generate(&WorldConfig::tiny(42)));
+        let clock = SimClock::new();
+        let api = TwitterApi::new(
+            Arc::clone(&world),
+            Arc::new(clock.clone()),
+            FaultModel::none(),
+        );
+        (api, clock, world)
+    }
+
+    fn a_username(world: &World) -> String {
+        world
+            .companies
+            .iter()
+            .find_map(|c| c.twitter.as_ref())
+            .unwrap()
+            .username
+            .clone()
+    }
+
+    #[test]
+    fn lookup_by_username_works() {
+        let (api, _, world) = setup();
+        let token = api.register_app("alice").unwrap();
+        let name = a_username(&world);
+        let doc = api.user_by_username(&name, &token).unwrap();
+        assert_eq!(
+            doc.get("screen_name").and_then(|v| v.as_str()),
+            Some(name.as_str())
+        );
+        assert!(doc.get("followers_count").and_then(|v| v.as_u64()).is_some());
+    }
+
+    #[test]
+    fn unknown_usernames_are_404() {
+        let (api, _, _) = setup();
+        let token = api.register_app("alice").unwrap();
+        assert_eq!(
+            api.user_by_username("no_such_handle", &token).unwrap_err(),
+            ApiError::NotFound
+        );
+    }
+
+    #[test]
+    fn calls_without_token_are_401() {
+        let (api, _, world) = setup();
+        assert_eq!(
+            api.user_by_username(&a_username(&world), "bogus").unwrap_err(),
+            ApiError::Unauthorized
+        );
+    }
+
+    #[test]
+    fn rate_limit_kicks_in_at_180_and_resets() {
+        let (api, clock, world) = setup();
+        let token = api.register_app("alice").unwrap();
+        let name = a_username(&world);
+        for _ in 0..CALLS_PER_WINDOW {
+            api.user_by_username(&name, &token).unwrap();
+        }
+        let err = api.user_by_username(&name, &token).unwrap_err();
+        match err {
+            ApiError::RateLimited { retry_after_ms } => {
+                assert!(retry_after_ms <= WINDOW_MS);
+                clock.advance_ms(retry_after_ms);
+            }
+            other => panic!("expected rate limit, got {other}"),
+        }
+        // After the window slides, calls flow again.
+        assert!(api.user_by_username(&name, &token).is_ok());
+    }
+
+    #[test]
+    fn rate_limit_is_per_token() {
+        let (api, _, world) = setup();
+        let t1 = api.register_app("alice").unwrap();
+        let t2 = api.register_app("bob").unwrap();
+        let name = a_username(&world);
+        for _ in 0..CALLS_PER_WINDOW {
+            api.user_by_username(&name, &t1).unwrap();
+        }
+        assert!(matches!(
+            api.user_by_username(&name, &t1),
+            Err(ApiError::RateLimited { .. })
+        ));
+        // A different token is unaffected.
+        assert!(api.user_by_username(&name, &t2).is_ok());
+    }
+
+    #[test]
+    fn sliding_window_frees_capacity_gradually() {
+        let (api, clock, world) = setup();
+        let token = api.register_app("alice").unwrap();
+        let name = a_username(&world);
+        // 90 calls at t=0, 90 calls at t=10min.
+        for _ in 0..90 {
+            api.user_by_username(&name, &token).unwrap();
+        }
+        clock.advance_ms(10 * 60 * 1000);
+        for _ in 0..90 {
+            api.user_by_username(&name, &token).unwrap();
+        }
+        assert!(matches!(
+            api.user_by_username(&name, &token),
+            Err(ApiError::RateLimited { .. })
+        ));
+        // At t=15min+ε the first 90 fall out of the window.
+        clock.advance_ms(5 * 60 * 1000 + 1);
+        for _ in 0..90 {
+            api.user_by_username(&name, &token).unwrap();
+        }
+        assert!(matches!(
+            api.user_by_username(&name, &token),
+            Err(ApiError::RateLimited { .. })
+        ));
+    }
+
+    #[test]
+    fn app_registration_caps_at_five_per_owner() {
+        let (api, _, _) = setup();
+        for _ in 0..MAX_APPS_PER_OWNER {
+            api.register_app("carol").unwrap();
+        }
+        assert!(matches!(
+            api.register_app("carol"),
+            Err(ApiError::BadRequest(_))
+        ));
+        // Another owner still can.
+        assert!(api.register_app("dave").is_ok());
+    }
+}

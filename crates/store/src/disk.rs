@@ -1,0 +1,243 @@
+//! Disk backend: one directory per namespace, one per snapshot, one JSONL
+//! file per partition — the shape of the authors' HDFS layout, minus the
+//! distribution.
+//!
+//! ```text
+//! <root>/
+//!   angellist__companies/
+//!     snap-0000/
+//!       part-000.jsonl
+//!       part-001.jsonl
+//!     snap-0001/
+//!       ...
+//! ```
+//!
+//! Writers are cached `BufWriter`s behind a mutex; reads flush first so a
+//! scan always sees every prior append (HDFS's read-after-close guarantee,
+//! strengthened to read-after-append).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Filesystem-backed line store.
+pub struct DiskBackend {
+    root: PathBuf,
+    partitions: usize,
+    writers: Mutex<HashMap<PathBuf, BufWriter<File>>>,
+}
+
+/// `/` is the namespace separator but not a legal path component.
+fn encode_ns(ns: &str) -> String {
+    ns.replace('/', "__")
+}
+
+impl DiskBackend {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>, partitions: usize) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(DiskBackend {
+            root,
+            partitions: partitions.max(1),
+            writers: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn snap_dir(&self, ns: &str, snapshot: u32) -> PathBuf {
+        self.root
+            .join(encode_ns(ns))
+            .join(format!("snap-{snapshot:04}"))
+    }
+
+    fn part_path(&self, ns: &str, snapshot: u32, partition: usize) -> PathBuf {
+        self.snap_dir(ns, snapshot)
+            .join(format!("part-{:03}.jsonl", partition % self.partitions))
+    }
+
+    /// Create namespace dir and snapshot 0 if absent.
+    pub fn ensure_namespace(&self, ns: &str) -> io::Result<()> {
+        fs::create_dir_all(self.snap_dir(ns, 0))
+    }
+
+    /// Number of snapshot directories in the namespace, if it exists.
+    fn snapshot_count(&self, ns: &str) -> Option<u32> {
+        let dir = self.root.join(encode_ns(ns));
+        let entries = fs::read_dir(dir).ok()?;
+        let count = entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with("snap-"))
+            .count() as u32;
+        Some(count)
+    }
+
+    /// Open a fresh snapshot; returns its id.
+    pub fn new_snapshot(&self, ns: &str) -> io::Result<u32> {
+        let next = self.snapshot_count(ns).unwrap_or(0);
+        fs::create_dir_all(self.snap_dir(ns, next))?;
+        Ok(next)
+    }
+
+    /// Latest snapshot id, if the namespace exists and is non-empty.
+    pub fn latest_snapshot(&self, ns: &str) -> Option<u32> {
+        self.snapshot_count(ns).and_then(|c| c.checked_sub(1))
+    }
+
+    /// All snapshot ids in the namespace.
+    pub fn snapshots(&self, ns: &str) -> Vec<u32> {
+        (0..self.snapshot_count(ns).unwrap_or(0)).collect()
+    }
+
+    /// Append one line to a partition file (creating dirs/files on demand for
+    /// snapshot 0; later snapshots must exist).
+    pub fn append(&self, ns: &str, snapshot: u32, partition: usize, line: &str) -> io::Result<bool> {
+        if snapshot > 0 && self.snapshot_count(ns).unwrap_or(0) <= snapshot {
+            return Ok(false);
+        }
+        let path = self.part_path(ns, snapshot, partition);
+        let mut writers = self.writers.lock();
+        if !writers.contains_key(&path) {
+            if let Some(parent) = path.parent() {
+                fs::create_dir_all(parent)?;
+            }
+            let file = OpenOptions::new().create(true).append(true).open(&path)?;
+            writers.insert(path.clone(), BufWriter::new(file));
+        }
+        let w = writers.get_mut(&path).expect("just inserted");
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        Ok(true)
+    }
+
+    /// Flush all cached writers (called before every read).
+    pub fn flush(&self) -> io::Result<()> {
+        for w in self.writers.lock().values_mut() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Read every line of one partition. `None` if the snapshot directory
+    /// does not exist; an absent partition file reads as empty.
+    pub fn read_partition(
+        &self,
+        ns: &str,
+        snapshot: u32,
+        partition: usize,
+    ) -> io::Result<Option<Vec<String>>> {
+        self.flush()?;
+        if !self.snap_dir(ns, snapshot).is_dir() {
+            return Ok(None);
+        }
+        let path = self.part_path(ns, snapshot, partition);
+        if !path.exists() {
+            return Ok(Some(Vec::new()));
+        }
+        let reader = BufReader::new(File::open(path)?);
+        let mut lines = Vec::new();
+        for line in reader.lines() {
+            lines.push(line?);
+        }
+        Ok(Some(lines))
+    }
+
+    /// Partition count per snapshot.
+    pub fn partition_count(&self) -> usize {
+        self.partitions
+    }
+
+    /// All namespaces (decoded), sorted.
+    pub fn namespaces(&self) -> io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                out.push(entry.file_name().to_string_lossy().replace("__", "/"));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Root directory (for diagnostics).
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "crowdnet-store-test-{name}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_flush_read() {
+        let b = DiskBackend::open(tmp("afr"), 2).unwrap();
+        assert!(b.append("a/b", 0, 0, "l1").unwrap());
+        assert!(b.append("a/b", 0, 0, "l2").unwrap());
+        assert!(b.append("a/b", 0, 1, "l3").unwrap());
+        assert_eq!(
+            b.read_partition("a/b", 0, 0).unwrap().unwrap(),
+            vec!["l1", "l2"]
+        );
+        assert_eq!(b.read_partition("a/b", 0, 1).unwrap().unwrap(), vec!["l3"]);
+    }
+
+    #[test]
+    fn missing_namespace_reads_none() {
+        let b = DiskBackend::open(tmp("missing"), 2).unwrap();
+        assert!(b.read_partition("nope", 0, 0).unwrap().is_none());
+        assert_eq!(b.latest_snapshot("nope"), None);
+    }
+
+    #[test]
+    fn snapshot_lifecycle() {
+        let b = DiskBackend::open(tmp("snap"), 1).unwrap();
+        b.append("ns", 0, 0, "v0").unwrap();
+        assert_eq!(b.latest_snapshot("ns"), Some(0));
+        let s1 = b.new_snapshot("ns").unwrap();
+        assert_eq!(s1, 1);
+        b.append("ns", 1, 0, "v1").unwrap();
+        assert_eq!(b.read_partition("ns", 0, 0).unwrap().unwrap(), vec!["v0"]);
+        assert_eq!(b.read_partition("ns", 1, 0).unwrap().unwrap(), vec!["v1"]);
+        assert_eq!(b.snapshots("ns"), vec![0, 1]);
+        // Appending to a snapshot that was never created is refused.
+        assert!(!b.append("ns", 7, 0, "x").unwrap());
+    }
+
+    #[test]
+    fn namespaces_decode_slashes() {
+        let b = DiskBackend::open(tmp("nsdec"), 1).unwrap();
+        b.append("angellist/companies", 0, 0, "x").unwrap();
+        b.append("twitter/profiles", 0, 0, "y").unwrap();
+        assert_eq!(
+            b.namespaces().unwrap(),
+            vec!["angellist/companies", "twitter/profiles"]
+        );
+    }
+
+    #[test]
+    fn reopen_sees_existing_data() {
+        let root = tmp("reopen");
+        {
+            let b = DiskBackend::open(&root, 2).unwrap();
+            b.append("ns", 0, 0, "persisted").unwrap();
+            b.flush().unwrap();
+        }
+        let b2 = DiskBackend::open(&root, 2).unwrap();
+        assert_eq!(
+            b2.read_partition("ns", 0, 0).unwrap().unwrap(),
+            vec!["persisted"]
+        );
+    }
+}

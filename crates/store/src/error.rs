@@ -1,0 +1,58 @@
+//! Store error type.
+
+use crowdnet_json::ParseError;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong talking to a [`crate::Store`].
+#[derive(Debug)]
+pub enum StoreError {
+    /// The namespace has never been written.
+    NamespaceNotFound(String),
+    /// The requested snapshot does not exist in the namespace.
+    SnapshotNotFound { namespace: String, snapshot: u32 },
+    /// A stored line failed to parse back as JSON (corruption).
+    Corrupt {
+        namespace: String,
+        line: usize,
+        cause: ParseError,
+    },
+    /// A stored line parsed but is not a valid document envelope.
+    BadEnvelope { namespace: String, line: usize },
+    /// Underlying filesystem failure (disk backend only).
+    Io(io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NamespaceNotFound(ns) => write!(f, "namespace not found: {ns}"),
+            StoreError::SnapshotNotFound { namespace, snapshot } => {
+                write!(f, "snapshot {snapshot} not found in namespace {namespace}")
+            }
+            StoreError::Corrupt { namespace, line, cause } => {
+                write!(f, "corrupt document in {namespace} at line {line}: {cause}")
+            }
+            StoreError::BadEnvelope { namespace, line } => {
+                write!(f, "invalid document envelope in {namespace} at line {line}")
+            }
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Corrupt { cause, .. } => Some(cause),
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

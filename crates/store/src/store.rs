@@ -1,0 +1,370 @@
+//! The unified [`Store`] API over the memory and disk backends.
+
+use crate::disk::DiskBackend;
+use crate::doc::Document;
+use crate::error::StoreError;
+use crate::memory::MemoryBackend;
+use std::io;
+use std::path::PathBuf;
+
+/// Identifier of one crawl run's snapshot within a namespace.
+///
+/// Snapshot 0 is created implicitly by the first write; the longitudinal
+/// crawler opens a new snapshot per scheduled run (§7 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SnapshotId(pub u32);
+
+enum Backend {
+    Memory(MemoryBackend),
+    Disk(DiskBackend),
+}
+
+/// A namespaced, snapshotted, partitioned JSON document store.
+///
+/// See the crate docs for the model. All methods take `&self` and are safe to
+/// call from many threads.
+pub struct Store {
+    backend: Backend,
+    partitions: usize,
+}
+
+/// FNV-1a over the key bytes: stable partition assignment across runs and
+/// backends (document placement must be deterministic for reproducibility).
+fn partition_of(key: &str, partitions: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % partitions as u64) as usize
+}
+
+impl Store {
+    /// In-memory store with `partitions` partitions per snapshot.
+    pub fn memory(partitions: usize) -> Store {
+        Store {
+            partitions: partitions.max(1),
+            backend: Backend::Memory(MemoryBackend::new(partitions)),
+        }
+    }
+
+    /// Disk store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>, partitions: usize) -> io::Result<Store> {
+        Ok(Store {
+            partitions: partitions.max(1),
+            backend: Backend::Disk(DiskBackend::open(root, partitions)?),
+        })
+    }
+
+    /// Partitions per snapshot.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Append a document to the latest snapshot (creating the namespace and
+    /// snapshot 0 on first write).
+    pub fn put(&self, ns: &str, doc: Document) -> Result<(), StoreError> {
+        let snap = self.latest_snapshot_or_zero(ns);
+        self.put_snapshot(ns, snap, doc)
+    }
+
+    /// Append a document to a specific snapshot.
+    pub fn put_snapshot(&self, ns: &str, snap: SnapshotId, doc: Document) -> Result<(), StoreError> {
+        let partition = partition_of(&doc.key, self.partitions);
+        let line = doc.encode();
+        let ok = match &self.backend {
+            Backend::Memory(b) => b.append(ns, snap.0, partition, line),
+            Backend::Disk(b) => b.append(ns, snap.0, partition, &line)?,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(StoreError::SnapshotNotFound {
+                namespace: ns.to_string(),
+                snapshot: snap.0,
+            })
+        }
+    }
+
+    fn latest_snapshot_or_zero(&self, ns: &str) -> SnapshotId {
+        SnapshotId(match &self.backend {
+            Backend::Memory(b) => b.latest_snapshot(ns).unwrap_or(0),
+            Backend::Disk(b) => b.latest_snapshot(ns).unwrap_or(0),
+        })
+    }
+
+    /// Latest snapshot of a namespace.
+    pub fn latest_snapshot(&self, ns: &str) -> Result<SnapshotId, StoreError> {
+        let latest = match &self.backend {
+            Backend::Memory(b) => b.latest_snapshot(ns),
+            Backend::Disk(b) => b.latest_snapshot(ns),
+        };
+        latest
+            .map(SnapshotId)
+            .ok_or_else(|| StoreError::NamespaceNotFound(ns.to_string()))
+    }
+
+    /// Open a fresh snapshot for a new crawl run.
+    pub fn new_snapshot(&self, ns: &str) -> Result<SnapshotId, StoreError> {
+        let id = match &self.backend {
+            Backend::Memory(b) => b.new_snapshot(ns),
+            Backend::Disk(b) => b.new_snapshot(ns)?,
+        };
+        Ok(SnapshotId(id))
+    }
+
+    /// All snapshots of a namespace (empty if the namespace is unknown).
+    pub fn snapshots(&self, ns: &str) -> Vec<SnapshotId> {
+        let ids = match &self.backend {
+            Backend::Memory(b) => b.snapshots(ns),
+            Backend::Disk(b) => b.snapshots(ns),
+        };
+        ids.into_iter().map(SnapshotId).collect()
+    }
+
+    /// All namespaces, sorted.
+    pub fn namespaces(&self) -> Result<Vec<String>, StoreError> {
+        Ok(match &self.backend {
+            Backend::Memory(b) => b.namespaces(),
+            Backend::Disk(b) => b.namespaces()?,
+        })
+    }
+
+    /// Scan the latest snapshot into a flat vector (partition order).
+    pub fn scan(&self, ns: &str) -> Result<Vec<Document>, StoreError> {
+        let snap = self.latest_snapshot(ns)?;
+        self.scan_snapshot(ns, snap)
+    }
+
+    /// Scan one snapshot into a flat vector.
+    pub fn scan_snapshot(&self, ns: &str, snap: SnapshotId) -> Result<Vec<Document>, StoreError> {
+        Ok(self.scan_partitions(ns, snap)?.into_iter().flatten().collect())
+    }
+
+    /// Scan one snapshot preserving partition boundaries — the entry point
+    /// the dataflow engine uses to build a partition-parallel `Dataset`.
+    pub fn scan_partitions(
+        &self,
+        ns: &str,
+        snap: SnapshotId,
+    ) -> Result<Vec<Vec<Document>>, StoreError> {
+        let mut out = Vec::with_capacity(self.partitions);
+        for p in 0..self.partitions {
+            let lines = match &self.backend {
+                Backend::Memory(b) => b.read_partition(ns, snap.0, p),
+                Backend::Disk(b) => b.read_partition(ns, snap.0, p)?,
+            };
+            let lines = lines.ok_or_else(|| {
+                if self.snapshots(ns).is_empty() {
+                    StoreError::NamespaceNotFound(ns.to_string())
+                } else {
+                    StoreError::SnapshotNotFound {
+                        namespace: ns.to_string(),
+                        snapshot: snap.0,
+                    }
+                }
+            })?;
+            let mut docs = Vec::with_capacity(lines.len());
+            for (i, line) in lines.iter().enumerate() {
+                docs.push(Document::decode(line, ns, i)?);
+            }
+            out.push(docs);
+        }
+        Ok(out)
+    }
+
+    /// Number of documents in the latest snapshot.
+    pub fn doc_count(&self, ns: &str) -> Result<usize, StoreError> {
+        Ok(self.scan(ns)?.len())
+    }
+
+    /// Scan the latest snapshot keeping only documents whose body satisfies
+    /// `pred` — the store-side filter the analytics layer uses to avoid
+    /// materializing whole namespaces.
+    pub fn scan_where<F>(&self, ns: &str, pred: F) -> Result<Vec<Document>, StoreError>
+    where
+        F: Fn(&Document) -> bool,
+    {
+        Ok(self.scan(ns)?.into_iter().filter(|d| pred(d)).collect())
+    }
+
+    /// Per-namespace statistics over the latest snapshots: document count,
+    /// encoded bytes, and snapshot count (an `fsck`-style overview).
+    pub fn stats(&self) -> Result<Vec<NamespaceStats>, StoreError> {
+        let mut out = Vec::new();
+        for ns in self.namespaces()? {
+            let docs = self.scan(&ns)?;
+            let bytes = docs.iter().map(|d| d.encode().len()).sum();
+            out.push(NamespaceStats {
+                namespace: ns.clone(),
+                documents: docs.len(),
+                encoded_bytes: bytes,
+                snapshots: self.snapshots(&ns).len(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Summary of one namespace (see [`Store::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamespaceStats {
+    /// Namespace name.
+    pub namespace: String,
+    /// Documents in the latest snapshot.
+    pub documents: usize,
+    /// Total encoded size of those documents in bytes.
+    pub encoded_bytes: usize,
+    /// Number of snapshots.
+    pub snapshots: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdnet_json::obj;
+    use std::sync::Arc;
+
+    fn doc(i: usize) -> Document {
+        Document::new(format!("k:{i}"), obj! {"i" => i})
+    }
+
+    #[test]
+    fn put_scan_roundtrip_memory() {
+        let s = Store::memory(4);
+        for i in 0..100 {
+            s.put("ns", doc(i)).unwrap();
+        }
+        let mut got = s.scan("ns").unwrap();
+        got.sort_by(|a, b| a.key.cmp(&b.key));
+        assert_eq!(got.len(), 100);
+        assert_eq!(s.doc_count("ns").unwrap(), 100);
+    }
+
+    #[test]
+    fn partitioning_is_deterministic_and_total() {
+        let s = Store::memory(8);
+        for i in 0..200 {
+            s.put("ns", doc(i)).unwrap();
+        }
+        let parts = s.scan_partitions("ns", SnapshotId(0)).unwrap();
+        assert_eq!(parts.len(), 8);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 200);
+        // Same key always lands in the same partition.
+        let p1 = super::partition_of("company:42", 8);
+        let p2 = super::partition_of("company:42", 8);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn missing_namespace_errors() {
+        let s = Store::memory(2);
+        assert!(matches!(
+            s.scan("ghost").unwrap_err(),
+            StoreError::NamespaceNotFound(_)
+        ));
+        assert!(matches!(
+            s.latest_snapshot("ghost").unwrap_err(),
+            StoreError::NamespaceNotFound(_)
+        ));
+    }
+
+    #[test]
+    fn snapshot_isolation_and_selection() {
+        let s = Store::memory(2);
+        s.put("ns", doc(1)).unwrap();
+        let snap1 = s.new_snapshot("ns").unwrap();
+        s.put("ns", doc(2)).unwrap(); // goes to latest = snap1
+        s.put_snapshot("ns", SnapshotId(0), doc(3)).unwrap();
+        assert_eq!(s.scan_snapshot("ns", SnapshotId(0)).unwrap().len(), 2);
+        assert_eq!(s.scan_snapshot("ns", snap1).unwrap().len(), 1);
+        assert_eq!(s.latest_snapshot("ns").unwrap(), snap1);
+    }
+
+    #[test]
+    fn put_to_unknown_snapshot_errors() {
+        let s = Store::memory(2);
+        s.put("ns", doc(0)).unwrap();
+        let e = s.put_snapshot("ns", SnapshotId(9), doc(1)).unwrap_err();
+        assert!(matches!(e, StoreError::SnapshotNotFound { snapshot: 9, .. }));
+    }
+
+    #[test]
+    fn disk_backend_full_roundtrip() {
+        let root = std::env::temp_dir().join(format!("crowdnet-store-api-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let s = Store::open(&root, 4).unwrap();
+        for i in 0..50 {
+            s.put("angellist/companies", doc(i)).unwrap();
+        }
+        assert_eq!(s.doc_count("angellist/companies").unwrap(), 50);
+        assert_eq!(s.namespaces().unwrap(), vec!["angellist/companies"]);
+        // Reopen and verify persistence.
+        let s2 = Store::open(&root, 4).unwrap();
+        assert_eq!(s2.doc_count("angellist/companies").unwrap(), 50);
+    }
+
+    #[test]
+    fn concurrent_puts_from_many_threads() {
+        let s = Arc::new(Store::memory(8));
+        crossbeam::thread::scope(|scope| {
+            for t in 0..8usize {
+                let s = Arc::clone(&s);
+                scope.spawn(move |_| {
+                    for i in 0..250usize {
+                        s.put("ns", doc(t * 1000 + i)).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(s.doc_count("ns").unwrap(), 2000);
+    }
+
+    #[test]
+    fn scan_where_filters_bodies() {
+        let s = Store::memory(2);
+        for i in 0..20 {
+            s.put("ns", doc(i)).unwrap();
+        }
+        let evens = s
+            .scan_where("ns", |d| {
+                d.body.get("i").and_then(|v| v.as_i64()).unwrap_or(1) % 2 == 0
+            })
+            .unwrap();
+        assert_eq!(evens.len(), 10);
+    }
+
+    #[test]
+    fn stats_report_counts_bytes_and_snapshots() {
+        let s = Store::memory(2);
+        s.put("a", doc(1)).unwrap();
+        s.put("a", doc(2)).unwrap();
+        s.new_snapshot("a").unwrap();
+        s.put("b", doc(3)).unwrap();
+        let stats = s.stats().unwrap();
+        assert_eq!(stats.len(), 2);
+        let a = stats.iter().find(|x| x.namespace == "a").unwrap();
+        // Latest snapshot of "a" is the fresh (empty) one.
+        assert_eq!(a.documents, 0);
+        assert_eq!(a.snapshots, 2);
+        let b = stats.iter().find(|x| x.namespace == "b").unwrap();
+        assert_eq!(b.documents, 1);
+        assert!(b.encoded_bytes > 10);
+        assert_eq!(b.snapshots, 1);
+    }
+
+    #[test]
+    fn bodies_survive_verbatim() {
+        let s = Store::memory(2);
+        let body = obj! {
+            "name" => "Pied Piper",
+            "metrics" => obj! {"likes" => 652, "ratio" => 0.25},
+            "urls" => crowdnet_json::arr!["https://t.co/x", crowdnet_json::Value::Null],
+        };
+        s.put("ns", Document::new("c:1", body.clone())).unwrap();
+        let got = s.scan("ns").unwrap();
+        assert_eq!(got[0].body, body);
+    }
+}

@@ -1,0 +1,371 @@
+//! Line charts: render the paper's CDF/PDF series as standalone SVG figures.
+//!
+//! `repro` writes each figure's data as CSV *and* as a rendered SVG chart
+//! produced here, so "regenerate Figure 3" means an actual figure. The
+//! renderer is deliberately small: linear or log₁₀ x-axis, nice-number
+//! ticks, gridlines, a categorical palette, and a legend.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates, in drawing order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Chart appearance and axes.
+#[derive(Debug, Clone)]
+pub struct ChartConfig {
+    /// Pixel width.
+    pub width: u32,
+    /// Pixel height.
+    pub height: u32,
+    /// Title above the plot.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Use a log₁₀ x-axis (the natural scale for Figure 3's long tail).
+    pub log_x: bool,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        ChartConfig {
+            width: 640,
+            height: 420,
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            log_x: false,
+        }
+    }
+}
+
+/// Categorical palette (colorblind-safe-ish).
+const PALETTE: &[&str] = &["#2b6cb0", "#c53030", "#2f855a", "#b7791f", "#6b46c1", "#0a8f8f"];
+
+const MARGIN_LEFT: f64 = 62.0;
+const MARGIN_RIGHT: f64 = 16.0;
+const MARGIN_TOP: f64 = 34.0;
+const MARGIN_BOTTOM: f64 = 48.0;
+
+/// "Nice" tick positions covering `[lo, hi]` (1–2–5 progression).
+fn ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if !(hi > lo) || !lo.is_finite() || !hi.is_finite() {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / target.max(1) as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = mag
+        * if norm <= 1.0 {
+            1.0
+        } else if norm <= 2.0 {
+            2.0
+        } else if norm <= 5.0 {
+            5.0
+        } else {
+            10.0
+        };
+    let start = (lo / step).ceil() * step;
+    let mut out = Vec::new();
+    let mut t = start;
+    while t <= hi + step * 1e-9 {
+        out.push(t);
+        t += step;
+    }
+    if out.is_empty() {
+        out.push(lo);
+    }
+    out
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        let s = format!("{v:.1}");
+        s.strip_suffix(".0").map(String::from).unwrap_or(s)
+    } else {
+        format!("{v:.3}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render a multi-series line chart as an SVG document.
+///
+/// Non-finite points are skipped; with `log_x`, non-positive x values are
+/// skipped too (they have no position on a log axis).
+pub fn line_chart(series: &[Series], cfg: &ChartConfig) -> String {
+    let w = f64::from(cfg.width);
+    let h = f64::from(cfg.height);
+    let plot_w = (w - MARGIN_LEFT - MARGIN_RIGHT).max(1.0);
+    let plot_h = (h - MARGIN_TOP - MARGIN_BOTTOM).max(1.0);
+
+    let tx = |x: f64| if cfg.log_x { x.log10() } else { x };
+    let valid = |&(x, y): &(f64, f64)| x.is_finite() && y.is_finite() && (!cfg.log_x || x > 0.0);
+
+    // Data extent.
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for s in series {
+        for p in s.points.iter().filter(|p| valid(p)) {
+            min_x = min_x.min(tx(p.0));
+            max_x = max_x.max(tx(p.0));
+            min_y = min_y.min(p.1);
+            max_y = max_y.max(p.1);
+        }
+    }
+    if !min_x.is_finite() {
+        // No drawable data: render an empty frame.
+        min_x = 0.0;
+        max_x = 1.0;
+        min_y = 0.0;
+        max_y = 1.0;
+    }
+    if max_x - min_x < 1e-12 {
+        max_x = min_x + 1.0;
+    }
+    if max_y - min_y < 1e-12 {
+        max_y = min_y + 1.0;
+    }
+    // A little headroom above the data.
+    let pad_y = (max_y - min_y) * 0.05;
+    let (lo_y, hi_y) = (min_y.min(0.0_f64.min(min_y)), max_y + pad_y);
+
+    let sx = move |x: f64| MARGIN_LEFT + (tx(x) - min_x) / (max_x - min_x) * plot_w;
+    let sy = move |y: f64| MARGIN_TOP + (1.0 - (y - lo_y) / (hi_y - lo_y)) * plot_h;
+
+    let mut out = String::with_capacity(4096);
+    let _ = write!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{0}\" height=\"{1}\" viewBox=\"0 0 {0} {1}\" \
+         font-family=\"sans-serif\" font-size=\"11\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n",
+        cfg.width, cfg.height
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"14\">{}</text>",
+        w / 2.0,
+        escape(&cfg.title)
+    );
+
+    // Gridlines + ticks.
+    let x_ticks: Vec<f64> = if cfg.log_x {
+        // Decade ticks between the data bounds.
+        let lo_dec = min_x.floor() as i32;
+        let hi_dec = max_x.ceil() as i32;
+        (lo_dec..=hi_dec).map(|d| 10f64.powi(d)).collect()
+    } else {
+        ticks(min_x, max_x, 6)
+    };
+    for &t in &x_ticks {
+        let raw = if cfg.log_x { t } else { t };
+        let x = sx(raw);
+        if !(MARGIN_LEFT - 1.0..=w - MARGIN_RIGHT + 1.0).contains(&x) {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "<line x1=\"{x:.1}\" y1=\"{}\" x2=\"{x:.1}\" y2=\"{}\" stroke=\"#e2e8f0\"/>\
+             <text x=\"{x:.1}\" y=\"{}\" text-anchor=\"middle\" fill=\"#4a5568\">{}</text>",
+            MARGIN_TOP,
+            MARGIN_TOP + plot_h,
+            MARGIN_TOP + plot_h + 16.0,
+            fmt_tick(raw)
+        );
+    }
+    for t in ticks(lo_y, hi_y, 5) {
+        let y = sy(t);
+        let _ = writeln!(
+            out,
+            "<line x1=\"{}\" y1=\"{y:.1}\" x2=\"{}\" y2=\"{y:.1}\" stroke=\"#e2e8f0\"/>\
+             <text x=\"{}\" y=\"{:.1}\" text-anchor=\"end\" fill=\"#4a5568\">{}</text>",
+            MARGIN_LEFT,
+            MARGIN_LEFT + plot_w,
+            MARGIN_LEFT - 6.0,
+            y + 4.0,
+            fmt_tick(t)
+        );
+    }
+    // Axes.
+    let _ = writeln!(
+        out,
+        "<line x1=\"{0}\" y1=\"{1}\" x2=\"{0}\" y2=\"{2}\" stroke=\"#1a202c\"/>\
+         <line x1=\"{0}\" y1=\"{2}\" x2=\"{3}\" y2=\"{2}\" stroke=\"#1a202c\"/>",
+        MARGIN_LEFT,
+        MARGIN_TOP,
+        MARGIN_TOP + plot_h,
+        MARGIN_LEFT + plot_w
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" fill=\"#1a202c\">{}</text>",
+        MARGIN_LEFT + plot_w / 2.0,
+        h - 10.0,
+        escape(&cfg.x_label)
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"14\" y=\"{}\" text-anchor=\"middle\" fill=\"#1a202c\" \
+         transform=\"rotate(-90 14 {0})\">{1}</text>",
+        MARGIN_TOP + plot_h / 2.0,
+        escape(&cfg.y_label)
+    );
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let mut path = String::new();
+        for p in s.points.iter().filter(|p| valid(p)) {
+            let _ = write!(path, "{:.1},{:.1} ", sx(p.0), sy(p.1));
+        }
+        if !path.is_empty() {
+            let _ = writeln!(
+                out,
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.6\"/>",
+                path.trim_end()
+            );
+        }
+        // Legend row.
+        let ly = MARGIN_TOP + 14.0 * i as f64 + 6.0;
+        let _ = writeln!(
+            out,
+            "<rect x=\"{}\" y=\"{:.1}\" width=\"10\" height=\"3\" fill=\"{color}\"/>\
+             <text x=\"{}\" y=\"{:.1}\" fill=\"#1a202c\">{}</text>",
+            MARGIN_LEFT + plot_w - 150.0,
+            ly,
+            MARGIN_LEFT + plot_w - 134.0,
+            ly + 4.0,
+            escape(&s.label)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf_series() -> Series {
+        Series::new("cdf", (1..=100).map(|i| (i as f64, i as f64 / 100.0)).collect())
+    }
+
+    #[test]
+    fn renders_wellformed_svg() {
+        let svg = line_chart(
+            &[cdf_series()],
+            &ChartConfig {
+                title: "Figure 3".into(),
+                x_label: "investments".into(),
+                y_label: "F(x)".into(),
+                ..Default::default()
+            },
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        assert!(svg.contains("Figure 3"));
+        assert!(svg.contains("investments"));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_colors_and_legend() {
+        let svg = line_chart(
+            &[
+                Series::new("strong", vec![(0.0, 0.0), (1.0, 1.0)]),
+                Series::new("global", vec![(0.0, 1.0), (1.0, 0.0)]),
+            ],
+            &ChartConfig::default(),
+        );
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("strong"));
+        assert!(svg.contains("global"));
+        assert!(svg.contains(PALETTE[0]));
+        assert!(svg.contains(PALETTE[1]));
+    }
+
+    #[test]
+    fn log_axis_skips_nonpositive_points() {
+        let svg = line_chart(
+            &[Series::new("s", vec![(0.0, 0.5), (1.0, 0.6), (10.0, 0.7), (100.0, 1.0)])],
+            &ChartConfig {
+                log_x: true,
+                ..Default::default()
+            },
+        );
+        // Three drawable points → one polyline with three coordinates.
+        let poly = svg.split("<polyline").nth(1).unwrap();
+        let coords = poly.split('"').nth(1).unwrap();
+        assert_eq!(coords.split_whitespace().count(), 3);
+    }
+
+    #[test]
+    fn degenerate_inputs_render_an_empty_frame() {
+        let svg = line_chart(&[], &ChartConfig::default());
+        assert!(svg.contains("<svg"));
+        let svg = line_chart(
+            &[Series::new("nan", vec![(f64::NAN, f64::NAN)])],
+            &ChartConfig::default(),
+        );
+        assert!(svg.contains("</svg>"));
+        // Constant series (zero y-range) must not divide by zero.
+        let svg = line_chart(
+            &[Series::new("flat", vec![(0.0, 5.0), (1.0, 5.0)])],
+            &ChartConfig::default(),
+        );
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn nice_ticks_progression() {
+        let t = ticks(0.0, 1.0, 5);
+        assert!(t.contains(&0.0));
+        assert!(t.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+        let t = ticks(0.0, 97.0, 5);
+        assert!(t.windows(2).all(|w| (w[1] - w[0] - 20.0).abs() < 1e-9));
+        // Degenerate range.
+        assert_eq!(ticks(3.0, 3.0, 5), vec![3.0]);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let svg = line_chart(
+            &[Series::new("a<b>&c", vec![(0.0, 0.0), (1.0, 1.0)])],
+            &ChartConfig {
+                title: "x < y & z".into(),
+                ..Default::default()
+            },
+        );
+        assert!(svg.contains("a&lt;b&gt;&amp;c"));
+        assert!(svg.contains("x &lt; y &amp; z"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Graphviz DOT export — for users who want to re-render communities with
+//! their own tooling.
+
+use crate::{NodeKind, VizGraph};
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialize the graph as an undirected DOT document with the paper's
+/// role colors.
+pub fn render_dot(graph: &VizGraph, name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("graph \"{}\" {{\n", escape(name)));
+    out.push_str("  node [style=filled, shape=circle, label=\"\"];\n");
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let color = match node.kind {
+            NodeKind::Investor => "#2b6cb0",
+            NodeKind::Company => "#c53030",
+        };
+        out.push_str(&format!(
+            "  n{i} [fillcolor=\"{color}\", tooltip=\"{}\"];\n",
+            escape(&node.label)
+        ));
+    }
+    for &(a, b) in &graph.edges {
+        out.push_str(&format!("  n{a} -- n{b};\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+
+    #[test]
+    fn emits_nodes_and_edges() {
+        let mut g = VizGraph::new();
+        let a = g.add_node(NodeKind::Investor, "inv");
+        let b = g.add_node(NodeKind::Company, "co \"x\"");
+        g.add_edge(a, b);
+        let dot = render_dot(&g, "community-1");
+        assert!(dot.starts_with("graph \"community-1\" {"));
+        assert!(dot.contains("n0 [fillcolor=\"#2b6cb0\""));
+        assert!(dot.contains("n1 [fillcolor=\"#c53030\""));
+        assert!(dot.contains("co \\\"x\\\""));
+        assert!(dot.contains("n0 -- n1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_graph_is_valid_dot() {
+        let dot = render_dot(&VizGraph::new(), "empty");
+        assert!(dot.contains("graph \"empty\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

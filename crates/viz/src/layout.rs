@@ -1,0 +1,189 @@
+//! Fruchterman–Reingold force-directed layout.
+//!
+//! Standard spring-embedder: all node pairs repel with force `k²/d`,
+//! adjacent nodes attract with `d²/k`, displacement is capped by a cooling
+//! temperature that decays linearly. Initial positions are seeded, so
+//! layouts are reproducible.
+
+use crate::VizGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Layout parameters.
+#[derive(Debug, Clone)]
+pub struct LayoutConfig {
+    /// Iterations of force simulation.
+    pub iterations: usize,
+    /// Canvas width (layout coordinates).
+    pub width: f64,
+    /// Canvas height.
+    pub height: f64,
+    /// RNG seed for initial placement.
+    pub seed: u64,
+}
+
+impl Default for LayoutConfig {
+    fn default() -> Self {
+        LayoutConfig {
+            iterations: 150,
+            width: 1000.0,
+            height: 1000.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Compute positions for every node.
+pub fn layout(graph: &VizGraph, cfg: &LayoutConfig) -> Vec<(f64, f64)> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut pos: Vec<(f64, f64)> = (0..n)
+        .map(|_| {
+            (
+                rng.random::<f64>() * cfg.width,
+                rng.random::<f64>() * cfg.height,
+            )
+        })
+        .collect();
+    if n == 1 {
+        return vec![(cfg.width / 2.0, cfg.height / 2.0)];
+    }
+
+    let area = cfg.width * cfg.height;
+    let k = (area / n as f64).sqrt();
+    let mut temperature = cfg.width / 10.0;
+    let cooling = temperature / (cfg.iterations as f64 + 1.0);
+
+    let mut disp = vec![(0.0f64, 0.0f64); n];
+    for _ in 0..cfg.iterations {
+        for d in disp.iter_mut() {
+            *d = (0.0, 0.0);
+        }
+        // Repulsion between all pairs.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = pos[i].0 - pos[j].0;
+                let dy = pos[i].1 - pos[j].1;
+                let dist = (dx * dx + dy * dy).sqrt().max(0.01);
+                let force = k * k / dist;
+                let (fx, fy) = (dx / dist * force, dy / dist * force);
+                disp[i].0 += fx;
+                disp[i].1 += fy;
+                disp[j].0 -= fx;
+                disp[j].1 -= fy;
+            }
+        }
+        // Attraction along edges.
+        for &(a, b) in &graph.edges {
+            let (a, b) = (a as usize, b as usize);
+            if a == b {
+                continue;
+            }
+            let dx = pos[a].0 - pos[b].0;
+            let dy = pos[a].1 - pos[b].1;
+            let dist = (dx * dx + dy * dy).sqrt().max(0.01);
+            let force = dist * dist / k;
+            let (fx, fy) = (dx / dist * force, dy / dist * force);
+            disp[a].0 -= fx;
+            disp[a].1 -= fy;
+            disp[b].0 += fx;
+            disp[b].1 += fy;
+        }
+        // Apply displacement, capped by temperature, clamped to canvas.
+        for i in 0..n {
+            let (dx, dy) = disp[i];
+            let len = (dx * dx + dy * dy).sqrt().max(1e-9);
+            let capped = len.min(temperature);
+            pos[i].0 = (pos[i].0 + dx / len * capped).clamp(0.0, cfg.width);
+            pos[i].1 = (pos[i].1 + dy / len * capped).clamp(0.0, cfg.height);
+        }
+        temperature = (temperature - cooling).max(0.01);
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+
+    fn star(n: usize) -> VizGraph {
+        let mut g = VizGraph::new();
+        let hub = g.add_node(NodeKind::Company, "hub");
+        for i in 0..n {
+            let leaf = g.add_node(NodeKind::Investor, format!("leaf{i}"));
+            g.add_edge(hub, leaf);
+        }
+        g
+    }
+
+    #[test]
+    fn positions_stay_on_canvas() {
+        let g = star(20);
+        let cfg = LayoutConfig::default();
+        let pos = layout(&g, &cfg);
+        assert_eq!(pos.len(), 21);
+        for &(x, y) in &pos {
+            assert!((0.0..=cfg.width).contains(&x));
+            assert!((0.0..=cfg.height).contains(&y));
+            assert!(x.is_finite() && y.is_finite());
+        }
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let g = star(10);
+        let a = layout(&g, &LayoutConfig::default());
+        let b = layout(&g, &LayoutConfig::default());
+        assert_eq!(a, b);
+        let c = layout(&g, &LayoutConfig { seed: 1, ..Default::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn connected_nodes_end_up_closer_than_disconnected() {
+        // Two 4-cliques, no bridge.
+        let mut g = VizGraph::new();
+        for i in 0..8 {
+            g.add_node(NodeKind::Investor, format!("n{i}"));
+        }
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                g.add_edge(i, j);
+                g.add_edge(i + 4, j + 4);
+            }
+        }
+        let pos = layout(&g, &LayoutConfig::default());
+        let dist = |a: usize, b: usize| {
+            ((pos[a].0 - pos[b].0).powi(2) + (pos[a].1 - pos[b].1).powi(2)).sqrt()
+        };
+        let intra = (dist(0, 1) + dist(1, 2) + dist(4, 5) + dist(5, 6)) / 4.0;
+        let inter = (dist(0, 4) + dist(1, 5) + dist(2, 6)) / 3.0;
+        assert!(
+            intra < inter,
+            "clique members should sit closer: intra {intra} vs inter {inter}"
+        );
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let empty = VizGraph::new();
+        assert!(layout(&empty, &LayoutConfig::default()).is_empty());
+        let mut single = VizGraph::new();
+        single.add_node(NodeKind::Company, "only");
+        let pos = layout(&single, &LayoutConfig::default());
+        assert_eq!(pos.len(), 1);
+    }
+
+    #[test]
+    fn self_loops_do_not_explode() {
+        let mut g = VizGraph::new();
+        let a = g.add_node(NodeKind::Investor, "a");
+        g.add_edge(a, a);
+        let pos = layout(&g, &LayoutConfig::default());
+        assert!(pos[0].0.is_finite());
+    }
+}

@@ -1,0 +1,104 @@
+//! # crowdnet-viz
+//!
+//! Visualization of investor communities (Figure 7 of the paper): the
+//! original used python-igraph to draw strong vs weak communities with
+//! investors in blue and companies in red. This crate reproduces that with
+//! a from-scratch [Fruchterman–Reingold force-directed layout](layout) and
+//! [SVG](svg) / [Graphviz DOT](dot) renderers.
+//!
+//! ```
+//! use crowdnet_viz::{VizGraph, NodeKind, layout::{layout, LayoutConfig}, svg::render_svg};
+//!
+//! let mut g = VizGraph::new();
+//! let a = g.add_node(NodeKind::Investor, "inv-1");
+//! let b = g.add_node(NodeKind::Company, "acme");
+//! g.add_edge(a, b);
+//! let positions = layout(&g, &LayoutConfig::default());
+//! let svg = render_svg(&g, &positions, 400, 300);
+//! assert!(svg.starts_with("<svg"));
+//! ```
+
+pub mod chart;
+pub mod dot;
+pub mod layout;
+pub mod svg;
+
+/// Node role, which controls the rendered color (paper: "blue: investors;
+/// red: companies").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An investor (blue).
+    Investor,
+    /// A company (red).
+    Company,
+}
+
+/// A node in a visualization graph.
+#[derive(Debug, Clone)]
+pub struct VizNode {
+    /// Role (controls color).
+    pub kind: NodeKind,
+    /// Label (tooltips in SVG, node names in DOT).
+    pub label: String,
+}
+
+/// A small undirected graph to draw.
+#[derive(Debug, Clone, Default)]
+pub struct VizGraph {
+    /// Nodes.
+    pub nodes: Vec<VizNode>,
+    /// Edges as node-index pairs.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl VizGraph {
+    /// Empty graph.
+    pub fn new() -> VizGraph {
+        VizGraph::default()
+    }
+
+    /// Add a node; returns its index.
+    pub fn add_node(&mut self, kind: NodeKind, label: impl Into<String>) -> u32 {
+        self.nodes.push(VizNode {
+            kind,
+            label: label.into(),
+        });
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Add an undirected edge between node indices.
+    pub fn add_edge(&mut self, a: u32, b: u32) {
+        assert!(
+            (a as usize) < self.nodes.len() && (b as usize) < self.nodes.len(),
+            "edge endpoints must exist"
+        );
+        self.edges.push((a, b));
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_graph() {
+        let mut g = VizGraph::new();
+        let a = g.add_node(NodeKind::Investor, "a");
+        let b = g.add_node(NodeKind::Company, "b");
+        g.add_edge(a, b);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoints must exist")]
+    fn rejects_dangling_edges() {
+        let mut g = VizGraph::new();
+        g.add_edge(0, 1);
+    }
+}

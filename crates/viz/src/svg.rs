@@ -1,0 +1,130 @@
+//! SVG rendering with the paper's color coding.
+
+use crate::{NodeKind, VizGraph};
+
+/// Investor color (the paper's blue).
+pub const INVESTOR_COLOR: &str = "#2b6cb0";
+/// Company color (the paper's red).
+pub const COMPANY_COLOR: &str = "#c53030";
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Render the graph at precomputed positions into an SVG document.
+/// Positions are rescaled from their bounding box to the pixel canvas.
+pub fn render_svg(graph: &VizGraph, positions: &[(f64, f64)], width: u32, height: u32) -> String {
+    assert_eq!(
+        graph.node_count(),
+        positions.len(),
+        "one position per node"
+    );
+    let margin = 16.0;
+    let (w, h) = (f64::from(width), f64::from(height));
+
+    // Bounding box of the layout (degenerate boxes map to the center).
+    let (mut min_x, mut min_y, mut max_x, mut max_y) =
+        (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in positions {
+        min_x = min_x.min(x);
+        min_y = min_y.min(y);
+        max_x = max_x.max(x);
+        max_y = max_y.max(y);
+    }
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let scale = |&(x, y): &(f64, f64)| {
+        (
+            margin + (x - min_x) / span_x * (w - 2.0 * margin),
+            margin + (y - min_y) / span_y * (h - 2.0 * margin),
+        )
+    };
+
+    let mut out = String::with_capacity(256 + graph.edges.len() * 64 + positions.len() * 96);
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {width} {height}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+    ));
+    for &(a, b) in &graph.edges {
+        let (x1, y1) = scale(&positions[a as usize]);
+        let (x2, y2) = scale(&positions[b as usize]);
+        out.push_str(&format!(
+            "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" \
+             stroke=\"#9aa0a6\" stroke-width=\"0.8\" stroke-opacity=\"0.6\"/>\n"
+        ));
+    }
+    for (node, p) in graph.nodes.iter().zip(positions) {
+        let (x, y) = scale(p);
+        let color = match node.kind {
+            NodeKind::Investor => INVESTOR_COLOR,
+            NodeKind::Company => COMPANY_COLOR,
+        };
+        out.push_str(&format!(
+            "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"4\" fill=\"{color}\">\
+             <title>{}</title></circle>\n",
+            escape(&node.label)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+
+    fn sample() -> (VizGraph, Vec<(f64, f64)>) {
+        let mut g = VizGraph::new();
+        let a = g.add_node(NodeKind::Investor, "alice & <co>");
+        let b = g.add_node(NodeKind::Company, "acme");
+        g.add_edge(a, b);
+        (g, vec![(0.0, 0.0), (100.0, 50.0)])
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let (g, pos) = sample();
+        let svg = render_svg(&g, &pos, 400, 300);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert_eq!(svg.matches("<line").count(), 1);
+    }
+
+    #[test]
+    fn colors_match_roles() {
+        let (g, pos) = sample();
+        let svg = render_svg(&g, &pos, 400, 300);
+        assert!(svg.contains(INVESTOR_COLOR));
+        assert!(svg.contains(COMPANY_COLOR));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let (g, pos) = sample();
+        let svg = render_svg(&g, &pos, 400, 300);
+        assert!(svg.contains("alice &amp; &lt;co&gt;"));
+        assert!(!svg.contains("alice & <co>"));
+    }
+
+    #[test]
+    fn degenerate_positions_stay_in_canvas() {
+        let mut g = VizGraph::new();
+        g.add_node(NodeKind::Investor, "a");
+        g.add_node(NodeKind::Investor, "b");
+        // Identical positions: bounding box is a point.
+        let svg = render_svg(&g, &[(5.0, 5.0), (5.0, 5.0)], 200, 200);
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one position per node")]
+    fn mismatched_positions_panic() {
+        let (g, _) = sample();
+        render_svg(&g, &[(0.0, 0.0)], 100, 100);
+    }
+}

@@ -1,0 +1,104 @@
+//! Detector ablation: run CoDA against the four baselines on the same
+//! crawled world and score each cover two ways — recovery of the planted
+//! ground truth (best-match F1) and the paper's own community-strength
+//! metrics.
+//!
+//! ```sh
+//! cargo run --release --example detector_shootout
+//! ```
+
+use crowdnet::core::experiments::communities::MIN_INVESTMENTS;
+use crowdnet::core::features::investment_edges;
+use crowdnet::core::pipeline::{Pipeline, PipelineConfig};
+use crowdnet::graph::bigclam::{BigClam, BigClamConfig};
+use crowdnet::graph::eval::best_match_f1;
+use crowdnet::graph::labelprop::{label_propagation, LabelPropConfig};
+use crowdnet::graph::louvain::{louvain, LouvainConfig};
+use crowdnet::graph::metrics::{self, Community};
+use crowdnet::graph::projection::Projection;
+use crowdnet::graph::sbm::{self, SbmConfig};
+use crowdnet::graph::{BipartiteGraph, Coda, CodaConfig, Cover};
+use crowdnet::socialsim::{Scale, WorldConfig};
+use std::time::Instant;
+
+fn score(name: &str, graph: &BipartiteGraph, cover: &Cover, truth: &Cover, ms: u128) {
+    let f1 = best_match_f1(cover, truth);
+    let pcts = metrics::cover_shared_investor_pcts(graph, cover, 2);
+    let mean_pct = pcts.iter().sum::<f64>() / pcts.len().max(1) as f64;
+    println!(
+        "{name:<18} {:>4} communities  F1 vs planted {f1:.3}  mean shared-investor {mean_pct:>5.1}%  {ms:>6} ms",
+        cover.len()
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = PipelineConfig::tiny(11);
+    config.world = WorldConfig::at_scale(
+        11,
+        Scale::Custom {
+            companies: 25_000,
+            users: 40_000,
+        },
+    );
+    println!("crawling a 25k-company / 40k-user world…");
+    let outcome = Pipeline::new(config).run()?;
+
+    // The graph every detector sees: investors with ≥4 investments (§5.2).
+    let graph =
+        BipartiteGraph::from_edges(investment_edges(&outcome)?).filter_min_investments(MIN_INVESTMENTS);
+    println!(
+        "filtered graph: {} investors / {} companies / {} edges\n",
+        graph.investor_count(),
+        graph.company_count(),
+        graph.edge_count()
+    );
+
+    // Planted ground truth, restricted to investors present in the graph.
+    let truth: Cover = outcome
+        .world
+        .planted_communities
+        .iter()
+        .filter_map(|pc| {
+            let members: Vec<u32> = pc
+                .investors
+                .iter()
+                .filter_map(|u| graph.investor_index(u.0))
+                .collect();
+            (members.len() >= 3).then_some(Community { members })
+        })
+        .collect();
+    println!("planted ground truth: {} communities with ≥3 surviving members\n", truth.len());
+
+    let k = outcome.config.world.communities;
+
+    let t = Instant::now();
+    let coda_cfg = CodaConfig { communities: k, iterations: 25, ..Default::default() };
+    let coda = Coda::fit(&graph, &coda_cfg);
+    let coda_cover = coda.investor_communities(&graph, &coda_cfg);
+    score("CoDA", &graph, &coda_cover, &truth, t.elapsed().as_millis());
+
+    let t = Instant::now();
+    let bc = BigClam::fit(&graph, &BigClamConfig { communities: k, iterations: 25, ..Default::default() });
+    let bc_cover = bc.investor_communities(&graph);
+    score("BigCLAM", &graph, &bc_cover, &truth, t.elapsed().as_millis());
+
+    let t = Instant::now();
+    let lpa_cover = label_propagation(&graph, &LabelPropConfig::default());
+    score("label propagation", &graph, &lpa_cover, &truth, t.elapsed().as_millis());
+
+    let projection = Projection::from_bipartite(&graph, 500);
+    let t = Instant::now();
+    let louvain_cover = louvain(&projection, &LouvainConfig::default());
+    score("Louvain", &graph, &louvain_cover, &truth, t.elapsed().as_millis());
+
+    let t = Instant::now();
+    let sbm_model = sbm::fit(&projection, &SbmConfig { blocks: k, ..Default::default() });
+    let sbm_cover = sbm::cover_of(&sbm_model, k);
+    score("SBM (greedy)", &graph, &sbm_cover, &truth, t.elapsed().as_millis());
+
+    println!(
+        "\nCoDA is the paper's pick because it models the *directed bipartite*\n\
+         structure natively; the undirected baselines must project or expand it."
+    );
+    Ok(())
+}

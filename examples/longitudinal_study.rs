@@ -1,0 +1,62 @@
+//! The §7 longitudinal extension: a daily crawl of all currently-raising
+//! startups over 60 simulated days, snapshot per day, followed by the
+//! event-study causality analysis the paper proposes ("determine whether
+//! social media engagement directly impacts fundraising success").
+//!
+//! ```sh
+//! cargo run --release --example longitudinal_study
+//! ```
+
+use crowdnet::core::experiments::causality;
+use crowdnet::core::pipeline::PipelineConfig;
+use crowdnet::crawl::longitudinal::{run_study, StudyConfig, NS_LONGITUDINAL};
+use crowdnet::socialsim::{Scale, World, WorldConfig};
+use crowdnet::store::Store;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = PipelineConfig::tiny(21);
+    config.world = WorldConfig::at_scale(
+        21,
+        Scale::Custom {
+            companies: 40_000,
+            users: 2_000,
+        },
+    );
+
+    // Low-level view: run the scheduler by hand and watch funding accrue.
+    println!("running a 60-day daily crawl of the raising watchlist…");
+    let store = Store::memory(config.partitions);
+    let world = World::generate(&config.world);
+    let watch = world.raising_companies().count();
+    let records = run_study(
+        world,
+        &store,
+        &StudyConfig {
+            days: 60,
+            interval_days: 1,
+            evolution_seed: 99,
+        },
+    )?;
+    println!(
+        "watchlist: {watch} raising companies; {} snapshots in namespace {NS_LONGITUDINAL}",
+        records.len()
+    );
+    for r in records.iter().step_by(10) {
+        println!("  day {:>3}: {} watched companies now funded", r.day, r.funded_count);
+    }
+
+    // High-level view: the packaged event study.
+    println!("\nevent study (treated = closed a round mid-study):");
+    let result = causality::run(&config, 60)?;
+    println!(
+        "  treated {} vs controls {}\n  pre-event tweet velocity: {:.2} tweets/day (treated) vs {:.2} (controls)",
+        result.treated, result.controls, result.treated_pre_growth, result.control_growth
+    );
+    if result.treated_pre_growth > result.control_growth {
+        println!(
+            "  → engagement growth precedes funding: the causal arrow the paper's\n\
+             one-shot crawl could only describe as correlation."
+        );
+    }
+    Ok(())
+}

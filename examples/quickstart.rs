@@ -1,0 +1,32 @@
+//! Quickstart: generate a small crowdfunding world, crawl all four sources,
+//! and print the headline result — social engagement's impact on
+//! fundraising success (Figure 6 of the paper).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use crowdnet::core::experiments::{dataset_stats, fig6};
+use crowdnet::core::pipeline::{Pipeline, PipelineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A deterministic toy-scale world (~1500 companies). Crank the scale up
+    // with PipelineConfig::default_eval or ::small for paper-shaped numbers.
+    let config = PipelineConfig::tiny(42);
+    println!("generating world and crawling (seed 42, tiny scale)…");
+    let outcome = Pipeline::new(config).run()?;
+
+    println!("\n--- dataset (paper §3) ---");
+    println!("{}", dataset_stats::run(&outcome)?);
+
+    println!("--- social engagement vs success (paper Figure 6) ---");
+    let table = fig6::run(&outcome)?;
+    println!("{table}");
+
+    println!(
+        "The paper's headline: companies with a social media presence are\n\
+         ~30x more likely to succeed in fundraising. Measured here: {:.0}x.",
+        table.facebook_lift
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! The "social scientist interface" (paper §3: "in future, we plan to
+//! provide familiar interfaces to social scientists … a translation layer
+//! will map the theories to Spark queries for execution"): ad-hoc SQL over
+//! the crawled store, no Rust required beyond the harness.
+//!
+//! ```sh
+//! cargo run --release --example sql_analytics
+//! ```
+
+use crowdnet::core::pipeline::{Pipeline, PipelineConfig};
+use crowdnet::dataflow::dataset::scan_store;
+use crowdnet::dataflow::sql::query;
+use crowdnet::json::Value;
+use crowdnet::store::SnapshotId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("crawling a toy world…");
+    let outcome = Pipeline::new(PipelineConfig::tiny(42)).run()?;
+
+    let docs = |ns: &str| -> Result<crowdnet::dataflow::Dataset<Value>, Box<dyn std::error::Error>> {
+        Ok(scan_store(&outcome.store, ns, SnapshotId(0), outcome.ctx)?.map(|d| d.body))
+    };
+
+    println!("\n-- Who are the most-followed startups?");
+    let sql = "SELECT name, follower_count FROM companies \
+               ORDER BY follower_count DESC LIMIT 5";
+    println!("{sql}\n{}", query(sql, docs("angellist/companies")?)?.render());
+
+    println!("-- How rare is a social media presence? (paper Figure 6, first column)");
+    let sql = "SELECT COUNT(*) AS companies, COUNT(twitter_url) AS with_twitter, \
+               COUNT(facebook_url) AS with_facebook FROM companies";
+    println!("{sql}\n{}", query(sql, docs("angellist/companies")?)?.render());
+
+    println!("-- Twitter engagement distribution of crawled profiles");
+    let sql = "SELECT COUNT(*) AS n, AVG(followers_count) AS avg_followers, \
+               MIN(statuses_count) AS min_tweets, MAX(statuses_count) AS max_tweets \
+               FROM twitter";
+    println!("{sql}\n{}", query(sql, docs("twitter/profiles")?)?.render());
+
+    println!("-- Role mix of the AngelList user base (paper §3)");
+    let sql = "SELECT role, COUNT(*) AS n FROM users GROUP BY role ORDER BY n DESC";
+    println!("{sql}\n{}", query(sql, docs("angellist/users")?)?.render());
+
+    println!("-- CrunchBase: how much did multi-round companies raise?");
+    let sql = "SELECT name, total_raised_usd FROM crunchbase \
+               WHERE total_raised_usd > 2000000 ORDER BY total_raised_usd DESC LIMIT 5";
+    println!("{sql}\n{}", query(sql, docs("crunchbase/companies")?)?.render());
+
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! The §7 prediction extension: which profile and graph features best
+//! predict fundraising success? Trains a from-scratch logistic regression
+//! with greedy forward feature selection, exactly the "feature selection
+//! methods for high-dimensional regression" the paper proposes.
+//!
+//! ```sh
+//! cargo run --release --example success_predictors
+//! ```
+
+use crowdnet::core::experiments::predict;
+use crowdnet::core::pipeline::{Pipeline, PipelineConfig};
+use crowdnet::socialsim::{Scale, WorldConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = PipelineConfig::tiny(5);
+    config.world = WorldConfig::at_scale(
+        5,
+        Scale::Custom {
+            companies: 20_000,
+            users: 6_000,
+        },
+    );
+    println!("crawling a 20k-company world…");
+    let outcome = Pipeline::new(config).run()?;
+
+    let r = predict::run(&outcome)?;
+    println!(
+        "\nfunding base rate: {:.2}% of {} companies ({} train / {} test)",
+        r.positive_rate * 100.0,
+        r.train_rows + r.test_rows,
+        r.train_rows,
+        r.test_rows
+    );
+    println!("held-out AUC with all features: {:.3}", r.auc_full);
+    println!("\nforward selection path (feature -> cumulative AUC):");
+    for (i, (feature, auc)) in r.selection_path.iter().enumerate() {
+        println!("  {}. {feature:<22} {auc:.3}", i + 1);
+    }
+    println!(
+        "\nThe single best feature ({}) already reaches AUC {:.3} — engagement\n\
+         dominates, which is the paper's §4 finding restated as a predictor.",
+        r.selection_path.first().map(|(f, _)| f.as_str()).unwrap_or("?"),
+        r.auc_best_single
+    );
+    Ok(())
+}

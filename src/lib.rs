@@ -1,0 +1,42 @@
+//! # CrowdNet
+//!
+//! A from-scratch Rust reproduction of *"Collection, Exploration and Analysis
+//! of Crowdfunding Social Networks"* (Cheng, Sriramulu, Muralidhar, Loo,
+//! Huang, Loh — ExploreDB'16, the SIGMOD/PODS 2016 workshop).
+//!
+//! This facade crate re-exports every subsystem; see the individual crates
+//! for deep documentation:
+//!
+//! * [`json`] — JSON document model, parser and serializers (the platform's
+//!   storage/wire format; the paper stores crawled records as JSON in HDFS).
+//! * [`store`] — HDFS-like partitioned append-only document store.
+//! * [`dataflow`] — Spark-like parallel dataset engine plus the statistics
+//!   toolkit (ECDF, KDE, DKW bounds) used by the paper's analyses.
+//! * [`socialsim`] — the synthetic crowdfunding ecosystem and simulated
+//!   AngelList / CrunchBase / Facebook / Twitter APIs (the substitute for the
+//!   live 2016 web services; see DESIGN.md §1).
+//! * [`crawl`] — parallel BFS frontier crawler, rate limiting, token
+//!   sharding, CrunchBase augmentation, longitudinal crawl scheduler.
+//! * [`graph`] — bipartite investor–company graph analytics: CoDA community
+//!   detection, baselines, and the paper's community-strength metrics.
+//! * [`viz`] — force-directed layout and SVG/DOT rendering (Figure 7).
+//! * [`core`] — the end-to-end pipeline and one driver per paper experiment.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use crowdnet::core::pipeline::{Pipeline, PipelineConfig};
+//!
+//! let cfg = PipelineConfig::tiny(42); // deterministic toy-scale world
+//! let outcome = Pipeline::new(cfg).run().expect("pipeline");
+//! assert!(outcome.dataset.companies > 0);
+//! ```
+
+pub use crowdnet_core as core;
+pub use crowdnet_crawl as crawl;
+pub use crowdnet_dataflow as dataflow;
+pub use crowdnet_graph as graph;
+pub use crowdnet_json as json;
+pub use crowdnet_socialsim as socialsim;
+pub use crowdnet_store as store;
+pub use crowdnet_viz as viz;

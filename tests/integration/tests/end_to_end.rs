@@ -1,0 +1,104 @@
+//! Cross-crate integration: the full pipeline from world generation through
+//! crawl, store, dataflow joins and every experiment driver.
+
+use crowdnet_core::experiments::{communities, dataset_stats, fig3, fig4, fig5, fig6, fig7, investor_graph, predict};
+use crowdnet_core::features::{company_records, investment_edges};
+use crowdnet_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
+use std::sync::OnceLock;
+
+/// One shared pipeline run: the experiments are read-only over it.
+fn outcome() -> &'static PipelineOutcome {
+    static OUTCOME: OnceLock<PipelineOutcome> = OnceLock::new();
+    OUTCOME.get_or_init(|| Pipeline::new(PipelineConfig::tiny(42)).run().expect("pipeline"))
+}
+
+#[test]
+fn crawl_counters_match_store_contents() {
+    let o = outcome();
+    let store = &o.store;
+    assert_eq!(
+        store.doc_count("angellist/companies").unwrap(),
+        o.dataset.companies
+    );
+    assert_eq!(store.doc_count("angellist/users").unwrap(), o.dataset.users);
+    assert_eq!(
+        store.doc_count("crunchbase/companies").unwrap(),
+        o.dataset.crunchbase
+    );
+    assert_eq!(store.doc_count("facebook/pages").unwrap(), o.dataset.facebook);
+    assert_eq!(store.doc_count("twitter/profiles").unwrap(), o.dataset.twitter);
+}
+
+#[test]
+fn every_experiment_runs_on_one_outcome() {
+    let o = outcome();
+    assert!(dataset_stats::run(o).is_ok());
+    assert!(fig3::run(o).is_ok());
+    assert!(fig6::run(o).is_ok());
+    assert!(investor_graph::run(o).is_ok());
+    assert!(communities::run(o).is_ok());
+    assert!(fig4::run(o).is_ok());
+    assert!(fig5::run(o).is_ok());
+    assert!(fig7::run(o).is_ok());
+    assert!(predict::run(o).is_ok());
+}
+
+#[test]
+fn joined_records_are_internally_consistent() {
+    let o = outcome();
+    let records = company_records(o).unwrap();
+    // AngelList is the spine: every record came from a crawled company doc.
+    assert_eq!(records.len(), o.dataset.companies);
+    // Social joins never invent engagement for unlinked companies.
+    for r in &records {
+        if !r.has_facebook {
+            assert!(r.fb_likes.is_none());
+        }
+        if !r.has_twitter {
+            assert!(r.tw_followers.is_none());
+        }
+        if !r.funded {
+            assert_eq!(r.total_raised_usd, 0);
+        }
+    }
+}
+
+#[test]
+fn investment_edges_reference_real_companies() {
+    let o = outcome();
+    let edges = investment_edges(o).unwrap();
+    assert!(!edges.is_empty());
+    // Company ids in edges are ids the world can hold (u32 index range).
+    let max_company = o.world.companies.len() as u32;
+    for (_, c) in &edges {
+        assert!(*c < max_company);
+    }
+}
+
+#[test]
+fn experiment_results_are_deterministic_across_full_reruns() {
+    let a = Pipeline::new(PipelineConfig::tiny(9)).run().unwrap();
+    let b = Pipeline::new(PipelineConfig::tiny(9)).run().unwrap();
+    let fa = fig3::run(&a).unwrap();
+    let fb = fig3::run(&b).unwrap();
+    assert_eq!(fa.cdf_points, fb.cdf_points);
+    let ta = fig6::run(&a).unwrap();
+    let tb = fig6::run(&b).unwrap();
+    for (ra, rb) in ta.rows.iter().zip(&tb.rows) {
+        assert_eq!(ra.count, rb.count);
+        assert_eq!(ra.success_rate, rb.success_rate);
+    }
+    let (ga, _) = investor_graph::run(&a).unwrap();
+    let (gb, _) = investor_graph::run(&b).unwrap();
+    assert_eq!(ga.edges, gb.edges);
+    assert_eq!(ga.investors, gb.investors);
+}
+
+#[test]
+fn different_seeds_give_different_worlds() {
+    let a = Pipeline::new(PipelineConfig::tiny(1)).run().unwrap();
+    let b = Pipeline::new(PipelineConfig::tiny(2)).run().unwrap();
+    let fa = fig3::run(&a).unwrap();
+    let fb = fig3::run(&b).unwrap();
+    assert_ne!(fa.cdf_points, fb.cdf_points);
+}

@@ -1,0 +1,101 @@
+//! Consolidated shape guard: one 1/64-scale pipeline run, every headline
+//! qualitative claim of the paper checked against it. This is the test that
+//! fails if a refactor silently breaks the reproduction.
+
+use crowdnet_core::experiments::{
+    communities, correlations, dataset_stats, fig3, fig4, fig5, fig6, investor_graph, predict,
+};
+use crowdnet_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
+use std::sync::OnceLock;
+
+fn outcome() -> &'static PipelineOutcome {
+    static OUTCOME: OnceLock<PipelineOutcome> = OnceLock::new();
+    OUTCOME.get_or_init(|| Pipeline::new(PipelineConfig::small(42)).run().expect("pipeline"))
+}
+
+#[test]
+fn s3_dataset_proportions() {
+    let r = dataset_stats::run(outcome()).unwrap();
+    // Twitter > Facebook coverage; both a small share of companies.
+    assert!(r.twitter > r.facebook);
+    assert!((r.facebook as f64 / r.companies as f64 - 0.05).abs() < 0.02);
+    assert!((r.twitter as f64 / r.companies as f64 - 0.095).abs() < 0.03);
+    // Investors follow two orders of magnitude more than they invest.
+    assert!(r.mean_investor_follows / r.mean_investments > 30.0);
+}
+
+#[test]
+fn fig3_long_tail() {
+    let r = fig3::run(outcome()).unwrap();
+    assert_eq!(r.median, 1.0);
+    assert!(r.mean > 2.0 && r.mean < 5.0);
+    assert!(r.max / r.mean > 10.0, "tail too short: max {} mean {}", r.max, r.mean);
+}
+
+#[test]
+fn fig6_engagement_ordering() {
+    let r = fig6::run(outcome()).unwrap();
+    let rate = |prefix: &str| {
+        r.rows
+            .iter()
+            .find(|row| row.label.starts_with(prefix))
+            .unwrap()
+            .success_rate
+    };
+    let none = rate("No social media");
+    let fb = rate("Facebook");
+    let video = rate("Presence of demo video");
+    let no_video = rate("No demo video");
+    // The paper's two headline multipliers, as orderings with floors.
+    assert!(r.facebook_lift > 8.0, "fb lift {}", r.facebook_lift);
+    assert!(fb > none * 5.0);
+    assert!(video > no_video * 3.0);
+    // Engagement rows top their presence rows.
+    let fb_high = r.rows.iter().find(|row| row.label.contains("likes)")).unwrap();
+    assert!(fb_high.success_rate > fb);
+}
+
+#[test]
+fn s51_concentration() {
+    let (r, _) = investor_graph::run(outcome()).unwrap();
+    assert!(r.mean_investors_per_company > 1.5 && r.mean_investors_per_company < 6.0);
+    let k3 = &r.concentration[0];
+    // A minority of investors holds a clear majority of edges.
+    assert!(k3.investor_share < 0.4);
+    assert!(k3.edge_share > 0.5);
+}
+
+#[test]
+fn s52_to_fig5_herding() {
+    let (c, ..) = communities::run(outcome()).unwrap();
+    assert!(c.communities >= 4);
+    let f4 = fig4::run(outcome()).unwrap();
+    assert!(f4.strong[0].mean_shared > 1.0);
+    assert!(f4.strong[0].mean_shared > 4.0 * f4.global_mean_shared.max(0.01));
+    let f5 = fig5::run(outcome()).unwrap();
+    assert!(f5.mean_pct > f5.randomized_mean_pct);
+}
+
+#[test]
+fn s4_correlations_significant() {
+    let r = correlations::run(outcome()).unwrap();
+    let social = r
+        .rows
+        .iter()
+        .find(|x| x.signal == "has_social_presence")
+        .unwrap();
+    assert!(social.pearson_r > 0.1);
+    assert!(social.p_value < 0.05);
+}
+
+#[test]
+fn s7_prediction_beats_chance() {
+    let r = predict::run(outcome()).unwrap();
+    assert!(r.auc_full > 0.7, "AUC {}", r.auc_full);
+    // Engagement leads the selection path.
+    let first = &r.selection_path.first().unwrap().0;
+    assert!(
+        first.contains("tw") || first.contains("fb") || first.contains("follower"),
+        "unexpected first feature {first}"
+    );
+}

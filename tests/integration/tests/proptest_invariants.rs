@@ -1,0 +1,112 @@
+//! Property-based cross-crate invariants: for arbitrary seeds and world
+//! shapes, the pipeline's structural guarantees hold.
+
+use crowdnet_core::features::{company_records, investment_edges};
+use crowdnet_core::pipeline::{Pipeline, PipelineConfig};
+use crowdnet_graph::metrics::{self, Community};
+use crowdnet_graph::BipartiteGraph;
+use crowdnet_socialsim::{Scale, World, WorldConfig};
+use proptest::prelude::*;
+
+fn small_world_config(seed: u64, companies: u32, users: u32) -> WorldConfig {
+    WorldConfig::at_scale(
+        seed,
+        Scale::Custom {
+            companies: 400 + companies % 800,
+            users: 400 + users % 800,
+        },
+    )
+}
+
+proptest! {
+    // Pipelines are slow-ish; keep case counts modest but meaningful.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn world_invariants_hold_for_any_seed(seed in 0u64..10_000, c in 0u32..1000, u in 0u32..1000) {
+        let world = World::generate(&small_world_config(seed, c, u));
+        // Reciprocity of investments.
+        for user in &world.users {
+            for &cid in &user.investments {
+                prop_assert!(world.companies[cid.0 as usize].investors.contains(&user.id));
+            }
+        }
+        // Funding implies rounds; no funding implies none.
+        for company in &world.companies {
+            prop_assert_eq!(company.funded, !company.rounds.is_empty());
+        }
+        // Planted communities never share investors.
+        let mut seen = std::collections::HashSet::new();
+        for pc in &world.planted_communities {
+            for inv in &pc.investors {
+                prop_assert!(seen.insert(*inv));
+            }
+        }
+    }
+
+    #[test]
+    fn crawl_never_fabricates_entities(seed in 0u64..1000) {
+        let mut cfg = PipelineConfig::tiny(seed);
+        cfg.world = small_world_config(seed, seed as u32, seed as u32 / 2);
+        let outcome = Pipeline::new(cfg).run().unwrap();
+        prop_assert!(outcome.dataset.companies <= outcome.world.companies.len());
+        prop_assert!(outcome.dataset.users <= outcome.world.users.len());
+        prop_assert!(outcome.dataset.facebook <= outcome.dataset.companies);
+        prop_assert!(outcome.dataset.twitter <= outcome.dataset.companies);
+        // Every joined record's engagement matches the world's account.
+        let records = company_records(&outcome).unwrap();
+        for r in records.iter().take(100) {
+            let truth = &outcome.world.companies[r.id as usize];
+            prop_assert_eq!(r.has_facebook, truth.facebook.is_some());
+            prop_assert_eq!(r.has_twitter, truth.twitter.is_some());
+            if let (Some(measured), Some(actual)) = (r.fb_likes, truth.facebook.as_ref()) {
+                prop_assert_eq!(measured, actual.likes);
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_graph_metrics_invariants(seed in 0u64..1000) {
+        let mut cfg = PipelineConfig::tiny(seed);
+        cfg.world = small_world_config(seed, 300, 900);
+        let outcome = Pipeline::new(cfg).run().unwrap();
+        let edges = investment_edges(&outcome).unwrap();
+        prop_assume!(!edges.is_empty());
+        let graph = BipartiteGraph::from_edges(edges.clone());
+        // Edge conservation through construction (after dedup ≤ raw count).
+        prop_assert!(graph.edge_count() <= edges.len());
+        // Degree concentration is monotone in k.
+        let mut last = (1.1, 1.1);
+        for k in 1..6 {
+            let cur = graph.degree_concentration(k);
+            prop_assert!(cur.0 <= last.0 + 1e-12);
+            prop_assert!(cur.1 <= last.1 + 1e-12);
+            last = cur;
+        }
+        // Metric bounds: percentages in [0, 100], shared sizes ≥ 0.
+        let everyone = Community { members: (0..graph.investor_count() as u32).collect() };
+        if let Some(pct) = metrics::pct_companies_with_shared_investors(&graph, &everyone, 2) {
+            prop_assert!((0.0..=100.0).contains(&pct));
+        }
+        if let Some(avg) = metrics::avg_shared_investment(&graph, &everyone) {
+            prop_assert!(avg >= 0.0);
+        }
+    }
+
+    #[test]
+    fn filter_min_investments_is_a_subgraph(seed in 0u64..1000, k in 1usize..6) {
+        let mut cfg = PipelineConfig::tiny(seed);
+        cfg.world = small_world_config(seed, 500, 500);
+        let outcome = Pipeline::new(cfg).run().unwrap();
+        let edges = investment_edges(&outcome).unwrap();
+        prop_assume!(!edges.is_empty());
+        let graph = BipartiteGraph::from_edges(edges);
+        let filtered = graph.filter_min_investments(k);
+        prop_assert!(filtered.investor_count() <= graph.investor_count());
+        prop_assert!(filtered.company_count() <= graph.company_count());
+        prop_assert!(filtered.edge_count() <= graph.edge_count());
+        for i in 0..filtered.investor_count() as u32 {
+            prop_assert!(filtered.companies_of(i).len() >= k);
+        }
+    }
+}

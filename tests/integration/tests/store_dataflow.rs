@@ -1,0 +1,101 @@
+//! Store ↔ dataflow integration: the disk backend feeding partition-parallel
+//! analytics, exactly as the crawl pipeline does with the memory backend.
+
+use crowdnet_dataflow::dataset::scan_store;
+use crowdnet_dataflow::ExecCtx;
+use crowdnet_json::{obj, Value};
+use crowdnet_store::{Document, SnapshotId, Store};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("crowdnet-int-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn disk_store_feeds_dataflow_joins() {
+    let store = Store::open(temp_dir("joins"), 4).unwrap();
+    for i in 0..200u32 {
+        store
+            .put(
+                "left",
+                Document::new(format!("k:{i}"), obj! {"id" => i, "x" => i * 2}),
+            )
+            .unwrap();
+    }
+    for i in 0..100u32 {
+        store
+            .put(
+                "right",
+                Document::new(format!("k:{i}"), obj! {"id" => i, "y" => i * 3}),
+            )
+            .unwrap();
+    }
+    let ctx = ExecCtx::new(4);
+    let left = scan_store(&store, "left", SnapshotId(0), ctx)
+        .unwrap()
+        .map(|d| {
+            (
+                d.body.get("id").and_then(Value::as_u64).unwrap(),
+                d.body.get("x").and_then(Value::as_u64).unwrap(),
+            )
+        })
+        .key_by(|&(id, _)| id)
+        .map_values(|(_, x)| x);
+    let right = scan_store(&store, "right", SnapshotId(0), ctx)
+        .unwrap()
+        .map(|d| {
+            (
+                d.body.get("id").and_then(Value::as_u64).unwrap(),
+                d.body.get("y").and_then(Value::as_u64).unwrap(),
+            )
+        })
+        .key_by(|&(id, _)| id)
+        .map_values(|(_, y)| y);
+    let joined = left.join(right).collect();
+    assert_eq!(joined.len(), 100);
+    for (id, (x, y)) in joined {
+        assert_eq!(x, id * 2);
+        assert_eq!(y, id * 3);
+    }
+}
+
+#[test]
+fn snapshots_survive_reopen_and_scan_in_parallel() {
+    let root = temp_dir("snapshots");
+    {
+        let store = Store::open(&root, 2).unwrap();
+        store
+            .put("ns", Document::new("a", obj! {"day" => 0}))
+            .unwrap();
+        let snap1 = store.new_snapshot("ns").unwrap();
+        store
+            .put_snapshot("ns", snap1, Document::new("a", obj! {"day" => 1}))
+            .unwrap();
+    }
+    let store = Store::open(&root, 2).unwrap();
+    assert_eq!(store.snapshots("ns").len(), 2);
+    let ctx = ExecCtx::new(2);
+    for (snap, expected_day) in [(SnapshotId(0), 0), (SnapshotId(1), 1)] {
+        let days: Vec<i64> = scan_store(&store, "ns", snap, ctx)
+            .unwrap()
+            .map(|d| d.body.get("day").and_then(Value::as_i64).unwrap())
+            .collect();
+        assert_eq!(days, vec![expected_day]);
+    }
+}
+
+#[test]
+fn dataflow_statistics_agree_with_direct_computation() {
+    use crowdnet_dataflow::stats::{Ecdf, Summary};
+    use crowdnet_dataflow::Dataset;
+    let values: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 1000) as f64).collect();
+    let ctx = ExecCtx::new(4);
+    // Compute sum via the dataset engine, mean via stats, compare.
+    let sum = Dataset::from_vec(values.clone(), ctx).reduce(0.0, |a, b| a + b, |a, b| a + b);
+    let summary = Summary::of(&values).unwrap();
+    assert!((sum / values.len() as f64 - summary.mean).abs() < 1e-9);
+    let ecdf = Ecdf::new(values);
+    assert_eq!(ecdf.eval(999.0), 1.0);
+    assert!((ecdf.eval(499.0) - 0.5).abs() < 0.01);
+}
