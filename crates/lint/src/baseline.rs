@@ -1,0 +1,200 @@
+//! The baseline ratchet. `lint-baseline.toml` freezes the violations that
+//! existed when a rule was introduced, as *per-file counts*: counts are
+//! robust to unrelated edits moving lines around, and they only ratchet
+//! down — a file may reduce its count (please do), never grow it.
+//!
+//! Format: one `[rule-id]` section per rule, `"path" = count` entries.
+
+use crate::{Diagnostic, LintError};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Allowed violation counts, keyed by `(rule, file)`.
+#[derive(Debug, Default, PartialEq)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String), usize>,
+}
+
+/// The result of gating diagnostics against a baseline.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Diagnostics beyond the baseline — these fail the build. When a
+    /// (rule, file) group exceeds its allowance every site in the group is
+    /// listed, since counts cannot tell old violations from new.
+    pub new: Vec<Diagnostic>,
+    /// Diagnostics absorbed by the baseline.
+    pub baselined: usize,
+    /// Baseline entries that are now too generous: `(rule, file, allowed,
+    /// found)`. Not a failure — an invitation to ratchet the file down.
+    pub stale: Vec<(String, String, usize, usize)>,
+}
+
+impl Baseline {
+    /// Parse the baseline file format. Errors carry a 1-based line number.
+    pub fn parse(text: &str) -> Result<Baseline, LintError> {
+        let mut counts = BTreeMap::new();
+        let mut section: Option<String> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = Some(name.trim().to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(LintError::Baseline(lineno, "expected `\"file\" = count`".into()));
+            };
+            let Some(rule) = section.clone() else {
+                return Err(LintError::Baseline(lineno, "entry before any [rule] section".into()));
+            };
+            let file = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| LintError::Baseline(lineno, "file path must be quoted".into()))?
+                .to_string();
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| LintError::Baseline(lineno, "count must be an integer".into()))?;
+            counts.insert((rule, file), count);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Build a baseline that exactly absorbs `diags`.
+    pub fn from_diagnostics(diags: &[Diagnostic]) -> Baseline {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for d in diags {
+            *counts
+                .entry((d.rule.to_string(), d.file.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Serialize in the on-disk format (stable order, regeneratable).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# crowdnet-lint baseline: violations frozen when each rule was introduced.\n\
+             # The gate fails only when a (rule, file) pair exceeds its count here.\n\
+             # Shrink entries as files are cleaned up; never grow them.\n\
+             # Regenerate: cargo run -p crowdnet-lint -- --workspace --write-baseline\n",
+        );
+        let mut current = "";
+        for ((rule, file), n) in &self.counts {
+            if rule != current {
+                let _ = write!(out, "\n[{rule}]\n");
+                current = rule;
+            }
+            let _ = writeln!(out, "\"{file}\" = {n}");
+        }
+        out
+    }
+
+    /// Gate `diags` against the baseline.
+    pub fn gate(&self, diags: Vec<Diagnostic>) -> GateReport {
+        let mut groups: BTreeMap<(String, String), Vec<Diagnostic>> = BTreeMap::new();
+        for d in diags {
+            groups
+                .entry((d.rule.to_string(), d.file.clone()))
+                .or_default()
+                .push(d);
+        }
+        let mut report = GateReport::default();
+        for (key, group) in &mut groups {
+            let allowed = self.counts.get(key).copied().unwrap_or(0);
+            if group.len() > allowed {
+                report.new.append(group);
+            } else {
+                report.baselined += group.len();
+                if group.len() < allowed {
+                    report
+                        .stale
+                        .push((key.0.clone(), key.1.clone(), allowed, group.len()));
+                }
+            }
+        }
+        // Entries whose file no longer produces any diagnostic at all.
+        for ((rule, file), allowed) in &self.counts {
+            if *allowed > 0 && !groups.contains_key(&(rule.clone(), file.clone())) {
+                report.stale.push((rule.clone(), file.clone(), *allowed, 0));
+            }
+        }
+        report.new.sort_by(|a, b| {
+            (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
+        });
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.into(),
+            line,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_parse_render() {
+        let diags = vec![
+            diag("no-unwrap-in-lib", "crates/a/src/lib.rs", 3),
+            diag("no-unwrap-in-lib", "crates/a/src/lib.rs", 9),
+            diag("no-wallclock", "crates/b/src/x.rs", 1),
+        ];
+        let b = Baseline::from_diagnostics(&diags);
+        let reparsed = Baseline::parse(&b.render()).expect("parses");
+        assert_eq!(b, reparsed);
+    }
+
+    #[test]
+    fn gate_passes_at_or_below_count_and_fails_above() {
+        let b = Baseline::from_diagnostics(&[
+            diag("r", "f.rs", 1),
+            diag("r", "f.rs", 2),
+        ]);
+        let ok = b.gate(vec![diag("r", "f.rs", 5)]);
+        assert!(ok.new.is_empty());
+        assert_eq!(ok.baselined, 1);
+        assert_eq!(ok.stale.len(), 1);
+
+        let bad = b.gate(vec![
+            diag("r", "f.rs", 1),
+            diag("r", "f.rs", 2),
+            diag("r", "f.rs", 3),
+        ]);
+        assert_eq!(bad.new.len(), 3, "whole group listed when count exceeded");
+    }
+
+    #[test]
+    fn unknown_file_is_always_new() {
+        let b = Baseline::default();
+        let r = b.gate(vec![diag("r", "fresh.rs", 1)]);
+        assert_eq!(r.new.len(), 1);
+    }
+
+    #[test]
+    fn vanished_file_is_reported_stale() {
+        let b = Baseline::from_diagnostics(&[diag("r", "gone.rs", 1)]);
+        let r = b.gate(vec![]);
+        assert!(r.new.is_empty());
+        assert_eq!(r.stale, vec![("r".into(), "gone.rs".into(), 1, 0)]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Baseline::parse("\"f.rs\" = 1\n").is_err(), "entry before section");
+        assert!(Baseline::parse("[r]\nf.rs = 1\n").is_err(), "unquoted path");
+        assert!(Baseline::parse("[r]\n\"f.rs\" = x\n").is_err(), "bad count");
+        assert!(Baseline::parse("# just comments\n\n").expect("ok") == Baseline::default());
+    }
+}

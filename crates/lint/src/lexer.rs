@@ -1,0 +1,492 @@
+//! A minimal Rust lexer.
+//!
+//! This is not a full grammar — it is exactly enough fidelity for
+//! line-accurate, token-level lint rules: strings (including raw and byte
+//! strings), char literals vs lifetimes, nested block comments, numbers,
+//! identifiers and single-char punctuation. Anything the lexer does not
+//! recognise degrades to a one-character punctuation token rather than an
+//! error, so lexing never fails and never panics, even on garbage input.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `Instant`, …).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// Character literal (`'x'`, `'\n'`, `'\u{1F600}'`).
+    Char,
+    /// String literal of any flavour: `"…"`, `b"…"`, `r"…"`, `r#"…"#`.
+    Str,
+    /// Numeric literal (`0`, `1_000`, `0xFF`, `1.5e3` up to the exponent sign).
+    Num,
+    /// Everything else, one character at a time (`.`, `:`, `{`, …).
+    Punct,
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block, including doc comments) with its start line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The result of lexing one source file: code tokens and comments,
+/// separated so rules never match inside comments by accident.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lex `src` into tokens and comments. Total over all inputs.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start_line = line;
+
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let begin = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text: chars[begin..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let begin = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: chars[begin..i.min(chars.len())].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Raw / byte string starts: r"…", r#"…"#, b"…", br"…", br#"…"#.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            let raw = chars.get(j) == Some(&'r');
+            if raw {
+                j += 1;
+            }
+            if raw {
+                let mut hashes = 0usize;
+                while chars.get(j + hashes) == Some(&'#') {
+                    hashes += 1;
+                }
+                if chars.get(j + hashes) == Some(&'"') {
+                    // Raw string: ends at '"' followed by `hashes` '#'s.
+                    let begin = i;
+                    i = j + hashes + 1;
+                    loop {
+                        match chars.get(i) {
+                            None => break,
+                            Some('\n') => {
+                                line += 1;
+                                i += 1;
+                            }
+                            Some('"') => {
+                                let mut k = 0usize;
+                                while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                                    k += 1;
+                                }
+                                i += 1 + k;
+                                if k == hashes {
+                                    break;
+                                }
+                            }
+                            Some(_) => i += 1,
+                        }
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: chars[begin..i.min(chars.len())].iter().collect(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+            } else if c == 'b' && chars.get(j) == Some(&'"') {
+                // Byte string: same escape rules as a normal string.
+                let begin = i;
+                i = j; // at the opening quote
+                i = lex_quoted(&chars, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: chars[begin..i.min(chars.len())].iter().collect(),
+                    line: start_line,
+                });
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+
+        // String literal.
+        if c == '"' {
+            let begin = i;
+            i = lex_quoted(&chars, i, &mut line);
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: chars[begin..i.min(chars.len())].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            match chars.get(i + 1) {
+                Some('\\') => {
+                    // Escaped char literal: scan a short window for the
+                    // close, starting past the escaped character so `'\''`
+                    // does not end on its own escape.
+                    let begin = i;
+                    let mut j = i + 3;
+                    let limit = (i + 16).min(chars.len());
+                    while j < limit && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    if j < limit {
+                        i = j + 1;
+                        out.tokens.push(Token {
+                            kind: TokenKind::Char,
+                            text: chars[begin..i].iter().collect(),
+                            line: start_line,
+                        });
+                    } else {
+                        i += 1;
+                        out.tokens.push(Token {
+                            kind: TokenKind::Punct,
+                            text: "'".into(),
+                            line: start_line,
+                        });
+                    }
+                    continue;
+                }
+                Some(_) if chars.get(i + 2) == Some(&'\'') => {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: chars[i..i + 3].iter().collect(),
+                        line: start_line,
+                    });
+                    i += 3;
+                    continue;
+                }
+                Some(&n) if is_ident_start(n) => {
+                    let begin = i;
+                    i += 2;
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: chars[begin..i].iter().collect(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+                _ => {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: "'".into(),
+                        line: start_line,
+                    });
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+
+        // Number.
+        if c.is_ascii_digit() {
+            let begin = i;
+            let mut seen_dot = false;
+            while i < chars.len() {
+                let d = chars[i];
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    i += 1;
+                } else if d == '.'
+                    && !seen_dot
+                    && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                {
+                    // `1.5` but not `1..5` (the range stays two puncts).
+                    seen_dot = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Num,
+                text: chars[begin..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let begin = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[begin..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Single-char punctuation.
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line: start_line,
+        });
+        i += 1;
+    }
+
+    out
+}
+
+/// Scan a `"`-delimited string starting at the opening quote; returns the
+/// index just past the closing quote (or the end of input if unterminated).
+fn lex_quoted(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    debug_assert_eq!(chars.get(i), Some(&'"'));
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => return i + 1,
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("fn foo(x: u32) -> u32 { x }");
+        assert_eq!(t[0], (TokenKind::Ident, "fn".into()));
+        assert_eq!(t[1], (TokenKind::Ident, "foo".into()));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Punct && s == "{"));
+    }
+
+    #[test]
+    fn method_call_chain_tokens() {
+        let t = kinds("self.writers.lock().insert(k, v);");
+        let idents: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, ["self", "writers", "lock", "insert", "k", "v"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // The word `unwrap` inside a string must not surface as an Ident.
+        let t = kinds(r#"let m = "never unwrap() here";"#);
+        assert!(!t.iter().any(|(k, s)| *k == TokenKind::Ident && s == "unwrap"));
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Str && s.contains("unwrap")));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let t = kinds(r#""a\"b" x"#);
+        assert_eq!(t[0].0, TokenKind::Str);
+        assert_eq!(t[0].1, r#""a\"b""#);
+        assert_eq!(t[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb\n/* c\nc */ d";
+        let lexed = lex(src);
+        let a = &lexed.tokens[0];
+        let s = &lexed.tokens[1];
+        let b = &lexed.tokens[2];
+        let d = &lexed.tokens[3];
+        assert_eq!((a.line, s.line, b.line, d.line), (1, 2, 4, 6));
+    }
+
+    #[test]
+    fn comments_are_separated_from_tokens() {
+        let lexed = lex("x // trailing unwrap()\ny");
+        assert_eq!(lexed.tokens.len(), 2);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_comments_and_hashes() {
+        // A plain raw string containing a quote-like sequence.
+        let t = kinds(r##"let re = r"a\"; x"##);
+        assert_eq!(t[3].0, TokenKind::Str);
+        assert_eq!(t[3].1, r#"r"a\""#);
+        assert_eq!(t[5], (TokenKind::Ident, "x".into()));
+
+        // Hashed raw string: embedded `"` and `//` stay inside the token.
+        let src = "let s = r#\"quote \" and // not a comment\"#; tail";
+        let lexed = lex(src);
+        assert!(lexed.comments.is_empty());
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("raw string token");
+        assert!(s.text.contains("not a comment"));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("tail")));
+
+        // Double-hash terminator must not end at the single-hash quote.
+        let src = "r##\"inner \"# still\"## after";
+        let lexed = lex(src);
+        assert!(lexed.tokens[0].text.contains("still"));
+        assert!(lexed.tokens[1].is_ident("after"));
+
+        // Byte and raw-byte strings.
+        let t = kinds(r#"b"bytes" br"raw" x"#);
+        assert_eq!(t[0].0, TokenKind::Str);
+        assert_eq!(t[1].0, TokenKind::Str);
+        assert_eq!(t[2], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Char && s == "'x'"));
+
+        // 'static and loop labels are lifetimes, not unterminated chars.
+        let t = kinds("&'static str; 'outer: loop {}");
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Lifetime && s == "'static"));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Lifetime && s == "'outer"));
+
+        // Escaped char literals, including unicode escapes.
+        let t = kinds(r"'\n' '\'' '\u{1F600}'");
+        let chars: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(chars, [r"'\n'", r"'\''", r"'\u{1F600}'"]);
+
+        // A lifetime right before a char literal does not merge.
+        let t = kinds("'a 'b'");
+        assert_eq!(t[0], (TokenKind::Lifetime, "'a".into()));
+        assert_eq!(t[1], (TokenKind::Char, "'b'".into()));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_matching_terminator() {
+        let lexed = lex("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["a", "b"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+
+        // Line counting continues through multi-line nested comments, and
+        // an unterminated comment consumes the rest of the file safely.
+        let lexed = lex("/* 1\n/* 2\n*/ 3\n*/ x");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.tokens[0].line, 4);
+        let lexed = lex("x /* never closed\nmore");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.comments.len(), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! CrowdNet's workspace-specific static analyzer.
+//!
+//! Repo-wide invariants — panic-free library code, injected clocks,
+//! consistent lock ordering, bounded channels, well-formed error types —
+//! are cheap to state over a token stream and expensive to rediscover in
+//! review. This crate lexes every `.rs` file with a small hand-rolled
+//! Rust lexer ([`lexer`]), runs the five rules in [`rules`], and gates
+//! the result against `lint-baseline.toml` ([`baseline`]) so pre-existing
+//! violations are frozen while new ones fail the build.
+//!
+//! Run it with `cargo run -p crowdnet-lint -- --workspace`; it also runs
+//! as part of `cargo test` via the lint-gate integration tests.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+use source::SourceFile;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding: rendered as `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Everything the analyzer failed on outside of lint findings themselves.
+#[derive(Debug)]
+pub enum LintError {
+    /// Filesystem problem, with the path involved.
+    Io(PathBuf, std::io::Error),
+    /// `lint-baseline.toml` is malformed: (line number, what went wrong).
+    Baseline(usize, String),
+    /// No enclosing Cargo workspace found from this starting directory.
+    NoWorkspaceRoot(PathBuf),
+}
+
+impl LintError {
+    fn io(path: &Path, e: std::io::Error) -> LintError {
+        LintError::Io(path.to_path_buf(), e)
+    }
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io(path, e) => write!(f, "{}: {e}", path.display()),
+            LintError::Baseline(line, msg) => {
+                write!(f, "lint-baseline.toml:{line}: {msg}")
+            }
+            LintError::NoWorkspaceRoot(start) => write!(
+                f,
+                "no Cargo workspace found above {}",
+                start.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LintError::Io(_, e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The lexed workspace, ready for rules to run over.
+#[derive(Debug)]
+pub struct Analysis {
+    pub files: Vec<SourceFile>,
+}
+
+impl Analysis {
+    pub fn file(&self, rel_path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel_path == rel_path)
+    }
+}
+
+/// Lex every lintable file under `root` (see [`workspace::discover`]).
+pub fn analyze_workspace(root: &Path) -> Result<Analysis, LintError> {
+    let mut files = Vec::new();
+    for (abs, rel) in workspace::discover(root)? {
+        let src = std::fs::read_to_string(&abs).map_err(|e| LintError::io(&abs, e))?;
+        files.push(SourceFile::parse(&rel, &src));
+    }
+    Ok(Analysis { files })
+}
+
+/// Run every registered rule and apply `lint:allow` suppressions.
+/// Diagnostics come back sorted by file, line, rule.
+pub fn run_rules(a: &Analysis) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for rule in rules::ALL {
+        diags.extend((rule.check)(a));
+    }
+    diags.retain(|d| {
+        a.file(&d.file)
+            .is_none_or(|f| !f.suppressed(d.rule, d.line))
+    });
+    diags.sort_by(|x, y| (&x.file, x.line, x.rule).cmp(&(&y.file, y.line, y.rule)));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use source::SourceFile;
+
+    #[test]
+    fn suppression_comment_silences_one_rule_at_one_site() {
+        let src = "fn f() {\n    // lint:allow(no-unwrap-in-lib)\n    v.unwrap();\n    w.unwrap();\n}\n";
+        let a = Analysis {
+            files: vec![SourceFile::parse("crates/x/src/lib.rs", src)],
+        };
+        let d = run_rules(&a);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn diagnostics_render_as_file_line_rule_message() {
+        let d = Diagnostic {
+            rule: "no-unwrap-in-lib",
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            message: "boom".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/x/src/lib.rs:7: [no-unwrap-in-lib] boom"
+        );
+    }
+
+    #[test]
+    fn diagnostics_are_sorted() {
+        let src_b = "fn f() { v.unwrap(); }";
+        let src_a = "fn g() { Instant::now(); }\nfn h() { v.unwrap(); }";
+        let a = Analysis {
+            files: vec![
+                SourceFile::parse("crates/b/src/lib.rs", src_b),
+                SourceFile::parse("crates/a/src/lib.rs", src_a),
+            ],
+        };
+        let d = run_rules(&a);
+        let keys: Vec<(String, u32)> = d.iter().map(|d| (d.file.clone(), d.line)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(d.len(), 3);
+    }
+}

@@ -1,0 +1,145 @@
+//! CLI for the workspace analyzer.
+//!
+//! ```text
+//! cargo run -p crowdnet-lint -- --workspace            # gate against the baseline
+//! cargo run -p crowdnet-lint -- --workspace --write-baseline
+//! ```
+//!
+//! Exit codes: 0 clean (or fully baselined), 1 new violations, 2 usage or
+//! I/O failure.
+
+use crowdnet_lint::{analyze_workspace, baseline::Baseline, rules, run_rules, workspace};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const BASELINE_FILE: &str = "lint-baseline.toml";
+
+struct Options {
+    root: Option<PathBuf>,
+    write_baseline: bool,
+    no_baseline: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: crowdnet-lint [--workspace] [--root DIR] [--write-baseline] [--no-baseline]\n\
+     \n\
+     Lints every .rs file in the workspace (vendor/ and target/ excluded).\n\
+       --workspace        lint the whole workspace (the default; kept for clarity)\n\
+       --root DIR         workspace root (default: nearest [workspace] Cargo.toml)\n\
+       --write-baseline   rewrite lint-baseline.toml to absorb current findings\n\
+       --no-baseline      report every violation, ignoring the baseline\n"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        write_baseline: false,
+        no_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--write-baseline" => opts.write_baseline = true,
+            "--no-baseline" => opts.no_baseline = true,
+            "--root" => match args.next() {
+                Some(dir) => opts.root = Some(PathBuf::from(dir)),
+                None => return Err("--root needs a directory".into()),
+            },
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("crowdnet-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Returns Ok(true) when the gate passes.
+fn run(opts: &Options) -> Result<bool, Box<dyn std::error::Error>> {
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => workspace::find_root(&std::env::current_dir()?)?,
+    };
+    let analysis = analyze_workspace(&root)?;
+    let diags = run_rules(&analysis);
+    let baseline_path = root.join(BASELINE_FILE);
+
+    if opts.write_baseline {
+        let baseline = Baseline::from_diagnostics(&diags);
+        std::fs::write(&baseline_path, baseline.render())?;
+        println!(
+            "wrote {} ({} violations across {} files frozen)",
+            baseline_path.display(),
+            diags.len(),
+            diags
+                .iter()
+                .map(|d| d.file.as_str())
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        );
+        return Ok(true);
+    }
+
+    let baseline = if opts.no_baseline {
+        Baseline::default()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+            Err(e) => return Err(Box::new(e)),
+        }
+    };
+
+    let report = baseline.gate(diags);
+    for d in &report.new {
+        println!("{d}");
+    }
+    for (rule, file, allowed, found) in &report.stale {
+        println!(
+            "note: baseline for [{rule}] {file} allows {allowed} but only {found} remain — ratchet it down"
+        );
+    }
+
+    // Per-rule summary, including clean rules, so output names every rule.
+    let mut per_rule: BTreeMap<&str, usize> = rules::ALL.iter().map(|r| (r.id, 0)).collect();
+    for d in &report.new {
+        *per_rule.entry(d.rule).or_insert(0) += 1;
+    }
+    println!(
+        "checked {} files: {} new violation(s), {} baselined",
+        analysis.files.len(),
+        report.new.len(),
+        report.baselined
+    );
+    for (rule, n) in &per_rule {
+        println!("  {rule}: {n} new");
+    }
+    Ok(report.new.is_empty())
+}

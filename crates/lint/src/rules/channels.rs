@@ -1,0 +1,82 @@
+//! `unbounded-channel`: in the crawl and dataflow crates — the two places
+//! producers can outrun consumers by orders of magnitude — an unbounded
+//! `mpsc::channel()` turns backpressure into unbounded memory growth.
+//! Those crates must use `sync_channel(bound)` (or another explicitly
+//! bounded queue); the zero-argument `channel()` constructor is flagged.
+
+use crate::{Analysis, Diagnostic};
+
+pub const ID: &str = "unbounded-channel";
+
+/// Crates whose hot paths the rule covers.
+fn in_scope(path: &str) -> bool {
+    path.starts_with("crates/crawl/") || path.starts_with("crates/dataflow/")
+}
+
+pub fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &a.files {
+        if !in_scope(&f.rel_path) || f.is_test_path() {
+            continue;
+        }
+        for (i, t) in f.tokens.iter().enumerate() {
+            let unbounded_call = t.is_ident("channel")
+                && f.tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && f.tokens.get(i + 2).is_some_and(|n| n.is_punct(')'));
+            if !unbounded_call || f.in_test(t.line) {
+                continue;
+            }
+            // `.channel()` method calls on some object are not the mpsc
+            // constructor; require a non-`.` predecessor (`mpsc::channel()`
+            // or a bare `channel()` import both qualify).
+            if i > 0 && f.tokens[i - 1].is_punct('.') {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: ID,
+                file: f.rel_path.clone(),
+                line: t.line,
+                message: "unbounded channel() in a hot path — use sync_channel(bound) so \
+                          producers feel backpressure"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::analysis;
+
+    #[test]
+    fn flags_unbounded_channel_in_crawl_and_dataflow() {
+        let a = analysis(&[
+            (
+                "crates/crawl/src/pipeline.rs",
+                "fn f() { let (tx, rx) = mpsc::channel(); }",
+            ),
+            (
+                "crates/dataflow/src/exec.rs",
+                "fn f() { let (tx, rx) = channel(); }",
+            ),
+        ]);
+        assert_eq!(check(&a).len(), 2);
+    }
+
+    #[test]
+    fn bounded_channels_and_other_crates_are_fine() {
+        let a = analysis(&[
+            (
+                "crates/crawl/src/pipeline.rs",
+                "fn f() { let (tx, rx) = mpsc::sync_channel(64); let x = bus.channel(); }",
+            ),
+            (
+                "crates/viz/src/lib.rs",
+                "fn f() { let (tx, rx) = mpsc::channel(); }",
+            ),
+        ]);
+        assert!(check(&a).is_empty());
+    }
+}

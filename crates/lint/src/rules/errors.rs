@@ -1,0 +1,160 @@
+//! `error-impl`: every `pub enum *Error` must implement both
+//! `std::fmt::Display` and `std::error::Error`, so callers can `?` it
+//! into their own error types and print it without pattern matching.
+//! Declarations and impls are matched by type name across the whole
+//! workspace (impls conventionally live next to the declaration, but the
+//! rule does not require it).
+
+use crate::lexer::TokenKind;
+use crate::{Analysis, Diagnostic};
+use std::collections::BTreeSet;
+
+pub const ID: &str = "error-impl";
+
+pub fn check(a: &Analysis) -> Vec<Diagnostic> {
+    // (type name) pairs proven implemented, and every pub *Error enum seen.
+    let mut display_for: BTreeSet<String> = BTreeSet::new();
+    let mut error_for: BTreeSet<String> = BTreeSet::new();
+    let mut decls: Vec<(String, String, u32)> = Vec::new(); // (name, file, line)
+
+    for f in &a.files {
+        if f.is_test_path() {
+            continue;
+        }
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            // `pub enum FooError`
+            if toks[i].is_ident("pub")
+                && toks.get(i + 1).is_some_and(|t| t.is_ident("enum"))
+                && toks.get(i + 2).map(|t| t.kind) == Some(TokenKind::Ident)
+            {
+                let name = &toks[i + 2].text;
+                if name.ends_with("Error") && !f.in_test(toks[i].line) {
+                    decls.push((name.clone(), f.rel_path.clone(), toks[i].line));
+                }
+            }
+            // `impl … <Trait> for <Type>` — the trait is the last path
+            // segment before `for`, the type the first identifier after.
+            if toks[i].is_ident("impl") {
+                let mut j = i + 1;
+                let mut last_ident: Option<&str> = None;
+                let mut found: Option<(&str, &str)> = None;
+                while j < toks.len() && j < i + 40 {
+                    let t = &toks[j];
+                    if t.is_punct('{') || t.is_punct(';') {
+                        break;
+                    }
+                    if t.is_ident("for") {
+                        let target = toks[j + 1..]
+                            .iter()
+                            .take(4)
+                            .find(|t| t.kind == TokenKind::Ident);
+                        if let (Some(tr), Some(ty)) = (last_ident, target) {
+                            found = Some((tr, &ty.text));
+                        }
+                        break;
+                    }
+                    if t.kind == TokenKind::Ident {
+                        last_ident = Some(&t.text);
+                    }
+                    j += 1;
+                }
+                if let Some((tr, ty)) = found {
+                    match tr {
+                        "Display" => {
+                            display_for.insert(ty.to_string());
+                        }
+                        "Error" => {
+                            error_for.insert(ty.to_string());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (name, file, line) in decls {
+        let mut missing = Vec::new();
+        if !display_for.contains(&name) {
+            missing.push("Display");
+        }
+        if !error_for.contains(&name) {
+            missing.push("std::error::Error");
+        }
+        if !missing.is_empty() {
+            out.push(Diagnostic {
+                rule: ID,
+                file,
+                line,
+                message: format!("pub enum {name} does not implement {}", missing.join(" or ")),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::analysis;
+
+    #[test]
+    fn compliant_error_enum_is_clean() {
+        let a = analysis(&[(
+            "crates/x/src/error.rs",
+            "pub enum XError { Io }\n\
+             impl std::fmt::Display for XError { }\n\
+             impl std::error::Error for XError { }\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn missing_impls_are_reported_per_trait() {
+        let a = analysis(&[(
+            "crates/x/src/error.rs",
+            "pub enum AError { X }\npub enum BError { X }\n\
+             impl fmt::Display for BError { }\n",
+        )]);
+        let d = check(&a);
+        assert_eq!(d.len(), 2);
+        assert!(d[0].message.contains("AError"));
+        assert!(d[0].message.contains("Display") && d[0].message.contains("Error"));
+        assert!(d[1].message.contains("BError"));
+        assert!(!d[1].message.contains("Display or"));
+    }
+
+    #[test]
+    fn impls_in_another_file_count() {
+        let a = analysis(&[
+            ("crates/x/src/error.rs", "pub enum XError { Io }"),
+            (
+                "crates/x/src/fmt.rs",
+                "impl Display for XError {}\nimpl Error for XError {}\n",
+            ),
+        ]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn non_error_enums_and_private_enums_are_ignored() {
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "pub enum Mode { A }\nenum HiddenError { X }\npub struct SqlError;\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_trait_and_type() {
+        let a = analysis(&[(
+            "crates/x/src/error.rs",
+            "pub enum WrapError { X }\n\
+             impl<T> std::fmt::Display for WrapError { }\n\
+             impl<T: Clone> std::error::Error for WrapError { }\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+}

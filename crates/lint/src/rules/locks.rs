@@ -1,0 +1,373 @@
+//! `lock-ordering`: build a lock-acquisition-order graph from
+//! `.lock()` / `.read()` / `.write()` call sites (empty-argument calls
+//! only, so `io::Write::write(buf)` never matches) and flag any cycle.
+//!
+//! An edge `a → b` means "some function acquires `b` while `a` is held".
+//! Guard lifetimes are approximated from the source:
+//!
+//! * a guard bound with `let g = x.lock();` is held until a later
+//!   `drop(g)` or the end of its enclosing block,
+//! * an unbound (temporary) guard like `x.lock().next()` is held only to
+//!   the end of its statement — so two locks in one statement nest, two
+//!   sequential statements do not.
+//!
+//! Edges are aggregated by lock *name* (the field or binding the method
+//! is called on) across the whole workspace; a cycle between distinct
+//! names means two code paths can acquire the same pair of locks in
+//! opposite orders — the classic AB/BA deadlock.
+
+use crate::lexer::{Token, TokenKind};
+use crate::{Analysis, Diagnostic};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const ID: &str = "lock-ordering";
+
+/// One observed `a then b` acquisition edge with the site of the second
+/// (inner) acquisition.
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    func: String,
+}
+
+pub fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let mut edges: Vec<Edge> = Vec::new();
+    for f in &a.files {
+        if f.is_test_path() {
+            continue;
+        }
+        for (func, body) in functions(&f.tokens) {
+            let body_tokens = &f.tokens[body];
+            let acqs = acquisitions(body_tokens);
+            for (ai, acq) in acqs.iter().enumerate() {
+                for later in &acqs[ai + 1..] {
+                    if later.site < acq.release && later.name != acq.name {
+                        edges.push(Edge {
+                            from: acq.name.clone(),
+                            to: later.name.clone(),
+                            file: f.rel_path.clone(),
+                            line: later.line,
+                            func: func.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Aggregate to a name graph; an edge is on a cycle when its head can
+    // reach back to its tail. The graph is tiny, so plain DFS per edge.
+    let mut fwd: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        fwd.entry(&e.from).or_default().insert(&e.to);
+        fwd.entry(&e.to).or_default();
+    }
+
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    for e in &edges {
+        if reaches(&fwd, &e.to, &e.from) && seen.insert((&e.file, e.line, &e.from, &e.to)) {
+            out.push(Diagnostic {
+                rule: ID,
+                file: e.file.clone(),
+                line: e.line,
+                message: format!(
+                    "`{}` acquired while `{}` may be held (in fn {}) — another path takes these locks in the opposite order",
+                    e.to, e.from, e.func
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// One lock acquisition with its hold extent, in body-token indices.
+struct Acquisition {
+    name: String,
+    line: u32,
+    /// Index of the `lock`/`read`/`write` identifier token.
+    site: usize,
+    /// First token index at which the guard is certainly released.
+    release: usize,
+}
+
+/// Ordered lock acquisitions in a function body: the pattern
+/// `<ident> . (lock|read|write) ( )` with nothing between the parens.
+fn acquisitions(tokens: &[Token]) -> Vec<Acquisition> {
+    let depth = brace_depths(tokens);
+    let mut out = Vec::new();
+    for i in 2..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident
+            || !matches!(t.text.as_str(), "lock" | "read" | "write")
+        {
+            continue;
+        }
+        let empty_call = tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(')'));
+        if !empty_call {
+            continue;
+        }
+        // The receiver name is the identifier just before the dot; skip
+        // sites where the receiver is a call or index result.
+        if tokens[i - 2].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = tokens[i - 2].text.clone();
+        let release = match guard_binding(tokens, i) {
+            Some(binding) => held_until(tokens, &depth, i, &binding),
+            None => statement_end(tokens, i),
+        };
+        out.push(Acquisition {
+            name,
+            line: t.line,
+            site: i,
+            release,
+        });
+    }
+    out
+}
+
+/// When the acquisition at `site` is the whole RHS of a `let` — the
+/// pattern `let [mut] g = recv[.recv]*.lock();` — return the binding
+/// name `g`. Anything else is a temporary guard.
+fn guard_binding(tokens: &[Token], site: usize) -> Option<String> {
+    // `)` then `;` right after the call: the guard itself is bound.
+    if !tokens.get(site + 3).is_some_and(|t| t.is_punct(';')) {
+        return None;
+    }
+    // Walk back over the receiver path chain (`a.b.c`).
+    let mut k = site - 2; // receiver ident
+    while k >= 2 && tokens[k - 1].is_punct('.') && tokens[k - 2].kind == TokenKind::Ident {
+        k -= 2;
+    }
+    if k < 3 || !tokens[k - 1].is_punct('=') || tokens[k - 2].kind != TokenKind::Ident {
+        return None;
+    }
+    let binding = &tokens[k - 2];
+    let before = &tokens[k - 3];
+    if before.is_ident("let") || (before.is_ident("mut") && k >= 4 && tokens[k - 4].is_ident("let"))
+    {
+        Some(binding.text.clone())
+    } else {
+        None
+    }
+}
+
+/// A `let`-bound guard is held until `drop(binding)` or the end of its
+/// enclosing block, whichever comes first.
+fn held_until(tokens: &[Token], depth: &[i32], site: usize, binding: &str) -> usize {
+    let at = depth.get(site).copied().unwrap_or(0);
+    for j in site + 3..tokens.len() {
+        if depth[j] < at {
+            return j;
+        }
+        if tokens[j].is_ident("drop")
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(j + 2).is_some_and(|t| t.is_ident(binding))
+        {
+            return j;
+        }
+    }
+    tokens.len()
+}
+
+/// A temporary guard lives to the end of its statement (next `;`).
+fn statement_end(tokens: &[Token], site: usize) -> usize {
+    for (j, t) in tokens.iter().enumerate().skip(site + 3) {
+        if t.is_punct(';') {
+            return j;
+        }
+    }
+    tokens.len()
+}
+
+/// Brace nesting depth at each token.
+fn brace_depths(tokens: &[Token]) -> Vec<i32> {
+    let mut depth = 0i32;
+    tokens
+        .iter()
+        .map(|t| {
+            if t.is_punct('{') {
+                depth += 1;
+                depth
+            } else if t.is_punct('}') {
+                depth -= 1;
+                depth + 1
+            } else {
+                depth
+            }
+        })
+        .collect()
+}
+
+/// Find `fn` bodies: returns `(name, token_range_of_body)` per function.
+/// Nested items stay inside their enclosing body on purpose — a closure's
+/// acquisitions still happen in the enclosing dynamic scope.
+fn functions(tokens: &[Token]) -> Vec<(String, std::ops::Range<usize>)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") && tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Ident) {
+            let name = tokens[i + 1].text.clone();
+            // Find the body's opening brace (skipping the signature).
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                    depth -= 1;
+                } else if t.is_punct(';') && depth <= 0 {
+                    break; // trait method declaration, no body
+                } else if t.is_punct('{') && depth <= 0 {
+                    let open = j;
+                    let mut braces = 0i32;
+                    while j < tokens.len() {
+                        if tokens[j].is_punct('{') {
+                            braces += 1;
+                        } else if tokens[j].is_punct('}') {
+                            braces -= 1;
+                            if braces == 0 {
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    out.push((name.clone(), open..j.min(tokens.len())));
+                    break;
+                }
+                j += 1;
+            }
+            i = j.max(i + 2);
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Iterative DFS: is `target` reachable from `start`?
+fn reaches(fwd: &BTreeMap<&str, BTreeSet<&str>>, start: &str, target: &str) -> bool {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![start.to_string()];
+    while let Some(n) = stack.pop() {
+        if n == target {
+            return true;
+        }
+        if !seen.insert(n.clone()) {
+            continue;
+        }
+        if let Some(next) = fwd.get(n.as_str()) {
+            stack.extend(next.iter().map(|s| s.to_string()));
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::analysis;
+
+    #[test]
+    fn opposite_order_across_functions_is_a_cycle() {
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "fn f(&self) { let a = self.meta.lock(); let b = self.data.lock(); }\n\
+             fn g(&self) { let b = self.data.lock(); let a = self.meta.lock(); }\n",
+        )]);
+        let d = check(&a);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|d| d.message.contains("`data`") && d.message.contains("fn f")));
+        assert!(d.iter().any(|d| d.message.contains("`meta`") && d.message.contains("fn g")));
+    }
+
+    #[test]
+    fn consistent_order_everywhere_is_clean() {
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "fn f(&self) { let a = self.meta.lock(); let b = self.data.lock(); }\n\
+             fn g(&self) { let a = self.meta.lock(); let b = self.data.lock(); }\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn rwlock_read_write_participate() {
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "fn f(&self) { let a = self.index.read(); let b = self.pool.lock(); }\n\
+             fn g(&self) { let b = self.pool.lock(); let a = self.index.write(); }\n",
+        )]);
+        assert_eq!(check(&a).len(), 2);
+    }
+
+    #[test]
+    fn io_write_with_arguments_is_not_a_lock() {
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "fn f(w: &mut W) { w.write(buf); file.read(&mut buf); }\n\
+             fn g(&self) { self.pool.lock(); }\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn three_way_cycle_through_held_guards() {
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "fn f(&self) { let x = self.a.lock(); let y = self.b.lock(); }\n\
+             fn g(&self) { let x = self.b.lock(); let y = self.c.lock(); }\n\
+             fn h(&self) { let x = self.c.lock(); let y = self.a.lock(); }\n",
+        )]);
+        assert_eq!(check(&a).len(), 3);
+    }
+
+    #[test]
+    fn sequential_temporaries_do_not_nest() {
+        // Opposite textual order, but each guard dies at its own `;`.
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "fn f(&self) { self.stats.lock().n += 1; self.queue.lock().push(x); }\n\
+             fn g(&self) { self.queue.lock().pop(); self.stats.lock().n += 1; }\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn two_locks_in_one_statement_do_nest() {
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "fn f(&self) { self.a.lock().merge(self.b.lock().drain()); }\n\
+             fn g(&self) { self.b.lock().merge(self.a.lock().drain()); }\n",
+        )]);
+        assert_eq!(check(&a).len(), 2);
+    }
+
+    #[test]
+    fn explicit_drop_releases_a_held_guard() {
+        // `stats` is dropped before `queue` is taken: no nesting, even
+        // though the opposite order appears in g().
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "fn f(&self) { let s = self.stats.lock(); s.bump(); drop(s); let q = self.queue.lock(); }\n\
+             fn g(&self) { let q = self.queue.lock(); drop(q); let s = self.stats.lock(); }\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn block_scope_ends_a_held_guard() {
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "fn f(&self) { { let s = self.stats.lock(); s.bump(); } let q = self.queue.lock(); }\n\
+             fn g(&self) { { let q = self.queue.lock(); } let s = self.stats.lock(); }\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+}

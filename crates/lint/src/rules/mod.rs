@@ -1,0 +1,64 @@
+//! The rule registry. Each rule is a pure function over the whole
+//! [`Analysis`](crate::Analysis), so per-file rules iterate files
+//! internally and cross-file rules (lock ordering, error impls) can see
+//! the complete workspace in one pass.
+
+use crate::{Analysis, Diagnostic};
+
+mod channels;
+mod errors;
+mod locks;
+mod unwrap;
+mod wallclock;
+
+/// One lint rule: a stable id, a one-line summary and its checker.
+pub struct Rule {
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub check: fn(&Analysis) -> Vec<Diagnostic>,
+}
+
+/// Every rule, in the order diagnostics summarise them.
+pub const ALL: &[Rule] = &[
+    Rule {
+        id: unwrap::ID,
+        summary: "no unwrap()/expect() in library code",
+        check: unwrap::check,
+    },
+    Rule {
+        id: wallclock::ID,
+        summary: "no wall-clock or ambient randomness outside the clock module",
+        check: wallclock::check,
+    },
+    Rule {
+        id: locks::ID,
+        summary: "lock acquisition order must be acyclic across functions",
+        check: locks::check,
+    },
+    Rule {
+        id: channels::ID,
+        summary: "no unbounded channels in crawl/dataflow hot paths",
+        check: channels::check,
+    },
+    Rule {
+        id: errors::ID,
+        summary: "public *Error enums must implement Display and Error",
+        check: errors::check,
+    },
+];
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::source::SourceFile;
+    use crate::Analysis;
+
+    /// Build an in-memory analysis from `(path, source)` pairs.
+    pub fn analysis(files: &[(&str, &str)]) -> Analysis {
+        Analysis {
+            files: files
+                .iter()
+                .map(|(p, s)| SourceFile::parse(p, s))
+                .collect(),
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! `no-unwrap-in-lib`: library code must not call `.unwrap()` or
+//! `.expect(…)`. Panicking on a recoverable condition takes down a whole
+//! crawl or pipeline run; return the crate's error type instead. Test
+//! modules, `tests/` trees and `benches/` trees are exempt — panicking is
+//! the correct failure mode there.
+
+use crate::{Analysis, Diagnostic};
+
+pub const ID: &str = "no-unwrap-in-lib";
+
+pub fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &a.files {
+        if f.is_test_path() {
+            continue;
+        }
+        for (i, t) in f.tokens.iter().enumerate() {
+            let name = match t.text.as_str() {
+                "unwrap" | "expect" => &t.text,
+                _ => continue,
+            };
+            // Method call only: `.unwrap(` — not `unwrap_or`, which lexes
+            // as a distinct identifier, and not free functions.
+            let is_method = i > 0
+                && f.tokens[i - 1].is_punct('.')
+                && f.tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && t.is_ident(name);
+            if !is_method || f.in_test(t.line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: ID,
+                file: f.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    ".{name}() in library code — propagate with `?` or handle the None/Err case"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::analysis;
+
+    #[test]
+    fn flags_unwrap_and_expect_in_lib_code() {
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "fn f() { v.unwrap(); w.expect(\"m\"); }",
+        )]);
+        let d = check(&a);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].rule, ID);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn ignores_unwrap_or_family_and_non_method_uses() {
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "fn f() { v.unwrap_or(0); v.unwrap_or_else(g); v.unwrap_or_default(); let unwrap = 1; }",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn exempts_cfg_test_modules_and_test_trees() {
+        let a = analysis(&[
+            (
+                "crates/x/src/lib.rs",
+                "fn f() -> u8 { 0 }\n#[cfg(test)]\nmod tests {\n    fn t() { v.unwrap(); }\n}\n",
+            ),
+            ("crates/x/tests/it.rs", "fn t() { v.unwrap(); }"),
+            ("crates/x/benches/b.rs", "fn b() { v.unwrap(); }"),
+        ]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn word_in_string_or_comment_is_not_a_call() {
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "fn f() { let m = \".unwrap()\"; } // never .unwrap() here\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+}

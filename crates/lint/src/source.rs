@@ -1,0 +1,233 @@
+//! Per-file analysis context: lexed tokens plus the two exemption
+//! mechanisms rules consult — `#[cfg(test)]` / `#[test]` regions and
+//! `// lint:allow(<rule>)` suppression comments.
+
+use crate::lexer::{self, Token};
+
+/// One analyzed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (`crates/store/src/disk.rs`).
+    pub rel_path: String,
+    pub tokens: Vec<Token>,
+    /// `(line, rule)` pairs from `// lint:allow(rule)` comments; `*` means
+    /// every rule. A suppression covers its own line and the line below it.
+    pub suppressions: Vec<(u32, String)>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lex `src` and precompute test regions and suppressions.
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let lexed = lexer::lex(src);
+        let mut suppressions = Vec::new();
+        for c in &lexed.comments {
+            if let Some(pos) = c.text.find("lint:allow(") {
+                let rest = &c.text[pos + "lint:allow(".len()..];
+                if let Some(end) = rest.find(')') {
+                    for rule in rest[..end].split(',') {
+                        let rule = rule.trim();
+                        if !rule.is_empty() {
+                            suppressions.push((c.line, rule.to_string()));
+                        }
+                    }
+                }
+            }
+        }
+        let test_regions = find_test_regions(&lexed.tokens);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            tokens: lexed.tokens,
+            suppressions,
+            test_regions,
+        }
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` / `#[test]` item.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(s, e)| s <= line && line <= e)
+    }
+
+    /// True when a `lint:allow` comment on this line or the one above
+    /// names `rule` (or `*`).
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressions
+            .iter()
+            .any(|(l, r)| (*l == line || *l + 1 == line) && (r == rule || r == "*"))
+    }
+
+    /// True for files that live in a test or bench tree (`tests/`,
+    /// `benches/`), which several rules exempt wholesale.
+    pub fn is_test_path(&self) -> bool {
+        self.rel_path
+            .split('/')
+            .any(|seg| seg == "tests" || seg == "benches")
+    }
+}
+
+/// Scan the token stream for `#[cfg(test)]`-style attributes and return the
+/// line span of each attributed item (to its closing `}` or top-level `;`).
+fn find_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_start = i;
+            let (is_test_attr, after_attr) = scan_attribute(tokens, i + 1);
+            if is_test_attr {
+                // Skip any further stacked attributes on the same item.
+                let mut j = after_attr;
+                while j < tokens.len()
+                    && tokens[j].is_punct('#')
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    let (_, next) = scan_attribute(tokens, j + 1);
+                    j = next;
+                }
+                let end = item_end(tokens, j);
+                let end_line = tokens
+                    .get(end.min(tokens.len().saturating_sub(1)))
+                    .map_or(tokens[attr_start].line, |t| t.line);
+                regions.push((tokens[attr_start].line, end_line));
+                i = end + 1;
+                continue;
+            }
+            i = after_attr;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Scan an attribute starting at its `[`; returns whether the bare
+/// identifier `test` appears inside (covers `#[test]`, `#[cfg(test)]`,
+/// `#[cfg(all(test, …))]`) and the index just past the closing `]`.
+fn scan_attribute(tokens: &[Token], open: usize) -> (bool, usize) {
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (has_test, i + 1);
+            }
+        } else if t.is_ident("test") {
+            has_test = true;
+        }
+        i += 1;
+    }
+    (has_test, i)
+}
+
+/// Index of the token ending the item that starts at `i`: the matching `}`
+/// of its first top-level brace block, or the first `;` outside brackets.
+fn item_end(tokens: &[Token], i: usize) -> usize {
+    let mut depth_paren = 0i32;
+    let mut depth_bracket = 0i32;
+    let mut j = i;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('(') {
+            depth_paren += 1;
+        } else if t.is_punct(')') {
+            depth_paren -= 1;
+        } else if t.is_punct('[') {
+            depth_bracket += 1;
+        } else if t.is_punct(']') {
+            depth_bracket -= 1;
+        } else if t.is_punct(';') && depth_paren == 0 && depth_bracket == 0 {
+            return j;
+        } else if t.is_punct('{') {
+            // Balance the brace block.
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                if tokens[j].is_punct('{') {
+                    depth += 1;
+                } else if tokens[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                j += 1;
+            }
+            return tokens.len().saturating_sub(1);
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_a_region() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\npub fn after() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(!f.in_test(1));
+        assert!(f.in_test(2));
+        assert!(f.in_test(4));
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn test_fn_attribute_is_a_region() {
+        let src = "fn lib() {}\n#[test]\nfn check() {\n    boom();\n}\nfn lib2() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.in_test(3));
+        assert!(f.in_test(4));
+        assert!(!f.in_test(1));
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn non_test_attributes_do_not_create_regions() {
+        let src = "#[derive(Debug)]\nstruct S;\n#[allow(dead_code)]\nfn f() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.test_regions.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_on_statement_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse crate::helper;\nfn real() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.in_test(2));
+        assert!(!f.in_test(3));
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let src = "// lint:allow(no-unwrap-in-lib)\nlet x = v.unwrap();\nlet y = v.unwrap();\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.suppressed("no-unwrap-in-lib", 1));
+        assert!(f.suppressed("no-unwrap-in-lib", 2));
+        assert!(!f.suppressed("no-unwrap-in-lib", 3));
+        assert!(!f.suppressed("other-rule", 2));
+    }
+
+    #[test]
+    fn wildcard_and_multi_rule_suppressions() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "// lint:allow(a, b)\ncode();\n// lint:allow(*)\nmore();\n",
+        );
+        assert!(f.suppressed("a", 2));
+        assert!(f.suppressed("b", 2));
+        assert!(f.suppressed("anything", 4));
+    }
+
+    #[test]
+    fn tests_dir_paths_are_recognised() {
+        assert!(SourceFile::parse("crates/x/tests/it.rs", "").is_test_path());
+        assert!(SourceFile::parse("crates/x/benches/b.rs", "").is_test_path());
+        assert!(!SourceFile::parse("crates/x/src/lib.rs", "").is_test_path());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the lint lexer: lexing is total — any input, valid
+//! Rust or garbage, lexes without panicking, and basic stream invariants
+//! hold on whatever comes out.
+
+use crowdnet_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Fragments biased toward the lexer's tricky corners: quote flavours,
+/// comment nesting, lifetimes, numbers and stray delimiters.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("r#\"raw\"#".to_string()),
+        Just("r\"raw\"".to_string()),
+        Just("br#\"bytes\"#".to_string()),
+        Just("b\"bytes\"".to_string()),
+        Just("\"str with \\\" escape\"".to_string()),
+        Just("'x'".to_string()),
+        Just("'\\n'".to_string()),
+        Just("'\\u{41}'".to_string()),
+        Just("'lifetime".to_string()),
+        Just("/* nested /* comment */ */".to_string()),
+        Just("// line comment".to_string()),
+        Just("/* unterminated".to_string()),
+        Just("\"unterminated".to_string()),
+        Just("r###\"unterminated".to_string()),
+        Just("'".to_string()),
+        Just("1_000.5e3".to_string()),
+        Just("0..10".to_string()),
+        Just("\n".to_string()),
+        Just("\\".to_string()),
+        "[a-zA-Z_][a-zA-Z_0-9]{0,8}",
+        "\\PC{0,12}",
+    ]
+}
+
+proptest! {
+    /// Arbitrary printable strings never panic the lexer.
+    #[test]
+    fn lexing_arbitrary_text_never_panics(src in "\\PC*") {
+        let _ = lex(&src);
+    }
+
+    /// Concatenations of tricky fragments never panic either, and the
+    /// token stream they produce is well-formed.
+    #[test]
+    fn lexing_fragment_soup_never_panics(parts in proptest::collection::vec(fragment(), 0..12)) {
+        let src = parts.concat();
+        let lexed = lex(&src);
+        let mut last_line = 1u32;
+        for t in &lexed.tokens {
+            prop_assert!(!t.text.is_empty(), "empty token text");
+            prop_assert!(t.line >= last_line, "line numbers went backwards");
+            last_line = t.line;
+        }
+        let total_lines = src.matches('\n').count() as u32 + 1;
+        for t in &lexed.tokens {
+            prop_assert!(t.line <= total_lines);
+        }
+        for c in &lexed.comments {
+            prop_assert!(c.text.starts_with("//") || c.text.starts_with("/*"));
+        }
+    }
+
+    /// Lexing is deterministic: the same input twice gives the same stream.
+    #[test]
+    fn lexing_is_deterministic(src in "\\PC{0,64}") {
+        let a = lex(&src);
+        let b = lex(&src);
+        prop_assert_eq!(a.tokens.len(), b.tokens.len());
+        for (x, y) in a.tokens.iter().zip(&b.tokens) {
+            prop_assert_eq!(&x.text, &y.text);
+            prop_assert_eq!(x.line, y.line);
+        }
+    }
+
+    /// Whitespace-separated identifier soup survives and classifies
+    /// every token as an identifier.
+    #[test]
+    fn ident_soup_lexes_to_idents(words in proptest::collection::vec("[a-z_][a-z_0-9]{0,10}", 1..20)) {
+        let src = words.join(" ");
+        let lexed = lex(&src);
+        prop_assert_eq!(lexed.tokens.len(), words.len());
+        prop_assert!(lexed.tokens.iter().all(|t| t.kind == TokenKind::Ident));
+    }
+}

@@ -17,6 +17,7 @@
 //! strengthened to read-after-append).
 
 use parking_lot::Mutex;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -98,14 +99,16 @@ impl DiskBackend {
         }
         let path = self.part_path(ns, snapshot, partition);
         let mut writers = self.writers.lock();
-        if !writers.contains_key(&path) {
-            if let Some(parent) = path.parent() {
-                fs::create_dir_all(parent)?;
+        let w = match writers.entry(path) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                if let Some(parent) = e.key().parent() {
+                    fs::create_dir_all(parent)?;
+                }
+                let file = OpenOptions::new().create(true).append(true).open(e.key())?;
+                e.insert(BufWriter::new(file))
             }
-            let file = OpenOptions::new().create(true).append(true).open(&path)?;
-            writers.insert(path.clone(), BufWriter::new(file));
-        }
-        let w = writers.get_mut(&path).expect("just inserted");
+        };
         w.write_all(line.as_bytes())?;
         w.write_all(b"\n")?;
         Ok(true)

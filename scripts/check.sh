@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full local gate: build, tests, lint. Run from anywhere in the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q --workspace"
+cargo test -q --offline --workspace
+
+echo "==> crowdnet-lint --workspace"
+cargo run -q --offline -p crowdnet-lint -- --workspace
+
+echo "All checks passed."

@@ -1,0 +1,70 @@
+//! The static-analysis gate: `cargo test` fails if the workspace picks up
+//! lint violations beyond `lint-baseline.toml`. The same check is
+//! available interactively as `cargo run -p crowdnet-lint -- --workspace`.
+
+use crowdnet_lint::{analyze_workspace, baseline::Baseline, run_rules, rules, workspace};
+use std::path::Path;
+
+fn gate() -> crowdnet_lint::baseline::GateReport {
+    let root =
+        workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let analysis = analyze_workspace(&root).expect("workspace lexes");
+    let diags = run_rules(&analysis);
+    let text = std::fs::read_to_string(root.join("lint-baseline.toml")).unwrap_or_default();
+    let baseline = Baseline::parse(&text).expect("lint-baseline.toml parses");
+    baseline.gate(diags)
+}
+
+#[test]
+fn workspace_is_clean_against_the_lint_baseline() {
+    let report = gate();
+    assert!(
+        report.new.is_empty(),
+        "new lint violations (fix them or, for pre-existing code being moved, \
+         adjust lint-baseline.toml):\n{}",
+        report
+            .new
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn baseline_entries_are_not_stale() {
+    // A stale entry means a file got cleaner than its allowance — ratchet
+    // the baseline down so the improvement cannot regress silently.
+    let report = gate();
+    let stale: Vec<String> = report
+        .stale
+        .iter()
+        .map(|(rule, file, allowed, found)| {
+            format!("[{rule}] {file}: allows {allowed}, found {found}")
+        })
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale baseline entries — run `cargo run -p crowdnet-lint -- --workspace \
+         --write-baseline` to ratchet:\n{}",
+        stale.join("\n")
+    );
+}
+
+#[test]
+fn rule_ids_are_unique_and_stable() {
+    let mut ids: Vec<&str> = rules::ALL.iter().map(|r| r.id).collect();
+    let n = ids.len();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "duplicate rule ids");
+    for expected in [
+        "no-unwrap-in-lib",
+        "no-wallclock",
+        "lock-ordering",
+        "unbounded-channel",
+        "error-impl",
+    ] {
+        assert!(ids.contains(&expected), "rule `{expected}` missing");
+    }
+}

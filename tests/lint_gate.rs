@@ -1,0 +1,28 @@
+//! Root-package mirror of the lint gate, so a bare `cargo test` from the
+//! workspace root (the tier-1 command) runs the analyzer even without
+//! `--workspace`. The full gate with staleness checks lives in
+//! `tests/integration/tests/lint_gate.rs`.
+
+use crowdnet_lint::{analyze_workspace, baseline::Baseline, run_rules, workspace};
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_against_the_lint_baseline() {
+    let root =
+        workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let analysis = analyze_workspace(&root).expect("workspace lexes");
+    let diags = run_rules(&analysis);
+    let text = std::fs::read_to_string(root.join("lint-baseline.toml")).unwrap_or_default();
+    let baseline = Baseline::parse(&text).expect("lint-baseline.toml parses");
+    let report = baseline.gate(diags);
+    assert!(
+        report.new.is_empty(),
+        "new lint violations:\n{}",
+        report
+            .new
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

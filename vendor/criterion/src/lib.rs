@@ -1,0 +1,272 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! Enough of criterion's surface for the bench crate to compile and run:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size`/`throughput`/`bench_with_input`,
+//! `BenchmarkId`, `Throughput`, and `black_box`. Measurement is a plain
+//! median-of-samples wall-clock loop printed to stdout — no statistics
+//! machinery, no HTML reports. `CRITERION_QUICK=1` caps every benchmark at
+//! one sample of one iteration so CI can smoke-run the full bench suite.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Quantity processed per iteration; printed as a rate next to the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (edges, documents, rows …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    last_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value opaque to the optimiser.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        self.last_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.last_ns.push(start.elapsed().as_nanos());
+        }
+    }
+
+    fn median_ns(&self) -> u128 {
+        if self.last_ns.is_empty() {
+            return 0;
+        }
+        let mut v = self.last_ns.clone();
+        v.sort_unstable();
+        v[v.len() / 2]
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").map_or(false, |v| v == "1")
+}
+
+fn fmt_duration(ns: u128) -> String {
+    let d = Duration::from_nanos(ns as u64);
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", d.as_secs_f64())
+    }
+}
+
+fn report(name: &str, median_ns: u128, throughput: Option<Throughput>) {
+    let mut line = format!("bench: {name:<50} {:>12}/iter", fmt_duration(median_ns));
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if median_ns > 0 {
+            let rate = count as f64 / (median_ns as f64 / 1e9);
+            let _ = write!(line, "  ({rate:.0} {unit}/s)");
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark (builder form, as criterion's config is).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if quick_mode() {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: self.effective_samples(), last_ns: Vec::new() };
+        f(&mut b);
+        report(name, b.median_ns(), None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Samples per benchmark within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = if quick_mode() {
+            1
+        } else {
+            self.sample_size.unwrap_or(self.criterion.sample_size)
+        };
+        let mut b = Bencher { samples, last_ns: Vec::new() };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.median_ns(), self.throughput);
+        self
+    }
+
+    /// Run one benchmark with no explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self {
+        let samples = if quick_mode() {
+            1
+        } else {
+            self.sample_size.unwrap_or(self.criterion.sample_size)
+        };
+        let mut b = Bencher { samples, last_ns: Vec::new() };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.median_ns(), self.throughput);
+        self
+    }
+
+    /// End the group (no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group: either `criterion_group!(name, target, …)` or
+/// the config form with `name = …; config = …; targets = …`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter("n100"), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = demo;
+        config = Criterion::default().sample_size(5);
+        targets = sample_bench,
+    }
+
+    #[test]
+    fn group_macro_runs_targets() {
+        demo();
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher { samples: 7, last_ns: Vec::new() };
+        b.iter(|| black_box(1 + 1));
+        assert_eq!(b.last_ns.len(), 7);
+    }
+}

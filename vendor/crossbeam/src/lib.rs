@@ -1,0 +1,116 @@
+//! Offline stand-in for `crossbeam` (0.8 API subset).
+//!
+//! Only [`thread::scope`] is vendored — the one crossbeam API the
+//! workspace uses. It delegates to `std::thread::scope` (stabilised well
+//! after crossbeam popularised the pattern), adapting the closure shape:
+//! crossbeam passes `&Scope` both to the outer closure and to each spawned
+//! closure, and returns a `Result` that is `Err` when a child panicked.
+//!
+//! One semantic difference: `std::thread::scope` re-raises child panics at
+//! the end of the scope instead of packaging them into the `Err` arm, so
+//! here a child panic propagates as a panic and `scope` never returns
+//! `Err`. Every call site in this workspace immediately `.unwrap()`s the
+//! result, for which the two behaviours are indistinguishable (both abort
+//! the test with the panic payload).
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Error type of [`scope`]: the payload of a panicked child thread.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A handle for spawning threads inside a [`scope`] call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // Hand-written so `Scope` is `Copy` regardless of the lifetimes —
+    // spawned closures receive a copy of the scope handle.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a thread spawned in a scope; joined implicitly when the
+    /// scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result (`Err` on panic).
+        pub fn join(self) -> Result<T, ScopeError> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread that may borrow from the enclosing scope. The
+        /// closure receives the scope handle (crossbeam's signature), so
+        /// children can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&handle)) }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned;
+    /// all children are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn children_borrow_and_all_join() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let v = super::thread::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_passed_scope() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,666 @@
+//! Offline stand-in for `proptest` (1.x API subset).
+//!
+//! The build environment has no crates.io access, so this crate vendors the
+//! slice of proptest the workspace's property tests actually use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! * [`Strategy`] with `prop_map` / `prop_filter` / `prop_recursive`,
+//! * [`any`] for primitives, range strategies, tuple strategies,
+//!   [`Just`], [`prop_oneof!`], [`collection::vec`],
+//! * string strategies from a small regex subset (char classes,
+//!   `\PC`, and `* + ? {m} {m,n}` quantifiers),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Differences from real proptest, deliberately accepted: **no shrinking**
+//! (a failing case reports the assertion message only), no persistence of
+//! failing seeds (`.proptest-regressions` files are ignored), and seeding
+//! is derived deterministically from the test's module path so runs are
+//! reproducible by construction.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Deterministic generator driving all strategies (xoshiro256++).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from an arbitrary label (test name); FNV-1a then SplitMix64.
+    pub fn for_test(label: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::from_seed_u64(h)
+    }
+
+    /// Seed from a `u64` via SplitMix64 state expansion.
+    pub fn from_seed_u64(seed: u64) -> TestRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        TestRng { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`; `n > 0`.
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Why a generated case was abandoned rather than failed.
+#[derive(Debug, Clone)]
+pub struct Rejection(pub String);
+
+/// Outcome of one test case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Case rejected (filter or `prop_assume!`); retried, not a failure.
+    Reject(String),
+    /// Assertion failed.
+    Fail(String),
+}
+
+/// Runner configuration, set via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Abort after this many rejected cases (filter-heavy strategies).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+/// A recipe for generating values of `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value, or a rejection if constraints could not be met.
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`; rejects the case if 32
+    /// consecutive draws all fail.
+    fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence: whence.into(), pred }
+    }
+
+    /// Recursive strategies: `recurse` receives the strategy for the
+    /// previous depth level and builds the next one. `depth` levels are
+    /// stacked; `_desired_size`/`_expected_branch_size` are accepted for
+    /// API compatibility but sizing is governed by the inner collection
+    /// strategies themselves.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut level = self.boxed();
+        for _ in 0..depth {
+            level = recurse(level).boxed();
+        }
+        level
+    }
+
+    /// Type-erase into a cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe mirror of [`Strategy`] backing [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        self.generate(rng)
+    }
+}
+
+/// A cloneable, type-erased strategy handle.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        for _ in 0..32 {
+            let candidate = self.inner.generate(rng)?;
+            if (self.pred)(candidate_ref(&candidate)) {
+                return Ok(candidate);
+            }
+        }
+        Err(Rejection(self.whence.clone()))
+    }
+}
+
+// Written as a function so the borrow in `Filter::generate` has an
+// explicit, simple shape.
+fn candidate_ref<T>(v: &T) -> &T {
+    v
+}
+
+/// Uniform choice among boxed strategies (backing [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union of one or more options; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical "arbitrary value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` — biased toward small and boundary
+/// values for integers, and including non-finite values for floats.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(T::arbitrary(rng))
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                match rng.below(8) {
+                    // Bias: small magnitudes and boundaries surface edge
+                    // cases far more often than uniform bits would.
+                    0 | 1 => (rng.below(16) as i64 as $t)
+                        .wrapping_sub((rng.next_u64() & 1) as $t * 8 as $t),
+                    2 => <$t>::MAX.wrapping_sub(rng.below(3) as $t),
+                    3 => <$t>::MIN.wrapping_add(rng.below(3) as $t),
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.below(8) {
+            0 | 1 => (rng.below(2001) as f64 - 1000.0) / 10.0,
+            2 => {
+                const SPECIAL: [f64; 7] =
+                    [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0, f64::MIN_POSITIVE, f64::EPSILON];
+                SPECIAL[rng.below(SPECIAL.len() as u64) as usize]
+            }
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128 as u64;
+                Ok(((self.start as i128) + rng.below(span) as i128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Result<f64, Rejection> {
+        Ok(self.start + (self.end - self.start) * rng.unit_f64())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                let ($($name,)+) = self;
+                Ok(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+impl_strategy_tuple!(A, B, C, D, E);
+
+pub mod collection {
+    //! Collection strategies.
+    use super::{Rejection, Strategy, TestRng};
+    use std::ops::Range;
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` whose length is uniform in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Rejection> {
+            let len = self.size.generate(rng)?;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.generate(rng)?);
+            }
+            Ok(out)
+        }
+    }
+}
+
+mod regex_lite;
+pub use regex_lite::StringStrategy;
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> Result<String, Rejection> {
+        regex_lite::StringStrategy::parse(self)
+            .unwrap_or_else(|e| panic!("unsupported regex strategy {self:?}: {e}"))
+            .generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> Result<String, Rejection> {
+        self.as_str().generate(rng)
+    }
+}
+
+/// Uniform choice among strategies with the same value type (no weights —
+/// the workspace does not use weighted variants).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::core::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        ::core::stringify!($left),
+                        ::core::stringify!($right),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        ::core::stringify!($left),
+                        ::core::stringify!($right),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Reject (retry) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::format!("assume failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Define property tests. Each `fn` runs `config.cases` accepted cases of
+/// freshly generated inputs; `prop_assert*` failures panic with the
+/// assertion message (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(::core::concat!(
+                    ::core::module_path!(), "::", ::core::stringify!($name)
+                ));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                        $(
+                            let $pat = match $crate::Strategy::generate(&($strat), &mut rng) {
+                                ::core::result::Result::Ok(v) => v,
+                                ::core::result::Result::Err(r) => {
+                                    return ::core::result::Result::Err($crate::TestCaseError::Reject(r.0));
+                                }
+                            };
+                        )+
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            if rejected > config.max_global_rejects {
+                                panic!(
+                                    "proptest '{}': too many rejected cases ({})",
+                                    ::core::stringify!($name),
+                                    rejected
+                                );
+                            }
+                        }
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest '{}' failed at case #{}:\n{}",
+                                ::core::stringify!($name),
+                                accepted + 1,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3u32..17, b in -5i64..5, c in 0usize..1) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert_eq!(c, 0);
+        }
+
+        #[test]
+        fn filters_filter(f in any::<f64>().prop_filter("finite", |f| f.is_finite())) {
+            prop_assert!(f.is_finite());
+        }
+
+        #[test]
+        fn vec_sizes_and_tuples(v in crate::collection::vec((0u32..4, any::<bool>()), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (x, _) in &v {
+                prop_assert!(*x < 4);
+            }
+        }
+
+        #[test]
+        fn assume_retries(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_map_and_just(v in prop_oneof![
+            Just(-1i64),
+            (0u32..5).prop_map(|x| x as i64 + 100),
+        ]) {
+            prop_assert!(v == -1 || (100..105).contains(&v));
+        }
+
+        #[test]
+        fn string_regexes(s in "[a-z_0-9]{0,12}", t in "\\PC*") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit()));
+            prop_assert!(t.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_bottom_out() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum Tree {
+            Leaf(u32),
+            Node(Vec<Tree>),
+        }
+        let strat = (0u32..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut rng = crate::TestRng::for_test("tree");
+        for _ in 0..200 {
+            let t = crate::Strategy::generate(&strat, &mut rng).unwrap();
+            assert!(depth(&t) <= 4);
+        }
+    }
+}

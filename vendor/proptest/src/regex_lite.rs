@@ -1,0 +1,318 @@
+//! String strategies from a small regex subset.
+//!
+//! Proptest treats `&str` strategies as regexes describing the strings to
+//! generate. The workspace uses a narrow dialect, and that is all this
+//! module implements:
+//!
+//! * literal characters and `\`-escaped literals (`\.`, `\*`, `\(` …),
+//! * character classes `[a-z_0-9]` with ranges and escaped members,
+//! * `\PC` — "any char not in Unicode category C (control)",
+//! * `.` — any non-newline printable char,
+//! * quantifiers `*`, `+`, `?`, `{n}`, `{m,n}` on the preceding atom.
+//!
+//! Unsupported syntax (alternation, groups, anchors …) is a hard error at
+//! strategy construction, so a typo fails the test rather than silently
+//! generating the wrong language.
+
+use super::{Rejection, TestRng};
+
+/// Repetition: `*` maps to `{0,16}`, `+` to `{1,16}`, `?` to `{0,1}`.
+const UNBOUNDED_MAX: u32 = 16;
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// Exactly this char.
+    Literal(char),
+    /// Inclusive ranges plus individual members.
+    Class { ranges: Vec<(char, char)>, singles: Vec<char> },
+    /// Any printable (non-control) char, mostly ASCII with some Unicode.
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled string strategy (see module docs for the dialect).
+#[derive(Debug, Clone)]
+pub struct StringStrategy {
+    atoms: Vec<Atom>,
+}
+
+/// Non-control chars beyond ASCII occasionally emitted by `Printable`, to
+/// keep UTF-8 handling honest in parsers under test.
+const UNICODE_SAMPLES: [char; 8] = ['é', 'ß', 'λ', 'Ж', '中', '🌍', '\u{00A0}', '\u{2028}'];
+
+impl StringStrategy {
+    /// Compile `pattern`, or explain which construct is unsupported.
+    pub fn parse(pattern: &str) -> Result<StringStrategy, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut atoms = Vec::new();
+        while i < chars.len() {
+            let set = match chars[i] {
+                '\\' => {
+                    i += 1;
+                    match chars.get(i) {
+                        None => return Err("trailing backslash".into()),
+                        Some('P') => {
+                            // \PC — complement of category C. Only C is used.
+                            i += 1;
+                            match chars.get(i) {
+                                Some('C') => {
+                                    i += 1;
+                                    CharSet::Printable
+                                }
+                                other => {
+                                    return Err(format!("unsupported \\P category {other:?}"))
+                                }
+                            }
+                        }
+                        Some('n') => {
+                            i += 1;
+                            CharSet::Literal('\n')
+                        }
+                        Some('t') => {
+                            i += 1;
+                            CharSet::Literal('\t')
+                        }
+                        Some(&c) => {
+                            i += 1;
+                            CharSet::Literal(c)
+                        }
+                    }
+                }
+                '[' => {
+                    i += 1;
+                    let (set, next) = parse_class(&chars, i)?;
+                    i = next;
+                    set
+                }
+                '.' => {
+                    i += 1;
+                    CharSet::Printable
+                }
+                '(' | ')' | '|' | '^' | '$' => {
+                    return Err(format!("unsupported regex construct '{}'", chars[i]))
+                }
+                c => {
+                    i += 1;
+                    CharSet::Literal(c)
+                }
+            };
+            // Optional quantifier.
+            let (min, max, next) = parse_quantifier(&chars, i)?;
+            i = next;
+            atoms.push(Atom { set, min, max });
+        }
+        Ok(StringStrategy { atoms })
+    }
+
+    /// Generate one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> Result<String, Rejection> {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let span = u64::from(atom.max - atom.min) + 1;
+            let count = atom.min + rng.below(span) as u32;
+            for _ in 0..count {
+                out.push(sample_set(&atom.set, rng));
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn sample_set(set: &CharSet, rng: &mut TestRng) -> char {
+    match set {
+        CharSet::Literal(c) => *c,
+        CharSet::Class { ranges, singles } => {
+            // Weight each range by its width so members stay ~uniform.
+            let range_total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| u64::from(hi as u32 - lo as u32) + 1)
+                .sum();
+            let total = range_total + singles.len() as u64;
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let width = u64::from(hi as u32 - lo as u32) + 1;
+                if pick < width {
+                    return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+                }
+                pick -= width;
+            }
+            singles[pick as usize]
+        }
+        CharSet::Printable => {
+            // 1-in-8 non-ASCII; otherwise printable ASCII (0x20..=0x7E).
+            if rng.below(8) == 0 {
+                UNICODE_SAMPLES[rng.below(UNICODE_SAMPLES.len() as u64) as usize]
+            } else {
+                char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or(' ')
+            }
+        }
+    }
+}
+
+/// Parse a `[...]` class body starting just past `[`; returns the set and
+/// the index just past `]`.
+fn parse_class(chars: &[char], mut i: usize) -> Result<(CharSet, usize), String> {
+    let mut ranges = Vec::new();
+    let mut singles = Vec::new();
+    if chars.get(i) == Some(&'^') {
+        return Err("negated classes are unsupported".into());
+    }
+    loop {
+        let c = match chars.get(i) {
+            None => return Err("unterminated character class".into()),
+            Some(']') => {
+                i += 1;
+                break;
+            }
+            Some('\\') => {
+                i += 1;
+                match chars.get(i) {
+                    None => return Err("trailing backslash in class".into()),
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(&c) => c,
+                }
+            }
+            Some(&c) => c,
+        };
+        i += 1;
+        // `a-z` range (a `-` before `]` or at the start is a literal).
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+            let mut hi = chars[i + 1];
+            i += 2;
+            if hi == '\\' {
+                match chars.get(i) {
+                    None => return Err("trailing backslash in class range".into()),
+                    Some(&c) => {
+                        hi = c;
+                        i += 1;
+                    }
+                }
+            }
+            if (hi as u32) < (c as u32) {
+                return Err(format!("inverted class range {c}-{hi}"));
+            }
+            ranges.push((c, hi));
+        } else {
+            singles.push(c);
+        }
+    }
+    if ranges.is_empty() && singles.is_empty() {
+        return Err("empty character class".into());
+    }
+    Ok((CharSet::Class { ranges, singles }, i))
+}
+
+/// Parse an optional quantifier at `i`; returns `(min, max, next_index)`.
+fn parse_quantifier(chars: &[char], mut i: usize) -> Result<(u32, u32, usize), String> {
+    match chars.get(i) {
+        Some('*') => Ok((0, UNBOUNDED_MAX, i + 1)),
+        Some('+') => Ok((1, UNBOUNDED_MAX, i + 1)),
+        Some('?') => Ok((0, 1, i + 1)),
+        Some('{') => {
+            i += 1;
+            let mut first = String::new();
+            while chars.get(i).is_some_and(|c| c.is_ascii_digit()) {
+                first.push(chars[i]);
+                i += 1;
+            }
+            let min: u32 = first.parse().map_err(|_| "bad quantifier lower bound")?;
+            match chars.get(i) {
+                Some('}') => Ok((min, min, i + 1)),
+                Some(',') => {
+                    i += 1;
+                    let mut second = String::new();
+                    while chars.get(i).is_some_and(|c| c.is_ascii_digit()) {
+                        second.push(chars[i]);
+                        i += 1;
+                    }
+                    if chars.get(i) != Some(&'}') {
+                        return Err("unterminated {m,n} quantifier".into());
+                    }
+                    let max: u32 = second.parse().map_err(|_| "bad quantifier upper bound")?;
+                    if max < min {
+                        return Err(format!("quantifier max {max} < min {min}"));
+                    }
+                    Ok((min, max, i + 1))
+                }
+                _ => Err("unterminated {n} quantifier".into()),
+            }
+        }
+        _ => Ok((1, 1, i)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let strat = StringStrategy::parse(pattern).unwrap();
+        let mut rng = TestRng::for_test(pattern);
+        (0..n).map(|_| strat.generate(&mut rng).unwrap()).collect()
+    }
+
+    #[test]
+    fn class_with_ranges_and_repeat() {
+        for s in gen_many("[a-z_0-9]{0,12}", 200) {
+            assert!(s.chars().count() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn printable_star_excludes_controls() {
+        let all = gen_many("\\PC*", 300);
+        assert!(all.iter().all(|s| s.chars().all(|c| !c.is_control())));
+        // Star actually varies the length.
+        let lens: std::collections::HashSet<usize> =
+            all.iter().map(|s| s.chars().count()).collect();
+        assert!(lens.len() > 3);
+        // Some non-ASCII shows up across 300 samples.
+        assert!(all.iter().any(|s| s.chars().any(|c| !c.is_ascii())));
+    }
+
+    #[test]
+    fn escaped_members_in_class() {
+        for s in gen_many("[A-Za-z_\\.\\*\\(\\), ='<>0-9]{0,80}", 100) {
+            assert!(s.chars().count() <= 80);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric()
+                        || "_.*(), ='<>".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_and_exact_quantifiers() {
+        for s in gen_many("[a-z]{1,4}", 100) {
+            assert!((1..=4).contains(&s.chars().count()));
+        }
+        for s in gen_many("x{3}", 10) {
+            assert_eq!(s, "xxx");
+        }
+        for s in gen_many("ab?c", 50) {
+            assert!(s == "abc" || s == "ac");
+        }
+    }
+
+    #[test]
+    fn unsupported_syntax_is_an_error() {
+        assert!(StringStrategy::parse("(a|b)").is_err());
+        assert!(StringStrategy::parse("[^a]").is_err());
+        assert!(StringStrategy::parse("[abc").is_err());
+        assert!(StringStrategy::parse("a{2,1}").is_err());
+    }
+}
