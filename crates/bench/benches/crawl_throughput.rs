@@ -15,6 +15,7 @@ use crowdnet_socialsim::sources::twitter::TwitterApi;
 use crowdnet_socialsim::sources::FaultModel;
 use crowdnet_socialsim::{Clock, Scale, World, WorldConfig};
 use crowdnet_store::Store;
+use crowdnet_telemetry::Telemetry;
 use std::hint::black_box;
 use std::sync::{Arc, OnceLock};
 
@@ -89,6 +90,7 @@ fn bench_twitter_token_sharding(c: &mut Criterion) {
                         &clock,
                         &RetryPolicy::default(),
                         4,
+                        &Telemetry::new(),
                     )
                     .expect("twitter");
                     if !reported {

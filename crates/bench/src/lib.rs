@@ -13,9 +13,10 @@ use std::sync::OnceLock;
 pub fn bench_outcome() -> &'static PipelineOutcome {
     static OUTCOME: OnceLock<PipelineOutcome> = OnceLock::new();
     OUTCOME.get_or_init(|| {
-        Pipeline::new(PipelineConfig::small(42))
-            .run()
-            .expect("bench pipeline")
+        match Pipeline::new(PipelineConfig::small(42)).run() {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("bench pipeline failed: {e}"),
+        }
     })
 }
 
@@ -23,9 +24,10 @@ pub fn bench_outcome() -> &'static PipelineOutcome {
 pub fn tiny_outcome() -> &'static PipelineOutcome {
     static OUTCOME: OnceLock<PipelineOutcome> = OnceLock::new();
     OUTCOME.get_or_init(|| {
-        Pipeline::new(PipelineConfig::tiny(42))
-            .run()
-            .expect("tiny pipeline")
+        match Pipeline::new(PipelineConfig::tiny(42)).run() {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("tiny pipeline failed: {e}"),
+        }
     })
 }
 

@@ -1,24 +1,34 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--seed N] [--scale tiny|small|eval|paper|1/K] [--out DIR] [EXPERIMENT…]
+//! repro [--seed N] [--scale tiny|small|eval|paper|1/K] [--out DIR]
+//!       [--telemetry PATH] [-v|--verbose]... [EXPERIMENT…]
 //! ```
 //!
 //! Experiments: `dataset-stats`, `fig3`, `fig6`, `investor-graph`,
 //! `communities`, `fig4`, `fig5`, `fig7`, `causality`, `predict`, or `all`
 //! (default). Text summaries go to stdout; plot-ready CSV/SVG series go to
 //! `--out` (default `results/`).
+//!
+//! `--telemetry PATH` writes a JSON run report (counters, histograms, spans,
+//! events) to PATH after the experiments finish; timestamps use the wall
+//! clock. `telemetry-report` summarizes a previously written report (from
+//! `--telemetry PATH`, or the lexicographically last `*.json` under
+//! `<out>/telemetry/`) without running the pipeline.
 
 use crowdnet_core::experiments::*;
 use crowdnet_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
 use crowdnet_core::report::write_csv;
-use crowdnet_socialsim::{Scale, WorldConfig};
+use crowdnet_socialsim::clock::SystemClock;
+use crowdnet_socialsim::{Clock, Scale, WorldConfig};
+use crowdnet_telemetry::report as telemetry_report;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--seed N] [--scale tiny|small|eval|paper|1/K] [--out DIR] [EXPERIMENT...]\n\
-         experiments: dataset-stats fig3 fig6 fig8 investor-graph communities fig4 fig5 fig7 causality dynamic predict correlations store-stats all"
+        "usage: repro [--seed N] [--scale tiny|small|eval|paper|1/K] [--out DIR] [--telemetry PATH] [-v|--verbose] [EXPERIMENT...]\n\
+         experiments: dataset-stats fig3 fig6 fig8 investor-graph communities fig4 fig5 fig7 causality dynamic predict correlations store-stats telemetry-report all"
     );
     std::process::exit(2);
 }
@@ -27,6 +37,8 @@ struct Args {
     seed: u64,
     scale: String,
     out: PathBuf,
+    telemetry: Option<PathBuf>,
+    verbose: u8,
     experiments: Vec<String>,
 }
 
@@ -35,6 +47,8 @@ fn parse_args() -> Args {
         seed: 42,
         scale: "tiny".into(),
         out: PathBuf::from("results"),
+        telemetry: None,
+        verbose: 0,
         experiments: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -43,6 +57,10 @@ fn parse_args() -> Args {
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
             "--scale" => args.scale = it.next().unwrap_or_else(|| usage()),
             "--out" => args.out = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--telemetry" => {
+                args.telemetry = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            "--verbose" | "-v" => args.verbose = args.verbose.saturating_add(1),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => args.experiments.push(other.to_string()),
@@ -52,6 +70,33 @@ fn parse_args() -> Args {
         args.experiments.push("all".into());
     }
     args
+}
+
+/// Summarize a previously written telemetry report without running anything.
+fn summarize_report(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let path = match &args.telemetry {
+        Some(p) => p.clone(),
+        None => {
+            let dir = args.out.join("telemetry");
+            let mut reports: Vec<PathBuf> = std::fs::read_dir(&dir)
+                .map_err(|e| format!("no telemetry reports under {}: {e}", dir.display()))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+                .collect();
+            reports.sort();
+            reports
+                .pop()
+                .ok_or_else(|| format!("no *.json reports under {}", dir.display()))?
+        }
+    };
+    let text = std::fs::read_to_string(&path)?;
+    let report = crowdnet_json::Value::parse(&text)
+        .map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    telemetry_report::validate(&report)
+        .map_err(|e| format!("{}: not a telemetry report: {e}", path.display()))?;
+    println!("telemetry report: {}", path.display());
+    print!("{}", telemetry_report::render_summary(&report));
+    Ok(())
 }
 
 fn config(seed: u64, scale: &str) -> PipelineConfig {
@@ -357,7 +402,19 @@ fn run_experiment(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
+    if args.experiments.iter().any(|e| e == "telemetry-report") {
+        return summarize_report(&args);
+    }
     let cfg = config(args.seed, &args.scale);
+    cfg.telemetry
+        .set_verbosity(telemetry_report::verbosity_from_count(args.verbose));
+    if args.telemetry.is_some() {
+        // Interactive runs report wall-clock timings; binding first wins
+        // over the crawl stage's SimClock.
+        let wall = SystemClock;
+        cfg.telemetry
+            .bind_clock_if_unbound(Arc::new(move || wall.now_ms()));
+    }
     println!(
         "CrowdNet repro: seed={} scale={} ({} companies / {} users)",
         args.seed,
@@ -401,6 +458,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     for name in selected {
         run_experiment(name, &outcome, &cfg, &args.out)?;
+    }
+    if let Some(path) = &args.telemetry {
+        let report = telemetry_report::build(&outcome.telemetry);
+        telemetry_report::write(path, &report)?;
+        println!("\ntelemetry report -> {}", path.display());
     }
     Ok(())
 }

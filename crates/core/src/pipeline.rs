@@ -6,6 +6,7 @@ use crowdnet_crawl::{CrawlConfig, CrawlStats, Crawler};
 use crowdnet_dataflow::ExecCtx;
 use crowdnet_socialsim::{World, WorldConfig};
 use crowdnet_store::Store;
+use crowdnet_telemetry::Telemetry;
 use std::sync::Arc;
 
 /// Everything the pipeline needs.
@@ -19,6 +20,10 @@ pub struct PipelineConfig {
     pub threads: usize,
     /// Store partitions per snapshot.
     pub partitions: usize,
+    /// Observability sink shared by every tier (crawl, store, dataflow).
+    /// The crawl stage binds its `SimClock` into it unless the caller bound
+    /// a clock first (the `repro` binary binds the wall clock).
+    pub telemetry: Telemetry,
 }
 
 impl PipelineConfig {
@@ -29,6 +34,7 @@ impl PipelineConfig {
             crawl: CrawlConfig::default(),
             threads: 4,
             partitions: 4,
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -39,6 +45,7 @@ impl PipelineConfig {
             crawl: CrawlConfig::default(),
             threads: 4,
             partitions: 8,
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -49,6 +56,7 @@ impl PipelineConfig {
             crawl: CrawlConfig::default(),
             threads: ExecCtx::auto().threads(),
             partitions: 16,
+            telemetry: Telemetry::new(),
         }
     }
 }
@@ -82,6 +90,9 @@ pub struct PipelineOutcome {
     pub ctx: ExecCtx,
     /// The configuration that produced this outcome.
     pub config: PipelineConfig,
+    /// The telemetry sink the run recorded into (same handle as
+    /// `config.telemetry`; exposed for report building).
+    pub telemetry: Telemetry,
 }
 
 /// The platform runner.
@@ -97,14 +108,21 @@ impl Pipeline {
 
     /// Generate, crawl, and return the analysis-ready outcome.
     pub fn run(&self) -> Result<PipelineOutcome, CoreError> {
-        let world = Arc::new(World::generate(&self.config.world));
+        let world = {
+            let _span = self.config.telemetry.span("world.generate");
+            Arc::new(World::generate(&self.config.world))
+        };
         self.run_with_world(world)
     }
 
     /// Run the crawl over an existing world (reused across experiments).
     pub fn run_with_world(&self, world: Arc<World>) -> Result<PipelineOutcome, CoreError> {
-        let store = Store::memory(self.config.partitions);
-        let crawler = Crawler::new(Arc::clone(&world), self.config.crawl.clone());
+        let telemetry = self.config.telemetry.clone();
+        let _span = telemetry.span("pipeline");
+        let store = Store::memory(self.config.partitions).with_telemetry(&telemetry);
+        let mut crawl_cfg = self.config.crawl.clone();
+        crawl_cfg.telemetry = telemetry.clone();
+        let crawler = Crawler::new(Arc::clone(&world), crawl_cfg);
         let crawl = crawler.run(&store)?;
         let dataset = DatasetStats {
             companies: crawl.bfs.companies,
@@ -120,6 +138,7 @@ impl Pipeline {
             dataset,
             ctx: ExecCtx::new(self.config.threads),
             config: self.config.clone(),
+            telemetry,
         })
     }
 }

@@ -8,8 +8,9 @@
 //! the AngelList startup."
 
 use crate::error::CrawlError;
-use crate::retry::{with_retry, RetryPolicy};
+use crate::retry::{with_retry_metered, RetryPolicy, RetryTelemetry};
 use crowdnet_json::Value;
+use crowdnet_telemetry::Telemetry;
 use crowdnet_socialsim::sources::crunchbase::CrunchBaseApi;
 use crowdnet_socialsim::Clock;
 use crowdnet_store::{Document, Store};
@@ -46,7 +47,13 @@ pub fn augment_crunchbase(
     clock: &Arc<dyn Clock>,
     retry: &RetryPolicy,
     workers: usize,
+    telemetry: &Telemetry,
 ) -> Result<AugmentStats, CrawlError> {
+    let rt = RetryTelemetry::for_source(telemetry, "crunchbase");
+    let direct_counter = telemetry.counter("crawl.augment.direct");
+    let by_search_counter = telemetry.counter("crawl.augment.by_search");
+    let ambiguous_counter = telemetry.counter("crawl.augment.ambiguous");
+    let not_found_counter = telemetry.counter("crawl.augment.not_found");
     let companies = store.scan(crate::bfs::NS_COMPANIES)?;
     let stats = Mutex::new(AugmentStats::default());
     let queue = Mutex::new(companies.into_iter());
@@ -57,8 +64,14 @@ pub fn augment_crunchbase(
             scope.spawn(|| loop {
                 let doc = { queue.lock().next() };
                 let Some(doc) = doc else { break };
-                match augment_one(api, store, clock, retry, &doc) {
+                match augment_one(api, store, clock, retry, &rt, &doc) {
                     Ok(outcome) => {
+                        match outcome {
+                            Outcome::Direct => direct_counter.inc(),
+                            Outcome::BySearch => by_search_counter.inc(),
+                            Outcome::Ambiguous => ambiguous_counter.inc(),
+                            Outcome::NotFound => not_found_counter.inc(),
+                        }
                         let mut s = stats.lock();
                         match outcome {
                             Outcome::Direct => s.direct += 1,
@@ -94,6 +107,7 @@ fn augment_one(
     store: &Store,
     clock: &Arc<dyn Clock>,
     retry: &RetryPolicy,
+    rt: &RetryTelemetry,
     doc: &Document,
 ) -> Result<Outcome, CrawlError> {
     let body = &doc.body;
@@ -102,7 +116,7 @@ fn augment_one(
     // Route 1: direct CrunchBase URL.
     if let Some(url) = body.get("crunchbase_url").and_then(Value::as_str) {
         let permalink = url.rsplit('/').next().unwrap_or_default().to_string();
-        match with_retry(clock.as_ref(), retry, || api.company(&permalink)) {
+        match with_retry_metered(clock.as_ref(), retry, Some(rt), || api.company(&permalink)) {
             Ok(cb) => {
                 store.put(NS_CRUNCHBASE, Document::new(format!("company:{al_id}"), cb))?;
                 return Ok(Outcome::Direct);
@@ -116,7 +130,7 @@ fn augment_one(
 
     // Route 2: unique name search.
     let name = body.get("name").and_then(Value::as_str).unwrap_or_default();
-    let search = with_retry(clock.as_ref(), retry, || api.search(name))?;
+    let search = with_retry_metered(clock.as_ref(), retry, Some(rt), || api.search(name))?;
     let matches = search
         .get("matches")
         .and_then(Value::as_arr)
@@ -130,7 +144,7 @@ fn augment_one(
                 .and_then(Value::as_str)
                 .unwrap_or_default()
                 .to_string();
-            match with_retry(clock.as_ref(), retry, || api.company(&permalink)) {
+            match with_retry_metered(clock.as_ref(), retry, Some(rt), || api.company(&permalink)) {
                 Ok(cb) => {
                     store.put(NS_CRUNCHBASE, Document::new(format!("company:{al_id}"), cb))?;
                     Ok(Outcome::BySearch)
@@ -168,7 +182,7 @@ mod tests {
         let (world, store, clock) = crawled_store();
         let api = CrunchBaseApi::reliable(Arc::clone(&world));
         let stats =
-            augment_crunchbase(&api, &store, &clock, &RetryPolicy::default(), 4).unwrap();
+            augment_crunchbase(&api, &store, &clock, &RetryPolicy::default(), 4, &Telemetry::new()).unwrap();
         let funded = world.companies.iter().filter(|c| c.funded).count();
         // Every directly-linked *crawled* company resolves; search picks up
         // most of the rest except ambiguous names. The BFS may miss a few
@@ -192,7 +206,7 @@ mod tests {
     fn crunchbase_docs_carry_rounds() {
         let (world, store, clock) = crawled_store();
         let api = CrunchBaseApi::reliable(Arc::clone(&world));
-        augment_crunchbase(&api, &store, &clock, &RetryPolicy::default(), 2).unwrap();
+        augment_crunchbase(&api, &store, &clock, &RetryPolicy::default(), 2, &Telemetry::new()).unwrap();
         let docs = store.scan(NS_CRUNCHBASE).unwrap();
         assert!(!docs.is_empty());
         for doc in docs.iter().take(30) {
@@ -207,7 +221,7 @@ mod tests {
         let (world, store, clock) = crawled_store();
         let api = CrunchBaseApi::reliable(Arc::clone(&world));
         let stats =
-            augment_crunchbase(&api, &store, &clock, &RetryPolicy::default(), 2).unwrap();
+            augment_crunchbase(&api, &store, &clock, &RetryPolicy::default(), 2, &Telemetry::new()).unwrap();
         let crawled = store.doc_count(crate::bfs::NS_COMPANIES).unwrap();
         assert!(stats.not_found > 0);
         assert_eq!(

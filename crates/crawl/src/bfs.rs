@@ -14,8 +14,9 @@
 //! any frontier join the next round.
 
 use crate::error::CrawlError;
-use crate::retry::{with_retry, RetryPolicy};
+use crate::retry::{with_retry, with_retry_metered, RetryPolicy, RetryTelemetry};
 use crowdnet_json::Value;
+use crowdnet_telemetry::{Level, Telemetry};
 use crowdnet_socialsim::sources::angellist::AngelListApi;
 use crowdnet_socialsim::sources::ApiError;
 use crowdnet_socialsim::Clock;
@@ -50,6 +51,9 @@ pub struct BfsConfig {
     pub max_entities: Option<usize>,
     /// Retry policy for flaky calls.
     pub retry: RetryPolicy,
+    /// Sink for per-request counters, frontier gauges and round events.
+    /// A default (private) sink records everything and reports nothing.
+    pub telemetry: Telemetry,
 }
 
 impl Default for BfsConfig {
@@ -59,6 +63,7 @@ impl Default for BfsConfig {
             max_rounds: 8,
             max_entities: None,
             retry: RetryPolicy::default(),
+            telemetry: Telemetry::new(),
         }
     }
 }
@@ -106,10 +111,19 @@ pub fn crawl_angellist(
     if cfg.workers == 0 {
         return Err(CrawlError::Config("workers must be ≥ 1".into()));
     }
+    let telemetry = &cfg.telemetry;
+    let rt = RetryTelemetry::for_source(telemetry, "angellist");
+    let companies_counter = telemetry.counter("crawl.bfs.companies");
+    let users_counter = telemetry.counter("crawl.bfs.users");
+    let skipped_counter = telemetry.counter("crawl.bfs.skipped");
+    let frontier_gauge = telemetry.gauge("crawl.bfs.frontier");
+    let depth_gauge = telemetry.gauge("crawl.bfs.depth");
 
     // Seed frontier: all currently raising startups.
     let seed_items = fetch_all_pages(|page| {
-        with_retry(clock.as_ref(), &cfg.retry, || api.raising_startups(page))
+        with_retry_metered(clock.as_ref(), &cfg.retry, Some(&rt), || {
+            api.raising_startups(page)
+        })
     })?;
     let mut frontier: Vec<Entity> = seed_items
         .iter()
@@ -129,6 +143,13 @@ pub fn crawl_angellist(
                 break;
             }
         }
+        frontier_gauge.set(frontier.len() as u64);
+        depth_gauge.set(rounds as u64);
+        telemetry.event(
+            Level::Progress,
+            "crawl.bfs",
+            format!("round {rounds}: frontier {}", frontier.len()),
+        );
 
         let next: Mutex<Vec<Entity>> = Mutex::new(Vec::new());
         let queue: Mutex<std::vec::IntoIter<Entity>> =
@@ -139,8 +160,12 @@ pub fn crawl_angellist(
                 scope.spawn(|| loop {
                     let entity = { queue.lock().next() };
                     let Some(entity) = entity else { break };
-                    match crawl_entity(api, store, clock, &cfg.retry, entity) {
+                    match crawl_entity(api, store, clock, &cfg.retry, &rt, entity) {
                         Ok(discovered) => {
+                            match entity {
+                                Entity::Company(_) => companies_counter.inc(),
+                                Entity::User(_) => users_counter.inc(),
+                            }
                             let mut stats = stats.lock();
                             match entity {
                                 Entity::Company(_) => stats.companies += 1,
@@ -156,6 +181,7 @@ pub fn crawl_angellist(
                             }
                         }
                         Err(CrawlError::Api(_)) => {
+                            skipped_counter.inc();
                             stats.lock().skipped += 1;
                         }
                         Err(_) => {
@@ -170,6 +196,7 @@ pub fn crawl_angellist(
 
         frontier = next.into_inner();
     }
+    frontier_gauge.set(frontier.len() as u64);
 
     let mut out = stats.into_inner();
     out.rounds = rounds;
@@ -182,14 +209,17 @@ fn crawl_entity(
     store: &Store,
     clock: &Arc<dyn Clock>,
     retry: &RetryPolicy,
+    rt: &RetryTelemetry,
     entity: Entity,
 ) -> Result<Vec<Entity>, CrawlError> {
     match entity {
         Entity::Company(id) => {
-            let profile = with_retry(clock.as_ref(), retry, || api.startup(id))?;
+            let profile = with_retry_metered(clock.as_ref(), retry, Some(rt), || api.startup(id))?;
             store.put(NS_COMPANIES, Document::new(format!("company:{id}"), profile))?;
             let followers = fetch_all_pages(|page| {
-                with_retry(clock.as_ref(), retry, || api.startup_followers(id, page))
+                with_retry_metered(clock.as_ref(), retry, Some(rt), || {
+                    api.startup_followers(id, page)
+                })
             })?;
             Ok(followers
                 .iter()
@@ -198,11 +228,13 @@ fn crawl_entity(
                 .collect())
         }
         Entity::User(id) => {
-            let profile = with_retry(clock.as_ref(), retry, || api.user(id))?;
+            let profile = with_retry_metered(clock.as_ref(), retry, Some(rt), || api.user(id))?;
             store.put(NS_USERS, Document::new(format!("user:{id}"), profile))?;
             let mut discovered = Vec::new();
             let startups = fetch_all_pages(|page| {
-                with_retry(clock.as_ref(), retry, || api.user_following_startups(id, page))
+                with_retry_metered(clock.as_ref(), retry, Some(rt), || {
+                    api.user_following_startups(id, page)
+                })
             })?;
             discovered.extend(
                 startups
@@ -211,7 +243,9 @@ fn crawl_entity(
                     .map(|c| Entity::Company(c as u32)),
             );
             let users = fetch_all_pages(|page| {
-                with_retry(clock.as_ref(), retry, || api.user_following_users(id, page))
+                with_retry_metered(clock.as_ref(), retry, Some(rt), || {
+                    api.user_following_users(id, page)
+                })
             })?;
             discovered.extend(
                 users
@@ -331,6 +365,7 @@ pub fn crawl_angellist_resumable(
     if cfg.workers == 0 {
         return Err(CrawlError::Config("workers must be ≥ 1".into()));
     }
+    let rt = RetryTelemetry::for_source(&cfg.telemetry, "angellist");
 
     let (mut frontier, visited_init, stats_init, rounds_done) = match load_checkpoint(store)? {
         Some(cp) if cp.complete => return Ok(cp.stats),
@@ -370,7 +405,7 @@ pub fn crawl_angellist_resumable(
                 scope.spawn(|| loop {
                     let entity = { queue.lock().next() };
                     let Some(entity) = entity else { break };
-                    match crawl_entity(api, store, clock, &cfg.retry, entity) {
+                    match crawl_entity(api, store, clock, &cfg.retry, &rt, entity) {
                         Ok(discovered) => {
                             let mut stats = stats.lock();
                             match entity {

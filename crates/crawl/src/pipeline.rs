@@ -17,6 +17,7 @@ use crowdnet_socialsim::sources::twitter::TwitterApi;
 use crowdnet_socialsim::sources::FaultModel;
 use crowdnet_socialsim::{Clock, SimClock, World};
 use crowdnet_store::Store;
+use crowdnet_telemetry::Telemetry;
 use std::sync::Arc;
 
 /// Configuration for a full crawl.
@@ -36,6 +37,10 @@ pub struct CrawlConfig {
     pub fault_rate: f64,
     /// Seed for fault injection.
     pub fault_seed: u64,
+    /// Observability sink shared by every stage. The crawler binds its
+    /// `SimClock` into it (unless a caller bound a clock first) so spans
+    /// and events carry virtual timestamps.
+    pub telemetry: Telemetry,
 }
 
 impl Default for CrawlConfig {
@@ -48,6 +53,7 @@ impl Default for CrawlConfig {
             twitter_apps_per_owner: 5,
             fault_rate: 0.0,
             fault_seed: 0,
+            telemetry: Telemetry::new(),
         }
     }
 }
@@ -97,6 +103,12 @@ impl Crawler {
         let dyn_clock: Arc<dyn Clock> = self.clock.clone();
         let start_ms = self.clock.now_ms();
 
+        // Time telemetry on the crawl's virtual clock unless an outer
+        // component (the repro binary) already bound a real one.
+        let telemetry = cfg.telemetry.clone();
+        let sim = self.clock.clone();
+        telemetry.bind_clock_if_unbound(Arc::new(move || sim.now_ms()));
+
         // Stage 1: AngelList BFS.
         let angellist = AngelListApi::new(
             Arc::clone(&self.world),
@@ -105,17 +117,25 @@ impl Crawler {
         let mut bfs_cfg = cfg.bfs.clone();
         bfs_cfg.workers = cfg.workers;
         bfs_cfg.retry = cfg.retry;
-        let bfs = crawl_angellist(&angellist, store, &dyn_clock, &bfs_cfg)?;
-        let syndicates =
-            crate::syndicates::crawl_syndicates(&angellist, store, &dyn_clock, &cfg.retry)?;
+        bfs_cfg.telemetry = telemetry.clone();
+        let bfs = {
+            let _span = telemetry.span("crawl.angellist");
+            crawl_angellist(&angellist, store, &dyn_clock, &bfs_cfg)?
+        };
+        let syndicates = {
+            let _span = telemetry.span("crawl.syndicates");
+            crate::syndicates::crawl_syndicates(&angellist, store, &dyn_clock, &cfg.retry, &telemetry)?
+        };
 
         // Stage 2: CrunchBase augmentation.
         let crunchbase = CrunchBaseApi::new(
             Arc::clone(&self.world),
             FaultModel::new(cfg.fault_rate, cfg.fault_seed ^ 1),
         );
-        let augment =
-            augment_crunchbase(&crunchbase, store, &dyn_clock, &cfg.retry, cfg.workers)?;
+        let augment = {
+            let _span = telemetry.span("crawl.crunchbase");
+            augment_crunchbase(&crunchbase, store, &dyn_clock, &cfg.retry, cfg.workers, &telemetry)?
+        };
 
         // Stage 3: Facebook pages.
         let facebook = FacebookApi::new(
@@ -123,7 +143,10 @@ impl Crawler {
             self.clock.clone(),
             FaultModel::new(cfg.fault_rate, cfg.fault_seed ^ 2),
         );
-        let fb = crawl_facebook(&facebook, store, &dyn_clock, &cfg.retry, cfg.workers)?;
+        let fb = {
+            let _span = telemetry.span("crawl.facebook");
+            crawl_facebook(&facebook, store, &dyn_clock, &cfg.retry, cfg.workers, &telemetry)?
+        };
 
         // Stage 4: Twitter profiles through the token pool.
         let twitter = TwitterApi::new(
@@ -142,7 +165,10 @@ impl Crawler {
             cfg.twitter_apps_per_owner,
         )
         .map_err(CrawlError::Api)?;
-        let tw = crawl_twitter(&twitter, store, &pool, &dyn_clock, &cfg.retry, cfg.workers)?;
+        let tw = {
+            let _span = telemetry.span("crawl.twitter");
+            crawl_twitter(&twitter, store, &pool, &dyn_clock, &cfg.retry, cfg.workers, &telemetry)?
+        };
 
         Ok(CrawlStats {
             bfs,

@@ -6,6 +6,7 @@
 //! one token per request, sleeping on the shared [`Clock`] when empty.
 
 use crowdnet_socialsim::Clock;
+use crowdnet_telemetry::Histogram;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -20,6 +21,7 @@ pub struct TokenBucket {
     rate_per_sec: f64,
     burst: f64,
     state: Mutex<BucketState>,
+    wait_hist: Option<Histogram>,
 }
 
 impl TokenBucket {
@@ -35,7 +37,15 @@ impl TokenBucket {
                 tokens: f64::from(burst.max(1)),
                 last_refill_ms: now,
             }),
+            wait_hist: None,
         }
+    }
+
+    /// Record every [`TokenBucket::acquire`] sleep into `hist` (e.g. a
+    /// registry histogram named `crawl.<source>.bucket_wait_ms`).
+    pub fn with_wait_histogram(mut self, hist: Histogram) -> TokenBucket {
+        self.wait_hist = Some(hist);
+        self
     }
 
     fn refill(&self, state: &mut BucketState) {
@@ -71,7 +81,11 @@ impl TokenBucket {
                 let deficit = 1.0 - state.tokens;
                 (deficit / self.rate_per_sec * 1000.0).ceil() as u64
             };
-            self.clock.sleep_ms(wait_ms.max(1));
+            let wait_ms = wait_ms.max(1);
+            if let Some(h) = &self.wait_hist {
+                h.record(wait_ms);
+            }
+            self.clock.sleep_ms(wait_ms);
         }
     }
 }
@@ -119,6 +133,19 @@ mod tests {
         bucket.acquire(); // burst token, no sleep
         bucket.acquire(); // must wait 100 ms
         assert_eq!(clock.total_slept_ms(), 100);
+    }
+
+    #[test]
+    fn wait_histogram_sees_every_sleep() {
+        let telemetry = crowdnet_telemetry::Telemetry::new();
+        let clock = Arc::new(RecordingClock::new());
+        let bucket = TokenBucket::new(clock.clone(), 10.0, 1)
+            .with_wait_histogram(telemetry.histogram("crawl.bucket_wait_ms"));
+        bucket.acquire(); // burst token, no sleep
+        bucket.acquire(); // waits 100 ms
+        let snap = telemetry.histogram("crawl.bucket_wait_ms").snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 100);
     }
 
     #[test]

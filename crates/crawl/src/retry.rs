@@ -14,6 +14,7 @@ use crate::error::CrawlError;
 use crowdnet_socialsim::sources::{ApiError, ApiResult};
 use crowdnet_socialsim::Clock;
 use crowdnet_json::Value;
+use crowdnet_telemetry::{Counter, Histogram, Telemetry};
 
 /// Backoff policy.
 #[derive(Debug, Clone, Copy)]
@@ -59,26 +60,98 @@ impl RetryPolicy {
     }
 }
 
+/// Per-source retry-loop metrics, resolved once and cached by callers so
+/// the hot loop touches only lock-free handles. The counter identity
+/// `attempts == success + retry_transient + retry_ratelimit +
+/// fail_permanent` holds by construction: every call records `attempts`
+/// and exactly one outcome.
+#[derive(Clone, Debug)]
+pub struct RetryTelemetry {
+    pub(crate) attempts: Counter,
+    pub(crate) success: Counter,
+    pub(crate) retry_transient: Counter,
+    pub(crate) retry_ratelimit: Counter,
+    pub(crate) fail_permanent: Counter,
+    pub(crate) wait_ms: Histogram,
+}
+
+impl RetryTelemetry {
+    /// Handles for `crawl.<source>.{attempts,success,retry_transient,
+    /// retry_ratelimit,fail_permanent}` and the `crawl.<source>.wait_ms`
+    /// backoff histogram.
+    pub fn for_source(telemetry: &Telemetry, source: &str) -> RetryTelemetry {
+        RetryTelemetry {
+            attempts: telemetry.counter(&format!("crawl.{source}.attempts")),
+            success: telemetry.counter(&format!("crawl.{source}.success")),
+            retry_transient: telemetry.counter(&format!("crawl.{source}.retry_transient")),
+            retry_ratelimit: telemetry.counter(&format!("crawl.{source}.retry_ratelimit")),
+            fail_permanent: telemetry.counter(&format!("crawl.{source}.fail_permanent")),
+            wait_ms: telemetry.histogram(&format!("crawl.{source}.wait_ms")),
+        }
+    }
+}
+
 /// Run `call` under the policy, sleeping on the provided clock.
-pub fn with_retry<F>(clock: &dyn Clock, policy: &RetryPolicy, mut call: F) -> Result<Value, CrawlError>
+pub fn with_retry<F>(clock: &dyn Clock, policy: &RetryPolicy, call: F) -> Result<Value, CrawlError>
+where
+    F: FnMut() -> ApiResult,
+{
+    with_retry_metered(clock, policy, None, call)
+}
+
+/// [`with_retry`] with optional per-source metrics: each loop iteration
+/// bumps `attempts` plus exactly one outcome counter, and every backoff or
+/// rate-limit sleep lands in the `wait_ms` histogram.
+pub fn with_retry_metered<F>(
+    clock: &dyn Clock,
+    policy: &RetryPolicy,
+    telemetry: Option<&RetryTelemetry>,
+    mut call: F,
+) -> Result<Value, CrawlError>
 where
     F: FnMut() -> ApiResult,
 {
     let mut transient_failures = 0u32;
     loop {
+        if let Some(t) = telemetry {
+            t.attempts.inc();
+        }
         match call() {
-            Ok(v) => return Ok(v),
+            Ok(v) => {
+                if let Some(t) = telemetry {
+                    t.success.inc();
+                }
+                return Ok(v);
+            }
             Err(ApiError::RateLimited { retry_after_ms }) => {
-                clock.sleep_ms(retry_after_ms.min(policy.max_rate_limit_wait_ms));
+                let wait = retry_after_ms.min(policy.max_rate_limit_wait_ms);
+                if let Some(t) = telemetry {
+                    t.retry_ratelimit.inc();
+                    t.wait_ms.record(wait);
+                }
+                clock.sleep_ms(wait);
             }
             Err(ApiError::ServerError) => {
                 transient_failures += 1;
                 if transient_failures >= policy.max_attempts {
+                    if let Some(t) = telemetry {
+                        t.fail_permanent.inc();
+                    }
                     return Err(CrawlError::Api(ApiError::ServerError));
                 }
-                clock.sleep_ms(policy.delay_ms(transient_failures - 1));
+                let wait = policy.delay_ms(transient_failures - 1);
+                if let Some(t) = telemetry {
+                    t.retry_transient.inc();
+                    t.wait_ms.record(wait);
+                }
+                clock.sleep_ms(wait);
             }
-            Err(permanent) => return Err(CrawlError::Api(permanent)),
+            Err(permanent) => {
+                if let Some(t) = telemetry {
+                    t.fail_permanent.inc();
+                }
+                return Err(CrawlError::Api(permanent));
+            }
         }
     }
 }
@@ -179,6 +252,41 @@ mod tests {
         assert!(matches!(err, CrawlError::Api(ApiError::NotFound)));
         assert_eq!(attempts.get(), 1);
         assert_eq!(clock.total_slept_ms(), 0);
+    }
+
+    #[test]
+    fn metered_counters_reconcile() {
+        let telemetry = Telemetry::new();
+        let rt = RetryTelemetry::for_source(&telemetry, "angellist");
+        let clock = RecordingClock::new();
+        // One clean success.
+        let _ = with_retry_metered(&clock, &policy(), Some(&rt), || Ok(obj! {}));
+        // One success after a transient failure and a rate limit.
+        let attempts = Cell::new(0u32);
+        let _ = with_retry_metered(&clock, &policy(), Some(&rt), || {
+            attempts.set(attempts.get() + 1);
+            match attempts.get() {
+                1 => Err(ApiError::ServerError),
+                2 => Err(ApiError::RateLimited { retry_after_ms: 500 }),
+                _ => Ok(obj! {}),
+            }
+        });
+        // One permanent failure.
+        let _ = with_retry_metered(&clock, &policy(), Some(&rt), || Err(ApiError::NotFound));
+
+        let get = |n: &str| telemetry.counter(&format!("crawl.angellist.{n}")).value();
+        assert_eq!(get("attempts"), 5);
+        assert_eq!(get("success"), 2);
+        assert_eq!(get("retry_transient"), 1);
+        assert_eq!(get("retry_ratelimit"), 1);
+        assert_eq!(get("fail_permanent"), 1);
+        assert_eq!(
+            get("attempts"),
+            get("success") + get("retry_transient") + get("retry_ratelimit") + get("fail_permanent")
+        );
+        let waits = telemetry.histogram("crawl.angellist.wait_ms").snapshot();
+        assert_eq!(waits.count, 2);
+        assert_eq!(waits.count, get("retry_transient") + get("retry_ratelimit"));
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! 180-calls/15-minutes windows.
 
 use crate::error::CrawlError;
-use crate::retry::{with_retry, RetryPolicy};
+use crate::retry::{with_retry_metered, RetryPolicy, RetryTelemetry};
 use crate::tokens::TokenPool;
 use crowdnet_json::Value;
+use crowdnet_telemetry::Telemetry;
 use crowdnet_socialsim::sources::facebook::FacebookApi;
 use crowdnet_socialsim::sources::twitter::TwitterApi;
 use crowdnet_socialsim::sources::ApiError;
@@ -57,7 +58,10 @@ pub fn crawl_facebook(
     clock: &Arc<dyn Clock>,
     retry: &RetryPolicy,
     workers: usize,
+    telemetry: &Telemetry,
 ) -> Result<SocialStats, CrawlError> {
+    let rt = RetryTelemetry::for_source(telemetry, "facebook");
+    let pages_counter = telemetry.counter("crawl.facebook.pages");
     let token = api
         .exchange_token(&api.login())
         .map_err(CrawlError::Api)?;
@@ -71,7 +75,9 @@ pub fn crawl_facebook(
             scope.spawn(|| loop {
                 let item = { queue.lock().next() };
                 let Some((id, url)) = item else { break };
-                match with_retry(clock.as_ref(), retry, || api.page(&url, &token)) {
+                match with_retry_metered(clock.as_ref(), retry, Some(&rt), || {
+                    api.page(&url, &token)
+                }) {
                     Ok(page) => {
                         if let Err(e) =
                             store.put(NS_FACEBOOK, Document::new(format!("company:{id}"), page))
@@ -79,6 +85,7 @@ pub fn crawl_facebook(
                             *fatal.lock() = Some(e.into());
                             queue.lock().by_ref().for_each(drop);
                         } else {
+                            pages_counter.inc();
                             stats.lock().facebook_pages += 1;
                         }
                     }
@@ -113,7 +120,10 @@ pub fn crawl_twitter(
     clock: &Arc<dyn Clock>,
     retry: &RetryPolicy,
     workers: usize,
+    telemetry: &Telemetry,
 ) -> Result<SocialStats, CrawlError> {
+    let rt = RetryTelemetry::for_source(telemetry, "twitter");
+    let profiles_counter = telemetry.counter("crawl.twitter.profiles");
     let targets = linked_urls(store, "twitter_url")?;
     let stats = Mutex::new(SocialStats::default());
     let queue = Mutex::new(targets.into_iter());
@@ -126,7 +136,7 @@ pub fn crawl_twitter(
                 let Some((id, url)) = item else { break };
                 // §3: the username is the string after the last '/'.
                 let username = url.rsplit('/').next().unwrap_or_default().to_string();
-                match fetch_with_pool(api, pool, clock, retry, &username) {
+                match fetch_with_pool(api, pool, clock, retry, &rt, &username) {
                     Ok(profile) => {
                         if let Err(e) = store
                             .put(NS_TWITTER, Document::new(format!("company:{id}"), profile))
@@ -134,6 +144,7 @@ pub fn crawl_twitter(
                             *fatal.lock() = Some(e.into());
                             queue.lock().by_ref().for_each(drop);
                         } else {
+                            profiles_counter.inc();
                             stats.lock().twitter_profiles += 1;
                         }
                     }
@@ -162,24 +173,38 @@ fn fetch_with_pool(
     pool: &TokenPool,
     clock: &Arc<dyn Clock>,
     retry: &RetryPolicy,
+    rt: &RetryTelemetry,
     username: &str,
 ) -> Result<Value, CrawlError> {
     let mut transient = 0u32;
     loop {
         let token = pool.lease();
+        rt.attempts.inc();
         match api.user_by_username(username, &token) {
-            Ok(v) => return Ok(v),
+            Ok(v) => {
+                rt.success.inc();
+                return Ok(v);
+            }
             Err(ApiError::RateLimited { retry_after_ms }) => {
+                rt.retry_ratelimit.inc();
+                rt.wait_ms.record(retry_after_ms);
                 pool.park(&token, retry_after_ms);
             }
             Err(ApiError::ServerError) => {
                 transient += 1;
                 if transient >= retry.max_attempts {
+                    rt.fail_permanent.inc();
                     return Err(CrawlError::Api(ApiError::ServerError));
                 }
-                clock.sleep_ms(retry.delay_ms(transient - 1));
+                let wait = retry.delay_ms(transient - 1);
+                rt.retry_transient.inc();
+                rt.wait_ms.record(wait);
+                clock.sleep_ms(wait);
             }
-            Err(permanent) => return Err(CrawlError::Api(permanent)),
+            Err(permanent) => {
+                rt.fail_permanent.inc();
+                return Err(CrawlError::Api(permanent));
+            }
         }
     }
 }
@@ -211,7 +236,7 @@ mod tests {
         let (world, store, clock) = crawled(42);
         let api = FacebookApi::new(Arc::clone(&world), Arc::new(SimClock::new()), FaultModel::none());
         let stats =
-            crawl_facebook(&api, &store, &clock, &RetryPolicy::default(), 4).unwrap();
+            crawl_facebook(&api, &store, &clock, &RetryPolicy::default(), 4, &Telemetry::new()).unwrap();
         let _ = &world;
         let linked = linked_urls(&store, "facebook_url").unwrap().len();
         assert_eq!(stats.facebook_pages, linked);
@@ -237,7 +262,7 @@ mod tests {
         // ridden out (virtually) several times if >180 profiles are linked.
         let pool = TokenPool::register(&api, sim.clone(), &["m1"], 1).unwrap();
         let stats =
-            crawl_twitter(&api, &store, &pool, &clock, &RetryPolicy::default(), 2).unwrap();
+            crawl_twitter(&api, &store, &pool, &clock, &RetryPolicy::default(), 2, &Telemetry::new()).unwrap();
         let _ = &world;
         let linked = linked_urls(&store, "twitter_url").unwrap().len();
         assert!(linked > 180, "need enough links to trip the limit: {linked}");
@@ -254,7 +279,7 @@ mod tests {
         let clock: Arc<dyn Clock> = sim.clone();
         let api = TwitterApi::new(Arc::clone(&world), sim.clone(), FaultModel::none());
         let pool = TokenPool::register(&api, sim.clone(), &["m1", "m2"], 5).unwrap();
-        crawl_twitter(&api, &store, &pool, &clock, &RetryPolicy::default(), 4).unwrap();
+        crawl_twitter(&api, &store, &pool, &clock, &RetryPolicy::default(), 4, &Telemetry::new()).unwrap();
         for doc in store.scan(NS_TWITTER).unwrap().iter().take(30) {
             assert!(doc.body.get("followers_count").and_then(Value::as_u64).is_some());
             assert!(doc.body.get("statuses_count").and_then(Value::as_u64).is_some());
@@ -270,7 +295,7 @@ mod tests {
             let pool = TokenPool::register(&api, sim.clone(), owners, tokens_per_owner).unwrap();
             let clock = Arc::new(RecordingClock::new());
             let dyn_clock: Arc<dyn Clock> = clock.clone();
-            crawl_twitter(&api, &store, &pool, &dyn_clock, &RetryPolicy::default(), 2)
+            crawl_twitter(&api, &store, &pool, &dyn_clock, &RetryPolicy::default(), 2, &Telemetry::new())
                 .unwrap();
             sim.now_ms() // virtual time the *service* clock advanced (parked waits)
         };
@@ -291,7 +316,7 @@ mod tests {
             FaultModel::new(0.15, 3),
         );
         let stats =
-            crawl_facebook(&api, &store, &clock, &RetryPolicy::default(), 4).unwrap();
+            crawl_facebook(&api, &store, &clock, &RetryPolicy::default(), 4, &Telemetry::new()).unwrap();
         let _ = &world;
         let linked = linked_urls(&store, "facebook_url").unwrap().len();
         assert_eq!(stats.facebook_pages, linked);

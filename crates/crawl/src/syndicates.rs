@@ -8,8 +8,9 @@
 //! communities against.
 
 use crate::error::CrawlError;
-use crate::retry::{with_retry, RetryPolicy};
+use crate::retry::{with_retry_metered, RetryPolicy, RetryTelemetry};
 use crowdnet_json::Value;
+use crowdnet_telemetry::Telemetry;
 use crowdnet_socialsim::sources::angellist::AngelListApi;
 use crowdnet_socialsim::Clock;
 use crowdnet_store::{Document, Store};
@@ -24,11 +25,14 @@ pub fn crawl_syndicates(
     store: &Store,
     clock: &Arc<dyn Clock>,
     retry: &RetryPolicy,
+    telemetry: &Telemetry,
 ) -> Result<usize, CrawlError> {
+    let rt = RetryTelemetry::for_source(telemetry, "angellist");
+    let docs_counter = telemetry.counter("crawl.syndicates.docs");
     let mut ids = Vec::new();
     let mut page = 1usize;
     loop {
-        let doc = with_retry(clock.as_ref(), retry, || api.syndicates(page))?;
+        let doc = with_retry_metered(clock.as_ref(), retry, Some(&rt), || api.syndicates(page))?;
         if let Some(items) = doc.get("items").and_then(Value::as_arr) {
             ids.extend(
                 items
@@ -44,8 +48,9 @@ pub fn crawl_syndicates(
     }
     let mut stored = 0usize;
     for id in ids {
-        let doc = with_retry(clock.as_ref(), retry, || api.syndicate(id as u32))?;
+        let doc = with_retry_metered(clock.as_ref(), retry, Some(&rt), || api.syndicate(id as u32))?;
         store.put(NS_SYNDICATES, Document::new(format!("syndicate:{id}"), doc))?;
+        docs_counter.inc();
         stored += 1;
     }
     Ok(stored)
@@ -70,7 +75,7 @@ mod tests {
         let store = Store::memory(4);
         let clock: Arc<dyn Clock> = Arc::new(SimClock::new());
         let stored =
-            crawl_syndicates(&api, &store, &clock, &RetryPolicy::default()).unwrap();
+            crawl_syndicates(&api, &store, &clock, &RetryPolicy::default(), &Telemetry::new()).unwrap();
         assert_eq!(stored, world.syndicates.len());
         assert!(stored > 0);
         let docs = store.scan(NS_SYNDICATES).unwrap();

@@ -2,8 +2,9 @@
 //! parallel operators.
 
 use crate::pairs::Pairs;
-use crate::pool::{run_stage, ExecCtx};
+use crate::pool::{run_stage, run_stage_metered, ExecCtx};
 use crowdnet_store::{SnapshotId, Store, StoreError};
+use crowdnet_telemetry::Telemetry;
 use std::collections::HashSet;
 use std::hash::Hash;
 
@@ -17,6 +18,7 @@ use std::hash::Hash;
 pub struct Dataset<T> {
     partitions: Vec<Vec<T>>,
     ctx: ExecCtx,
+    telemetry: Option<Telemetry>,
 }
 
 impl<T: Send> Dataset<T> {
@@ -36,12 +38,20 @@ impl<T: Send> Dataset<T> {
         if !cur.is_empty() {
             partitions.push(cur);
         }
-        Dataset { partitions, ctx }
+        Dataset { partitions, ctx, telemetry: None }
     }
 
     /// Build from pre-existing partitions (e.g. a store scan).
     pub fn from_partitions(partitions: Vec<Vec<T>>, ctx: ExecCtx) -> Dataset<T> {
-        Dataset { partitions, ctx }
+        Dataset { partitions, ctx, telemetry: None }
+    }
+
+    /// Attach a telemetry sink: every subsequent operator records a
+    /// `dataflow.<op>` span, task counts, queue depth and per-partition
+    /// output sizes. Derived datasets inherit the sink.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Dataset<T> {
+        self.telemetry = Some(telemetry.clone());
+        self
     }
 
     /// The execution context this dataset runs on.
@@ -75,10 +85,11 @@ impl<T: Send> Dataset<T> {
         F: Fn(T) -> U + Sync,
     {
         let ctx = self.ctx;
-        let partitions = run_stage(ctx, self.partitions, |_, part| {
+        let telemetry = self.telemetry;
+        let partitions = run_stage_metered(ctx, telemetry.as_ref(), "map", self.partitions, |_, part| {
             part.into_iter().map(&f).collect()
         });
-        Dataset { partitions, ctx }
+        Dataset { partitions, ctx, telemetry }
     }
 
     /// Keep elements satisfying `pred`.
@@ -87,10 +98,11 @@ impl<T: Send> Dataset<T> {
         F: Fn(&T) -> bool + Sync,
     {
         let ctx = self.ctx;
-        let partitions = run_stage(ctx, self.partitions, |_, part| {
+        let telemetry = self.telemetry;
+        let partitions = run_stage_metered(ctx, telemetry.as_ref(), "filter", self.partitions, |_, part| {
             part.into_iter().filter(|t| pred(t)).collect()
         });
-        Dataset { partitions, ctx }
+        Dataset { partitions, ctx, telemetry }
     }
 
     /// Map each element to zero or more outputs.
@@ -100,10 +112,11 @@ impl<T: Send> Dataset<T> {
         F: Fn(T) -> I + Sync,
     {
         let ctx = self.ctx;
-        let partitions = run_stage(ctx, self.partitions, |_, part| {
+        let telemetry = self.telemetry;
+        let partitions = run_stage_metered(ctx, telemetry.as_ref(), "flat_map", self.partitions, |_, part| {
             part.into_iter().flat_map(&f).collect()
         });
-        Dataset { partitions, ctx }
+        Dataset { partitions, ctx, telemetry }
     }
 
     /// Transform whole partitions at once (the escape hatch for custom
@@ -113,8 +126,10 @@ impl<T: Send> Dataset<T> {
         F: Fn(Vec<T>) -> Vec<U> + Sync,
     {
         let ctx = self.ctx;
-        let partitions = run_stage(ctx, self.partitions, |_, part| f(part));
-        Dataset { partitions, ctx }
+        let telemetry = self.telemetry;
+        let partitions =
+            run_stage_metered(ctx, telemetry.as_ref(), "map_partitions", self.partitions, |_, part| f(part));
+        Dataset { partitions, ctx, telemetry }
     }
 
     /// Key every element, producing a [`Pairs`] for grouped operations.
@@ -139,7 +154,7 @@ impl<T: Send> Dataset<T> {
         FC: Fn(A, A) -> A,
     {
         let ctx = self.ctx;
-        let partials = run_stage(ctx, self.partitions, |_, part| {
+        let partials = run_stage_metered(ctx, self.telemetry.as_ref(), "reduce", self.partitions, |_, part| {
             vec![part.into_iter().fold(zero.clone(), &seq)]
         });
         partials
@@ -157,8 +172,11 @@ impl<T: Send> Dataset<T> {
     /// Rebalance into `n` partitions.
     pub fn repartition(self, n: usize) -> Dataset<T> {
         let ctx = self.ctx;
+        let telemetry = self.telemetry.clone();
         let flat: Vec<T> = self.collect();
-        Dataset::from_vec(flat, ctx.with_partitions(n))
+        let mut out = Dataset::from_vec(flat, ctx.with_partitions(n));
+        out.telemetry = telemetry;
+        out
     }
 
     /// First `n` elements in partition order.
@@ -184,7 +202,8 @@ impl<T: Send + Clone> Dataset<T> {
         let fraction = fraction.clamp(0.0, 1.0);
         let threshold = (fraction * u64::MAX as f64) as u64;
         let ctx = self.ctx;
-        let partitions = run_stage(ctx, self.partitions, |pidx, part| {
+        let telemetry = self.telemetry;
+        let partitions = run_stage_metered(ctx, telemetry.as_ref(), "sample", self.partitions, |pidx, part| {
             part.into_iter()
                 .enumerate()
                 .filter(|(i, _)| {
@@ -200,7 +219,7 @@ impl<T: Send + Clone> Dataset<T> {
                 .map(|(_, t)| t)
                 .collect()
         });
-        Dataset { partitions, ctx }
+        Dataset { partitions, ctx, telemetry }
     }
 }
 
@@ -209,11 +228,12 @@ impl<T: Send + Hash + Eq + Clone> Dataset<T> {
     /// bucket, then dedup each bucket.
     pub fn distinct(self) -> Dataset<T> {
         let ctx = self.ctx;
+        let telemetry = self.telemetry;
         let keyed: Vec<Vec<(T, ())>> = run_stage(ctx, self.partitions, |_, part| {
             part.into_iter().map(|t| (t, ())).collect()
         });
         let shuffled = crate::pairs::shuffle(keyed, ctx);
-        let partitions = run_stage(ctx, shuffled, |_, part| {
+        let partitions = run_stage_metered(ctx, telemetry.as_ref(), "distinct", shuffled, |_, part| {
             let mut seen: HashSet<T> = HashSet::with_capacity(part.len());
             let mut out = Vec::new();
             for (t, ()) in part {
@@ -223,7 +243,7 @@ impl<T: Send + Hash + Eq + Clone> Dataset<T> {
             }
             out
         });
-        Dataset { partitions, ctx }
+        Dataset { partitions, ctx, telemetry }
     }
 }
 
@@ -232,9 +252,12 @@ impl<T: Send + Ord> Dataset<T> {
     /// result-set sizes the analyses produce).
     pub fn sorted(self) -> Dataset<T> {
         let ctx = self.ctx;
+        let telemetry = self.telemetry.clone();
         let mut flat = self.collect();
         flat.sort();
-        Dataset::from_vec(flat, ctx)
+        let mut out = Dataset::from_vec(flat, ctx);
+        out.telemetry = telemetry;
+        out
     }
 
     /// The `k` largest elements, descending — computed with per-partition
@@ -245,7 +268,7 @@ impl<T: Send + Ord> Dataset<T> {
             return Vec::new();
         }
         let ctx = self.ctx;
-        let partials = run_stage(ctx, self.partitions, |_, part| {
+        let partials = run_stage_metered(ctx, self.telemetry.as_ref(), "top_k", self.partitions, |_, part| {
             let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<T>> =
                 std::collections::BinaryHeap::with_capacity(k + 1);
             for item in part {
@@ -420,6 +443,33 @@ mod tests {
         let d = Dataset::from_partitions(vec![vec![1, 2, 3], vec![4, 5]], ctx());
         let sums = d.map_partitions(|p| vec![p.iter().sum::<i32>()]).collect();
         assert_eq!(sums, vec![6, 9]);
+    }
+
+    #[test]
+    fn telemetry_follows_derived_datasets() {
+        let telemetry = Telemetry::new();
+        let d = Dataset::from_vec((0..64).collect::<Vec<i64>>(), ctx())
+            .with_telemetry(&telemetry);
+        let out = d
+            .map(|x| x * 2)
+            .filter(|x| x % 4 == 0)
+            .flat_map(|x| vec![x])
+            .repartition(2)
+            .sorted()
+            .collect();
+        assert_eq!(out.len(), 32);
+        // map + filter + flat_map each ran through the metered path; the
+        // tasks counter saw every partition of every stage.
+        assert!(telemetry.counter("dataflow.tasks").value() >= 3);
+        let names: Vec<String> = telemetry
+            .span_records()
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        for op in ["dataflow.map", "dataflow.filter", "dataflow.flat_map"] {
+            assert!(names.iter().any(|n| n == op), "missing span {op}");
+        }
+        assert!(telemetry.histogram("dataflow.task_rows").count() > 0);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! bounded set of scoped worker threads through a shared queue, so skewed
 //! partitions don't serialize the stage.
 
-use std::sync::Mutex;
+use crowdnet_telemetry::Telemetry;
+use parking_lot::Mutex;
 
 /// Execution context: how many worker threads a stage may use.
 ///
@@ -88,11 +89,11 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let item = queue.lock().expect("queue poisoned").pop();
+                let item = queue.lock().pop();
                 match item {
                     Some((idx, part)) => {
                         let out = f(idx, part);
-                        results.lock().expect("results poisoned")[idx] = Some(out);
+                        results.lock()[idx] = Some(out);
                     }
                     None => break,
                 }
@@ -102,10 +103,45 @@ where
 
     results
         .into_inner()
-        .expect("results poisoned")
         .into_iter()
-        .map(|o| o.expect("every partition must produce output"))
+        .map(|o| match o {
+            Some(v) => v,
+            // The scope above joins all workers, and every queued index
+            // writes its slot exactly once.
+            None => unreachable!("every partition produces output"),
+        })
         .collect()
+}
+
+/// [`run_stage`] wrapped in telemetry: a `dataflow.<op>` span, the
+/// `dataflow.tasks` counter, the `dataflow.queue_depth` high-water gauge
+/// and a `dataflow.task_rows` histogram of per-partition output sizes.
+pub fn run_stage_metered<T, U, F>(
+    ctx: ExecCtx,
+    telemetry: Option<&Telemetry>,
+    op: &str,
+    partitions: Vec<Vec<T>>,
+    f: F,
+) -> Vec<Vec<U>>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, Vec<T>) -> Vec<U> + Sync,
+{
+    let Some(t) = telemetry else {
+        return run_stage(ctx, partitions, f);
+    };
+    let n = partitions.len() as u64;
+    let _span = t.span(&format!("dataflow.{op}"));
+    let queue_gauge = t.gauge("dataflow.queue_depth");
+    queue_gauge.set_max(n);
+    t.counter("dataflow.tasks").add(n);
+    let out = run_stage(ctx, partitions, f);
+    let rows = t.histogram("dataflow.task_rows");
+    for p in &out {
+        rows.record(p.len() as u64);
+    }
+    out
 }
 
 /// Run `f` over every item of `tasks` in parallel, preserving order — the
@@ -118,10 +154,16 @@ where
     F: Fn(usize, T) -> U + Sync,
 {
     run_stage(ctx, tasks.into_iter().map(|t| vec![t]).collect(), |i, mut one| {
-        vec![f(i, one.pop().expect("exactly one task per partition"))]
+        match one.pop() {
+            Some(task) => vec![f(i, task)],
+            None => unreachable!("exactly one task per partition"),
+        }
     })
     .into_iter()
-    .map(|mut v| v.pop().expect("exactly one result per task"))
+    .map(|mut v| match v.pop() {
+        Some(r) => r,
+        None => unreachable!("exactly one result per task"),
+    })
     .collect()
 }
 
@@ -161,6 +203,22 @@ mod tests {
         let parts: Vec<Vec<u32>> = vec![vec![], vec![1], vec![]];
         let out = run_stage(ExecCtx::new(2), parts, |_, p| p);
         assert_eq!(out, vec![vec![], vec![1], vec![]]);
+    }
+
+    #[test]
+    fn metered_stage_matches_plain_and_records() {
+        let telemetry = Telemetry::new();
+        let parts: Vec<Vec<u32>> = (0..6).map(|i| vec![i, i + 1]).collect();
+        let plain = run_stage(ExecCtx::new(2), parts.clone(), |_, p| p);
+        let metered = run_stage_metered(ExecCtx::new(2), Some(&telemetry), "map", parts, |_, p| p);
+        assert_eq!(plain, metered);
+        assert_eq!(telemetry.counter("dataflow.tasks").value(), 6);
+        assert_eq!(telemetry.gauge("dataflow.queue_depth").value(), 6);
+        assert_eq!(telemetry.histogram("dataflow.task_rows").count(), 6);
+        let spans = telemetry.span_records();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "dataflow.map");
+        assert!(spans[0].end_ms.is_some());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use crate::bipartite::BipartiteGraph;
 use crate::metrics::{Community, Cover};
+use crowdnet_telemetry::{Level, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -39,6 +40,10 @@ pub struct CodaConfig {
     pub step: f64,
     /// Override the membership threshold δ (None = density-derived).
     pub min_membership: Option<f64>,
+    /// Observability sink: per-iteration progress events (visible only at
+    /// debug verbosity — the fit is silent by default) and the
+    /// `coda.iterations` counter.
+    pub telemetry: Telemetry,
 }
 
 impl Default for CodaConfig {
@@ -49,6 +54,7 @@ impl Default for CodaConfig {
             seed: 7,
             step: 0.25,
             min_membership: None,
+            telemetry: Telemetry::new(),
         }
     }
 }
@@ -118,7 +124,9 @@ impl Coda {
             communities: c,
         };
 
-        for _ in 0..cfg.iterations {
+        let _span = cfg.telemetry.span("coda.fit");
+        let iter_counter = cfg.telemetry.counter("coda.iterations");
+        for it in 0..cfg.iterations {
             // Update investors (F) against fixed H.
             let sum_h = column_sums(&model.h, c);
             for u in 0..nu {
@@ -131,7 +139,14 @@ impl Coda {
                 let neighbors = graph.investors_of(ci as u32);
                 update_node(&mut model.h[ci], neighbors, &model.f, &sum_f, cfg.step);
             }
-            model.ll_trace.push(model.log_likelihood(graph));
+            let ll = model.log_likelihood(graph);
+            model.ll_trace.push(ll);
+            iter_counter.inc();
+            cfg.telemetry.event(
+                Level::Debug,
+                "coda",
+                format!("iteration {}/{}: ll {ll:.4}", it + 1, cfg.iterations),
+            );
         }
         model
     }
@@ -190,11 +205,16 @@ impl Coda {
     pub fn dominant_communities(&self) -> Cover {
         let mut groups: std::collections::HashMap<usize, Vec<u32>> = std::collections::HashMap::new();
         for (u, row) in self.f.iter().enumerate() {
-            let (k, &weight) = row
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite affiliations"))
-                .expect("at least one community");
+            // Manual argmax: affiliations are clamped finite, and a NaN (or
+            // an empty row) simply never wins, so no comparator can panic.
+            let mut k = 0usize;
+            let mut weight = f64::NEG_INFINITY;
+            for (i, &w) in row.iter().enumerate() {
+                if w > weight {
+                    weight = w;
+                    k = i;
+                }
+            }
             if weight > 1e-6 {
                 groups.entry(k).or_default().push(u as u32);
             }
@@ -302,11 +322,16 @@ pub fn choose_communities(
         }
         scores.push((c, ll / (held.len() + negatives.len()) as f64));
     }
-    let best = scores
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-        .expect("non-empty")
-        .0;
+    // Manual argmax over the (non-empty, finite) score list: avoids a
+    // panicking comparator and keeps the first candidate on ties.
+    let mut best = scores[0].0;
+    let mut best_score = scores[0].1;
+    for &(cand, score) in &scores[1..] {
+        if score > best_score {
+            best_score = score;
+            best = cand;
+        }
+    }
     (best, scores)
 }
 

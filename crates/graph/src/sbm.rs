@@ -11,6 +11,7 @@
 use crate::fxhash::FxHashMap;
 use crate::metrics::{Community, Cover};
 use crate::projection::Projection;
+use crowdnet_telemetry::{Level, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -28,6 +29,10 @@ pub struct SbmConfig {
     /// two cliques can be unescapable one move at a time), so restarts are
     /// load-bearing, not a nicety.
     pub restarts: usize,
+    /// Observability sink: per-restart progress events (visible only at
+    /// debug verbosity — the fit is silent by default) and the
+    /// `sbm.restarts` counter.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SbmConfig {
@@ -37,6 +42,7 @@ impl Default for SbmConfig {
             max_passes: 15,
             seed: 11,
             restarts: 8,
+            telemetry: Telemetry::new(),
         }
     }
 }
@@ -78,21 +84,32 @@ fn profile_ll(edges_between: &[Vec<f64>], sizes: &[usize]) -> f64 {
 
 /// Fit the SBM to a binarized projection: best of `restarts` greedy runs.
 pub fn fit(projection: &Projection, cfg: &SbmConfig) -> Sbm {
-    let mut best: Option<Sbm> = None;
-    for r in 0..cfg.restarts.max(1) {
+    let _span = cfg.telemetry.span("sbm.fit");
+    let restart_counter = cfg.telemetry.counter("sbm.restarts");
+    let final_ll = |s: &Sbm| s.ll_trace.last().copied().unwrap_or(f64::NEG_INFINITY);
+
+    // Restart 0 seeds the running best (wrapping_add(0) keeps its seed equal
+    // to cfg.seed), so "at least one run" holds by construction.
+    let mut best = fit_once(projection, cfg, cfg.seed);
+    restart_counter.inc();
+    cfg.telemetry.event(
+        Level::Debug,
+        "sbm",
+        format!("restart 1/{}: ll {:.4}", cfg.restarts.max(1), final_ll(&best)),
+    );
+    for r in 1..cfg.restarts.max(1) {
         let run = fit_once(projection, cfg, cfg.seed.wrapping_add(r as u64 * 0x9E37));
-        let better = match &best {
-            None => true,
-            Some(b) => {
-                run.ll_trace.last().copied().unwrap_or(f64::NEG_INFINITY)
-                    > b.ll_trace.last().copied().unwrap_or(f64::NEG_INFINITY)
-            }
-        };
-        if better {
-            best = Some(run);
+        restart_counter.inc();
+        cfg.telemetry.event(
+            Level::Debug,
+            "sbm",
+            format!("restart {}/{}: ll {:.4}", r + 1, cfg.restarts.max(1), final_ll(&run)),
+        );
+        if final_ll(&run) > final_ll(&best) {
+            best = run;
         }
     }
-    best.expect("at least one restart ran")
+    best
 }
 
 fn fit_once(projection: &Projection, cfg: &SbmConfig, seed: u64) -> Sbm {

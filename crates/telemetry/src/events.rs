@@ -1,0 +1,183 @@
+//! Bounded, lossy progress events.
+//!
+//! Library code emits events unconditionally; the ring keeps the most
+//! recent [`DEFAULT_CAPACITY`] of them for the run report and counts what
+//! it dropped. Whether an event *also* reaches stderr is decided by the
+//! verbosity gate — [`Verbosity::Silent`] by default, so tests and library
+//! consumers stay quiet and the old ad-hoc `eprintln!` chatter has a
+//! single, opt-in choke point.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Ring capacity used by `Telemetry::new`.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// Event importance, ordered: `Progress` < `Debug` detail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Coarse stage progress (one per crawl round / fit iteration).
+    Progress = 1,
+    /// Fine-grained detail.
+    Debug = 2,
+}
+
+impl Level {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Progress => "progress",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Console gate: events with `level <= verbosity` are printed to stderr.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// Nothing on stderr (the default).
+    Silent = 0,
+    /// Print `Progress` events.
+    Progress = 1,
+    /// Print `Progress` and `Debug` events.
+    Debug = 2,
+}
+
+impl Verbosity {
+    fn from_u8(v: u8) -> Verbosity {
+        match v {
+            0 => Verbosity::Silent,
+            1 => Verbosity::Progress,
+            _ => Verbosity::Debug,
+        }
+    }
+
+    fn admits(self, level: Level) -> bool {
+        (level as u8) <= (self as u8)
+    }
+}
+
+/// One buffered event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number across the whole run (not reset by drops).
+    pub seq: u64,
+    pub time_ms: u64,
+    pub level: Level,
+    /// Component that emitted the event, e.g. `"crawl.bfs"` or `"coda"`.
+    pub target: String,
+    pub message: String,
+}
+
+#[derive(Default)]
+struct RingState {
+    entries: VecDeque<Event>,
+    seq: u64,
+    dropped: u64,
+}
+
+/// The bounded event buffer shared by all clones of a `Telemetry`.
+pub struct EventRing {
+    state: Mutex<RingState>,
+    verbosity: AtomicU8,
+    capacity: usize,
+}
+
+impl EventRing {
+    pub fn new(capacity: usize) -> EventRing {
+        EventRing {
+            state: Mutex::new(RingState::default()),
+            verbosity: AtomicU8::new(Verbosity::Silent as u8),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn set_verbosity(&self, v: Verbosity) {
+        self.verbosity.store(v as u8, Ordering::Relaxed);
+    }
+
+    pub fn verbosity(&self) -> Verbosity {
+        Verbosity::from_u8(self.verbosity.load(Ordering::Relaxed))
+    }
+
+    /// Append an event, evicting the oldest when full. Prints to stderr
+    /// when the verbosity gate admits `level`.
+    pub fn emit(&self, time_ms: u64, level: Level, target: &str, message: String) {
+        if self.verbosity().admits(level) {
+            eprintln!("[{target}] {message}");
+        }
+        let mut state = self.state.lock();
+        let seq = state.seq;
+        state.seq += 1;
+        if state.entries.len() == self.capacity {
+            state.entries.pop_front();
+            state.dropped += 1;
+        }
+        state.entries.push_back(Event {
+            seq,
+            time_ms,
+            level,
+            target: target.to_string(),
+            message,
+        });
+    }
+
+    /// The buffered events (oldest first) and how many were evicted.
+    pub fn snapshot(&self) -> (Vec<Event>, u64) {
+        let state = self.state.lock();
+        (state.entries.iter().cloned().collect(), state.dropped)
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.capacity)
+            .field("verbosity", &self.verbosity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let ring = EventRing::new(2);
+        ring.emit(0, Level::Progress, "t", "a".into());
+        ring.emit(1, Level::Progress, "t", "b".into());
+        ring.emit(2, Level::Progress, "t", "c".into());
+        let (events, dropped) = ring.snapshot();
+        assert_eq!(dropped, 1);
+        let messages: Vec<_> = events.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(messages, vec!["b", "c"]);
+        // Sequence numbers keep counting across drops.
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(events[1].seq, 2);
+    }
+
+    #[test]
+    fn default_verbosity_is_silent() {
+        let ring = EventRing::new(4);
+        assert_eq!(ring.verbosity(), Verbosity::Silent);
+        assert!(!ring.verbosity().admits(Level::Progress));
+    }
+
+    #[test]
+    fn verbosity_gate_ordering() {
+        assert!(Verbosity::Progress.admits(Level::Progress));
+        assert!(!Verbosity::Progress.admits(Level::Debug));
+        assert!(Verbosity::Debug.admits(Level::Debug));
+        assert!(!Verbosity::Silent.admits(Level::Progress));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let ring = EventRing::new(0);
+        ring.emit(0, Level::Debug, "t", "x".into());
+        let (events, dropped) = ring.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(dropped, 0);
+    }
+}

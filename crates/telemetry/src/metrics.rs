@@ -1,0 +1,416 @@
+//! Lock-free metric primitives: sharded counters, gauges and fixed-bucket
+//! histograms.
+//!
+//! Handles are `Arc`s over atomics, so cloning is cheap and recording never
+//! takes a lock. Counters and histograms shard their cells by thread id to
+//! keep BFS workers from bouncing one cache line; reads sum the shards.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of independent cells per counter/histogram bucket. Eight covers
+/// the worker counts we run (`ExecCtx::auto` caps out well below this on CI
+/// hardware) without bloating snapshots.
+const SHARDS: usize = 8;
+
+fn shard_index() -> usize {
+    let mut h = DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
+
+/// A monotonically increasing event count, sharded across [`SHARDS`] cells.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cells: Arc<[AtomicU64; SHARDS]>,
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter {
+            cells: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.cells[shard_index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum across shards. Exact once writers have quiesced; a live snapshot
+    /// may trail in-flight increments.
+    pub fn value(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+/// A last-write-wins instantaneous value (queue depth, frontier size).
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Set to the maximum of the current value and `v`.
+    pub fn set_max(&self, v: u64) {
+        self.cell.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram bucket upper bounds: powers of two from 1 ms to
+/// 2^20 ms (~17 minutes), plus the implicit overflow bucket.
+pub fn default_bounds() -> Vec<u64> {
+    (0..=20).map(|e| 1u64 << e).collect()
+}
+
+struct HistogramInner {
+    /// Strictly increasing bucket upper bounds (inclusive). Values above
+    /// the last bound land in the implicit overflow bucket.
+    bounds: Vec<u64>,
+    /// `SHARDS` shards × (`bounds.len() + 1`) bucket cells, row-major.
+    cells: Vec<AtomicU64>,
+    sum: AtomicU64,
+    /// Initialized to `u64::MAX`; that sentinel means "no samples yet".
+    min: AtomicU64,
+    max: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` samples (we use it for wait times in
+/// milliseconds and per-task row counts). Recording touches one sharded
+/// bucket cell plus four scalar atomics — no locks.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("bounds", &self.inner.bounds)
+            .field("count", &self.inner.count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(&default_bounds())
+    }
+}
+
+impl Histogram {
+    /// A histogram over the given strictly-increasing upper bounds. An
+    /// empty or non-monotonic slice falls back to [`default_bounds`].
+    pub fn new(bounds: &[u64]) -> Histogram {
+        let valid = !bounds.is_empty() && bounds.windows(2).all(|w| w[0] < w[1]);
+        let bounds = if valid {
+            bounds.to_vec()
+        } else {
+            default_bounds()
+        };
+        let n_cells = SHARDS * (bounds.len() + 1);
+        let mut cells = Vec::with_capacity(n_cells);
+        cells.resize_with(n_cells, || AtomicU64::new(0));
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds,
+                cells,
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The bucket an observation of `v` falls into (index into
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket).
+    fn bucket_of(&self, v: u64) -> usize {
+        // Bounds are short (≤ ~24); a linear scan beats binary search here
+        // and partition_point would obscure the inclusive-upper semantics.
+        for (i, &b) in self.inner.bounds.iter().enumerate() {
+            if v <= b {
+                return i;
+            }
+        }
+        self.inner.bounds.len()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        let width = self.inner.bounds.len() + 1;
+        let idx = shard_index() * width + self.bucket_of(v);
+        self.inner.cells[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.min.fetch_min(v, Ordering::Relaxed);
+        self.inner.max.fetch_max(v, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Merge the shards into a point-in-time snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let width = self.inner.bounds.len() + 1;
+        let mut counts = vec![0u64; width];
+        for shard in 0..SHARDS {
+            for (b, slot) in counts.iter_mut().enumerate() {
+                *slot = slot.wrapping_add(
+                    self.inner.cells[shard * width + b].load(Ordering::Relaxed),
+                );
+            }
+        }
+        let count: u64 = counts.iter().copied().fold(0u64, u64::wrapping_add);
+        let min = self.inner.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            bounds: self.inner.bounds.clone(),
+            counts,
+            count,
+            sum: self.inner.sum.load(Ordering::Relaxed),
+            min: if min == u64::MAX { None } else { Some(min) },
+            max: if count == 0 {
+                None
+            } else {
+                Some(self.inner.max.load(Ordering::Relaxed))
+            },
+        }
+    }
+}
+
+/// An immutable, mergeable view of a histogram's buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive bucket upper bounds; `counts` has one extra overflow slot.
+    pub bounds: Vec<u64>,
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub min: Option<u64>,
+    pub max: Option<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot over `bounds`.
+    pub fn empty(bounds: &[u64]) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// The `[lower, upper]` value range of the bucket containing the
+    /// q-quantile observation (rank `ceil(q * count)`), or `None` when the
+    /// snapshot is empty. The true quantile lies within the returned
+    /// bounds — that is the histogram's error contract. The overflow bucket
+    /// reports `upper = u64::MAX`.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] + 1 };
+                let upper = self.bounds.get(i).copied().unwrap_or(u64::MAX);
+                return Some((lower, upper));
+            }
+        }
+        // count > 0 guarantees the loop returned; this is unreachable but
+        // we avoid panicking in lib code.
+        None
+    }
+
+    /// Fold `other` into `self`. Identical bounds merge bucket-by-bucket;
+    /// differing bounds are re-bucketed by replaying each of `other`'s
+    /// buckets at its upper bound (overflow replays at `other.max`), which
+    /// widens but never loses counts.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.bounds == other.bounds {
+            for (s, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+                *s = s.wrapping_add(*o);
+            }
+        } else {
+            for (i, &c) in other.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let v = other
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .or(other.max)
+                    .unwrap_or(u64::MAX);
+                let bucket = self
+                    .bounds
+                    .iter()
+                    .position(|&b| v <= b)
+                    .unwrap_or(self.bounds.len());
+                self.counts[bucket] = self.counts[bucket].wrapping_add(c);
+            }
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        let d = c.clone();
+        d.inc();
+        assert_eq!(c.value(), 6);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::new();
+        g.set(3);
+        g.set(9);
+        assert_eq!(g.value(), 9);
+        g.set_max(4);
+        assert_eq!(g.value(), 9);
+        g.set_max(12);
+        assert_eq!(g.value(), 12);
+    }
+
+    #[test]
+    fn histogram_buckets_by_inclusive_upper_bound() {
+        let h = Histogram::new(&[10, 100]);
+        h.record(0);
+        h.record(10);
+        h.record(11);
+        h.record(100);
+        h.record(101);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 2, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 222);
+        assert_eq!(s.min, Some(0));
+        assert_eq!(s.max, Some(101));
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let h = Histogram::new(&[10]);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+        assert_eq!(s.quantile_bounds(0.5), None);
+    }
+
+    #[test]
+    fn invalid_bounds_fall_back_to_defaults() {
+        let h = Histogram::new(&[]);
+        assert_eq!(h.snapshot().bounds, default_bounds());
+        let h = Histogram::new(&[5, 5]);
+        assert_eq!(h.snapshot().bounds, default_bounds());
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_the_true_quantile() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [1u64, 5, 9, 50, 75, 500, 999, 2000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // rank ceil(0.5*8) = 4 → the 4th smallest sample (50) is in (10,100].
+        let (lo, hi) = s.quantile_bounds(0.5).unwrap();
+        assert!(lo <= 50 && 50 <= hi, "median 50 outside [{lo},{hi}]");
+        // Overflow bucket reports u64::MAX as its upper bound.
+        let (lo, hi) = s.quantile_bounds(1.0).unwrap();
+        assert!(lo <= 2000 && hi == u64::MAX);
+    }
+
+    #[test]
+    fn merge_same_bounds_adds_counts() {
+        let a = Histogram::new(&[10, 100]);
+        a.record(5);
+        a.record(50);
+        let b = Histogram::new(&[10, 100]);
+        b.record(7);
+        b.record(500);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counts, vec![2, 1, 1]);
+        assert_eq!(m.count, 4);
+        assert_eq!(m.sum, 562);
+        assert_eq!(m.min, Some(5));
+        assert_eq!(m.max, Some(500));
+    }
+
+    #[test]
+    fn merge_different_bounds_rebuckets_conservatively() {
+        let a = Histogram::new(&[100]);
+        a.record(5);
+        let b = Histogram::new(&[10]);
+        b.record(3);
+        b.record(50); // overflow in b, replays at b.max = 50 → ≤100 bucket
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.counts, vec![3, 0]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Name → metric maps.
+//!
+//! Lookup takes a short read lock on one map at a time; the returned
+//! handles are lock-free, so registration cost is paid once per call site
+//! (call sites cache handles in hot loops). The three maps are always
+//! touched in the order counters → gauges → histograms, one lock per
+//! statement, to stay trivially clean under the `lock-ordering` lint.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Named counters, gauges and histograms.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let counters = self.counters.read().len();
+        let gauges = self.gauges.read().len();
+        let histograms = self.histograms.read().len();
+        f.debug_struct("Registry")
+            .field("counters", &counters)
+            .field("gauges", &gauges)
+            .field("histograms", &histograms)
+            .finish()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let found = self.counters.read().get(name).cloned();
+        if let Some(c) = found {
+            return c;
+        }
+        self.counters
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let found = self.gauges.read().get(name).cloned();
+        if let Some(g) = found {
+            return g;
+        }
+        self.gauges
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the histogram `name` with default bounds.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &crate::metrics::default_bounds())
+    }
+
+    /// Get or create the histogram `name`. `bounds` only applies on first
+    /// creation; later callers get the existing histogram unchanged.
+    pub fn histogram_with(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let found = self.histograms.read().get(name).cloned();
+        if let Some(h) = found {
+            return h;
+        }
+        self.histograms
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// All counters as `(name, value)` in name order.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.value()))
+            .collect()
+    }
+
+    /// All gauges as `(name, value)` in name order.
+    pub fn gauge_values(&self) -> Vec<(String, u64)> {
+        self.gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.value()))
+            .collect()
+    }
+
+    /// All histograms as `(name, snapshot)` in name order.
+    pub fn histogram_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_metric() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.counter("a").add(2);
+        assert_eq!(r.counter("a").value(), 3);
+    }
+
+    #[test]
+    fn listings_are_name_sorted() {
+        let r = Registry::new();
+        r.counter("z").inc();
+        r.counter("a").inc();
+        r.gauge("m").set(1);
+        let names: Vec<_> = r.counter_values().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a".to_string(), "z".to_string()]);
+        assert_eq!(r.gauge_values(), vec![("m".to_string(), 1)]);
+    }
+
+    #[test]
+    fn histogram_bounds_fixed_at_creation() {
+        let r = Registry::new();
+        r.histogram_with("h", &[10, 20]).record(15);
+        let again = r.histogram_with("h", &[1000]);
+        assert_eq!(again.snapshot().bounds, vec![10, 20]);
+        assert_eq!(again.count(), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the fixed-bucket histogram: quantile estimates stay
+//! within bucket error of the exact quantiles, and snapshot merging is
+//! associative and count-preserving.
+
+use crowdnet_telemetry::metrics::{default_bounds, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn snapshot_of(bounds: &[u64], samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new(bounds);
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// For every quantile, the exact order statistic lies within the
+    /// bucket range the histogram reports — the histogram's whole error
+    /// contract in one property.
+    #[test]
+    fn quantile_bounds_bracket_exact_quantiles(
+        samples in proptest::collection::vec(0u64..5_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let snap = snapshot_of(&[10, 50, 100, 500, 1000], &samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let exact = sorted[rank - 1];
+        let (lo, hi) = snap.quantile_bounds(q).expect("non-empty snapshot");
+        prop_assert!(
+            lo <= exact && exact <= hi,
+            "q={q}: exact {exact} outside reported bucket [{lo}, {hi}]"
+        );
+    }
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) for snapshots sharing bucket bounds.
+    #[test]
+    fn merge_is_associative_for_shared_bounds(
+        a in proptest::collection::vec(0u64..3_000, 0..50),
+        b in proptest::collection::vec(0u64..3_000, 0..50),
+        c in proptest::collection::vec(0u64..3_000, 0..50),
+    ) {
+        let bounds = [16u64, 256, 1024];
+        let (sa, sb, sc) = (
+            snapshot_of(&bounds, &a),
+            snapshot_of(&bounds, &b),
+            snapshot_of(&bounds, &c),
+        );
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging equals recording everything into one histogram.
+    #[test]
+    fn merge_equals_union_for_shared_bounds(
+        a in proptest::collection::vec(0u64..3_000, 0..60),
+        b in proptest::collection::vec(0u64..3_000, 0..60),
+    ) {
+        let bounds = default_bounds();
+        let mut merged = snapshot_of(&bounds, &a);
+        merged.merge(&snapshot_of(&bounds, &b));
+        let mut union: Vec<u64> = a.clone();
+        union.extend_from_slice(&b);
+        prop_assert_eq!(merged, snapshot_of(&bounds, &union));
+    }
+
+    /// Cross-bounds merge never loses counts and keeps exact sum/min/max.
+    #[test]
+    fn cross_bounds_merge_preserves_count_and_sum(
+        a in proptest::collection::vec(0u64..3_000, 0..60),
+        b in proptest::collection::vec(0u64..3_000, 0..60),
+    ) {
+        let mut merged = snapshot_of(&[100, 1000], &a);
+        merged.merge(&snapshot_of(&[7, 77, 777], &b));
+        prop_assert_eq!(merged.count, (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.counts.iter().sum::<u64>(), merged.count);
+        prop_assert_eq!(merged.sum, a.iter().sum::<u64>() + b.iter().sum::<u64>());
+        let all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.min, all.iter().min().copied());
+        prop_assert_eq!(merged.max, all.iter().max().copied());
+    }
+}

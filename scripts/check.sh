@@ -12,4 +12,15 @@ cargo test -q --offline --workspace
 echo "==> crowdnet-lint --workspace"
 cargo run -q --offline -p crowdnet-lint -- --workspace
 
+echo "==> telemetry smoke (tiny pipeline -> report parses, mandatory counters present)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --scale tiny --seed 7 --out "$smoke_dir" \
+  --telemetry "$smoke_dir/telemetry/run.json" dataset-stats >/dev/null
+# telemetry-report validates the JSON and the mandatory counter set, and
+# exits non-zero on a malformed or incomplete report.
+cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --out "$smoke_dir" telemetry-report | grep -q "crawl.angellist.attempts"
+
 echo "All checks passed."

@@ -1,0 +1,120 @@
+//! Telemetry end-to-end: a seeded single-worker pipeline run produces a
+//! byte-deterministic report whose counters reconcile with the crawl and
+//! store statistics the run reports through its normal return values.
+
+use crowdnet_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
+use crowdnet_json::Value;
+use crowdnet_telemetry::report;
+
+/// Single-worker, faulty, seeded config: the fault model's shared RNG makes
+/// per-request faults interleaving-dependent, so one worker per stage is
+/// what makes the telemetry byte-reproducible.
+fn seeded_config() -> PipelineConfig {
+    let mut cfg = PipelineConfig::tiny(7);
+    cfg.crawl.workers = 1;
+    cfg.crawl.fault_rate = 0.1;
+    cfg.crawl.fault_seed = 5;
+    cfg
+}
+
+fn run() -> (PipelineOutcome, Value) {
+    let outcome = Pipeline::new(seeded_config()).run().expect("pipeline");
+    let rep = report::build(&outcome.telemetry);
+    (outcome, rep)
+}
+
+fn counter(rep: &Value, name: &str) -> u64 {
+    rep.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing counter {name}"))
+}
+
+#[test]
+fn report_is_byte_identical_across_runs() {
+    let (_, a) = run();
+    let (_, b) = run();
+    assert_eq!(a.to_pretty(), b.to_pretty());
+}
+
+#[test]
+fn report_reconciles_with_pipeline_stats() {
+    let (outcome, rep) = run();
+    assert_eq!(report::validate(&rep), Ok(()));
+
+    // BFS counters mirror CrawlStats.
+    assert_eq!(counter(&rep, "crawl.bfs.companies"), outcome.crawl.bfs.companies as u64);
+    assert_eq!(counter(&rep, "crawl.bfs.users"), outcome.crawl.bfs.users as u64);
+    assert_eq!(
+        counter(&rep, "crawl.facebook.pages"),
+        outcome.crawl.facebook.facebook_pages as u64
+    );
+    assert_eq!(
+        counter(&rep, "crawl.twitter.profiles"),
+        outcome.crawl.twitter.twitter_profiles as u64
+    );
+    assert_eq!(counter(&rep, "crawl.syndicates.docs"), outcome.crawl.syndicates as u64);
+    assert_eq!(
+        counter(&rep, "crawl.augment.direct") + counter(&rep, "crawl.augment.by_search"),
+        outcome.crawl.augment.resolved() as u64
+    );
+
+    // Store appends reconcile with Store::stats byte-for-byte.
+    let stats = outcome.store.stats().expect("store stats");
+    let docs: u64 = stats.iter().map(|s| s.documents as u64).sum();
+    let bytes: u64 = stats.iter().map(|s| s.encoded_bytes as u64).sum();
+    assert_eq!(counter(&rep, "store.append.docs"), docs);
+    assert_eq!(counter(&rep, "store.append.bytes"), bytes);
+
+    // Per-source attempt identity for every instrumented source.
+    for source in ["angellist", "crunchbase", "facebook", "twitter"] {
+        let attempts = counter(&rep, &format!("crawl.{source}.attempts"));
+        let resolved = counter(&rep, &format!("crawl.{source}.success"))
+            + counter(&rep, &format!("crawl.{source}.retry_transient"))
+            + counter(&rep, &format!("crawl.{source}.retry_ratelimit"))
+            + counter(&rep, &format!("crawl.{source}.fail_permanent"));
+        assert_eq!(attempts, resolved, "attempt identity broken for {source}");
+    }
+}
+
+#[test]
+fn fault_injection_shows_up_in_wait_histogram() {
+    let (_, rep) = run();
+    // fault_rate = 0.1 over thousands of AngelList requests guarantees
+    // retries, each of which records its backoff into the wait histogram.
+    let retries = counter(&rep, "crawl.angellist.retry_transient")
+        + counter(&rep, "crawl.angellist.retry_ratelimit");
+    assert!(retries > 0, "no retries under fault_rate 0.1");
+    let wait_count = rep
+        .get("histograms")
+        .and_then(|h| h.get("crawl.angellist.wait_ms"))
+        .and_then(|h| h.get("count"))
+        .and_then(Value::as_u64)
+        .expect("missing crawl.angellist.wait_ms histogram");
+    assert_eq!(wait_count, retries);
+}
+
+#[test]
+fn spans_cover_every_crawl_stage() {
+    let (_, rep) = run();
+    let spans = rep.get("spans").and_then(Value::as_arr).expect("spans");
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Value::as_str))
+        .collect();
+    for stage in [
+        "pipeline",
+        "world.generate",
+        "crawl.angellist",
+        "crawl.syndicates",
+        "crawl.crunchbase",
+        "crawl.facebook",
+        "crawl.twitter",
+    ] {
+        assert!(names.contains(&stage), "missing span {stage}");
+    }
+    // Every span closed (virtual timestamps from the bound SimClock).
+    for s in spans {
+        assert!(s.get("end_ms").and_then(Value::as_u64).is_some(), "open span");
+    }
+}
