@@ -1,0 +1,205 @@
+//! `serve-latency-report` — machine-readable serving-tier numbers:
+//! closed-loop throughput and latency quantiles through the bounded worker
+//! pool at 1/2/4/8 workers, plus the result-cache hit-vs-miss latency
+//! split, written as `BENCH_serve_latency.json` for tracking across
+//! commits.
+//!
+//! ```sh
+//! cargo run --release -p crowdnet-bench --bin serve-latency-report [-- OUT.json]
+//! ```
+
+use crowdnet_core::pipeline::{Pipeline, PipelineConfig};
+use crowdnet_json::{obj, Value};
+use crowdnet_serve::{Request, Server, ServerConfig, Service, ServiceConfig};
+use crowdnet_socialsim::Clock;
+use crowdnet_store::Store;
+use crowdnet_telemetry::Telemetry;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+/// Requests each closed-loop client issues during the timed window.
+const REQUESTS_PER_CLIENT: usize = 300;
+/// Distinct nonce'd SQL targets for the cache hit/miss split.
+const CACHE_PROBES: usize = 48;
+
+fn wall_telemetry() -> Telemetry {
+    let telemetry = Telemetry::new();
+    let wall = crowdnet_socialsim::clock::SystemClock;
+    telemetry.bind_clock(Arc::new(move || wall.now_ms()));
+    telemetry
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn mean(us: &[u64]) -> f64 {
+    if us.is_empty() {
+        return 0.0;
+    }
+    us.iter().sum::<u64>() as f64 / us.len() as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve_latency.json".into());
+
+    let outcome = Pipeline::new(PipelineConfig::tiny(SEED)).run()?;
+    let store: Arc<Store> = Arc::new(outcome.store);
+
+    // Closed-loop throughput and latency through the bounded worker pool:
+    // one client thread per worker, so the queue never saturates and no
+    // request sheds — this measures service time, not admission control.
+    let mut worker_rows: Vec<Value> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let telemetry = wall_telemetry();
+        let service = Arc::new(Service::new(
+            Arc::clone(&store),
+            ServiceConfig::default(),
+            telemetry.clone(),
+        ));
+        let server = Arc::new(Server::new(
+            Arc::clone(&service),
+            ServerConfig {
+                workers,
+                queue_capacity: 256,
+                ..ServerConfig::default()
+            },
+        ));
+        // First request builds the version-stamped artifacts (graph, CoDA,
+        // PageRank); exclude that one-time cost from the timed window.
+        let warm = server.call(Request::get("/stats"));
+        assert_eq!(warm.status, 200, "warm-up request failed");
+        let targets = service.example_targets()?;
+
+        let samples = Mutex::new(Vec::<u64>::new());
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for client in 0..workers {
+                let server = &server;
+                let targets = &targets;
+                let samples = &samples;
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                    for i in 0..REQUESTS_PER_CLIENT {
+                        let target = &targets[(client + i) % targets.len()];
+                        let t0 = Instant::now();
+                        let response = server.call(Request::get(target));
+                        local.push(t0.elapsed().as_micros() as u64);
+                        assert_eq!(response.status, 200, "GET {target}");
+                    }
+                    samples
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .extend(local);
+                });
+            }
+        });
+        let elapsed = started.elapsed();
+        server.shutdown();
+
+        let mut us = samples
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        us.sort_unstable();
+        let total = us.len() as u64;
+        let throughput = total as f64 / elapsed.as_secs_f64();
+        let shed = telemetry.counter("serve.shed").value();
+        assert_eq!(shed, 0, "closed loop must not shed (workers={workers})");
+        // The ms-resolution histogram brackets the µs samples.
+        let hist_p99 = telemetry
+            .histogram("serve.latency_ms")
+            .snapshot()
+            .quantile_bounds(0.99);
+        eprintln!(
+            "workers={workers}: {total} reqs in {:.2}s ({throughput:.0} req/s), p50 {}us p90 {}us p99 {}us",
+            elapsed.as_secs_f64(),
+            quantile(&us, 0.5),
+            quantile(&us, 0.9),
+            quantile(&us, 0.99),
+        );
+        worker_rows.push(obj! {
+            "workers" => workers as u64,
+            "requests" => total,
+            "elapsed_ms" => elapsed.as_millis() as u64,
+            "throughput_rps" => throughput,
+            "p50_us" => quantile(&us, 0.5),
+            "p90_us" => quantile(&us, 0.9),
+            "p99_us" => quantile(&us, 0.99),
+            "latency_ms_hist_p99_upper" => hist_p99.map_or(0, |(_, upper)| upper),
+            "shed" => shed,
+        });
+    }
+
+    // Cache hit vs miss, in-process: nonce'd SQL targets are distinct cache
+    // keys, so the first pass executes the query (miss) and the second pass
+    // answers from the sharded LRU (hit).
+    let telemetry = wall_telemetry();
+    let service = Service::new(
+        Arc::clone(&store),
+        ServiceConfig::default(),
+        telemetry.clone(),
+    );
+    let targets: Vec<String> = (0..CACHE_PROBES)
+        .map(|i| {
+            format!("/sql?ns=angellist%2Fusers&q=SELECT+role,+COUNT(*)+AS+n+FROM+docs+GROUP+BY+role&nonce={i}")
+        })
+        .collect();
+    let time_pass = |svc: &Service| -> Vec<u64> {
+        targets
+            .iter()
+            .map(|t| {
+                let t0 = Instant::now();
+                let response = svc.handle(&Request::get(t));
+                assert_eq!(response.status, 200, "GET {t}");
+                t0.elapsed().as_micros() as u64
+            })
+            .collect()
+    };
+    let miss_us = time_pass(&service);
+    let hit_us = time_pass(&service);
+    let hits = telemetry.counter("serve.cache.hit").value();
+    let misses = telemetry.counter("serve.cache.miss").value();
+    assert!(
+        hits >= CACHE_PROBES as u64,
+        "second pass must hit the cache (hits={hits})"
+    );
+    let miss_mean = mean(&miss_us);
+    let hit_mean = mean(&hit_us);
+    let hit_faster = hit_mean < miss_mean;
+    eprintln!(
+        "cache: miss mean {miss_mean:.0}us vs hit mean {hit_mean:.0}us ({hits} hits / {misses} misses) — hit faster: {hit_faster}"
+    );
+
+    let report = obj! {
+        "bench" => "serve_latency",
+        "world" => obj! { "seed" => SEED, "scale" => "tiny" },
+        "requests_per_client" => REQUESTS_PER_CLIENT as u64,
+        "worker_sweep" => Value::Arr(worker_rows),
+        "cache" => obj! {
+            "probes" => CACHE_PROBES as u64,
+            "miss_mean_us" => miss_mean,
+            "hit_mean_us" => hit_mean,
+            "miss_p50_us" => quantile(&{ let mut v = miss_us.clone(); v.sort_unstable(); v }, 0.5),
+            "hit_p50_us" => quantile(&{ let mut v = hit_us.clone(); v.sort_unstable(); v }, 0.5),
+            "hits" => hits,
+            "misses" => misses,
+            "hit_faster_than_miss" => hit_faster,
+        },
+    };
+    if !hit_faster {
+        return Err(format!(
+            "cache hit mean {hit_mean:.0}us not faster than miss mean {miss_mean:.0}us"
+        )
+        .into());
+    }
+    std::fs::write(&out, report.to_pretty() + "\n")?;
+    println!("wrote {out}");
+    Ok(())
+}

@@ -15,6 +15,11 @@
 //! clock. `telemetry-report` summarizes a previously written report (from
 //! `--telemetry PATH`, or the lexicographically last `*.json` under
 //! `<out>/telemetry/`) without running the pipeline.
+//!
+//! `serve` stands up the crowdnet-serve query layer over the crawled store:
+//! with `--smoke` it issues one in-process request per example endpoint and
+//! exits; otherwise it binds a loopback HTTP listener on `--port` (0 picks
+//! a free port) and blocks until Enter is pressed.
 
 use crowdnet_core::experiments::*;
 use crowdnet_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
@@ -27,8 +32,8 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--seed N] [--scale tiny|small|eval|paper|1/K] [--out DIR] [--telemetry PATH] [-v|--verbose] [EXPERIMENT...]\n\
-         experiments: dataset-stats fig3 fig6 fig8 investor-graph communities fig4 fig5 fig7 causality dynamic predict correlations store-stats telemetry-report all"
+        "usage: repro [--seed N] [--scale tiny|small|eval|paper|1/K] [--out DIR] [--telemetry PATH] [--port N] [--smoke] [-v|--verbose] [EXPERIMENT...]\n\
+         experiments: dataset-stats fig3 fig6 fig8 investor-graph communities fig4 fig5 fig7 causality dynamic predict correlations store-stats telemetry-report serve all"
     );
     std::process::exit(2);
 }
@@ -38,6 +43,8 @@ struct Args {
     scale: String,
     out: PathBuf,
     telemetry: Option<PathBuf>,
+    port: u16,
+    smoke: bool,
     verbose: u8,
     experiments: Vec<String>,
 }
@@ -48,6 +55,8 @@ fn parse_args() -> Args {
         scale: "tiny".into(),
         out: PathBuf::from("results"),
         telemetry: None,
+        port: 0,
+        smoke: false,
         verbose: 0,
         experiments: Vec::new(),
     };
@@ -60,6 +69,8 @@ fn parse_args() -> Args {
             "--telemetry" => {
                 args.telemetry = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
             }
+            "--port" => args.port = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--smoke" => args.smoke = true,
             "--verbose" | "-v" => args.verbose = args.verbose.saturating_add(1),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
@@ -400,6 +411,34 @@ fn run_experiment(
     Ok(())
 }
 
+/// Stand up the query-serving layer over the crawled store. `--smoke`
+/// exercises every example endpoint in-process and returns; otherwise the
+/// loopback TCP front end runs until Enter is pressed.
+fn serve_store(
+    store: Arc<crowdnet_store::Store>,
+    telemetry: crowdnet_telemetry::Telemetry,
+    args: &Args,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use crowdnet_serve::{bind, Request, Server, ServerConfig, Service, ServiceConfig};
+    header("Serving layer (crowdnet-serve)");
+    let service = Arc::new(Service::new(store, ServiceConfig::default(), telemetry));
+    let server = Arc::new(Server::new(Arc::clone(&service), ServerConfig::default()));
+    if args.smoke {
+        for target in service.example_targets()? {
+            let response = server.call(Request::get(&target));
+            println!("  {:>3} GET {target}", response.status);
+        }
+        server.shutdown();
+        return Ok(());
+    }
+    let handle = bind(Arc::clone(&server), args.port)?;
+    println!("serving on http://{} — press Enter to stop", handle.addr());
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+    handle.shutdown();
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
     if args.experiments.iter().any(|e| e == "telemetry-report") {
@@ -451,13 +490,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "query",
         "store-stats",
     ];
+    let serve_requested = args.experiments.iter().any(|e| e == "serve");
     let selected: Vec<&str> = if args.experiments.iter().any(|e| e == "all") {
         all.to_vec()
     } else {
-        args.experiments.iter().map(String::as_str).collect()
+        args.experiments
+            .iter()
+            .map(String::as_str)
+            .filter(|e| *e != "serve")
+            .collect()
     };
     for name in selected {
         run_experiment(name, &outcome, &cfg, &args.out)?;
+    }
+    if serve_requested {
+        serve_store(Arc::new(outcome.store), outcome.telemetry.clone(), &args)?;
     }
     if let Some(path) = &args.telemetry {
         let report = telemetry_report::build(&outcome.telemetry);

@@ -1,8 +1,10 @@
-//! `unbounded-channel`: in the crawl and dataflow crates — the two places
-//! producers can outrun consumers by orders of magnitude — an unbounded
-//! `mpsc::channel()` turns backpressure into unbounded memory growth.
-//! Those crates must use `sync_channel(bound)` (or another explicitly
-//! bounded queue); the zero-argument `channel()` constructor is flagged.
+//! `unbounded-channel`: in the crawl, dataflow and serve crates — the
+//! places producers can outrun consumers by orders of magnitude — an
+//! unbounded `mpsc::channel()` turns backpressure into unbounded memory
+//! growth. Those crates must use `sync_channel(bound)` (or another
+//! explicitly bounded queue); the zero-argument `channel()` constructor is
+//! flagged. For serve this *is* the product guarantee: admission control
+//! only sheds load because the request queue is bounded.
 
 use crate::{Analysis, Diagnostic};
 
@@ -10,7 +12,9 @@ pub const ID: &str = "unbounded-channel";
 
 /// Crates whose hot paths the rule covers.
 fn in_scope(path: &str) -> bool {
-    path.starts_with("crates/crawl/") || path.starts_with("crates/dataflow/")
+    path.starts_with("crates/crawl/")
+        || path.starts_with("crates/dataflow/")
+        || path.starts_with("crates/serve/")
 }
 
 pub fn check(a: &Analysis) -> Vec<Diagnostic> {
@@ -51,7 +55,7 @@ mod tests {
     use crate::rules::testutil::analysis;
 
     #[test]
-    fn flags_unbounded_channel_in_crawl_and_dataflow() {
+    fn flags_unbounded_channel_in_crawl_dataflow_and_serve() {
         let a = analysis(&[
             (
                 "crates/crawl/src/pipeline.rs",
@@ -61,8 +65,12 @@ mod tests {
                 "crates/dataflow/src/exec.rs",
                 "fn f() { let (tx, rx) = channel(); }",
             ),
+            (
+                "crates/serve/src/pool.rs",
+                "fn f() { let (tx, rx) = mpsc::channel(); }",
+            ),
         ]);
-        assert_eq!(check(&a).len(), 2);
+        assert_eq!(check(&a).len(), 3);
     }
 
     #[test]

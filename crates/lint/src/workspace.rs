@@ -73,6 +73,8 @@ mod tests {
         let files = discover(&root).expect("discover");
         let rels: Vec<&str> = files.iter().map(|(_, r)| r.as_str()).collect();
         assert!(rels.contains(&"crates/lint/src/workspace.rs"));
+        // Newly-added crates are picked up with no registration step.
+        assert!(rels.contains(&"crates/serve/src/lib.rs"));
         assert!(!rels.iter().any(|r| r.starts_with("vendor/")));
         assert!(!rels.iter().any(|r| r.starts_with("target/")));
         // Sorted and unique.

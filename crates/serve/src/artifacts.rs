@@ -1,0 +1,396 @@
+//! Version-stamped analytic artifacts built lazily from the store.
+//!
+//! The typed endpoints (§7 of DESIGN.md) answer from derived structures —
+//! the bipartite investment graph, the CoDA cover with strength metrics,
+//! degree and PageRank tables, an id → document index — that are expensive
+//! to build and cheap to query. [`Artifacts::build`] computes them all in
+//! one pass over the store and stamps the result with
+//! [`Store::version`](crowdnet_store::Store::version) *read before the
+//! scans*: if a crawl appends concurrently, the stamp is conservative and
+//! the service rebuilds on the next request rather than serving from a
+//! half-updated view.
+//!
+//! The extraction mirrors `crowdnet-core::features` (user documents with
+//! `role == "investor"`, their `investments` array as edges); serve cannot
+//! depend on `crowdnet-core` — the `repro` binary there depends on serve.
+
+use crate::error::ServeError;
+use crowdnet_dataflow::dataset::scan_store;
+use crowdnet_dataflow::ExecCtx;
+use crowdnet_graph::fxhash::FxHashMap;
+use crowdnet_graph::metrics::{self, Community};
+use crowdnet_graph::pagerank::{pagerank, PageRankConfig};
+use crowdnet_graph::projection::Projection;
+use crowdnet_graph::{BipartiteGraph, Coda, CodaConfig, Cover};
+use crowdnet_json::Value;
+use crowdnet_store::{SnapshotId, Store, StoreError};
+use crowdnet_telemetry::Telemetry;
+
+/// Namespaces of the crawled corpus (string-identical to the constants in
+/// `crowdnet-crawl`, which serve cannot depend on without pulling in the
+/// whole simulator).
+pub const NS_COMPANIES: &str = "angellist/companies";
+/// AngelList user profiles.
+pub const NS_USERS: &str = "angellist/users";
+
+/// Knobs for the artifact build.
+#[derive(Debug, Clone)]
+pub struct ArtifactsConfig {
+    /// Minimum investments for an investor to enter community detection
+    /// (the paper's ≥4 cleaning rule).
+    pub min_investments: usize,
+    /// CoDA community count; `0` picks `√(filtered investors)` (min 2).
+    pub communities: usize,
+    /// CoDA gradient-ascent iterations.
+    pub iterations: usize,
+    /// Seed for CoDA initialization.
+    pub seed: u64,
+    /// Hub cap for the PageRank co-investment projection.
+    pub max_company_degree: usize,
+}
+
+impl Default for ArtifactsConfig {
+    fn default() -> Self {
+        ArtifactsConfig {
+            min_investments: 4,
+            communities: 0,
+            iterations: 25,
+            seed: 7,
+            max_company_degree: 50,
+        }
+    }
+}
+
+/// One community, pre-summarized for the `/communities` endpoint.
+#[derive(Debug, Clone)]
+pub struct CommunitySummary {
+    /// Index into the cover.
+    pub id: usize,
+    /// Member count.
+    pub size: usize,
+    /// Average pairwise shared-investment size (paper metric 1).
+    pub avg_shared_investment: Option<f64>,
+    /// % of invested companies with ≥2 community investors (paper metric 2).
+    pub shared_investor_pct: Option<f64>,
+}
+
+/// Everything derived from one consistent view of the store.
+pub struct Artifacts {
+    /// [`Store::version`] observed before the scans began.
+    pub version: u64,
+    /// Full investor→company graph.
+    pub graph: BipartiteGraph,
+    /// Graph after the ≥`min_investments` cleaning filter.
+    pub filtered: BipartiteGraph,
+    /// CoDA cover over `filtered` (investor indices into `filtered`).
+    pub cover: Cover,
+    /// Per-community strength summaries, index-aligned with `cover`.
+    pub communities: Vec<CommunitySummary>,
+    /// PageRank over the co-investment projection of the full graph,
+    /// index-aligned with its investors.
+    pub pagerank: Vec<f64>,
+    /// `"company:{id}"` / `"user:{id}"` → document body.
+    entities: FxHashMap<String, Value>,
+    /// AngelList investor id → dense index in `graph`.
+    investor_idx: FxHashMap<u32, u32>,
+    /// AngelList company id → dense index in `graph`.
+    company_idx: FxHashMap<u32, u32>,
+    /// AngelList investor id → dense index in `filtered`.
+    filtered_idx: FxHashMap<u32, u32>,
+    /// Dense `filtered` index → community ids.
+    membership: FxHashMap<u32, Vec<usize>>,
+}
+
+impl Artifacts {
+    /// Scan the store and build every artifact. Missing namespaces (an
+    /// empty or partial crawl) yield empty-but-valid artifacts rather than
+    /// an error, so a freshly-opened service still serves `/stats`.
+    pub fn build(
+        store: &Store,
+        ctx: ExecCtx,
+        telemetry: &Telemetry,
+        cfg: &ArtifactsConfig,
+    ) -> Result<Artifacts, ServeError> {
+        let _span = telemetry.span("serve.artifacts.build");
+        let version = store.version();
+
+        let mut entities: FxHashMap<String, Value> = FxHashMap::default();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for ns in [NS_COMPANIES, NS_USERS] {
+            let docs = match scan_store(store, ns, SnapshotId(0), ctx) {
+                Ok(d) => d.collect(),
+                Err(StoreError::NamespaceNotFound(_)) => continue,
+                Err(e) => return Err(ServeError::Store(e)),
+            };
+            for doc in docs {
+                if ns == NS_USERS
+                    && doc.body.get("role").and_then(Value::as_str) == Some("investor")
+                {
+                    let id = doc.body.get("id").and_then(Value::as_u64).unwrap_or(0) as u32;
+                    if let Some(arr) = doc.body.get("investments").and_then(Value::as_arr) {
+                        edges.extend(
+                            arr.iter()
+                                .filter_map(Value::as_u64)
+                                .map(|c| (id, c as u32)),
+                        );
+                    }
+                }
+                entities.insert(doc.key, doc.body);
+            }
+        }
+
+        let graph = BipartiteGraph::from_edges(edges);
+        let filtered = graph.filter_min_investments(cfg.min_investments);
+
+        let cover: Cover = if filtered.investor_count() == 0 {
+            Vec::new()
+        } else {
+            let communities = if cfg.communities > 0 {
+                cfg.communities
+            } else {
+                ((filtered.investor_count() as f64).sqrt().ceil() as usize).max(2)
+            };
+            let coda_cfg = CodaConfig {
+                communities,
+                iterations: cfg.iterations,
+                seed: cfg.seed,
+                telemetry: telemetry.clone(),
+                ..CodaConfig::default()
+            };
+            let model = Coda::fit(&filtered, &coda_cfg);
+            model.investor_communities(&filtered, &coda_cfg)
+        };
+
+        let communities = cover
+            .iter()
+            .enumerate()
+            .map(|(id, c)| CommunitySummary {
+                id,
+                size: c.members.len(),
+                avg_shared_investment: metrics::avg_shared_investment(&filtered, c),
+                shared_investor_pct: metrics::pct_companies_with_shared_investors(&filtered, c, 2),
+            })
+            .collect();
+
+        let pagerank = pagerank(
+            &Projection::from_bipartite(&graph, cfg.max_company_degree),
+            &PageRankConfig::default(),
+        );
+
+        let index_of = |g: &BipartiteGraph| -> FxHashMap<u32, u32> {
+            (0..g.investor_count() as u32)
+                .map(|i| (g.investor_id(i), i))
+                .collect()
+        };
+        let investor_idx = index_of(&graph);
+        let filtered_idx = index_of(&filtered);
+        let company_idx: FxHashMap<u32, u32> = (0..graph.company_count() as u32)
+            .map(|c| (graph.company_id(c), c))
+            .collect();
+
+        let mut membership: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+        for (cid, community) in cover.iter().enumerate() {
+            for &m in &community.members {
+                membership.entry(m).or_default().push(cid);
+            }
+        }
+
+        Ok(Artifacts {
+            version,
+            graph,
+            filtered,
+            cover,
+            communities,
+            pagerank,
+            entities,
+            investor_idx,
+            company_idx,
+            filtered_idx,
+            membership,
+        })
+    }
+
+    /// The document body stored under `"{kind}:{id}"`, if any.
+    pub fn entity(&self, kind: &str, id: u32) -> Option<&Value> {
+        self.entities.get(&format!("{kind}:{id}"))
+    }
+
+    /// Dense index of an AngelList investor id in the full graph.
+    pub fn investor_index(&self, id: u32) -> Option<u32> {
+        self.investor_idx.get(&id).copied()
+    }
+
+    /// Dense index of an AngelList company id in the full graph.
+    pub fn company_index(&self, id: u32) -> Option<u32> {
+        self.company_idx.get(&id).copied()
+    }
+
+    /// Community ids an investor (by AngelList id) belongs to, with its
+    /// dense index in the filtered graph. `None` when the investor did not
+    /// survive the ≥k cleaning filter.
+    pub fn investor_membership(&self, id: u32) -> Option<(u32, &[usize])> {
+        let idx = self.filtered_idx.get(&id).copied()?;
+        let communities = self
+            .membership
+            .get(&idx)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]);
+        Some((idx, communities))
+    }
+
+    /// The community at `id`, as `(summary, members as AngelList ids)`.
+    pub fn community(&self, id: usize) -> Option<(&CommunitySummary, Vec<u32>)> {
+        let summary = self.communities.get(id)?;
+        let members = self.cover[id]
+            .members
+            .iter()
+            .map(|&m| self.filtered.investor_id(m))
+            .collect();
+        Some((summary, members))
+    }
+
+    /// Strength metrics recomputable for ad-hoc member sets (used by
+    /// tests to cross-check the cached summaries).
+    pub fn strength_of(&self, members: &[u32]) -> (Option<f64>, Option<f64>) {
+        let community = Community {
+            members: members.to_vec(),
+        };
+        (
+            metrics::avg_shared_investment(&self.filtered, &community),
+            metrics::pct_companies_with_shared_investors(&self.filtered, &community, 2),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdnet_json::obj;
+    use crowdnet_store::Document;
+
+    fn seeded_store() -> Store {
+        let store = Store::memory(4);
+        for id in 0..6u32 {
+            store
+                .put(
+                    NS_COMPANIES,
+                    Document::new(
+                        format!("company:{id}"),
+                        obj! {"id" => u64::from(id), "name" => format!("c{id}")},
+                    ),
+                )
+                .unwrap();
+        }
+        // Investors 100..104: two "herds" investing in overlapping companies,
+        // each with >= 4 investments so they survive the cleaning filter.
+        let portfolios: &[(u32, &[u64])] = &[
+            (100, &[0, 1, 2, 3]),
+            (101, &[0, 1, 2, 3]),
+            (102, &[0, 1, 2, 4]),
+            (103, &[2, 3, 4, 5]),
+            (104, &[1, 2]), // below the filter
+        ];
+        for (id, inv) in portfolios {
+            let arr = inv.iter().map(|&c| Value::from(c)).collect::<Vec<_>>();
+            store
+                .put(
+                    NS_USERS,
+                    Document::new(
+                        format!("user:{id}"),
+                        obj! {
+                            "id" => u64::from(*id),
+                            "role" => "investor",
+                            "investments" => Value::Arr(arr),
+                        },
+                    ),
+                )
+                .unwrap();
+        }
+        // A non-investor user contributes no edges.
+        store
+            .put(
+                NS_USERS,
+                Document::new(
+                    "user:200",
+                    obj! {"id" => 200u64, "role" => "founder"},
+                ),
+            )
+            .unwrap();
+        store
+    }
+
+    fn build(store: &Store) -> Artifacts {
+        Artifacts::build(
+            store,
+            ExecCtx::new(2),
+            &Telemetry::new(),
+            &ArtifactsConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_graph_and_indices_from_documents() {
+        let store = seeded_store();
+        let a = build(&store);
+        assert_eq!(a.version, store.version());
+        assert_eq!(a.graph.investor_count(), 5);
+        assert_eq!(a.graph.company_count(), 6);
+        assert_eq!(a.filtered.investor_count(), 4); // 104 filtered out
+        let idx = a.investor_index(100).unwrap();
+        assert_eq!(a.graph.investor_id(idx), 100);
+        assert!(a.investor_index(999).is_none());
+        assert!(a.company_index(5).is_some());
+        assert_eq!(a.pagerank.len(), a.graph.investor_count());
+    }
+
+    #[test]
+    fn entities_are_addressable_by_kind_and_id() {
+        let a = build(&seeded_store());
+        let c = a.entity("company", 3).unwrap();
+        assert_eq!(c.get("name").and_then(Value::as_str), Some("c3"));
+        assert!(a.entity("user", 104).is_some());
+        assert!(a.entity("company", 77).is_none());
+    }
+
+    #[test]
+    fn cover_and_membership_agree() {
+        let a = build(&seeded_store());
+        assert_eq!(a.communities.len(), a.cover.len());
+        for summary in &a.communities {
+            let (s2, members) = a.community(summary.id).unwrap();
+            assert_eq!(s2.size, members.len());
+            // Every member id maps back into at least this community.
+            for id in members {
+                let (_, cids) = a.investor_membership(id).unwrap();
+                assert!(cids.contains(&summary.id));
+            }
+        }
+        // Filtered-out investors have no membership.
+        assert!(a.investor_membership(104).is_none());
+    }
+
+    #[test]
+    fn empty_store_builds_empty_artifacts() {
+        let store = Store::memory(2);
+        let a = build(&store);
+        assert_eq!(a.graph.investor_count(), 0);
+        assert!(a.cover.is_empty());
+        assert!(a.entity("company", 0).is_none());
+    }
+
+    #[test]
+    fn summaries_match_recomputed_metrics() {
+        let a = build(&seeded_store());
+        for summary in &a.communities {
+            let (_, members_ids) = a.community(summary.id).unwrap();
+            let members: Vec<u32> = members_ids
+                .iter()
+                .filter_map(|&id| a.investor_membership(id).map(|(idx, _)| idx))
+                .collect();
+            let (avg, pct) = a.strength_of(&members);
+            assert_eq!(avg, summary.avg_shared_investment);
+            assert_eq!(pct, summary.shared_investor_pct);
+        }
+    }
+}

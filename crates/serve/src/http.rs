@@ -1,0 +1,556 @@
+//! A minimal, defensive HTTP/1.1 request parser and response encoder.
+//!
+//! The serving tier binds only to loopback and carries JSON, so this is not
+//! a general web server — but the parser is written as if it faced the open
+//! internet: every limit is enforced (`431` for oversized request lines or
+//! header blocks, `413` for oversized bodies), malformed input is an error
+//! value, never a panic, and input may arrive in arbitrary split reads
+//! (property-tested in `tests/proptest_http.rs`).
+//!
+//! One request per connection (`Connection: close`), the simplest protocol
+//! that still lets `curl` talk to the server.
+
+/// Maximum bytes of the request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Maximum bytes of the whole head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 32 * 1024;
+/// Maximum number of header fields.
+pub const MAX_HEADERS: usize = 100;
+/// Maximum request body bytes (`Content-Length` above this is refused).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Parse-level failures, each mapping to one HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Request line exceeded [`MAX_REQUEST_LINE`] → `431`.
+    RequestLineTooLong,
+    /// Head (request line + headers) exceeded [`MAX_HEAD_BYTES`] or
+    /// [`MAX_HEADERS`] → `431`.
+    HeadTooLarge,
+    /// Declared `Content-Length` exceeded [`MAX_BODY_BYTES`] → `413`.
+    BodyTooLarge,
+    /// Anything structurally wrong: bad request line, bad header syntax,
+    /// non-UTF-8 head, unparsable `Content-Length` → `400`.
+    Malformed(String),
+    /// An HTTP version other than 1.0/1.1 → `505`.
+    UnsupportedVersion(String),
+}
+
+impl HttpError {
+    /// The status code this parse failure is answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::RequestLineTooLong | HttpError::HeadTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::Malformed(_) => 400,
+            HttpError::UnsupportedVersion(_) => 505,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::RequestLineTooLong => write!(f, "request line too long"),
+            HttpError::HeadTooLarge => write!(f, "request head too large"),
+            HttpError::BodyTooLarge => write!(f, "request body too large"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::UnsupportedVersion(v) => write!(f, "unsupported http version: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method verbatim (`GET`, `POST`, …) — not validated against a list.
+    pub method: String,
+    /// The request target verbatim, e.g. `/sql?q=SELECT+1`.
+    pub target: String,
+    /// `HTTP/1.0` or `HTTP/1.1`.
+    pub version: String,
+    /// Header fields in arrival order, names verbatim.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Convenience constructor for in-process calls: a bodyless GET.
+    pub fn get(target: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            target: target.into(),
+            version: "HTTP/1.1".into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// First header value matching `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target's path component (before `?`).
+    pub fn path(&self) -> &str {
+        match self.target.split_once('?') {
+            Some((p, _)) => p,
+            None => &self.target,
+        }
+    }
+
+    /// The target's raw query component (after `?`), if any.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+}
+
+/// Incremental request parser: [`feed`](RequestParser::feed) bytes as they
+/// arrive, then [`poll`](RequestParser::poll) for a complete request.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// Fresh parser with an empty buffer.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Append newly-read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Try to parse a complete request from everything fed so far.
+    ///
+    /// `Ok(None)` means "incomplete — feed more". Errors are terminal: the
+    /// connection should be answered with [`HttpError::status`] and closed.
+    pub fn poll(&mut self) -> Result<Option<Request>, HttpError> {
+        // Enforce the request-line limit even before a newline shows up, so
+        // a newline-free flood is rejected at 8 KiB, not buffered forever.
+        let first_nl = self.buf.iter().position(|&b| b == b'\n');
+        match first_nl {
+            None if self.buf.len() > MAX_REQUEST_LINE => {
+                return Err(HttpError::RequestLineTooLong)
+            }
+            None => return Ok(None),
+            Some(i) if i > MAX_REQUEST_LINE => return Err(HttpError::RequestLineTooLong),
+            Some(_) => {}
+        }
+
+        let head_end = match find_head_end(&self.buf) {
+            Some(e) => e,
+            None if self.buf.len() > MAX_HEAD_BYTES => return Err(HttpError::HeadTooLarge),
+            None => return Ok(None),
+        };
+        if head_end.head_len > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+
+        let head = std::str::from_utf8(&self.buf[..head_end.head_len])
+            .map_err(|_| HttpError::Malformed("head is not utf-8".into()))?;
+        let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+        let request_line = lines
+            .next()
+            .ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+        let (method, target, version) = parse_request_line(request_line)?;
+
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(HttpError::HeadTooLarge);
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpError::Malformed(format!("header without colon: {line:?}")))?;
+            if name.is_empty() || name.contains(' ') || name.contains('\t') {
+                return Err(HttpError::Malformed(format!("bad header name: {name:?}")));
+            }
+            headers.push((name.to_string(), value.trim().to_string()));
+        }
+
+        let content_length = match headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        {
+            Some((_, v)) => v
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length: {v:?}")))?,
+            None => 0,
+        };
+        if content_length > MAX_BODY_BYTES {
+            return Err(HttpError::BodyTooLarge);
+        }
+
+        let total = head_end.body_start + content_length;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let body = self.buf[head_end.body_start..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Request {
+            method,
+            target,
+            version,
+            headers,
+            body,
+        }))
+    }
+}
+
+struct HeadEnd {
+    /// Bytes of the head, excluding the blank-line terminator.
+    head_len: usize,
+    /// Offset where the body begins (after the terminator).
+    body_start: usize,
+}
+
+/// Find the blank line ending the head. Accepts `\r\n\r\n` and the sloppy
+/// bare-`\n` variants (`\n\n`, `\n\r\n`) that hand-typed clients produce.
+fn find_head_end(buf: &[u8]) -> Option<HeadEnd> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] != b'\n' {
+            i += 1;
+            continue;
+        }
+        // A line just ended at i. Does a blank line follow?
+        if buf.get(i + 1) == Some(&b'\n') {
+            return Some(HeadEnd {
+                head_len: i,
+                body_start: i + 2,
+            });
+        }
+        if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+            return Some(HeadEnd {
+                head_len: i,
+                body_start: i + 3,
+            });
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String, String), HttpError> {
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed(format!("request line missing target: {line:?}")))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed(format!("request line missing version: {line:?}")))?;
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed(format!(
+            "request line has extra fields: {line:?}"
+        )));
+    }
+    if !method.bytes().all(|b| b.is_ascii_alphabetic()) || method.is_empty() {
+        return Err(HttpError::Malformed(format!("bad method: {method:?}")));
+    }
+    if !(target.starts_with('/') || target == "*") {
+        return Err(HttpError::Malformed(format!("bad target: {target:?}")));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::UnsupportedVersion(version.to_string()));
+    }
+    Ok((method.to_string(), target.to_string(), version.to_string()))
+}
+
+/// Percent-decode one query component; `+` decodes to space. Invalid `%`
+/// escapes pass through verbatim rather than erroring — query parsing is
+/// already best-effort.
+pub fn decode_component(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    let h = std::str::from_utf8(h).ok()?;
+                    u8::from_str_radix(h, 16).ok()
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parse a raw query string into decoded `(key, value)` pairs.
+pub fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (decode_component(k), decode_component(v)),
+            None => (decode_component(kv), String::new()),
+        })
+        .collect()
+}
+
+/// An HTTP response ready to encode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond the always-present `Content-Type`,
+    /// `Content-Length` and `Connection: close`.
+    pub headers: Vec<(String, String)>,
+    /// The (JSON) body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response: the value is serialized compactly.
+    pub fn json(status: u16, value: &crowdnet_json::Value) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: value.to_compact().into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": message, "status": status}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = crowdnet_json::obj! {
+            "error" => message,
+            "status" => i64::from(status),
+        };
+        Response::json(status, &body)
+    }
+
+    /// Attach a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serialize status line + headers + body to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status)).as_bytes(),
+        );
+        out.extend_from_slice(b"Content-Type: application/json\r\n");
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(b"Connection: close\r\n");
+        for (k, v) in &self.headers {
+            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Canonical reason phrases for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        let mut p = RequestParser::new();
+        p.feed(bytes);
+        p.poll()
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let r = parse_all(b"GET /stats HTTP/1.1\r\nHost: localhost\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.target, "/stats");
+        assert_eq!(r.path(), "/stats");
+        assert_eq!(r.query(), None);
+        assert_eq!(r.header("host"), Some("localhost"));
+        assert_eq!(r.header("HOST"), Some("localhost"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_across_arbitrary_splits() {
+        let wire = b"POST /sql?ns=a HTTP/1.1\r\nContent-Length: 8\r\n\r\nSELECT 1";
+        let mut p = RequestParser::new();
+        for chunk in wire.chunks(3) {
+            p.feed(chunk);
+        }
+        let r = p.poll().unwrap().unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path(), "/sql");
+        assert_eq!(r.query(), Some("ns=a"));
+        assert_eq!(r.body, b"SELECT 1");
+    }
+
+    #[test]
+    fn incomplete_returns_none() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET /x HTTP/1.1\r\nHost: a");
+        assert_eq!(p.poll().unwrap(), None);
+        p.feed(b"\r\n\r\n");
+        assert!(p.poll().unwrap().is_some());
+    }
+
+    #[test]
+    fn body_waits_for_content_length() {
+        let mut p = RequestParser::new();
+        p.feed(b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nab");
+        assert_eq!(p.poll().unwrap(), None);
+        p.feed(b"cd");
+        assert_eq!(p.poll().unwrap().unwrap().body, b"abcd");
+    }
+
+    #[test]
+    fn oversized_request_line_is_431() {
+        let mut line = b"GET /".to_vec();
+        line.extend(std::iter::repeat(b'a').take(MAX_REQUEST_LINE + 10));
+        let e = parse_all(&line).unwrap_err();
+        assert_eq!(e, HttpError::RequestLineTooLong);
+        assert_eq!(e.status(), 431);
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..2000 {
+            wire.extend_from_slice(format!("X-Filler-{i}: {}\r\n", "v".repeat(20)).as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        assert_eq!(parse_all(&wire).unwrap_err().status(), 431);
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..MAX_HEADERS + 1 {
+            wire.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        assert_eq!(parse_all(&wire).unwrap_err().status(), 431);
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let wire = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse_all(wire.as_bytes()).unwrap_err().status(), 413);
+    }
+
+    #[test]
+    fn malformed_inputs_are_400() {
+        for wire in [
+            &b"\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x\r\n\r\n",
+            b"G@T /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad name: v\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            let e = parse_all(wire).unwrap_err();
+            assert_eq!(e.status(), 400, "wire: {wire:?} -> {e:?}");
+        }
+    }
+
+    #[test]
+    fn bad_version_is_505() {
+        assert_eq!(
+            parse_all(b"GET /x HTTP/2.0\r\n\r\n").unwrap_err().status(),
+            505
+        );
+    }
+
+    #[test]
+    fn bare_lf_head_is_accepted() {
+        let r = parse_all(b"GET /x HTTP/1.1\nHost: a\n\n").unwrap().unwrap();
+        assert_eq!(r.header("Host"), Some("a"));
+    }
+
+    #[test]
+    fn query_decoding() {
+        assert_eq!(decode_component("a+b%20c%2Fd"), "a b c/d");
+        assert_eq!(decode_component("100%"), "100%");
+        assert_eq!(decode_component("%zz"), "%zz");
+        let q = parse_query("q=SELECT+1&ns=a%2Fb&flag");
+        assert_eq!(
+            q,
+            vec![
+                ("q".to_string(), "SELECT 1".to_string()),
+                ("ns".to_string(), "a/b".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn response_encodes_with_framing() {
+        let r = Response::json(200, &crowdnet_json::obj! {"ok" => true})
+            .with_header("Retry-After", "2");
+        let wire = String::from_utf8(r.encode()).unwrap();
+        assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(wire.contains("Content-Length: 11\r\n"));
+        assert!(wire.contains("Connection: close\r\n"));
+        assert!(wire.contains("Retry-After: 2\r\n"));
+        assert!(wire.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn pipelined_second_request_stays_buffered() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        assert_eq!(p.poll().unwrap().unwrap().target, "/a");
+        assert_eq!(p.poll().unwrap().unwrap().target, "/b");
+        assert_eq!(p.poll().unwrap(), None);
+    }
+}

@@ -1,0 +1,203 @@
+//! Fixed worker pool fed by a *bounded* queue — the admission-control
+//! primitive of the serving tier.
+//!
+//! The queue is a `std::sync::mpsc::sync_channel` (bounded by
+//! construction, per the workspace `unbounded-channel` lint); workers
+//! share the receiver behind a mutex, taking jobs one at a time.
+//! [`WorkerPool::try_submit`] never blocks: a full queue returns the job
+//! to the caller, which is exactly the load-shedding decision point —
+//! callers answer `503 Retry-After` instead of queueing unboundedly.
+//!
+//! Shutdown is graceful by the channel's own semantics: dropping the
+//! sender lets workers drain every job already admitted, then exit.
+
+use crowdnet_telemetry::{Gauge, Telemetry};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A unit of queued work.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size worker pool over a bounded queue.
+pub struct WorkerPool {
+    tx: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    depth: Arc<AtomicUsize>,
+    depth_gauge: Gauge,
+    capacity: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads behind a queue admitting at most
+    /// `queue_capacity` waiting jobs. The current depth is exported as the
+    /// `serve.queue_depth` gauge (set_max, so the report shows the peak).
+    pub fn new(workers: usize, queue_capacity: usize, telemetry: &Telemetry) -> WorkerPool {
+        let workers = workers.max(1);
+        let (tx, rx) = sync_channel::<Job>(queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let depth = Arc::new(AtomicUsize::new(0));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let depth = Arc::clone(&depth);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &depth))
+                    .unwrap_or_else(|e| panic!("spawn serve worker: {e}"))
+            })
+            .collect();
+        WorkerPool {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(handles),
+            depth,
+            depth_gauge: telemetry.gauge("serve.queue_depth"),
+            capacity: queue_capacity.max(1),
+        }
+    }
+
+    /// Queue capacity (jobs that can wait beyond the ones executing).
+    pub fn queue_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently admitted but not yet finished.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    /// Non-blocking submit. `Err` returns the job when the queue is full
+    /// (shed it) or the pool is shutting down.
+    pub fn try_submit(&self, job: Job) -> Result<(), Job> {
+        let guard = self.tx.lock();
+        let tx = match &*guard {
+            Some(tx) => tx,
+            None => return Err(job),
+        };
+        // Count before sending so a worker that dequeues immediately can't
+        // observe a negative-looking depth.
+        let depth = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.depth_gauge.set_max(depth as u64);
+                Ok(())
+            }
+            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+                Err(job)
+            }
+        }
+    }
+
+    /// Stop admitting work, drain everything already queued, join the
+    /// workers. Idempotent.
+    pub fn shutdown(&self) {
+        // Dropping the sender closes the channel; workers finish the
+        // buffered jobs and then see Disconnected.
+        drop(self.tx.lock().take());
+        let handles = std::mem::take(&mut *self.workers.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, depth: &AtomicUsize) {
+    loop {
+        // Hold the receiver lock only to dequeue, never while running the
+        // job — other workers must be able to pull concurrently-queued work.
+        let job = {
+            let guard = rx.lock();
+            guard.recv()
+        };
+        match job {
+            Ok(job) => {
+                job();
+                depth.fetch_sub(1, Ordering::SeqCst);
+            }
+            Err(_) => return, // all senders dropped and queue drained
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let t = Telemetry::new();
+        let pool = WorkerPool::new(4, 16, &t);
+        let (done_tx, done_rx) = mpsc::channel();
+        for i in 0..16u32 {
+            let done = done_tx.clone();
+            pool.try_submit(Box::new(move || {
+                done.send(i).unwrap();
+            }))
+            .unwrap_or_else(|_| panic!("queue unexpectedly full"));
+        }
+        let mut got: Vec<u32> = (0..16).map(|_| done_rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let t = Telemetry::new();
+        // One worker, blocked on a rendezvous; queue of 2.
+        let pool = WorkerPool::new(1, 2, &t);
+        let (block_tx, block_rx) = mpsc::sync_channel::<()>(0);
+        let (started_tx, started_rx) = mpsc::channel();
+        pool.try_submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        }))
+        .unwrap_or_else(|_| panic!("first job rejected"));
+        started_rx.recv().unwrap(); // worker is now occupied
+        pool.try_submit(Box::new(|| {})).unwrap_or_else(|_| panic!("q1"));
+        pool.try_submit(Box::new(|| {})).unwrap_or_else(|_| panic!("q2"));
+        // Queue (capacity 2) is now full; the next submit must shed.
+        assert!(pool.try_submit(Box::new(|| {})).is_err());
+        assert_eq!(pool.depth(), 3);
+        block_tx.send(()).unwrap(); // unblock
+        pool.shutdown();
+        assert_eq!(pool.depth(), 0);
+        assert!(t.gauge("serve.queue_depth").value() >= 3);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let t = Telemetry::new();
+        let pool = WorkerPool::new(2, 32, &t);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let c = Arc::clone(&counter);
+            pool.try_submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                c.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap_or_else(|_| panic!("queue full"));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let t = Telemetry::new();
+        let pool = WorkerPool::new(1, 4, &t);
+        pool.shutdown();
+        assert!(pool.try_submit(Box::new(|| {})).is_err());
+        pool.shutdown(); // idempotent
+    }
+}

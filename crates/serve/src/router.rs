@@ -1,0 +1,440 @@
+//! Route table: maps parsed requests onto the service's typed endpoints.
+//!
+//! | Endpoint | Answers |
+//! |---|---|
+//! | `GET /healthz` | liveness + cache occupancy (uncached) |
+//! | `GET /stats` | per-namespace store stats, reconciling with `Store::stats` |
+//! | `GET /entity/{company\|user}/{id}` | the crawled document body |
+//! | `GET /investor/{id}/portfolio` | companies, degree, PageRank |
+//! | `GET /investor/{id}/communities` | community membership |
+//! | `GET /company/{id}/investors` | inbound investor neighbors |
+//! | `GET /communities` | cover summary with both strength metrics |
+//! | `GET /communities/{id}` | one community, members + metrics |
+//! | `GET /top/investors?by=degree\|pagerank&k=N` | ranked investors |
+//! | `GET\|POST /sql?ns=…&q=…` | ad-hoc SQL via `dataflow::sql::query` |
+//!
+//! Handlers return `Result<Value, ServeError>`; this module renders either
+//! side to a [`Response`], so status mapping lives in exactly one place.
+
+use crate::error::ServeError;
+use crate::http::{parse_query, Request, Response};
+use crate::service::Service;
+use crowdnet_dataflow::dataset::scan_store;
+use crowdnet_dataflow::sql;
+use crowdnet_json::{obj, Value};
+use crowdnet_store::SnapshotId;
+
+/// Serve `req` against `service`, rendering errors as JSON envelopes.
+pub fn respond(service: &Service, req: &Request) -> Response {
+    match route(service, req) {
+        Ok(value) => Response::json(200, &value),
+        Err(e) => error_response(&e),
+    }
+}
+
+/// Render a [`ServeError`] with its status and (for 503s) a `Retry-After`.
+pub fn error_response(e: &ServeError) -> Response {
+    let resp = Response::error(e.status(), &e.to_string());
+    match e {
+        ServeError::Shed { retry_after_secs } => {
+            resp.with_header("Retry-After", &retry_after_secs.to_string())
+        }
+        ServeError::DeadlineExceeded { .. } | ServeError::ShuttingDown => {
+            resp.with_header("Retry-After", "1")
+        }
+        _ => resp,
+    }
+}
+
+fn route(service: &Service, req: &Request) -> Result<Value, ServeError> {
+    let path = req.path().to_string();
+    let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let is_sql_post = req.method == "POST" && segs.as_slice() == ["sql"];
+    if req.method != "GET" && !is_sql_post {
+        return Err(ServeError::MethodNotAllowed(format!(
+            "{} {}",
+            req.method, path
+        )));
+    }
+    match segs.as_slice() {
+        ["healthz"] => healthz(service),
+        ["stats"] => stats(service),
+        ["entity", kind, id] => entity(service, kind, parse_id(id)?),
+        ["investor", id, "portfolio"] => portfolio(service, parse_id(id)?),
+        ["investor", id, "communities"] => investor_communities(service, parse_id(id)?),
+        ["company", id, "investors"] => company_investors(service, parse_id(id)?),
+        ["communities"] => communities(service),
+        ["communities", id] => community(service, id),
+        ["top", "investors"] => top_investors(service, req),
+        ["sql"] => sql_endpoint(service, req),
+        _ => Err(ServeError::NotFound(path)),
+    }
+}
+
+fn parse_id(s: &str) -> Result<u32, ServeError> {
+    s.parse::<u32>()
+        .map_err(|_| ServeError::BadRequest(format!("bad id: {s:?}")))
+}
+
+fn param(req: &Request, name: &str) -> Option<String> {
+    parse_query(req.query().unwrap_or_default())
+        .into_iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+}
+
+fn opt_f64(v: Option<f64>) -> Value {
+    v.map(Value::from).unwrap_or(Value::Null)
+}
+
+fn id_array(ids: impl IntoIterator<Item = u32>) -> Value {
+    Value::Arr(ids.into_iter().map(|i| Value::from(u64::from(i))).collect())
+}
+
+fn healthz(service: &Service) -> Result<Value, ServeError> {
+    let cache = service.cache_stats();
+    Ok(obj! {
+        "ok" => true,
+        "version" => service.store().version(),
+        "cache" => obj! {
+            "entries" => cache.entries,
+            "bytes" => cache.bytes,
+            "capacity_bytes" => cache.capacity_bytes,
+        },
+    })
+}
+
+fn stats(service: &Service) -> Result<Value, ServeError> {
+    let stats = service.store().stats()?;
+    let namespaces = stats
+        .iter()
+        .map(|n| {
+            obj! {
+                "namespace" => n.namespace.as_str(),
+                "documents" => n.documents,
+                "encoded_bytes" => n.encoded_bytes,
+                "snapshots" => n.snapshots,
+            }
+        })
+        .collect();
+    Ok(obj! {
+        "version" => service.store().version(),
+        "namespaces" => Value::Arr(namespaces),
+    })
+}
+
+fn entity(service: &Service, kind: &str, id: u32) -> Result<Value, ServeError> {
+    if kind != "company" && kind != "user" {
+        return Err(ServeError::BadRequest(format!(
+            "unknown entity kind: {kind:?} (company|user)"
+        )));
+    }
+    let artifacts = service.artifacts()?;
+    let body = artifacts
+        .entity(kind, id)
+        .cloned()
+        .ok_or_else(|| ServeError::NotFound(format!("{kind}:{id}")))?;
+    Ok(obj! {"kind" => kind, "id" => u64::from(id), "body" => body})
+}
+
+fn portfolio(service: &Service, id: u32) -> Result<Value, ServeError> {
+    let artifacts = service.artifacts()?;
+    let idx = artifacts
+        .investor_index(id)
+        .ok_or_else(|| ServeError::NotFound(format!("investor {id}")))?;
+    let companies = artifacts.graph.companies_of(idx);
+    Ok(obj! {
+        "id" => u64::from(id),
+        "degree" => companies.len(),
+        "pagerank" => artifacts.pagerank[idx as usize],
+        "companies" => id_array(
+            companies.iter().map(|&c| artifacts.graph.company_id(c)),
+        ),
+    })
+}
+
+fn investor_communities(service: &Service, id: u32) -> Result<Value, ServeError> {
+    let artifacts = service.artifacts()?;
+    if artifacts.investor_index(id).is_none() {
+        return Err(ServeError::NotFound(format!("investor {id}")));
+    }
+    let (filtered, communities) = match artifacts.investor_membership(id) {
+        Some((_, cids)) => (true, cids.to_vec()),
+        None => (false, Vec::new()),
+    };
+    Ok(obj! {
+        "id" => u64::from(id),
+        // Investors below the >=k cleaning threshold carry no communities.
+        "in_filtered_graph" => filtered,
+        "communities" => Value::Arr(communities.into_iter().map(Value::from).collect()),
+    })
+}
+
+fn company_investors(service: &Service, id: u32) -> Result<Value, ServeError> {
+    let artifacts = service.artifacts()?;
+    let idx = artifacts
+        .company_index(id)
+        .ok_or_else(|| ServeError::NotFound(format!("company {id}")))?;
+    let investors = artifacts.graph.investors_of(idx);
+    Ok(obj! {
+        "id" => u64::from(id),
+        "degree" => investors.len(),
+        "investors" => id_array(
+            investors.iter().map(|&i| artifacts.graph.investor_id(i)),
+        ),
+    })
+}
+
+fn community_summary(artifacts: &crate::artifacts::Artifacts, id: usize) -> Value {
+    let s = &artifacts.communities[id];
+    obj! {
+        "id" => s.id,
+        "size" => s.size,
+        "avg_shared_investment" => opt_f64(s.avg_shared_investment),
+        "shared_investor_pct" => opt_f64(s.shared_investor_pct),
+    }
+}
+
+fn communities(service: &Service) -> Result<Value, ServeError> {
+    let artifacts = service.artifacts()?;
+    let list = (0..artifacts.communities.len())
+        .map(|i| community_summary(&artifacts, i))
+        .collect();
+    Ok(obj! {
+        "count" => artifacts.communities.len(),
+        "filtered_investors" => artifacts.filtered.investor_count(),
+        "communities" => Value::Arr(list),
+    })
+}
+
+fn community(service: &Service, raw_id: &str) -> Result<Value, ServeError> {
+    let id = raw_id
+        .parse::<usize>()
+        .map_err(|_| ServeError::BadRequest(format!("bad community id: {raw_id:?}")))?;
+    let artifacts = service.artifacts()?;
+    let (_, members) = artifacts
+        .community(id)
+        .ok_or_else(|| ServeError::NotFound(format!("community {id}")))?;
+    let mut summary = community_summary(&artifacts, id);
+    if let Some(o) = summary.as_obj_mut() {
+        o.insert("members", id_array(members));
+    }
+    Ok(summary)
+}
+
+fn top_investors(service: &Service, req: &Request) -> Result<Value, ServeError> {
+    let by = param(req, "by").unwrap_or_else(|| "degree".into());
+    let k = match param(req, "k") {
+        Some(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| ServeError::BadRequest(format!("bad k: {raw:?}")))?,
+        None => 10,
+    };
+    let artifacts = service.artifacts()?;
+    let scores: Vec<f64> = match by.as_str() {
+        "degree" => artifacts
+            .graph
+            .investor_degrees()
+            .into_iter()
+            .map(|d| d as f64)
+            .collect(),
+        "pagerank" => artifacts.pagerank.clone(),
+        other => {
+            return Err(ServeError::BadRequest(format!(
+                "unknown ranking: {other:?} (degree|pagerank)"
+            )))
+        }
+    };
+    let mut ranked: Vec<(u32, f64)> = scores
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (artifacts.graph.investor_id(i as u32), s))
+        .collect();
+    // Ties break by ascending id so the ranking is deterministic.
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    let rows = ranked
+        .into_iter()
+        .map(|(id, score)| obj! {"id" => u64::from(id), "score" => score})
+        .collect();
+    Ok(obj! {"by" => by, "k" => k, "investors" => Value::Arr(rows)})
+}
+
+fn sql_endpoint(service: &Service, req: &Request) -> Result<Value, ServeError> {
+    let ns = param(req, "ns")
+        .ok_or_else(|| ServeError::BadRequest("missing ?ns= namespace".into()))?;
+    let query_text = if req.method == "POST" && !req.body.is_empty() {
+        String::from_utf8(req.body.clone())
+            .map_err(|_| ServeError::BadRequest("sql body is not utf-8".into()))?
+    } else {
+        param(req, "q").ok_or_else(|| ServeError::BadRequest("missing ?q= query".into()))?
+    };
+    let docs = scan_store(service.store(), &ns, SnapshotId(0), service.ctx)?;
+    let table = sql::query(&query_text, docs.map(|d| d.body))?;
+    let total = table.rows.len();
+    let limit = service.cfg.sql_row_limit;
+    let rows = table
+        .rows
+        .into_iter()
+        .take(limit)
+        .map(Value::Arr)
+        .collect();
+    Ok(obj! {
+        "columns" => Value::Arr(table.columns.into_iter().map(Value::from).collect()),
+        "rows" => Value::Arr(rows),
+        "row_count" => total,
+        "truncated" => total > limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::tests::seeded_service;
+
+    fn get(svc: &Service, target: &str) -> (u16, Value) {
+        let resp = svc.handle(&Request::get(target));
+        let body = std::str::from_utf8(&resp.body).unwrap();
+        (resp.status, Value::parse(body).unwrap())
+    }
+
+    #[test]
+    fn stats_reconciles_with_store() {
+        let svc = seeded_service();
+        let (status, v) = get(&svc, "/stats");
+        assert_eq!(status, 200);
+        let direct = svc.store().stats().unwrap();
+        let served = v.get("namespaces").and_then(Value::as_arr).unwrap();
+        assert_eq!(served.len(), direct.len());
+        for (s, d) in served.iter().zip(&direct) {
+            assert_eq!(s.get("namespace").and_then(Value::as_str), Some(d.namespace.as_str()));
+            assert_eq!(
+                s.get("documents").and_then(Value::as_u64),
+                Some(d.documents as u64)
+            );
+            assert_eq!(
+                s.get("encoded_bytes").and_then(Value::as_u64),
+                Some(d.encoded_bytes as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn entity_lookup_hits_and_misses() {
+        let svc = seeded_service();
+        let (status, v) = get(&svc, "/entity/company/1");
+        assert_eq!(status, 200);
+        assert_eq!(
+            v.get("body").and_then(|b| b.get("name")).and_then(Value::as_str),
+            Some("c1")
+        );
+        assert_eq!(get(&svc, "/entity/company/999").0, 404);
+        assert_eq!(get(&svc, "/entity/planet/1").0, 400);
+        assert_eq!(get(&svc, "/entity/company/xyz").0, 400);
+    }
+
+    #[test]
+    fn neighbor_queries_are_mutually_consistent() {
+        let svc = seeded_service();
+        let (_, portfolio) = get(&svc, "/investor/10/portfolio");
+        let companies = portfolio.get("companies").and_then(Value::as_arr).unwrap();
+        assert_eq!(companies.len(), 4);
+        for c in companies {
+            let cid = c.as_u64().unwrap();
+            let (_, investors) = get(&svc, &format!("/company/{cid}/investors"));
+            let ids: Vec<u64> = investors
+                .get("investors")
+                .and_then(Value::as_arr)
+                .unwrap()
+                .iter()
+                .filter_map(Value::as_u64)
+                .collect();
+            assert!(ids.contains(&10), "company {cid} lost investor 10");
+        }
+        assert_eq!(get(&svc, "/investor/9999/portfolio").0, 404);
+    }
+
+    #[test]
+    fn communities_listing_and_membership() {
+        let svc = seeded_service();
+        let (status, v) = get(&svc, "/communities");
+        assert_eq!(status, 200);
+        let count = v.get("count").and_then(Value::as_u64).unwrap();
+        if count > 0 {
+            let (s2, one) = get(&svc, "/communities/0");
+            assert_eq!(s2, 200);
+            assert!(one.get("members").and_then(Value::as_arr).is_some());
+        }
+        assert_eq!(get(&svc, &format!("/communities/{}", count + 10)).0, 404);
+        let (s3, m) = get(&svc, "/investor/10/communities");
+        assert_eq!(s3, 200);
+        assert_eq!(m.get("in_filtered_graph"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn top_investors_rankings() {
+        let svc = seeded_service();
+        let (status, v) = get(&svc, "/top/investors?by=degree&k=2");
+        assert_eq!(status, 200);
+        let rows = v.get("investors").and_then(Value::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        // All three investors have degree 4; ties break by id.
+        assert_eq!(rows[0].get("id").and_then(Value::as_u64), Some(10));
+        assert_eq!(rows[1].get("id").and_then(Value::as_u64), Some(11));
+        assert_eq!(get(&svc, "/top/investors?by=pagerank&k=3").0, 200);
+        assert_eq!(get(&svc, "/top/investors?by=fame").0, 400);
+        assert_eq!(get(&svc, "/top/investors?k=nope").0, 400);
+    }
+
+    #[test]
+    fn sql_get_and_post_agree() {
+        let svc = seeded_service();
+        let (status, v) = get(
+            &svc,
+            "/sql?ns=angellist%2Fusers&q=SELECT+COUNT(*)+AS+n+FROM+docs",
+        );
+        assert_eq!(status, 200);
+        assert_eq!(v.get("rows").and_then(Value::as_arr).unwrap().len(), 1);
+        let post = svc.handle(&Request {
+            method: "POST".into(),
+            target: "/sql?ns=angellist%2Fusers".into(),
+            version: "HTTP/1.1".into(),
+            headers: Vec::new(),
+            body: b"SELECT COUNT(*) AS n FROM docs".to_vec(),
+        });
+        assert_eq!(post.status, 200);
+        assert_eq!(post.body, svc.handle(&Request::get(
+            "/sql?ns=angellist%2Fusers&q=SELECT+COUNT(*)+AS+n+FROM+docs",
+        )).body);
+        // Errors map to statuses.
+        assert_eq!(get(&svc, "/sql?q=SELECT+1").0, 400); // missing ns
+        assert_eq!(get(&svc, "/sql?ns=angellist%2Fusers").0, 400); // missing q
+        assert_eq!(get(&svc, "/sql?ns=ghost&q=SELECT+COUNT(*)+FROM+docs").0, 404);
+        assert_eq!(get(&svc, "/sql?ns=angellist%2Fusers&q=NOT+SQL").0, 400);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let svc = seeded_service();
+        assert_eq!(get(&svc, "/nope").0, 404);
+        assert_eq!(get(&svc, "/").0, 404);
+        let resp = svc.handle(&Request {
+            method: "DELETE".into(),
+            target: "/stats".into(),
+            version: "HTTP/1.1".into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        });
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn shed_errors_carry_retry_after() {
+        let resp = error_response(&ServeError::Shed { retry_after_secs: 3 });
+        assert_eq!(resp.status, 503);
+        assert!(resp
+            .headers
+            .iter()
+            .any(|(k, v)| k == "Retry-After" && v == "3"));
+    }
+}

@@ -1,0 +1,315 @@
+//! The service core: one opened store + lazily-built artifacts + the
+//! result cache, exposed as a single `Request → Response` function.
+//!
+//! [`Service::handle`] is the whole request path, shared verbatim by the
+//! in-process front end (tests, benches, `repro serve --smoke`) and the
+//! TCP server — so "everything is also callable without sockets" is a
+//! structural property, not a test shim.
+//!
+//! Artifacts are rebuilt whenever [`Store::version`] moves past the stamp
+//! on the cached build; the result cache uses the same version as its
+//! invalidation epoch, so a re-crawl invalidates both in one counter bump.
+
+use crate::artifacts::{Artifacts, ArtifactsConfig};
+use crate::cache::{CacheConfig, CacheStats, ResultCache};
+use crate::error::ServeError;
+use crate::http::{Request, Response};
+use crate::router;
+use crowdnet_dataflow::ExecCtx;
+use crowdnet_store::Store;
+use crowdnet_telemetry::{Counter, Histogram, Telemetry};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Service knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Artifact-build knobs (CoDA size/seed, cleaning threshold, …).
+    pub artifacts: ArtifactsConfig,
+    /// Result-cache sizing.
+    pub cache: CacheConfig,
+    /// Maximum rows an ad-hoc SQL response returns (the rest is reported
+    /// as `truncated`).
+    pub sql_row_limit: usize,
+    /// Dataflow threads for scans and SQL execution.
+    pub threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            artifacts: ArtifactsConfig::default(),
+            cache: CacheConfig::default(),
+            sql_row_limit: 1000,
+            threads: 2,
+        }
+    }
+}
+
+/// The query-serving core.
+pub struct Service {
+    pub(crate) store: Arc<Store>,
+    pub(crate) ctx: ExecCtx,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) cfg: ServiceConfig,
+    artifacts_slot: RwLock<Option<Arc<Artifacts>>>,
+    cache: ResultCache,
+    requests: Counter,
+    latency: Histogram,
+}
+
+impl Service {
+    /// Wrap an opened store. Nothing is scanned yet — artifacts build on
+    /// the first request that needs them.
+    pub fn new(store: Arc<Store>, cfg: ServiceConfig, telemetry: Telemetry) -> Service {
+        let cache = ResultCache::new(&cfg.cache, &telemetry);
+        let requests = telemetry.counter("serve.requests");
+        let latency = telemetry.histogram("serve.latency_ms");
+        Service {
+            ctx: ExecCtx::new(cfg.threads.max(1)),
+            store,
+            telemetry: telemetry.clone(),
+            cfg,
+            artifacts_slot: RwLock::new(None),
+            cache,
+            requests,
+            latency,
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The telemetry handle every request reports into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Result-cache occupancy (for `/healthz` and tests).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The artifacts for the store's *current* version, building (or
+    /// rebuilding, after a write) if the cached build is stale.
+    pub fn artifacts(&self) -> Result<Arc<Artifacts>, ServeError> {
+        let version = self.store.version();
+        {
+            let slot = self.artifacts_slot.read();
+            if let Some(a) = &*slot {
+                if a.version == version {
+                    return Ok(Arc::clone(a));
+                }
+            }
+        }
+        // Build outside any lock — scans and CoDA take real time and the
+        // read path above must stay contention-free meanwhile.
+        let built = Arc::new(Artifacts::build(
+            &self.store,
+            self.ctx,
+            &self.telemetry,
+            &self.cfg.artifacts,
+        )?);
+        let mut slot = self.artifacts_slot.write();
+        match &*slot {
+            // A racing builder won with an equal-or-newer stamp; use its
+            // build so every caller converges on one Arc.
+            Some(a) if a.version >= built.version => Ok(Arc::clone(a)),
+            _ => {
+                *slot = Some(Arc::clone(&built));
+                Ok(built)
+            }
+        }
+    }
+
+    /// Serve one request end to end: admission-independent core shared by
+    /// the TCP and in-process front ends. Never panics; every failure is a
+    /// status-coded JSON response.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.requests.inc();
+        let started = self.telemetry.now_ms();
+        let version = self.store.version();
+        let key = format!("{} {}", req.method, req.target);
+        // Health checks bypass the cache (they report live occupancy).
+        let cacheable = req.method == "GET" && req.path() != "/healthz";
+        if cacheable {
+            if let Some(hit) = self.cache.get(&key, version) {
+                self.latency.record(self.telemetry.now_ms() - started);
+                return hit;
+            }
+        }
+        let response = {
+            let _span = self
+                .telemetry
+                .span(&format!("serve.{}", endpoint_name(req.path())));
+            router::respond(self, req)
+        };
+        if cacheable && response.status == 200 {
+            self.cache.put(&key, version, response.clone());
+        }
+        self.latency.record(self.telemetry.now_ms() - started);
+        response
+    }
+
+    /// One representative target per endpoint, with real ids from the
+    /// current artifacts — the smoke-test surface used by `check.sh` and
+    /// `repro serve --smoke`.
+    pub fn example_targets(&self) -> Result<Vec<String>, ServeError> {
+        let artifacts = self.artifacts()?;
+        let mut targets = vec!["/healthz".to_string(), "/stats".to_string()];
+        if artifacts.graph.investor_count() > 0 {
+            let inv = artifacts.graph.investor_id(0);
+            let com = artifacts.graph.company_id(0);
+            targets.push(format!("/entity/user/{inv}"));
+            targets.push(format!("/entity/company/{com}"));
+            targets.push(format!("/investor/{inv}/portfolio"));
+            targets.push(format!("/investor/{inv}/communities"));
+            targets.push(format!("/company/{com}/investors"));
+        }
+        targets.push("/communities".to_string());
+        if !artifacts.cover.is_empty() {
+            targets.push("/communities/0".to_string());
+        }
+        targets.push("/top/investors?by=degree&k=5".to_string());
+        targets.push("/top/investors?by=pagerank&k=5".to_string());
+        targets.push(format!(
+            "/sql?ns={}&q=SELECT+COUNT(*)+AS+n+FROM+docs",
+            crate::artifacts::NS_USERS.replace('/', "%2F")
+        ));
+        Ok(targets)
+    }
+}
+
+/// First path segment, for span naming (`serve.stats`, `serve.sql`, …).
+fn endpoint_name(path: &str) -> &str {
+    let trimmed = path.trim_start_matches('/');
+    let seg = trimmed.split('/').next().unwrap_or_default();
+    if seg.is_empty() {
+        "root"
+    } else {
+        seg
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::artifacts::{NS_COMPANIES, NS_USERS};
+    use crowdnet_json::{obj, Value};
+    use crowdnet_store::Document;
+
+    pub(crate) fn seeded_service() -> Service {
+        let store = Store::memory(4);
+        for id in 0..4u32 {
+            store
+                .put(
+                    NS_COMPANIES,
+                    Document::new(
+                        format!("company:{id}"),
+                        obj! {"id" => u64::from(id), "name" => format!("c{id}"), "funded" => id % 2 == 0},
+                    ),
+                )
+                .unwrap();
+        }
+        let portfolios: &[(u32, &[u64])] = &[
+            (10, &[0, 1, 2, 3]),
+            (11, &[0, 1, 2, 3]),
+            (12, &[1, 2, 3, 0]),
+        ];
+        for (id, inv) in portfolios {
+            let arr = inv.iter().map(|&c| Value::from(c)).collect::<Vec<_>>();
+            store
+                .put(
+                    NS_USERS,
+                    Document::new(
+                        format!("user:{id}"),
+                        obj! {
+                            "id" => u64::from(*id),
+                            "role" => "investor",
+                            "investments" => Value::Arr(arr),
+                        },
+                    ),
+                )
+                .unwrap();
+        }
+        Service::new(
+            Arc::new(store),
+            ServiceConfig::default(),
+            Telemetry::new(),
+        )
+    }
+
+    #[test]
+    fn artifacts_are_cached_until_a_write() {
+        let svc = seeded_service();
+        let a1 = svc.artifacts().unwrap();
+        let a2 = svc.artifacts().unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2));
+        svc.store()
+            .put(NS_COMPANIES, Document::new("company:99", obj! {"id" => 99u64}))
+            .unwrap();
+        let a3 = svc.artifacts().unwrap();
+        assert!(!Arc::ptr_eq(&a1, &a3));
+        assert!(a3.version > a1.version);
+    }
+
+    #[test]
+    fn handle_counts_requests_and_caches_gets() {
+        let svc = seeded_service();
+        let t = svc.telemetry().clone();
+        let r1 = svc.handle(&Request::get("/stats"));
+        assert_eq!(r1.status, 200);
+        let r2 = svc.handle(&Request::get("/stats"));
+        assert_eq!(r1, r2);
+        assert_eq!(t.counter("serve.requests").value(), 2);
+        assert_eq!(t.counter("serve.cache.hit").value(), 1);
+        assert_eq!(t.counter("serve.cache.miss").value(), 1);
+    }
+
+    #[test]
+    fn a_write_invalidates_cached_responses() {
+        let svc = seeded_service();
+        let before = svc.handle(&Request::get("/stats"));
+        svc.store()
+            .put(NS_COMPANIES, Document::new("company:77", obj! {"id" => 77u64}))
+            .unwrap();
+        let after = svc.handle(&Request::get("/stats"));
+        assert_ne!(before.body, after.body, "stale stats served after write");
+        assert_eq!(svc.telemetry().counter("serve.cache.hit").value(), 0);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let svc = seeded_service();
+        svc.handle(&Request::get("/no/such/route"));
+        svc.handle(&Request::get("/no/such/route"));
+        assert_eq!(svc.telemetry().counter("serve.cache.hit").value(), 0);
+    }
+
+    #[test]
+    fn example_targets_all_succeed() {
+        let svc = seeded_service();
+        for target in svc.example_targets().unwrap() {
+            let resp = svc.handle(&Request::get(&target));
+            assert_eq!(resp.status, 200, "target {target} failed: {:?}", resp.body);
+        }
+    }
+
+    #[test]
+    fn identical_requests_are_byte_identical() {
+        let run = || {
+            let svc = seeded_service();
+            let mut bytes = Vec::new();
+            for target in svc.example_targets().unwrap() {
+                if target == "/healthz" {
+                    continue; // healthz reports live cache occupancy
+                }
+                bytes.extend_from_slice(&svc.handle(&Request::get(&target)).body);
+            }
+            bytes
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the HTTP/1.1 request parser: arbitrary bytes in
+//! arbitrary split patterns must never panic, valid requests must parse
+//! identically however the stream is chunked, and every size limit must
+//! hold as a typed rejection (`431`/`413`), not a hang or a crash.
+
+use crowdnet_serve::http::{
+    HttpError, Request, RequestParser, MAX_BODY_BYTES, MAX_HEADERS, MAX_REQUEST_LINE,
+};
+use proptest::prelude::*;
+
+/// Feed `wire` in the chunk sizes dictated by `splits` (cycled), polling
+/// after every feed like the real connection loop does.
+fn parse_chunked(wire: &[u8], splits: &[usize]) -> Result<Option<Request>, HttpError> {
+    let mut parser = RequestParser::new();
+    let mut offset = 0;
+    let mut split_idx = 0;
+    while offset < wire.len() {
+        let step = splits
+            .get(split_idx % splits.len())
+            .copied()
+            .unwrap_or(1)
+            .clamp(1, wire.len() - offset);
+        split_idx += 1;
+        parser.feed(&wire[offset..offset + step]);
+        offset += step;
+        match parser.poll() {
+            Ok(Some(req)) => return Ok(Some(req)),
+            Ok(None) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    parser.poll()
+}
+
+/// A syntactically valid request generated from structured parts.
+fn valid_request() -> impl Strategy<Value = (String, Vec<u8>)> {
+    (
+        "[A-Z]{3,7}",
+        "/[a-z0-9/]{0,30}",
+        proptest::collection::vec(("[A-Za-z][A-Za-z0-9-]{0,10}", "[ -~]{0,20}"), 0..6),
+        proptest::collection::vec(any::<u8>(), 0..200),
+    )
+        .prop_map(|(method, path, headers, body)| {
+            let mut wire = format!("{method} {path} HTTP/1.1\r\n");
+            for (name, value) in &headers {
+                wire.push_str(&format!("{name}: {value}\r\n"));
+            }
+            wire.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+            let mut bytes = wire.into_bytes();
+            bytes.extend_from_slice(&body);
+            (format!("{method} {path}"), bytes)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fuzz: arbitrary byte soup, arbitrary chunking — the parser returns
+    /// a `Result` in all cases and never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+        splits in proptest::collection::vec(1usize..64, 1..8),
+    ) {
+        let _ = parse_chunked(&bytes, &splits);
+    }
+
+    /// Fuzz biased toward almost-valid requests: mutate one byte of a
+    /// valid wire image. Still a `Result`, never a panic.
+    #[test]
+    fn mutated_requests_never_panic(
+        (_, mut wire) in valid_request(),
+        flip_at in any::<u32>(),
+        flip_to in any::<u8>(),
+        splits in proptest::collection::vec(1usize..16, 1..4),
+    ) {
+        if !wire.is_empty() {
+            let at = flip_at as usize % wire.len();
+            wire[at] = flip_to;
+        }
+        let _ = parse_chunked(&wire, &splits);
+    }
+
+    /// Valid requests parse to the same result under every chunking.
+    #[test]
+    fn split_invariance(
+        (label, wire) in valid_request(),
+        splits in proptest::collection::vec(1usize..48, 1..6),
+    ) {
+        let whole = parse_chunked(&wire, &[wire.len().max(1)]);
+        let chunked = parse_chunked(&wire, &splits);
+        prop_assert_eq!(&whole, &chunked);
+        let req = whole.expect("valid request must parse").expect("must be complete");
+        prop_assert_eq!(format!("{} {}", req.method, req.target), label);
+    }
+
+    /// Oversized request lines are rejected with 431 at any chunking, even
+    /// when the line never terminates.
+    #[test]
+    fn oversized_request_line_is_431(
+        extra in 1usize..4096,
+        splits in proptest::collection::vec(1usize..512, 1..4),
+        terminated in any::<bool>(),
+    ) {
+        let mut wire = b"GET /".to_vec();
+        wire.extend(std::iter::repeat(b'a').take(MAX_REQUEST_LINE + extra));
+        if terminated {
+            wire.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        }
+        let err = parse_chunked(&wire, &splits).expect_err("must reject");
+        prop_assert_eq!(err.status(), 431);
+    }
+
+    /// Header floods are rejected with 431, never buffered unboundedly.
+    #[test]
+    fn header_flood_is_431(
+        count in (MAX_HEADERS + 1)..(MAX_HEADERS + 64),
+        splits in proptest::collection::vec(1usize..256, 1..4),
+    ) {
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..count {
+            wire.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        let err = parse_chunked(&wire, &splits).expect_err("must reject");
+        prop_assert_eq!(err.status(), 431);
+    }
+
+    /// Bodies above the limit are refused by declared length (413) before
+    /// any body byte needs to arrive.
+    #[test]
+    fn oversized_body_is_413(extra in 1u64..1_000_000) {
+        let wire = format!(
+            "POST /sql HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES as u64 + extra
+        );
+        let err = parse_chunked(wire.as_bytes(), &[7]).expect_err("must reject");
+        prop_assert_eq!(err.status(), 413);
+    }
+}

@@ -5,8 +5,10 @@ use crate::doc::Document;
 use crate::error::StoreError;
 use crate::memory::MemoryBackend;
 use crowdnet_telemetry::{Counter, Telemetry};
+use parking_lot::Mutex;
 use std::io;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Identifier of one crawl run's snapshot within a namespace.
 ///
@@ -37,6 +39,13 @@ pub struct Store {
     backend: Backend,
     partitions: usize,
     metrics: Option<StoreMetrics>,
+    /// Monotonic content version: bumped on every successful append and on
+    /// every new snapshot. Consumers (the serving tier's result cache, the
+    /// memoized [`Store::stats`]) use it to detect that cached derived data
+    /// is stale without rescanning.
+    version: AtomicU64,
+    /// `stats()` memo: the per-namespace summary computed at some version.
+    stats_memo: Mutex<Option<(u64, Vec<NamespaceStats>)>>,
 }
 
 /// FNV-1a over the key bytes: stable partition assignment across runs and
@@ -57,6 +66,8 @@ impl Store {
             partitions: partitions.max(1),
             backend: Backend::Memory(MemoryBackend::new(partitions)),
             metrics: None,
+            version: AtomicU64::new(0),
+            stats_memo: Mutex::new(None),
         }
     }
 
@@ -66,6 +77,8 @@ impl Store {
             partitions: partitions.max(1),
             backend: Backend::Disk(DiskBackend::open(root, partitions)?),
             metrics: None,
+            version: AtomicU64::new(0),
+            stats_memo: Mutex::new(None),
         })
     }
 
@@ -86,6 +99,18 @@ impl Store {
         self.partitions
     }
 
+    /// The store's content version: 0 at open, bumped by every successful
+    /// append and every new snapshot. Two reads returning the same value
+    /// bracket a window with no writes, so anything derived from a scan at
+    /// that version is still current.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
     /// Append a document to the latest snapshot (creating the namespace and
     /// snapshot 0 on first write).
     pub fn put(&self, ns: &str, doc: Document) -> Result<(), StoreError> {
@@ -103,6 +128,7 @@ impl Store {
             Backend::Disk(b) => b.append(ns, snap.0, partition, &line)?,
         };
         if ok {
+            self.bump_version();
             if let Some(m) = &self.metrics {
                 m.append_docs.inc();
                 m.append_bytes.add(encoded_bytes);
@@ -140,6 +166,7 @@ impl Store {
             Backend::Memory(b) => b.new_snapshot(ns),
             Backend::Disk(b) => b.new_snapshot(ns)?,
         };
+        self.bump_version();
         Ok(SnapshotId(id))
     }
 
@@ -224,7 +251,20 @@ impl Store {
 
     /// Per-namespace statistics over the latest snapshots: document count,
     /// encoded bytes, and snapshot count (an `fsck`-style overview).
+    ///
+    /// Memoized per [`Store::version`]: repeated calls with no intervening
+    /// writes return the cached summary without rescanning, so a hot
+    /// `/stats` endpoint costs one lock acquisition, not a full rescan.
     pub fn stats(&self) -> Result<Vec<NamespaceStats>, StoreError> {
+        let version = self.version();
+        {
+            let memo = self.stats_memo.lock();
+            if let Some((v, stats)) = &*memo {
+                if *v == version {
+                    return Ok(stats.clone());
+                }
+            }
+        }
         let mut out = Vec::new();
         for ns in self.namespaces()? {
             let docs = self.scan(&ns)?;
@@ -236,6 +276,10 @@ impl Store {
                 snapshots: self.snapshots(&ns).len(),
             });
         }
+        // Tag the memo with the version read *before* the scan: a write that
+        // raced the scan bumped the live version past `version`, so the next
+        // call recomputes rather than serving a possibly-stale summary.
+        *self.stats_memo.lock() = Some((version, out.clone()));
         Ok(out)
     }
 }
@@ -387,6 +431,39 @@ mod tests {
         assert_eq!(b.documents, 1);
         assert!(b.encoded_bytes > 10);
         assert_eq!(b.snapshots, 1);
+    }
+
+    #[test]
+    fn version_bumps_on_append_and_snapshot() {
+        let s = Store::memory(2);
+        assert_eq!(s.version(), 0);
+        s.put("a", doc(1)).unwrap();
+        assert_eq!(s.version(), 1);
+        s.new_snapshot("a").unwrap();
+        assert_eq!(s.version(), 2);
+        s.put_snapshot("a", SnapshotId(0), doc(2)).unwrap();
+        assert_eq!(s.version(), 3);
+        // A failed append leaves the version untouched.
+        assert!(s.put_snapshot("a", SnapshotId(9), doc(3)).is_err());
+        assert_eq!(s.version(), 3);
+    }
+
+    #[test]
+    fn stats_memoized_until_next_write() {
+        let telemetry = Telemetry::new();
+        let s = Store::memory(2).with_telemetry(&telemetry);
+        s.put("ns", doc(1)).unwrap();
+        let first = s.stats().unwrap();
+        let scans_after_first = telemetry.counter("store.scan.calls").value();
+        // Second call at the same version serves the memo: no new scans.
+        let second = s.stats().unwrap();
+        assert_eq!(first, second);
+        assert_eq!(telemetry.counter("store.scan.calls").value(), scans_after_first);
+        // A write invalidates the memo and the next stats() rescans.
+        s.put("ns", doc(2)).unwrap();
+        let third = s.stats().unwrap();
+        assert_eq!(third[0].documents, 2);
+        assert!(telemetry.counter("store.scan.calls").value() > scans_after_first);
     }
 
     #[test]

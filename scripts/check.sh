@@ -23,4 +23,20 @@ cargo run -q --release --offline -p crowdnet-core --bin repro -- \
 cargo run -q --release --offline -p crowdnet-core --bin repro -- \
   --out "$smoke_dir" telemetry-report | grep -q "crawl.angellist.attempts"
 
+echo "==> serve smoke (every endpoint answers in-process, serve.* counters recorded)"
+serve_out="$(cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --scale tiny --seed 7 --out "$smoke_dir" \
+  --telemetry "$smoke_dir/telemetry/serve.json" serve --smoke)"
+echo "$serve_out" | grep -q "^  200 GET /stats"
+if echo "$serve_out" | grep -q "^  [45]"; then
+  echo "serve smoke: endpoint returned an error status" >&2
+  exit 1
+fi
+# The serve run's report must validate AND carry the serving-tier counters
+# alongside the mandatory pipeline set.
+serve_summary="$(cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --telemetry "$smoke_dir/telemetry/serve.json" --out "$smoke_dir" telemetry-report)"
+echo "$serve_summary" | grep -q "serve.requests"
+echo "$serve_summary" | grep -q "serve.cache."
+
 echo "All checks passed."
