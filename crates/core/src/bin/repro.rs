@@ -33,7 +33,7 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--seed N] [--scale tiny|small|eval|paper|1/K] [--out DIR] [--telemetry PATH] [--port N] [--smoke] [-v|--verbose] [EXPERIMENT...]\n\
-         experiments: dataset-stats fig3 fig6 fig8 investor-graph communities fig4 fig5 fig7 causality dynamic predict correlations store-stats telemetry-report serve all"
+         experiments: dataset-stats fig3 fig6 fig8 investor-graph communities fig4 fig5 fig7 causality dynamic predict correlations store-stats telemetry-report serve ingest all"
     );
     std::process::exit(2);
 }
@@ -439,6 +439,73 @@ fn serve_store(
     Ok(())
 }
 
+/// Live ingestion demo: run the longitudinal study with the ingest tier in
+/// the loop — every simulated day streams through the changefeed, the
+/// maintainers patch the artifacts in place, and an epoch is published
+/// into a pinned serving layer. `--smoke` also exercises the example
+/// endpoints against the final epoch.
+fn ingest_live(
+    store: Arc<crowdnet_store::Store>,
+    world_cfg: &WorldConfig,
+    telemetry: crowdnet_telemetry::Telemetry,
+    args: &Args,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use crowdnet_ingest::{run_live, IngestConfig, IngestEngine, LiveConfig};
+    use crowdnet_serve::{Request, Service, ServiceConfig};
+    header("Live ingestion (crowdnet-ingest)");
+    let service = Arc::new(Service::new(
+        Arc::clone(&store),
+        ServiceConfig::default(),
+        telemetry.clone(),
+    ));
+    let mut engine = IngestEngine::new(Arc::clone(&store), IngestConfig::default(), telemetry.clone())?;
+    // Epoch 0: the caught-up state of the crawled corpus, pinned before
+    // the study starts so every request already reads a frozen epoch.
+    let first = engine.publish(Some(&service));
+    println!(
+        "epoch 0 pinned at store version {} ({} investors / {} companies)",
+        first.version,
+        first.graph.investor_count(),
+        first.graph.company_count()
+    );
+    let live_cfg = LiveConfig {
+        study: crowdnet_crawl::longitudinal::StudyConfig {
+            days: 14,
+            interval_days: 1,
+            evolution_seed: args.seed,
+        },
+        seed: args.seed,
+        ..LiveConfig::default()
+    };
+    let world = crowdnet_socialsim::World::generate(world_cfg);
+    let days = run_live(world, &store, &mut engine, Some(&service), &live_cfg)?;
+    for d in &days {
+        println!(
+            "  day {:>3}: {:>4} events {:>4} docs {:>3} new edges -> epoch v{} (pagerank bound {:.2e}, {} funded)",
+            d.day, d.events, d.docs, d.edges, d.epoch_version, d.pagerank_error_bound, d.funded_count
+        );
+    }
+    if args.smoke {
+        for target in service.example_targets()? {
+            let response = service.handle(&Request::get(&target));
+            println!("  {:>3} GET {target}", response.status);
+        }
+    }
+    println!(
+        "ingest counters: ingest.events={} ingest.docs={} ingest.edges={} ingest.epochs={} \
+         ingest.pagerank.pushes={} ingest.pagerank.recomputes={} ingest.feed.dropped={} ingest.catchup.scans={}",
+        telemetry.counter("ingest.events").value(),
+        telemetry.counter("ingest.docs").value(),
+        telemetry.counter("ingest.edges").value(),
+        telemetry.counter("ingest.epochs").value(),
+        telemetry.counter("ingest.pagerank.pushes").value(),
+        telemetry.counter("ingest.pagerank.recomputes").value(),
+        telemetry.counter("ingest.feed.dropped").value(),
+        telemetry.counter("ingest.catchup.scans").value(),
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
     if args.experiments.iter().any(|e| e == "telemetry-report") {
@@ -491,20 +558,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "store-stats",
     ];
     let serve_requested = args.experiments.iter().any(|e| e == "serve");
+    let ingest_requested = args.experiments.iter().any(|e| e == "ingest");
     let selected: Vec<&str> = if args.experiments.iter().any(|e| e == "all") {
         all.to_vec()
     } else {
         args.experiments
             .iter()
             .map(String::as_str)
-            .filter(|e| *e != "serve")
+            .filter(|e| *e != "serve" && *e != "ingest")
             .collect()
     };
     for name in selected {
         run_experiment(name, &outcome, &cfg, &args.out)?;
     }
-    if serve_requested {
-        serve_store(Arc::new(outcome.store), outcome.telemetry.clone(), &args)?;
+    if serve_requested || ingest_requested {
+        let store = Arc::new(outcome.store);
+        if ingest_requested {
+            ingest_live(Arc::clone(&store), &cfg.world, outcome.telemetry.clone(), &args)?;
+        }
+        if serve_requested {
+            serve_store(store, outcome.telemetry.clone(), &args)?;
+        }
     }
     if let Some(path) = &args.telemetry {
         let report = telemetry_report::build(&outcome.telemetry);

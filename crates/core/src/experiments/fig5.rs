@@ -67,10 +67,9 @@ mod tests {
             42,
             crowdnet_socialsim::Scale::Custom { companies: 20_000, users: 20_000 },
         );
-        // One crawl worker: multi-worker runs append documents in
-        // scheduler-dependent order, which jitters the detected communities
-        // enough to matter this close to the 1.3× threshold below.
-        cfg.crawl.workers = 1;
+        // Default worker count: the store's canonical per-partition key
+        // ordering at scan time makes detected communities independent of
+        // crawl-thread interleaving, so no single-worker pin is needed.
         let outcome = Pipeline::new(cfg).run().unwrap();
         let r = run(&outcome).unwrap();
         assert!(!r.pcts.is_empty());

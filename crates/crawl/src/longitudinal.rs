@@ -53,46 +53,73 @@ pub struct SnapshotRecord {
     pub funded_count: usize,
 }
 
-/// Run the longitudinal study over an owned world (the world mutates between
-/// crawls). Returns one record per scheduled crawl.
-pub fn run_study(
-    mut world: World,
-    store: &Store,
-    cfg: &StudyConfig,
-) -> Result<Vec<SnapshotRecord>, CrawlError> {
-    if cfg.interval_days == 0 {
-        return Err(CrawlError::Config("interval_days must be ≥ 1".into()));
-    }
-    // Day-0 watchlist: companies currently raising.
-    let watchlist: Vec<u32> = world.raising_companies().map(|c| c.id.0).collect();
-    if watchlist.is_empty() {
-        return Err(CrawlError::Config("no raising companies to watch".into()));
+/// A longitudinal study driven one scheduled crawl at a time — the
+/// step-wise form of [`run_study`]. External consumers (the ingest tier)
+/// interleave their own work between days: crawl a day with
+/// [`Study::advance`], drain the store's changefeed, publish an epoch,
+/// repeat.
+pub struct Study<'a> {
+    world: World,
+    store: &'a Store,
+    cfg: StudyConfig,
+    watchlist: Vec<u32>,
+    day: u32,
+    step: u32,
+}
+
+impl<'a> Study<'a> {
+    /// Fix the day-0 watchlist (companies currently raising) and prepare
+    /// the per-day loop. The world mutates between crawls.
+    pub fn new(world: World, store: &'a Store, cfg: &StudyConfig) -> Result<Study<'a>, CrawlError> {
+        if cfg.interval_days == 0 {
+            return Err(CrawlError::Config("interval_days must be ≥ 1".into()));
+        }
+        let watchlist: Vec<u32> = world.raising_companies().map(|c| c.id.0).collect();
+        if watchlist.is_empty() {
+            return Err(CrawlError::Config("no raising companies to watch".into()));
+        }
+        Ok(Study {
+            world,
+            store,
+            cfg: cfg.clone(),
+            watchlist,
+            day: 0,
+            step: 0,
+        })
     }
 
-    let mut records = Vec::new();
-    let mut day = 0u32;
-    let mut step = 0u32;
-    while day <= cfg.days {
-        let snapshot = if step == 0 {
+    /// The day-0 watchlist of company ids under observation.
+    pub fn watchlist(&self) -> &[u32] {
+        &self.watchlist
+    }
+
+    /// Crawl the next scheduled day into a fresh store snapshot, then let
+    /// the world evolve until the following run. Returns `None` once the
+    /// configured study length is exhausted.
+    pub fn advance(&mut self) -> Result<Option<SnapshotRecord>, CrawlError> {
+        if self.day > self.cfg.days {
+            return Ok(None);
+        }
+        let snapshot = if self.step == 0 {
             // First write implicitly creates snapshot 0.
-            store.put(
+            self.store.put(
                 NS_LONGITUDINAL,
-                Document::new("__init", obj! {"day" => day as u64}),
+                Document::new("__init", obj! {"day" => self.day as u64}),
             )?;
             SnapshotId(0)
         } else {
-            store.new_snapshot(NS_LONGITUDINAL)?
+            self.store.new_snapshot(NS_LONGITUDINAL)?
         };
 
         let mut funded_count = 0usize;
-        for &id in &watchlist {
-            let c = &world.companies[id as usize];
+        for &id in &self.watchlist {
+            let c = &self.world.companies[id as usize];
             if c.funded {
                 funded_count += 1;
             }
             let doc = obj! {
                 "id" => c.id.0,
-                "day" => day as u64,
+                "day" => self.day as u64,
                 "funded" => c.funded,
                 "raising" => c.raising,
                 "rounds" => c.rounds.len() as u64,
@@ -101,21 +128,37 @@ pub fn run_study(
                 "tw_followers" => c.twitter.as_ref().map(|t| t.followers),
                 "fb_likes" => c.facebook.as_ref().map(|f| f.likes),
             };
-            store.put_snapshot(
+            self.store.put_snapshot(
                 NS_LONGITUDINAL,
                 snapshot,
                 Document::new(format!("company:{id}"), doc),
             )?;
         }
-        records.push(SnapshotRecord {
-            day,
+        let record = SnapshotRecord {
+            day: self.day,
             snapshot,
             funded_count,
-        });
+        };
 
-        world.evolve(cfg.interval_days, step, cfg.evolution_seed);
-        day += cfg.interval_days;
-        step += 1;
+        self.world
+            .evolve(self.cfg.interval_days, self.step, self.cfg.evolution_seed);
+        self.day += self.cfg.interval_days;
+        self.step += 1;
+        Ok(Some(record))
+    }
+}
+
+/// Run the longitudinal study over an owned world (the world mutates between
+/// crawls). Returns one record per scheduled crawl.
+pub fn run_study(
+    world: World,
+    store: &Store,
+    cfg: &StudyConfig,
+) -> Result<Vec<SnapshotRecord>, CrawlError> {
+    let mut study = Study::new(world, store, cfg)?;
+    let mut records = Vec::new();
+    while let Some(record) = study.advance()? {
+        records.push(record);
     }
     Ok(records)
 }

@@ -11,6 +11,22 @@
 
 use crate::fxhash::FxHashMap;
 
+/// Result of one incremental [`BipartiteGraph::add_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeInsert {
+    /// Dense index of the edge's investor.
+    pub investor_index: u32,
+    /// Dense index of the edge's company.
+    pub company_index: u32,
+    /// The investor node was created by this insert.
+    pub new_investor: bool,
+    /// The company node was created by this insert.
+    pub new_company: bool,
+    /// The edge did not already exist (duplicates report `false` and
+    /// leave the graph untouched).
+    pub new_edge: bool,
+}
+
 /// A directed bipartite graph from investors to companies.
 #[derive(Debug, Clone)]
 pub struct BipartiteGraph {
@@ -18,6 +34,10 @@ pub struct BipartiteGraph {
     investor_ids: Vec<u32>,
     /// Original company ids, indexed by dense company index.
     company_ids: Vec<u32>,
+    /// investor id → dense index (kept for incremental insertion).
+    inv_index: FxHashMap<u32, u32>,
+    /// company id → dense index.
+    com_index: FxHashMap<u32, u32>,
     /// investor index → sorted company indices invested in.
     out_adj: Vec<Vec<u32>>,
     /// company index → sorted investor indices.
@@ -65,9 +85,55 @@ impl BipartiteGraph {
         BipartiteGraph {
             investor_ids,
             company_ids,
+            inv_index,
+            com_index,
             out_adj,
             in_adj,
             edges: edges_total,
+        }
+    }
+
+    /// Insert one `(investor_id, company_id)` edge in place, creating
+    /// nodes as needed. Adjacency stays sorted (binary-search insert), so
+    /// a graph grown edge-by-edge is structurally identical — same dense
+    /// indices for the same arrival order, same sorted adjacency — to
+    /// [`BipartiteGraph::from_edges`] over the same sequence. Duplicate
+    /// edges are no-ops, mirroring the batch builder's dedup.
+    pub fn add_edge(&mut self, investor_id: u32, company_id: u32) -> EdgeInsert {
+        let mut new_investor = false;
+        let ii = *self.inv_index.entry(investor_id).or_insert_with(|| {
+            self.investor_ids.push(investor_id);
+            self.out_adj.push(Vec::new());
+            new_investor = true;
+            (self.investor_ids.len() - 1) as u32
+        });
+        let mut new_company = false;
+        let ci = *self.com_index.entry(company_id).or_insert_with(|| {
+            self.company_ids.push(company_id);
+            self.in_adj.push(Vec::new());
+            new_company = true;
+            (self.company_ids.len() - 1) as u32
+        });
+        let out = &mut self.out_adj[ii as usize];
+        let new_edge = match out.binary_search(&ci) {
+            Ok(_) => false,
+            Err(pos) => {
+                out.insert(pos, ci);
+                let inl = &mut self.in_adj[ci as usize];
+                match inl.binary_search(&ii) {
+                    Ok(_) => {}
+                    Err(p) => inl.insert(p, ii),
+                }
+                self.edges += 1;
+                true
+            }
+        };
+        EdgeInsert {
+            investor_index: ii,
+            company_index: ci,
+            new_investor,
+            new_company,
+            new_edge,
         }
     }
 
@@ -117,7 +183,12 @@ impl BipartiteGraph {
 
     /// Dense investor index of an original id, if present.
     pub fn investor_index(&self, id: u32) -> Option<u32> {
-        self.investor_ids.iter().position(|&x| x == id).map(|i| i as u32)
+        self.inv_index.get(&id).copied()
+    }
+
+    /// Dense company index of an original id, if present.
+    pub fn company_index(&self, id: u32) -> Option<u32> {
+        self.com_index.get(&id).copied()
     }
 
     /// Out-degrees of all investors (the Figure 3 sample).
@@ -246,6 +317,53 @@ mod tests {
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.mean_investors_per_company(), 0.0);
         assert_eq!(g.degree_concentration(1), (0.0, 0.0));
+    }
+
+    #[test]
+    fn add_edge_matches_batch_build() {
+        let seq = vec![
+            (10, 100),
+            (10, 101),
+            (11, 100),
+            (11, 101),
+            (11, 102),
+            (12, 103),
+            (12, 103), // duplicate
+            (10, 100), // duplicate
+        ];
+        let batch = BipartiteGraph::from_edges(seq.clone());
+        let mut inc = BipartiteGraph::from_edges(Vec::<(u32, u32)>::new());
+        let mut new_edges = 0;
+        for (inv, com) in seq {
+            if inc.add_edge(inv, com).new_edge {
+                new_edges += 1;
+            }
+        }
+        assert_eq!(new_edges, batch.edge_count());
+        assert_eq!(inc.edge_count(), batch.edge_count());
+        assert_eq!(inc.investor_count(), batch.investor_count());
+        assert_eq!(inc.company_count(), batch.company_count());
+        for i in 0..batch.investor_count() as u32 {
+            assert_eq!(inc.investor_id(i), batch.investor_id(i));
+            assert_eq!(inc.companies_of(i), batch.companies_of(i));
+        }
+        for c in 0..batch.company_count() as u32 {
+            assert_eq!(inc.company_id(c), batch.company_id(c));
+            assert_eq!(inc.investors_of(c), batch.investors_of(c));
+        }
+    }
+
+    #[test]
+    fn add_edge_reports_node_and_edge_novelty() {
+        let mut g = BipartiteGraph::from_edges(vec![(1, 10)]);
+        let dup = g.add_edge(1, 10);
+        assert!(!dup.new_edge && !dup.new_investor && !dup.new_company);
+        let fresh = g.add_edge(2, 10);
+        assert!(fresh.new_edge && fresh.new_investor && !fresh.new_company);
+        let grown = g.add_edge(1, 11);
+        assert!(grown.new_edge && !grown.new_investor && grown.new_company);
+        assert_eq!(g.company_index(11), Some(grown.company_index));
+        assert_eq!(g.edge_count(), 3);
     }
 
     #[test]

@@ -116,7 +116,56 @@ impl Coda {
                 f[inv as usize][k] += 1.0;
             }
         }
+        Coda::fit_from(graph, cfg, f, h)
+    }
 
+    /// Fit warm-started from a previously fitted model: rows of `F`/`H`
+    /// are carried over for nodes present in both graphs (matched by
+    /// original id through `prev_graph`'s index maps), and only genuinely
+    /// new nodes get the cold random init. The epoch refit then needs far
+    /// fewer passes to return to a good optimum than a cold fit — the
+    /// affiliation structure of the surviving nodes is already in place.
+    ///
+    /// Falls back to a cold [`Coda::fit`] when the community count
+    /// changed (rows would not be comparable).
+    pub fn fit_warm(
+        graph: &BipartiteGraph,
+        cfg: &CodaConfig,
+        prev: &Coda,
+        prev_graph: &BipartiteGraph,
+    ) -> Coda {
+        let c = cfg.communities.max(1);
+        if prev.communities != c {
+            return Coda::fit(graph, cfg);
+        }
+        let nu = graph.investor_count();
+        let nc = graph.company_count();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let cold = |rng: &mut StdRng| -> Vec<f64> {
+            (0..c).map(|_| rng.random::<f64>() * 0.1).collect()
+        };
+        let mut f: Vec<Vec<f64>> = Vec::with_capacity(nu);
+        for u in 0..nu as u32 {
+            f.push(match prev_graph.investor_index(graph.investor_id(u)) {
+                Some(pu) => prev.f[pu as usize].clone(),
+                None => cold(&mut rng),
+            });
+        }
+        let mut h: Vec<Vec<f64>> = Vec::with_capacity(nc);
+        for ci in 0..nc as u32 {
+            h.push(match prev_graph.company_index(graph.company_id(ci)) {
+                Some(pc) => prev.h[pc as usize].clone(),
+                None => cold(&mut rng),
+            });
+        }
+        Coda::fit_from(graph, cfg, f, h)
+    }
+
+    /// Shared block-coordinate ascent loop over a prepared init.
+    fn fit_from(graph: &BipartiteGraph, cfg: &CodaConfig, f: Vec<Vec<f64>>, h: Vec<Vec<f64>>) -> Coda {
+        let nu = graph.investor_count();
+        let nc = graph.company_count();
+        let c = cfg.communities.max(1);
         let mut model = Coda {
             f,
             h,
@@ -659,6 +708,48 @@ mod tests {
         let b = choose_communities(&g, &[2, 4], &base, 0.2, 7);
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn warm_start_carries_factors_over_by_id() {
+        let (g, _) = planted(3);
+        let cfg = CodaConfig {
+            communities: 2,
+            iterations: 15,
+            ..CodaConfig::default()
+        };
+        let prev = Coda::fit(&g, &cfg);
+        // Zero refit passes: warm init must be exactly the previous factors.
+        let frozen = Coda::fit_warm(&g, &CodaConfig { iterations: 0, ..cfg.clone() }, &prev, &g);
+        assert_eq!(frozen.f, prev.f);
+        assert_eq!(frozen.h, prev.h);
+        // A grown graph keeps surviving rows and inits only the new node.
+        let mut g2 = g.clone();
+        g2.add_edge(999, 100);
+        let warm = Coda::fit_warm(&g2, &CodaConfig { iterations: 0, ..cfg.clone() }, &prev, &g);
+        for u in 0..g.investor_count() as u32 {
+            let wu = g2.investor_index(g.investor_id(u)).unwrap();
+            assert_eq!(warm.f[wu as usize], prev.f[u as usize]);
+        }
+        let nu = g2.investor_index(999).unwrap() as usize;
+        assert!(warm.f[nu].iter().all(|&v| (0.0..0.1).contains(&v)));
+        // And a real refit improves (or keeps) the likelihood.
+        let refit = Coda::fit_warm(&g2, &CodaConfig { iterations: 5, ..cfg.clone() }, &prev, &g);
+        assert!(refit.log_likelihood(&g2) >= warm.log_likelihood(&g2) - 1e-6);
+    }
+
+    #[test]
+    fn warm_start_with_changed_community_count_falls_back_cold() {
+        let (g, _) = planted(3);
+        let prev = Coda::fit(
+            &g,
+            &CodaConfig { communities: 2, iterations: 5, ..CodaConfig::default() },
+        );
+        let cfg3 = CodaConfig { communities: 3, iterations: 5, ..CodaConfig::default() };
+        let warm = Coda::fit_warm(&g, &cfg3, &prev, &g);
+        let cold = Coda::fit(&g, &cfg3);
+        assert_eq!(warm.f, cold.f);
+        assert_eq!(warm.ll_trace, cold.ll_trace);
     }
 
     #[test]

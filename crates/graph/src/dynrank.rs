@@ -1,0 +1,529 @@
+//! Dynamic PageRank over an incrementally maintained co-investment
+//! projection (the ingest tier's centrality maintainer).
+//!
+//! Two pieces:
+//!
+//! * [`DynamicProjection`] keeps the hub-capped investor projection of
+//!   [`crate::projection::Projection`] up to date under single-edge
+//!   bipartite inserts, replaying the same hub-cap rule transition by
+//!   transition (a company crossing the cap retracts every pair it had
+//!   contributed).
+//! * [`DynamicPageRank`] maintains PageRank with localized
+//!   Gauss–Southwell residual pushes instead of full power iteration.
+//!
+//! # The solver
+//!
+//! We solve the *dangling-absorbing* linear system
+//!
+//! ```text
+//! x = (1 − d)·1 + d · Aᵀ x,   A[v][u] = w_uv / deg_u
+//! ```
+//!
+//! keeping an estimate `x` and its exact residual `r = b + d·Aᵀx − x`.
+//! A push at `u` moves `r_u` into `x_u` and forwards `d·r_u·w_uv/deg_u`
+//! to each neighbor, shrinking `‖r‖₁` by at least `(1 − d)|r_u|`.
+//! Standard Gauss–Southwell analysis gives the **error bound**
+//!
+//! ```text
+//! ‖x − x*‖₁ ≤ ‖r‖₁ / (1 − d)
+//! ```
+//!
+//! Normalizing `x` to sum 1 recovers the classic dangling-redistributed
+//! PageRank: redistributing dangling mass uniformly over the teleport
+//! vector only rescales the absorbing solution, so `x*/‖x*‖₁` is exactly
+//! the fixed point that [`crate::pagerank::pagerank`] iterates toward.
+//! (Using the unnormalized teleport `b_u = 1 − d` also makes node
+//! arrival purely local: a new node just appends `x = 0, r = 1 − d`.)
+//!
+//! An edge-weight or degree change at node `u` perturbs the inflow of
+//! `u`'s neighbors; [`DynamicPageRank::apply_projection_change`]
+//! recomputes the residual *exactly* on the affected two-hop set and
+//! [`DynamicPageRank::refresh`] pushes until `‖r‖₁` is back under the
+//! target. If the tracked bound ever exceeds `recompute_ratio·‖x‖₁` the
+//! maintainer abandons the estimate and re-solves from scratch — the
+//! threshold-triggered **full recompute** escape hatch.
+
+use crate::bipartite::{BipartiteGraph, EdgeInsert};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::projection::Projection;
+use std::collections::VecDeque;
+
+/// Incrementally maintained hub-capped co-investment projection.
+#[derive(Debug, Clone)]
+pub struct DynamicProjection {
+    /// node → neighbor → weight (shared-company count).
+    weights: Vec<FxHashMap<u32, f64>>,
+    /// Cached weighted degrees (kept exactly in step with `weights`).
+    degree: Vec<f64>,
+    total_weight: f64,
+    max_company_degree: usize,
+}
+
+impl DynamicProjection {
+    /// Empty projection with the given hub cap.
+    pub fn new(max_company_degree: usize) -> DynamicProjection {
+        DynamicProjection {
+            weights: Vec::new(),
+            degree: Vec::new(),
+            total_weight: 0.0,
+            max_company_degree,
+        }
+    }
+
+    /// Nodes tracked so far.
+    pub fn node_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Weighted degree of `u`.
+    pub fn degree(&self, u: u32) -> f64 {
+        self.degree[u as usize]
+    }
+
+    /// Neighbors of `u` with weights (arbitrary order).
+    pub fn neighbors(&self, u: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.weights[u as usize].iter().map(|(&v, &w)| (v, w))
+    }
+
+    /// Grow to at least `n` (isolated) nodes.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        while self.weights.len() < n {
+            self.weights.push(FxHashMap::default());
+            self.degree.push(0.0);
+        }
+    }
+
+    fn bump_pair(&mut self, a: u32, b: u32, delta: f64) {
+        for (x, y) in [(a, b), (b, a)] {
+            let m = &mut self.weights[x as usize];
+            let w = m.entry(y).or_insert(0.0);
+            *w += delta;
+            if *w <= 0.0 {
+                m.remove(&y);
+            }
+            self.degree[x as usize] += delta;
+        }
+        self.total_weight += delta;
+    }
+
+    /// Apply one bipartite edge insertion, given the post-insert `graph`.
+    /// Returns the sorted set of nodes whose degree changed (empty for a
+    /// duplicate edge or a company still below two investors).
+    ///
+    /// Hub-cap transitions, with `k` the company's post-insert degree:
+    /// `k == 1` contributes nothing; `2 ≤ k ≤ cap` adds a pair between
+    /// the new investor and each prior one; `k == cap + 1` retracts
+    /// every pair among the prior investors (the company just became a
+    /// hub); `k > cap + 1` is a no-op (already excluded).
+    pub fn apply_insert(&mut self, graph: &BipartiteGraph, ins: &EdgeInsert) -> Vec<u32> {
+        self.ensure_nodes(graph.investor_count());
+        if !ins.new_edge {
+            return Vec::new();
+        }
+        let investors = graph.investors_of(ins.company_index);
+        let k = investors.len();
+        let cap = self.max_company_degree;
+        let mut changed: Vec<u32> = Vec::new();
+        if (2..=cap).contains(&k) {
+            for &other in investors {
+                if other != ins.investor_index {
+                    self.bump_pair(ins.investor_index, other, 1.0);
+                    changed.push(other);
+                }
+            }
+            changed.push(ins.investor_index);
+        } else if k == cap + 1 {
+            // The company crossed the cap: retract the pairs its previous
+            // `cap` investors contributed. The new edge itself adds none.
+            for (a_pos, &a) in investors.iter().enumerate() {
+                if a == ins.investor_index {
+                    continue;
+                }
+                for &b in &investors[a_pos + 1..] {
+                    if b == ins.investor_index {
+                        continue;
+                    }
+                    self.bump_pair(a, b, -1.0);
+                }
+                changed.push(a);
+            }
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        changed
+    }
+
+    /// Export as a [`Projection`] (sorted adjacency), structurally equal
+    /// to [`Projection::from_bipartite`] on the same graph and cap.
+    pub fn to_projection(&self) -> Projection {
+        let mut total = 0.0;
+        let adj: Vec<Vec<(u32, f64)>> = self
+            .weights
+            .iter()
+            .map(|m| {
+                let mut v: Vec<(u32, f64)> = m.iter().map(|(&n, &w)| (n, w)).collect();
+                v.sort_unstable_by_key(|&(n, _)| n);
+                total += v.iter().map(|&(_, w)| w).sum::<f64>();
+                v
+            })
+            .collect();
+        Projection {
+            adj,
+            total_weight: total / 2.0,
+        }
+    }
+}
+
+/// Tuning for [`DynamicPageRank`].
+#[derive(Debug, Clone)]
+pub struct DynRankConfig {
+    /// Damping factor (matches [`crate::pagerank::PageRankConfig`]).
+    pub damping: f64,
+    /// `refresh` pushes until `‖r‖₁ ≤ target_residual · max(‖x‖₁, 1)`.
+    pub target_residual: f64,
+    /// Full recompute triggers when the tracked bound
+    /// `‖r‖₁/(1−d)` exceeds `recompute_ratio · max(‖x‖₁, 1)`. A cold
+    /// restart's bound is `n` (every residual starts at `1−d`), and
+    /// `‖x‖₁ ≤ n` at the solution, so the default of `1.0` recomputes
+    /// only once the warm state is no closer than a cold solve — below
+    /// that, localized pushes from the warm state strictly win.
+    pub recompute_ratio: f64,
+}
+
+impl Default for DynRankConfig {
+    fn default() -> Self {
+        DynRankConfig {
+            damping: 0.85,
+            target_residual: 1e-9,
+            recompute_ratio: 1.0,
+        }
+    }
+}
+
+/// Gauss–Southwell PageRank maintainer (see module docs).
+#[derive(Debug, Clone)]
+pub struct DynamicPageRank {
+    cfg: DynRankConfig,
+    /// Estimate of the absorbing solution (unnormalized).
+    x: Vec<f64>,
+    /// Exact residual `b + d·Aᵀx − x`.
+    r: Vec<f64>,
+    /// Running `‖r‖₁` (re-synced on every full recompute).
+    r_l1: f64,
+    pushes: u64,
+    recomputes: u64,
+}
+
+impl DynamicPageRank {
+    /// Empty maintainer.
+    pub fn new(cfg: DynRankConfig) -> DynamicPageRank {
+        DynamicPageRank {
+            cfg,
+            x: Vec::new(),
+            r: Vec::new(),
+            r_l1: 0.0,
+            pushes: 0,
+            recomputes: 0,
+        }
+    }
+
+    /// Residual pushes performed so far (telemetry).
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Threshold-triggered full recomputes so far (telemetry).
+    pub fn recomputes(&self) -> u64 {
+        self.recomputes
+    }
+
+    /// The tracked error bound `‖r‖₁ / (1 − d)` on the unnormalized
+    /// estimate.
+    pub fn error_bound(&self) -> f64 {
+        self.r_l1 / (1.0 - self.cfg.damping)
+    }
+
+    fn ensure_nodes(&mut self, n: usize) {
+        let b = 1.0 - self.cfg.damping;
+        while self.x.len() < n {
+            self.x.push(0.0);
+            self.r.push(b);
+            self.r_l1 += b;
+        }
+    }
+
+    fn set_residual(&mut self, u: usize, value: f64) {
+        self.r_l1 += value.abs() - self.r[u].abs();
+        self.r[u] = value;
+    }
+
+    /// Exact residual of `u` from the current projection state.
+    fn exact_residual(&self, proj: &DynamicProjection, u: u32) -> f64 {
+        let d = self.cfg.damping;
+        let mut inflow = 0.0;
+        for (v, w) in proj.neighbors(u) {
+            let deg_v = proj.degree(v);
+            if deg_v > 0.0 {
+                inflow += self.x[v as usize] * w / deg_v;
+            }
+        }
+        (1.0 - d) + d * inflow - self.x[u as usize]
+    }
+
+    /// Re-establish exact residuals after `changed` nodes (sorted, from
+    /// [`DynamicProjection::apply_insert`]) had their degree or incident
+    /// weights altered. The affected set is `changed ∪ N(changed)` — a
+    /// weight/degree change at `u` only perturbs the inflow of `u`'s
+    /// neighbors (and `u`'s own outflow term is folded into theirs).
+    pub fn apply_projection_change(&mut self, proj: &DynamicProjection, changed: &[u32]) {
+        self.ensure_nodes(proj.node_count());
+        if changed.is_empty() {
+            return;
+        }
+        let mut affected: FxHashSet<u32> = FxHashSet::default();
+        for &u in changed {
+            affected.insert(u);
+            for (v, _) in proj.neighbors(u) {
+                affected.insert(v);
+            }
+        }
+        let mut affected: Vec<u32> = affected.into_iter().collect();
+        affected.sort_unstable();
+        for u in affected {
+            let r = self.exact_residual(proj, u);
+            self.set_residual(u as usize, r);
+        }
+    }
+
+    /// Push residual mass until the bound is back under
+    /// `target_residual`, falling back to a full recompute when the
+    /// tracked bound exceeds the `recompute_ratio` threshold. Returns
+    /// the final `‖r‖₁`.
+    pub fn refresh(&mut self, proj: &DynamicProjection) -> f64 {
+        self.ensure_nodes(proj.node_count());
+        let n = self.x.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let x_l1: f64 = self.x.iter().map(|v| v.abs()).sum();
+        if self.error_bound() > self.cfg.recompute_ratio * x_l1.max(1.0) {
+            self.recompute(proj);
+            return self.r_l1;
+        }
+        self.push_to_target(proj);
+        self.r_l1
+    }
+
+    /// Discard the estimate and re-solve from scratch by pushing from
+    /// `x = 0, r = b` (the threshold escape hatch, and the initial solve).
+    pub fn recompute(&mut self, proj: &DynamicProjection) {
+        self.ensure_nodes(proj.node_count());
+        let b = 1.0 - self.cfg.damping;
+        for v in self.x.iter_mut() {
+            *v = 0.0;
+        }
+        for v in self.r.iter_mut() {
+            *v = b;
+        }
+        self.r_l1 = b * self.r.len() as f64;
+        self.recomputes += 1;
+        self.push_to_target(proj);
+    }
+
+    fn push_to_target(&mut self, proj: &DynamicProjection) {
+        let n = self.x.len();
+        let x_l1: f64 = self.x.iter().map(|v| v.abs()).sum();
+        // Scale the target by the total solution mass, settled plus
+        // pending (`‖r‖₁/(1−d)` bounds the mass still to arrive), so the
+        // initial from-zero solve is held to the same *relative*
+        // accuracy as a small incremental touch-up.
+        let mass = x_l1 + self.r_l1 / (1.0 - self.cfg.damping);
+        let target = self.cfg.target_residual * mass.max(1.0);
+        // Pushing every node above θ leaves ‖r‖₁ ≤ n·θ ≤ target, so the
+        // queue-drain loop below terminates with the bound met even
+        // without re-checking ‖r‖₁.
+        let theta = (target / n as f64).max(f64::MIN_POSITIVE);
+        let mut queue: VecDeque<u32> = (0..n as u32)
+            .filter(|&u| self.r[u as usize].abs() > theta)
+            .collect();
+        let mut queued: Vec<bool> = vec![false; n];
+        for &u in &queue {
+            queued[u as usize] = true;
+        }
+        let d = self.cfg.damping;
+        while let Some(u) = queue.pop_front() {
+            queued[u as usize] = false;
+            let delta = self.r[u as usize];
+            if delta.abs() <= theta {
+                continue;
+            }
+            self.x[u as usize] += delta;
+            self.set_residual(u as usize, 0.0);
+            self.pushes += 1;
+            let deg_u = proj.degree(u);
+            if deg_u <= 0.0 {
+                continue; // dangling: mass absorbed (fixed by normalization)
+            }
+            let scale = d * delta / deg_u;
+            for (v, w) in proj.neighbors(u) {
+                let vi = v as usize;
+                let nv = self.r[vi] + scale * w;
+                self.r_l1 += nv.abs() - self.r[vi].abs();
+                self.r[vi] = nv;
+                if nv.abs() > theta && !queued[vi] {
+                    queued[vi] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    /// Current scores normalized to sum 1 — directly comparable to
+    /// [`crate::pagerank::pagerank`] output on the same projection.
+    pub fn ranks(&self) -> Vec<f64> {
+        let sum: f64 = self.x.iter().sum();
+        if sum <= 0.0 {
+            let n = self.x.len();
+            return vec![if n == 0 { 0.0 } else { 1.0 / n as f64 }; n];
+        }
+        self.x.iter().map(|v| v / sum).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank::{pagerank, PageRankConfig};
+
+    /// Drive both maintainers over an edge sequence; return (graph, proj,
+    /// rank maintainer) with residuals refreshed.
+    fn grow(seq: &[(u32, u32)], cap: usize) -> (BipartiteGraph, DynamicProjection, DynamicPageRank) {
+        let mut g = BipartiteGraph::from_edges(Vec::<(u32, u32)>::new());
+        let mut p = DynamicProjection::new(cap);
+        let mut pr = DynamicPageRank::new(DynRankConfig::default());
+        for &(inv, com) in seq {
+            let ins = g.add_edge(inv, com);
+            let changed = p.apply_insert(&g, &ins);
+            pr.apply_projection_change(&p, &changed);
+        }
+        pr.refresh(&p);
+        (g, p, pr)
+    }
+
+    fn seq() -> Vec<(u32, u32)> {
+        vec![
+            (0, 100),
+            (1, 100),
+            (0, 101),
+            (1, 101),
+            (1, 102),
+            (2, 102),
+            (3, 103),
+            (2, 101),
+            (4, 104),
+            (0, 104),
+            (3, 104),
+        ]
+    }
+
+    #[test]
+    fn dynamic_projection_matches_batch_projection() {
+        for cap in [2, 3, 50] {
+            let (g, p, _) = grow(&seq(), cap);
+            let batch = Projection::from_bipartite(&g, cap);
+            let inc = p.to_projection();
+            assert_eq!(inc.adj.len(), batch.adj.len(), "cap {cap}");
+            for (i, (a, b)) in inc.adj.iter().zip(&batch.adj).enumerate() {
+                assert_eq!(a, b, "adjacency of node {i} differs at cap {cap}");
+            }
+            assert_eq!(inc.total_weight, batch.total_weight);
+        }
+    }
+
+    #[test]
+    fn hub_cap_crossing_retracts_prior_pairs() {
+        // Company 500 grows to cap+1 investors: its pairs must vanish.
+        let cap = 3;
+        let edges: Vec<(u32, u32)> = (0..4u32).map(|i| (i, 500)).collect();
+        let (g, p, _) = grow(&edges, cap);
+        let batch = Projection::from_bipartite(&g, cap);
+        let inc = p.to_projection();
+        assert_eq!(inc.edge_count(), 0);
+        assert_eq!(batch.edge_count(), 0);
+        assert_eq!(inc.total_weight, 0.0);
+    }
+
+    #[test]
+    fn pushed_ranks_match_power_iteration() {
+        let (_, p, pr) = grow(&seq(), 50);
+        let power = pagerank(&p.to_projection(), &PageRankConfig::default());
+        let dynamic = pr.ranks();
+        assert_eq!(power.len(), dynamic.len());
+        for (i, (a, b)) in power.iter().zip(&dynamic).enumerate() {
+            assert!((a - b).abs() < 1e-6, "rank {i}: power {a} vs dynamic {b}");
+        }
+        let sum: f64 = dynamic.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_bound_shrinks_after_refresh() {
+        let mut g = BipartiteGraph::from_edges(Vec::<(u32, u32)>::new());
+        let mut p = DynamicProjection::new(50);
+        let mut pr = DynamicPageRank::new(DynRankConfig::default());
+        for &(inv, com) in &seq() {
+            let ins = g.add_edge(inv, com);
+            let changed = p.apply_insert(&g, &ins);
+            pr.apply_projection_change(&p, &changed);
+        }
+        let before = pr.error_bound();
+        pr.refresh(&p);
+        assert!(pr.error_bound() <= before);
+        assert!(pr.error_bound() <= 1e-9 * 10.0 / (1.0 - 0.85) * 10.0);
+        assert!(pr.pushes() > 0);
+    }
+
+    #[test]
+    fn tiny_recompute_ratio_triggers_full_recompute() {
+        let mut g = BipartiteGraph::from_edges(Vec::<(u32, u32)>::new());
+        let mut p = DynamicProjection::new(50);
+        let mut pr = DynamicPageRank::new(DynRankConfig {
+            recompute_ratio: 1e-12,
+            ..DynRankConfig::default()
+        });
+        for &(inv, com) in &seq() {
+            let ins = g.add_edge(inv, com);
+            let changed = p.apply_insert(&g, &ins);
+            pr.apply_projection_change(&p, &changed);
+            pr.refresh(&p);
+        }
+        assert!(pr.recomputes() > 0, "threshold should have fired");
+        // And the answer is still right.
+        let power = pagerank(&p.to_projection(), &PageRankConfig::default());
+        for (a, b) in power.iter().zip(&pr.ranks()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dangling_nodes_keep_teleport_share() {
+        // Investor 3 never co-invests: isolated in the projection.
+        let (_, p, pr) = grow(&[(0, 1), (1, 1), (3, 9)], 50);
+        let ranks = pr.ranks();
+        assert!(ranks[p.node_count() - 1] > 0.0);
+        let power = pagerank(&p.to_projection(), &PageRankConfig::default());
+        for (a, b) in power.iter().zip(&ranks) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn incremental_equals_restart_solve() {
+        // Byte-level determinism: growing twice over the same sequence
+        // gives identical floating-point state.
+        let (_, _, pr1) = grow(&seq(), 3);
+        let (_, _, pr2) = grow(&seq(), 3);
+        assert_eq!(pr1.ranks(), pr2.ranks());
+        assert_eq!(pr1.pushes(), pr2.pushes());
+    }
+}

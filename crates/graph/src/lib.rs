@@ -28,6 +28,7 @@ pub mod bigclam;
 pub mod bipartite;
 pub mod coda;
 pub mod dynamic;
+pub mod dynrank;
 pub mod eval;
 pub mod fxhash;
 pub mod labelprop;
@@ -53,6 +54,7 @@ pub(crate) fn sample_indices<R: rand::Rng + ?Sized>(rng: &mut R, n: usize, k: us
     out
 }
 
-pub use bipartite::BipartiteGraph;
+pub use bipartite::{BipartiteGraph, EdgeInsert};
+pub use dynrank::{DynRankConfig, DynamicPageRank, DynamicProjection};
 pub use coda::{Coda, CodaConfig};
 pub use metrics::Cover;

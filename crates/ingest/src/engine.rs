@@ -1,0 +1,578 @@
+//! The ingest engine: one changefeed subscription driving the maintainers,
+//! plus the epoch publisher.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//! Store writes ──changefeed──▶ drain() ──▶ maintainers (graph, entities, stats)
+//!                                │
+//!                 Lagged{..} ────┘ overflow → catch_up() full rescan
+//!
+//! publish() ──▶ Artifacts::assemble(parts, warm CoDA) ──▶ Service::install_artifacts
+//! ```
+//!
+//! [`IngestEngine::new`] subscribes **before** its initial catch-up scan, so
+//! writes racing the scan land in the queue and the version guard (events at
+//! or below the scanned version are skipped) keeps the two paths from
+//! double-applying. On [`FeedPoll::Lagged`] the engine discards any buffered
+//! pre-gap events and rescans — the changefeed's documented recovery
+//! contract — so maintained state can never mix pre- and post-gap deltas.
+//!
+//! Epochs published by [`IngestEngine::publish`] are immutable
+//! [`Artifacts`] snapshots stamped with the last applied store version;
+//! installing one into a [`Service`] atomically swaps what every subsequent
+//! request reads (pinned-epoch mode — zero rebuild on the request path).
+
+use crate::error::IngestError;
+use crate::maintain::{EntityMaintainer, GraphMaintainer, StatsMaintainer};
+use crowdnet_graph::{Coda, DynRankConfig};
+use crowdnet_serve::artifacts::{ArtifactParts, NS_COMPANIES, NS_USERS};
+use crowdnet_serve::{Artifacts, ArtifactsConfig, Service};
+use crowdnet_store::{ChangeEvent, ChangePayload, FeedPoll, SnapshotId, Store, StoreError, Subscription};
+use crowdnet_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use std::sync::Arc;
+
+/// Ingest-tier knobs.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Changefeed subscription queue capacity (events buffered between
+    /// drains before the overflow policy kicks in).
+    pub feed_capacity: usize,
+    /// Artifact knobs — must match the serving tier's so published epochs
+    /// agree with what a rebuild would produce.
+    pub artifacts: ArtifactsConfig,
+    /// Dynamic PageRank knobs (residual target, recompute threshold).
+    pub pagerank: DynRankConfig,
+    /// CoDA gradient iterations for warm-started epoch refits (the first,
+    /// cold epoch uses `artifacts.iterations`).
+    pub refit_iterations: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            feed_capacity: 65_536,
+            artifacts: ArtifactsConfig::default(),
+            pagerank: DynRankConfig::default(),
+            refit_iterations: 5,
+        }
+    }
+}
+
+/// What one [`IngestEngine::drain`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Events applied (appends + snapshot rolls).
+    pub events: u64,
+    /// Documents applied.
+    pub docs: u64,
+    /// New graph edges inserted.
+    pub edges: u64,
+    /// Events lost to queue overflow (each loss triggered a catch-up scan).
+    pub lag_drops: u64,
+    /// Catch-up scans performed during this drain.
+    pub catchups: u64,
+}
+
+/// The ingest engine. Single-writer over its maintained state; `drain` and
+/// `publish` take `&mut self`.
+pub struct IngestEngine {
+    store: Arc<Store>,
+    sub: Subscription,
+    cfg: IngestConfig,
+    telemetry: Telemetry,
+    /// Highest store version folded into the maintained state.
+    applied_version: u64,
+    graph: GraphMaintainer,
+    entities: EntityMaintainer,
+    stats: StatsMaintainer,
+    /// Previous epoch's CoDA model + the epoch holding the filtered graph
+    /// it was fitted on, for warm-starting the next refit.
+    warm: Option<(Coda, Arc<Artifacts>)>,
+    epochs: u64,
+    // Telemetry handles (created once; cheap clones of registry slots).
+    events_ctr: Counter,
+    docs_ctr: Counter,
+    edges_ctr: Counter,
+    epochs_ctr: Counter,
+    catchup_ctr: Counter,
+    dropped_ctr: Counter,
+    lag_gauge: Gauge,
+    epoch_gauge: Gauge,
+    pushes_ctr: Counter,
+    recomputes_ctr: Counter,
+    apply_graph_ms: Histogram,
+    apply_entities_ms: Histogram,
+    apply_stats_ms: Histogram,
+    publish_ms: Histogram,
+    pushes_seen: u64,
+    recomputes_seen: u64,
+}
+
+impl IngestEngine {
+    /// Subscribe to the store's changefeed and catch up on everything
+    /// already written. Subscription happens first so no write can fall
+    /// between the scan and the first drain.
+    pub fn new(
+        store: Arc<Store>,
+        cfg: IngestConfig,
+        telemetry: Telemetry,
+    ) -> Result<IngestEngine, IngestError> {
+        let sub = store.subscribe(cfg.feed_capacity);
+        let mut engine = IngestEngine {
+            sub,
+            graph: GraphMaintainer::new(
+                cfg.artifacts.min_investments,
+                cfg.artifacts.max_company_degree,
+                cfg.pagerank.clone(),
+            ),
+            entities: EntityMaintainer::default(),
+            stats: StatsMaintainer::default(),
+            warm: None,
+            epochs: 0,
+            applied_version: 0,
+            events_ctr: telemetry.counter("ingest.events"),
+            docs_ctr: telemetry.counter("ingest.docs"),
+            edges_ctr: telemetry.counter("ingest.edges"),
+            epochs_ctr: telemetry.counter("ingest.epochs"),
+            catchup_ctr: telemetry.counter("ingest.catchup.scans"),
+            dropped_ctr: telemetry.counter("ingest.feed.dropped"),
+            lag_gauge: telemetry.gauge("ingest.feed.lag"),
+            epoch_gauge: telemetry.gauge("ingest.epoch.version"),
+            pushes_ctr: telemetry.counter("ingest.pagerank.pushes"),
+            recomputes_ctr: telemetry.counter("ingest.pagerank.recomputes"),
+            apply_graph_ms: telemetry.histogram("ingest.apply_ms.graph"),
+            apply_entities_ms: telemetry.histogram("ingest.apply_ms.entities"),
+            apply_stats_ms: telemetry.histogram("ingest.apply_ms.stats"),
+            publish_ms: telemetry.histogram("ingest.publish_ms"),
+            pushes_seen: 0,
+            recomputes_seen: 0,
+            store,
+            cfg,
+            telemetry,
+        };
+        engine.catch_up()?;
+        Ok(engine)
+    }
+
+    /// Highest store version folded into the maintained state.
+    pub fn applied_version(&self) -> u64 {
+        self.applied_version
+    }
+
+    /// Epochs published so far.
+    pub fn epochs_published(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The graph maintainer (read access for callers and tests).
+    pub fn graph(&self) -> &GraphMaintainer {
+        &self.graph
+    }
+
+    /// The entity maintainer.
+    pub fn entities(&self) -> &EntityMaintainer {
+        &self.entities
+    }
+
+    /// The stats maintainer.
+    pub fn stats(&self) -> &StatsMaintainer {
+        &self.stats
+    }
+
+    /// Rebuild every maintainer from a full store scan at the current
+    /// version, then adopt that version as the applied watermark. This is
+    /// both initial bootstrap and the overflow-recovery path; buffered
+    /// events at or below the watermark are subsequently skipped, so a
+    /// catch-up immediately followed by stale deliveries is harmless.
+    pub fn catch_up(&mut self) -> Result<(), IngestError> {
+        let _span = self.telemetry.span("ingest.catchup");
+        let version = self.store.version();
+        let mut graph = GraphMaintainer::new(
+            self.cfg.artifacts.min_investments,
+            self.cfg.artifacts.max_company_degree,
+            self.cfg.pagerank.clone(),
+        );
+        let mut entities = EntityMaintainer::default();
+        let mut stats = StatsMaintainer::default();
+        for ns in [NS_COMPANIES, NS_USERS] {
+            let docs = match self.store.scan_snapshot(ns, SnapshotId(0)) {
+                Ok(docs) => docs,
+                Err(StoreError::NamespaceNotFound(_)) => continue,
+                Err(e) => return Err(e.into()),
+            };
+            for doc in &docs {
+                if ns == NS_USERS {
+                    graph.apply_doc(doc);
+                }
+                entities.apply_doc(doc);
+            }
+        }
+        for ns in self.store.namespaces()? {
+            for snap in self.store.snapshots(&ns) {
+                let docs = self.store.scan_snapshot(&ns, snap)?;
+                stats.absorb_scan(&ns, snap, &docs);
+            }
+        }
+        self.graph = graph;
+        self.entities = entities;
+        self.stats = stats;
+        self.applied_version = version;
+        self.catchup_ctr.inc();
+        Ok(())
+    }
+
+    /// Drain the subscription queue: buffer every fresh event, fall back to
+    /// a catch-up scan on overflow, then apply the batch through the
+    /// maintainers (sequentially — see [`IngestEngine::drain_with_threads`]
+    /// for the sharded form).
+    pub fn drain(&mut self) -> Result<DrainReport, IngestError> {
+        self.drain_with_threads(1)
+    }
+
+    /// [`IngestEngine::drain`] with the maintainers sharded across up to
+    /// `threads` scoped worker threads (graph+PageRank / entities / stats
+    /// are independent units). `threads <= 1` applies sequentially.
+    pub fn drain_with_threads(&mut self, threads: usize) -> Result<DrainReport, IngestError> {
+        self.lag_gauge.set(self.sub.lag() as u64);
+        let mut report = DrainReport::default();
+        let mut batch: Vec<ChangeEvent> = Vec::new();
+        loop {
+            match self.sub.poll() {
+                FeedPoll::Event(ev) => {
+                    if ev.version > self.applied_version {
+                        batch.push(ev);
+                    }
+                }
+                FeedPoll::Lagged { dropped } => {
+                    // Overflow: buffered pre-gap events are superseded by
+                    // the rescan; post-gap events still queued are skipped
+                    // by the version guard after `catch_up` advances it.
+                    report.lag_drops += dropped;
+                    self.dropped_ctr.add(dropped);
+                    batch.clear();
+                    self.catch_up()?;
+                    report.catchups += 1;
+                }
+                FeedPoll::Empty => break,
+            }
+        }
+        batch.retain(|ev| ev.version > self.applied_version);
+        let applied = self.apply_batch(&batch, threads)?;
+        report.events += applied.events;
+        report.docs += applied.docs;
+        report.edges += applied.edges;
+        self.lag_gauge.set(self.sub.lag() as u64);
+        Ok(report)
+    }
+
+    /// Apply an already-buffered event batch through the maintainers,
+    /// sharding the three independent units across up to `threads` scoped
+    /// threads. Advances the applied-version watermark to the batch's
+    /// maximum. Exposed for the ingest benchmark; normal consumers go
+    /// through [`IngestEngine::drain`].
+    pub fn apply_batch(
+        &mut self,
+        events: &[ChangeEvent],
+        threads: usize,
+    ) -> Result<DrainReport, IngestError> {
+        if events.is_empty() {
+            return Ok(DrainReport::default());
+        }
+        let telemetry = self.telemetry.clone();
+        let graph = &mut self.graph;
+        let entities = &mut self.entities;
+        let stats = &mut self.stats;
+        let apply_graph = move |g: &mut GraphMaintainer| -> u64 {
+            let mut edges = 0;
+            for ev in events {
+                if GraphMaintainer::wants(ev) {
+                    if let ChangePayload::Append(doc) = &ev.payload {
+                        edges += g.apply_doc(doc);
+                    }
+                }
+            }
+            edges
+        };
+        let apply_entities = move |e: &mut EntityMaintainer| {
+            for ev in events {
+                if EntityMaintainer::wants(ev) {
+                    if let ChangePayload::Append(doc) = &ev.payload {
+                        e.apply_doc(doc);
+                    }
+                }
+            }
+        };
+        let apply_stats = move |s: &mut StatsMaintainer| {
+            for ev in events {
+                s.apply_event(ev);
+            }
+        };
+
+        let edges;
+        if threads <= 1 {
+            let t0 = telemetry.now_ms();
+            edges = apply_graph(graph);
+            self.apply_graph_ms.record(telemetry.now_ms() - t0);
+            let t1 = telemetry.now_ms();
+            apply_entities(entities);
+            self.apply_entities_ms.record(telemetry.now_ms() - t1);
+            let t2 = telemetry.now_ms();
+            apply_stats(stats);
+            self.apply_stats_ms.record(telemetry.now_ms() - t2);
+        } else {
+            let graph_hist = self.apply_graph_ms.clone();
+            let entities_hist = self.apply_entities_ms.clone();
+            let stats_hist = self.apply_stats_ms.clone();
+            let tele_g = telemetry.clone();
+            let tele_e = telemetry.clone();
+            let tele_s = telemetry;
+            edges = crossbeam::thread::scope(|s| {
+                let graph_handle = s.spawn(move |_| {
+                    let t0 = tele_g.now_ms();
+                    let edges = apply_graph(graph);
+                    graph_hist.record(tele_g.now_ms() - t0);
+                    edges
+                });
+                if threads >= 3 {
+                    s.spawn(move |_| {
+                        let t0 = tele_e.now_ms();
+                        apply_entities(entities);
+                        entities_hist.record(tele_e.now_ms() - t0);
+                    });
+                    s.spawn(move |_| {
+                        let t0 = tele_s.now_ms();
+                        apply_stats(stats);
+                        stats_hist.record(tele_s.now_ms() - t0);
+                    });
+                } else {
+                    s.spawn(move |_| {
+                        let t0 = tele_e.now_ms();
+                        apply_entities(entities);
+                        entities_hist.record(tele_e.now_ms() - t0);
+                        let t1 = tele_s.now_ms();
+                        apply_stats(stats);
+                        stats_hist.record(tele_s.now_ms() - t1);
+                    });
+                }
+                graph_handle
+                    .join()
+                    .map_err(|_| IngestError::Thread("graph maintainer".into()))
+            })
+            .map_err(|_| IngestError::Thread("maintainer scope".into()))??;
+        }
+
+        let docs = events
+            .iter()
+            .filter(|ev| matches!(ev.payload, ChangePayload::Append(_)))
+            .count() as u64;
+        // Version stamps are authoritative regardless of arrival order.
+        if let Some(max) = events.iter().map(|ev| ev.version).max() {
+            self.applied_version = self.applied_version.max(max);
+        }
+        self.events_ctr.add(events.len() as u64);
+        self.docs_ctr.add(docs);
+        self.edges_ctr.add(edges);
+        Ok(DrainReport {
+            events: events.len() as u64,
+            docs,
+            edges,
+            lag_drops: 0,
+            catchups: 0,
+        })
+    }
+
+    /// Assemble the maintained parts into an immutable epoch, warm-starting
+    /// CoDA from the previous epoch's factors, and (optionally) install it
+    /// into a service — the atomic swap that moves readers to the new
+    /// epoch. Returns the published artifacts.
+    pub fn publish(&mut self, service: Option<&Service>) -> Arc<Artifacts> {
+        let _span = self.telemetry.span("ingest.publish");
+        let t0 = self.telemetry.now_ms();
+        let (pagerank, _bound) = self.graph.refresh_pagerank();
+        let pushes = self.graph.pagerank_pushes();
+        let recomputes = self.graph.pagerank_recomputes();
+        self.pushes_ctr.add(pushes - self.pushes_seen);
+        self.recomputes_ctr.add(recomputes - self.recomputes_seen);
+        self.pushes_seen = pushes;
+        self.recomputes_seen = recomputes;
+
+        let mut art_cfg = self.cfg.artifacts.clone();
+        if self.warm.is_some() {
+            art_cfg.iterations = self.cfg.refit_iterations;
+        }
+        let parts = ArtifactParts {
+            version: self.applied_version,
+            graph: self.graph.graph().clone(),
+            entities: self.entities.clone_map(),
+            pagerank,
+            stats: Some(self.stats.to_stats()),
+        };
+        let warm = self
+            .warm
+            .as_ref()
+            .map(|(model, epoch)| (model, &epoch.filtered));
+        let (artifacts, model) = Artifacts::assemble(parts, &art_cfg, &self.telemetry, warm);
+        let artifacts = Arc::new(artifacts);
+        self.warm = model.map(|m| (m, Arc::clone(&artifacts)));
+        if let Some(svc) = service {
+            svc.install_artifacts(Arc::clone(&artifacts));
+        }
+        self.epochs += 1;
+        self.epochs_ctr.inc();
+        self.epoch_gauge.set(self.applied_version);
+        self.publish_ms.record(self.telemetry.now_ms() - t0);
+        artifacts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdnet_json::{obj, Value};
+    use crowdnet_serve::ServiceConfig;
+    use crowdnet_store::Document;
+
+    fn put_investor(store: &Store, id: u32, companies: &[u64]) {
+        let arr = companies.iter().map(|&c| Value::from(c)).collect::<Vec<_>>();
+        store
+            .put(
+                NS_USERS,
+                Document::new(
+                    format!("user:{id}"),
+                    obj! {"id" => u64::from(id), "role" => "investor", "investments" => Value::Arr(arr)},
+                ),
+            )
+            .unwrap();
+    }
+
+    fn put_company(store: &Store, id: u32) {
+        store
+            .put(
+                NS_COMPANIES,
+                Document::new(
+                    format!("company:{id}"),
+                    obj! {"id" => u64::from(id), "name" => format!("c{id}")},
+                ),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn engine_catches_up_then_follows_the_feed() {
+        let store = Arc::new(Store::memory(2));
+        put_company(&store, 0);
+        put_investor(&store, 10, &[0]);
+        let mut engine =
+            IngestEngine::new(Arc::clone(&store), IngestConfig::default(), Telemetry::new())
+                .unwrap();
+        // Catch-up covered the pre-subscription writes.
+        assert_eq!(engine.graph().graph().edge_count(), 1);
+        assert_eq!(engine.applied_version(), store.version());
+        // Live follow.
+        put_investor(&store, 11, &[0, 1]);
+        let report = engine.drain().unwrap();
+        assert_eq!(report.docs, 1);
+        assert_eq!(report.edges, 2);
+        assert_eq!(engine.graph().graph().edge_count(), 3);
+        assert_eq!(engine.applied_version(), store.version());
+    }
+
+    #[test]
+    fn drain_skips_events_already_covered_by_catch_up() {
+        let store = Arc::new(Store::memory(2));
+        let mut engine =
+            IngestEngine::new(Arc::clone(&store), IngestConfig::default(), Telemetry::new())
+                .unwrap();
+        put_investor(&store, 10, &[0]);
+        // A manual catch-up races ahead of the queued event…
+        engine.catch_up().unwrap();
+        // …so the drain must not double-apply it.
+        let report = engine.drain().unwrap();
+        assert_eq!(report.docs, 0);
+        assert_eq!(engine.graph().graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn overflow_falls_back_to_catch_up() {
+        let store = Arc::new(Store::memory(2));
+        let cfg = IngestConfig { feed_capacity: 2, ..IngestConfig::default() };
+        let telemetry = Telemetry::new();
+        let mut engine =
+            IngestEngine::new(Arc::clone(&store), cfg, telemetry.clone()).unwrap();
+        for id in 0..20u32 {
+            put_investor(&store, id, &[0, 1]);
+        }
+        let report = engine.drain().unwrap();
+        assert!(report.lag_drops > 0);
+        assert!(report.catchups >= 1);
+        // Recovered state is complete despite the drops.
+        assert_eq!(engine.graph().graph().investor_count(), 20);
+        assert_eq!(engine.applied_version(), store.version());
+        assert!(telemetry.counter("ingest.feed.dropped").value() > 0);
+    }
+
+    #[test]
+    fn sharded_apply_matches_sequential() {
+        let build = |threads: usize| {
+            let store = Arc::new(Store::memory(2));
+            let mut engine = IngestEngine::new(
+                Arc::clone(&store),
+                IngestConfig::default(),
+                Telemetry::new(),
+            )
+            .unwrap();
+            for id in 0..12u32 {
+                put_company(&store, id);
+                put_investor(&store, 100 + id, &[u64::from(id), u64::from((id + 1) % 12)]);
+            }
+            engine.drain_with_threads(threads).unwrap();
+            let stats = engine.stats().to_stats();
+            let edges = engine.graph().graph().edge_count();
+            let entities = engine.entities().entities().len();
+            (stats, edges, entities)
+        };
+        assert_eq!(build(1), build(2));
+        assert_eq!(build(1), build(4));
+    }
+
+    #[test]
+    fn publish_installs_a_pinned_epoch() {
+        let store = Arc::new(Store::memory(2));
+        put_company(&store, 0);
+        for id in 0..5u32 {
+            put_investor(&store, 10 + id, &[0, 1, 2, 3]);
+        }
+        let telemetry = Telemetry::new();
+        let service = Service::new(Arc::clone(&store), ServiceConfig::default(), telemetry.clone());
+        let mut engine =
+            IngestEngine::new(Arc::clone(&store), IngestConfig::default(), telemetry.clone())
+                .unwrap();
+        let epoch = engine.publish(Some(&service));
+        assert_eq!(epoch.version, store.version());
+        let pinned = service.pinned_artifacts().unwrap();
+        assert!(Arc::ptr_eq(&pinned, &epoch));
+        assert_eq!(telemetry.counter("ingest.epochs").value(), 1);
+        // Stats are frozen into the epoch.
+        assert_eq!(epoch.stats.as_deref().unwrap(), store.stats().unwrap().as_slice());
+    }
+
+    #[test]
+    fn warm_epochs_chain_and_stay_consistent() {
+        let store = Arc::new(Store::memory(2));
+        for id in 0..6u32 {
+            put_investor(&store, 10 + id, &[0, 1, 2, 3]);
+        }
+        let mut engine =
+            IngestEngine::new(Arc::clone(&store), IngestConfig::default(), Telemetry::new())
+                .unwrap();
+        let first = engine.publish(None);
+        put_investor(&store, 99, &[0, 1, 2, 3]);
+        engine.drain().unwrap();
+        let second = engine.publish(None);
+        assert!(second.version > first.version);
+        assert_eq!(second.graph.investor_count(), 7);
+        // The warm refit still yields a cover over the filtered graph.
+        assert_eq!(second.filtered.investor_count(), 7);
+    }
+}

@@ -1,0 +1,60 @@
+//! Ingest-tier error type.
+
+use crowdnet_crawl::CrawlError;
+use crowdnet_serve::ServeError;
+use crowdnet_store::StoreError;
+use std::fmt;
+
+/// Anything that can go wrong while draining the changefeed, catching up
+/// from a scan, or publishing an epoch.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The underlying store failed a scan or write.
+    Store(StoreError),
+    /// The longitudinal crawl driving a live study failed.
+    Crawl(CrawlError),
+    /// Artifact assembly / serving-layer interaction failed.
+    Serve(ServeError),
+    /// A parallel maintainer thread panicked.
+    Thread(String),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Store(e) => write!(f, "store: {e}"),
+            IngestError::Crawl(e) => write!(f, "crawl: {e}"),
+            IngestError::Serve(e) => write!(f, "serve: {e}"),
+            IngestError::Thread(what) => write!(f, "maintainer thread panicked: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Store(e) => Some(e),
+            IngestError::Crawl(e) => Some(e),
+            IngestError::Serve(e) => Some(e),
+            IngestError::Thread(_) => None,
+        }
+    }
+}
+
+impl From<StoreError> for IngestError {
+    fn from(e: StoreError) -> IngestError {
+        IngestError::Store(e)
+    }
+}
+
+impl From<CrawlError> for IngestError {
+    fn from(e: CrawlError) -> IngestError {
+        IngestError::Crawl(e)
+    }
+}
+
+impl From<ServeError> for IngestError {
+    fn from(e: ServeError) -> IngestError {
+        IngestError::Serve(e)
+    }
+}

@@ -1,10 +1,12 @@
-//! `unbounded-channel`: in the crawl, dataflow and serve crates — the
-//! places producers can outrun consumers by orders of magnitude — an
+//! `unbounded-channel`: in the crawl, dataflow, serve and ingest crates —
+//! the places producers can outrun consumers by orders of magnitude — an
 //! unbounded `mpsc::channel()` turns backpressure into unbounded memory
 //! growth. Those crates must use `sync_channel(bound)` (or another
 //! explicitly bounded queue); the zero-argument `channel()` constructor is
 //! flagged. For serve this *is* the product guarantee: admission control
-//! only sheds load because the request queue is bounded.
+//! only sheds load because the request queue is bounded — and for ingest
+//! the bounded changefeed subscription is what keeps a lagging consumer
+//! from buffering the store's whole write history.
 
 use crate::{Analysis, Diagnostic};
 
@@ -15,6 +17,7 @@ fn in_scope(path: &str) -> bool {
     path.starts_with("crates/crawl/")
         || path.starts_with("crates/dataflow/")
         || path.starts_with("crates/serve/")
+        || path.starts_with("crates/ingest/")
 }
 
 pub fn check(a: &Analysis) -> Vec<Diagnostic> {
@@ -55,7 +58,7 @@ mod tests {
     use crate::rules::testutil::analysis;
 
     #[test]
-    fn flags_unbounded_channel_in_crawl_dataflow_and_serve() {
+    fn flags_unbounded_channel_in_crawl_dataflow_serve_and_ingest() {
         let a = analysis(&[
             (
                 "crates/crawl/src/pipeline.rs",
@@ -69,8 +72,12 @@ mod tests {
                 "crates/serve/src/pool.rs",
                 "fn f() { let (tx, rx) = mpsc::channel(); }",
             ),
+            (
+                "crates/ingest/src/engine.rs",
+                "fn f() { let (tx, rx) = mpsc::channel(); }",
+            ),
         ]);
-        assert_eq!(check(&a).len(), 3);
+        assert_eq!(check(&a).len(), 4);
     }
 
     #[test]

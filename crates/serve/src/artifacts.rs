@@ -23,6 +23,7 @@ use crowdnet_graph::pagerank::{pagerank, PageRankConfig};
 use crowdnet_graph::projection::Projection;
 use crowdnet_graph::{BipartiteGraph, Coda, CodaConfig, Cover};
 use crowdnet_json::Value;
+use crowdnet_store::store::NamespaceStats;
 use crowdnet_store::{SnapshotId, Store, StoreError};
 use crowdnet_telemetry::Telemetry;
 
@@ -74,6 +75,21 @@ pub struct CommunitySummary {
     pub shared_investor_pct: Option<f64>,
 }
 
+/// The incrementally maintained inputs to [`Artifacts::assemble`] — what
+/// the ingest tier keeps patched in place between epoch publishes.
+pub struct ArtifactParts {
+    /// Store version the parts are consistent at.
+    pub version: u64,
+    /// Full investor→company graph.
+    pub graph: BipartiteGraph,
+    /// `"company:{id}"` / `"user:{id}"` → document body.
+    pub entities: FxHashMap<String, Value>,
+    /// PageRank scores index-aligned with `graph`'s investors.
+    pub pagerank: Vec<f64>,
+    /// Per-namespace stats at `version` (None = read live from the store).
+    pub stats: Option<Vec<NamespaceStats>>,
+}
+
 /// Everything derived from one consistent view of the store.
 pub struct Artifacts {
     /// [`Store::version`] observed before the scans began.
@@ -89,6 +105,10 @@ pub struct Artifacts {
     /// PageRank over the co-investment projection of the full graph,
     /// index-aligned with its investors.
     pub pagerank: Vec<f64>,
+    /// Per-namespace stats frozen at `version` (set by the epoch
+    /// publisher so `/stats` answers from the pinned epoch; `None` on
+    /// lazily built artifacts, where `/stats` reads the store live).
+    pub stats: Option<Vec<NamespaceStats>>,
     /// `"company:{id}"` / `"user:{id}"` → document body.
     entities: FxHashMap<String, Value>,
     /// AngelList investor id → dense index in `graph`.
@@ -140,10 +160,48 @@ impl Artifacts {
         }
 
         let graph = BipartiteGraph::from_edges(edges);
+        let pagerank = pagerank(
+            &Projection::from_bipartite(&graph, cfg.max_company_degree),
+            &PageRankConfig::default(),
+        );
+        let (artifacts, _) = Artifacts::assemble(
+            ArtifactParts {
+                version,
+                graph,
+                entities,
+                pagerank,
+                stats: None,
+            },
+            cfg,
+            telemetry,
+            None,
+        );
+        Ok(artifacts)
+    }
+
+    /// Assemble servable artifacts from incrementally maintained parts —
+    /// the epoch publisher's constructor. Derives the filtered graph, the
+    /// CoDA cover (warm-started from a previous epoch's model when
+    /// `warm = Some((model, its_filtered_graph))`), strength summaries
+    /// and the id→index maps. Returns the fitted CoDA model alongside so
+    /// the caller can warm-start the *next* epoch.
+    pub fn assemble(
+        parts: ArtifactParts,
+        cfg: &ArtifactsConfig,
+        telemetry: &Telemetry,
+        warm: Option<(&Coda, &BipartiteGraph)>,
+    ) -> (Artifacts, Option<Coda>) {
+        let ArtifactParts {
+            version,
+            graph,
+            entities,
+            pagerank,
+            stats,
+        } = parts;
         let filtered = graph.filter_min_investments(cfg.min_investments);
 
-        let cover: Cover = if filtered.investor_count() == 0 {
-            Vec::new()
+        let (cover, model): (Cover, Option<Coda>) = if filtered.investor_count() == 0 {
+            (Vec::new(), None)
         } else {
             let communities = if cfg.communities > 0 {
                 cfg.communities
@@ -157,8 +215,12 @@ impl Artifacts {
                 telemetry: telemetry.clone(),
                 ..CodaConfig::default()
             };
-            let model = Coda::fit(&filtered, &coda_cfg);
-            model.investor_communities(&filtered, &coda_cfg)
+            let model = match warm {
+                Some((prev, prev_graph)) => Coda::fit_warm(&filtered, &coda_cfg, prev, prev_graph),
+                None => Coda::fit(&filtered, &coda_cfg),
+            };
+            let cover = model.investor_communities(&filtered, &coda_cfg);
+            (cover, Some(model))
         };
 
         let communities = cover
@@ -171,11 +233,6 @@ impl Artifacts {
                 shared_investor_pct: metrics::pct_companies_with_shared_investors(&filtered, c, 2),
             })
             .collect();
-
-        let pagerank = pagerank(
-            &Projection::from_bipartite(&graph, cfg.max_company_degree),
-            &PageRankConfig::default(),
-        );
 
         let index_of = |g: &BipartiteGraph| -> FxHashMap<u32, u32> {
             (0..g.investor_count() as u32)
@@ -195,19 +252,23 @@ impl Artifacts {
             }
         }
 
-        Ok(Artifacts {
-            version,
-            graph,
-            filtered,
-            cover,
-            communities,
-            pagerank,
-            entities,
-            investor_idx,
-            company_idx,
-            filtered_idx,
-            membership,
-        })
+        (
+            Artifacts {
+                version,
+                graph,
+                filtered,
+                cover,
+                communities,
+                pagerank,
+                stats,
+                entities,
+                investor_idx,
+                company_idx,
+                filtered_idx,
+                membership,
+            },
+            model,
+        )
     }
 
     /// The document body stored under `"{kind}:{id}"`, if any.

@@ -105,7 +105,19 @@ fn healthz(service: &Service) -> Result<Value, ServeError> {
 }
 
 fn stats(service: &Service) -> Result<Value, ServeError> {
+    // Pinned-epoch mode: answer from the stats frozen into the epoch, at
+    // the epoch's version — consistent with every other endpoint even
+    // while the store takes writes. Otherwise read the store live.
+    if let Some(epoch) = service.pinned_artifacts() {
+        if let Some(frozen) = &epoch.stats {
+            return Ok(render_stats(frozen, epoch.version));
+        }
+    }
     let stats = service.store().stats()?;
+    Ok(render_stats(&stats, service.store().version()))
+}
+
+fn render_stats(stats: &[crowdnet_store::store::NamespaceStats], version: u64) -> Value {
     let namespaces = stats
         .iter()
         .map(|n| {
@@ -117,10 +129,10 @@ fn stats(service: &Service) -> Result<Value, ServeError> {
             }
         })
         .collect();
-    Ok(obj! {
-        "version" => service.store().version(),
+    obj! {
+        "version" => version,
         "namespaces" => Value::Arr(namespaces),
-    })
+    }
 }
 
 fn entity(service: &Service, kind: &str, id: u32) -> Result<Value, ServeError> {

@@ -19,6 +19,7 @@ use crowdnet_dataflow::ExecCtx;
 use crowdnet_store::Store;
 use crowdnet_telemetry::{Counter, Histogram, Telemetry};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Service knobs.
@@ -53,6 +54,10 @@ pub struct Service {
     pub(crate) telemetry: Telemetry,
     pub(crate) cfg: ServiceConfig,
     artifacts_slot: RwLock<Option<Arc<Artifacts>>>,
+    /// Pinned-epoch mode: an external publisher (the ingest tier) owns
+    /// artifact freshness via [`Service::install_artifacts`]; requests
+    /// read the installed epoch as-is and never rebuild inline.
+    pinned: AtomicBool,
     cache: ResultCache,
     requests: Counter,
     latency: Histogram,
@@ -71,10 +76,30 @@ impl Service {
             telemetry: telemetry.clone(),
             cfg,
             artifacts_slot: RwLock::new(None),
+            pinned: AtomicBool::new(false),
             cache,
             requests,
             latency,
         }
+    }
+
+    /// Atomically install an externally assembled epoch and switch the
+    /// service to pinned-epoch mode: every subsequent request answers
+    /// from this snapshot (zero rebuild on the request path) until the
+    /// next install swaps it out. The result cache keys by the epoch's
+    /// version stamp, so entries from older epochs become unreachable at
+    /// the same instant the swap lands.
+    pub fn install_artifacts(&self, artifacts: Arc<Artifacts>) {
+        *self.artifacts_slot.write() = Some(artifacts);
+        self.pinned.store(true, Ordering::Release);
+    }
+
+    /// The installed epoch, when the service is in pinned-epoch mode.
+    pub fn pinned_artifacts(&self) -> Option<Arc<Artifacts>> {
+        if !self.pinned.load(Ordering::Acquire) {
+            return None;
+        }
+        self.artifacts_slot.read().clone()
     }
 
     /// The underlying store.
@@ -92,9 +117,14 @@ impl Service {
         self.cache.stats()
     }
 
-    /// The artifacts for the store's *current* version, building (or
+    /// The artifacts requests answer from. In pinned-epoch mode this is
+    /// the installed epoch, untouched by store writes; otherwise the
+    /// artifacts for the store's *current* version, building (or
     /// rebuilding, after a write) if the cached build is stale.
     pub fn artifacts(&self) -> Result<Arc<Artifacts>, ServeError> {
+        if let Some(pinned) = self.pinned_artifacts() {
+            return Ok(pinned);
+        }
         let version = self.store.version();
         {
             let slot = self.artifacts_slot.read();
@@ -130,7 +160,13 @@ impl Service {
     pub fn handle(&self, req: &Request) -> Response {
         self.requests.inc();
         let started = self.telemetry.now_ms();
-        let version = self.store.version();
+        // Cache epoch: the installed epoch's stamp when pinned (entries
+        // survive raw store writes until the next publish), the live
+        // store version otherwise.
+        let version = match self.pinned_artifacts() {
+            Some(a) => a.version,
+            None => self.store.version(),
+        };
         let key = format!("{} {}", req.method, req.target);
         // Health checks bypass the cache (they report live occupancy).
         let cacheable = req.method == "GET" && req.path() != "/healthz";

@@ -35,12 +35,14 @@
 //! # Ok::<(), crowdnet_store::StoreError>(())
 //! ```
 
+pub mod changefeed;
 pub mod disk;
 pub mod doc;
 pub mod error;
 pub mod memory;
 pub mod store;
 
+pub use changefeed::{ChangeEvent, ChangePayload, FeedPoll, Subscription};
 pub use doc::Document;
 pub use error::StoreError;
 pub use store::{SnapshotId, Store};

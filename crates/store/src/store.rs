@@ -1,5 +1,6 @@
 //! The unified [`Store`] API over the memory and disk backends.
 
+use crate::changefeed::{ChangeEvent, ChangePayload, FeedHub, Subscription};
 use crate::disk::DiskBackend;
 use crate::doc::Document;
 use crate::error::StoreError;
@@ -46,6 +47,9 @@ pub struct Store {
     version: AtomicU64,
     /// `stats()` memo: the per-namespace summary computed at some version.
     stats_memo: Mutex<Option<(u64, Vec<NamespaceStats>)>>,
+    /// Changefeed publisher; writes fan committed events out to live
+    /// [`Subscription`]s (see [`crate::changefeed`] for the contract).
+    feed: FeedHub,
 }
 
 /// FNV-1a over the key bytes: stable partition assignment across runs and
@@ -68,6 +72,7 @@ impl Store {
             metrics: None,
             version: AtomicU64::new(0),
             stats_memo: Mutex::new(None),
+            feed: FeedHub::new(),
         }
     }
 
@@ -79,6 +84,7 @@ impl Store {
             metrics: None,
             version: AtomicU64::new(0),
             stats_memo: Mutex::new(None),
+            feed: FeedHub::new(),
         })
     }
 
@@ -107,8 +113,21 @@ impl Store {
         self.version.load(Ordering::Acquire)
     }
 
-    fn bump_version(&self) {
-        self.version.fetch_add(1, Ordering::AcqRel);
+    /// Bump the content version, returning the version this write produced.
+    fn bump_version(&self) -> u64 {
+        self.version.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Open a bounded changefeed subscription delivering every committed
+    /// write from this point on. See [`crate::changefeed`] for the
+    /// overflow / catch-up contract.
+    pub fn subscribe(&self, capacity: usize) -> Subscription {
+        self.feed.subscribe(capacity)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn feed_has_subscribers(&self) -> bool {
+        self.feed.has_subscribers()
     }
 
     /// Append a document to the latest snapshot (creating the namespace and
@@ -128,10 +147,18 @@ impl Store {
             Backend::Disk(b) => b.append(ns, snap.0, partition, &line)?,
         };
         if ok {
-            self.bump_version();
+            let version = self.bump_version();
             if let Some(m) = &self.metrics {
                 m.append_docs.inc();
                 m.append_bytes.add(encoded_bytes);
+            }
+            if self.feed.has_subscribers() {
+                self.feed.publish(ChangeEvent {
+                    version,
+                    namespace: ns.to_string(),
+                    snapshot: snap,
+                    payload: ChangePayload::Append(doc),
+                });
             }
             Ok(())
         } else {
@@ -166,7 +193,15 @@ impl Store {
             Backend::Memory(b) => b.new_snapshot(ns),
             Backend::Disk(b) => b.new_snapshot(ns)?,
         };
-        self.bump_version();
+        let version = self.bump_version();
+        if self.feed.has_subscribers() {
+            self.feed.publish(ChangeEvent {
+                version,
+                namespace: ns.to_string(),
+                snapshot: SnapshotId(id),
+                payload: ChangePayload::NewSnapshot,
+            });
+        }
         Ok(SnapshotId(id))
     }
 
@@ -225,6 +260,12 @@ impl Store {
             for (i, line) in lines.iter().enumerate() {
                 docs.push(Document::decode(line, ns, i)?);
             }
+            // Canonical order: sort each partition by key (stable, so
+            // same-key appends keep their write order). Concurrent crawl
+            // workers interleave appends nondeterministically; sorting at
+            // the scan boundary makes everything derived from a scan
+            // independent of that interleaving.
+            docs.sort_by(|a, b| a.key.cmp(&b.key));
             out.push(docs);
         }
         if let Some(m) = &self.metrics {

@@ -39,4 +39,29 @@ serve_summary="$(cargo run -q --release --offline -p crowdnet-core --bin repro -
 echo "$serve_summary" | grep -q "serve.requests"
 echo "$serve_summary" | grep -q "serve.cache."
 
+echo "==> ingest smoke (live epochs publish into a pinned service, ingest.* counters recorded)"
+ingest_out="$(cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --scale tiny --seed 7 --out "$smoke_dir" \
+  --telemetry "$smoke_dir/telemetry/ingest.json" ingest --smoke)"
+echo "$ingest_out" | grep -q "epoch 0 pinned"
+echo "$ingest_out" | grep -q "^  200 GET /stats"
+if echo "$ingest_out" | grep -q "^  [45]"; then
+  echo "ingest smoke: endpoint returned an error status" >&2
+  exit 1
+fi
+# Mandatory ingest counters: the changefeed delivered events, documents
+# and edges were applied, and epochs were published.
+for counter in ingest.events ingest.docs ingest.edges ingest.epochs; do
+  if ! echo "$ingest_out" | grep -q "$counter=[1-9]"; then
+    echo "ingest smoke: mandatory counter $counter missing or zero" >&2
+    exit 1
+  fi
+done
+# The ingest run's telemetry report must validate and carry the
+# ingest-tier counters alongside the mandatory pipeline set.
+ingest_summary="$(cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --telemetry "$smoke_dir/telemetry/ingest.json" --out "$smoke_dir" telemetry-report)"
+echo "$ingest_summary" | grep -q "ingest.events"
+echo "$ingest_summary" | grep -q "ingest.epoch"
+
 echo "All checks passed."

@@ -1,0 +1,227 @@
+//! Equivalence property for the ingest tier: artifacts maintained
+//! incrementally by [`IngestEngine`] — catch-up scan plus changefeed
+//! deltas, at any drain cadence and maintainer thread count — must match
+//! a from-scratch [`Artifacts::build`] rebuild at the same store version.
+//!
+//! Equality is checked in *id space* (AngelList investor/company ids):
+//! the incremental engine discovers nodes in event order while the
+//! rebuild discovers them in canonical scan order, so dense indices may
+//! differ while the graphs are the same. Edge sets, degree tables and
+//! epoch stats must be exact; PageRank must agree within the combined
+//! solver tolerance. Identical runs must also be byte-identical.
+
+use crowdnet_dataflow::ExecCtx;
+use crowdnet_graph::BipartiteGraph;
+use crowdnet_ingest::{IngestConfig, IngestEngine};
+use crowdnet_json::{obj, Value};
+use crowdnet_serve::artifacts::{NS_COMPANIES, NS_USERS};
+use crowdnet_serve::{Artifacts, ArtifactsConfig};
+use crowdnet_store::{Document, Store};
+use crowdnet_telemetry::Telemetry;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A non-graph namespace: only the stats maintainer watches it, and its
+/// snapshot rotations exercise the per-snapshot accounting.
+const NS_JOURNAL: &str = "journal/daily";
+
+/// One random write against the store, spanning every event class the
+/// engine routes: graph-bearing investor appends (including re-appends
+/// that grow or shrink the listed portfolio), entity-only company
+/// appends, stats-only journal appends, and snapshot rotations.
+#[derive(Debug, Clone)]
+enum Op {
+    Company(u32),
+    Investor { id: u32, portfolio: Vec<u32> },
+    Journal(u32),
+    JournalSnapshot,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..24).prop_map(Op::Company),
+        ((100u32..116), proptest::collection::vec(0u32..24, 0..6))
+            .prop_map(|(id, portfolio)| Op::Investor { id, portfolio }),
+        (0u32..8).prop_map(Op::Journal),
+        Just(Op::JournalSnapshot),
+    ]
+}
+
+fn apply(store: &Store, op: &Op) {
+    match op {
+        Op::Company(id) => store
+            .put(
+                NS_COMPANIES,
+                Document::new(
+                    format!("company:{id}"),
+                    obj! {"id" => u64::from(*id), "name" => format!("c{id}")},
+                ),
+            )
+            .expect("put company"),
+        Op::Investor { id, portfolio } => {
+            let arr: Vec<Value> = portfolio
+                .iter()
+                .map(|&c| Value::from(u64::from(c)))
+                .collect();
+            store
+                .put(
+                    NS_USERS,
+                    Document::new(
+                        format!("user:{id}"),
+                        obj! {
+                            "id" => u64::from(*id),
+                            "role" => "investor",
+                            "investments" => Value::Arr(arr)
+                        },
+                    ),
+                )
+                .expect("put investor")
+        }
+        Op::Journal(day) => store
+            .put(
+                NS_JOURNAL,
+                Document::new(
+                    format!("day:{day}"),
+                    obj! {"day" => u64::from(*day), "funded" => u64::from(*day % 3)},
+                ),
+            )
+            .expect("put journal"),
+        Op::JournalSnapshot => {
+            store.new_snapshot(NS_JOURNAL).expect("rotate snapshot");
+        }
+    }
+}
+
+/// Drive a full incremental scenario: the first `split` ops land before
+/// the engine exists (covered by its catch-up scan), the rest flow
+/// through the changefeed with a drain every `drain_every` ops, and one
+/// epoch is published at the end.
+fn run_incremental(
+    ops: &[Op],
+    split: usize,
+    drain_every: usize,
+    threads: usize,
+) -> (Arc<Store>, Arc<Artifacts>) {
+    let store = Arc::new(Store::memory(2));
+    let split = split.min(ops.len());
+    for op in &ops[..split] {
+        apply(&store, op);
+    }
+    let mut engine = IngestEngine::new(
+        Arc::clone(&store),
+        IngestConfig::default(),
+        Telemetry::new(),
+    )
+    .expect("engine");
+    for (i, op) in ops[split..].iter().enumerate() {
+        apply(&store, op);
+        if i % drain_every == drain_every - 1 {
+            engine.drain_with_threads(threads).expect("drain");
+        }
+    }
+    engine.drain_with_threads(threads).expect("final drain");
+    let epoch = engine.publish(None);
+    (store, epoch)
+}
+
+/// Adjacency in id space: investor id → set of company ids.
+fn edges_by_id(g: &BipartiteGraph) -> BTreeMap<u32, BTreeSet<u32>> {
+    (0..g.investor_count() as u32)
+        .map(|i| {
+            (
+                g.investor_id(i),
+                g.companies_of(i).iter().map(|&c| g.company_id(c)).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Investor degree table in id space.
+fn degrees_by_id(g: &BipartiteGraph) -> BTreeMap<u32, u64> {
+    let degrees = g.investor_degrees();
+    (0..g.investor_count() as u32)
+        .map(|i| (g.investor_id(i), degrees[i as usize]))
+        .collect()
+}
+
+/// PageRank scores in id space.
+fn ranks_by_id(g: &BipartiteGraph, ranks: &[f64]) -> BTreeMap<u32, f64> {
+    (0..g.investor_count() as u32)
+        .map(|i| (g.investor_id(i), ranks[i as usize]))
+        .collect()
+}
+
+proptest! {
+    // Scenarios are in-memory store writes, no pipeline: cases are cheap.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Incremental == from-scratch at the same version, for any op mix,
+    /// catch-up/feed split, drain cadence and thread count.
+    #[test]
+    fn incremental_artifacts_match_from_scratch_rebuild(
+        ops in proptest::collection::vec(op_strategy(), 0..48),
+        split in 0usize..48,
+        drain_every in 1usize..6,
+        threads in 1usize..5,
+    ) {
+        let (store, inc) = run_incremental(&ops, split, drain_every, threads);
+        let rebuilt = Artifacts::build(
+            &store,
+            ExecCtx::new(2),
+            &Telemetry::new(),
+            &ArtifactsConfig::default(),
+        )
+        .expect("rebuild");
+
+        // Both views are stamped with the live store version.
+        prop_assert_eq!(inc.version, store.version());
+        prop_assert_eq!(rebuilt.version, store.version());
+
+        // Graph and cleaned graph agree edge-for-edge in id space.
+        prop_assert_eq!(edges_by_id(&inc.graph), edges_by_id(&rebuilt.graph));
+        prop_assert_eq!(edges_by_id(&inc.filtered), edges_by_id(&rebuilt.filtered));
+        prop_assert_eq!(degrees_by_id(&inc.graph), degrees_by_id(&rebuilt.graph));
+
+        // PageRank agrees per investor within the combined solver slack:
+        // both sides settle residuals below 1e-9 of total mass, so 1e-6
+        // on sum-1-normalized scores is generous yet still far below any
+        // meaningful rank difference.
+        let a = ranks_by_id(&inc.graph, &inc.pagerank);
+        let b = ranks_by_id(&rebuilt.graph, &rebuilt.pagerank);
+        prop_assert_eq!(a.len(), b.len());
+        for (id, ra) in &a {
+            let rb = b.get(id).copied();
+            prop_assert!(rb.is_some(), "investor {} missing from rebuild", id);
+            let rb = rb.unwrap();
+            prop_assert!(
+                (ra - rb).abs() <= 1e-6,
+                "pagerank diverged for investor {}: {} vs {}", id, ra, rb
+            );
+        }
+
+        // The published epoch freezes stats that reconcile exactly with
+        // the store at that version (the rebuild reads stats live).
+        let frozen = inc.stats.clone().expect("published epoch freezes stats");
+        prop_assert_eq!(frozen, store.stats().expect("store stats"));
+    }
+
+    /// The same op sequence replayed — even at a different maintainer
+    /// thread count — publishes a byte-identical epoch: graph layout,
+    /// PageRank bit patterns and frozen stats all match exactly.
+    #[test]
+    fn identical_runs_publish_byte_identical_epochs(
+        ops in proptest::collection::vec(op_strategy(), 0..32),
+        split in 0usize..32,
+        drain_every in 1usize..5,
+    ) {
+        let (_, a) = run_incremental(&ops, split, drain_every, 1);
+        let (_, b) = run_incremental(&ops, split, drain_every, 2);
+        prop_assert_eq!(a.version, b.version);
+        prop_assert_eq!(edges_by_id(&a.graph), edges_by_id(&b.graph));
+        let bits = |xs: &[f64]| xs.iter().map(|v| v.to_bits()).collect::<Vec<u64>>();
+        prop_assert_eq!(bits(&a.pagerank), bits(&b.pagerank));
+        prop_assert_eq!(a.stats.clone(), b.stats.clone());
+        prop_assert_eq!(a.communities.len(), b.communities.len());
+    }
+}

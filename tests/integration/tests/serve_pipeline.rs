@@ -12,11 +12,11 @@ use crowdnet_store::SnapshotId;
 use crowdnet_telemetry::Telemetry;
 use std::sync::Arc;
 
-/// Single-worker, seeded config: one crawl worker makes store document
-/// order (and therefore every served byte) interleaving-independent.
+/// Seeded config at the default worker count: the store's canonical
+/// per-partition key ordering at scan time makes document order (and
+/// therefore every served byte) independent of crawl-thread interleaving.
 fn seeded_config() -> PipelineConfig {
     let mut cfg = PipelineConfig::tiny(7);
-    cfg.crawl.workers = 1;
     cfg.crawl.fault_rate = 0.1;
     cfg.crawl.fault_seed = 5;
     cfg
@@ -196,6 +196,130 @@ fn community_strength_metrics_are_served() {
                 .collect();
             assert!(cids.contains(&id));
         }
+    }
+}
+
+/// Live-update scenario: an [`IngestEngine`] pins an epoch into the
+/// service, a store append flows through the changefeed into a new epoch,
+/// and every response after the swap reflects the new epoch — the result
+/// cache never serves a stale body, and `/stats` reconciles exactly with
+/// `Store::stats` frozen at the pinned epoch's version.
+#[test]
+fn live_append_swaps_epochs_without_serving_stale_responses() {
+    use crowdnet_ingest::{IngestConfig, IngestEngine};
+    use crowdnet_json::obj;
+    use crowdnet_serve::artifacts::NS_USERS;
+    use crowdnet_store::Document;
+
+    let outcome = Pipeline::new(seeded_config()).run().expect("pipeline");
+    let store = Arc::new(outcome.store);
+    let mut cfg = ServiceConfig::default();
+    cfg.artifacts.seed = 7;
+    let svc = Service::new(Arc::clone(&store), cfg, Telemetry::new());
+    let mut engine = IngestEngine::new(
+        Arc::clone(&store),
+        IngestConfig::default(),
+        Telemetry::new(),
+    )
+    .expect("engine");
+    let epoch0 = engine.publish(Some(&svc));
+
+    // Pick a served investor and a company they have not invested in yet.
+    let inv_idx = 0u32;
+    let inv_id = epoch0.graph.investor_id(inv_idx);
+    let held: Vec<u64> = epoch0.graph.companies_of(inv_idx)
+        .iter()
+        .map(|&c| u64::from(epoch0.graph.company_id(c)))
+        .collect();
+    let fresh_company = (0..epoch0.graph.company_count() as u32)
+        .map(|c| u64::from(epoch0.graph.company_id(c)))
+        .find(|cid| !held.contains(cid))
+        .expect("an unheld company exists");
+
+    // Warm the cache at epoch 0 and record the pre-append view.
+    let (s0, stats0) = get(&svc, "/stats");
+    assert_eq!(s0, 200);
+    assert_eq!(
+        stats0.get("version").and_then(Value::as_u64),
+        Some(epoch0.version)
+    );
+    let (sp, portfolio0) = get(&svc, &format!("/investor/{inv_id}/portfolio"));
+    assert_eq!(sp, 200);
+    let degree0 = portfolio0.get("degree").and_then(Value::as_u64).expect("degree");
+    assert_eq!(degree0, held.len() as u64);
+
+    // Append the grown portfolio (full-array re-append; edges dedup).
+    let grown: Vec<Value> = held
+        .iter()
+        .copied()
+        .chain(std::iter::once(fresh_company))
+        .map(Value::from)
+        .collect();
+    store
+        .put(
+            NS_USERS,
+            Document::new(
+                format!("user:{inv_id}"),
+                obj! {
+                    "id" => u64::from(inv_id),
+                    "role" => "investor",
+                    "investments" => Value::Arr(grown)
+                },
+            ),
+        )
+        .expect("append");
+    let report = engine.drain().expect("drain");
+    assert_eq!(report.docs, 1, "the append flows through the changefeed");
+    let epoch1 = engine.publish(Some(&svc));
+    assert!(epoch1.version > epoch0.version);
+    assert_eq!(epoch1.version, store.version());
+    let pinned = svc.pinned_artifacts().expect("service is pinned");
+    assert!(Arc::ptr_eq(&pinned, &epoch1), "service serves the new epoch");
+
+    // The cached pre-append portfolio must not be served: the response
+    // now reflects the extra edge.
+    let (sp2, portfolio1) = get(&svc, &format!("/investor/{inv_id}/portfolio"));
+    assert_eq!(sp2, 200);
+    assert_eq!(
+        portfolio1.get("degree").and_then(Value::as_u64),
+        Some(degree0 + 1),
+        "stale cached portfolio served after epoch swap"
+    );
+
+    // `/stats` answers from the new epoch and reconciles exactly with
+    // the store at that version.
+    let (s1, stats1) = get(&svc, "/stats");
+    assert_eq!(s1, 200);
+    assert_ne!(stats0, stats1, "stale cached /stats served after epoch swap");
+    assert_eq!(
+        stats1.get("version").and_then(Value::as_u64),
+        Some(epoch1.version)
+    );
+    let direct = store.stats().expect("store stats");
+    let namespaces = stats1
+        .get("namespaces")
+        .and_then(Value::as_arr)
+        .expect("namespaces array");
+    assert_eq!(namespaces.len(), direct.len());
+    for (s, d) in namespaces.iter().zip(&direct) {
+        assert_eq!(
+            s.get("namespace").and_then(Value::as_str),
+            Some(d.namespace.as_str())
+        );
+        assert_eq!(
+            s.get("documents").and_then(Value::as_u64),
+            Some(d.documents as u64),
+            "documents mismatch in {}",
+            d.namespace
+        );
+        assert_eq!(
+            s.get("encoded_bytes").and_then(Value::as_u64),
+            Some(d.encoded_bytes as u64)
+        );
+        assert_eq!(
+            s.get("snapshots").and_then(Value::as_u64),
+            Some(d.snapshots as u64)
+        );
     }
 }
 
