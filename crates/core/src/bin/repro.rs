@@ -20,6 +20,17 @@
 //! with `--smoke` it issues one in-process request per example endpoint and
 //! exits; otherwise it binds a loopback HTTP listener on `--port` (0 picks
 //! a free port) and blocks until Enter is pressed.
+//!
+//! `crawl` runs the four-source crawl into a durable on-disk store at
+//! `--store DIR` (default `out/store`) instead of the in-memory store the
+//! experiments use. The run checkpoints after every stage, so an interrupted
+//! crawl continues from its last durable position with `--resume`; `--fresh`
+//! discards an existing store first. `--fail-at-op N` wraps the store in the
+//! deterministic fault-injecting VFS and simulates a crash at the Nth file
+//! operation (exit code 3); a following `--resume` run recovers the store,
+//! replays only the missing work, and prints the `store.recovery.*` /
+//! `crawl.resume.*` counters plus a canonical content hash for comparing
+//! against an uninterrupted run.
 
 use crowdnet_core::experiments::*;
 use crowdnet_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
@@ -33,7 +44,11 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--seed N] [--scale tiny|small|eval|paper|1/K] [--out DIR] [--telemetry PATH] [--port N] [--smoke] [-v|--verbose] [EXPERIMENT...]\n\
-         experiments: dataset-stats fig3 fig6 fig8 investor-graph communities fig4 fig5 fig7 causality dynamic predict correlations store-stats telemetry-report serve ingest all"
+         experiments: dataset-stats fig3 fig6 fig8 investor-graph communities fig4 fig5 fig7 causality dynamic predict correlations store-stats telemetry-report serve ingest crawl all\n\
+         crawl flags: [--store DIR] [--resume] [--fresh] [--fail-at-op N] [--fault-seed S]\n\
+           repro crawl writes a durable on-disk store; --resume continues an\n\
+           interrupted crawl from its last checkpoint, --fail-at-op simulates\n\
+           a crash at the Nth file operation (exit code 3)"
     );
     std::process::exit(2);
 }
@@ -46,6 +61,11 @@ struct Args {
     port: u16,
     smoke: bool,
     verbose: u8,
+    store: PathBuf,
+    resume: bool,
+    fresh: bool,
+    fail_at_op: Option<u64>,
+    fault_seed: u64,
     experiments: Vec<String>,
 }
 
@@ -58,6 +78,11 @@ fn parse_args() -> Args {
         port: 0,
         smoke: false,
         verbose: 0,
+        store: PathBuf::from("out/store"),
+        resume: false,
+        fresh: false,
+        fail_at_op: None,
+        fault_seed: 1,
         experiments: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -71,6 +96,16 @@ fn parse_args() -> Args {
             }
             "--port" => args.port = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
             "--smoke" => args.smoke = true,
+            "--store" => args.store = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--resume" => args.resume = true,
+            "--fresh" => args.fresh = true,
+            "--fail-at-op" => {
+                args.fail_at_op =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--fault-seed" => {
+                args.fault_seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--verbose" | "-v" => args.verbose = args.verbose.saturating_add(1),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
@@ -506,10 +541,153 @@ fn ingest_live(
     Ok(())
 }
 
+/// FNV-1a over a byte slice, folded into a running hash.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Deterministic content hash of every data namespace: canonical key-sorted
+/// scans of every snapshot, checkpoint state excluded. A resumed crawl must
+/// land on the same hash as an uninterrupted run with the same seed.
+fn store_content_hash(store: &crowdnet_store::Store) -> Result<u64, Box<dyn std::error::Error>> {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut namespaces = store.namespaces()?;
+    namespaces.sort();
+    for ns in namespaces {
+        if ns == crowdnet_crawl::bfs::NS_CHECKPOINT {
+            continue;
+        }
+        let latest = store.latest_snapshot(&ns)?;
+        for snap in 0..=latest.0 {
+            let mut docs = store.scan_snapshot(&ns, crowdnet_store::SnapshotId(snap))?;
+            docs.sort_by(|a, b| a.key.cmp(&b.key));
+            for doc in docs {
+                fnv1a(&mut hash, ns.as_bytes());
+                fnv1a(&mut hash, &snap.to_le_bytes());
+                fnv1a(&mut hash, doc.encode().as_bytes());
+            }
+        }
+    }
+    Ok(hash)
+}
+
+/// `repro crawl`: the four-source crawl into a durable on-disk store, with
+/// stage checkpoints, crash-point fault injection, and `--resume` recovery.
+fn crawl_durable(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use crowdnet_crawl::Crawler;
+    use crowdnet_store::{FailpointFs, FaultPlan, RealFs, Store, Vfs};
+    header("Durable crawl (crowdnet-store on disk)");
+    let dir = &args.store;
+    let populated = dir
+        .read_dir()
+        .map(|mut entries| entries.next().is_some())
+        .unwrap_or(false);
+    if populated && args.fresh {
+        std::fs::remove_dir_all(dir)?;
+    } else if populated && !args.resume {
+        eprintln!(
+            "store {} already exists; pass --resume to continue it or --fresh to discard it",
+            dir.display()
+        );
+        std::process::exit(2);
+    }
+
+    let cfg = config(args.seed, &args.scale);
+    let telemetry = cfg.telemetry.clone();
+    let failpoints = args
+        .fail_at_op
+        .map(|k| Arc::new(FailpointFs::over_real(FaultPlan::crash_at(args.fault_seed, k))));
+    let vfs: Arc<dyn Vfs> = match &failpoints {
+        Some(f) => Arc::clone(f) as Arc<dyn Vfs>,
+        None => Arc::new(RealFs),
+    };
+    let store = Store::open_with_vfs(dir, cfg.partitions, vfs)?.with_telemetry(&telemetry);
+    let recovered = store.recovery_stats();
+    if args.resume {
+        println!(
+            "opened {} — recovery: {} scan(s), {} clean records, {} torn tail(s) truncated, \
+             {} record(s) quarantined, {} uncommitted snapshot(s) discarded",
+            dir.display(),
+            recovered.scans,
+            recovered.records_ok,
+            recovered.torn_tails,
+            recovered.quarantined_records,
+            recovered.uncommitted_snapshots,
+        );
+    }
+
+    println!(
+        "crawling at seed={} scale={} into {} ...",
+        args.seed,
+        args.scale,
+        dir.display()
+    );
+    let world = {
+        let _span = telemetry.span("world.generate");
+        Arc::new(crowdnet_socialsim::World::generate(&cfg.world))
+    };
+    let mut crawl_cfg = cfg.crawl.clone();
+    crawl_cfg.telemetry = telemetry.clone();
+    let crawler = Crawler::new(Arc::clone(&world), crawl_cfg);
+    match crawler.run_resumable(&store) {
+        Ok(stats) => {
+            println!(
+                "crawled: {} companies, {} users, {} crunchbase, {} facebook, {} twitter, {} syndicates",
+                stats.bfs.companies,
+                stats.bfs.users,
+                stats.augment.resolved(),
+                stats.facebook.stored_total(),
+                stats.twitter.stored_total(),
+                stats.syndicates,
+            );
+            println!(
+                "resume counters: crawl.resume.runs={} crawl.resume.stages_skipped={} crawl.resume.skipped={}",
+                telemetry.counter("crawl.resume.runs").value(),
+                telemetry.counter("crawl.resume.stages_skipped").value(),
+                telemetry.counter("crawl.resume.skipped").value(),
+            );
+            println!(
+                "recovery counters: store.recovery.scans={} store.recovery.torn_tails={} \
+                 store.recovery.quarantined_records={} store.recovery.uncommitted_snapshots={} \
+                 store.recovery.writer_invalidations={}",
+                telemetry.counter("store.recovery.scans").value(),
+                telemetry.counter("store.recovery.torn_tails").value(),
+                telemetry.counter("store.recovery.quarantined_records").value(),
+                telemetry.counter("store.recovery.uncommitted_snapshots").value(),
+                telemetry.counter("store.recovery.writer_invalidations").value(),
+            );
+            println!("store content hash: {:016x}", store_content_hash(&store)?);
+            Ok(())
+        }
+        Err(e) => {
+            if let Some(fs) = &failpoints {
+                if fs.crashed() {
+                    let injected = fs.injected();
+                    println!(
+                        "simulated crash at file operation {} (torn_writes={} enospc={}); \
+                         rerun with --resume to continue",
+                        fs.ops(),
+                        injected.torn_writes,
+                        injected.enospc,
+                    );
+                    std::process::exit(3);
+                }
+            }
+            Err(e.into())
+        }
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
     if args.experiments.iter().any(|e| e == "telemetry-report") {
         return summarize_report(&args);
+    }
+    if args.experiments.iter().any(|e| e == "crawl") {
+        return crawl_durable(&args);
     }
     let cfg = config(args.seed, &args.scale);
     cfg.telemetry

@@ -31,12 +31,17 @@ pub struct AugmentStats {
     pub ambiguous: usize,
     /// No CrunchBase presence found.
     pub not_found: usize,
+    /// Companies whose CrunchBase profile an interrupted earlier run had
+    /// already stored — skipped without a fetch (resume idempotency). The
+    /// direct/by-search split of these is not re-derived.
+    pub skipped_existing: usize,
 }
 
 impl AugmentStats {
-    /// Total profiles written to the store.
+    /// Total profiles present in the store after this pass (including ones
+    /// persisted by an interrupted earlier run).
     pub fn resolved(&self) -> usize {
-        self.direct + self.by_search
+        self.direct + self.by_search + self.skipped_existing
     }
 }
 
@@ -54,8 +59,23 @@ pub fn augment_crunchbase(
     let by_search_counter = telemetry.counter("crawl.augment.by_search");
     let ambiguous_counter = telemetry.counter("crawl.augment.ambiguous");
     let not_found_counter = telemetry.counter("crawl.augment.not_found");
-    let companies = store.scan(crate::bfs::NS_COMPANIES)?;
-    let stats = Mutex::new(AugmentStats::default());
+    let existing = crate::social::existing_keys(store, NS_CRUNCHBASE)?;
+    let skipped_counter = telemetry.counter("crawl.resume.skipped");
+    let mut seed_stats = AugmentStats::default();
+    let companies: Vec<Document> = store
+        .scan(crate::bfs::NS_COMPANIES)?
+        .into_iter()
+        .filter(|doc| {
+            let id = doc.body.get("id").and_then(Value::as_u64).unwrap_or(0);
+            let fresh = !existing.contains(&format!("company:{id}"));
+            if !fresh {
+                skipped_counter.inc();
+                seed_stats.skipped_existing += 1;
+            }
+            fresh
+        })
+        .collect();
+    let stats = Mutex::new(seed_stats);
     let queue = Mutex::new(companies.into_iter());
     let fatal: Mutex<Option<CrawlError>> = Mutex::new(None);
 

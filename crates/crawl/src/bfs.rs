@@ -133,6 +133,7 @@ pub fn crawl_angellist(
 
     let visited: Mutex<HashSet<Entity>> = Mutex::new(frontier.iter().copied().collect());
     let stats = Mutex::new(BfsStats::default());
+    let stored = AlreadyStored::empty(telemetry);
 
     let mut rounds = 0usize;
     while !frontier.is_empty() && rounds < cfg.max_rounds {
@@ -160,7 +161,7 @@ pub fn crawl_angellist(
                 scope.spawn(|| loop {
                     let entity = { queue.lock().next() };
                     let Some(entity) = entity else { break };
-                    match crawl_entity(api, store, clock, &cfg.retry, &rt, entity) {
+                    match crawl_entity(api, store, clock, &cfg.retry, &rt, &stored, entity) {
                         Ok(discovered) => {
                             match entity {
                                 Entity::Company(_) => companies_counter.inc(),
@@ -203,6 +204,37 @@ pub fn crawl_angellist(
     Ok(out)
 }
 
+/// Profiles already persisted by an interrupted earlier run. A resumed
+/// round re-fetches its frontier (the outgoing links must be rediscovered
+/// to rebuild the next frontier) but must not re-put profiles that already
+/// landed: the store is append-only, so a second put would duplicate the
+/// document and break resume-equals-uninterrupted equality.
+struct AlreadyStored {
+    companies: HashSet<String>,
+    users: HashSet<String>,
+    skipped: crowdnet_telemetry::Counter,
+}
+
+impl AlreadyStored {
+    /// Nothing stored yet (fresh crawls).
+    fn empty(telemetry: &Telemetry) -> AlreadyStored {
+        AlreadyStored {
+            companies: HashSet::new(),
+            users: HashSet::new(),
+            skipped: telemetry.counter("crawl.resume.skipped"),
+        }
+    }
+
+    /// Everything the store already holds (resumed crawls).
+    fn scan(store: &Store, telemetry: &Telemetry) -> Result<AlreadyStored, CrawlError> {
+        Ok(AlreadyStored {
+            companies: crate::social::existing_keys(store, NS_COMPANIES)?,
+            users: crate::social::existing_keys(store, NS_USERS)?,
+            skipped: telemetry.counter("crawl.resume.skipped"),
+        })
+    }
+}
+
 /// Crawl one entity: store its profile, return the ids it links to.
 fn crawl_entity(
     api: &AngelListApi,
@@ -210,12 +242,19 @@ fn crawl_entity(
     clock: &Arc<dyn Clock>,
     retry: &RetryPolicy,
     rt: &RetryTelemetry,
+    stored: &AlreadyStored,
     entity: Entity,
 ) -> Result<Vec<Entity>, CrawlError> {
     match entity {
         Entity::Company(id) => {
-            let profile = with_retry_metered(clock.as_ref(), retry, Some(rt), || api.startup(id))?;
-            store.put(NS_COMPANIES, Document::new(format!("company:{id}"), profile))?;
+            let key = format!("company:{id}");
+            if stored.companies.contains(&key) {
+                stored.skipped.inc();
+            } else {
+                let profile =
+                    with_retry_metered(clock.as_ref(), retry, Some(rt), || api.startup(id))?;
+                store.put(NS_COMPANIES, Document::new(key, profile))?;
+            }
             let followers = fetch_all_pages(|page| {
                 with_retry_metered(clock.as_ref(), retry, Some(rt), || {
                     api.startup_followers(id, page)
@@ -228,8 +267,14 @@ fn crawl_entity(
                 .collect())
         }
         Entity::User(id) => {
-            let profile = with_retry_metered(clock.as_ref(), retry, Some(rt), || api.user(id))?;
-            store.put(NS_USERS, Document::new(format!("user:{id}"), profile))?;
+            let key = format!("user:{id}");
+            if stored.users.contains(&key) {
+                stored.skipped.inc();
+            } else {
+                let profile =
+                    with_retry_metered(clock.as_ref(), retry, Some(rt), || api.user(id))?;
+                store.put(NS_USERS, Document::new(key, profile))?;
+            }
             let mut discovered = Vec::new();
             let startups = fetch_all_pages(|page| {
                 with_retry_metered(clock.as_ref(), retry, Some(rt), || {
@@ -388,6 +433,9 @@ pub fn crawl_angellist_resumable(
 
     let visited: Mutex<HashSet<Entity>> = Mutex::new(visited_init.into_iter().collect());
     let stats = Mutex::new(stats_init);
+    // A crash mid-round replays that round's frontier: profiles that
+    // already landed are skipped, only their links are rediscovered.
+    let stored = AlreadyStored::scan(store, &cfg.telemetry)?;
 
     let mut rounds = rounds_done;
     while !frontier.is_empty() && rounds < cfg.max_rounds {
@@ -405,7 +453,7 @@ pub fn crawl_angellist_resumable(
                 scope.spawn(|| loop {
                     let entity = { queue.lock().next() };
                     let Some(entity) = entity else { break };
-                    match crawl_entity(api, store, clock, &cfg.retry, &rt, entity) {
+                    match crawl_entity(api, store, clock, &cfg.retry, &rt, &stored, entity) {
                         Ok(discovered) => {
                             let mut stats = stats.lock();
                             match entity {

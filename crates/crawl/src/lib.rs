@@ -38,4 +38,7 @@ pub mod syndicates;
 pub mod tokens;
 
 pub use error::CrawlError;
-pub use pipeline::{CrawlConfig, CrawlStats, Crawler};
+pub use pipeline::{
+    load_pipeline_checkpoint, CrawlConfig, CrawlStats, Crawler, PipelineCheckpoint,
+    PIPELINE_CHECKPOINT_KEY,
+};

@@ -17,6 +17,7 @@ use crate::error::CrawlError;
 use crowdnet_json::{obj, Value};
 use crowdnet_socialsim::{World, WorldConfig};
 use crowdnet_store::{Document, SnapshotId, Store};
+use std::collections::HashSet;
 
 /// Store namespace for longitudinal observations.
 pub const NS_LONGITUDINAL: &str = "longitudinal/companies";
@@ -65,6 +66,10 @@ pub struct Study<'a> {
     watchlist: Vec<u32>,
     day: u32,
     step: u32,
+    /// Set by [`Study::resume`] when the last persisted snapshot is missing
+    /// documents (a crash interrupted that day): the next [`Study::advance`]
+    /// fills that snapshot in place instead of creating a new one.
+    resume_fill: Option<SnapshotId>,
 }
 
 impl<'a> Study<'a> {
@@ -85,7 +90,45 @@ impl<'a> Study<'a> {
             watchlist,
             day: 0,
             step: 0,
+            resume_fill: None,
         })
+    }
+
+    /// Rebuild a study mid-flight from what `store` already holds — the
+    /// restart path after a crash. Fully-crawled days are fast-forwarded by
+    /// replaying the deterministic world evolution (never re-crawled); a
+    /// day the crash interrupted is re-filled in place by the next
+    /// [`Study::advance`], writing only the documents that never landed.
+    /// The caller regenerates `world` from the same [`WorldConfig`] the
+    /// original run used, so the resumed series is identical to an
+    /// uninterrupted one.
+    pub fn resume(world: World, store: &'a Store, cfg: &StudyConfig) -> Result<Study<'a>, CrawlError> {
+        let mut study = Study::new(world, store, cfg)?;
+        for &snap in &store.snapshots(NS_LONGITUDINAL) {
+            let keys: HashSet<String> = store
+                .scan_snapshot(NS_LONGITUDINAL, snap)
+                .map_err(CrawlError::from)?
+                .into_iter()
+                .map(|d| d.key)
+                .collect();
+            let complete = study
+                .watchlist
+                .iter()
+                .all(|id| keys.contains(&format!("company:{id}")));
+            if complete {
+                study
+                    .world
+                    .evolve(study.cfg.interval_days, study.step, study.cfg.evolution_seed);
+                study.day += study.cfg.interval_days;
+                study.step += 1;
+            } else {
+                // Under a crash model only the final snapshot can be
+                // incomplete — the run ended there.
+                study.resume_fill = Some(snap);
+                break;
+            }
+        }
+        Ok(study)
     }
 
     /// The day-0 watchlist of company ids under observation.
@@ -100,15 +143,31 @@ impl<'a> Study<'a> {
         if self.day > self.cfg.days {
             return Ok(None);
         }
-        let snapshot = if self.step == 0 {
+        let (snapshot, existing) = if let Some(snap) = self.resume_fill.take() {
+            // Re-crawling the day a crash interrupted: write only the
+            // documents that never landed so nothing is duplicated.
+            let keys: HashSet<String> = self
+                .store
+                .scan_snapshot(NS_LONGITUDINAL, snap)?
+                .into_iter()
+                .map(|d| d.key)
+                .collect();
+            if snap == SnapshotId(0) && !keys.contains("__init") {
+                self.store.put(
+                    NS_LONGITUDINAL,
+                    Document::new("__init", obj! {"day" => self.day as u64}),
+                )?;
+            }
+            (snap, keys)
+        } else if self.step == 0 {
             // First write implicitly creates snapshot 0.
             self.store.put(
                 NS_LONGITUDINAL,
                 Document::new("__init", obj! {"day" => self.day as u64}),
             )?;
-            SnapshotId(0)
+            (SnapshotId(0), HashSet::new())
         } else {
-            self.store.new_snapshot(NS_LONGITUDINAL)?
+            (self.store.new_snapshot(NS_LONGITUDINAL)?, HashSet::new())
         };
 
         let mut funded_count = 0usize;
@@ -128,11 +187,12 @@ impl<'a> Study<'a> {
                 "tw_followers" => c.twitter.as_ref().map(|t| t.followers),
                 "fb_likes" => c.facebook.as_ref().map(|f| f.likes),
             };
-            self.store.put_snapshot(
-                NS_LONGITUDINAL,
-                snapshot,
-                Document::new(format!("company:{id}"), doc),
-            )?;
+            let key = format!("company:{id}");
+            if existing.contains(&key) {
+                continue;
+            }
+            self.store
+                .put_snapshot(NS_LONGITUDINAL, snapshot, Document::new(key, doc))?;
         }
         let record = SnapshotRecord {
             day: self.day,
@@ -283,6 +343,66 @@ mod tests {
         assert_eq!(tweets.len(), series.len());
         assert!(tweets.windows(2).all(|w| w[1] >= w[0]));
         assert!(tweets.last().unwrap() > tweets.first().unwrap());
+    }
+
+    #[test]
+    fn resumed_study_continues_to_an_identical_series() {
+        let cfg = StudyConfig { days: 8, interval_days: 2, evolution_seed: 3 };
+        let full_store = Store::memory(2);
+        let full = run_study(study_world(), &full_store, &cfg).unwrap();
+
+        let store = Store::memory(2);
+        let mut study = Study::new(study_world(), &store, &cfg).unwrap();
+        let mut records = vec![
+            study.advance().unwrap().unwrap(),
+            study.advance().unwrap().unwrap(),
+        ];
+        drop(study);
+        // "Restart": a fresh process regenerates the same world and resumes.
+        let mut resumed = Study::resume(study_world(), &store, &cfg).unwrap();
+        while let Some(r) = resumed.advance().unwrap() {
+            records.push(r);
+        }
+        assert_eq!(records, full);
+        assert_eq!(
+            store.snapshots(NS_LONGITUDINAL),
+            full_store.snapshots(NS_LONGITUDINAL)
+        );
+        let docs = full_store.scan_snapshot(NS_LONGITUDINAL, SnapshotId(0)).unwrap();
+        let any = docs.iter().find(|d| d.key.starts_with("company:")).unwrap();
+        let id = any.body.get("id").and_then(Value::as_u64).unwrap() as u32;
+        assert_eq!(
+            company_series(&store, id).unwrap(),
+            company_series(&full_store, id).unwrap()
+        );
+    }
+
+    #[test]
+    fn resume_refills_a_day_interrupted_before_any_docs_landed() {
+        let cfg = StudyConfig { days: 4, interval_days: 1, evolution_seed: 3 };
+        let full_store = Store::memory(2);
+        let full = run_study(study_world(), &full_store, &cfg).unwrap();
+
+        let store = Store::memory(2);
+        let mut study = Study::new(study_world(), &store, &cfg).unwrap();
+        let mut records = vec![study.advance().unwrap().unwrap()];
+        drop(study);
+        // Simulate a crash right after the day-1 snapshot was created but
+        // before any document landed: the snapshot exists and is empty.
+        store.new_snapshot(NS_LONGITUDINAL).unwrap();
+        let mut resumed = Study::resume(study_world(), &store, &cfg).unwrap();
+        while let Some(r) = resumed.advance().unwrap() {
+            records.push(r);
+        }
+        assert_eq!(records, full);
+        // The interrupted day was filled in place, not duplicated.
+        for &snap in &store.snapshots(NS_LONGITUDINAL) {
+            assert_eq!(
+                store.scan_snapshot(NS_LONGITUDINAL, snap).unwrap().len(),
+                full_store.scan_snapshot(NS_LONGITUDINAL, snap).unwrap().len(),
+                "snapshot {snap:?}"
+            );
+        }
     }
 
     #[test]

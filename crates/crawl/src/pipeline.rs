@@ -5,18 +5,19 @@
 //! profiles, writing each source into its own store namespace.
 
 use crate::augment::{augment_crunchbase, AugmentStats};
-use crate::bfs::{crawl_angellist, BfsConfig, BfsStats};
+use crate::bfs::{crawl_angellist, crawl_angellist_resumable, BfsConfig, BfsStats, NS_CHECKPOINT};
 use crate::error::CrawlError;
 use crate::retry::RetryPolicy;
 use crate::social::{crawl_facebook, crawl_twitter, SocialStats};
 use crate::tokens::TokenPool;
+use crowdnet_json::{obj, Value};
 use crowdnet_socialsim::sources::angellist::AngelListApi;
 use crowdnet_socialsim::sources::crunchbase::CrunchBaseApi;
 use crowdnet_socialsim::sources::facebook::FacebookApi;
 use crowdnet_socialsim::sources::twitter::TwitterApi;
 use crowdnet_socialsim::sources::FaultModel;
 use crowdnet_socialsim::{Clock, SimClock, World};
-use crowdnet_store::Store;
+use crowdnet_store::{Document, Store};
 use crowdnet_telemetry::Telemetry;
 use std::sync::Arc;
 
@@ -181,6 +182,282 @@ impl Crawler {
     }
 }
 
+/// Checkpoint key for the full pipeline, stored in [`NS_CHECKPOINT`].
+pub const PIPELINE_CHECKPOINT_KEY: &str = "pipeline";
+
+/// Persisted progress of a [`Crawler::run_resumable`] invocation: which
+/// stages have completed (with their final counters) plus the Twitter
+/// token pool's park state. The AngelList BFS stage keeps its own
+/// finer-grained per-round checkpoint ([`crate::bfs::Checkpoint`]), so it
+/// has no entry here.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineCheckpoint {
+    /// Syndicate documents stored, once that stage finished.
+    pub syndicates: Option<usize>,
+    /// CrunchBase augmentation counters, once that stage finished.
+    pub augment: Option<AugmentStats>,
+    /// Facebook counters, once that stage finished.
+    pub facebook: Option<SocialStats>,
+    /// Twitter counters, once that stage finished.
+    pub twitter: Option<SocialStats>,
+    /// Twitter token park state as `(token, remaining_park_ms)`, exported
+    /// when the Twitter stage finishes so a follow-up crawl in a restarted
+    /// process (fresh virtual clock) still honours unexpired windows.
+    pub tokens: Vec<(String, u64)>,
+}
+
+fn encode_social(s: &SocialStats) -> Value {
+    obj! {
+        "facebook_pages" => s.facebook_pages,
+        "twitter_profiles" => s.twitter_profiles,
+        "missing" => s.missing,
+        "bad_urls" => s.bad_urls,
+        "already_stored" => s.already_stored,
+    }
+}
+
+fn decode_social(v: &Value) -> Option<SocialStats> {
+    let u = |f: &str| v.get(f).and_then(Value::as_u64).map(|x| x as usize);
+    Some(SocialStats {
+        facebook_pages: u("facebook_pages")?,
+        twitter_profiles: u("twitter_profiles")?,
+        missing: u("missing")?,
+        bad_urls: u("bad_urls")?,
+        already_stored: u("already_stored")?,
+    })
+}
+
+impl PipelineCheckpoint {
+    /// Serialize to a JSON document body.
+    pub fn encode(&self) -> Value {
+        obj! {
+            "syndicates" => self.syndicates.map(|n| n as u64),
+            "augment" => self.augment.as_ref().map(|a| obj! {
+                "direct" => a.direct,
+                "by_search" => a.by_search,
+                "ambiguous" => a.ambiguous,
+                "not_found" => a.not_found,
+                "skipped_existing" => a.skipped_existing,
+            }),
+            "facebook" => self.facebook.as_ref().map(encode_social),
+            "twitter" => self.twitter.as_ref().map(encode_social),
+            "tokens" => Value::Arr(
+                self.tokens
+                    .iter()
+                    .map(|(t, ms)| crowdnet_json::arr![t.as_str(), *ms])
+                    .collect::<Vec<_>>(),
+            ),
+        }
+    }
+
+    /// Deserialize; `None` for malformed documents.
+    pub fn decode(v: &Value) -> Option<PipelineCheckpoint> {
+        let present = |field: &str| v.get(field).filter(|x| !x.is_null());
+        let syndicates = match present("syndicates") {
+            None => None,
+            Some(n) => Some(n.as_u64()? as usize),
+        };
+        let augment = match present("augment") {
+            None => None,
+            Some(a) => {
+                let u = |f: &str| a.get(f).and_then(Value::as_u64).map(|x| x as usize);
+                Some(AugmentStats {
+                    direct: u("direct")?,
+                    by_search: u("by_search")?,
+                    ambiguous: u("ambiguous")?,
+                    not_found: u("not_found")?,
+                    skipped_existing: u("skipped_existing")?,
+                })
+            }
+        };
+        let facebook = match present("facebook") {
+            None => None,
+            Some(s) => Some(decode_social(s)?),
+        };
+        let twitter = match present("twitter") {
+            None => None,
+            Some(s) => Some(decode_social(s)?),
+        };
+        let tokens = v
+            .get("tokens")?
+            .as_arr()?
+            .iter()
+            .map(|e| Some((e.at(0)?.as_str()?.to_string(), e.at(1)?.as_u64()?)))
+            .collect::<Option<Vec<_>>>()?;
+        Some(PipelineCheckpoint { syndicates, augment, facebook, twitter, tokens })
+    }
+}
+
+/// Load the latest persisted pipeline checkpoint, if any.
+pub fn load_pipeline_checkpoint(
+    store: &Store,
+) -> Result<Option<PipelineCheckpoint>, CrawlError> {
+    match store.scan(NS_CHECKPOINT) {
+        Ok(docs) => Ok(docs
+            .into_iter()
+            .rfind(|d| d.key == PIPELINE_CHECKPOINT_KEY)
+            .and_then(|d| PipelineCheckpoint::decode(&d.body))),
+        Err(crowdnet_store::StoreError::NamespaceNotFound(_)) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+fn save_pipeline_checkpoint(store: &Store, cp: &PipelineCheckpoint) -> Result<(), CrawlError> {
+    store
+        .put(NS_CHECKPOINT, Document::new(PIPELINE_CHECKPOINT_KEY, cp.encode()))
+        .map_err(CrawlError::from)?;
+    Ok(())
+}
+
+impl Crawler {
+    /// Run all stages like [`Crawler::run`], persisting progress into the
+    /// store so an interrupted crawl (process kill, torn write, full disk)
+    /// continues from its last durable position instead of starting over.
+    ///
+    /// Totals from a resumed run equal an uninterrupted run's: completed
+    /// stages replay their checkpointed counters, and a stage interrupted
+    /// mid-flight skips documents that already landed (counted in
+    /// `already_stored` / `skipped_existing` and under the
+    /// `crawl.resume.skipped` telemetry counter) so the store never holds
+    /// duplicates.
+    pub fn run_resumable(&self, store: &Store) -> Result<CrawlStats, CrawlError> {
+        let cfg = &self.config;
+        let dyn_clock: Arc<dyn Clock> = self.clock.clone();
+        let start_ms = self.clock.now_ms();
+
+        let telemetry = cfg.telemetry.clone();
+        let sim = self.clock.clone();
+        telemetry.bind_clock_if_unbound(Arc::new(move || sim.now_ms()));
+
+        let mut cp = match load_pipeline_checkpoint(store)? {
+            Some(cp) => {
+                telemetry.counter("crawl.resume.runs").inc();
+                cp
+            }
+            None => PipelineCheckpoint::default(),
+        };
+        let stages_skipped = telemetry.counter("crawl.resume.stages_skipped");
+
+        // Stage 1: AngelList BFS — checkpoints itself per round.
+        let angellist = AngelListApi::new(
+            Arc::clone(&self.world),
+            FaultModel::new(cfg.fault_rate, cfg.fault_seed),
+        );
+        let mut bfs_cfg = cfg.bfs.clone();
+        bfs_cfg.workers = cfg.workers;
+        bfs_cfg.retry = cfg.retry;
+        bfs_cfg.telemetry = telemetry.clone();
+        let bfs = {
+            let _span = telemetry.span("crawl.angellist");
+            crawl_angellist_resumable(&angellist, store, &dyn_clock, &bfs_cfg)?
+        };
+
+        let syndicates = match cp.syndicates {
+            Some(n) => {
+                stages_skipped.inc();
+                n
+            }
+            None => {
+                let n = {
+                    let _span = telemetry.span("crawl.syndicates");
+                    crate::syndicates::crawl_syndicates(
+                        &angellist, store, &dyn_clock, &cfg.retry, &telemetry,
+                    )?
+                };
+                cp.syndicates = Some(n);
+                save_pipeline_checkpoint(store, &cp)?;
+                n
+            }
+        };
+
+        let augment = match cp.augment.clone() {
+            Some(a) => {
+                stages_skipped.inc();
+                a
+            }
+            None => {
+                let crunchbase = CrunchBaseApi::new(
+                    Arc::clone(&self.world),
+                    FaultModel::new(cfg.fault_rate, cfg.fault_seed ^ 1),
+                );
+                let a = {
+                    let _span = telemetry.span("crawl.crunchbase");
+                    augment_crunchbase(
+                        &crunchbase, store, &dyn_clock, &cfg.retry, cfg.workers, &telemetry,
+                    )?
+                };
+                cp.augment = Some(a.clone());
+                save_pipeline_checkpoint(store, &cp)?;
+                a
+            }
+        };
+
+        let fb = match cp.facebook.clone() {
+            Some(s) => {
+                stages_skipped.inc();
+                s
+            }
+            None => {
+                let facebook = FacebookApi::new(
+                    Arc::clone(&self.world),
+                    self.clock.clone(),
+                    FaultModel::new(cfg.fault_rate, cfg.fault_seed ^ 2),
+                );
+                let s = {
+                    let _span = telemetry.span("crawl.facebook");
+                    crawl_facebook(&facebook, store, &dyn_clock, &cfg.retry, cfg.workers, &telemetry)?
+                };
+                cp.facebook = Some(s.clone());
+                save_pipeline_checkpoint(store, &cp)?;
+                s
+            }
+        };
+
+        let tw = match cp.twitter.clone() {
+            Some(s) => {
+                stages_skipped.inc();
+                s
+            }
+            None => {
+                let twitter = TwitterApi::new(
+                    Arc::clone(&self.world),
+                    self.clock.clone(),
+                    FaultModel::new(cfg.fault_rate, cfg.fault_seed ^ 3),
+                );
+                let owners: Vec<&str> = cfg.twitter_owners.iter().map(String::as_str).collect();
+                if owners.is_empty() {
+                    return Err(CrawlError::Config("need at least one twitter owner".into()));
+                }
+                let pool = TokenPool::register(
+                    &twitter,
+                    self.clock.clone(),
+                    &owners,
+                    cfg.twitter_apps_per_owner,
+                )
+                .map_err(CrawlError::Api)?;
+                pool.restore_state(&cp.tokens);
+                let s = {
+                    let _span = telemetry.span("crawl.twitter");
+                    crawl_twitter(&twitter, store, &pool, &dyn_clock, &cfg.retry, cfg.workers, &telemetry)?
+                };
+                cp.tokens = pool.export_state();
+                cp.twitter = Some(s.clone());
+                save_pipeline_checkpoint(store, &cp)?;
+                s
+            }
+        };
+
+        Ok(CrawlStats {
+            bfs,
+            augment,
+            facebook: fb,
+            twitter: tw,
+            syndicates,
+            virtual_elapsed_ms: self.clock.now_ms() - start_ms,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +505,106 @@ mod tests {
         let linked_fb = world.companies.iter().filter(|c| c.facebook.is_some()).count();
         assert!(stats.facebook.facebook_pages as f64 >= linked_fb as f64 * 0.9);
         assert!(stats.facebook.facebook_pages <= linked_fb);
+    }
+
+    fn namespace_keys(store: &Store, ns: &str) -> Vec<String> {
+        match store.scan(ns) {
+            Ok(docs) => {
+                let mut keys: Vec<String> = docs.into_iter().map(|d| d.key).collect();
+                keys.sort();
+                keys
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+
+    const DATA_NAMESPACES: [&str; 6] = [
+        NS_COMPANIES,
+        NS_USERS,
+        NS_CRUNCHBASE,
+        NS_FACEBOOK,
+        NS_TWITTER,
+        crate::syndicates::NS_SYNDICATES,
+    ];
+
+    #[test]
+    fn resumable_run_matches_plain_run_on_a_fresh_store() {
+        let world = Arc::new(World::generate(&WorldConfig::tiny(42)));
+        let plain_store = Store::memory(4);
+        let plain = Crawler::new(Arc::clone(&world), CrawlConfig::default())
+            .run(&plain_store)
+            .unwrap();
+        let resumable_store = Store::memory(4);
+        let resumed = Crawler::new(Arc::clone(&world), CrawlConfig::default())
+            .run_resumable(&resumable_store)
+            .unwrap();
+
+        assert_eq!(plain.bfs.companies, resumed.bfs.companies);
+        assert_eq!(plain.bfs.users, resumed.bfs.users);
+        assert_eq!(plain.syndicates, resumed.syndicates);
+        assert_eq!(plain.augment, resumed.augment);
+        assert_eq!(plain.facebook, resumed.facebook);
+        assert_eq!(plain.twitter, resumed.twitter);
+        for ns in DATA_NAMESPACES {
+            assert_eq!(
+                namespace_keys(&plain_store, ns),
+                namespace_keys(&resumable_store, ns),
+                "namespace {ns} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn second_resumable_run_replays_the_checkpoint_without_refetching() {
+        let world = Arc::new(World::generate(&WorldConfig::tiny(42)));
+        let store = Store::memory(4);
+        let telemetry = Telemetry::new();
+        let cfg = CrawlConfig { telemetry: telemetry.clone(), ..CrawlConfig::default() };
+        let first = Crawler::new(Arc::clone(&world), cfg.clone()).run_resumable(&store).unwrap();
+        let before: Vec<Vec<String>> =
+            DATA_NAMESPACES.iter().map(|ns| namespace_keys(&store, ns)).collect();
+
+        let second = Crawler::new(Arc::clone(&world), cfg).run_resumable(&store).unwrap();
+        // Every stage short-circuits off the persisted checkpoint: same
+        // counters, not one extra document.
+        assert_eq!(first.augment, second.augment);
+        assert_eq!(first.facebook, second.facebook);
+        assert_eq!(first.twitter, second.twitter);
+        assert_eq!(first.syndicates, second.syndicates);
+        assert_eq!(first.bfs.companies, second.bfs.companies);
+        assert_eq!(telemetry.counter("crawl.resume.runs").value(), 1);
+        assert_eq!(telemetry.counter("crawl.resume.stages_skipped").value(), 4);
+        let after: Vec<Vec<String>> =
+            DATA_NAMESPACES.iter().map(|ns| namespace_keys(&store, ns)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn pipeline_checkpoint_roundtrips_through_json() {
+        let cp = PipelineCheckpoint {
+            syndicates: Some(17),
+            augment: Some(AugmentStats {
+                direct: 1,
+                by_search: 2,
+                ambiguous: 3,
+                not_found: 4,
+                skipped_existing: 5,
+            }),
+            facebook: None,
+            twitter: Some(SocialStats {
+                facebook_pages: 0,
+                twitter_profiles: 9,
+                missing: 1,
+                bad_urls: 2,
+                already_stored: 3,
+            }),
+            tokens: vec![("tok-a".into(), 0), ("tok-b".into(), 900_000)],
+        };
+        assert_eq!(PipelineCheckpoint::decode(&cp.encode()), Some(cp));
+        assert_eq!(
+            PipelineCheckpoint::decode(&PipelineCheckpoint::default().encode()),
+            Some(PipelineCheckpoint::default())
+        );
     }
 
     #[test]

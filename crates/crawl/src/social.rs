@@ -34,6 +34,34 @@ pub struct SocialStats {
     pub twitter_profiles: usize,
     /// Linked accounts that permanently failed (404 after retries).
     pub missing: usize,
+    /// Links whose URL carries no username segment (empty or trailing-`/`):
+    /// skipped rather than fetched as an empty username.
+    pub bad_urls: usize,
+    /// Targets already present in the store from an interrupted earlier run
+    /// — skipped without a fetch, so a resumed crawl is idempotent.
+    pub already_stored: usize,
+}
+
+impl SocialStats {
+    /// Documents present in the store after this crawl: newly stored this
+    /// run plus those an interrupted earlier run had already persisted.
+    pub fn stored_total(&self) -> usize {
+        self.facebook_pages + self.twitter_profiles + self.already_stored
+    }
+}
+
+/// Keys already persisted under `ns` (empty for a namespace that does not
+/// exist yet). Resumable stages consult this so re-running after a crash
+/// never duplicates documents.
+pub(crate) fn existing_keys(
+    store: &Store,
+    ns: &str,
+) -> Result<std::collections::HashSet<String>, CrawlError> {
+    match store.scan(ns) {
+        Ok(docs) => Ok(docs.into_iter().map(|d| d.key).collect()),
+        Err(crowdnet_store::StoreError::NamespaceNotFound(_)) => Ok(Default::default()),
+        Err(e) => Err(e.into()),
+    }
 }
 
 /// Extract `(angellist_id, url)` pairs for a given URL field from the
@@ -65,8 +93,21 @@ pub fn crawl_facebook(
     let token = api
         .exchange_token(&api.login())
         .map_err(CrawlError::Api)?;
-    let targets = linked_urls(store, "facebook_url")?;
-    let stats = Mutex::new(SocialStats::default());
+    let existing = existing_keys(store, NS_FACEBOOK)?;
+    let skipped_counter = telemetry.counter("crawl.resume.skipped");
+    let mut seed_stats = SocialStats::default();
+    let targets: Vec<(u64, String)> = linked_urls(store, "facebook_url")?
+        .into_iter()
+        .filter(|(id, _)| {
+            let fresh = !existing.contains(&format!("company:{id}"));
+            if !fresh {
+                skipped_counter.inc();
+                seed_stats.already_stored += 1;
+            }
+            fresh
+        })
+        .collect();
+    let stats = Mutex::new(seed_stats);
     let queue = Mutex::new(targets.into_iter());
     let fatal: Mutex<Option<CrawlError>> = Mutex::new(None);
 
@@ -124,8 +165,22 @@ pub fn crawl_twitter(
 ) -> Result<SocialStats, CrawlError> {
     let rt = RetryTelemetry::for_source(telemetry, "twitter");
     let profiles_counter = telemetry.counter("crawl.twitter.profiles");
-    let targets = linked_urls(store, "twitter_url")?;
-    let stats = Mutex::new(SocialStats::default());
+    let bad_url_counter = telemetry.counter("crawl.twitter.bad_url");
+    let existing = existing_keys(store, NS_TWITTER)?;
+    let skipped_counter = telemetry.counter("crawl.resume.skipped");
+    let mut seed_stats = SocialStats::default();
+    let targets: Vec<(u64, String)> = linked_urls(store, "twitter_url")?
+        .into_iter()
+        .filter(|(id, _)| {
+            let fresh = !existing.contains(&format!("company:{id}"));
+            if !fresh {
+                skipped_counter.inc();
+                seed_stats.already_stored += 1;
+            }
+            fresh
+        })
+        .collect();
+    let stats = Mutex::new(seed_stats);
     let queue = Mutex::new(targets.into_iter());
     let fatal: Mutex<Option<CrawlError>> = Mutex::new(None);
 
@@ -134,8 +189,15 @@ pub fn crawl_twitter(
             scope.spawn(|| loop {
                 let item = { queue.lock().next() };
                 let Some((id, url)) = item else { break };
-                // §3: the username is the string after the last '/'.
+                // §3: the username is the string after the last '/'. Empty
+                // or trailing-`/` URLs yield no username — fetching "" would
+                // 404 every such link into `missing`; count them separately.
                 let username = url.rsplit('/').next().unwrap_or_default().to_string();
+                if username.is_empty() {
+                    bad_url_counter.inc();
+                    stats.lock().bad_urls += 1;
+                    continue;
+                }
                 match fetch_with_pool(api, pool, clock, retry, &rt, &username) {
                     Ok(profile) => {
                         if let Err(e) = store
@@ -304,6 +366,56 @@ mod tests {
         assert!(
             many <= one,
             "15 tokens ({many} ms) should not wait longer than 1 token ({one} ms)"
+        );
+    }
+
+    #[test]
+    fn malformed_twitter_urls_are_counted_not_fetched() {
+        use crowdnet_json::obj;
+        let world = Arc::new(World::generate(&WorldConfig::tiny(42)));
+        let store = Store::memory(2);
+        // Hand-built company docs: a trailing-slash URL and an empty URL
+        // carry no username segment; both must be skipped, not fetched as
+        // the empty string (which would 404 into `missing`).
+        for (id, url) in [(1u64, "https://twitter.com/"), (2, ""), (3, "https://twitter.com/ghost")] {
+            store
+                .put(
+                    crate::bfs::NS_COMPANIES,
+                    Document::new(format!("company:{id}"), obj! {"id" => id, "twitter_url" => url}),
+                )
+                .unwrap();
+        }
+        let sim = Arc::new(SimClock::new());
+        let clock: Arc<dyn Clock> = sim.clone();
+        let api = TwitterApi::new(Arc::clone(&world), sim.clone(), FaultModel::none());
+        let pool = TokenPool::register(&api, sim, &["m1"], 2).unwrap();
+        let telemetry = Telemetry::new();
+        let stats =
+            crawl_twitter(&api, &store, &pool, &clock, &RetryPolicy::default(), 2, &telemetry).unwrap();
+        assert_eq!(stats.bad_urls, 2);
+        // The well-formed link is attempted; whether it resolves or 404s it
+        // is accounted for, never silently dropped.
+        assert_eq!(stats.twitter_profiles + stats.missing, 1);
+        assert_eq!(telemetry.counter("crawl.twitter.bad_url").value(), 2);
+    }
+
+    #[test]
+    fn rerunning_social_crawls_skips_already_stored_targets() {
+        let (world, store, clock) = crawled(42);
+        let fb = FacebookApi::new(Arc::clone(&world), Arc::new(SimClock::new()), FaultModel::none());
+        let first = crawl_facebook(&fb, &store, &clock, &RetryPolicy::default(), 4, &Telemetry::new())
+            .unwrap();
+        let telemetry = Telemetry::new();
+        let second =
+            crawl_facebook(&fb, &store, &clock, &RetryPolicy::default(), 4, &telemetry).unwrap();
+        // Second pass fetches nothing and duplicates nothing.
+        assert_eq!(second.facebook_pages, 0);
+        assert_eq!(second.already_stored, first.facebook_pages);
+        assert_eq!(second.stored_total(), first.stored_total());
+        assert_eq!(store.doc_count(NS_FACEBOOK).unwrap(), first.facebook_pages);
+        assert_eq!(
+            telemetry.counter("crawl.resume.skipped").value(),
+            first.facebook_pages as u64
         );
     }
 

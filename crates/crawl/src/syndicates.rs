@@ -46,10 +46,20 @@ pub fn crawl_syndicates(
         }
         page += 1;
     }
+    let existing = crate::social::existing_keys(store, NS_SYNDICATES)?;
+    let skipped_counter = telemetry.counter("crawl.resume.skipped");
     let mut stored = 0usize;
     for id in ids {
+        let key = format!("syndicate:{id}");
+        // An interrupted earlier run may have persisted this syndicate
+        // already; re-putting would duplicate the document.
+        if existing.contains(&key) {
+            skipped_counter.inc();
+            stored += 1;
+            continue;
+        }
         let doc = with_retry_metered(clock.as_ref(), retry, Some(&rt), || api.syndicate(id as u32))?;
-        store.put(NS_SYNDICATES, Document::new(format!("syndicate:{id}"), doc))?;
+        store.put(NS_SYNDICATES, Document::new(key, doc))?;
         docs_counter.inc();
         stored += 1;
     }

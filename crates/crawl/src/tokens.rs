@@ -106,6 +106,39 @@ impl TokenPool {
         }
     }
 
+    /// Export the pool's park state as `(token, remaining_park_ms)` pairs —
+    /// remaining time is relative to *now* because a resumed process starts
+    /// a fresh virtual clock at 0. Persisted in the pipeline checkpoint.
+    pub fn export_state(&self) -> Vec<(String, u64)> {
+        let now = self.clock.now_ms();
+        self.tokens
+            .lock()
+            .iter()
+            .map(|t| (t.token.clone(), t.available_at_ms.saturating_sub(now)))
+            .collect()
+    }
+
+    /// Re-apply a previously exported park state. Tokens are matched by
+    /// name (registration is deterministic, so a resumed process re-derives
+    /// the same names); unknown names fall back to registration order so a
+    /// renamed pool still honours the park windows.
+    pub fn restore_state(&self, state: &[(String, u64)]) {
+        let now = self.clock.now_ms();
+        let mut tokens = self.tokens.lock();
+        for (i, (name, remaining)) in state.iter().enumerate() {
+            if *remaining == 0 {
+                continue;
+            }
+            let pos = tokens
+                .iter()
+                .position(|t| t.token == *name)
+                .or_else(|| (i < tokens.len()).then_some(i));
+            if let Some(p) = pos {
+                tokens[p].available_at_ms = tokens[p].available_at_ms.max(now + remaining);
+            }
+        }
+    }
+
     /// How many tokens are usable right now.
     pub fn available_now(&self) -> usize {
         let now = self.clock.now_ms();
@@ -170,6 +203,24 @@ mod tests {
         assert_ne!(next2, a);
         clock.advance_ms(1_001);
         assert_eq!(pool.available_now(), 2);
+    }
+
+    #[test]
+    fn park_state_survives_export_and_restore_into_a_fresh_pool() {
+        let (pool, _) = setup(&["m1"], 2);
+        let a = pool.lease();
+        pool.park(&a, 4_000);
+        let state = pool.export_state();
+        assert_eq!(state.len(), 2);
+        assert_eq!(state.iter().filter(|(_, rem)| *rem > 0).count(), 1);
+
+        // A "restarted process": fresh world, fresh clock at 0, fresh pool.
+        // Registration is deterministic, so token names line up.
+        let (fresh, clock) = setup(&["m1"], 2);
+        fresh.restore_state(&state);
+        assert_eq!(fresh.available_now(), 1);
+        clock.advance_ms(4_000);
+        assert_eq!(fresh.available_now(), 2);
     }
 
     #[test]

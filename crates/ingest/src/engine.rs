@@ -424,6 +424,27 @@ impl IngestEngine {
         self.publish_ms.record(self.telemetry.now_ms() - t0);
         artifacts
     }
+
+    /// Crash recovery: run the store's recovery scan (truncating torn tails
+    /// and quarantining corrupt records), rebuild the maintained state with a
+    /// full catch-up, and republish the last committed epoch. While recovery
+    /// is running the service keeps answering from its pinned artifacts with
+    /// the `degraded` flag raised in `/healthz` and `/stats`; the flag clears
+    /// once the fresh epoch is installed.
+    pub fn recover(&mut self, service: Option<&Service>) -> Result<Arc<Artifacts>, IngestError> {
+        let _span = self.telemetry.span("ingest.recover");
+        if let Some(svc) = service {
+            svc.set_degraded(true);
+        }
+        self.store.recover()?;
+        self.catch_up()?;
+        let artifacts = self.publish(service);
+        if let Some(svc) = service {
+            svc.set_degraded(false);
+        }
+        self.telemetry.counter("ingest.recoveries").inc();
+        Ok(artifacts)
+    }
 }
 
 #[cfg(test)]
@@ -555,6 +576,31 @@ mod tests {
         assert_eq!(telemetry.counter("ingest.epochs").value(), 1);
         // Stats are frozen into the epoch.
         assert_eq!(epoch.stats.as_deref().unwrap(), store.stats().unwrap().as_slice());
+    }
+
+    #[test]
+    fn recover_republishes_and_clears_the_degraded_flag() {
+        let store = Arc::new(Store::memory(2));
+        put_company(&store, 0);
+        put_investor(&store, 10, &[0]);
+        let telemetry = Telemetry::new();
+        let service = Service::new(Arc::clone(&store), ServiceConfig::default(), telemetry.clone());
+        let mut engine =
+            IngestEngine::new(Arc::clone(&store), IngestConfig::default(), telemetry.clone())
+                .unwrap();
+        engine.publish(Some(&service));
+
+        // Writes that land after the epoch (e.g. recovered after a crash).
+        put_investor(&store, 11, &[0]);
+        service.set_degraded(true);
+        let epoch = engine.recover(Some(&service)).unwrap();
+
+        assert!(!service.is_degraded(), "recover must clear the degraded flag");
+        assert_eq!(epoch.version, store.version());
+        let pinned = service.pinned_artifacts().unwrap();
+        assert!(Arc::ptr_eq(&pinned, &epoch));
+        assert_eq!(epoch.graph.investor_count(), 2);
+        assert_eq!(telemetry.counter("ingest.recoveries").value(), 1);
     }
 
     #[test]

@@ -9,6 +9,7 @@ mod channels;
 mod errors;
 mod locks;
 mod unwrap;
+mod vfsio;
 mod wallclock;
 
 /// One lint rule: a stable id, a one-line summary and its checker.
@@ -44,6 +45,11 @@ pub const ALL: &[Rule] = &[
         id: errors::ID,
         summary: "public *Error enums must implement Display and Error",
         check: errors::check,
+    },
+    Rule {
+        id: vfsio::ID,
+        summary: "store file I/O must route through the Vfs seam",
+        check: vfsio::check,
     },
 ];
 

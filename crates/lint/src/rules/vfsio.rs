@@ -1,0 +1,106 @@
+//! `vfs-only-io`: the store's durability guarantees live entirely in the
+//! [`Vfs`] seam — every mutating file operation in `crates/store` must go
+//! through it so the deterministic fault injector ([`FailpointFs`]) sees
+//! every write, fsync and rename. A direct `std::fs` mutation (or a raw
+//! `File::create` / `OpenOptions` handle) bypasses torn-write/crash-point
+//! injection and silently escapes the kill-at-random-point harness. The
+//! `vfs` module itself (where `RealFs` wraps `std::fs` behind the trait)
+//! and test code are the only sanctioned call sites.
+
+use crate::{Analysis, Diagnostic};
+
+pub const ID: &str = "vfs-only-io";
+
+/// Mutating `std::fs` free functions that must route through the Vfs.
+const FS_MUTATORS: &[&str] = &[
+    "write",
+    "rename",
+    "remove_file",
+    "remove_dir",
+    "remove_dir_all",
+    "create_dir",
+    "create_dir_all",
+    "copy",
+    "hard_link",
+    "set_permissions",
+];
+
+/// Files allowed to touch `std::fs` directly.
+fn exempt(path: &str) -> bool {
+    path == "crates/store/src/vfs.rs" || !path.starts_with("crates/store/")
+}
+
+pub fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &a.files {
+        if exempt(&f.rel_path) || f.is_test_path() {
+            continue;
+        }
+        for (i, t) in f.tokens.iter().enumerate() {
+            // `qual::ident` — recover the path segment before a `::`.
+            let qualifier = (i >= 3
+                && f.tokens[i - 1].is_punct(':')
+                && f.tokens[i - 2].is_punct(':'))
+            .then(|| f.tokens[i - 3].text.as_str());
+            let found = match qualifier {
+                Some("fs") if FS_MUTATORS.contains(&t.text.as_str()) => {
+                    Some(format!("fs::{}", t.text))
+                }
+                Some("File") if t.is_ident("create") || t.is_ident("options") => {
+                    Some(format!("File::{}", t.text))
+                }
+                Some("OpenOptions") if t.is_ident("new") => Some("OpenOptions::new".into()),
+                _ => None,
+            };
+            let Some(what) = found else { continue };
+            if f.in_test(t.line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: ID,
+                file: f.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "{what} in crates/store bypasses the Vfs seam — fault injection cannot see it; route through the Vfs trait"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::analysis;
+
+    #[test]
+    fn flags_direct_mutations_in_store_code() {
+        let a = analysis(&[(
+            "crates/store/src/disk.rs",
+            "fn f() { fs::write(p, b)?; fs::rename(a, b)?; let h = File::create(p)?; OpenOptions::new(); }",
+        )]);
+        let d = check(&a);
+        assert_eq!(d.len(), 4);
+        assert!(d.iter().all(|d| d.rule == ID));
+    }
+
+    #[test]
+    fn vfs_module_other_crates_and_tests_are_exempt() {
+        let a = analysis(&[
+            ("crates/store/src/vfs.rs", "fn f() { fs::write(p, b)?; }"),
+            ("crates/core/src/bin/repro.rs", "fn f() { fs::remove_dir_all(p)?; }"),
+            ("crates/store/tests/recovery.rs", "fn f() { fs::write(p, b)?; }"),
+        ]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn reads_and_unqualified_idents_are_fine() {
+        let a = analysis(&[(
+            "crates/store/src/disk.rs",
+            "fn f(vfs: &dyn Vfs) { fs::read(p)?; fs::read_dir(p)?; vfs.rename(a, b)?; self.write(b)?; }",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+}

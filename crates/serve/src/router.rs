@@ -95,6 +95,7 @@ fn healthz(service: &Service) -> Result<Value, ServeError> {
     let cache = service.cache_stats();
     Ok(obj! {
         "ok" => true,
+        "degraded" => service.is_degraded(),
         "version" => service.store().version(),
         "cache" => obj! {
             "entries" => cache.entries,
@@ -108,13 +109,16 @@ fn stats(service: &Service) -> Result<Value, ServeError> {
     // Pinned-epoch mode: answer from the stats frozen into the epoch, at
     // the epoch's version — consistent with every other endpoint even
     // while the store takes writes. Otherwise read the store live.
-    if let Some(epoch) = service.pinned_artifacts() {
-        if let Some(frozen) = &epoch.stats {
-            return Ok(render_stats(frozen, epoch.version));
+    let mut rendered = match service.pinned_artifacts() {
+        Some(epoch) if epoch.stats.is_some() => {
+            render_stats(epoch.stats.as_deref().unwrap_or_default(), epoch.version)
         }
+        _ => render_stats(&service.store().stats()?, service.store().version()),
+    };
+    if let Some(o) = rendered.as_obj_mut() {
+        o.insert("degraded", Value::Bool(service.is_degraded()));
     }
-    let stats = service.store().stats()?;
-    Ok(render_stats(&stats, service.store().version()))
+    Ok(rendered)
 }
 
 fn render_stats(stats: &[crowdnet_store::store::NamespaceStats], version: u64) -> Value {

@@ -58,6 +58,11 @@ pub struct Service {
     /// artifact freshness via [`Service::install_artifacts`]; requests
     /// read the installed epoch as-is and never rebuild inline.
     pinned: AtomicBool,
+    /// Degraded mode: the owning tier is recovering from a crash; requests
+    /// keep being answered from the last committed epoch, flagged so
+    /// clients can tell the data may trail the store. Surfaced by
+    /// `/healthz` and `/stats`.
+    degraded: AtomicBool,
     cache: ResultCache,
     requests: Counter,
     latency: Histogram,
@@ -77,10 +82,24 @@ impl Service {
             cfg,
             artifacts_slot: RwLock::new(None),
             pinned: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
             cache,
             requests,
             latency,
         }
+    }
+
+    /// Raise or clear degraded mode. While degraded, requests keep being
+    /// served from whatever epoch is installed (possibly trailing the
+    /// store) and `/healthz` / `/stats` carry `"degraded": true` so load
+    /// balancers and dashboards can tell.
+    pub fn set_degraded(&self, degraded: bool) {
+        self.degraded.store(degraded, Ordering::Release);
+    }
+
+    /// True while the owning tier recovers from a crash.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
     }
 
     /// Atomically install an externally assembled epoch and switch the
@@ -167,7 +186,13 @@ impl Service {
             Some(a) => a.version,
             None => self.store.version(),
         };
-        let key = format!("{} {}", req.method, req.target);
+        // Degraded responses carry a flag in their bodies, so they must not
+        // share cache entries with healthy ones at the same version.
+        let key = if self.is_degraded() {
+            format!("{} {} [degraded]", req.method, req.target)
+        } else {
+            format!("{} {}", req.method, req.target)
+        };
         // Health checks bypass the cache (they report live occupancy).
         let cacheable = req.method == "GET" && req.path() != "/healthz";
         if cacheable {
@@ -331,6 +356,38 @@ pub(crate) mod tests {
             let resp = svc.handle(&Request::get(&target));
             assert_eq!(resp.status, 200, "target {target} failed: {:?}", resp.body);
         }
+    }
+
+    #[test]
+    fn degraded_flag_reaches_health_and_stats_without_poisoning_the_cache() {
+        let svc = seeded_service();
+        let parse = |resp: &Response| {
+            Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+        };
+        let healthy = svc.handle(&Request::get("/stats"));
+        assert_eq!(
+            parse(&healthy).get("degraded").and_then(Value::as_bool),
+            Some(false)
+        );
+
+        svc.set_degraded(true);
+        let degraded = svc.handle(&Request::get("/stats"));
+        assert_eq!(
+            parse(&degraded).get("degraded").and_then(Value::as_bool),
+            Some(true),
+            "cached healthy /stats served while degraded"
+        );
+        let health = svc.handle(&Request::get("/healthz"));
+        assert_eq!(
+            parse(&health).get("degraded").and_then(Value::as_bool),
+            Some(true)
+        );
+
+        // Clearing the flag goes back to the healthy responses (and may
+        // reuse the healthy cache entry — same version, same key).
+        svc.set_degraded(false);
+        let again = svc.handle(&Request::get("/stats"));
+        assert_eq!(healthy.body, again.body);
     }
 
     #[test]

@@ -1,33 +1,90 @@
-//! Disk backend: one directory per namespace, one per snapshot, one JSONL
-//! file per partition — the shape of the authors' HDFS layout, minus the
-//! distribution.
+//! Disk backend: one directory per namespace, one per snapshot, one framed
+//! log per partition — the shape of the authors' HDFS layout, plus the
+//! durability guarantees HDFS actually provides and a flat directory copy
+//! does not.
 //!
 //! ```text
 //! <root>/
 //!   angellist__companies/
 //!     snap-0000/
-//!       part-000.jsonl
-//!       part-001.jsonl
-//!     snap-0001/
-//!       ...
+//!       COMMITTED            <- written before the dir is renamed in
+//!       part-000.log         <- length+CRC32-framed records (frame.rs)
+//!       part-001.log
+//!       part-001.quarantine  <- checksum-failed payloads, never dropped
+//!     .tmp-snap-0001/        <- uncommitted; removed at recovery
 //! ```
 //!
-//! Writers are cached `BufWriter`s behind a mutex; reads flush first so a
-//! scan always sees every prior append (HDFS's read-after-close guarantee,
-//! strengthened to read-after-append).
+//! Durability protocol:
+//!
+//! * **Records** are framed (`frame::encode`) and written through the
+//!   [`Vfs`] seam with no userspace buffering; [`DiskBackend::flush`]
+//!   fsyncs every open handle. A crash can tear at most the last record
+//!   of each partition file.
+//! * **Snapshots** are committed by building `.tmp-snap-NNNN/` with a
+//!   `COMMITTED` marker inside and atomically renaming it into place,
+//!   then fsyncing the namespace directory. A snapshot either exists
+//!   fully or not at all; ids are derived from the maximum committed id,
+//!   never from directory counts.
+//! * **Recovery** runs at every open (and on demand via
+//!   [`DiskBackend::recover`]): uncommitted temp dirs are deleted,
+//!   marker-less `snap-*` dirs are quarantined, and every partition log is
+//!   scanned — torn tails truncated, checksum-failed records moved to a
+//!   `.quarantine` sidecar (counted, never silently dropped). Cached
+//!   writers for any repaired file are invalidated so post-recovery
+//!   appends never go through a stale handle.
 
+use crate::frame;
+use crate::vfs::{RealFs, Vfs, VfsFile};
 use parking_lot::Mutex;
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::collections::{HashMap, HashSet};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-/// Filesystem-backed line store.
+/// Commit marker filename inside every committed snapshot directory.
+const COMMITTED: &str = "COMMITTED";
+
+/// Cumulative counts of what recovery found and repaired (the source of
+/// the `store.recovery.*` telemetry counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Full recovery scans performed (one per open / explicit recover).
+    pub scans: u64,
+    /// Partition files scanned across all recoveries.
+    pub partitions: u64,
+    /// Checksum-clean records seen by recovery scans.
+    pub records_ok: u64,
+    /// Torn tails truncated.
+    pub torn_tails: u64,
+    /// Bytes removed by torn-tail truncation.
+    pub torn_bytes: u64,
+    /// Records (or unparseable remainders) moved to quarantine sidecars.
+    pub quarantined_records: u64,
+    /// Uncommitted snapshot dirs removed + marker-less dirs quarantined.
+    pub uncommitted_snapshots: u64,
+    /// Cached write handles invalidated because their file was repaired.
+    pub writer_invalidations: u64,
+}
+
+struct Writers {
+    open: HashMap<PathBuf, Box<dyn VfsFile>>,
+    /// Files whose last append errored: the on-disk tail is suspect and
+    /// must be repaired before the next append.
+    poisoned: HashSet<PathBuf>,
+}
+
+/// Filesystem-backed framed-log store. All I/O goes through the [`Vfs`]
+/// seam; see the module docs for the on-disk protocol.
 pub struct DiskBackend {
     root: PathBuf,
     partitions: usize,
-    writers: Mutex<HashMap<PathBuf, BufWriter<File>>>,
+    vfs: Arc<dyn Vfs>,
+    writers: Mutex<Writers>,
+    /// Serializes snapshot commits (the temp-dir + rename protocol is not
+    /// idempotent under races).
+    commit_lock: Mutex<()>,
+    recovery: Mutex<RecoveryStats>,
 }
 
 /// `/` is the namespace separator but not a legal path component.
@@ -35,95 +92,200 @@ fn encode_ns(ns: &str) -> String {
     ns.replace('/', "__")
 }
 
+/// Parse `snap-NNNN` into its id; anything else (temp dirs, quarantine
+/// dirs, junk) is `None`.
+fn parse_snap_id(name: &str) -> Option<u32> {
+    let digits = name.strip_prefix("snap-")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Outcome of repairing one partition file.
+#[derive(Default)]
+struct FileRepair {
+    records_ok: u64,
+    quarantined: u64,
+    torn_tail: bool,
+    torn_bytes: u64,
+    modified: bool,
+}
+
 impl DiskBackend {
-    /// Open (creating if needed) a store rooted at `root`.
+    /// Open (creating if needed) a store rooted at `root` on the real
+    /// filesystem, running recovery over any existing state.
     pub fn open(root: impl Into<PathBuf>, partitions: usize) -> io::Result<Self> {
+        Self::open_with_vfs(root, partitions, Arc::new(RealFs))
+    }
+
+    /// Open on an explicit [`Vfs`] — the entry point fault-injection tests
+    /// and the `--fail-at-op` CLI use.
+    pub fn open_with_vfs(
+        root: impl Into<PathBuf>,
+        partitions: usize,
+        vfs: Arc<dyn Vfs>,
+    ) -> io::Result<Self> {
         let root = root.into();
-        fs::create_dir_all(&root)?;
-        Ok(DiskBackend {
+        vfs.create_dir_all(&root)?;
+        let backend = DiskBackend {
             root,
             partitions: partitions.max(1),
-            writers: Mutex::new(HashMap::new()),
-        })
+            vfs,
+            writers: Mutex::new(Writers { open: HashMap::new(), poisoned: HashSet::new() }),
+            commit_lock: Mutex::new(()),
+            recovery: Mutex::new(RecoveryStats::default()),
+        };
+        backend.recover()?;
+        Ok(backend)
+    }
+
+    fn ns_dir(&self, ns: &str) -> PathBuf {
+        self.root.join(encode_ns(ns))
     }
 
     fn snap_dir(&self, ns: &str, snapshot: u32) -> PathBuf {
-        self.root
-            .join(encode_ns(ns))
-            .join(format!("snap-{snapshot:04}"))
+        self.ns_dir(ns).join(format!("snap-{snapshot:04}"))
     }
 
     fn part_path(&self, ns: &str, snapshot: u32, partition: usize) -> PathBuf {
         self.snap_dir(ns, snapshot)
-            .join(format!("part-{:03}.jsonl", partition % self.partitions))
+            .join(format!("part-{:03}.log", partition % self.partitions))
+    }
+
+    /// Is this snapshot directory committed (exists with its marker)?
+    fn is_committed(&self, ns: &str, snapshot: u32) -> bool {
+        self.vfs.exists(&self.snap_dir(ns, snapshot).join(COMMITTED))
+    }
+
+    /// Committed snapshot ids of a namespace, sorted. `None` if the
+    /// namespace directory does not exist.
+    fn committed_ids(&self, ns: &str) -> Option<Vec<u32>> {
+        let names = self.vfs.list_dir(&self.ns_dir(ns)).ok()?;
+        let mut ids: Vec<u32> = names
+            .iter()
+            .filter_map(|n| parse_snap_id(n))
+            .filter(|&id| self.is_committed(ns, id))
+            .collect();
+        ids.sort_unstable();
+        Some(ids)
+    }
+
+    /// Commit one snapshot directory: temp dir + marker + atomic rename +
+    /// directory fsync. Idempotent for already-committed ids.
+    fn commit_snapshot(&self, ns: &str, id: u32) -> io::Result<()> {
+        let _guard = self.commit_lock.lock();
+        if self.is_committed(ns, id) {
+            return Ok(());
+        }
+        let ns_dir = self.ns_dir(ns);
+        self.vfs.create_dir_all(&ns_dir)?;
+        let tmp = ns_dir.join(format!(".tmp-snap-{id:04}"));
+        self.vfs.create_dir_all(&tmp)?;
+        self.vfs.write_file(&tmp.join(COMMITTED), format!("{id}\n").as_bytes())?;
+        self.vfs.rename(&tmp, &self.snap_dir(ns, id))?;
+        self.vfs.sync_dir(&ns_dir)
     }
 
     /// Create namespace dir and snapshot 0 if absent.
     pub fn ensure_namespace(&self, ns: &str) -> io::Result<()> {
-        fs::create_dir_all(self.snap_dir(ns, 0))
+        self.commit_snapshot(ns, 0)
     }
 
-    /// Number of snapshot directories in the namespace, if it exists.
-    fn snapshot_count(&self, ns: &str) -> Option<u32> {
-        let dir = self.root.join(encode_ns(ns));
-        let entries = fs::read_dir(dir).ok()?;
-        let count = entries
-            .filter_map(|e| e.ok())
-            .filter(|e| e.file_name().to_string_lossy().starts_with("snap-"))
-            .count() as u32;
-        Some(count)
-    }
-
-    /// Open a fresh snapshot; returns its id.
+    /// Open a fresh snapshot; returns its id — the max committed id plus
+    /// one, so temp dirs, quarantined dirs and id gaps never skew it.
     pub fn new_snapshot(&self, ns: &str) -> io::Result<u32> {
-        let next = self.snapshot_count(ns).unwrap_or(0);
-        fs::create_dir_all(self.snap_dir(ns, next))?;
+        let next = self
+            .committed_ids(ns)
+            .and_then(|ids| ids.last().map(|&m| m + 1))
+            .unwrap_or(0);
+        self.commit_snapshot(ns, next)?;
         Ok(next)
     }
 
-    /// Latest snapshot id, if the namespace exists and is non-empty.
+    /// Latest committed snapshot id, if the namespace has any.
     pub fn latest_snapshot(&self, ns: &str) -> Option<u32> {
-        self.snapshot_count(ns).and_then(|c| c.checked_sub(1))
+        self.committed_ids(ns).and_then(|ids| ids.last().copied())
     }
 
-    /// All snapshot ids in the namespace.
+    /// All committed snapshot ids in the namespace, sorted.
     pub fn snapshots(&self, ns: &str) -> Vec<u32> {
-        (0..self.snapshot_count(ns).unwrap_or(0)).collect()
+        self.committed_ids(ns).unwrap_or_default()
     }
 
-    /// Append one line to a partition file (creating dirs/files on demand for
-    /// snapshot 0; later snapshots must exist).
+    /// Append one record to a partition log (creating the namespace and
+    /// snapshot 0 on demand; later snapshots must already be committed).
+    /// Returns `Ok(false)` if the target snapshot does not exist.
     pub fn append(&self, ns: &str, snapshot: u32, partition: usize, line: &str) -> io::Result<bool> {
-        if snapshot > 0 && self.snapshot_count(ns).unwrap_or(0) <= snapshot {
-            return Ok(false);
+        if !self.is_committed(ns, snapshot) {
+            if snapshot != 0 {
+                return Ok(false);
+            }
+            self.commit_snapshot(ns, 0)?;
         }
         let path = self.part_path(ns, snapshot, partition);
+        let framed = frame::encode(line.as_bytes());
         let mut writers = self.writers.lock();
-        let w = match writers.entry(path) {
+        if writers.poisoned.contains(&path) {
+            // A previous append to this file errored: its tail is suspect.
+            // Repair (truncate the torn record) before writing anything
+            // after it.
+            let repair = self.repair_file(&path)?;
+            let mut stats = self.recovery.lock();
+            stats.partitions += 1;
+            stats.records_ok += repair.records_ok;
+            stats.torn_tails += u64::from(repair.torn_tail);
+            stats.torn_bytes += repair.torn_bytes;
+            stats.quarantined_records += repair.quarantined;
+            drop(stats);
+            writers.poisoned.remove(&path);
+        }
+        let handle = match writers.open.entry(path.clone()) {
             Entry::Occupied(e) => e.into_mut(),
             Entry::Vacant(e) => {
-                if let Some(parent) = e.key().parent() {
-                    fs::create_dir_all(parent)?;
-                }
-                let file = OpenOptions::new().create(true).append(true).open(e.key())?;
-                e.insert(BufWriter::new(file))
+                let opened = self.vfs.open_append(e.key())?;
+                e.insert(opened)
             }
         };
-        w.write_all(line.as_bytes())?;
-        w.write_all(b"\n")?;
-        Ok(true)
-    }
-
-    /// Flush all cached writers (called before every read).
-    pub fn flush(&self) -> io::Result<()> {
-        for w in self.writers.lock().values_mut() {
-            w.flush()?;
+        match handle.append(&framed) {
+            Ok(()) => Ok(true),
+            Err(e) => {
+                // The write may have torn: drop the handle and poison the
+                // path so the next append repairs before proceeding.
+                writers.open.remove(&path);
+                writers.poisoned.insert(path);
+                Err(e)
+            }
         }
-        Ok(())
     }
 
-    /// Read every line of one partition. `None` if the snapshot directory
-    /// does not exist; an absent partition file reads as empty.
+    /// Fsync every open partition handle (called before every read).
+    pub fn flush(&self) -> io::Result<()> {
+        let mut writers = self.writers.lock();
+        let mut failed = Vec::new();
+        let mut first_err = None;
+        for (path, handle) in writers.open.iter_mut() {
+            if let Err(e) = handle.sync() {
+                failed.push(path.clone());
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        for path in failed {
+            writers.open.remove(&path);
+            writers.poisoned.insert(path);
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Read every record of one partition. `None` if the snapshot is not
+    /// committed; an absent partition file reads as empty. Tolerant of
+    /// in-flight damage: stops at a torn tail, skips checksum-failed
+    /// records (recovery, not reads, accounts for them).
     pub fn read_partition(
         &self,
         ns: &str,
@@ -131,17 +293,25 @@ impl DiskBackend {
         partition: usize,
     ) -> io::Result<Option<Vec<String>>> {
         self.flush()?;
-        if !self.snap_dir(ns, snapshot).is_dir() {
+        if !self.is_committed(ns, snapshot) {
             return Ok(None);
         }
         let path = self.part_path(ns, snapshot, partition);
-        if !path.exists() {
+        if !self.vfs.exists(&path) {
             return Ok(Some(Vec::new()));
         }
-        let reader = BufReader::new(File::open(path)?);
+        let bytes = self.vfs.read(&path)?;
         let mut lines = Vec::new();
-        for line in reader.lines() {
-            lines.push(line?);
+        let mut offset = 0;
+        loop {
+            match frame::step(&bytes, offset) {
+                frame::Step::Ok { payload, next } => {
+                    lines.push(String::from_utf8_lossy(&bytes[payload]).into_owned());
+                    offset = next;
+                }
+                frame::Step::Corrupt { next, .. } => offset = next,
+                frame::Step::Torn | frame::Step::Broken | frame::Step::End => break,
+            }
         }
         Ok(Some(lines))
     }
@@ -154,10 +324,12 @@ impl DiskBackend {
     /// All namespaces (decoded), sorted.
     pub fn namespaces(&self) -> io::Result<Vec<String>> {
         let mut out = Vec::new();
-        for entry in fs::read_dir(&self.root)? {
-            let entry = entry?;
-            if entry.file_type()?.is_dir() {
-                out.push(entry.file_name().to_string_lossy().replace("__", "/"));
+        for name in self.vfs.list_dir(&self.root)? {
+            if name.starts_with('.') {
+                continue;
+            }
+            if self.vfs.is_dir(&self.root.join(&name)) {
+                out.push(name.replace("__", "/"));
             }
         }
         out.sort();
@@ -168,44 +340,180 @@ impl DiskBackend {
     pub fn root(&self) -> &Path {
         &self.root
     }
+
+    /// Cumulative recovery statistics since this backend was constructed.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        *self.recovery.lock()
+    }
+
+    /// Run a full recovery scan: remove uncommitted temp snapshots,
+    /// quarantine marker-less snapshot dirs, truncate torn partition
+    /// tails, quarantine checksum-failed records, and invalidate any
+    /// cached writer whose file was repaired. Safe (and cheap) on a clean
+    /// store; runs automatically at open.
+    pub fn recover(&self) -> io::Result<()> {
+        let mut stats = RecoveryStats { scans: 1, ..RecoveryStats::default() };
+        let mut repaired_files: Vec<PathBuf> = Vec::new();
+        for ns_name in self.vfs.list_dir(&self.root)? {
+            let ns_dir = self.root.join(&ns_name);
+            if !self.vfs.is_dir(&ns_dir) {
+                continue;
+            }
+            for entry in self.vfs.list_dir(&ns_dir)? {
+                let entry_path = ns_dir.join(&entry);
+                if entry.starts_with(".tmp-snap-") {
+                    // A snapshot commit that never reached its rename.
+                    self.vfs.remove_dir_all(&entry_path)?;
+                    stats.uncommitted_snapshots += 1;
+                    continue;
+                }
+                let Some(_id) = parse_snap_id(&entry) else { continue };
+                if !self.vfs.exists(&entry_path.join(COMMITTED)) {
+                    // A snap-* dir without its marker cannot have come from
+                    // our commit protocol: quarantine rather than trust or
+                    // delete it.
+                    self.vfs.rename(&entry_path, &ns_dir.join(format!("quarantine-{entry}")))?;
+                    stats.uncommitted_snapshots += 1;
+                    continue;
+                }
+                for file in self.vfs.list_dir(&entry_path)? {
+                    if !(file.starts_with("part-") && file.ends_with(".log")) {
+                        continue;
+                    }
+                    let path = entry_path.join(&file);
+                    let repair = self.repair_file(&path)?;
+                    stats.partitions += 1;
+                    stats.records_ok += repair.records_ok;
+                    stats.torn_tails += u64::from(repair.torn_tail);
+                    stats.torn_bytes += repair.torn_bytes;
+                    stats.quarantined_records += repair.quarantined;
+                    if repair.modified {
+                        repaired_files.push(path);
+                    }
+                }
+            }
+        }
+        // Post-recovery appends must not go through handles whose file
+        // changed under them.
+        let mut writers = self.writers.lock();
+        for path in repaired_files {
+            if writers.open.remove(&path).is_some() {
+                stats.writer_invalidations += 1;
+            }
+            writers.poisoned.remove(&path);
+        }
+        drop(writers);
+        let mut total = self.recovery.lock();
+        total.scans += stats.scans;
+        total.partitions += stats.partitions;
+        total.records_ok += stats.records_ok;
+        total.torn_tails += stats.torn_tails;
+        total.torn_bytes += stats.torn_bytes;
+        total.quarantined_records += stats.quarantined_records;
+        total.uncommitted_snapshots += stats.uncommitted_snapshots;
+        total.writer_invalidations += stats.writer_invalidations;
+        Ok(())
+    }
+
+    /// Scan one partition file, truncating a torn tail and moving
+    /// checksum-failed payloads to the `.quarantine` sidecar. Returns what
+    /// it found; `modified` is set if the file's bytes changed.
+    fn repair_file(&self, path: &Path) -> io::Result<FileRepair> {
+        let mut out = FileRepair::default();
+        if !self.vfs.exists(path) {
+            return Ok(out);
+        }
+        let bytes = self.vfs.read(path)?;
+        let mut clean: Vec<u8> = Vec::with_capacity(bytes.len());
+        let mut quarantine: Vec<u8> = Vec::new();
+        let mut offset = 0;
+        loop {
+            match frame::step(&bytes, offset) {
+                frame::Step::Ok { next, .. } => {
+                    clean.extend_from_slice(&bytes[offset..next]);
+                    out.records_ok += 1;
+                    offset = next;
+                }
+                frame::Step::Corrupt { payload, next } => {
+                    quarantine.extend_from_slice(&bytes[payload]);
+                    quarantine.push(b'\n');
+                    out.quarantined += 1;
+                    offset = next;
+                }
+                frame::Step::Torn => {
+                    out.torn_tail = true;
+                    out.torn_bytes += (bytes.len() - offset) as u64;
+                    break;
+                }
+                frame::Step::Broken => {
+                    // Framing is untrusted from here on: preserve the
+                    // remainder in quarantine rather than guess at record
+                    // boundaries.
+                    quarantine.extend_from_slice(&bytes[offset..]);
+                    quarantine.push(b'\n');
+                    out.quarantined += 1;
+                    break;
+                }
+                frame::Step::End => break,
+            }
+        }
+        if !quarantine.is_empty() {
+            let qpath = path.with_extension("quarantine");
+            let mut handle = self.vfs.open_append(&qpath)?;
+            handle.append(&quarantine)?;
+            handle.sync()?;
+        }
+        if clean.len() != bytes.len() {
+            out.modified = true;
+            if bytes.starts_with(&clean) {
+                // Pure tail damage: truncate in place.
+                self.vfs.truncate(path, clean.len() as u64)?;
+            } else {
+                // Mid-file records were removed: rewrite atomically.
+                let tmp = path.with_extension("log.rewrite");
+                self.vfs.write_file(&tmp, &clean)?;
+                self.vfs.rename(&tmp, path)?;
+                if let Some(parent) = path.parent() {
+                    self.vfs.sync_dir(parent)?;
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::MemFs;
 
-    fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "crowdnet-store-test-{name}-{}",
-            std::process::id()
-        ));
-        let _ = fs::remove_dir_all(&dir);
-        dir
+    fn mem_backend(partitions: usize) -> (Arc<MemFs>, DiskBackend) {
+        let fs = Arc::new(MemFs::new());
+        let b = DiskBackend::open_with_vfs("/store", partitions, Arc::clone(&fs) as Arc<dyn Vfs>)
+            .unwrap();
+        (fs, b)
     }
 
     #[test]
     fn append_flush_read() {
-        let b = DiskBackend::open(tmp("afr"), 2).unwrap();
+        let (_fs, b) = mem_backend(2);
         assert!(b.append("a/b", 0, 0, "l1").unwrap());
         assert!(b.append("a/b", 0, 0, "l2").unwrap());
         assert!(b.append("a/b", 0, 1, "l3").unwrap());
-        assert_eq!(
-            b.read_partition("a/b", 0, 0).unwrap().unwrap(),
-            vec!["l1", "l2"]
-        );
+        assert_eq!(b.read_partition("a/b", 0, 0).unwrap().unwrap(), vec!["l1", "l2"]);
         assert_eq!(b.read_partition("a/b", 0, 1).unwrap().unwrap(), vec!["l3"]);
     }
 
     #[test]
     fn missing_namespace_reads_none() {
-        let b = DiskBackend::open(tmp("missing"), 2).unwrap();
+        let (_fs, b) = mem_backend(2);
         assert!(b.read_partition("nope", 0, 0).unwrap().is_none());
         assert_eq!(b.latest_snapshot("nope"), None);
     }
 
     #[test]
     fn snapshot_lifecycle() {
-        let b = DiskBackend::open(tmp("snap"), 1).unwrap();
+        let (_fs, b) = mem_backend(1);
         b.append("ns", 0, 0, "v0").unwrap();
         assert_eq!(b.latest_snapshot("ns"), Some(0));
         let s1 = b.new_snapshot("ns").unwrap();
@@ -220,27 +528,209 @@ mod tests {
 
     #[test]
     fn namespaces_decode_slashes() {
-        let b = DiskBackend::open(tmp("nsdec"), 1).unwrap();
+        let (_fs, b) = mem_backend(1);
         b.append("angellist/companies", 0, 0, "x").unwrap();
         b.append("twitter/profiles", 0, 0, "y").unwrap();
-        assert_eq!(
-            b.namespaces().unwrap(),
-            vec!["angellist/companies", "twitter/profiles"]
-        );
+        assert_eq!(b.namespaces().unwrap(), vec!["angellist/companies", "twitter/profiles"]);
     }
 
     #[test]
     fn reopen_sees_existing_data() {
-        let root = tmp("reopen");
+        let fs = Arc::new(MemFs::new());
         {
-            let b = DiskBackend::open(&root, 2).unwrap();
+            let b = DiskBackend::open_with_vfs("/r", 2, Arc::clone(&fs) as Arc<dyn Vfs>).unwrap();
             b.append("ns", 0, 0, "persisted").unwrap();
             b.flush().unwrap();
         }
+        let b2 = DiskBackend::open_with_vfs("/r", 2, fs as Arc<dyn Vfs>).unwrap();
+        assert_eq!(b2.read_partition("ns", 0, 0).unwrap().unwrap(), vec!["persisted"]);
+    }
+
+    #[test]
+    fn real_fs_roundtrip_and_reopen() {
+        let root = std::env::temp_dir()
+            .join(format!("crowdnet-store-realfs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        {
+            let b = DiskBackend::open(&root, 2).unwrap();
+            b.append("ns", 0, 0, "on real disk").unwrap();
+            b.flush().unwrap();
+            assert_eq!(
+                b.read_partition("ns", 0, 0).unwrap().unwrap(),
+                vec!["on real disk"]
+            );
+        }
         let b2 = DiskBackend::open(&root, 2).unwrap();
+        assert_eq!(b2.read_partition("ns", 0, 0).unwrap().unwrap(), vec!["on real disk"]);
+        assert_eq!(b2.recovery_stats().scans, 1);
+        assert_eq!(b2.recovery_stats().torn_tails, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn snapshot_ids_ignore_temp_quarantine_and_junk_dirs() {
+        // The regression for `snapshot_count`: any `snap-*`-looking entry
+        // used to count, so temp/quarantine dirs and gaps skewed new ids.
+        let (fs, b) = mem_backend(1);
+        b.append("ns", 0, 0, "x").unwrap();
+        let ns_dir = Path::new("/store/ns");
+        fs.create_dir_all(&ns_dir.join(".tmp-snap-0005")).unwrap();
+        fs.create_dir_all(&ns_dir.join("quarantine-snap-0007")).unwrap();
+        fs.create_dir_all(&ns_dir.join("snap-junk")).unwrap();
+        assert_eq!(b.snapshots("ns"), vec![0]);
+        assert_eq!(b.latest_snapshot("ns"), Some(0));
+        assert_eq!(b.new_snapshot("ns").unwrap(), 1);
+        // A committed id gap: next id is max+1, not count.
+        b.commit_snapshot("ns", 5).unwrap();
+        assert_eq!(b.new_snapshot("ns").unwrap(), 6);
+        assert_eq!(b.snapshots("ns"), vec![0, 1, 5, 6]);
+    }
+
+    #[test]
+    fn recovery_truncates_torn_tail() {
+        let fs = Arc::new(MemFs::new());
+        let part = Path::new("/r/ns/snap-0000/part-000.log");
+        {
+            let b = DiskBackend::open_with_vfs("/r", 1, Arc::clone(&fs) as Arc<dyn Vfs>).unwrap();
+            b.append("ns", 0, 0, "keep-1").unwrap();
+            b.append("ns", 0, 0, "keep-2").unwrap();
+        }
+        // Tear the tail: a half-written third record.
+        let mut bytes = fs.bytes(part).unwrap();
+        let torn = frame::encode(b"half-written-record");
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        fs.set_bytes(part, bytes.clone());
+
+        let b = DiskBackend::open_with_vfs("/r", 1, Arc::clone(&fs) as Arc<dyn Vfs>).unwrap();
+        let stats = b.recovery_stats();
+        assert_eq!(stats.torn_tails, 1);
+        assert_eq!(stats.torn_bytes, (torn.len() / 2) as u64);
+        assert_eq!(stats.records_ok, 2);
+        assert_eq!(stats.quarantined_records, 0);
+        assert_eq!(b.read_partition("ns", 0, 0).unwrap().unwrap(), vec!["keep-1", "keep-2"]);
+        // The file itself is clean again: appends work and a further
+        // reopen finds nothing to repair.
+        b.append("ns", 0, 0, "keep-3").unwrap();
+        drop(b);
+        let b2 = DiskBackend::open_with_vfs("/r", 1, fs as Arc<dyn Vfs>).unwrap();
+        assert_eq!(b2.recovery_stats().torn_tails, 0);
         assert_eq!(
             b2.read_partition("ns", 0, 0).unwrap().unwrap(),
-            vec!["persisted"]
+            vec!["keep-1", "keep-2", "keep-3"]
         );
+    }
+
+    #[test]
+    fn recovery_quarantines_corrupt_records_never_drops_them() {
+        let fs = Arc::new(MemFs::new());
+        let part = Path::new("/r/ns/snap-0000/part-000.log");
+        {
+            let b = DiskBackend::open_with_vfs("/r", 1, Arc::clone(&fs) as Arc<dyn Vfs>).unwrap();
+            b.append("ns", 0, 0, "good-1").unwrap();
+            b.append("ns", 0, 0, "rot-me").unwrap();
+            b.append("ns", 0, 0, "good-2").unwrap();
+        }
+        // Flip one payload byte of the middle record.
+        let mut bytes = fs.bytes(part).unwrap();
+        let first_len = frame::encode(b"good-1").len();
+        bytes[first_len + frame::HEADER_LEN] ^= 0x01;
+        fs.set_bytes(part, bytes);
+
+        let b = DiskBackend::open_with_vfs("/r", 1, Arc::clone(&fs) as Arc<dyn Vfs>).unwrap();
+        let stats = b.recovery_stats();
+        assert_eq!(stats.quarantined_records, 1);
+        assert_eq!(stats.records_ok, 2);
+        assert_eq!(b.read_partition("ns", 0, 0).unwrap().unwrap(), vec!["good-1", "good-2"]);
+        // The damaged payload survives in the sidecar.
+        let q = fs.bytes(Path::new("/r/ns/snap-0000/part-000.quarantine")).unwrap();
+        assert_eq!(q, b"sot-me\n");
+    }
+
+    #[test]
+    fn recovery_removes_uncommitted_and_quarantines_markerless_snapshots() {
+        let fs = Arc::new(MemFs::new());
+        {
+            let b = DiskBackend::open_with_vfs("/r", 1, Arc::clone(&fs) as Arc<dyn Vfs>).unwrap();
+            b.append("ns", 0, 0, "x").unwrap();
+        }
+        // A commit that died before its rename, and a foreign marker-less dir.
+        fs.create_dir_all(Path::new("/r/ns/.tmp-snap-0001")).unwrap();
+        fs.write_file(Path::new("/r/ns/.tmp-snap-0001/COMMITTED"), b"1\n").unwrap();
+        fs.create_dir_all(Path::new("/r/ns/snap-0002")).unwrap();
+        fs.write_file(Path::new("/r/ns/snap-0002/part-000.log"), b"??").unwrap();
+
+        let b = DiskBackend::open_with_vfs("/r", 1, Arc::clone(&fs) as Arc<dyn Vfs>).unwrap();
+        assert_eq!(b.recovery_stats().uncommitted_snapshots, 2);
+        assert!(!fs.exists(Path::new("/r/ns/.tmp-snap-0001")));
+        assert!(!fs.exists(Path::new("/r/ns/snap-0002")));
+        assert!(fs.is_dir(Path::new("/r/ns/quarantine-snap-0002")));
+        assert_eq!(b.snapshots("ns"), vec![0]);
+        // New ids continue from the committed max, not the junk.
+        assert_eq!(b.new_snapshot("ns").unwrap(), 1);
+    }
+
+    #[test]
+    fn live_recover_invalidates_cached_writers() {
+        let fs = Arc::new(MemFs::new());
+        let part = Path::new("/r/ns/snap-0000/part-000.log");
+        let b = DiskBackend::open_with_vfs("/r", 1, Arc::clone(&fs) as Arc<dyn Vfs>).unwrap();
+        b.append("ns", 0, 0, "before").unwrap(); // caches a writer
+        // Damage the file behind the cached handle's back.
+        let mut bytes = fs.bytes(part).unwrap();
+        bytes.extend_from_slice(b"0000");
+        fs.set_bytes(part, bytes);
+        b.recover().unwrap();
+        let stats = b.recovery_stats();
+        assert_eq!(stats.scans, 2); // open + explicit
+        assert_eq!(stats.torn_tails, 1);
+        assert_eq!(stats.writer_invalidations, 1);
+        // Post-recovery append goes through a fresh handle at the repaired
+        // offset: both records read back clean.
+        b.append("ns", 0, 0, "after").unwrap();
+        assert_eq!(b.read_partition("ns", 0, 0).unwrap().unwrap(), vec!["before", "after"]);
+    }
+
+    #[test]
+    fn failed_append_poisons_then_self_repairs() {
+        use crate::vfs::{FailpointFs, FaultPlan};
+        let mem = Arc::new(MemFs::new());
+        // Seed the store fault-free, then reopen through a vfs where every
+        // write tears.
+        let plan = FaultPlan { torn_write: 1.0, ..FaultPlan::none(3) };
+        let clean = DiskBackend::open_with_vfs("/r", 1, Arc::clone(&mem) as Arc<dyn Vfs>).unwrap();
+        clean.append("ns", 0, 0, "acked-before-fault").unwrap();
+        drop(clean);
+        let faulty: Arc<dyn Vfs> =
+            Arc::new(FailpointFs::new(Arc::clone(&mem) as Arc<dyn Vfs>, plan));
+        let b = DiskBackend::open_with_vfs("/r", 1, faulty).unwrap();
+        // Every append tears; each error poisons, each retry repairs first.
+        let mut failures = 0;
+        for i in 0..5 {
+            if b.append("ns", 0, 0, &format!("attempt-{i}")).is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 5);
+        // All torn tails were repaired before the next write: the acked
+        // record is intact and nothing half-written is visible.
+        drop(b);
+        let b2 = DiskBackend::open_with_vfs("/r", 1, mem as Arc<dyn Vfs>).unwrap();
+        assert_eq!(
+            b2.read_partition("ns", 0, 0).unwrap().unwrap(),
+            vec!["acked-before-fault"]
+        );
+        assert_eq!(b2.recovery_stats().quarantined_records, 0);
+    }
+
+    #[test]
+    fn parse_snap_id_rejects_lookalikes() {
+        assert_eq!(parse_snap_id("snap-0000"), Some(0));
+        assert_eq!(parse_snap_id("snap-0123"), Some(123));
+        assert_eq!(parse_snap_id("snap-12345"), Some(12345));
+        assert_eq!(parse_snap_id(".tmp-snap-0001"), None);
+        assert_eq!(parse_snap_id("quarantine-snap-0001"), None);
+        assert_eq!(parse_snap_id("snap-"), None);
+        assert_eq!(parse_snap_id("snap-junk"), None);
+        assert_eq!(parse_snap_id("snapshot-1"), None);
     }
 }

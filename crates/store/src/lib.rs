@@ -39,10 +39,14 @@ pub mod changefeed;
 pub mod disk;
 pub mod doc;
 pub mod error;
+pub mod frame;
 pub mod memory;
 pub mod store;
+pub mod vfs;
 
 pub use changefeed::{ChangeEvent, ChangePayload, FeedPoll, Subscription};
+pub use disk::RecoveryStats;
 pub use doc::Document;
 pub use error::StoreError;
 pub use store::{SnapshotId, Store};
+pub use vfs::{FailpointFs, FaultPlan, InjectedFaults, MemFs, RealFs, Vfs};

@@ -1,15 +1,17 @@
 //! The unified [`Store`] API over the memory and disk backends.
 
 use crate::changefeed::{ChangeEvent, ChangePayload, FeedHub, Subscription};
-use crate::disk::DiskBackend;
+use crate::disk::{DiskBackend, RecoveryStats};
 use crate::doc::Document;
 use crate::error::StoreError;
 use crate::memory::MemoryBackend;
+use crate::vfs::Vfs;
 use crowdnet_telemetry::{Counter, Telemetry};
 use parking_lot::Mutex;
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Identifier of one crawl run's snapshot within a namespace.
 ///
@@ -30,6 +32,13 @@ struct StoreMetrics {
     append_bytes: Counter,
     scan_calls: Counter,
     scan_docs: Counter,
+    recovery_scans: Counter,
+    recovery_records_ok: Counter,
+    recovery_torn_tails: Counter,
+    recovery_torn_bytes: Counter,
+    recovery_quarantined: Counter,
+    recovery_uncommitted_snapshots: Counter,
+    recovery_writer_invalidations: Counter,
 }
 
 /// A namespaced, snapshotted, partitioned JSON document store.
@@ -50,6 +59,9 @@ pub struct Store {
     /// Changefeed publisher; writes fan committed events out to live
     /// [`Subscription`]s (see [`crate::changefeed`] for the contract).
     feed: FeedHub,
+    /// Recovery totals already published to the telemetry counters, so
+    /// repeated [`Store::recover`] calls emit deltas, not re-counts.
+    recovery_published: Mutex<RecoveryStats>,
 }
 
 /// FNV-1a over the key bytes: stable partition assignment across runs and
@@ -73,31 +85,101 @@ impl Store {
             version: AtomicU64::new(0),
             stats_memo: Mutex::new(None),
             feed: FeedHub::new(),
+            recovery_published: Mutex::new(RecoveryStats::default()),
         }
     }
 
-    /// Disk store rooted at `root`.
+    /// Disk store rooted at `root` (real filesystem). Opening runs a
+    /// recovery scan over any existing state; see [`Store::recovery_stats`].
     pub fn open(root: impl Into<PathBuf>, partitions: usize) -> io::Result<Store> {
+        Self::from_disk(DiskBackend::open(root, partitions)?)
+    }
+
+    /// Disk store on an explicit [`Vfs`] — the entry point for
+    /// deterministic fault injection (see [`crate::vfs::FailpointFs`]).
+    pub fn open_with_vfs(
+        root: impl Into<PathBuf>,
+        partitions: usize,
+        vfs: Arc<dyn Vfs>,
+    ) -> io::Result<Store> {
+        Self::from_disk(DiskBackend::open_with_vfs(root, partitions, vfs)?)
+    }
+
+    fn from_disk(backend: DiskBackend) -> io::Result<Store> {
         Ok(Store {
-            partitions: partitions.max(1),
-            backend: Backend::Disk(DiskBackend::open(root, partitions)?),
+            partitions: backend.partition_count(),
+            backend: Backend::Disk(backend),
             metrics: None,
             version: AtomicU64::new(0),
             stats_memo: Mutex::new(None),
             feed: FeedHub::new(),
+            recovery_published: Mutex::new(RecoveryStats::default()),
         })
     }
 
-    /// Record `store.append.{docs,bytes}` and `store.scan.{calls,docs}`
-    /// into `telemetry` for every subsequent write and scan.
+    /// Record `store.append.{docs,bytes}`, `store.scan.{calls,docs}` and
+    /// `store.recovery.*` into `telemetry` for every subsequent write,
+    /// scan and recovery — including the recovery scan [`Store::open`]
+    /// already ran, which is published immediately.
     pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Store {
         self.metrics = Some(StoreMetrics {
             append_docs: telemetry.counter("store.append.docs"),
             append_bytes: telemetry.counter("store.append.bytes"),
             scan_calls: telemetry.counter("store.scan.calls"),
             scan_docs: telemetry.counter("store.scan.docs"),
+            recovery_scans: telemetry.counter("store.recovery.scans"),
+            recovery_records_ok: telemetry.counter("store.recovery.records_ok"),
+            recovery_torn_tails: telemetry.counter("store.recovery.torn_tails"),
+            recovery_torn_bytes: telemetry.counter("store.recovery.torn_bytes"),
+            recovery_quarantined: telemetry.counter("store.recovery.quarantined"),
+            recovery_uncommitted_snapshots: telemetry
+                .counter("store.recovery.uncommitted_snapshots"),
+            recovery_writer_invalidations: telemetry
+                .counter("store.recovery.writer_invalidations"),
         });
+        self.publish_recovery();
         self
+    }
+
+    /// Cumulative recovery statistics (all zero for the memory backend).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        match &self.backend {
+            Backend::Memory(_) => RecoveryStats::default(),
+            Backend::Disk(b) => b.recovery_stats(),
+        }
+    }
+
+    /// Run a recovery scan now (no-op for the memory backend): repairs
+    /// torn tails, quarantines corrupt records, drops uncommitted
+    /// snapshots, invalidates stale cached writers, and publishes the
+    /// `store.recovery.*` counter deltas. Bumps the content version so
+    /// anything memoized against the pre-recovery state is invalidated.
+    pub fn recover(&self) -> Result<(), StoreError> {
+        if let Backend::Disk(b) = &self.backend {
+            b.recover()?;
+            self.bump_version();
+            self.publish_recovery();
+        }
+        Ok(())
+    }
+
+    /// Emit the delta between the backend's cumulative recovery stats and
+    /// what was already published.
+    fn publish_recovery(&self) {
+        let Some(m) = &self.metrics else { return };
+        let total = self.recovery_stats();
+        let mut published = self.recovery_published.lock();
+        m.recovery_scans.add(total.scans - published.scans);
+        m.recovery_records_ok.add(total.records_ok - published.records_ok);
+        m.recovery_torn_tails.add(total.torn_tails - published.torn_tails);
+        m.recovery_torn_bytes.add(total.torn_bytes - published.torn_bytes);
+        m.recovery_quarantined
+            .add(total.quarantined_records - published.quarantined_records);
+        m.recovery_uncommitted_snapshots
+            .add(total.uncommitted_snapshots - published.uncommitted_snapshots);
+        m.recovery_writer_invalidations
+            .add(total.writer_invalidations - published.writer_invalidations);
+        *published = total;
     }
 
     /// Partitions per snapshot.

@@ -1,0 +1,758 @@
+//! The filesystem seam: every byte `DiskBackend` reads or writes goes
+//! through the [`Vfs`] trait, so durability logic can be exercised against
+//! a deterministic fault injector instead of hoping real disks fail on cue.
+//!
+//! Two production implementations:
+//!
+//! * [`RealFs`] — thin delegation to `std::fs`, with directory fsyncs for
+//!   the rename-commit protocol.
+//! * [`FailpointFs`] — wraps another `Vfs` and injects faults on a schedule
+//!   derived purely from a seed and a monotonically increasing operation
+//!   counter: torn writes (a prefix of the buffer lands, then the write
+//!   errors), short reads (the file reads back truncated), `ENOSPC`
+//!   (nothing lands), and a crash-point (after operation `k`, every
+//!   further operation fails — the process is "dead" until [`FailpointFs::revive`]
+//!   models a restart over the same on-disk state). Same seed →
+//!   byte-identical fault schedule, which is what lets the recovery tests
+//!   assert exact outcomes.
+//!
+//! [`MemFs`] backs tests that want fault injection without touching a real
+//! disk. A lint rule (`vfs-only-io`) keeps the rest of `crates/store` from
+//! bypassing the seam with direct `std::fs` mutation.
+
+use parking_lot::Mutex;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// An open append handle. Implementations must write through on every
+/// [`VfsFile::append`] (no hidden buffering) so the fault injector can
+/// reason about exactly which bytes reached the "device".
+pub trait VfsFile: Send {
+    /// Append `buf` at the end of the file. On success all of `buf` is in
+    /// the OS page cache; on error an arbitrary *prefix* may have landed
+    /// (torn write).
+    fn append(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flush file contents to stable storage (`fsync`).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem operations `DiskBackend` is allowed to perform.
+///
+/// Deliberately narrow: append-only file writes, whole-file reads, atomic
+/// renames, directory listing/creation/removal, truncation. Anything the
+/// store cannot express through this trait it must not do.
+pub trait Vfs: Send + Sync {
+    /// `mkdir -p`.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Open `path` for appending, creating it (and nothing else) if absent.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Read the whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Create/replace `path` with `contents` and sync it — used only for
+    /// tiny commit markers and checkpoint blobs, never for record data.
+    fn write_file(&self, path: &Path, contents: &[u8]) -> io::Result<()>;
+    /// Atomically rename `from` to `to` (same filesystem).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Truncate `path` to `len` bytes and sync.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Remove one file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Remove a directory tree.
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Sorted names of the entries directly under `path`.
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<String>>;
+    /// Sync the directory itself so renames/creations within it are durable.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+    /// Does the path exist (any kind)?
+    fn exists(&self, path: &Path) -> bool;
+    /// Is the path a directory?
+    fn is_dir(&self, path: &Path) -> bool;
+}
+
+/// `std::fs`-backed [`Vfs`]. This module is the one sanctioned home of
+/// direct filesystem mutation inside `crates/store`.
+pub struct RealFs;
+
+struct RealFile(std::fs::File);
+
+impl VfsFile for RealFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+impl Vfs for RealFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+    fn write_file(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(contents)?;
+        f.sync_data()
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_data()
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_dir_all(path)
+    }
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Directory fsync is how POSIX makes a rename durable; platforms
+        // where opening a directory fails get best-effort.
+        match std::fs::File::open(path) {
+            Ok(d) => d.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+    fn is_dir(&self, path: &Path) -> bool {
+        path.is_dir()
+    }
+}
+
+/// Which faults a [`FailpointFs`] injects, and how often.
+///
+/// Probabilities are per *eligible* operation (writes for `torn_write` /
+/// `enospc`, whole-file reads for `short_read`), drawn from an xorshift
+/// stream seeded by `seed` — two plans with equal fields produce identical
+/// schedules. `crash_at_op` kills the filesystem after that many
+/// operations of any kind have started: the op itself may partially
+/// apply, and everything after it errors until [`FailpointFs::revive`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Probability a write lands only a prefix and errors.
+    pub torn_write: f64,
+    /// Probability a read returns only a prefix of the file.
+    pub short_read: f64,
+    /// Probability a write fails with "no space" before any byte lands.
+    pub enospc: f64,
+    /// Operation index at which the simulated process dies, if any.
+    pub crash_at_op: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a base to tweak).
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan { seed, torn_write: 0.0, short_read: 0.0, enospc: 0.0, crash_at_op: None }
+    }
+
+    /// A plan that only crashes at operation `k`.
+    pub fn crash_at(seed: u64, k: u64) -> FaultPlan {
+        FaultPlan { crash_at_op: Some(k), ..FaultPlan::none(seed) }
+    }
+}
+
+/// Counts of every fault actually injected — the ground truth the
+/// `store.recovery.*` counters are checked against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    /// Writes that landed a strict prefix then errored (including the
+    /// write interrupted by the crash-point, if any).
+    pub torn_writes: u64,
+    /// Reads that returned a strict prefix of the file.
+    pub short_reads: u64,
+    /// Writes rejected with no-space before any byte landed.
+    pub enospc: u64,
+    /// Whether the crash-point fired.
+    pub crashed: bool,
+    /// Operations refused because the crash-point had already fired.
+    pub ops_after_crash: u64,
+}
+
+struct FailState {
+    op: u64,
+    rng: u64,
+    crashed: bool,
+    injected: InjectedFaults,
+}
+
+/// Plan + mutable schedule state, shared between the [`FailpointFs`] and
+/// every file handle it has opened (handles consume the same op stream as
+/// directory operations — the device doesn't care who issued the I/O).
+struct FailCore {
+    plan: FaultPlan,
+    state: Mutex<FailState>,
+}
+
+impl FailCore {
+    /// Advance the schedule by one operation. Returns `(roll, crash_now)`
+    /// where `roll` is a uniform sample in `[0, 1)`.
+    fn tick(&self) -> io::Result<(f64, bool)> {
+        let mut s = self.state.lock();
+        if s.crashed {
+            s.injected.ops_after_crash += 1;
+            return Err(fault_err("operation after simulated crash"));
+        }
+        // xorshift64*: cheap, deterministic, good enough for scheduling.
+        s.rng ^= s.rng << 13;
+        s.rng ^= s.rng >> 7;
+        s.rng ^= s.rng << 17;
+        let roll =
+            (s.rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        let crash_now = self.plan.crash_at_op == Some(s.op);
+        s.op += 1;
+        if crash_now {
+            s.crashed = true;
+            s.injected.crashed = true;
+        }
+        Ok((roll, crash_now))
+    }
+
+    fn note(&self, f: impl FnOnce(&mut InjectedFaults)) {
+        f(&mut self.state.lock().injected)
+    }
+
+    /// Deterministic cut point for a torn write/short read of `len` bytes:
+    /// a strict prefix, derived from the same roll that triggered the
+    /// fault (re-hashed so it is independent of the threshold comparison).
+    fn cut(roll: f64, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let scaled = (roll * 7919.0).fract();
+        ((scaled * len as f64) as usize).min(len - 1)
+    }
+}
+
+/// Marker in fault errors so tests (and the CLI) can tell injected faults
+/// from real I/O problems.
+pub const FAULT_MARKER: &str = "[failpoint]";
+
+fn fault_err(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::Other, format!("{FAULT_MARKER} {what}"))
+}
+
+/// Is this error one a [`FailpointFs`] injected (as opposed to a real one)?
+pub fn is_injected_fault(e: &io::Error) -> bool {
+    e.to_string().contains(FAULT_MARKER)
+}
+
+/// Deterministic fault-injecting [`Vfs`] wrapper. See [`FaultPlan`].
+pub struct FailpointFs {
+    inner: Arc<dyn Vfs>,
+    core: Arc<FailCore>,
+}
+
+impl FailpointFs {
+    /// Wrap `inner`, injecting faults per `plan`.
+    pub fn new(inner: Arc<dyn Vfs>, plan: FaultPlan) -> FailpointFs {
+        FailpointFs {
+            inner,
+            core: Arc::new(FailCore {
+                plan,
+                state: Mutex::new(FailState {
+                    op: 0,
+                    // SplitMix64 scramble so nearby seeds give unrelated
+                    // streams; force odd to avoid the all-zero fixpoint.
+                    rng: plan.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+                    crashed: false,
+                    injected: InjectedFaults::default(),
+                }),
+            }),
+        }
+    }
+
+    /// Convenience: wrap the real filesystem.
+    pub fn over_real(plan: FaultPlan) -> FailpointFs {
+        FailpointFs::new(Arc::new(RealFs), plan)
+    }
+
+    /// Everything injected so far.
+    pub fn injected(&self) -> InjectedFaults {
+        self.core.state.lock().injected
+    }
+
+    /// Operations observed so far (for choosing crash points).
+    pub fn ops(&self) -> u64 {
+        self.core.state.lock().op
+    }
+
+    /// Has the simulated crash-point fired?
+    pub fn crashed(&self) -> bool {
+        self.core.state.lock().crashed
+    }
+
+    /// Clear the crashed flag — models the process restarting over the
+    /// same on-disk state. The op counter and fault stream continue, but
+    /// the crash-point does not re-fire.
+    pub fn revive(&self) {
+        self.core.state.lock().crashed = false;
+    }
+}
+
+struct FailFile {
+    inner: Box<dyn VfsFile>,
+    core: Arc<FailCore>,
+}
+
+impl VfsFile for FailFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        let (roll, crash_now) = self.core.tick()?;
+        let plan = self.core.plan;
+        if crash_now {
+            // The crash interrupts this very write: a prefix lands.
+            let cut = FailCore::cut(roll, buf.len());
+            let _ = self.inner.append(&buf[..cut]);
+            self.core.note(|i| i.torn_writes += 1);
+            return Err(fault_err("crash during write"));
+        }
+        if roll < plan.enospc {
+            self.core.note(|i| i.enospc += 1);
+            return Err(fault_err("no space left on device"));
+        }
+        if roll < plan.enospc + plan.torn_write {
+            let cut = FailCore::cut(roll, buf.len());
+            self.inner.append(&buf[..cut])?;
+            self.core.note(|i| i.torn_writes += 1);
+            return Err(fault_err("torn write"));
+        }
+        self.inner.append(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let (_, crash_now) = self.core.tick()?;
+        if crash_now {
+            return Err(fault_err("crash during fsync"));
+        }
+        self.inner.sync()
+    }
+}
+
+impl Vfs for FailpointFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let (_, crash_now) = self.core.tick()?;
+        if crash_now {
+            return Err(fault_err("crash during create_dir_all"));
+        }
+        self.inner.create_dir_all(path)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let (_, crash_now) = self.core.tick()?;
+        if crash_now {
+            return Err(fault_err("crash during open"));
+        }
+        let inner = self.inner.open_append(path)?;
+        Ok(Box::new(FailFile { inner, core: Arc::clone(&self.core) }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let (roll, crash_now) = self.core.tick()?;
+        if crash_now {
+            return Err(fault_err("crash during read"));
+        }
+        let data = self.inner.read(path)?;
+        if roll < self.core.plan.short_read && !data.is_empty() {
+            let cut = FailCore::cut(roll, data.len());
+            self.core.note(|i| i.short_reads += 1);
+            return Ok(data[..cut].to_vec());
+        }
+        Ok(data)
+    }
+
+    fn write_file(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        let (roll, crash_now) = self.core.tick()?;
+        if crash_now {
+            // Marker writes are tiny; model the crash as all-or-nothing
+            // chosen by the roll (a real small write usually lands whole,
+            // but recovery must not depend on that).
+            if roll < 0.5 {
+                let _ = self.inner.write_file(path, contents);
+            }
+            return Err(fault_err("crash during write_file"));
+        }
+        if roll < self.core.plan.enospc {
+            self.core.note(|i| i.enospc += 1);
+            return Err(fault_err("no space left on device"));
+        }
+        self.inner.write_file(path, contents)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let (roll, crash_now) = self.core.tick()?;
+        if crash_now {
+            // Rename is atomic: it either happened or it did not.
+            if roll < 0.5 {
+                let _ = self.inner.rename(from, to);
+            }
+            return Err(fault_err("crash during rename"));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let (_, crash_now) = self.core.tick()?;
+        if crash_now {
+            return Err(fault_err("crash during truncate"));
+        }
+        self.inner.truncate(path, len)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let (_, crash_now) = self.core.tick()?;
+        if crash_now {
+            return Err(fault_err("crash during remove_file"));
+        }
+        self.inner.remove_file(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        let (_, crash_now) = self.core.tick()?;
+        if crash_now {
+            return Err(fault_err("crash during remove_dir_all"));
+        }
+        self.inner.remove_dir_all(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<String>> {
+        let (_, crash_now) = self.core.tick()?;
+        if crash_now {
+            return Err(fault_err("crash during list_dir"));
+        }
+        self.inner.list_dir(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        let (_, crash_now) = self.core.tick()?;
+        if crash_now {
+            return Err(fault_err("crash during sync_dir"));
+        }
+        self.inner.sync_dir(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        // Metadata probes don't consume schedule slots: charging them
+        // would make fault schedules depend on incidental checks. A dead
+        // process sees nothing.
+        !self.core.state.lock().crashed && self.inner.exists(path)
+    }
+
+    fn is_dir(&self, path: &Path) -> bool {
+        !self.core.state.lock().crashed && self.inner.is_dir(path)
+    }
+}
+
+/// In-memory [`Vfs`] for tests: a plain tree of directories and byte
+/// vectors, no real disk involved. Renames are atomic under one lock.
+pub struct MemFs {
+    tree: Arc<Mutex<MemTree>>,
+}
+
+#[derive(Default)]
+struct MemTree {
+    dirs: std::collections::BTreeSet<PathBuf>,
+    files: std::collections::BTreeMap<PathBuf, Vec<u8>>,
+}
+
+impl Default for MemFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemFs {
+    /// Fresh empty filesystem.
+    pub fn new() -> MemFs {
+        MemFs { tree: Arc::new(Mutex::new(MemTree::default())) }
+    }
+
+    /// Raw bytes of one file (test inspection).
+    pub fn bytes(&self, path: &Path) -> Option<Vec<u8>> {
+        self.tree.lock().files.get(path).cloned()
+    }
+
+    /// Overwrite raw bytes (test corruption injection).
+    pub fn set_bytes(&self, path: &Path, bytes: Vec<u8>) {
+        self.tree.lock().files.insert(path.to_path_buf(), bytes);
+    }
+}
+
+struct MemFile {
+    tree: Arc<Mutex<MemTree>>,
+    path: PathBuf,
+}
+
+impl VfsFile for MemFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut t = self.tree.lock();
+        match t.files.get_mut(&self.path) {
+            Some(v) => {
+                v.extend_from_slice(buf);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "file removed")),
+        }
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Vfs for MemFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut t = self.tree.lock();
+        let mut p = path.to_path_buf();
+        loop {
+            t.dirs.insert(p.clone());
+            match p.parent() {
+                Some(parent) if !parent.as_os_str().is_empty() => p = parent.to_path_buf(),
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut t = self.tree.lock();
+        t.files.entry(path.to_path_buf()).or_default();
+        Ok(Box::new(MemFile { tree: Arc::clone(&self.tree), path: path.to_path_buf() }))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.tree
+            .lock()
+            .files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+    fn write_file(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        self.tree.lock().files.insert(path.to_path_buf(), contents.to_vec());
+        Ok(())
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut t = self.tree.lock();
+        if t.dirs.contains(from) {
+            // Move the directory and everything under it.
+            let moved_dirs: Vec<PathBuf> =
+                t.dirs.iter().filter(|d| d.starts_with(from)).cloned().collect();
+            for d in &moved_dirs {
+                t.dirs.remove(d);
+            }
+            for d in moved_dirs {
+                let suffix = d.strip_prefix(from).map_err(io_other)?;
+                t.dirs.insert(to.join(suffix));
+            }
+            let keys: Vec<PathBuf> =
+                t.files.keys().filter(|f| f.starts_with(from)).cloned().collect();
+            for k in keys {
+                if let Some(v) = t.files.remove(&k) {
+                    let suffix = k.strip_prefix(from).map_err(io_other)?;
+                    t.files.insert(to.join(suffix), v);
+                }
+            }
+            Ok(())
+        } else if let Some(v) = t.files.remove(from) {
+            t.files.insert(to.to_path_buf(), v);
+            Ok(())
+        } else {
+            Err(io::Error::new(io::ErrorKind::NotFound, "rename source missing"))
+        }
+    }
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut t = self.tree.lock();
+        match t.files.get_mut(path) {
+            Some(v) => {
+                v.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        }
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.tree
+            .lock()
+            .files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut t = self.tree.lock();
+        t.dirs.retain(|d| !d.starts_with(path));
+        t.files.retain(|f, _| !f.starts_with(path));
+        Ok(())
+    }
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<String>> {
+        let t = self.tree.lock();
+        if !t.dirs.contains(path) {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "no such dir"));
+        }
+        let mut names: Vec<String> = t
+            .dirs
+            .iter()
+            .filter(|d| d.parent() == Some(path))
+            .chain(t.files.keys().filter(|f| f.parent() == Some(path)))
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect();
+        names.sort();
+        names.dedup();
+        Ok(names)
+    }
+    fn sync_dir(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+    fn exists(&self, path: &Path) -> bool {
+        let t = self.tree.lock();
+        t.dirs.contains(path) || t.files.contains_key(path)
+    }
+    fn is_dir(&self, path: &Path) -> bool {
+        self.tree.lock().dirs.contains(path)
+    }
+}
+
+fn io_other(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::Other, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_ops(plan: FaultPlan, n: usize) -> Vec<String> {
+        // Drive an identical op sequence and record what happened.
+        let mem = Arc::new(MemFs::new());
+        mem.create_dir_all(Path::new("/r")).unwrap();
+        let fs = FailpointFs::new(mem, plan);
+        let mut log = Vec::new();
+        let mut file = None;
+        for i in 0..n {
+            let r: io::Result<()> = match i % 3 {
+                0 => {
+                    if file.is_none() {
+                        match fs.open_append(Path::new("/r/f.log")) {
+                            Ok(f) => {
+                                file = Some(f);
+                                Ok(())
+                            }
+                            Err(e) => Err(e),
+                        }
+                    } else {
+                        file.as_mut().unwrap().append(format!("rec-{i}-padding-padding").as_bytes())
+                    }
+                }
+                1 => file.as_mut().map(|f| f.append(b"xyzzy-abcde-01234")).unwrap_or(Ok(())),
+                _ => fs.read(Path::new("/r/f.log")).map(|_| ()),
+            };
+            log.push(match r {
+                Ok(()) => "ok".to_string(),
+                Err(e) => format!("err:{e}"),
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan {
+            seed: 77,
+            torn_write: 0.3,
+            short_read: 0.3,
+            enospc: 0.1,
+            crash_at_op: Some(20),
+        };
+        assert_eq!(plan_ops(plan, 40), plan_ops(plan, 40));
+        // And a different seed differs somewhere.
+        let other = FaultPlan { seed: 78, ..plan };
+        assert_ne!(plan_ops(other, 40), plan_ops(plan, 40));
+    }
+
+    #[test]
+    fn crash_point_kills_all_later_ops() {
+        let mem = Arc::new(MemFs::new());
+        mem.create_dir_all(Path::new("/r")).unwrap();
+        let fs = FailpointFs::new(mem, FaultPlan::crash_at(1, 2));
+        fs.create_dir_all(Path::new("/r/a")).unwrap(); // op 0
+        fs.create_dir_all(Path::new("/r/b")).unwrap(); // op 1
+        assert!(fs.create_dir_all(Path::new("/r/c")).is_err()); // op 2: crash
+        assert!(fs.crashed());
+        let e = fs.read(Path::new("/r/x")).unwrap_err();
+        assert!(is_injected_fault(&e));
+        assert!(fs.injected().crashed);
+        assert!(fs.injected().ops_after_crash >= 1);
+        // Revival restores service over the same state.
+        fs.revive();
+        assert!(fs.is_dir(Path::new("/r/b")));
+    }
+
+    #[test]
+    fn torn_write_lands_a_strict_prefix() {
+        let mem = Arc::new(MemFs::new());
+        mem.create_dir_all(Path::new("/r")).unwrap();
+        let mem2 = Arc::clone(&mem);
+        let fs = FailpointFs::new(mem, FaultPlan { torn_write: 1.0, ..FaultPlan::none(5) });
+        let mut f = fs.open_append(Path::new("/r/f")).unwrap();
+        let payload = b"0123456789abcdef0123456789abcdef";
+        let e = f.append(payload).unwrap_err();
+        assert!(is_injected_fault(&e));
+        let landed = mem2.bytes(Path::new("/r/f")).unwrap();
+        assert!(landed.len() < payload.len());
+        assert_eq!(&payload[..landed.len()], &landed[..]);
+        assert_eq!(fs.injected().torn_writes, 1);
+    }
+
+    #[test]
+    fn enospc_lands_nothing() {
+        let mem = Arc::new(MemFs::new());
+        mem.create_dir_all(Path::new("/r")).unwrap();
+        let mem2 = Arc::clone(&mem);
+        let fs = FailpointFs::new(mem, FaultPlan { enospc: 1.0, ..FaultPlan::none(5) });
+        let mut f = fs.open_append(Path::new("/r/f")).unwrap();
+        assert!(f.append(b"should not land").is_err());
+        assert_eq!(mem2.bytes(Path::new("/r/f")).unwrap(), Vec::<u8>::new());
+        assert_eq!(fs.injected().enospc, 1);
+    }
+
+    #[test]
+    fn short_read_returns_prefix() {
+        let mem = Arc::new(MemFs::new());
+        mem.create_dir_all(Path::new("/r")).unwrap();
+        mem.set_bytes(Path::new("/r/f"), b"full file contents here".to_vec());
+        let fs = FailpointFs::new(mem, FaultPlan { short_read: 1.0, ..FaultPlan::none(9) });
+        let got = fs.read(Path::new("/r/f")).unwrap();
+        assert!(got.len() < 23);
+        assert_eq!(&b"full file contents here"[..got.len()], &got[..]);
+        assert_eq!(fs.injected().short_reads, 1);
+    }
+
+    #[test]
+    fn memfs_rename_moves_trees_atomically() {
+        let fs = MemFs::new();
+        fs.create_dir_all(Path::new("/r/.tmp-snap-0001")).unwrap();
+        fs.write_file(Path::new("/r/.tmp-snap-0001/part-000.log"), b"data").unwrap();
+        fs.rename(Path::new("/r/.tmp-snap-0001"), Path::new("/r/snap-0001")).unwrap();
+        assert!(fs.is_dir(Path::new("/r/snap-0001")));
+        assert!(!fs.exists(Path::new("/r/.tmp-snap-0001")));
+        assert_eq!(fs.read(Path::new("/r/snap-0001/part-000.log")).unwrap(), b"data");
+        assert_eq!(fs.list_dir(Path::new("/r/snap-0001")).unwrap(), vec!["part-000.log"]);
+    }
+}

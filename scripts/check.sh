@@ -64,4 +64,31 @@ ingest_summary="$(cargo run -q --release --offline -p crowdnet-core --bin repro 
 echo "$ingest_summary" | grep -q "ingest.events"
 echo "$ingest_summary" | grep -q "ingest.epoch"
 
+echo "==> recovery smoke (crash the durable crawl, resume, compare content hash)"
+# Uninterrupted durable crawl at tiny scale: the reference content hash.
+full_out="$(cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --scale tiny --seed 7 crawl --store "$smoke_dir/full-store")"
+full_hash="$(echo "$full_out" | sed -n 's/^store content hash: //p')"
+test -n "$full_hash"
+# Kill the same crawl at a deterministic file-operation crash-point…
+set +e
+cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --scale tiny --seed 7 crawl --store "$smoke_dir/crash-store" \
+  --fail-at-op 4000 --fault-seed 9 >/dev/null 2>&1
+crash_rc=$?
+set -e
+if [ "$crash_rc" -ne 3 ]; then
+  echo "recovery smoke: expected simulated-crash exit code 3, got $crash_rc" >&2
+  exit 1
+fi
+# …then resume: recovery + checkpoint replay must land on the same bytes.
+resume_out="$(cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --scale tiny --seed 7 crawl --store "$smoke_dir/crash-store" --resume)"
+resume_hash="$(echo "$resume_out" | sed -n 's/^store content hash: //p')"
+if [ "$resume_hash" != "$full_hash" ]; then
+  echo "recovery smoke: resumed hash $resume_hash != uninterrupted hash $full_hash" >&2
+  exit 1
+fi
+echo "$resume_out" | grep -q "store.recovery.scans=[1-9]"
+
 echo "All checks passed."
