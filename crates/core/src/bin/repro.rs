@@ -651,11 +651,11 @@ fn crawl_durable(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             );
             println!(
                 "recovery counters: store.recovery.scans={} store.recovery.torn_tails={} \
-                 store.recovery.quarantined_records={} store.recovery.uncommitted_snapshots={} \
+                 store.recovery.quarantined={} store.recovery.uncommitted_snapshots={} \
                  store.recovery.writer_invalidations={}",
                 telemetry.counter("store.recovery.scans").value(),
                 telemetry.counter("store.recovery.torn_tails").value(),
-                telemetry.counter("store.recovery.quarantined_records").value(),
+                telemetry.counter("store.recovery.quarantined").value(),
                 telemetry.counter("store.recovery.uncommitted_snapshots").value(),
                 telemetry.counter("store.recovery.writer_invalidations").value(),
             );

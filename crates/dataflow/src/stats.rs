@@ -22,7 +22,7 @@ impl Ecdf {
     /// Build from samples. Non-finite values are dropped.
     pub fn new(mut values: Vec<f64>) -> Ecdf {
         values.retain(|v| v.is_finite());
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        values.sort_by(f64::total_cmp);
         Ecdf { sorted: values }
     }
 
@@ -150,7 +150,7 @@ impl Kde {
     /// `0.9 · min(σ, IQR/1.34) · n^(−1/5)`.
     pub fn new(values: Vec<f64>) -> Kde {
         let mut samples: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        samples.sort_by(f64::total_cmp);
         let n = samples.len();
         let bandwidth = if n < 2 {
             1.0
@@ -361,7 +361,7 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
 /// Average ranks (1-based, ties averaged) of a sample.
 fn ranks(values: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut out = vec![0.0; values.len()];
     let mut i = 0;
     while i < idx.len() {

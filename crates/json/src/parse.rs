@@ -122,7 +122,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), ParseError> {
         match self.peek() {
             Some(c) if c == b => {
                 self.pos += 1;
@@ -160,7 +160,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut obj = Object::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -171,7 +171,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value(depth + 1)?;
             obj.insert(key, val);
@@ -189,7 +189,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -213,7 +213,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         // Fast path: copy runs of plain bytes in one shot.
         let mut run_start = self.pos;
@@ -241,8 +241,12 @@ impl<'a> Parser<'a> {
 
     fn slice_str(&self, start: usize, end: usize) -> &'a str {
         // Input is &str, and we only split at ASCII delimiters, so the slice
-        // is valid UTF-8 by construction.
-        std::str::from_utf8(&self.bytes[start..end]).expect("input was valid UTF-8")
+        // is valid UTF-8 by construction; an empty fallback (rather than a
+        // panic) keeps malformed internal state from taking the process down.
+        self.bytes
+            .get(start..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .unwrap_or("")
     }
 
     fn escape(&mut self, out: &mut String) -> Result<(), ParseError> {

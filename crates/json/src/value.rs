@@ -147,8 +147,10 @@ impl Value {
                 for (k, v) in patch.iter() {
                     if v.is_null() {
                         base.remove(k);
-                    } else if let (Some(Value::Obj(_)), Value::Obj(_)) = (base.get(k), v) {
-                        base.get_mut(k).expect("just checked").merge(v);
+                    } else if let (Some(slot @ Value::Obj(_)), Value::Obj(_)) =
+                        (base.get_mut(k), v)
+                    {
+                        slot.merge(v);
                     } else {
                         base.insert(k, v.clone());
                     }

@@ -1,0 +1,325 @@
+//! Approximate workspace call graph over the [`SymbolTable`].
+//!
+//! Resolution is heuristic and deliberately conservative:
+//!
+//! * path calls (`router::respond`, `Artifacts::build`) resolve through
+//!   the qualifier — uppercase qualifiers as `Type::method` (including
+//!   trait-object dispatch), lowercase ones as module hints matched
+//!   against candidate file paths and crate names;
+//! * bare calls resolve to free functions in the same crate (same file
+//!   preferred) or through the file's `use` imports;
+//! * method calls resolve through the receiver's type when the parser
+//!   recovered one (`self`, `self.field` via struct fields, typed locals
+//!   and params), otherwise only when exactly one impl in the whole
+//!   workspace defines a method of that name — and never for ubiquitous
+//!   std-ish names, which would wire unrelated code together.
+//!
+//! Unresolvable calls produce no edge: the graph under-approximates, so
+//! reachability rules (panic-on-request-path) miss rather than spam.
+
+use crate::parse::{Event, EventKind, Recv};
+use crate::symbols::{FnId, SymbolTable};
+use crate::Analysis;
+
+/// Adjacency list, index-aligned with [`SymbolTable::fns`].
+pub struct CallGraph {
+    pub callees: Vec<Vec<FnId>>,
+}
+
+/// Method names too generic to resolve by global uniqueness: a single
+/// workspace impl of `len` must not capture every `.len()` call.
+const STD_METHODS: &[&str] = &[
+    "add", "as_str", "clear", "clone", "cmp", "collect", "contains", "drain", "eq", "extend",
+    "find", "flush", "get", "insert", "is_empty", "iter", "join", "len", "lock", "map", "new",
+    "next", "pop", "push", "read", "recv", "remove", "send", "set", "sort", "sync", "take",
+    "value", "write",
+];
+
+impl CallGraph {
+    /// Resolve every event of every function into edges.
+    pub fn build(a: &Analysis, t: &SymbolTable) -> CallGraph {
+        let mut callees = Vec::with_capacity(t.fns.len());
+        for id in 0..t.fns.len() {
+            let mut out: Vec<FnId> = t
+                .decl(id)
+                .events
+                .iter()
+                .flat_map(|ev| resolve_event(a, t, id, ev))
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            callees.push(out);
+        }
+        CallGraph { callees }
+    }
+
+    /// BFS from `roots`; `parent[f]` reconstructs one call chain back to a
+    /// root (for diagnostics).
+    pub fn reachable(&self, roots: &[FnId]) -> Reachability {
+        let n = self.callees.len();
+        let mut seen = vec![false; n];
+        let mut parent = vec![None; n];
+        let mut queue: std::collections::VecDeque<FnId> = roots
+            .iter()
+            .copied()
+            .filter(|&r| r < n)
+            .collect();
+        for &r in roots {
+            if r < n {
+                seen[r] = true;
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for &c in &self.callees[f] {
+                if !seen[c] {
+                    seen[c] = true;
+                    parent[c] = Some(f);
+                    queue.push_back(c);
+                }
+            }
+        }
+        Reachability { seen, parent }
+    }
+}
+
+/// Result of a reachability sweep.
+pub struct Reachability {
+    pub seen: Vec<bool>,
+    pub parent: Vec<Option<FnId>>,
+}
+
+impl Reachability {
+    /// Short `root → … → f` chain of function names, for messages.
+    pub fn chain(&self, t: &SymbolTable, mut f: FnId) -> String {
+        let mut names = vec![qualified_name(t, f)];
+        let mut hops = 0;
+        while let Some(p) = self.parent[f] {
+            f = p;
+            names.push(qualified_name(t, f));
+            hops += 1;
+            if hops >= 4 {
+                names.push("…".to_string());
+                break;
+            }
+        }
+        names.reverse();
+        names.join(" → ")
+    }
+}
+
+/// `Type::name` or bare `name` for display.
+pub fn qualified_name(t: &SymbolTable, id: FnId) -> String {
+    let d = t.decl(id);
+    match &d.impl_type {
+        Some(ty) => format!("{ty}::{}", d.name),
+        None => d.name.clone(),
+    }
+}
+
+/// Resolve one event to candidate callees (possibly none).
+pub fn resolve_event(a: &Analysis, t: &SymbolTable, caller: FnId, ev: &Event) -> Vec<FnId> {
+    match &ev.kind {
+        EventKind::Call { path } => resolve_path(a, t, caller, path),
+        EventKind::Method { name, recv, .. } => resolve_method(t, caller, name, recv),
+        _ => Vec::new(),
+    }
+}
+
+fn resolve_path(a: &Analysis, t: &SymbolTable, caller: FnId, path: &[String]) -> Vec<FnId> {
+    let segs: Vec<&String> = path
+        .iter()
+        .filter(|s| !matches!(s.as_str(), "crate" | "self" | "super"))
+        .collect();
+    let Some(name) = segs.last() else {
+        return Vec::new();
+    };
+    if segs.len() == 1 {
+        // Bare call: try the file's imports first, then same-crate frees.
+        // An import whose path collapses to the bare name again (e.g.
+        // `use crate::helper;`) must not recurse.
+        let info = &t.fns[caller];
+        let file = &t.parsed[info.file];
+        for u in &file.uses {
+            let meaningful = u
+                .path
+                .iter()
+                .filter(|s| !matches!(s.as_str(), "crate" | "self" | "super"))
+                .count();
+            if &u.name == *name && meaningful > 1 {
+                return resolve_path(a, t, caller, &u.path);
+            }
+        }
+        let mut cands: Vec<FnId> = t
+            .free(name)
+            .iter()
+            .copied()
+            .filter(|&id| t.fns[id].krate == info.krate)
+            .collect();
+        let same_file: Vec<FnId> = cands
+            .iter()
+            .copied()
+            .filter(|&id| t.fns[id].file == info.file)
+            .collect();
+        if !same_file.is_empty() {
+            cands = same_file;
+        }
+        return cands;
+    }
+    let qual = segs[segs.len() - 2];
+    if qual.starts_with(|c: char| c.is_ascii_uppercase()) {
+        return t.methods_of(qual, name);
+    }
+    // Module-path call: score free functions by how well the qualifier
+    // segments match their crate and file path.
+    let quals: Vec<&str> = segs[..segs.len() - 1].iter().map(|s| s.as_str()).collect();
+    let mut scored: Vec<(i32, FnId)> = t
+        .free(name)
+        .iter()
+        .map(|&id| {
+            let info = &t.fns[id];
+            let rel = &a.files[info.file].rel_path;
+            let mut score = 0;
+            for q in &quals {
+                let q_crate = q.strip_prefix("crowdnet_").unwrap_or(q);
+                if info.krate == q_crate {
+                    score += 2;
+                }
+                if rel
+                    .split('/')
+                    .any(|seg| seg == *q || seg.strip_suffix(".rs") == Some(q))
+                {
+                    score += 1;
+                }
+            }
+            (score, id)
+        })
+        .collect();
+    let best = scored.iter().map(|(s, _)| *s).max().unwrap_or(0);
+    if best > 0 {
+        scored.retain(|(s, _)| *s == best);
+        return scored.into_iter().map(|(_, id)| id).collect();
+    }
+    // No path evidence: accept only when the name is close to unique.
+    if scored.len() <= 2 {
+        scored.into_iter().map(|(_, id)| id).collect()
+    } else {
+        Vec::new()
+    }
+}
+
+fn resolve_method(t: &SymbolTable, caller: FnId, name: &str, recv: &Recv) -> Vec<FnId> {
+    let decl = t.decl(caller);
+    let ty: Option<String> = match recv {
+        Recv::SelfRecv => decl.impl_type.clone(),
+        Recv::SelfField(f) => decl
+            .impl_type
+            .as_deref()
+            .and_then(|ty| t.field_type(ty, f))
+            .map(|s| s.to_string()),
+        Recv::Var(v) => decl.local_type(v).map(|s| s.to_string()),
+        Recv::Other => None,
+    };
+    if let Some(ty) = ty {
+        return t.methods_of(&ty, name);
+    }
+    // Untyped receiver: only a globally unique, distinctive method name.
+    if STD_METHODS.contains(&name) || name.len() < 4 {
+        return Vec::new();
+    }
+    let cands = t.methods_named(name);
+    if cands.len() == 1 {
+        cands.to_vec()
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn setup(files: &[(&str, &str)]) -> (Analysis, SymbolTable) {
+        let a = Analysis {
+            files: files
+                .iter()
+                .map(|(p, s)| SourceFile::parse(p, s))
+                .collect(),
+        };
+        let t = SymbolTable::build(&a);
+        (a, t)
+    }
+
+    fn find(t: &SymbolTable, name: &str) -> FnId {
+        (0..t.fns.len())
+            .find(|&id| t.decl(id).name == name)
+            .expect("fn present")
+    }
+
+    #[test]
+    fn module_qualified_calls_cross_crates() {
+        let (a, t) = setup(&[
+            (
+                "crates/serve/src/service.rs",
+                "impl Service { pub fn handle(&self) { router::respond(self); } }\n",
+            ),
+            (
+                "crates/serve/src/router.rs",
+                "pub fn respond(s: &Service) { s.artifacts(); }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&a, &t);
+        let handle = find(&t, "handle");
+        let respond = find(&t, "respond");
+        assert!(g.callees[handle].contains(&respond));
+    }
+
+    #[test]
+    fn self_and_field_receivers_resolve() {
+        let (a, t) = setup(&[(
+            "crates/serve/src/server.rs",
+            "struct Server { service: Arc<Service> }\n\
+             impl Server { fn call(&self) { self.service.handle(); self.shed(); } fn shed(&self) {} }\n\
+             impl Service { fn handle(&self) {} }\n",
+        )]);
+        let g = CallGraph::build(&a, &t);
+        let call = find(&t, "call");
+        assert!(g.callees[call].contains(&find(&t, "handle")));
+        assert!(g.callees[call].contains(&find(&t, "shed")));
+    }
+
+    #[test]
+    fn trait_object_fields_fan_out_to_impls() {
+        let (a, t) = setup(&[(
+            "crates/store/src/disk.rs",
+            "struct DiskBackend { vfs: Arc<dyn Vfs> }\n\
+             impl DiskBackend { fn go(&self) { self.vfs.sync_dir(p); } }\n\
+             impl Vfs for MemFs { fn sync_dir(&self, p: &Path) {} }\n\
+             impl Vfs for RealFs { fn sync_dir(&self, p: &Path) {} }\n",
+        )]);
+        let g = CallGraph::build(&a, &t);
+        assert_eq!(g.callees[find(&t, "go")].len(), 2);
+    }
+
+    #[test]
+    fn common_method_names_do_not_resolve_blind() {
+        let (a, t) = setup(&[(
+            "crates/x/src/lib.rs",
+            "impl Pool { fn get(&self) { boom(); } }\nfn caller(v: V) { v.get(); }\nfn boom() {}\n",
+        )]);
+        let g = CallGraph::build(&a, &t);
+        assert!(g.callees[find(&t, "caller")].is_empty());
+    }
+
+    #[test]
+    fn reachability_builds_chains() {
+        let (a, t) = setup(&[(
+            "crates/x/src/lib.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n",
+        )]);
+        let g = CallGraph::build(&a, &t);
+        let r = g.reachable(&[find(&t, "a")]);
+        assert!(r.seen[find(&t, "c")]);
+        assert_eq!(r.chain(&t, find(&t, "c")), "a → b → c");
+    }
+}

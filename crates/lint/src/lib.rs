@@ -12,9 +12,12 @@
 //! as part of `cargo test` via the lint-gate integration tests.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod source;
+pub mod symbols;
 pub mod workspace;
 
 use source::SourceFile;
@@ -104,19 +107,64 @@ pub fn analyze_workspace(root: &Path) -> Result<Analysis, LintError> {
     Ok(Analysis { files })
 }
 
+/// A finding silenced by a `// lint:allow(rule): reason` comment.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    pub diagnostic: Diagnostic,
+    pub reason: String,
+}
+
+/// Output of a full rule run: live findings plus what suppressions ate.
+#[derive(Debug)]
+pub struct RuleRun {
+    /// Sorted by file, line, rule.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced in-source, with the stated reason (for reporting —
+    /// suppressions are counted, never invisible).
+    pub suppressed: Vec<Suppressed>,
+}
+
 /// Run every registered rule and apply `lint:allow` suppressions.
 /// Diagnostics come back sorted by file, line, rule.
 pub fn run_rules(a: &Analysis) -> Vec<Diagnostic> {
+    run_rules_full(a).diagnostics
+}
+
+/// Like [`run_rules`], but also reports which findings were suppressed
+/// and why.
+pub fn run_rules_full(a: &Analysis) -> RuleRun {
     let mut diags = Vec::new();
     for rule in rules::ALL {
         diags.extend((rule.check)(a));
     }
+    let mut suppressed = Vec::new();
     diags.retain(|d| {
-        a.file(&d.file)
-            .is_none_or(|f| !f.suppressed(d.rule, d.line))
+        match a
+            .file(&d.file)
+            .and_then(|f| f.suppression_reason(d.rule, d.line))
+        {
+            Some(reason) => {
+                suppressed.push(Suppressed {
+                    diagnostic: d.clone(),
+                    reason,
+                });
+                false
+            }
+            None => true,
+        }
     });
     diags.sort_by(|x, y| (&x.file, x.line, x.rule).cmp(&(&y.file, y.line, y.rule)));
-    diags
+    suppressed.sort_by(|x, y| {
+        (&x.diagnostic.file, x.diagnostic.line, x.diagnostic.rule).cmp(&(
+            &y.diagnostic.file,
+            y.diagnostic.line,
+            y.diagnostic.rule,
+        ))
+    });
+    RuleRun {
+        diagnostics: diags,
+        suppressed,
+    }
 }
 
 #[cfg(test)]

@@ -2,33 +2,48 @@
 //!
 //! ```text
 //! cargo run -p crowdnet-lint -- --workspace            # gate against the baseline
+//! cargo run -p crowdnet-lint -- --workspace --format json
+//! cargo run -p crowdnet-lint -- --explain vfs-protocol
 //! cargo run -p crowdnet-lint -- --workspace --write-baseline
 //! ```
 //!
-//! Exit codes: 0 clean (or fully baselined), 1 new violations, 2 usage or
-//! I/O failure.
+//! Exit codes: 0 clean (or fully baselined), 1 new violations or stale
+//! baseline entries, 2 usage or I/O failure. Stale entries fail the gate
+//! on purpose: the baseline is a ratchet, and an entry a clean file no
+//! longer needs must be deleted, or debt silently re-accumulates under it.
 
-use crowdnet_lint::{analyze_workspace, baseline::Baseline, rules, run_rules, workspace};
+use crowdnet_json::{obj, Object, Value};
+use crowdnet_lint::{analyze_workspace, baseline::Baseline, rules, run_rules_full, workspace};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const BASELINE_FILE: &str = "lint-baseline.toml";
 
+enum Format {
+    Text,
+    Json,
+}
+
 struct Options {
     root: Option<PathBuf>,
     write_baseline: bool,
     no_baseline: bool,
+    format: Format,
+    explain: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: crowdnet-lint [--workspace] [--root DIR] [--write-baseline] [--no-baseline]\n\
+     \x20                    [--format text|json] [--explain RULE]\n\
      \n\
      Lints every .rs file in the workspace (vendor/ and target/ excluded).\n\
        --workspace        lint the whole workspace (the default; kept for clarity)\n\
        --root DIR         workspace root (default: nearest [workspace] Cargo.toml)\n\
        --write-baseline   rewrite lint-baseline.toml to absorb current findings\n\
-       --no-baseline      report every violation, ignoring the baseline\n"
+       --no-baseline      report every violation, ignoring the baseline\n\
+       --format json      machine-readable report on stdout\n\
+       --explain RULE     print what a rule enforces and why, then exit\n"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -36,6 +51,8 @@ fn parse_args() -> Result<Options, String> {
         root: None,
         write_baseline: false,
         no_baseline: false,
+        format: Format::Text,
+        explain: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -46,6 +63,16 @@ fn parse_args() -> Result<Options, String> {
             "--root" => match args.next() {
                 Some(dir) => opts.root = Some(PathBuf::from(dir)),
                 None => return Err("--root needs a directory".into()),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                Some(other) => return Err(format!("unknown format `{other}`")),
+                None => return Err("--format needs `text` or `json`".into()),
+            },
+            "--explain" => match args.next() {
+                Some(rule) => opts.explain = Some(rule),
+                None => return Err("--explain needs a rule id".into()),
             },
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -66,6 +93,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(rule) = &opts.explain {
+        return explain(rule);
+    }
     match run(&opts) {
         Ok(clean) => {
             if clean {
@@ -81,6 +111,27 @@ fn main() -> ExitCode {
     }
 }
 
+fn explain(rule_id: &str) -> ExitCode {
+    match rules::ALL.iter().find(|r| r.id == rule_id) {
+        Some(rule) => {
+            println!("{}: {}\n", rule.id, rule.summary);
+            println!("{}", rule.explain);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "error: unknown rule `{rule_id}`; known rules:\n{}",
+                rules::ALL
+                    .iter()
+                    .map(|r| format!("  {}", r.id))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
 /// Returns Ok(true) when the gate passes.
 fn run(opts: &Options) -> Result<bool, Box<dyn std::error::Error>> {
     let root = match &opts.root {
@@ -88,17 +139,18 @@ fn run(opts: &Options) -> Result<bool, Box<dyn std::error::Error>> {
         None => workspace::find_root(&std::env::current_dir()?)?,
     };
     let analysis = analyze_workspace(&root)?;
-    let diags = run_rules(&analysis);
+    let run = run_rules_full(&analysis);
+    let (diagnostics, suppressed) = (run.diagnostics, run.suppressed);
     let baseline_path = root.join(BASELINE_FILE);
 
     if opts.write_baseline {
-        let baseline = Baseline::from_diagnostics(&diags);
+        let baseline = Baseline::from_diagnostics(&diagnostics);
         std::fs::write(&baseline_path, baseline.render())?;
         println!(
             "wrote {} ({} violations across {} files frozen)",
             baseline_path.display(),
-            diags.len(),
-            diags
+            diagnostics.len(),
+            diagnostics
                 .iter()
                 .map(|d| d.file.as_str())
                 .collect::<std::collections::BTreeSet<_>>()
@@ -117,13 +169,26 @@ fn run(opts: &Options) -> Result<bool, Box<dyn std::error::Error>> {
         }
     };
 
-    let report = baseline.gate(diags);
+    let report = baseline.gate(diagnostics);
+    let clean = report.new.is_empty() && report.stale.is_empty();
+
+    if let Format::Json = opts.format {
+        println!("{}", json_report(&analysis, &suppressed, &report).to_pretty());
+        return Ok(clean);
+    }
+
     for d in &report.new {
         println!("{d}");
     }
     for (rule, file, allowed, found) in &report.stale {
         println!(
-            "note: baseline for [{rule}] {file} allows {allowed} but only {found} remain — ratchet it down"
+            "stale baseline: [{rule}] {file} allows {allowed} but only {found} remain — delete or ratchet the entry"
+        );
+    }
+    for s in &suppressed {
+        println!(
+            "suppressed: {}:{}: [{}] — {}",
+            s.diagnostic.file, s.diagnostic.line, s.diagnostic.rule, s.reason
         );
     }
 
@@ -133,13 +198,83 @@ fn run(opts: &Options) -> Result<bool, Box<dyn std::error::Error>> {
         *per_rule.entry(d.rule).or_insert(0) += 1;
     }
     println!(
-        "checked {} files: {} new violation(s), {} baselined",
+        "checked {} files: {} new violation(s), {} baselined, {} suppressed, {} stale baseline entr{}",
         analysis.files.len(),
         report.new.len(),
-        report.baselined
+        report.baselined,
+        suppressed.len(),
+        report.stale.len(),
+        if report.stale.len() == 1 { "y" } else { "ies" },
     );
     for (rule, n) in &per_rule {
         println!("  {rule}: {n} new");
     }
-    Ok(report.new.is_empty())
+    Ok(clean)
+}
+
+/// The machine-readable report (`--format json`). Keys are stable; the
+/// integration suite round-trips this through crowdnet-json.
+fn json_report(
+    analysis: &crowdnet_lint::Analysis,
+    suppressed: &[crowdnet_lint::Suppressed],
+    report: &crowdnet_lint::baseline::GateReport,
+) -> Value {
+    let new = Value::Arr(
+        report
+            .new
+            .iter()
+            .map(|d| {
+                obj! {
+                    "rule" => d.rule,
+                    "file" => d.file.as_str(),
+                    "line" => u64::from(d.line),
+                    "message" => d.message.as_str(),
+                }
+            })
+            .collect(),
+    );
+    let stale = Value::Arr(
+        report
+            .stale
+            .iter()
+            .map(|(rule, file, allowed, found)| {
+                obj! {
+                    "rule" => rule.as_str(),
+                    "file" => file.as_str(),
+                    "allowed" => *allowed as u64,
+                    "found" => *found as u64,
+                }
+            })
+            .collect(),
+    );
+    let suppressed = Value::Arr(
+        suppressed
+            .iter()
+            .map(|s| {
+                obj! {
+                    "rule" => s.diagnostic.rule,
+                    "file" => s.diagnostic.file.as_str(),
+                    "line" => u64::from(s.diagnostic.line),
+                    "reason" => s.reason.as_str(),
+                }
+            })
+            .collect(),
+    );
+    let mut per_rule: BTreeMap<&str, u64> = rules::ALL.iter().map(|r| (r.id, 0)).collect();
+    for d in &report.new {
+        *per_rule.entry(d.rule).or_insert(0) += 1;
+    }
+    let mut summary = Object::new();
+    for (rule, n) in per_rule {
+        summary.insert(rule, n);
+    }
+    obj! {
+        "version" => 1u64,
+        "files_checked" => analysis.files.len() as u64,
+        "baselined" => report.baselined as u64,
+        "new" => new,
+        "stale" => stale,
+        "suppressed" => suppressed,
+        "summary" => Value::Obj(summary),
+    }
 }

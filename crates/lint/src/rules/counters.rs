@@ -1,0 +1,203 @@
+//! `counter-contract`: every metric-name literal passed to
+//! `.counter(…)` / `.gauge(…)` / `.histogram(…)` / `.histogram_with(…)`
+//! must be declared — in `MANDATORY_COUNTERS` or the `DECLARED_METRICS`
+//! registry in `crates/telemetry`.
+//!
+//! The registry API is create-on-first-use, so a typo'd name never
+//! errors at runtime: it silently mints a fresh counter that stays at
+//! zero while the real one goes unread. This rule moves that failure to
+//! lint time.
+//!
+//! Dynamic names built with `format!("crawl.{src}.attempts")` are
+//! normalised to wildcards (`crawl.*.attempts`) and matched against
+//! declared entries segment-wise, where `*` on either side matches any
+//! one segment. If no declaration consts exist anywhere in the
+//! workspace the rule is inert — it cannot distinguish "undeclared"
+//! from "no registry yet".
+
+use crate::lexer::TokenKind;
+use crate::parse::{self, EventKind};
+use crate::symbols::SymbolTable;
+use crate::{Analysis, Diagnostic};
+use std::collections::BTreeSet;
+
+pub const ID: &str = "counter-contract";
+
+/// Consts whose string elements declare metric names.
+const DECLARATION_CONSTS: &[&str] = &["MANDATORY_COUNTERS", "DECLARED_METRICS"];
+
+/// Registry methods that take a metric name as first argument.
+const METRIC_METHODS: &[&str] = &["counter", "gauge", "histogram", "histogram_with"];
+
+pub fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let declared = declared_names(a);
+    if declared.is_empty() {
+        return Vec::new();
+    }
+
+    let table = SymbolTable::build(a);
+    let mut out = Vec::new();
+    for id in 0..table.fns.len() {
+        let info = &table.fns[id];
+        let file = &a.files[info.file];
+        if file.is_test_path() {
+            continue;
+        }
+        let decl = table.decl(id);
+        for ev in &decl.events {
+            let EventKind::Method { name, first_str, fmt_str, .. } = &ev.kind else {
+                continue;
+            };
+            if !METRIC_METHODS.contains(&name.as_str()) || file.in_test(ev.line) {
+                continue;
+            }
+            let used = match (first_str, fmt_str) {
+                (Some(s), _) => s.clone(),
+                (None, Some(f)) => wildcardize(f),
+                (None, None) => continue, // name passed through a variable
+            };
+            if !declared.iter().any(|d| matches(d, &used)) {
+                out.push(Diagnostic {
+                    rule: ID,
+                    file: file.rel_path.clone(),
+                    line: ev.line,
+                    message: format!(
+                        "metric name \"{used}\" is not declared in MANDATORY_COUNTERS or DECLARED_METRICS — typo'd names silently read as zero"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Collect every string element of the declaration consts, workspace-wide.
+/// Test paths are skipped so fixture corpora cannot widen the registry.
+fn declared_names(a: &Analysis) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for f in &a.files {
+        if f.is_test_path() {
+            continue;
+        }
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            if toks[i].kind != TokenKind::Ident
+                || !DECLARATION_CONSTS.contains(&toks[i].text.as_str())
+                || !(i > 0 && toks[i - 1].is_ident("const"))
+            {
+                continue;
+            }
+            // Collect Str tokens up to the terminating `;` at depth 0.
+            let mut depth = 0i32;
+            for t in &toks[i + 1..] {
+                if t.is_punct('[') || t.is_punct('(') {
+                    depth += 1;
+                } else if t.is_punct(']') || t.is_punct(')') {
+                    depth -= 1;
+                } else if t.is_punct(';') && depth <= 0 {
+                    break;
+                } else if t.kind == TokenKind::Str {
+                    if let Some(s) = parse::str_content(&t.text) {
+                        out.insert(s);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Replace each `{…}` interpolation with a `*` segment wildcard.
+fn wildcardize(fmt: &str) -> String {
+    let mut out = String::new();
+    let mut chars = fmt.chars();
+    while let Some(c) = chars.next() {
+        if c == '{' {
+            for c2 in chars.by_ref() {
+                if c2 == '}' {
+                    break;
+                }
+            }
+            out.push('*');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Segment-wise match: same segment count, and each pair equal or
+/// wildcarded on either side.
+fn matches(declared: &str, used: &str) -> bool {
+    let d: Vec<&str> = declared.split('.').collect();
+    let u: Vec<&str> = used.split('.').collect();
+    d.len() == u.len()
+        && d.iter()
+            .zip(&u)
+            .all(|(ds, us)| ds == us || *ds == "*" || *us == "*")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::analysis;
+
+    const REGISTRY: (&str, &str) = (
+        "crates/telemetry/src/report.rs",
+        "pub const MANDATORY_COUNTERS: &[&str] = &[\"store.append.docs\"];\n\
+         pub const DECLARED_METRICS: &[&str] = &[\"crawl.*.attempts\", \"serve.cache.hit\"];\n",
+    );
+
+    #[test]
+    fn undeclared_literal_is_flagged() {
+        let a = analysis(&[
+            REGISTRY,
+            (
+                "crates/store/src/store.rs",
+                "fn wire(t: &Telemetry) { t.counter(\"store.append.dcos\"); }\n",
+            ),
+        ]);
+        let d = check(&a);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("store.append.dcos"));
+    }
+
+    #[test]
+    fn declared_and_wildcard_names_pass() {
+        let a = analysis(&[
+            REGISTRY,
+            (
+                "crates/crawl/src/lib.rs",
+                "fn wire(t: &Telemetry) {\n\
+                     t.counter(\"store.append.docs\");\n\
+                     t.counter(\"crawl.angellist.attempts\");\n\
+                     t.counter(&format!(\"crawl.{src}.attempts\"));\n\
+                     t.gauge(\"serve.cache.hit\");\n\
+                 }\n",
+            ),
+        ]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn variable_names_and_tests_are_skipped() {
+        let a = analysis(&[
+            REGISTRY,
+            (
+                "crates/x/src/lib.rs",
+                "fn wire(t: &Telemetry, name: &str) { t.counter(name); }\n\
+                 #[cfg(test)]\nmod tests { fn t() { t.counter(\"ad.hoc\"); } }\n",
+            ),
+        ]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn rule_is_inert_without_a_registry() {
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "fn wire(t: &Telemetry) { t.counter(\"whatever.name\"); }\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+}

@@ -1,26 +1,37 @@
-//! `lock-ordering`: build a lock-acquisition-order graph from
-//! `.lock()` / `.read()` / `.write()` call sites (empty-argument calls
-//! only, so `io::Write::write(buf)` never matches) and flag any cycle.
+//! `lock-order-global`: workspace-wide lock-acquisition-order analysis.
 //!
-//! An edge `a → b` means "some function acquires `b` while `a` is held".
-//! Guard lifetimes are approximated from the source:
+//! Acquisition sites are `.lock()` / `.read()` / `.write()` calls with
+//! empty argument lists (so `io::Write::write(buf)` never matches). Lock
+//! identity is the receiver name, qualified by the impl self-type for
+//! `self.field` receivers (`Service.cache` and `Pool.cache` stay
+//! distinct). Guard lifetimes are approximated from the source:
 //!
 //! * a guard bound with `let g = x.lock();` is held until a later
 //!   `drop(g)` or the end of its enclosing block,
-//! * an unbound (temporary) guard like `x.lock().next()` is held only to
-//!   the end of its statement — so two locks in one statement nest, two
-//!   sequential statements do not.
+//! * an unbound (temporary) guard lives to the end of its statement.
 //!
-//! Edges are aggregated by lock *name* (the field or binding the method
-//! is called on) across the whole workspace; a cycle between distinct
-//! names means two code paths can acquire the same pair of locks in
-//! opposite orders — the classic AB/BA deadlock.
+//! The order graph gets two kinds of edges:
+//!
+//! * **same-function nesting** — `b` acquired while `a` is held, as the
+//!   old file-local rule did; and
+//! * **call-coupled nesting** — a guard held across a call (resolved via
+//!   the workspace call graph, including into other crates) reaches every
+//!   lock the callee may transitively acquire. This is what makes the
+//!   analysis global: an AB/BA inversion split across two crates is now a
+//!   cycle like any other.
+//!
+//! Any edge on a cycle is reported. Independently, a guard held across a
+//! blocking channel `.send(…)` / `.recv()` is flagged outright: the
+//! channel's peer may need that very lock to make progress (`try_send` /
+//! `try_recv` are fine — they cannot block).
 
+use crate::callgraph::{qualified_name, resolve_event, CallGraph};
 use crate::lexer::{Token, TokenKind};
+use crate::symbols::SymbolTable;
 use crate::{Analysis, Diagnostic};
 use std::collections::{BTreeMap, BTreeSet};
 
-pub const ID: &str = "lock-ordering";
+pub const ID: &str = "lock-order-global";
 
 /// One observed `a then b` acquisition edge with the site of the second
 /// (inner) acquisition.
@@ -30,27 +41,116 @@ struct Edge {
     file: String,
     line: u32,
     func: String,
+    /// Callee name when the edge crosses a call boundary.
+    via: Option<String>,
 }
 
 pub fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let table = SymbolTable::build(a);
+    let graph = CallGraph::build(a, &table);
+    let n = table.fns.len();
+
+    // Direct acquisitions per function, with body-relative extents.
+    let mut acqs_by_fn: Vec<Vec<Acquisition>> = Vec::with_capacity(n);
+    for id in 0..n {
+        let info = &table.fns[id];
+        let decl = table.decl(id);
+        let body = &a.files[info.file].tokens[decl.body.clone()];
+        let mut acqs = acquisitions(body);
+        for acq in &mut acqs {
+            qualify(&mut acq.name, body, acq.site, decl.impl_type.as_deref());
+        }
+        acqs_by_fn.push(acqs);
+    }
+
+    // Locks each function may acquire, transitively through its callees.
+    let mut translocks: Vec<BTreeSet<String>> = acqs_by_fn
+        .iter()
+        .map(|acqs| acqs.iter().map(|a| a.name.clone()).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..n {
+            for &c in &graph.callees[id] {
+                if c == id {
+                    continue;
+                }
+                let extra: Vec<String> = translocks[c]
+                    .difference(&translocks[id])
+                    .cloned()
+                    .collect();
+                if !extra.is_empty() {
+                    translocks[id].extend(extra);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
     let mut edges: Vec<Edge> = Vec::new();
-    for f in &a.files {
-        if f.is_test_path() {
+    let mut channel_diags: Vec<Diagnostic> = Vec::new();
+    for id in 0..n {
+        let info = &table.fns[id];
+        let file = &a.files[info.file];
+        if file.is_test_path() {
             continue;
         }
-        for (func, body) in functions(&f.tokens) {
-            let body_tokens = &f.tokens[body];
-            let acqs = acquisitions(body_tokens);
-            for (ai, acq) in acqs.iter().enumerate() {
-                for later in &acqs[ai + 1..] {
-                    if later.site < acq.release && later.name != acq.name {
-                        edges.push(Edge {
-                            from: acq.name.clone(),
-                            to: later.name.clone(),
-                            file: f.rel_path.clone(),
-                            line: later.line,
-                            func: func.clone(),
+        let decl = table.decl(id);
+        let acqs = &acqs_by_fn[id];
+        // Same-function nesting, as before.
+        for (ai, acq) in acqs.iter().enumerate() {
+            for later in &acqs[ai + 1..] {
+                if later.site < acq.release && later.name != acq.name {
+                    edges.push(Edge {
+                        from: acq.name.clone(),
+                        to: later.name.clone(),
+                        file: file.rel_path.clone(),
+                        line: later.line,
+                        func: decl.name.clone(),
+                        via: None,
+                    });
+                }
+            }
+        }
+        // Events under a held guard: call-coupled edges and channel ops.
+        for ev in &decl.events {
+            let rel = ev.tok.saturating_sub(decl.body.start);
+            for acq in acqs {
+                if rel <= acq.site || rel >= acq.release {
+                    continue;
+                }
+                if let crate::parse::EventKind::Method { name, .. } = &ev.kind {
+                    if (name == "send" || name == "recv") && !file.in_test(ev.line) {
+                        channel_diags.push(Diagnostic {
+                            rule: ID,
+                            file: file.rel_path.clone(),
+                            line: ev.line,
+                            message: format!(
+                                "guard of `{}` held across blocking channel `.{name}(…)` (in fn {}) — the peer may need this lock to make progress",
+                                acq.name, decl.name
+                            ),
                         });
+                        continue;
+                    }
+                }
+                for callee in resolve_event(a, &table, id, ev) {
+                    if callee == id {
+                        continue;
+                    }
+                    for inner in &translocks[callee] {
+                        if inner != &acq.name {
+                            edges.push(Edge {
+                                from: acq.name.clone(),
+                                to: inner.clone(),
+                                file: file.rel_path.clone(),
+                                line: ev.line,
+                                func: decl.name.clone(),
+                                via: Some(qualified_name(&table, callee)),
+                            });
+                        }
                     }
                 }
             }
@@ -65,22 +165,38 @@ pub fn check(a: &Analysis) -> Vec<Diagnostic> {
         fwd.entry(&e.to).or_default();
     }
 
-    let mut out = Vec::new();
+    let mut out = channel_diags;
     let mut seen = BTreeSet::new();
     for e in &edges {
-        if reaches(&fwd, &e.to, &e.from) && seen.insert((&e.file, e.line, &e.from, &e.to)) {
+        if reaches(&fwd, &e.to, &e.from)
+            && seen.insert((e.file.clone(), e.line, e.from.clone(), e.to.clone()))
+        {
+            let via = match &e.via {
+                Some(callee) => format!(" via call to {callee}"),
+                None => String::new(),
+            };
             out.push(Diagnostic {
                 rule: ID,
                 file: e.file.clone(),
                 line: e.line,
                 message: format!(
-                    "`{}` acquired while `{}` may be held (in fn {}) — another path takes these locks in the opposite order",
+                    "`{}` acquired{via} while `{}` may be held (in fn {}) — another path takes these locks in the opposite order",
                     e.to, e.from, e.func
                 ),
             });
         }
     }
     out
+}
+
+/// Qualify a `self.field` lock with the impl self-type so same-named
+/// fields of different types stay distinct lock identities.
+fn qualify(name: &mut String, body: &[Token], site: usize, impl_type: Option<&str>) {
+    let Some(ty) = impl_type else { return };
+    // `site` is the lock/read/write ident; receiver is at site - 2.
+    if site >= 4 && body[site - 3].is_punct('.') && body[site - 4].is_ident("self") {
+        *name = format!("{ty}.{name}");
+    }
 }
 
 /// One lock acquisition with its hold extent, in body-token indices.
@@ -204,53 +320,6 @@ fn brace_depths(tokens: &[Token]) -> Vec<i32> {
         .collect()
 }
 
-/// Find `fn` bodies: returns `(name, token_range_of_body)` per function.
-/// Nested items stay inside their enclosing body on purpose — a closure's
-/// acquisitions still happen in the enclosing dynamic scope.
-fn functions(tokens: &[Token]) -> Vec<(String, std::ops::Range<usize>)> {
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i < tokens.len() {
-        if tokens[i].is_ident("fn") && tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Ident) {
-            let name = tokens[i + 1].text.clone();
-            // Find the body's opening brace (skipping the signature).
-            let mut j = i + 2;
-            let mut depth = 0i32;
-            while j < tokens.len() {
-                let t = &tokens[j];
-                if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
-                    depth += 1;
-                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
-                    depth -= 1;
-                } else if t.is_punct(';') && depth <= 0 {
-                    break; // trait method declaration, no body
-                } else if t.is_punct('{') && depth <= 0 {
-                    let open = j;
-                    let mut braces = 0i32;
-                    while j < tokens.len() {
-                        if tokens[j].is_punct('{') {
-                            braces += 1;
-                        } else if tokens[j].is_punct('}') {
-                            braces -= 1;
-                            if braces == 0 {
-                                break;
-                            }
-                        }
-                        j += 1;
-                    }
-                    out.push((name.clone(), open..j.min(tokens.len())));
-                    break;
-                }
-                j += 1;
-            }
-            i = j.max(i + 2);
-            continue;
-        }
-        i += 1;
-    }
-    out
-}
-
 /// Iterative DFS: is `target` reachable from `start`?
 fn reaches(fwd: &BTreeMap<&str, BTreeSet<&str>>, start: &str, target: &str) -> bool {
     let mut seen = BTreeSet::new();
@@ -367,6 +436,63 @@ mod tests {
             "crates/x/src/lib.rs",
             "fn f(&self) { { let s = self.stats.lock(); s.bump(); } let q = self.queue.lock(); }\n\
              fn g(&self) { { let q = self.queue.lock(); } let s = self.stats.lock(); }\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn inversion_split_across_crates_is_caught() {
+        // serve holds `cache` and calls into store, which takes `wal`;
+        // store elsewhere holds `wal` and takes `cache` — a cross-crate
+        // AB/BA the file-local rule could never see.
+        let a = analysis(&[
+            (
+                "crates/serve/src/lib.rs",
+                "impl Service { fn f(&self, s: Store) { let g = self.cache.lock(); s.flush_wal(); } }\n",
+            ),
+            (
+                "crates/store/src/lib.rs",
+                "impl Store { pub fn flush_wal(&self) { let w = self.wal.lock(); } }\n\
+                 impl Store { fn compact(&self, svc: Service) { let w = self.wal.lock(); svc.touch_cache(); } }\n",
+            ),
+            (
+                "crates/serve/src/cache.rs",
+                "impl Service { pub fn touch_cache(&self) { let g = self.cache.lock(); } }\n",
+            ),
+        ]);
+        let d = check(&a);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|d| d.message.contains("via call to Store::flush_wal")));
+    }
+
+    #[test]
+    fn guard_across_blocking_recv_is_flagged() {
+        let a = analysis(&[(
+            "crates/serve/src/pool.rs",
+            "fn worker(rx: Receiver) { let guard = rx2.lock(); let job = guard.recv(); }\n",
+        )]);
+        let d = check(&a);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("blocking channel"));
+    }
+
+    #[test]
+    fn try_send_under_a_guard_is_fine() {
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "fn f(&self) { let g = self.state.lock(); self.tx.try_send(x); }\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn self_fields_are_qualified_by_impl_type() {
+        // Both types have a `stats` field; opposite orders against
+        // different structs must not alias into a fake cycle.
+        let a = analysis(&[(
+            "crates/x/src/lib.rs",
+            "impl A { fn f(&self) { let s = self.stats.lock(); let q = self.queue.lock(); } }\n\
+             impl B { fn g(&self) { let q = self.other.lock(); let s = self.stats.lock(); } }\n",
         )]);
         assert!(check(&a).is_empty());
     }

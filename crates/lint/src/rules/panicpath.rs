@@ -1,0 +1,165 @@
+//! `panic-on-request-path`: no panic site may be transitively reachable
+//! from the serve front end.
+//!
+//! Roots are every method of `impl Service` in `crates/serve` plus
+//! `Server::call` — the functions a client request enters through. From
+//! those roots the workspace call graph is swept, and inside every
+//! reachable function (any crate) the rule flags:
+//!
+//! * `.unwrap()` / `.expect(…)` calls,
+//! * `panic!` / `todo!` / `unimplemented!` invocations (`unreachable!`
+//!   is allowed: it documents an invariant, and rewriting it as an error
+//!   return would hide logic bugs), and
+//! * direct index expressions `expr[…]` — but only in `crates/serve`
+//!   itself: the graph/dataflow numeric kernels index dense arrays by
+//!   construction, while the handler layer must use checked access on
+//!   client-controlled ids.
+//!
+//! The resolver under-approximates (see [`callgraph`](crate::callgraph)),
+//! so this is a best-effort reachability argument, not a proof — but it
+//! catches exactly the regressions code review misses: a helper three
+//! crates away growing an `unwrap` that a request can now hit.
+
+use crate::callgraph::CallGraph;
+use crate::parse::EventKind;
+use crate::symbols::SymbolTable;
+use crate::{Analysis, Diagnostic};
+
+pub const ID: &str = "panic-on-request-path";
+
+/// Panic macros flagged on the request path (`unreachable` excluded).
+const FLAGGED_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+pub fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let table = SymbolTable::build(a);
+    let graph = CallGraph::build(a, &table);
+
+    let mut roots = Vec::new();
+    for id in 0..table.fns.len() {
+        let info = &table.fns[id];
+        if info.krate != "serve" || a.files[info.file].is_test_path() {
+            continue;
+        }
+        let decl = table.decl(id);
+        let is_endpoint = decl.impl_type.as_deref() == Some("Service")
+            || (decl.impl_type.as_deref() == Some("Server") && decl.name == "call");
+        if is_endpoint {
+            roots.push(id);
+        }
+    }
+    if roots.is_empty() {
+        return Vec::new(); // nothing serves requests in this workspace
+    }
+
+    let reach = graph.reachable(&roots);
+    let mut out = Vec::new();
+    for id in 0..table.fns.len() {
+        if !reach.seen[id] {
+            continue;
+        }
+        let info = &table.fns[id];
+        let file = &a.files[info.file];
+        if file.is_test_path() {
+            continue;
+        }
+        let decl = table.decl(id);
+        for ev in &decl.events {
+            if file.in_test(ev.line) {
+                continue;
+            }
+            let what = match &ev.kind {
+                EventKind::Method { name, .. } if name == "unwrap" || name == "expect" => {
+                    format!(".{name}()")
+                }
+                EventKind::PanicMacro { name } if FLAGGED_MACROS.contains(&name.as_str()) => {
+                    format!("{name}!")
+                }
+                EventKind::Index if info.krate == "serve" => "direct indexing".to_string(),
+                _ => continue,
+            };
+            out.push(Diagnostic {
+                rule: ID,
+                file: file.rel_path.clone(),
+                line: ev.line,
+                message: format!(
+                    "{what} reachable from a request handler via {}",
+                    reach.chain(&table, id)
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::analysis;
+
+    #[test]
+    fn unwrap_in_a_transitively_called_helper_is_flagged() {
+        let a = analysis(&[
+            (
+                "crates/serve/src/service.rs",
+                "impl Service { pub fn handle(&self) { router::respond(self); } }\n",
+            ),
+            (
+                "crates/serve/src/router.rs",
+                "pub fn respond(s: &Service) { helper(); }\nfn helper() { v.unwrap(); }\n",
+            ),
+        ]);
+        let d = check(&a);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "crates/serve/src/router.rs");
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("Service::handle"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn panics_off_the_request_path_are_ignored() {
+        let a = analysis(&[(
+            "crates/serve/src/service.rs",
+            "impl Service { pub fn handle(&self) { ok(); } }\n\
+             fn ok() {}\n\
+             fn cold_start() { v.unwrap(); panic!(\"boot\"); }\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn indexing_flagged_in_serve_but_not_in_kernels() {
+        let a = analysis(&[
+            (
+                "crates/serve/src/service.rs",
+                "impl Service { pub fn handle(&self) { let x = scores[i]; crowdnet_graph::rank(); } }\n",
+            ),
+            (
+                "crates/graph/src/lib.rs",
+                "pub fn rank() { let y = dense[j]; }\n",
+            ),
+        ]);
+        let d = check(&a);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "crates/serve/src/service.rs");
+    }
+
+    #[test]
+    fn unreachable_macro_is_allowed_on_the_path() {
+        let a = analysis(&[(
+            "crates/serve/src/service.rs",
+            "impl Service { pub fn handle(&self) { unreachable!(\"covered above\"); } }\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn server_call_is_a_root() {
+        let a = analysis(&[(
+            "crates/serve/src/server.rs",
+            "impl Server { pub fn call(&self) { self.dispatch(); } fn dispatch(&self) { x.expect(\"live\"); } }\n",
+        )]);
+        let d = check(&a);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains(".expect()"));
+    }
+}

@@ -1,0 +1,271 @@
+//! `vfs-protocol`: per-function automaton over Vfs call sequences in
+//! `crates/store`, enforcing the crash-safety protocol DESIGN.md §7
+//! states in prose:
+//!
+//! * **rename-then-fsync** — every `rename` (the atomic commit point)
+//!   must be followed, later in the same function, by a `sync_dir`:
+//!   a rename that is never made durable can vanish on power loss;
+//! * **sync-before-ack** — a function that opens an append handle and
+//!   writes through it must also `sync()` it before returning success;
+//! * **commit ordering** — first occurrences must respect
+//!   `create_dir_all` → `write_file` → `rename` → `sync_dir`: writing
+//!   into a directory that is renamed before it is populated (or synced
+//!   before it is written) inverts the protocol.
+//!
+//! Only calls whose receiver is recognisably the Vfs seam participate
+//! (`self.vfs.…`, a `Vfs`-typed local/param, or a handle returned by
+//! `open_append`), so `Vec::append` or a channel's `send` never match.
+//! `vfs.rs` itself (the seam definition and its fault-injection
+//! wrappers) and delegation shims — functions named after the single op
+//! they forward, like `Store::append` — are exempt.
+
+use crate::parse::{EventKind, Recv};
+use crate::symbols::SymbolTable;
+use crate::{Analysis, Diagnostic};
+
+pub const ID: &str = "vfs-protocol";
+
+/// Directory-level ops in their required first-occurrence order.
+const ORDERED_OPS: &[&str] = &["create_dir_all", "write_file", "rename", "sync_dir"];
+
+pub fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let table = SymbolTable::build(a);
+    let mut out = Vec::new();
+    for id in 0..table.fns.len() {
+        let info = &table.fns[id];
+        let file = &a.files[info.file];
+        if info.krate != "store"
+            || file.is_test_path()
+            || file.rel_path.ends_with("/vfs.rs")
+        {
+            continue;
+        }
+        let decl = table.decl(id);
+        if file.in_test(decl.line) {
+            continue;
+        }
+
+        // Ordered trace of recognised Vfs ops: (op, line).
+        let mut trace: Vec<(&str, u32)> = Vec::new();
+        let mut opened_handle = false;
+        for ev in &decl.events {
+            let EventKind::Method { name, recv, args_empty, .. } = &ev.kind else {
+                continue;
+            };
+            let vfs_recv = is_vfs_receiver(&table, id, recv);
+            match name.as_str() {
+                "create_dir_all" | "write_file" | "rename" | "sync_dir" | "open_append"
+                    if vfs_recv =>
+                {
+                    if name == "open_append" {
+                        opened_handle = true;
+                    }
+                    trace.push((op_str(name), ev.line));
+                }
+                "append" if opened_handle || is_handle_receiver(decl, recv) => {
+                    trace.push(("append", ev.line));
+                }
+                "sync" if *args_empty => {
+                    trace.push(("sync", ev.line));
+                }
+                _ => {}
+            }
+        }
+        if trace.is_empty() {
+            continue;
+        }
+        // Delegation shims forward exactly their own op; the protocol
+        // obligation sits with their callers.
+        if trace.iter().any(|(op, _)| *op == decl.name) {
+            continue;
+        }
+
+        // Rename-then-fsync.
+        for (i, &(op, line)) in trace.iter().enumerate() {
+            if op == "rename" && !trace[i + 1..].iter().any(|(o, _)| *o == "sync_dir") {
+                out.push(Diagnostic {
+                    rule: ID,
+                    file: file.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "rename in fn {} is not followed by sync_dir — the commit is not durable until the directory is fsynced",
+                        decl.name
+                    ),
+                });
+            }
+        }
+        // Sync-before-ack on append paths.
+        if let Some(&(_, line)) = trace.iter().filter(|(o, _)| *o == "append").next_back() {
+            if opened_handle && !trace.iter().any(|(o, _)| *o == "sync") {
+                out.push(Diagnostic {
+                    rule: ID,
+                    file: file.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "append path in fn {} never calls sync() — data may be acknowledged before it is durable",
+                        decl.name
+                    ),
+                });
+            }
+        }
+        // Commit ordering on first occurrences.
+        let firsts: Vec<(usize, u32)> = ORDERED_OPS
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, op)| {
+                trace
+                    .iter()
+                    .find(|(o, _)| o == op)
+                    .map(|&(_, line)| (rank, line))
+            })
+            .collect();
+        for w in firsts.windows(2) {
+            let ((r1, l1), (r2, l2)) = (w[0], w[1]);
+            if l2 < l1 {
+                out.push(Diagnostic {
+                    rule: ID,
+                    file: file.rel_path.clone(),
+                    line: l2,
+                    message: format!(
+                        "{} precedes {} in fn {} — commit protocol order is create_dir_all → write_file → rename → sync_dir",
+                        ORDERED_OPS[r2], ORDERED_OPS[r1], decl.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Map a recognised op name to its `&'static str` (for trace storage).
+fn op_str(name: &str) -> &'static str {
+    match name {
+        "create_dir_all" => "create_dir_all",
+        "write_file" => "write_file",
+        "rename" => "rename",
+        "sync_dir" => "sync_dir",
+        "open_append" => "open_append",
+        _ => "other",
+    }
+}
+
+/// Does this receiver denote the Vfs seam?
+fn is_vfs_receiver(table: &SymbolTable, id: usize, recv: &Recv) -> bool {
+    let decl = table.decl(id);
+    match recv {
+        Recv::SelfField(f) => {
+            f == "vfs"
+                || decl
+                    .impl_type
+                    .as_deref()
+                    .and_then(|ty| table.field_type(ty, f))
+                    == Some("Vfs")
+        }
+        Recv::Var(v) => v == "vfs" || decl.local_type(v) == Some("Vfs"),
+        _ => false,
+    }
+}
+
+/// Does this receiver denote a file handle from `open_append`?
+fn is_handle_receiver(decl: &crate::parse::FnDecl, recv: &Recv) -> bool {
+    matches!(recv, Recv::Var(v) if decl.local_type(v) == Some("VfsFile"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::analysis;
+
+    #[test]
+    fn rename_without_sync_dir_is_flagged() {
+        let a = analysis(&[(
+            "crates/store/src/disk.rs",
+            "impl DiskBackend { fn quarantine(&self, p: &Path) { self.vfs.rename(p, q); } }\n",
+        )]);
+        let d = check(&a);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("not followed by sync_dir"));
+    }
+
+    #[test]
+    fn full_commit_sequence_is_clean() {
+        let a = analysis(&[(
+            "crates/store/src/disk.rs",
+            "impl DiskBackend { fn commit(&self, ns: &Path) {\n\
+                 self.vfs.create_dir_all(ns);\n\
+                 self.vfs.write_file(p, b);\n\
+                 self.vfs.rename(p, q);\n\
+                 self.vfs.sync_dir(ns);\n\
+             } }\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn append_without_sync_is_flagged() {
+        let a = analysis(&[(
+            "crates/store/src/disk.rs",
+            "impl DiskBackend { fn spill(&self, p: &Path) {\n\
+                 let h = self.vfs.open_append(p);\n\
+                 h.append(buf);\n\
+             } }\n",
+        )]);
+        let d = check(&a);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("never calls sync"));
+    }
+
+    #[test]
+    fn append_then_sync_is_clean() {
+        let a = analysis(&[(
+            "crates/store/src/disk.rs",
+            "impl DiskBackend { fn spill(&self, p: &Path) {\n\
+                 let h = self.vfs.open_append(p);\n\
+                 h.append(buf);\n\
+                 h.sync();\n\
+             } }\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_commit_ops_are_flagged() {
+        let a = analysis(&[(
+            "crates/store/src/disk.rs",
+            "impl DiskBackend { fn bad(&self, ns: &Path) {\n\
+                 self.vfs.rename(p, q);\n\
+                 self.vfs.write_file(p, b);\n\
+                 self.vfs.sync_dir(ns);\n\
+             } }\n",
+        )]);
+        let d = check(&a);
+        assert!(
+            d.iter().any(|d| d.message.contains("commit protocol order")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn delegation_shims_and_other_crates_are_exempt() {
+        let a = analysis(&[
+            (
+                "crates/store/src/store.rs",
+                "impl Store { fn rename(&self, p: &Path, q: &Path) { self.vfs.rename(p, q); } }\n",
+            ),
+            (
+                "crates/ingest/src/lib.rs",
+                "fn elsewhere(vfs: &dyn Vfs) { vfs.rename(p, q); }\n",
+            ),
+        ]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn vec_append_and_channel_send_do_not_match() {
+        let a = analysis(&[(
+            "crates/store/src/memory.rs",
+            "impl MemBackend { fn push(&self, mut v: Vec<u8>) { v.append(&mut w); self.tx.send(x); } }\n",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+}

@@ -10,9 +10,10 @@ pub struct SourceFile {
     /// Workspace-relative path with forward slashes (`crates/store/src/disk.rs`).
     pub rel_path: String,
     pub tokens: Vec<Token>,
-    /// `(line, rule)` pairs from `// lint:allow(rule)` comments; `*` means
-    /// every rule. A suppression covers its own line and the line below it.
-    pub suppressions: Vec<(u32, String)>,
+    /// `(line, rule, reason)` triples from `// lint:allow(rule): reason`
+    /// comments; `*` means every rule, and the reason may be empty. A
+    /// suppression covers its own line and the line below it.
+    pub suppressions: Vec<(u32, String, String)>,
     /// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
     pub test_regions: Vec<(u32, u32)>,
 }
@@ -26,10 +27,14 @@ impl SourceFile {
             if let Some(pos) = c.text.find("lint:allow(") {
                 let rest = &c.text[pos + "lint:allow(".len()..];
                 if let Some(end) = rest.find(')') {
+                    let reason = rest[end + 1..]
+                        .trim_start_matches(':')
+                        .trim()
+                        .to_string();
                     for rule in rest[..end].split(',') {
                         let rule = rule.trim();
                         if !rule.is_empty() {
-                            suppressions.push((c.line, rule.to_string()));
+                            suppressions.push((c.line, rule.to_string(), reason.clone()));
                         }
                     }
                 }
@@ -52,9 +57,22 @@ impl SourceFile {
     /// True when a `lint:allow` comment on this line or the one above
     /// names `rule` (or `*`).
     pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppression_reason(rule, line).is_some()
+    }
+
+    /// The stated reason of the suppression covering `(rule, line)`, if
+    /// one applies. `(no reason given)` when the comment omitted one.
+    pub fn suppression_reason(&self, rule: &str, line: u32) -> Option<String> {
         self.suppressions
             .iter()
-            .any(|(l, r)| (*l == line || *l + 1 == line) && (r == rule || r == "*"))
+            .find(|(l, r, _)| (*l == line || *l + 1 == line) && (r == rule || r == "*"))
+            .map(|(_, _, reason)| {
+                if reason.is_empty() {
+                    "(no reason given)".to_string()
+                } else {
+                    reason.clone()
+                }
+            })
     }
 
     /// True for files that live in a test or bench tree (`tests/`,

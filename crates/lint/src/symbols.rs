@@ -1,0 +1,198 @@
+//! Cross-crate symbol table: every parsed function in the workspace,
+//! indexed for the approximate name resolution the call graph performs.
+//!
+//! Identity is a flat [`FnId`]; lookups are by bare name (free functions),
+//! by `(type, method)` pair, and — for trait-object dispatch — by trait
+//! name through the `impl Trait for Type` records. Struct field types are
+//! kept so `self.field.m(…)` receivers resolve through the field's
+//! declared type.
+
+use crate::parse::{self, FnDecl, ParsedFile};
+use crate::Analysis;
+use std::collections::HashMap;
+
+/// Index into [`SymbolTable::fns`].
+pub type FnId = usize;
+
+/// One function with its location metadata.
+pub struct FnInfo {
+    /// Index into `Analysis::files`.
+    pub file: usize,
+    /// Index into that file's `ParsedFile::fns`.
+    pub decl: usize,
+    /// Owning crate (`serve`, `store`, …; `root` for the root package).
+    pub krate: String,
+}
+
+/// The workspace-wide symbol table.
+pub struct SymbolTable {
+    /// Parsed view of each file, index-aligned with `Analysis::files`.
+    pub parsed: Vec<ParsedFile>,
+    pub fns: Vec<FnInfo>,
+    free_by_name: HashMap<String, Vec<FnId>>,
+    methods: HashMap<(String, String), Vec<FnId>>,
+    methods_by_name: HashMap<String, Vec<FnId>>,
+    trait_impls: HashMap<String, Vec<String>>,
+    field_types: HashMap<(String, String), String>,
+}
+
+/// Crate name of a workspace-relative path: `crates/store/src/disk.rs` →
+/// `store`; anything else (examples, root src, tests) → `root`.
+pub fn crate_of(rel_path: &str) -> String {
+    let mut segs = rel_path.split('/');
+    match (segs.next(), segs.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        _ => "root".to_string(),
+    }
+}
+
+impl SymbolTable {
+    /// Parse every file of `a` and build the lookup maps.
+    pub fn build(a: &Analysis) -> SymbolTable {
+        let mut table = SymbolTable {
+            parsed: Vec::with_capacity(a.files.len()),
+            fns: Vec::new(),
+            free_by_name: HashMap::new(),
+            methods: HashMap::new(),
+            methods_by_name: HashMap::new(),
+            trait_impls: HashMap::new(),
+            field_types: HashMap::new(),
+        };
+        for (fi, file) in a.files.iter().enumerate() {
+            let parsed = parse::parse_file(&file.tokens);
+            let krate = crate_of(&file.rel_path);
+            for s in &parsed.structs {
+                for (field, ty) in &s.fields {
+                    table
+                        .field_types
+                        .insert((s.name.clone(), field.clone()), ty.clone());
+                }
+            }
+            for (di, f) in parsed.fns.iter().enumerate() {
+                let id = table.fns.len();
+                table.fns.push(FnInfo {
+                    file: fi,
+                    decl: di,
+                    krate: krate.clone(),
+                });
+                match &f.impl_type {
+                    Some(ty) => {
+                        table
+                            .methods
+                            .entry((ty.clone(), f.name.clone()))
+                            .or_default()
+                            .push(id);
+                        table
+                            .methods_by_name
+                            .entry(f.name.clone())
+                            .or_default()
+                            .push(id);
+                        if let Some(tr) = &f.impl_trait {
+                            let types = table.trait_impls.entry(tr.clone()).or_default();
+                            if !types.contains(ty) {
+                                types.push(ty.clone());
+                            }
+                        }
+                    }
+                    None => {
+                        table
+                            .free_by_name
+                            .entry(f.name.clone())
+                            .or_default()
+                            .push(id);
+                    }
+                }
+            }
+            table.parsed.push(parsed);
+        }
+        table
+    }
+
+    /// The parsed declaration behind `id`.
+    pub fn decl(&self, id: FnId) -> &FnDecl {
+        let info = &self.fns[id];
+        &self.parsed[info.file].fns[info.decl]
+    }
+
+    /// Free functions with this bare name.
+    pub fn free(&self, name: &str) -> &[FnId] {
+        self.free_by_name.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Methods `Type::name`, following `impl Trait for Type` records when
+    /// `ty` names a trait rather than a concrete type (dyn dispatch).
+    pub fn methods_of(&self, ty: &str, name: &str) -> Vec<FnId> {
+        if let Some(direct) = self.methods.get(&(ty.to_string(), name.to_string())) {
+            return direct.clone();
+        }
+        let mut out = Vec::new();
+        if let Some(types) = self.trait_impls.get(ty) {
+            for t in types {
+                if let Some(ids) = self.methods.get(&(t.clone(), name.to_string())) {
+                    out.extend_from_slice(ids);
+                }
+            }
+        }
+        out
+    }
+
+    /// Every method with this name, across all types.
+    pub fn methods_named(&self, name: &str) -> &[FnId] {
+        self.methods_by_name.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Declared type of `ty.field`, if the struct definition was seen.
+    pub fn field_type(&self, ty: &str, field: &str) -> Option<&str> {
+        self.field_types
+            .get(&(ty.to_string(), field.to_string()))
+            .map(|s| s.as_str())
+    }
+
+    /// True when `name` is a trait we saw `impl … for` records of.
+    pub fn is_trait(&self, name: &str) -> bool {
+        self.trait_impls.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn table(files: &[(&str, &str)]) -> SymbolTable {
+        let a = Analysis {
+            files: files
+                .iter()
+                .map(|(p, s)| SourceFile::parse(p, s))
+                .collect(),
+        };
+        SymbolTable::build(&a)
+    }
+
+    #[test]
+    fn crate_names_come_from_the_path() {
+        assert_eq!(crate_of("crates/store/src/disk.rs"), "store");
+        assert_eq!(crate_of("examples/x.rs"), "root");
+        assert_eq!(crate_of("src/main.rs"), "root");
+    }
+
+    #[test]
+    fn methods_resolve_by_type_and_through_traits() {
+        let t = table(&[(
+            "crates/store/src/vfs.rs",
+            "impl Vfs for MemFs { fn read(&self) {} }\nimpl Vfs for RealFs { fn read(&self) {} }\n",
+        )]);
+        assert_eq!(t.methods_of("MemFs", "read").len(), 1);
+        assert_eq!(t.methods_of("Vfs", "read").len(), 2, "dyn dispatch");
+        assert!(t.is_trait("Vfs"));
+    }
+
+    #[test]
+    fn field_types_survive_into_the_table() {
+        let t = table(&[(
+            "crates/serve/src/server.rs",
+            "struct Server { service: Arc<Service> }\n",
+        )]);
+        assert_eq!(t.field_type("Server", "service"), Some("Service"));
+    }
+}

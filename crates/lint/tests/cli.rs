@@ -1,0 +1,115 @@
+//! End-to-end CLI tests: the `--format json` report round-trips through
+//! the workspace's own JSON parser, `--explain` covers every rule, the
+//! stale-baseline ratchet fails the gate, and `--write-baseline` is
+//! idempotent down to the byte.
+
+use crowdnet_json::Value;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_crowdnet-lint")
+}
+
+fn workspace_root() -> PathBuf {
+    crowdnet_lint::workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root")
+}
+
+#[test]
+fn json_report_round_trips_through_crowdnet_json() {
+    let out = Command::new(bin())
+        .args(["--workspace", "--format", "json", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("lint binary runs");
+    assert!(
+        out.status.success(),
+        "gate failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf8 report");
+    let report = crowdnet_json::parse(&text).expect("report parses as JSON");
+
+    assert_eq!(report.get("version").and_then(Value::as_u64), Some(1));
+    let files = report.get("files_checked").and_then(Value::as_u64).expect("files_checked");
+    assert!(files > 100, "workspace should have >100 files, got {files}");
+    let new = report.get("new").and_then(Value::as_arr).expect("new array");
+    assert!(new.is_empty(), "gate run must report no new violations");
+    let stale = report.get("stale").and_then(Value::as_arr).expect("stale array");
+    assert!(stale.is_empty(), "no stale baseline entries expected");
+    // Suppressions carry their reasons into the report.
+    for s in report.get("suppressed").and_then(Value::as_arr).expect("suppressed array") {
+        let reason = s.get("reason").and_then(Value::as_str).expect("reason");
+        assert!(!reason.is_empty());
+    }
+    // Per-rule summary names every registered rule.
+    let summary = report.get("summary").and_then(Value::as_obj).expect("summary object");
+    for rule in crowdnet_lint::rules::ALL {
+        assert!(summary.get(rule.id).is_some(), "summary missing rule {}", rule.id);
+    }
+}
+
+#[test]
+fn explain_covers_every_rule_and_rejects_unknown_ones() {
+    for rule in crowdnet_lint::rules::ALL {
+        let out = Command::new(bin())
+            .args(["--explain", rule.id])
+            .output()
+            .expect("lint binary runs");
+        assert!(out.status.success(), "--explain {} failed", rule.id);
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(rule.id), "--explain {} does not echo the id", rule.id);
+    }
+    let out = Command::new(bin())
+        .args(["--explain", "no-such-rule"])
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn stale_baseline_entries_fail_the_gate() {
+    // A workspace whose baseline allows more than the code contains: the
+    // hardened ratchet must fail (exit 1) rather than note-and-pass.
+    let dir = tempdir("lint-stale");
+    std::fs::create_dir_all(dir.join("crates/x/src")).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+    std::fs::write(dir.join("crates/x/src/lib.rs"), "pub fn ok() {}\n").expect("src");
+    std::fs::write(
+        dir.join("lint-baseline.toml"),
+        "[no-unwrap-in-lib]\n\"crates/x/src/lib.rs\" = 3\n",
+    )
+    .expect("baseline");
+    let out = Command::new(bin())
+        .args(["--workspace", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(out.status.code(), Some(1), "stale baseline must fail the gate");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stale baseline"), "missing stale diagnostic:\n{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn write_baseline_regenerates_byte_identical_output() {
+    let root = workspace_root();
+    let committed = std::fs::read_to_string(root.join("lint-baseline.toml")).expect("baseline");
+    let analysis = crowdnet_lint::analyze_workspace(&root).expect("workspace lexes");
+    let regenerated =
+        crowdnet_lint::baseline::Baseline::from_diagnostics(&crowdnet_lint::run_rules(&analysis))
+            .render();
+    assert_eq!(
+        committed, regenerated,
+        "lint-baseline.toml drifted from --write-baseline output — regenerate it"
+    );
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    dir
+}

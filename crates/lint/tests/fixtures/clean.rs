@@ -1,0 +1,17 @@
+//@ file: crates/serve/src/service.rs
+impl Service {
+    pub fn handle(&self, k: &str) -> Result<Value, ServeError> {
+        let v = self.map.get(k).ok_or(ServeError::NotFound)?;
+        Ok(v.clone())
+    }
+}
+//@ file: crates/store/src/disk.rs
+struct DiskBackend { vfs: Arc<dyn Vfs> }
+impl DiskBackend {
+    fn commit(&self, dir: &Path, file: &Path, tmp: &Path) {
+        self.vfs.create_dir_all(dir);
+        self.vfs.write_file(tmp);
+        self.vfs.rename(tmp, file);
+        self.vfs.sync_dir(dir);
+    }
+}

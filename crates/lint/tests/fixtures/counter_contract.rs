@@ -1,0 +1,10 @@
+//@ expect: counter-contract @ crates/store/src/metrics.rs:2
+//@ file: crates/telemetry/src/report.rs
+pub const MANDATORY_COUNTERS: &[&str] = &["store.append.docs"];
+pub const DECLARED_METRICS: &[&str] = &["crawl.*.attempts"];
+//@ file: crates/store/src/metrics.rs
+fn wire(t: &Telemetry) {
+    t.counter("store.apend.docs");
+    t.counter("store.append.docs");
+    t.counter(&format!("crawl.{src}.attempts"));
+}

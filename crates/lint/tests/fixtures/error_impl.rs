@@ -1,0 +1,6 @@
+//@ expect: error-impl @ crates/crawl/src/error.rs:1
+//@ file: crates/crawl/src/error.rs
+pub enum FetchError { Timeout, RateLimited }
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result { write!(f, "fetch") }
+}

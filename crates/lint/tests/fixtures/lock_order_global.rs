@@ -1,0 +1,9 @@
+//@ expect: lock-order-global @ crates/serve/src/lib.rs:1
+//@ expect: lock-order-global @ crates/store/src/lib.rs:2
+//@ file: crates/serve/src/lib.rs
+impl Service { fn refresh(&self, s: Store) { let g = self.cache.lock(); s.flush_wal(); } }
+//@ file: crates/store/src/lib.rs
+impl Store { pub fn flush_wal(&self) { let w = self.wal.lock(); } }
+impl Store { fn compact(&self, svc: Service) { let w = self.wal.lock(); svc.touch_cache(); } }
+//@ file: crates/serve/src/cache.rs
+impl Service { pub fn touch_cache(&self) { let g = self.cache.lock(); } }

@@ -1,0 +1,5 @@
+//@ expect: no-unwrap-in-lib @ crates/graph/src/algo.rs:2
+//@ file: crates/graph/src/algo.rs
+pub fn rank(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -1,0 +1,5 @@
+//@ expect: no-wallclock @ crates/socialsim/src/gen/events.rs:2
+//@ file: crates/socialsim/src/gen/events.rs
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,7 @@
+//@ expect: panic-on-request-path @ crates/serve/src/router.rs:2
+//@ expect: no-unwrap-in-lib @ crates/serve/src/router.rs:2
+//@ file: crates/serve/src/service.rs
+impl Service { pub fn handle(&self) { router::respond(self); } }
+//@ file: crates/serve/src/router.rs
+pub fn respond(s: &Service) { helper(); }
+fn helper() { v.unwrap(); }

@@ -1,0 +1,5 @@
+//@ expect: unbounded-channel @ crates/dataflow/src/pool.rs:2
+//@ file: crates/dataflow/src/pool.rs
+pub fn wire() {
+    let (tx, rx) = mpsc::channel();
+}

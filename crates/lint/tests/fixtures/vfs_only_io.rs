@@ -1,0 +1,5 @@
+//@ expect: vfs-only-io @ crates/store/src/compact.rs:2
+//@ file: crates/store/src/compact.rs
+pub fn sweep(p: &Path) {
+    std::fs::remove_file(p);
+}

@@ -1,0 +1,6 @@
+//@ expect: vfs-protocol @ crates/store/src/disk.rs:3
+//@ file: crates/store/src/disk.rs
+struct DiskBackend { vfs: Arc<dyn Vfs> }
+impl DiskBackend {
+    fn commit(&self, a: &Path, b: &Path) { self.vfs.rename(a, b); }
+}

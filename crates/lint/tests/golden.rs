@@ -1,0 +1,112 @@
+//! Golden-fixture corpus: every rule has a fixture under `tests/fixtures/`
+//! that must produce *exactly* the diagnostics its header declares — same
+//! rule, same virtual file, same line, nothing extra.
+//!
+//! Fixture format:
+//!
+//! ```text
+//! //@ expect: <rule-id> @ <virtual-path>:<line>
+//! //@ file: <virtual-path>
+//! <source lines — line 1 is the first line after the marker>
+//! //@ file: <another-virtual-path>
+//! <…>
+//! ```
+//!
+//! Virtual paths place the snippet in the crate each rule scopes to
+//! (`crates/serve/…`, `crates/store/…`), which the fixtures' real on-disk
+//! location (a `tests/` tree, exempt from every rule) cannot.
+
+use crowdnet_lint::source::SourceFile;
+use crowdnet_lint::{run_rules, Analysis};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Parse one fixture into (expected diagnostics, virtual files).
+fn parse_fixture(text: &str) -> (BTreeSet<(String, String, u32)>, Vec<(String, String)>) {
+    let mut expected = BTreeSet::new();
+    let mut files: Vec<(String, String)> = Vec::new();
+    for raw in text.lines() {
+        if let Some(rest) = raw.trim().strip_prefix("//@ expect:") {
+            let (rule, loc) = rest.split_once('@').expect("expect line needs `rule @ file:line`");
+            let (file, line) = loc.rsplit_once(':').expect("expect line needs `file:line`");
+            expected.insert((
+                rule.trim().to_string(),
+                file.trim().to_string(),
+                line.trim().parse::<u32>().expect("line number"),
+            ));
+        } else if let Some(path) = raw.trim().strip_prefix("//@ file:") {
+            files.push((path.trim().to_string(), String::new()));
+        } else {
+            let Some((_, body)) = files.last_mut() else {
+                assert!(raw.trim().is_empty(), "content before first //@ file: marker: {raw:?}");
+                continue;
+            };
+            body.push_str(raw);
+            body.push('\n');
+        }
+    }
+    assert!(!files.is_empty(), "fixture declares no //@ file: sections");
+    (expected, files)
+}
+
+#[test]
+fn every_fixture_matches_its_expected_diagnostics_exactly() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut names: Vec<_> = std::fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    names.sort();
+    assert!(names.len() >= 10, "expected the full fixture corpus, found {}", names.len());
+
+    let mut rules_covered: BTreeSet<String> = BTreeSet::new();
+    for path in names {
+        let text = std::fs::read_to_string(&path).expect("fixture readable");
+        let (expected, files) = parse_fixture(&text);
+        let analysis = Analysis {
+            files: files
+                .iter()
+                .map(|(p, src)| SourceFile::parse(p, src))
+                .collect(),
+        };
+        let actual: BTreeSet<(String, String, u32)> = run_rules(&analysis)
+            .into_iter()
+            .map(|d| (d.rule.to_string(), d.file, d.line))
+            .collect();
+        assert_eq!(
+            actual,
+            expected,
+            "fixture {} diverged\n  missing: {:?}\n  surplus: {:?}",
+            path.display(),
+            expected.difference(&actual).collect::<Vec<_>>(),
+            actual.difference(&expected).collect::<Vec<_>>(),
+        );
+        rules_covered.extend(expected.into_iter().map(|(r, _, _)| r));
+    }
+
+    // The corpus exercises every registered rule.
+    for rule in crowdnet_lint::rules::ALL {
+        assert!(
+            rules_covered.contains(rule.id),
+            "no fixture covers rule `{}`",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn fixture_files_on_disk_do_not_leak_into_the_real_gate() {
+    // The fixtures live under a tests/ tree, which every rule (and the
+    // counter registry scan) must treat as exempt — otherwise the corpus
+    // itself would trip the workspace gate.
+    let root = crowdnet_lint::workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let analysis = crowdnet_lint::analyze_workspace(&root).expect("workspace lexes");
+    for d in run_rules(&analysis) {
+        assert!(
+            !d.file.contains("tests/fixtures/"),
+            "fixture leaked into the gate: {d}"
+        );
+    }
+}

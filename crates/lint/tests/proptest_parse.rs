@@ -1,0 +1,85 @@
+//! Property tests for the item-level parser and the analyses stacked on
+//! it: parsing is total — any input, valid Rust or token soup, parses
+//! without panicking and terminates — and the symbol table / call graph /
+//! rule pipeline built on the result never panics either.
+
+use crowdnet_lint::callgraph::CallGraph;
+use crowdnet_lint::parse::parse_file;
+use crowdnet_lint::source::SourceFile;
+use crowdnet_lint::symbols::SymbolTable;
+use crowdnet_lint::{run_rules, Analysis};
+use proptest::prelude::*;
+
+/// Fragments biased toward the parser's tricky corners: nested items,
+/// generics, attributes, half-finished declarations and stray braces.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("fn f(x: u32) -> u32 { x }".to_string()),
+        Just("fn f(".to_string()),
+        Just("fn f() -> [u8; 2] { [0, 0] }".to_string()),
+        Just("impl Foo { fn m(&self) { self.x.lock(); } }".to_string()),
+        Just("impl Trait for Foo {".to_string()),
+        Just("struct S { a: Arc<dyn Vfs>, b: Vec<u8> }".to_string()),
+        Just("use crate::helper;".to_string()),
+        Just("use a::{b, c::{d, e}};".to_string()),
+        Just("let x = v[i];".to_string()),
+        Just("panic!(\"boom {x}\")".to_string()),
+        Just("t.counter(\"a.b.c\");".to_string()),
+        Just("t.counter(&format!(\"a.{x}.c\"));".to_string()),
+        Just("}}}".to_string()),
+        Just("{{{".to_string()),
+        Just("fn g<T: Iterator<Item = u8>>() where T: Sized {}".to_string()),
+        Just("#[cfg(test)] mod tests { fn t() {} }".to_string()),
+        Just("match x { Some(_) => {} None => {} }".to_string()),
+        Just(";;;".to_string()),
+        "[a-zA-Z_][a-zA-Z_0-9]{0,8}",
+        "\\PC{0,16}",
+    ]
+}
+
+proptest! {
+    /// Arbitrary printable text never panics the parser, and recovered
+    /// function bodies stay inside the token stream.
+    #[test]
+    fn parsing_arbitrary_text_never_panics(src in "\\PC*") {
+        let f = SourceFile::parse("crates/x/src/lib.rs", &src);
+        let parsed = parse_file(&f.tokens);
+        for func in &parsed.fns {
+            prop_assert!(func.body.start <= func.body.end);
+            prop_assert!(func.body.end <= f.tokens.len());
+        }
+    }
+
+    /// Token-soup concatenations of tricky fragments parse without
+    /// panicking, and the whole analysis pipeline (symbols, call graph,
+    /// every rule) survives on top of whatever came out.
+    #[test]
+    fn full_pipeline_is_total_on_fragment_soup(parts in proptest::collection::vec(fragment(), 0..10)) {
+        let src = parts.join("\n");
+        let a = Analysis {
+            files: vec![
+                SourceFile::parse("crates/serve/src/service.rs", &src),
+                SourceFile::parse("crates/store/src/disk.rs", &src),
+            ],
+        };
+        let t = SymbolTable::build(&a);
+        let g = CallGraph::build(&a, &t);
+        prop_assert_eq!(g.callees.len(), t.fns.len());
+        let _ = g.reachable(&(0..t.fns.len()).collect::<Vec<_>>());
+        let _ = run_rules(&a);
+    }
+
+    /// Parsing is deterministic.
+    #[test]
+    fn parsing_is_deterministic(src in "\\PC{0,80}") {
+        let f = SourceFile::parse("crates/x/src/lib.rs", &src);
+        let a = parse_file(&f.tokens);
+        let b = parse_file(&f.tokens);
+        prop_assert_eq!(a.fns.len(), b.fns.len());
+        prop_assert_eq!(a.uses.len(), b.uses.len());
+        for (x, y) in a.fns.iter().zip(&b.fns) {
+            prop_assert_eq!(&x.name, &y.name);
+            prop_assert_eq!(x.events.len(), y.events.len());
+        }
+    }
+}

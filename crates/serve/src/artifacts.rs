@@ -302,7 +302,9 @@ impl Artifacts {
     /// The community at `id`, as `(summary, members as AngelList ids)`.
     pub fn community(&self, id: usize) -> Option<(&CommunitySummary, Vec<u32>)> {
         let summary = self.communities.get(id)?;
-        let members = self.cover[id]
+        let members = self
+            .cover
+            .get(id)?
             .members
             .iter()
             .map(|&m| self.filtered.investor_id(m))

@@ -85,15 +85,23 @@ impl Shard {
         }
     }
 
+    fn slot(&self, idx: usize) -> Option<&Entry> {
+        self.slab.get(idx).and_then(Option::as_ref)
+    }
+
+    fn slot_mut(&mut self, idx: usize) -> Option<&mut Entry> {
+        self.slab.get_mut(idx).and_then(Option::as_mut)
+    }
+
     fn unlink(&mut self, idx: usize) {
-        let (prev, next) = match &self.slab[idx] {
+        let (prev, next) = match self.slot(idx) {
             Some(e) => (e.prev, e.next),
             None => return,
         };
         match prev {
             NIL => self.head = next,
             p => {
-                if let Some(e) = self.slab[p].as_mut() {
+                if let Some(e) = self.slot_mut(p) {
                     e.next = next;
                 }
             }
@@ -101,7 +109,7 @@ impl Shard {
         match next {
             NIL => self.tail = prev,
             n => {
-                if let Some(e) = self.slab[n].as_mut() {
+                if let Some(e) = self.slot_mut(n) {
                     e.prev = prev;
                 }
             }
@@ -110,12 +118,12 @@ impl Shard {
 
     fn push_front(&mut self, idx: usize) {
         let old_head = self.head;
-        if let Some(e) = self.slab[idx].as_mut() {
+        if let Some(e) = self.slot_mut(idx) {
             e.prev = NIL;
             e.next = old_head;
         }
         if old_head != NIL {
-            if let Some(e) = self.slab[old_head].as_mut() {
+            if let Some(e) = self.slot_mut(old_head) {
                 e.prev = idx;
             }
         }
@@ -127,7 +135,7 @@ impl Shard {
 
     fn remove(&mut self, idx: usize) -> Option<Entry> {
         self.unlink(idx);
-        let entry = self.slab[idx].take()?;
+        let entry = self.slab.get_mut(idx)?.take()?;
         self.map.remove(&entry.key);
         self.bytes -= entry.cost;
         self.free.push(idx);
@@ -136,9 +144,12 @@ impl Shard {
 
     fn insert(&mut self, entry: Entry) {
         self.bytes += entry.cost;
-        let idx = match self.free.pop() {
+        let key = entry.key.clone();
+        let idx = match self.free.pop().filter(|&i| i < self.slab.len()) {
             Some(i) => {
-                self.slab[i] = Some(entry);
+                if let Some(slot) = self.slab.get_mut(i) {
+                    *slot = Some(entry);
+                }
                 i
             }
             None => {
@@ -146,9 +157,7 @@ impl Shard {
                 self.slab.len() - 1
             }
         };
-        if let Some(e) = self.slab[idx].as_ref() {
-            self.map.insert(e.key.clone(), idx);
-        }
+        self.map.insert(key, idx);
         self.push_front(idx);
     }
 
@@ -202,7 +211,7 @@ impl ResultCache {
     /// Look up `key` computed at store-content `version`. An entry stamped
     /// with a different version counts as a miss and is dropped on sight.
     pub fn get(&self, key: &str, version: u64) -> Option<Response> {
-        let mut shard = self.shards[self.shard_of(key)].lock();
+        let mut shard = self.shards.get(self.shard_of(key))?.lock();
         let idx = match shard.map.get(key) {
             Some(&i) => i,
             None => {
@@ -210,7 +219,7 @@ impl ResultCache {
                 return None;
             }
         };
-        let entry_version = shard.slab[idx].as_ref().map(|e| e.version);
+        let entry_version = shard.slot(idx).map(|e| e.version);
         if entry_version != Some(version) {
             shard.remove(idx);
             self.misses.inc();
@@ -218,7 +227,7 @@ impl ResultCache {
         }
         shard.unlink(idx);
         shard.push_front(idx);
-        let value = shard.slab[idx].as_ref().map(|e| e.value.clone());
+        let value = shard.slot(idx).map(|e| e.value.clone());
         drop(shard);
         self.hits.inc();
         value
@@ -229,8 +238,10 @@ impl ResultCache {
     /// would evict everything and then be evicted themselves).
     pub fn put(&self, key: &str, version: u64, value: Response) {
         let cost = key.len() + value.body.len() + ENTRY_OVERHEAD;
-        let shard_idx = self.shard_of(key);
-        let mut shard = self.shards[shard_idx].lock();
+        let Some(slot) = self.shards.get(self.shard_of(key)) else {
+            return;
+        };
+        let mut shard = slot.lock();
         if cost > shard.capacity {
             return;
         }
@@ -256,8 +267,8 @@ impl ResultCache {
     pub fn stats(&self) -> CacheStats {
         let mut entries = 0;
         let mut bytes = 0;
-        for i in 0..self.shards.len() {
-            let shard = self.shards[i].lock();
+        for slot in &self.shards {
+            let shard = slot.lock();
             entries += shard.map.len();
             bytes += shard.bytes;
         }

@@ -116,6 +116,7 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, depth: &AtomicUsize) {
         // job — other workers must be able to pull concurrently-queued work.
         let job = {
             let guard = rx.lock();
+            // lint:allow(lock-order-global): the guard exists to serialise recv across workers; senders never take this lock, so no cycle
             guard.recv()
         };
         match job {

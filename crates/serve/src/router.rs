@@ -162,7 +162,7 @@ fn portfolio(service: &Service, id: u32) -> Result<Value, ServeError> {
     Ok(obj! {
         "id" => u64::from(id),
         "degree" => companies.len(),
-        "pagerank" => artifacts.pagerank[idx as usize],
+        "pagerank" => artifacts.pagerank.get(idx as usize).copied().unwrap_or(0.0),
         "companies" => id_array(
             companies.iter().map(|&c| artifacts.graph.company_id(c)),
         ),
@@ -201,20 +201,20 @@ fn company_investors(service: &Service, id: u32) -> Result<Value, ServeError> {
     })
 }
 
-fn community_summary(artifacts: &crate::artifacts::Artifacts, id: usize) -> Value {
-    let s = &artifacts.communities[id];
-    obj! {
+fn community_summary(artifacts: &crate::artifacts::Artifacts, id: usize) -> Option<Value> {
+    let s = artifacts.communities.get(id)?;
+    Some(obj! {
         "id" => s.id,
         "size" => s.size,
         "avg_shared_investment" => opt_f64(s.avg_shared_investment),
         "shared_investor_pct" => opt_f64(s.shared_investor_pct),
-    }
+    })
 }
 
 fn communities(service: &Service) -> Result<Value, ServeError> {
     let artifacts = service.artifacts()?;
     let list = (0..artifacts.communities.len())
-        .map(|i| community_summary(&artifacts, i))
+        .filter_map(|i| community_summary(&artifacts, i))
         .collect();
     Ok(obj! {
         "count" => artifacts.communities.len(),
@@ -231,7 +231,8 @@ fn community(service: &Service, raw_id: &str) -> Result<Value, ServeError> {
     let (_, members) = artifacts
         .community(id)
         .ok_or_else(|| ServeError::NotFound(format!("community {id}")))?;
-    let mut summary = community_summary(&artifacts, id);
+    let mut summary = community_summary(&artifacts, id)
+        .ok_or_else(|| ServeError::NotFound(format!("community {id}")))?;
     if let Some(o) = summary.as_obj_mut() {
         o.insert("members", id_array(members));
     }

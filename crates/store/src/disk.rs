@@ -373,6 +373,7 @@ impl DiskBackend {
                     // our commit protocol: quarantine rather than trust or
                     // delete it.
                     self.vfs.rename(&entry_path, &ns_dir.join(format!("quarantine-{entry}")))?;
+                    self.vfs.sync_dir(&ns_dir)?;
                     stats.uncommitted_snapshots += 1;
                     continue;
                 }

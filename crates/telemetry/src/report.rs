@@ -27,6 +27,72 @@ pub const MANDATORY_COUNTERS: &[&str] = &[
     "store.append.bytes",
 ];
 
+/// Every metric name the workspace registers or reads, beyond
+/// [`MANDATORY_COUNTERS`]. The registry hands out counters on first use, so
+/// a typo'd name silently reads zero forever — `crowdnet-lint`'s
+/// `counter-contract` rule checks every `.counter("…")` / `.gauge("…")` /
+/// `.histogram("…")` literal in the workspace against this list (`*`
+/// matches one dotted segment, covering names built with `format!`).
+/// Add new metrics here when introducing them.
+pub const DECLARED_METRICS: &[&str] = &[
+    "coda.iterations",
+    "crawl.*.fail_permanent",
+    "crawl.*.retry_ratelimit",
+    "crawl.*.retry_transient",
+    "crawl.*.wait_ms",
+    "crawl.augment.ambiguous",
+    "crawl.augment.by_search",
+    "crawl.augment.direct",
+    "crawl.augment.not_found",
+    "crawl.bfs.depth",
+    "crawl.bfs.frontier",
+    "crawl.bfs.skipped",
+    "crawl.facebook.pages",
+    "crawl.resume.runs",
+    "crawl.resume.skipped",
+    "crawl.resume.stages_skipped",
+    "crawl.syndicates.docs",
+    "crawl.twitter.attempts",
+    "crawl.twitter.bad_url",
+    "crawl.twitter.profiles",
+    "dataflow.queue_depth",
+    "dataflow.task_rows",
+    "dataflow.tasks",
+    "ingest.apply_ms.entities",
+    "ingest.apply_ms.graph",
+    "ingest.apply_ms.stats",
+    "ingest.catchup.scans",
+    "ingest.docs",
+    "ingest.edges",
+    "ingest.epoch.version",
+    "ingest.epochs",
+    "ingest.events",
+    "ingest.feed.dropped",
+    "ingest.feed.lag",
+    "ingest.pagerank.pushes",
+    "ingest.pagerank.recomputes",
+    "ingest.publish_ms",
+    "ingest.recoveries",
+    "sbm.restarts",
+    "serve.cache.evict",
+    "serve.cache.hit",
+    "serve.cache.miss",
+    "serve.deadline_exceeded",
+    "serve.latency_ms",
+    "serve.queue_depth",
+    "serve.requests",
+    "serve.shed",
+    "store.recovery.quarantined",
+    "store.recovery.records_ok",
+    "store.recovery.scans",
+    "store.recovery.torn_bytes",
+    "store.recovery.torn_tails",
+    "store.recovery.uncommitted_snapshots",
+    "store.recovery.writer_invalidations",
+    "store.scan.calls",
+    "store.scan.docs",
+];
+
 /// Serialize `telemetry` into the run-report [`Value`].
 pub fn build(telemetry: &Telemetry) -> Value {
     let registry = telemetry.registry();

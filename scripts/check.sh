@@ -9,8 +9,19 @@ cargo build --release --offline
 echo "==> cargo test -q --workspace"
 cargo test -q --offline --workspace
 
-echo "==> crowdnet-lint --workspace"
+echo "==> crowdnet-lint --workspace (gate + JSON report -> results/lint-report.json)"
+# Exit 1 covers both new violations and stale baseline entries (hardened
+# ratchet). The machine-readable report lands next to the other artifacts;
+# its round-trip through crowdnet-json is asserted by crates/lint/tests/cli.rs.
+mkdir -p results
+cargo run -q --offline -p crowdnet-lint -- --workspace --format json > results/lint-report.json
+grep -q '"version": 1' results/lint-report.json
+# Human-readable summary (also re-checks the gate, incl. suppressions).
 cargo run -q --offline -p crowdnet-lint -- --workspace
+# The golden-fixture corpus must match each rule's expected diagnostics
+# exactly (already part of `cargo test --workspace`; re-run standalone so
+# a fixture regression is named here rather than buried in the test sweep).
+cargo test -q --offline -p crowdnet-lint --test golden >/dev/null
 
 echo "==> telemetry smoke (tiny pipeline -> report parses, mandatory counters present)"
 smoke_dir="$(mktemp -d)"

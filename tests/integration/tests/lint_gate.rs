@@ -61,10 +61,38 @@ fn rule_ids_are_unique_and_stable() {
     for expected in [
         "no-unwrap-in-lib",
         "no-wallclock",
-        "lock-ordering",
+        "lock-order-global",
+        "panic-on-request-path",
         "unbounded-channel",
         "error-impl",
+        "vfs-only-io",
+        "vfs-protocol",
+        "counter-contract",
     ] {
         assert!(ids.contains(&expected), "rule `{expected}` missing");
     }
+    for rule in rules::ALL {
+        assert!(!rule.explain.trim().is_empty(), "rule `{}` lacks --explain text", rule.id);
+    }
+}
+
+#[test]
+fn serve_request_path_is_panic_free_with_no_baseline_entries() {
+    // Acceptance criterion for the flow-aware lint: panic-on-request-path
+    // holds across crates/serve with nothing grandfathered in.
+    let root =
+        workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let text = std::fs::read_to_string(root.join("lint-baseline.toml")).unwrap_or_default();
+    assert!(
+        !text.contains("panic-on-request-path"),
+        "panic-on-request-path must stay baseline-free"
+    );
+    let analysis = analyze_workspace(&root).expect("workspace lexes");
+    let diags = run_rules(&analysis);
+    let hits: Vec<String> = diags
+        .iter()
+        .filter(|d| d.rule == "panic-on-request-path")
+        .map(|d| d.to_string())
+        .collect();
+    assert!(hits.is_empty(), "panic sites on the request path:\n{}", hits.join("\n"));
 }

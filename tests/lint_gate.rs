@@ -25,4 +25,12 @@ fn workspace_is_clean_against_the_lint_baseline() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+    // Stale entries fail here too: the baseline is a ratchet, and a file
+    // that got cleaner than its allowance must have the entry deleted.
+    assert!(
+        report.stale.is_empty(),
+        "stale baseline entries (regenerate with `cargo run -p crowdnet-lint -- \
+         --workspace --write-baseline`):\n{:?}",
+        report.stale
+    );
 }
