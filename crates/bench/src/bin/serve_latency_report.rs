@@ -177,10 +177,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "cache: miss mean {miss_mean:.0}us vs hit mean {hit_mean:.0}us ({hits} hits / {misses} misses) — hit faster: {hit_faster}"
     );
 
+    // The sweep recorded before the result cache's hot path moved off the
+    // shared per-shard mutex (hits now take a read lock; CLOCK eviction
+    // defers the write lock to misses): throughput *dropped* as workers
+    // were added because every cache hit serialised on one lock. Pinned
+    // here so the live sweep above reads as the delta.
+    let before_cache_fix = obj! {
+        "worker_sweep_rps" => Value::Arr(vec![
+            obj! { "workers" => 1u64, "throughput_rps" => 70245.3 },
+            obj! { "workers" => 2u64, "throughput_rps" => 51779.3 },
+            obj! { "workers" => 4u64, "throughput_rps" => 50167.9 },
+            obj! { "workers" => 8u64, "throughput_rps" => 54694.4 },
+        ]),
+        "cache" => obj! { "miss_mean_us" => 3548.4, "hit_mean_us" => 0.29 },
+    };
+
     let report = obj! {
         "bench" => "serve_latency",
         "world" => obj! { "seed" => SEED, "scale" => "tiny" },
         "requests_per_client" => REQUESTS_PER_CLIENT as u64,
+        "before_cache_fix" => before_cache_fix,
         "worker_sweep" => Value::Arr(worker_rows),
         "cache" => obj! {
             "probes" => CACHE_PROBES as u64,

@@ -1,0 +1,302 @@
+//! `shard-scatter-report` — machine-readable sharded-serving numbers,
+//! written as `BENCH_shard_scatter.json` for tracking across commits:
+//!
+//! - **Scatter sweep** (1/2/4 shards, 4 front-end workers): closed-loop
+//!   wall throughput and latency quantiles for cache-busted `/sql` scans,
+//!   each of which drains `scan_partitions` on every shard through that
+//!   shard's executor thread.
+//! - **Scan scaling** (the gated signal): per-shard scan *service time*,
+//!   measured by timing the scan job alone on each shard's executor.
+//!   Partitioning splits the corpus, so the critical-path shard scan must
+//!   shrink monotonically 1 → 2 → 4 shards, and the derived saturation
+//!   throughput of the scatter tier (`1 / max_shard_scan_time` — the rate
+//!   at which the slowest shard's executor saturates) must rise
+//!   monotonically. Unlike wall throughput, this holds on any host: the
+//!   report records `host_cores` because closed-loop wall numbers are
+//!   capped by the core count (a 1-core CI box cannot show parallel
+//!   speedup no matter how the work is partitioned).
+//! - **Degraded mode**: kill one of three shards; every response must stay
+//!   below 500 and carry the `"partial": true` flag, and `recover()` must
+//!   restore full answers.
+//!
+//! ```sh
+//! cargo run --release -p crowdnet-bench --bin shard-scatter-report [-- OUT.json]
+//! ```
+
+use crowdnet_core::pipeline::{Pipeline, PipelineConfig};
+use crowdnet_json::{obj, Value};
+use crowdnet_serve::{Request, Server, ServerConfig};
+use crowdnet_shard::{Router, RouterConfig, ShardSet};
+use crowdnet_socialsim::Clock;
+use crowdnet_store::{SnapshotId, Store};
+use crowdnet_telemetry::Telemetry;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+/// Front-end worker threads (and closed-loop clients) for every sweep row.
+const WORKERS: usize = 4;
+/// Requests each closed-loop client issues during the timed window.
+const REQUESTS_PER_CLIENT: usize = 120;
+/// Timed repetitions of the per-shard scan service-time probe.
+const SCAN_REPS: usize = 20;
+/// Namespace the `/sql` workload (and the scan probe) drains.
+const SCAN_NS: &str = "angellist/users";
+/// Requests issued against the degraded (one shard down) deployment.
+const DEGRADED_REQUESTS: usize = 60;
+
+fn wall_telemetry() -> Telemetry {
+    let telemetry = Telemetry::new();
+    let wall = crowdnet_socialsim::clock::SystemClock;
+    telemetry.bind_clock(Arc::new(move || wall.now_ms()));
+    telemetry
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// A cache-busted `/sql` target: the nonce makes every request a distinct
+/// cache key, so each one pays the full scatter-scan-merge path.
+fn sql_target(nonce: &str) -> String {
+    format!("/sql?ns=angellist%2Fusers&q=SELECT+COUNT(*)+AS+n+FROM+docs&nonce={nonce}")
+}
+
+/// Build a sharded deployment over `store`: `shards` in-memory shards
+/// loaded via `import_store`, fronted by a scatter-gather router behind
+/// the bounded worker pool.
+fn deploy(
+    store: &Store,
+    shards: usize,
+    telemetry: &Telemetry,
+) -> Result<(Arc<ShardSet>, Arc<Server>), Box<dyn std::error::Error>> {
+    let set = ShardSet::memory(shards, store.partitions(), telemetry)?;
+    set.import_store(store)?;
+    let set = Arc::new(set);
+    let router = Router::new(
+        Arc::clone(&set),
+        RouterConfig::default(),
+        telemetry.clone(),
+    );
+    let server = Arc::new(Server::with_handler(
+        Arc::new(router),
+        telemetry.clone(),
+        ServerConfig {
+            workers: WORKERS,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+    ));
+    Ok((set, server))
+}
+
+/// Mean service time of the `/sql` scan on each shard's executor, measured
+/// one job at a time (no queueing, no concurrency) so the number is the
+/// work a single scatter leg performs — the quantity partitioning divides.
+fn shard_scan_us(set: &ShardSet) -> Result<Vec<f64>, Box<dyn std::error::Error>> {
+    let mut per_shard = Vec::with_capacity(set.len());
+    for shard in set.shards() {
+        let mut total_us = 0u64;
+        for _ in 0..SCAN_REPS {
+            let store = Arc::clone(shard.store());
+            let (tx, rx) = mpsc::sync_channel::<Result<u64, String>>(1);
+            let job = Box::new(move || {
+                let t0 = Instant::now();
+                let timed = store
+                    .scan_partitions(SCAN_NS, SnapshotId(0))
+                    .map(|parts| {
+                        std::hint::black_box(&parts);
+                        t0.elapsed().as_micros() as u64
+                    })
+                    .map_err(|e| e.to_string());
+                let _ = tx.send(timed);
+            });
+            if let Err(job) = shard.submit(job) {
+                job();
+            }
+            total_us += rx.recv()??;
+        }
+        per_shard.push(total_us as f64 / SCAN_REPS as f64);
+    }
+    Ok(per_shard)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_shard_scatter.json".into());
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let outcome = Pipeline::new(PipelineConfig::tiny(SEED)).run()?;
+    let store = outcome.store;
+
+    // Closed-loop scatter sweep + per-shard scan probe at 1/2/4 shards.
+    let mut sweep_rows: Vec<Value> = Vec::new();
+    let mut critical_paths: Vec<f64> = Vec::new();
+    let mut saturation: Vec<f64> = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let telemetry = wall_telemetry();
+        let (set, server) = deploy(&store, shards, &telemetry)?;
+        // Warm-up builds the version-stamped global artifacts once.
+        let warm = server.call(Request::get("/stats"));
+        assert_eq!(warm.status, 200, "warm-up request failed");
+
+        let samples = Mutex::new(Vec::<u64>::new());
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for client in 0..WORKERS {
+                let server = &server;
+                let samples = &samples;
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                    for i in 0..REQUESTS_PER_CLIENT {
+                        let target = sql_target(&format!("{client}-{i}"));
+                        let t0 = Instant::now();
+                        let response = server.call(Request::get(&target));
+                        local.push(t0.elapsed().as_micros() as u64);
+                        assert_eq!(response.status, 200, "GET {target}");
+                    }
+                    samples
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .extend(local);
+                });
+            }
+        });
+        let elapsed = started.elapsed();
+
+        // Per-shard scan service time (the gated scaling signal) on the
+        // now-idle executors.
+        let scan_us = shard_scan_us(&set)?;
+        let critical_us = scan_us.iter().cloned().fold(0.0f64, f64::max);
+        let saturation_rps = 1e6 / critical_us;
+        critical_paths.push(critical_us);
+        saturation.push(saturation_rps);
+        server.shutdown();
+
+        let mut us = samples
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        us.sort_unstable();
+        let total = us.len() as u64;
+        let throughput = total as f64 / elapsed.as_secs_f64();
+        let fanouts = telemetry.counter("shard.router.fanouts").value();
+        let skips = telemetry.counter("shard.router.deadline_skips").value();
+        eprintln!(
+            "shards={shards}: {total} reqs in {:.2}s ({throughput:.0} req/s wall), \
+             p50 {}us p99 {}us, shard scan {} -> critical path {critical_us:.0}us \
+             ({saturation_rps:.0} req/s saturation), fanouts {fanouts}",
+            elapsed.as_secs_f64(),
+            quantile(&us, 0.5),
+            quantile(&us, 0.99),
+            scan_us
+                .iter()
+                .map(|v| format!("{v:.0}us"))
+                .collect::<Vec<_>>()
+                .join("/"),
+        );
+        sweep_rows.push(obj! {
+            "shards" => shards as u64,
+            "workers" => WORKERS as u64,
+            "requests" => total,
+            "elapsed_ms" => elapsed.as_millis() as u64,
+            "wall_throughput_rps" => throughput,
+            "p50_us" => quantile(&us, 0.5),
+            "p90_us" => quantile(&us, 0.9),
+            "p99_us" => quantile(&us, 0.99),
+            "shard_scan_us" => Value::Arr(scan_us.iter().map(|&v| Value::from(v)).collect()),
+            "scan_critical_path_us" => critical_us,
+            "saturation_throughput_rps" => saturation_rps,
+            "fanouts" => fanouts,
+            "deadline_skips" => skips,
+        });
+    }
+    let scan_monotonic = critical_paths.windows(2).all(|w| w[1] < w[0]);
+    let saturation_monotonic = saturation.windows(2).all(|w| w[1] > w[0]);
+
+    // Degraded mode: three shards, one killed mid-deployment. Every
+    // response must stay below 500 — reads over the surviving shards are
+    // answered and flagged partial, never failed.
+    let telemetry = wall_telemetry();
+    let (set, server) = deploy(&store, 3, &telemetry)?;
+    let warm = server.call(Request::get("/stats"));
+    assert_eq!(warm.status, 200, "degraded warm-up failed");
+    set.kill(1)?;
+    let probe_targets = {
+        let router = Router::new(
+            Arc::clone(&set),
+            RouterConfig::default(),
+            telemetry.clone(),
+        );
+        router.example_targets()?
+    };
+    let mut max_status = 0u16;
+    let mut partial_bodies = 0u64;
+    for i in 0..DEGRADED_REQUESTS {
+        let target = if i % 3 == 0 {
+            sql_target(&format!("degraded-{i}"))
+        } else {
+            probe_targets[i % probe_targets.len()].clone()
+        };
+        let response = server.call(Request::get(&target));
+        max_status = max_status.max(response.status);
+        if String::from_utf8_lossy(&response.body).contains("\"partial\":true") {
+            partial_bodies += 1;
+        }
+    }
+    let partial_counter = telemetry.counter("shard.router.partial").value();
+    // Recovery restores full answers: the partial flag disappears.
+    set.recover()?;
+    let healed = server.call(Request::get("/stats"));
+    let healed_partial =
+        String::from_utf8_lossy(&healed.body).contains("\"partial\":true");
+    server.shutdown();
+    eprintln!(
+        "degraded: {DEGRADED_REQUESTS} reqs with shard 1 down, max status {max_status}, \
+         {partial_bodies} partial bodies ({partial_counter} counted), healed partial: {healed_partial}"
+    );
+
+    let report = obj! {
+        "bench" => "shard_scatter",
+        "world" => obj! { "seed" => SEED, "scale" => "tiny" },
+        "host_cores" => host_cores as u64,
+        "requests_per_client" => REQUESTS_PER_CLIENT as u64,
+        "scan_reps" => SCAN_REPS as u64,
+        "scatter_sweep" => Value::Arr(sweep_rows),
+        "monotonic_scan_critical_path_1_to_4_shards" => scan_monotonic,
+        "monotonic_saturation_throughput_1_to_4_shards" => saturation_monotonic,
+        "degraded" => obj! {
+            "shards" => 3u64,
+            "killed_shard" => 1u64,
+            "requests" => DEGRADED_REQUESTS as u64,
+            "max_status" => max_status as u64,
+            "zero_5xx" => max_status < 500,
+            "partial_bodies" => partial_bodies,
+            "partial_counter" => partial_counter,
+            "healed_after_recover" => !healed_partial && healed.status == 200,
+        },
+    };
+    if !scan_monotonic || !saturation_monotonic {
+        return Err(format!(
+            "scatter tier did not scale: critical-path scan {critical_paths:?}us, \
+             saturation {saturation:?} req/s across 1/2/4 shards"
+        )
+        .into());
+    }
+    if max_status >= 500 {
+        return Err(format!("degraded deployment returned a {max_status}").into());
+    }
+    if partial_bodies == 0 {
+        return Err("degraded deployment never flagged a partial response".into());
+    }
+    if healed_partial || healed.status != 200 {
+        return Err("recover() did not restore full (non-partial) answers".into());
+    }
+    std::fs::write(&out, report.to_pretty() + "\n")?;
+    println!("wrote {out}");
+    Ok(())
+}

@@ -43,12 +43,15 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--seed N] [--scale tiny|small|eval|paper|1/K] [--out DIR] [--telemetry PATH] [--port N] [--smoke] [-v|--verbose] [EXPERIMENT...]\n\
+        "usage: repro [--seed N] [--scale tiny|small|eval|paper|1/K] [--out DIR] [--telemetry PATH] [--port N] [--shards N] [--smoke] [-v|--verbose] [EXPERIMENT...]\n\
          experiments: dataset-stats fig3 fig6 fig8 investor-graph communities fig4 fig5 fig7 causality dynamic predict correlations store-stats telemetry-report serve ingest crawl all\n\
          crawl flags: [--store DIR] [--resume] [--fresh] [--fail-at-op N] [--fault-seed S]\n\
            repro crawl writes a durable on-disk store; --resume continues an\n\
            interrupted crawl from its last checkpoint, --fail-at-op simulates\n\
-           a crash at the Nth file operation (exit code 3)"
+           a crash at the Nth file operation (exit code 3)\n\
+         serve flags: [--shards N] routes requests through a hash-partitioned\n\
+           N-shard set and the scatter-gather router instead of the single\n\
+           unsharded service (0 = unsharded, the default)"
     );
     std::process::exit(2);
 }
@@ -59,6 +62,7 @@ struct Args {
     out: PathBuf,
     telemetry: Option<PathBuf>,
     port: u16,
+    shards: usize,
     smoke: bool,
     verbose: u8,
     store: PathBuf,
@@ -76,6 +80,7 @@ fn parse_args() -> Args {
         out: PathBuf::from("results"),
         telemetry: None,
         port: 0,
+        shards: 0,
         smoke: false,
         verbose: 0,
         store: PathBuf::from("out/store"),
@@ -95,6 +100,9 @@ fn parse_args() -> Args {
                 args.telemetry = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
             }
             "--port" => args.port = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--shards" => {
+                args.shards = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--smoke" => args.smoke = true,
             "--store" => args.store = PathBuf::from(it.next().unwrap_or_else(|| usage())),
             "--resume" => args.resume = true,
@@ -448,20 +456,61 @@ fn run_experiment(
 
 /// Stand up the query-serving layer over the crawled store. `--smoke`
 /// exercises every example endpoint in-process and returns; otherwise the
-/// loopback TCP front end runs until Enter is pressed.
+/// loopback TCP front end runs until Enter is pressed. With `--shards N`
+/// the corpus is imported into an N-shard set and served through the
+/// scatter-gather router instead of the single unsharded service.
 fn serve_store(
     store: Arc<crowdnet_store::Store>,
     telemetry: crowdnet_telemetry::Telemetry,
     args: &Args,
 ) -> Result<(), Box<dyn std::error::Error>> {
     use crowdnet_serve::{bind, Request, Server, ServerConfig, Service, ServiceConfig};
+    use crowdnet_shard::{Router, RouterConfig, ShardSet};
     header("Serving layer (crowdnet-serve)");
-    let service = Arc::new(Service::new(store, ServiceConfig::default(), telemetry));
-    let server = Arc::new(Server::new(Arc::clone(&service), ServerConfig::default()));
+    let (server, targets) = if args.shards > 0 {
+        println!(
+            "sharded serving: importing the corpus into {} hash-partitioned shard(s)",
+            args.shards
+        );
+        let set = Arc::new(ShardSet::memory(
+            args.shards,
+            store.partitions(),
+            &telemetry,
+        )?);
+        set.import_store(&store)?;
+        let router = Arc::new(Router::new(
+            Arc::clone(&set),
+            RouterConfig::default(),
+            telemetry.clone(),
+        ));
+        let targets = router.example_targets()?;
+        let server = Arc::new(Server::with_handler(
+            router,
+            telemetry.clone(),
+            ServerConfig::default(),
+        ));
+        (server, targets)
+    } else {
+        let service = Arc::new(Service::new(store, ServiceConfig::default(), telemetry.clone()));
+        let targets = service.example_targets()?;
+        let server = Arc::new(Server::new(Arc::clone(&service), ServerConfig::default()));
+        (server, targets)
+    };
     if args.smoke {
-        for target in service.example_targets()? {
+        for target in targets {
             let response = server.call(Request::get(&target));
             println!("  {:>3} GET {target}", response.status);
+        }
+        if args.shards > 0 {
+            println!(
+                "shard counters: shard.set.opened={} shard.set.puts={} shard.router.requests={} \
+                 shard.router.fanouts={} shard.router.single_shard={}",
+                telemetry.counter("shard.set.opened").value(),
+                telemetry.counter("shard.set.puts").value(),
+                telemetry.counter("shard.router.requests").value(),
+                telemetry.counter("shard.router.fanouts").value(),
+                telemetry.counter("shard.router.single_shard").value(),
+            );
         }
         server.shutdown();
         return Ok(());

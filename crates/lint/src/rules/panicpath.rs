@@ -1,19 +1,20 @@
 //! `panic-on-request-path`: no panic site may be transitively reachable
 //! from the serve front end.
 //!
-//! Roots are every method of `impl Service` in `crates/serve` plus
-//! `Server::call` — the functions a client request enters through. From
-//! those roots the workspace call graph is swept, and inside every
-//! reachable function (any crate) the rule flags:
+//! Roots are every method of `impl Service` in `crates/serve`,
+//! `Server::call`, and every method of `impl Router` in `crates/shard` —
+//! the functions a client request enters through. From those roots the
+//! workspace call graph is swept, and inside every reachable function
+//! (any crate) the rule flags:
 //!
 //! * `.unwrap()` / `.expect(…)` calls,
 //! * `panic!` / `todo!` / `unimplemented!` invocations (`unreachable!`
 //!   is allowed: it documents an invariant, and rewriting it as an error
 //!   return would hide logic bugs), and
-//! * direct index expressions `expr[…]` — but only in `crates/serve`
-//!   itself: the graph/dataflow numeric kernels index dense arrays by
-//!   construction, while the handler layer must use checked access on
-//!   client-controlled ids.
+//! * direct index expressions `expr[…]` — but only in `crates/serve` and
+//!   `crates/shard` themselves: the graph/dataflow numeric kernels index
+//!   dense arrays by construction, while the handler layers must use
+//!   checked access on client-controlled ids.
 //!
 //! The resolver under-approximates (see [`callgraph`](crate::callgraph)),
 //! so this is a best-effort reachability argument, not a proof — but it
@@ -37,12 +38,18 @@ pub fn check(a: &Analysis) -> Vec<Diagnostic> {
     let mut roots = Vec::new();
     for id in 0..table.fns.len() {
         let info = &table.fns[id];
-        if info.krate != "serve" || a.files[info.file].is_test_path() {
+        if a.files[info.file].is_test_path() {
             continue;
         }
         let decl = table.decl(id);
-        let is_endpoint = decl.impl_type.as_deref() == Some("Service")
-            || (decl.impl_type.as_deref() == Some("Server") && decl.name == "call");
+        let is_endpoint = match info.krate.as_str() {
+            "serve" => {
+                decl.impl_type.as_deref() == Some("Service")
+                    || (decl.impl_type.as_deref() == Some("Server") && decl.name == "call")
+            }
+            "shard" => decl.impl_type.as_deref() == Some("Router"),
+            _ => false,
+        };
         if is_endpoint {
             roots.push(id);
         }
@@ -74,7 +81,9 @@ pub fn check(a: &Analysis) -> Vec<Diagnostic> {
                 EventKind::PanicMacro { name } if FLAGGED_MACROS.contains(&name.as_str()) => {
                     format!("{name}!")
                 }
-                EventKind::Index if info.krate == "serve" => "direct indexing".to_string(),
+                EventKind::Index if info.krate == "serve" || info.krate == "shard" => {
+                    "direct indexing".to_string()
+                }
                 _ => continue,
             };
             out.push(Diagnostic {
@@ -150,6 +159,29 @@ mod tests {
             "impl Service { pub fn handle(&self) { unreachable!(\"covered above\"); } }\n",
         )]);
         assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn shard_router_methods_are_roots() {
+        let a = analysis(&[
+            (
+                "crates/shard/src/router.rs",
+                "impl Router { pub fn handle(&self) { let x = shards[i]; merge(); } }\n\
+                 fn merge() { v.unwrap(); }\n",
+            ),
+            (
+                "crates/shard/src/set.rs",
+                "impl ShardSet { pub fn offline(&self) { y.unwrap(); } }\n",
+            ),
+        ]);
+        let d = check(&a);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|d| d.message.contains("direct indexing")));
+        assert!(d.iter().any(|d| d.message.contains(".unwrap()")));
+        assert!(
+            d.iter().all(|d| d.file == "crates/shard/src/router.rs"),
+            "ShardSet write path is not a request root: {d:?}"
+        );
     }
 
     #[test]

@@ -134,14 +134,31 @@ impl Artifacts {
         let _span = telemetry.span("serve.artifacts.build");
         let version = store.version();
 
-        let mut entities: FxHashMap<String, Value> = FxHashMap::default();
-        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut scans: Vec<(&str, Vec<crowdnet_store::Document>)> = Vec::new();
         for ns in [NS_COMPANIES, NS_USERS] {
-            let docs = match scan_store(store, ns, SnapshotId(0), ctx) {
-                Ok(d) => d.collect(),
+            match scan_store(store, ns, SnapshotId(0), ctx) {
+                Ok(d) => scans.push((ns, d.collect())),
                 Err(StoreError::NamespaceNotFound(_)) => continue,
                 Err(e) => return Err(ServeError::Store(e)),
-            };
+            }
+        }
+        Ok(Artifacts::from_documents(version, scans, telemetry, cfg))
+    }
+
+    /// Build every artifact from already-gathered canonical scans of the
+    /// corpus namespaces (each `Vec<Document>` in store scan order). This
+    /// is [`Artifacts::build`] minus the store access, so a sharded router
+    /// can gather the per-shard scans, merge them back into canonical
+    /// order, and assemble byte-identical artifacts.
+    pub fn from_documents(
+        version: u64,
+        scans: Vec<(&str, Vec<crowdnet_store::Document>)>,
+        telemetry: &Telemetry,
+        cfg: &ArtifactsConfig,
+    ) -> Artifacts {
+        let mut entities: FxHashMap<String, Value> = FxHashMap::default();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (ns, docs) in scans {
             for doc in docs {
                 if ns == NS_USERS
                     && doc.body.get("role").and_then(Value::as_str) == Some("investor")
@@ -176,7 +193,7 @@ impl Artifacts {
             telemetry,
             None,
         );
-        Ok(artifacts)
+        artifacts
     }
 
     /// Assemble servable artifacts from incrementally maintained parts —

@@ -1,20 +1,37 @@
-//! Sharded in-memory result cache with byte-budgeted LRU eviction.
+//! Sharded in-memory result cache with byte-budgeted LRU-approximate
+//! eviction and a read-mostly hit path.
 //!
 //! Keys are canonical request strings (`"GET /stats"`); values are fully
 //! rendered [`Response`]s. Every entry is stamped with the store's content
 //! version at the time it was computed — a lookup under a newer version
 //! treats the entry as absent and removes it, so **a re-crawl can never
-//! serve stale results** (DESIGN.md §7). Shards are independent
-//! `parking_lot` mutexes selected by FNV-1a of the key, so concurrent
-//! workers rarely contend on the same lock.
+//! serve stale results** (DESIGN.md §7).
 //!
-//! The LRU list is intrusive: entries live in a slab (`Vec<Option<Entry>>`
-//! plus a free list) and carry `prev`/`next` slab indices, so promotion and
-//! eviction are O(1) with no per-operation allocation.
+//! Shards are independent `parking_lot` RwLocks selected by FNV-1a of the
+//! key. The hot path — a hit — takes only the *read* lock: recency is
+//! recorded by storing a global atomic tick into the entry's
+//! `last_access`, not by relinking the LRU list (which would need the
+//! write lock). BENCH_serve_latency.json showed the previous
+//! mutex-per-shard design inverting worker scaling (~70k rps at 1 worker
+//! down to ~50k at 4–8) because every hit serialized on the shard mutex;
+//! with shared read locks, concurrent hits on the same shard no longer
+//! contend.
+//!
+//! Eviction is CLOCK-style second chance: entries are linked in insertion
+//! order, and the evictor walks from the tail; an entry whose
+//! `last_access` moved past the tick it was last linked at has been hit
+//! since — it is relinked to the front (one second chance per resident
+//! entry per eviction pass) instead of evicted. Misses, inserts and
+//! evictions take the write lock as before.
+//!
+//! The list is intrusive: entries live in a slab (`Vec<Option<Entry>>`
+//! plus a free list) and carry `prev`/`next` slab indices, so relinking
+//! and eviction are O(1) with no per-operation allocation.
 
 use crate::http::Response;
 use crowdnet_telemetry::{Counter, Telemetry};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// "Null pointer" of the intrusive list.
 const NIL: usize = usize::MAX;
@@ -56,6 +73,12 @@ struct Entry {
     version: u64,
     value: Response,
     cost: usize,
+    /// Global tick when the entry was last (re-)linked into the list.
+    linked_tick: u64,
+    /// Global tick of the most recent hit; written under the *read* lock,
+    /// which is why it is atomic. `> linked_tick` means "hit since linked"
+    /// — the CLOCK reference bit.
+    last_access: AtomicU64,
     prev: usize,
     next: usize,
 }
@@ -64,9 +87,9 @@ struct Shard {
     map: HashMap<String, usize>,
     slab: Vec<Option<Entry>>,
     free: Vec<usize>,
-    /// Most-recently-used slab index.
+    /// Most-recently-linked slab index.
     head: usize,
-    /// Least-recently-used slab index.
+    /// Eviction candidate end of the list.
     tail: usize,
     bytes: usize,
     capacity: usize,
@@ -161,20 +184,40 @@ impl Shard {
         self.push_front(idx);
     }
 
-    /// Evict from the tail until under budget; returns evictions performed.
-    fn evict_to_fit(&mut self) -> u64 {
+    /// Evict from the tail until under budget; returns evictions
+    /// performed. CLOCK second chance: a tail entry hit since it was last
+    /// linked is relinked to the front (its reference "bit" consumed by
+    /// advancing `linked_tick` to `now_tick`) instead of evicted — at most
+    /// once per resident entry per pass, so the sweep always terminates.
+    fn evict_to_fit(&mut self, now_tick: u64) -> u64 {
         let mut evicted = 0;
+        let mut second_chances = self.map.len();
         while self.bytes > self.capacity && self.tail != NIL {
-            self.remove(self.tail);
-            evicted += 1;
+            let tail = self.tail;
+            let touched = self.slot(tail).is_some_and(|e| {
+                e.last_access.load(Ordering::Relaxed) > e.linked_tick
+            });
+            if touched && second_chances > 0 {
+                second_chances -= 1;
+                self.unlink(tail);
+                if let Some(e) = self.slot_mut(tail) {
+                    e.linked_tick = now_tick;
+                }
+                self.push_front(tail);
+            } else {
+                self.remove(tail);
+                evicted += 1;
+            }
         }
         evicted
     }
 }
 
-/// The sharded, version-stamped LRU result cache.
+/// The sharded, version-stamped result cache.
 pub struct ResultCache {
-    shards: Vec<parking_lot::Mutex<Shard>>,
+    shards: Vec<parking_lot::RwLock<Shard>>,
+    /// Global recency clock; bumped per hit and per insert.
+    tick: AtomicU64,
     hits: Counter,
     misses: Counter,
     evictions: Counter,
@@ -189,8 +232,9 @@ impl ResultCache {
         let per_shard = (cfg.capacity_bytes / shards).max(1);
         ResultCache {
             shards: (0..shards)
-                .map(|_| parking_lot::Mutex::new(Shard::new(per_shard)))
+                .map(|_| parking_lot::RwLock::new(Shard::new(per_shard)))
                 .collect(),
+            tick: AtomicU64::new(0),
             hits: telemetry.counter("serve.cache.hit"),
             misses: telemetry.counter("serve.cache.miss"),
             evictions: telemetry.counter("serve.cache.evict"),
@@ -208,29 +252,55 @@ impl ResultCache {
         (h % self.shards.len() as u64) as usize
     }
 
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Look up `key` computed at store-content `version`. An entry stamped
     /// with a different version counts as a miss and is dropped on sight.
+    /// A hit touches only the shard's read lock.
     pub fn get(&self, key: &str, version: u64) -> Option<Response> {
-        let mut shard = self.shards.get(self.shard_of(key))?.lock();
-        let idx = match shard.map.get(key) {
-            Some(&i) => i,
-            None => {
-                self.misses.inc();
-                return None;
+        let slot = self.shards.get(self.shard_of(key))?;
+        {
+            let shard = slot.read();
+            match shard.map.get(key).and_then(|&i| shard.slot(i)) {
+                Some(e) if e.version == version => {
+                    let t = self.next_tick();
+                    e.last_access.fetch_max(t, Ordering::Relaxed);
+                    let value = e.value.clone();
+                    drop(shard);
+                    self.hits.inc();
+                    return Some(value);
+                }
+                Some(_) => {} // stale: fall through to the write path
+                None => {
+                    drop(shard);
+                    self.misses.inc();
+                    return None;
+                }
             }
-        };
-        let entry_version = shard.slot(idx).map(|e| e.version);
-        if entry_version != Some(version) {
-            shard.remove(idx);
-            self.misses.inc();
-            return None;
         }
-        shard.unlink(idx);
-        shard.push_front(idx);
-        let value = shard.slot(idx).map(|e| e.value.clone());
+        // Version mismatch: take the write lock to drop the stale entry.
+        // Re-check under it — a racing put may have refreshed the entry.
+        let mut shard = slot.write();
+        if let Some(&idx) = shard.map.get(key) {
+            match shard.slot(idx) {
+                Some(e) if e.version == version => {
+                    let t = self.next_tick();
+                    e.last_access.fetch_max(t, Ordering::Relaxed);
+                    let value = e.value.clone();
+                    drop(shard);
+                    self.hits.inc();
+                    return Some(value);
+                }
+                _ => {
+                    shard.remove(idx);
+                }
+            }
+        }
         drop(shard);
-        self.hits.inc();
-        value
+        self.misses.inc();
+        None
     }
 
     /// Insert `key → value` stamped with `version`. Values whose charged
@@ -241,22 +311,25 @@ impl ResultCache {
         let Some(slot) = self.shards.get(self.shard_of(key)) else {
             return;
         };
-        let mut shard = slot.lock();
+        let mut shard = slot.write();
         if cost > shard.capacity {
             return;
         }
         if let Some(&old) = shard.map.get(key) {
             shard.remove(old);
         }
+        let now_tick = self.next_tick();
         shard.insert(Entry {
             key: key.to_string(),
             version,
             value,
             cost,
+            linked_tick: now_tick,
+            last_access: AtomicU64::new(now_tick),
             prev: NIL,
             next: NIL,
         });
-        let evicted = shard.evict_to_fit();
+        let evicted = shard.evict_to_fit(now_tick);
         drop(shard);
         if evicted > 0 {
             self.evictions.add(evicted);
@@ -268,7 +341,7 @@ impl ResultCache {
         let mut entries = 0;
         let mut bytes = 0;
         for slot in &self.shards {
-            let shard = slot.lock();
+            let shard = slot.read();
             entries += shard.map.len();
             bytes += shard.bytes;
         }
@@ -332,12 +405,42 @@ mod tests {
         let (c, t) = cache(2 * (1 + 4 + ENTRY_OVERHEAD), 1);
         c.put("a", 1, resp("aaaa"));
         c.put("b", 1, resp("bbbb"));
-        // Touch "a" so "b" is the LRU victim.
+        // Touch "a" so "b" is the eviction victim.
         assert!(c.get("a", 1).is_some());
         c.put("c", 1, resp("cccc"));
         assert!(c.get("b", 1).is_none(), "LRU entry should be evicted");
         assert!(c.get("a", 1).is_some());
         assert!(c.get("c", 1).is_some());
+        assert_eq!(t.counter("serve.cache.evict").value(), 1);
+    }
+
+    #[test]
+    fn hits_do_not_take_the_write_lock() {
+        // A held read lock would deadlock a hit that needed the write
+        // lock; it must not block the read-only hit path.
+        let (c, _t) = cache(1 << 20, 1);
+        c.put("k", 1, resp("v"));
+        let slot = c.shards.first().unwrap();
+        let _read_guard = slot.read();
+        assert_eq!(c.get("k", 1).unwrap().body, b"v");
+    }
+
+    #[test]
+    fn second_chance_spares_entries_hit_since_linked() {
+        // Room for 3 entries; hit "p" and "q", then overflow: the
+        // untouched "r" must be the victim even though it is not the
+        // list tail's natural LRU order after relinks.
+        let (c, t) = cache(3 * (1 + 2 + ENTRY_OVERHEAD), 1);
+        c.put("p", 1, resp("xy"));
+        c.put("q", 1, resp("xy"));
+        c.put("r", 1, resp("xy"));
+        assert!(c.get("p", 1).is_some());
+        assert!(c.get("q", 1).is_some());
+        c.put("s", 1, resp("xy"));
+        assert!(c.get("p", 1).is_some(), "hit entry evicted");
+        assert!(c.get("q", 1).is_some(), "hit entry evicted");
+        assert!(c.get("s", 1).is_some(), "fresh insert evicted");
+        assert!(c.get("r", 1).is_none(), "untouched entry should go first");
         assert_eq!(t.counter("serve.cache.evict").value(), 1);
     }
 

@@ -39,5 +39,5 @@ pub use cache::{CacheConfig, CacheStats, ResultCache};
 pub use error::ServeError;
 pub use http::{Request, RequestParser, Response};
 pub use pool::WorkerPool;
-pub use server::{bind, Server, ServerConfig, TcpHandle};
+pub use server::{bind, RequestHandler, Server, ServerConfig, TcpHandle};
 pub use service::{Service, ServiceConfig};

@@ -71,23 +71,28 @@ fn route(service: &Service, req: &Request) -> Result<Value, ServeError> {
     }
 }
 
-fn parse_id(s: &str) -> Result<u32, ServeError> {
+/// Parse a path segment as an entity id (shared with the shard router so
+/// both render the same 400 envelope).
+pub fn parse_id(s: &str) -> Result<u32, ServeError> {
     s.parse::<u32>()
         .map_err(|_| ServeError::BadRequest(format!("bad id: {s:?}")))
 }
 
-fn param(req: &Request, name: &str) -> Option<String> {
+/// First query parameter named `name`, percent-decoded.
+pub fn param(req: &Request, name: &str) -> Option<String> {
     parse_query(req.query().unwrap_or_default())
         .into_iter()
         .find(|(k, _)| k == name)
         .map(|(_, v)| v)
 }
 
-fn opt_f64(v: Option<f64>) -> Value {
+/// `Some(x)` → number, `None` → JSON null.
+pub fn opt_f64(v: Option<f64>) -> Value {
     v.map(Value::from).unwrap_or(Value::Null)
 }
 
-fn id_array(ids: impl IntoIterator<Item = u32>) -> Value {
+/// Render entity ids as a JSON array of numbers.
+pub fn id_array(ids: impl IntoIterator<Item = u32>) -> Value {
     Value::Arr(ids.into_iter().map(|i| Value::from(u64::from(i))).collect())
 }
 
@@ -121,7 +126,9 @@ fn stats(service: &Service) -> Result<Value, ServeError> {
     Ok(rendered)
 }
 
-fn render_stats(stats: &[crowdnet_store::store::NamespaceStats], version: u64) -> Value {
+/// Render namespace stats + version as the `/stats` envelope (shared with
+/// the shard router, which merges per-shard stats into the same shape).
+pub fn render_stats(stats: &[crowdnet_store::store::NamespaceStats], version: u64) -> Value {
     let namespaces = stats
         .iter()
         .map(|n| {
@@ -159,13 +166,18 @@ fn portfolio(service: &Service, id: u32) -> Result<Value, ServeError> {
         .investor_index(id)
         .ok_or_else(|| ServeError::NotFound(format!("investor {id}")))?;
     let companies = artifacts.graph.companies_of(idx);
+    // Sorted by id so the listing is canonical regardless of dense-index
+    // assignment order (and therefore identical under sharding).
+    let mut ids: Vec<u32> = companies
+        .iter()
+        .map(|&c| artifacts.graph.company_id(c))
+        .collect();
+    ids.sort_unstable();
     Ok(obj! {
         "id" => u64::from(id),
         "degree" => companies.len(),
         "pagerank" => artifacts.pagerank.get(idx as usize).copied().unwrap_or(0.0),
-        "companies" => id_array(
-            companies.iter().map(|&c| artifacts.graph.company_id(c)),
-        ),
+        "companies" => id_array(ids),
     })
 }
 
@@ -192,12 +204,16 @@ fn company_investors(service: &Service, id: u32) -> Result<Value, ServeError> {
         .company_index(id)
         .ok_or_else(|| ServeError::NotFound(format!("company {id}")))?;
     let investors = artifacts.graph.investors_of(idx);
+    // Sorted by id: canonical independent of dense-index assignment order.
+    let mut ids: Vec<u32> = investors
+        .iter()
+        .map(|&i| artifacts.graph.investor_id(i))
+        .collect();
+    ids.sort_unstable();
     Ok(obj! {
         "id" => u64::from(id),
         "degree" => investors.len(),
-        "investors" => id_array(
-            investors.iter().map(|&i| artifacts.graph.investor_id(i)),
-        ),
+        "investors" => id_array(ids),
     })
 }
 

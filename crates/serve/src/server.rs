@@ -20,7 +20,7 @@ use crate::http::{Request, RequestParser, Response};
 use crate::pool::WorkerPool;
 use crate::router;
 use crate::service::Service;
-use crowdnet_telemetry::Counter;
+use crowdnet_telemetry::{Counter, Telemetry};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -57,9 +57,29 @@ impl Default for ServerConfig {
     }
 }
 
-/// Admission-controlled request executor wrapping a [`Service`].
+/// Anything the server front end can execute a request against: the
+/// single-store [`Service`], or a scatter-gather router fanning out over
+/// shards. The front end owns admission control and deadlines; the
+/// handler owns routing, caching and response rendering.
+pub trait RequestHandler: Send + Sync {
+    /// Answer one request. Must not panic; errors are rendered as
+    /// status-coded responses.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl RequestHandler for Service {
+    fn handle(&self, req: &Request) -> Response {
+        Service::handle(self, req)
+    }
+}
+
+/// Admission-controlled request executor wrapping a [`RequestHandler`].
 pub struct Server {
-    service: Arc<Service>,
+    handler: Arc<dyn RequestHandler>,
+    /// Present only for the classic single-store path; scatter-gather
+    /// handlers run without one.
+    service: Option<Arc<Service>>,
+    telemetry: Telemetry,
     pool: WorkerPool,
     cfg: ServerConfig,
     shed: Counter,
@@ -70,18 +90,38 @@ impl Server {
     /// Spawn the worker pool around `service`.
     pub fn new(service: Arc<Service>, cfg: ServerConfig) -> Server {
         let telemetry = service.telemetry().clone();
+        let mut server = Server::with_handler(Arc::clone(&service) as _, telemetry, cfg);
+        server.service = Some(service);
+        server
+    }
+
+    /// Spawn the worker pool around an arbitrary handler (e.g. a sharded
+    /// scatter-gather router). The telemetry handle supplies the deadline
+    /// clock and the shed/deadline counters.
+    pub fn with_handler(
+        handler: Arc<dyn RequestHandler>,
+        telemetry: Telemetry,
+        cfg: ServerConfig,
+    ) -> Server {
         Server {
             pool: WorkerPool::new(cfg.workers, cfg.queue_capacity, &telemetry),
             shed: telemetry.counter("serve.shed"),
             deadline_exceeded: telemetry.counter("serve.deadline_exceeded"),
-            service,
+            handler,
+            service: None,
+            telemetry,
             cfg,
         }
     }
 
-    /// The wrapped service.
-    pub fn service(&self) -> &Arc<Service> {
-        &self.service
+    /// The wrapped service, when the server fronts one directly.
+    pub fn service(&self) -> Option<&Arc<Service>> {
+        self.service.as_ref()
+    }
+
+    /// The telemetry handle driving deadlines and front-end counters.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The configuration the server was built with.
@@ -100,14 +140,14 @@ impl Server {
             Some(raw) => raw.parse::<u64>().ok(),
             None => self.cfg.default_deadline_ms,
         }?;
-        Some(self.service.telemetry().now_ms().saturating_add(patience))
+        Some(self.telemetry.now_ms().saturating_add(patience))
     }
 
     /// Deadline check + service dispatch: the worker-side half of every
     /// request, TCP or in-process.
     fn execute(&self, req: &Request, deadline: Option<u64>) -> Response {
         if let Some(d) = deadline {
-            let now = self.service.telemetry().now_ms();
+            let now = self.telemetry.now_ms();
             if now > d {
                 self.deadline_exceeded.inc();
                 return router::error_response(&ServeError::DeadlineExceeded {
@@ -116,7 +156,7 @@ impl Server {
                 });
             }
         }
-        self.service.handle(req)
+        self.handler.handle(req)
     }
 
     /// The shed response admission control answers with.
@@ -206,7 +246,7 @@ pub fn bind(server: Arc<Server>, port: u16) -> Result<TcpHandle, ServeError> {
                 return; // the poke connection, or late arrivals while draining
             }
             let conn_server = Arc::clone(&accept_server);
-            let admitted_ms = conn_server.service.telemetry().now_ms();
+            let admitted_ms = conn_server.telemetry.now_ms();
             // A dup of the socket, kept out of the job so a shed decision
             // can still answer the client.
             let shed_stream = stream.try_clone().ok();
@@ -346,10 +386,7 @@ mod tests {
         let shed = shed_count.load(std::sync::atomic::Ordering::SeqCst);
         assert!(shed >= 1, "burst should shed at least once");
         assert!(shed < 8, "some requests must be admitted");
-        assert_eq!(
-            s.service().telemetry().counter("serve.shed").value(),
-            shed as u64
-        );
+        assert_eq!(s.telemetry().counter("serve.shed").value(), shed as u64);
         s.shutdown();
     }
 
@@ -389,13 +426,7 @@ mod tests {
         release.send(()).unwrap();
         let resp = handle.join().unwrap();
         assert_eq!(resp.status, 503);
-        assert_eq!(
-            s.service()
-                .telemetry()
-                .counter("serve.deadline_exceeded")
-                .value(),
-            1
-        );
+        assert_eq!(s.telemetry().counter("serve.deadline_exceeded").value(), 1);
         s.shutdown();
     }
 
@@ -482,7 +513,7 @@ mod tests {
         );
         release.send(()).unwrap();
         handle.shutdown();
-        assert!(s.service().telemetry().counter("serve.shed").value() >= 1);
+        assert!(s.telemetry().counter("serve.shed").value() >= 1);
     }
 
     #[test]

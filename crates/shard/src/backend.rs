@@ -1,0 +1,338 @@
+//! The per-shard backend: one store, one changefeed, one ingest engine,
+//! one executor thread.
+//!
+//! [`ShardBackend`] is the seam between the [`Router`](crate::Router) and
+//! a shard's physical home. The in-process [`LocalShard`] owns:
+//!
+//! * an `Arc<Store>` (memory, or disk behind the `Vfs` seam so fault
+//!   injection reaches every shard file);
+//! * an [`IngestEngine`] subscribed to that store's changefeed, drained
+//!   lazily to publish per-shard [`ShardEpoch`]s — the immutable
+//!   graph + entity view scatter queries answer from;
+//! * a persistent executor thread fed by a **bounded** channel, so N
+//!   shards give a fan-out query N-way parallelism without per-request
+//!   thread spawns (when the queue is full, the router runs the job
+//!   inline instead of blocking — the same never-wait discipline as the
+//!   serve worker pool).
+//!
+//! Health is a tri-state flag ([`ShardHealth`]): the router skips shards
+//! that are `Down` or `Recovering` and flags the response partial;
+//! [`ShardBackend::recover`] replays the store's recovery path, catches
+//! the engine up and republishes a fresh epoch.
+
+use crate::error::ShardError;
+use crowdnet_graph::fxhash::FxHashMap;
+use crowdnet_graph::BipartiteGraph;
+use crowdnet_ingest::{IngestConfig, IngestEngine};
+use crowdnet_json::Value;
+use crowdnet_store::{Store, Vfs};
+use crowdnet_telemetry::{Counter, Telemetry};
+use parking_lot::{Mutex, RwLock};
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Work unit for a shard's executor thread.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Executor queue bound: jobs a shard may have waiting before the router
+/// falls back to running them inline.
+const EXEC_QUEUE: usize = 128;
+
+/// A shard's availability, as the router sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving normally.
+    Healthy,
+    /// Mid-recovery: skipped by fan-outs, answers flagged partial.
+    Recovering,
+    /// Unavailable (crash, kill switch): skipped by fan-outs.
+    Down,
+}
+
+impl ShardHealth {
+    /// Stable wire name (`/healthz` per-shard array).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardHealth::Healthy => "healthy",
+            ShardHealth::Recovering => "recovering",
+            ShardHealth::Down => "down",
+        }
+    }
+
+    fn from_u8(v: u8) -> ShardHealth {
+        match v {
+            1 => ShardHealth::Recovering,
+            2 => ShardHealth::Down,
+            _ => ShardHealth::Healthy,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            ShardHealth::Healthy => 0,
+            ShardHealth::Recovering => 1,
+            ShardHealth::Down => 2,
+        }
+    }
+}
+
+/// An immutable per-shard view at one store version: the shard's slice of
+/// the investment graph plus its entity documents. Cheap to share
+/// (`Arc`), replaced wholesale when the shard's store moves.
+pub struct ShardEpoch {
+    /// Store version the epoch is consistent at.
+    pub version: u64,
+    /// This shard's investors and their full edge sets (co-location
+    /// contract: an investor's edges never span shards).
+    pub graph: BipartiteGraph,
+    /// `"company:{id}"` / `"user:{id}"` → document body.
+    pub entities: FxHashMap<String, Value>,
+}
+
+/// What the router needs from a shard, wherever it lives. Today's only
+/// implementation is the in-process [`LocalShard`]; the trait is the seam
+/// a remote/process-per-shard backend would implement.
+pub trait ShardBackend: Send + Sync {
+    /// Position in the shard set (also the partitioner's output domain).
+    fn index(&self) -> usize;
+    /// The shard's store.
+    fn store(&self) -> &Arc<Store>;
+    /// Current availability.
+    fn health(&self) -> ShardHealth;
+    /// Flip availability (recovery transitions, test kill switches).
+    fn set_health(&self, health: ShardHealth);
+    /// The current epoch, refreshed first if the store has moved past it.
+    fn epoch(&self) -> Result<Arc<ShardEpoch>, ShardError>;
+    /// Hand a job to the shard's executor. Returns the job back when it
+    /// cannot be queued (bounded queue full, executor gone) — the caller
+    /// decides whether to run it inline.
+    fn submit(&self, job: Job) -> Result<(), Job>;
+    /// Recover the shard: replay the store's recovery path, catch the
+    /// ingest engine up, republish the epoch, mark healthy.
+    fn recover(&self) -> Result<(), ShardError>;
+}
+
+/// In-process shard: store + changefeed + ingest engine + executor.
+pub struct LocalShard {
+    index: usize,
+    store: Arc<Store>,
+    engine: Mutex<IngestEngine>,
+    epoch: RwLock<Arc<ShardEpoch>>,
+    health: AtomicU8,
+    exec_tx: Mutex<Option<SyncSender<Job>>>,
+    exec_thread: Mutex<Option<JoinHandle<()>>>,
+    refreshes: Counter,
+}
+
+impl LocalShard {
+    /// Open an in-memory shard (tests, benches, `repro serve --shards`).
+    pub fn open_memory(
+        index: usize,
+        partitions: usize,
+        telemetry: &Telemetry,
+    ) -> Result<LocalShard, ShardError> {
+        let store = Arc::new(Store::memory(partitions).with_telemetry(telemetry));
+        LocalShard::wrap(index, store, telemetry)
+    }
+
+    /// Open a durable shard rooted at `root`, on an explicit [`Vfs`] so
+    /// fault injection and recovery reach every shard file.
+    pub fn open_with_vfs(
+        index: usize,
+        root: &Path,
+        partitions: usize,
+        vfs: Arc<dyn Vfs>,
+        telemetry: &Telemetry,
+    ) -> Result<LocalShard, ShardError> {
+        let store = Store::open_with_vfs(root, partitions, vfs)
+            .map_err(crowdnet_store::StoreError::Io)?;
+        LocalShard::wrap(index, Arc::new(store.with_telemetry(telemetry)), telemetry)
+    }
+
+    /// Wrap an already-open store: subscribe the ingest engine (catching
+    /// up on existing content), publish the first epoch, start the
+    /// executor thread.
+    pub fn wrap(
+        index: usize,
+        store: Arc<Store>,
+        telemetry: &Telemetry,
+    ) -> Result<LocalShard, ShardError> {
+        let engine = IngestEngine::new(
+            Arc::clone(&store),
+            IngestConfig::default(),
+            telemetry.clone(),
+        )?;
+        let epoch = Arc::new(snapshot_epoch(&engine));
+        let (tx, rx) = sync_channel::<Job>(EXEC_QUEUE);
+        let thread = std::thread::Builder::new()
+            .name(format!("shard-exec-{index}"))
+            .spawn(move || {
+                // Single consumer owns the receiver; exits on disconnect.
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            })
+            .map_err(crowdnet_store::StoreError::Io)?;
+        Ok(LocalShard {
+            index,
+            store,
+            engine: Mutex::new(engine),
+            epoch: RwLock::new(epoch),
+            health: AtomicU8::new(ShardHealth::Healthy.as_u8()),
+            exec_tx: Mutex::new(Some(tx)),
+            exec_thread: Mutex::new(Some(thread)),
+            refreshes: telemetry.counter(&format!("shard.{index}.refreshes")),
+        })
+    }
+}
+
+/// Freeze the engine's maintained state into an immutable epoch.
+fn snapshot_epoch(engine: &IngestEngine) -> ShardEpoch {
+    ShardEpoch {
+        version: engine.applied_version(),
+        graph: engine.graph().graph().clone(),
+        entities: engine.entities().clone_map(),
+    }
+}
+
+impl ShardBackend for LocalShard {
+    fn index(&self) -> usize {
+        self.index
+    }
+
+    fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    fn health(&self) -> ShardHealth {
+        ShardHealth::from_u8(self.health.load(Ordering::Acquire))
+    }
+
+    fn set_health(&self, health: ShardHealth) {
+        self.health.store(health.as_u8(), Ordering::Release);
+    }
+
+    fn epoch(&self) -> Result<Arc<ShardEpoch>, ShardError> {
+        let current = self.store.version();
+        {
+            let epoch = self.epoch.read();
+            if epoch.version == current {
+                return Ok(Arc::clone(&epoch));
+            }
+        }
+        // Stale: drain the changefeed and republish. The engine lock
+        // serializes refreshes; the epoch RwLock hands the fresh view to
+        // concurrent readers without blocking them on the drain.
+        let mut engine = self.engine.lock();
+        engine.drain()?;
+        let fresh = Arc::new(snapshot_epoch(&engine));
+        *self.epoch.write() = Arc::clone(&fresh);
+        self.refreshes.inc();
+        Ok(fresh)
+    }
+
+    fn submit(&self, job: Job) -> Result<(), Job> {
+        // Clone the sender out of the lock so the channel op runs with no
+        // lock held.
+        let tx = match self.exec_tx.lock().as_ref() {
+            Some(tx) => tx.clone(),
+            None => return Err(job),
+        };
+        match tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => Err(job),
+        }
+    }
+
+    fn recover(&self) -> Result<(), ShardError> {
+        self.set_health(ShardHealth::Recovering);
+        self.store.recover()?;
+        let mut engine = self.engine.lock();
+        engine.catch_up()?;
+        let fresh = Arc::new(snapshot_epoch(&engine));
+        *self.epoch.write() = fresh;
+        drop(engine);
+        self.set_health(ShardHealth::Healthy);
+        Ok(())
+    }
+}
+
+impl Drop for LocalShard {
+    fn drop(&mut self) {
+        // Drop the sender to disconnect the executor, then join it.
+        self.exec_tx.lock().take();
+        if let Some(thread) = self.exec_thread.lock().take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdnet_json::obj;
+    use crowdnet_store::Document;
+
+    #[test]
+    fn epoch_refreshes_lazily_on_version_change() {
+        let t = Telemetry::new();
+        let shard = LocalShard::open_memory(0, 2, &t).unwrap();
+        let first = shard.epoch().unwrap();
+        assert_eq!(first.version, 0);
+        shard
+            .store()
+            .put(
+                "angellist/users",
+                Document::new(
+                    "user:7",
+                    obj! {"id" => 7u64, "role" => "investor", "investments" => Value::Arr(vec![Value::from(1u64)])},
+                ),
+            )
+            .unwrap();
+        let fresh = shard.epoch().unwrap();
+        assert_eq!(fresh.version, shard.store().version());
+        assert_eq!(fresh.graph.investor_count(), 1);
+        assert!(fresh.entities.contains_key("user:7"));
+        assert_eq!(t.counter("shard.0.refreshes").value(), 1);
+        // Unchanged store: the same Arc comes back, no refresh.
+        let again = shard.epoch().unwrap();
+        assert!(Arc::ptr_eq(&fresh, &again));
+        assert_eq!(t.counter("shard.0.refreshes").value(), 1);
+    }
+
+    #[test]
+    fn executor_runs_submitted_jobs() {
+        let t = Telemetry::new();
+        let shard = LocalShard::open_memory(1, 2, &t).unwrap();
+        let (tx, rx) = sync_channel::<u32>(1);
+        shard
+            .submit(Box::new(move || {
+                let _ = tx.send(42);
+            }))
+            .unwrap_or_else(|job| job());
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn health_round_trips_and_kill_is_reversible() {
+        let t = Telemetry::new();
+        let shard = LocalShard::open_memory(2, 2, &t).unwrap();
+        assert_eq!(shard.health(), ShardHealth::Healthy);
+        shard.set_health(ShardHealth::Down);
+        assert_eq!(shard.health(), ShardHealth::Down);
+        shard.recover().unwrap();
+        assert_eq!(shard.health(), ShardHealth::Healthy);
+    }
+
+    #[test]
+    fn submit_after_drop_sender_returns_job() {
+        let t = Telemetry::new();
+        let shard = LocalShard::open_memory(3, 2, &t).unwrap();
+        shard.exec_tx.lock().take();
+        let job: Job = Box::new(|| {});
+        assert!(shard.submit(job).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for shard-set operations.
+
+use crowdnet_ingest::IngestError;
+use crowdnet_store::StoreError;
+use std::fmt;
+
+/// Anything that can go wrong opening, writing or recovering a shard set.
+/// Query-path failures surface as `crowdnet_serve::ServeError` instead so
+/// the router renders the same status envelopes as the unsharded path.
+#[derive(Debug)]
+pub enum ShardError {
+    /// A shard's underlying store failed.
+    Store(StoreError),
+    /// A shard's ingest engine failed to subscribe, catch up or drain.
+    Ingest(IngestError),
+    /// A shard index outside the set was addressed.
+    NoSuchShard(usize),
+    /// The shard's executor thread is gone (shutdown or panic).
+    ExecutorGone(usize),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Store(e) => write!(f, "shard store: {e}"),
+            ShardError::Ingest(e) => write!(f, "shard ingest: {e}"),
+            ShardError::NoSuchShard(i) => write!(f, "no such shard: {i}"),
+            ShardError::ExecutorGone(i) => write!(f, "shard {i} executor is gone"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Store(e) => Some(e),
+            ShardError::Ingest(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for ShardError {
+    fn from(e: StoreError) -> ShardError {
+        ShardError::Store(e)
+    }
+}
+
+impl From<IngestError> for ShardError {
+    fn from(e: IngestError) -> ShardError {
+        ShardError::Ingest(e)
+    }
+}

@@ -1,0 +1,42 @@
+//! # crowdnet-shard
+//!
+//! Hash-partitioned multi-shard serving: the horizontal-scale answer to
+//! the serve tier's single-store ceiling (DESIGN.md §11).
+//!
+//! Four pieces, bottom-up:
+//!
+//! * [`Partitioner`] — deterministic FNV-64 placement over a document's
+//!   *entity key*, namespace-aware so corpus documents about one entity
+//!   co-locate. Placement is a pure function: the same hash decides
+//!   where a write lands and where a query routes, with no directory.
+//! * [`ShardBackend`] / [`LocalShard`] — one shard: its own store (memory
+//!   or disk behind the `Vfs` seam), its own changefeed and
+//!   [`IngestEngine`](crowdnet_ingest::IngestEngine) publishing per-shard
+//!   [`ShardEpoch`]s, and a persistent executor thread that gives
+//!   fan-outs N-way parallelism over a bounded queue.
+//! * [`ShardSet`] — the registry: opens/recovers N shards, routes writes,
+//!   keeps namespaces and snapshot ids in **lockstep** across shards (the
+//!   invariant every merge relies on), tracks health, and maintains the
+//!   logical version an unsharded store would report.
+//! * [`Router`] — scatter-gather serving: the exact route table and
+//!   response envelopes of `crowdnet_serve::Service`, answered by merging
+//!   per-shard results (bounded-heap top-k, associative stats, canonical
+//!   re-sorted scans for SQL and artifacts) under a per-request deadline
+//!   budget. A dead or recovering shard degrades responses to flagged
+//!   partials instead of failing them.
+//!
+//! The whole surface is proptest-gated against the unsharded service:
+//! for any op sequence, 1-, 2- and 4-shard deployments answer every
+//! endpoint byte-identically (`tests/integration/shard_equivalence.rs`).
+
+pub mod backend;
+pub mod error;
+pub mod partitioner;
+pub mod router;
+pub mod set;
+
+pub use backend::{Job, LocalShard, ShardBackend, ShardEpoch, ShardHealth};
+pub use error::ShardError;
+pub use partitioner::Partitioner;
+pub use router::{Router, RouterConfig};
+pub use set::ShardSet;

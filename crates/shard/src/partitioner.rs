@@ -1,0 +1,145 @@
+//! Deterministic key-hash partitioner: which shard owns a document.
+//!
+//! Routing hashes FNV-64 over the document's **entity key** — the first
+//! two `:`-separated segments of the key (`"user:10:whatever"` routes as
+//! `"user:10"`), so any future per-entity satellite documents (edge
+//! blocks, enrichment) co-locate with the entity that owns them. For the
+//! crawled corpus this already holds structurally: an investor's edges
+//! are embedded in its `user:{id}` document, so hashing the key routes an
+//! entity and every edge it owns to one shard — the co-location contract
+//! the router's merge semantics rely on (DESIGN.md §11).
+//!
+//! Corpus namespaces (`angellist/*`) share one hash domain so
+//! cross-namespace documents about the same entity key the same way;
+//! other namespaces mix the namespace into the hash, so two unrelated
+//! key schemes spread independently.
+
+/// FNV-1a offset basis, the store's partition hash.
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Maps `(namespace, key)` to a shard index, stable across processes and
+/// runs: the same function decides placement at write time and routing at
+/// query time.
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    shards: usize,
+}
+
+impl Partitioner {
+    /// A partitioner over `shards` shards (minimum 1).
+    pub fn new(shards: usize) -> Partitioner {
+        Partitioner {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards keys spread over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key` within `ns`.
+    pub fn shard_of(&self, ns: &str, key: &str) -> usize {
+        let mut h = FNV_BASIS;
+        if !ns.starts_with("angellist/") {
+            h = fnv_step(h, ns.as_bytes());
+            h = fnv_step(h, &[0]);
+        }
+        h = fnv_step(h, entity_key(key).as_bytes());
+        // FNV's low bits are weak under power-of-two shard counts (the
+        // low-k-bit state evolves closed over itself); fold the high bits
+        // in before reducing.
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        (h % self.shards as u64) as usize
+    }
+}
+
+fn fnv_step(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The entity portion of a document key: everything before the second
+/// `:`, or the whole key when it has fewer segments.
+fn entity_key(key: &str) -> &str {
+    match key.match_indices(':').nth(1) {
+        Some((i, _)) => key.get(..i).unwrap_or(key),
+        None => key,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        let p = Partitioner::new(4);
+        for id in 0..500u32 {
+            let key = format!("user:{id}");
+            let s = p.shard_of("angellist/users", &key);
+            assert!(s < 4);
+            assert_eq!(s, p.shard_of("angellist/users", &key));
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let p = Partitioner::new(1);
+        assert_eq!(p.shard_of("angellist/users", "user:1"), 0);
+        assert_eq!(p.shard_of("journal/daily", "day:9"), 0);
+    }
+
+    #[test]
+    fn entity_documents_co_locate_with_their_satellites() {
+        let p = Partitioner::new(8);
+        for id in 0..64u32 {
+            let base = p.shard_of("angellist/users", &format!("user:{id}"));
+            assert_eq!(
+                base,
+                p.shard_of("angellist/users", &format!("user:{id}:edges:0")),
+                "satellite key split from its entity"
+            );
+            // Corpus namespaces share one hash domain.
+            assert_eq!(base, p.shard_of("angellist/companies", &format!("user:{id}")));
+        }
+    }
+
+    #[test]
+    fn non_corpus_namespaces_spread_independently() {
+        let p = Partitioner::new(16);
+        let spread: std::collections::BTreeSet<usize> = (0..64u32)
+            .map(|d| p.shard_of("journal/daily", &format!("day:{d}")))
+            .collect();
+        assert!(spread.len() > 4, "journal keys all landed together");
+        // Namespace participates in the hash outside the corpus.
+        let a = (0..64u32)
+            .map(|d| p.shard_of("journal/daily", &format!("day:{d}")))
+            .collect::<Vec<_>>();
+        let b = (0..64u32)
+            .map(|d| p.shard_of("journal/weekly", &format!("day:{d}")))
+            .collect::<Vec<_>>();
+        assert_ne!(a, b, "distinct namespaces should key differently");
+    }
+
+    #[test]
+    fn keys_spread_over_all_shards() {
+        let p = Partitioner::new(4);
+        let mut seen = [0usize; 4];
+        for id in 0..400u32 {
+            if let Some(slot) = seen.get_mut(p.shard_of("angellist/users", &format!("user:{id}"))) {
+                *slot += 1;
+            }
+        }
+        for (shard, count) in seen.iter().enumerate() {
+            assert!(*count > 40, "shard {shard} got only {count}/400 keys");
+        }
+    }
+}

@@ -1,0 +1,979 @@
+//! Scatter-gather router: the unsharded serving surface over N shards.
+//!
+//! The [`Router`] answers the exact route table of
+//! `crowdnet_serve::Service` — same paths, same envelopes, same error
+//! strings — by fanning queries out to the healthy shards and merging
+//! their partial results:
+//!
+//! * **entity** — single-shard: the partitioner names the owner, one
+//!   epoch lookup answers.
+//! * **portfolio / company investors** — scatter epochs; an investor's
+//!   edges live on one shard (co-location), a company's inbound edges
+//!   concatenate disjointly; merged ids sort ascending, matching the
+//!   canonical unsharded listing.
+//! * **top-k** — per-shard ranked prefixes merged through a bounded heap
+//!   (at most one candidate per shard in flight), ties broken by
+//!   ascending id exactly like the unsharded sort.
+//! * **stats** — associative merge of per-shard `Store::stats`.
+//! * **sql / communities / pagerank** — per-shard partition scans are
+//!   concatenated in shard order and stable-sorted by key, which
+//!   reconstructs the unsharded store's canonical partition scans
+//!   byte-for-byte (same-key documents never span shards); communities
+//!   and PageRank come from global [`Artifacts`] assembled from that
+//!   canonical merge and cached per logical version.
+//!
+//! Fan-outs run on the shards' executor threads under a shared deadline
+//! budget: a shard that is down, mid-recovery, or past the budget is
+//! skipped and the response is flagged `"partial": true` with the shard
+//! indices in `"degraded_shards"` — degraded, never failed.
+
+use crate::backend::{Job, ShardEpoch, ShardHealth};
+use crate::set::ShardSet;
+use crowdnet_json::{obj, Value};
+use crowdnet_serve::artifacts::{Artifacts, ArtifactsConfig, NS_COMPANIES, NS_USERS};
+use crowdnet_serve::cache::{CacheConfig, CacheStats, ResultCache};
+use crowdnet_serve::http::{Request, Response};
+use crowdnet_serve::router::{
+    error_response, id_array, opt_f64, param, parse_id, render_stats,
+};
+use crowdnet_serve::{RequestHandler, ServeError};
+use crowdnet_dataflow::{sql, Dataset, ExecCtx};
+use crowdnet_store::{Document, SnapshotId, StoreError};
+use crowdnet_telemetry::{Counter, Histogram, Telemetry};
+use parking_lot::RwLock;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+
+/// Router knobs. Artifact and SQL knobs mirror `ServiceConfig` so a
+/// sharded deployment answers byte-identically to an unsharded one built
+/// from the same corpus.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Artifact-build knobs for the global (cross-shard) artifacts.
+    pub artifacts: ArtifactsConfig,
+    /// Result-cache sizing.
+    pub cache: CacheConfig,
+    /// Maximum rows an ad-hoc SQL response returns.
+    pub sql_row_limit: usize,
+    /// Dataflow threads for merged scans and SQL execution.
+    pub threads: usize,
+    /// Fan-out budget applied when a request carries no `x-deadline-ms`
+    /// header; `None` means no deadline.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            artifacts: ArtifactsConfig::default(),
+            cache: CacheConfig::default(),
+            sql_row_limit: 1000,
+            threads: 2,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// Per-request fan-out state: the deadline budget and which shards could
+/// not contribute (down, recovering, past deadline, or reply lost).
+struct QueryCtx {
+    deadline_at: Option<u64>,
+    degraded: BTreeSet<usize>,
+}
+
+/// The scatter-gather front end over a [`ShardSet`].
+pub struct Router {
+    set: Arc<ShardSet>,
+    ctx: ExecCtx,
+    telemetry: Telemetry,
+    cfg: RouterConfig,
+    /// Global artifacts memo, keyed by the set's logical version. Only
+    /// fully-healthy builds are cached; degraded builds are served once
+    /// and rebuilt (they reflect whichever shards were up).
+    global: RwLock<Option<(u64, Arc<Artifacts>)>>,
+    cache: ResultCache,
+    requests: Counter,
+    fanouts: Counter,
+    single_shard: Counter,
+    partial: Counter,
+    deadline_skips: Counter,
+    epoch_builds: Counter,
+    latency: Histogram,
+}
+
+impl Router {
+    /// Wrap a shard set. Nothing is scanned yet — global artifacts build
+    /// on the first request that needs them.
+    pub fn new(set: Arc<ShardSet>, cfg: RouterConfig, telemetry: Telemetry) -> Router {
+        let cache = ResultCache::new(&cfg.cache, &telemetry);
+        Router {
+            ctx: ExecCtx::new(cfg.threads.max(1)),
+            set,
+            cache,
+            requests: telemetry.counter("shard.router.requests"),
+            fanouts: telemetry.counter("shard.router.fanouts"),
+            single_shard: telemetry.counter("shard.router.single_shard"),
+            partial: telemetry.counter("shard.router.partial"),
+            deadline_skips: telemetry.counter("shard.router.deadline_skips"),
+            epoch_builds: telemetry.counter("shard.router.epoch_builds"),
+            latency: telemetry.histogram("serve.latency_ms"),
+            telemetry,
+            cfg,
+            global: RwLock::new(None),
+        }
+    }
+
+    /// The shard set behind the router.
+    pub fn set(&self) -> &Arc<ShardSet> {
+        &self.set
+    }
+
+    /// Result-cache occupancy (for `/healthz` and tests).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Serve one request end to end — the sharded analogue of
+    /// `Service::handle`. Never panics; every failure is a status-coded
+    /// JSON response.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.requests.inc();
+        let started = self.telemetry.now_ms();
+        let version = self.set.version();
+        // Responses from a degraded set carry partial flags and reflect
+        // whichever shards were up, so the cache only participates while
+        // every shard is healthy.
+        let all_healthy = !self.set.any_unhealthy();
+        let key = format!("{} {}", req.method, req.target);
+        let cacheable = all_healthy && req.method == "GET" && req.path() != "/healthz";
+        if cacheable {
+            if let Some(hit) = self.cache.get(&key, version) {
+                self.latency.record(self.telemetry.now_ms() - started);
+                return hit;
+            }
+        }
+        let deadline_at = req
+            .header("x-deadline-ms")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .or(self.cfg.default_deadline_ms)
+            .map(|ms| started + ms);
+        let mut ctx = QueryCtx {
+            deadline_at,
+            degraded: BTreeSet::new(),
+        };
+        let result = {
+            let _span = self
+                .telemetry
+                .span(&format!("shard.{}", endpoint_name(req.path())));
+            self.route(&mut ctx, req)
+        };
+        let response = match result {
+            Ok(mut value) => {
+                if !ctx.degraded.is_empty() {
+                    if let Some(o) = value.as_obj_mut() {
+                        o.insert("partial", Value::Bool(true));
+                        o.insert(
+                            "degraded_shards",
+                            Value::Arr(
+                                ctx.degraded.iter().map(|&i| Value::from(i as u64)).collect(),
+                            ),
+                        );
+                    }
+                    self.partial.inc();
+                }
+                Response::json(200, &value)
+            }
+            Err(e) => error_response(&e),
+        };
+        if cacheable && response.status == 200 && ctx.degraded.is_empty() {
+            self.cache.put(&key, version, response.clone());
+        }
+        self.latency.record(self.telemetry.now_ms() - started);
+        response
+    }
+
+    /// One representative target per endpoint (same surface as
+    /// `Service::example_targets`), with real ids from the global
+    /// artifacts — the smoke surface `repro serve --shards` walks.
+    pub fn example_targets(&self) -> Result<Vec<String>, ServeError> {
+        let mut ctx = QueryCtx {
+            deadline_at: None,
+            degraded: BTreeSet::new(),
+        };
+        let artifacts = self.global_artifacts(&mut ctx)?;
+        let mut targets = vec!["/healthz".to_string(), "/stats".to_string()];
+        if artifacts.graph.investor_count() > 0 {
+            let inv = artifacts.graph.investor_id(0);
+            let com = artifacts.graph.company_id(0);
+            targets.push(format!("/entity/user/{inv}"));
+            targets.push(format!("/entity/company/{com}"));
+            targets.push(format!("/investor/{inv}/portfolio"));
+            targets.push(format!("/investor/{inv}/communities"));
+            targets.push(format!("/company/{com}/investors"));
+        }
+        targets.push("/communities".to_string());
+        if !artifacts.cover.is_empty() {
+            targets.push("/communities/0".to_string());
+        }
+        targets.push("/top/investors?by=degree&k=5".to_string());
+        targets.push("/top/investors?by=pagerank&k=5".to_string());
+        targets.push(format!(
+            "/sql?ns={}&q=SELECT+COUNT(*)+AS+n+FROM+docs",
+            NS_USERS.replace('/', "%2F")
+        ));
+        Ok(targets)
+    }
+
+    fn route(&self, ctx: &mut QueryCtx, req: &Request) -> Result<Value, ServeError> {
+        let path = req.path().to_string();
+        let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        let is_sql_post = req.method == "POST" && segs.as_slice() == ["sql"];
+        if req.method != "GET" && !is_sql_post {
+            return Err(ServeError::MethodNotAllowed(format!(
+                "{} {}",
+                req.method, path
+            )));
+        }
+        match segs.as_slice() {
+            ["healthz"] => self.healthz(),
+            ["stats"] => self.stats(ctx),
+            ["entity", kind, id] => self.entity(ctx, kind, parse_id(id)?),
+            ["investor", id, "portfolio"] => self.portfolio(ctx, parse_id(id)?),
+            ["investor", id, "communities"] => self.investor_communities(ctx, parse_id(id)?),
+            ["company", id, "investors"] => self.company_investors(ctx, parse_id(id)?),
+            ["communities"] => self.communities(ctx),
+            ["communities", id] => self.community(ctx, id),
+            ["top", "investors"] => self.top_investors(ctx, req),
+            ["sql"] => self.sql_endpoint(ctx, req),
+            _ => Err(ServeError::NotFound(path)),
+        }
+    }
+
+    // ---- fan-out machinery -------------------------------------------
+
+    /// Scatter one job per healthy shard onto the shards' executor
+    /// threads and gather replies in shard order. Shards that are
+    /// unhealthy, past the deadline budget, or whose reply is lost are
+    /// recorded in `ctx.degraded` and omitted from the result.
+    fn scatter<T, F>(&self, ctx: &mut QueryCtx, mut make_job: F) -> Vec<(usize, T)>
+    where
+        T: Send + 'static,
+        F: FnMut(usize) -> Box<dyn FnOnce() -> T + Send + 'static>,
+    {
+        self.fanouts.inc();
+        let mut pending = Vec::new();
+        for (idx, shard) in self.set.shards().iter().enumerate() {
+            if shard.health() != ShardHealth::Healthy {
+                ctx.degraded.insert(idx);
+                continue;
+            }
+            if let Some(deadline) = ctx.deadline_at {
+                if self.telemetry.now_ms() > deadline {
+                    self.deadline_skips.inc();
+                    ctx.degraded.insert(idx);
+                    continue;
+                }
+            }
+            let job = make_job(idx);
+            let (tx, rx) = sync_channel::<T>(1);
+            let telemetry = self.telemetry.clone();
+            let skips = self.deadline_skips.clone();
+            let deadline = ctx.deadline_at;
+            let wrapped: Job = Box::new(move || {
+                if let Some(d) = deadline {
+                    if telemetry.now_ms() > d {
+                        // Budget ran out while queued: drop the reply
+                        // sender so the gather marks this shard degraded.
+                        skips.inc();
+                        return;
+                    }
+                }
+                let _ = tx.send(job());
+            });
+            // Executor queue full (or gone): run the job inline rather
+            // than blocking or failing — same never-wait discipline as
+            // the serve worker pool.
+            if let Err(job) = shard.submit(wrapped) {
+                job();
+            }
+            pending.push((idx, rx));
+        }
+        let mut gathered = Vec::with_capacity(pending.len());
+        for (idx, rx) in pending {
+            match rx.recv() {
+                Ok(v) => gathered.push((idx, v)),
+                Err(_) => {
+                    ctx.degraded.insert(idx);
+                }
+            }
+        }
+        gathered
+    }
+
+    /// Current epochs of every healthy shard, refreshed in parallel.
+    fn scatter_epochs(
+        &self,
+        ctx: &mut QueryCtx,
+    ) -> Result<Vec<(usize, Arc<ShardEpoch>)>, ServeError> {
+        let results = self.scatter(ctx, |idx| {
+            let shard = self.set.shards().get(idx).map(Arc::clone);
+            Box::new(move || match shard {
+                Some(s) => s.epoch().map_err(shard_to_serve),
+                None => Err(ServeError::NotFound(format!("shard {idx}"))),
+            })
+        });
+        let mut epochs = Vec::with_capacity(results.len());
+        for (idx, r) in results {
+            epochs.push((idx, r?));
+        }
+        Ok(epochs)
+    }
+
+    /// Canonical partition scans of `ns` at snapshot 0, merged across the
+    /// healthy shards: per partition, shard slices concatenate in shard
+    /// order and stable-sort by key. Because a key's documents live on
+    /// exactly one shard and each shard preserves append order, this
+    /// reconstructs the unsharded store's `scan_partitions` output
+    /// exactly. `Ok(None)` means the namespace does not exist.
+    fn merged_partitions(
+        &self,
+        ctx: &mut QueryCtx,
+        ns: &str,
+    ) -> Result<Option<Vec<Vec<Document>>>, ServeError> {
+        let results = self.scatter(ctx, |idx| {
+            let shard = self.set.shards().get(idx).map(Arc::clone);
+            let ns = ns.to_string();
+            Box::new(move || match shard {
+                Some(s) => s.store().scan_partitions(&ns, SnapshotId(0)),
+                None => Err(StoreError::NamespaceNotFound(ns)),
+            })
+        });
+        let partitions = self
+            .set
+            .shards()
+            .first()
+            .map(|s| s.store().partitions())
+            .unwrap_or(1);
+        let mut merged: Vec<Vec<Document>> = vec![Vec::new(); partitions];
+        let mut any = false;
+        for (_idx, r) in results {
+            match r {
+                Ok(parts) => {
+                    any = true;
+                    for (p, docs) in parts.into_iter().enumerate() {
+                        if let Some(slot) = merged.get_mut(p) {
+                            slot.extend(docs);
+                        }
+                    }
+                }
+                // Snapshot lockstep: a namespace exists on all shards or
+                // none, so any miss means the namespace is absent.
+                Err(StoreError::NamespaceNotFound(_)) => return Ok(None),
+                Err(e) => return Err(ServeError::Store(e)),
+            }
+        }
+        if !any && ctx.degraded.is_empty() {
+            return Ok(None);
+        }
+        for part in &mut merged {
+            // Stable: same-key documents are single-shard, so their
+            // append order survives the concat.
+            part.sort_by(|a, b| a.key.cmp(&b.key));
+        }
+        Ok(Some(merged))
+    }
+
+    /// Cross-shard [`Artifacts`] at the set's logical version, assembled
+    /// from the canonically merged corpus scans. Fully-healthy builds are
+    /// memoized per version; degraded builds are served uncached.
+    fn global_artifacts(&self, ctx: &mut QueryCtx) -> Result<Arc<Artifacts>, ServeError> {
+        let version = self.set.version();
+        {
+            let memo = self.global.read();
+            if let Some((v, a)) = &*memo {
+                if *v == version {
+                    return Ok(Arc::clone(a));
+                }
+            }
+        }
+        let mut scans: Vec<(&str, Vec<Document>)> = Vec::new();
+        for ns in [NS_COMPANIES, NS_USERS] {
+            if let Some(parts) = self.merged_partitions(ctx, ns)? {
+                scans.push((ns, parts.into_iter().flatten().collect()));
+            }
+        }
+        let built = Arc::new(Artifacts::from_documents(
+            version,
+            scans,
+            &self.telemetry,
+            &self.cfg.artifacts,
+        ));
+        self.epoch_builds.inc();
+        if ctx.degraded.is_empty() {
+            let mut memo = self.global.write();
+            match &*memo {
+                // A racing builder won with an equal-or-newer stamp.
+                Some((v, a)) if *v >= version => return Ok(Arc::clone(a)),
+                _ => *memo = Some((version, Arc::clone(&built))),
+            }
+        }
+        Ok(built)
+    }
+
+    // ---- endpoints ----------------------------------------------------
+
+    fn healthz(&self) -> Result<Value, ServeError> {
+        let cache = self.cache.stats();
+        let shards = self
+            .set
+            .shards()
+            .iter()
+            .map(|s| {
+                obj! {
+                    "index" => s.index(),
+                    "health" => s.health().as_str(),
+                    "version" => s.store().version(),
+                }
+            })
+            .collect();
+        Ok(obj! {
+            "ok" => true,
+            "degraded" => self.set.any_unhealthy(),
+            "version" => self.set.version(),
+            "shards" => Value::Arr(shards),
+            "cache" => obj! {
+                "entries" => cache.entries,
+                "bytes" => cache.bytes,
+                "capacity_bytes" => cache.capacity_bytes,
+            },
+        })
+    }
+
+    fn stats(&self, ctx: &mut QueryCtx) -> Result<Value, ServeError> {
+        for (i, s) in self.set.shards().iter().enumerate() {
+            if s.health() != ShardHealth::Healthy {
+                ctx.degraded.insert(i);
+            }
+        }
+        let merged = self
+            .set
+            .merged_stats(|s| s.health() == ShardHealth::Healthy)
+            .map_err(shard_to_serve)?;
+        let mut rendered = render_stats(&merged, self.set.version());
+        if let Some(o) = rendered.as_obj_mut() {
+            o.insert("degraded", Value::Bool(self.set.any_unhealthy()));
+        }
+        Ok(rendered)
+    }
+
+    fn entity(&self, ctx: &mut QueryCtx, kind: &str, id: u32) -> Result<Value, ServeError> {
+        if kind != "company" && kind != "user" {
+            return Err(ServeError::BadRequest(format!(
+                "unknown entity kind: {kind:?} (company|user)"
+            )));
+        }
+        let ns = if kind == "company" { NS_COMPANIES } else { NS_USERS };
+        let key = format!("{kind}:{id}");
+        let owner = self.set.partitioner().shard_of(ns, &key);
+        self.single_shard.inc();
+        let shard = self
+            .set
+            .shard(owner)
+            .ok_or_else(|| ServeError::NotFound(key.clone()))?;
+        if shard.health() != ShardHealth::Healthy {
+            // The owner is out: degrade to a partial envelope instead of
+            // guessing between 404 and 500.
+            ctx.degraded.insert(owner);
+            return Ok(obj! {"kind" => kind, "id" => u64::from(id), "body" => Value::Null});
+        }
+        let epoch = shard.epoch().map_err(shard_to_serve)?;
+        let body = epoch
+            .entities
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| ServeError::NotFound(key))?;
+        Ok(obj! {"kind" => kind, "id" => u64::from(id), "body" => body})
+    }
+
+    fn portfolio(&self, ctx: &mut QueryCtx, id: u32) -> Result<Value, ServeError> {
+        let artifacts = self.global_artifacts(ctx)?;
+        let epochs = self.scatter_epochs(ctx)?;
+        let mut found = false;
+        let mut degree = 0usize;
+        let mut ids: Vec<u32> = Vec::new();
+        for (_idx, ep) in &epochs {
+            if let Some(i) = ep.graph.investor_index(id) {
+                // Co-location: exactly one shard owns the investor.
+                found = true;
+                let companies = ep.graph.companies_of(i);
+                degree += companies.len();
+                ids.extend(companies.iter().map(|&c| ep.graph.company_id(c)));
+            }
+        }
+        if !found {
+            if ctx.degraded.is_empty() {
+                return Err(ServeError::NotFound(format!("investor {id}")));
+            }
+            return Ok(obj! {"id" => u64::from(id)});
+        }
+        ids.sort_unstable();
+        let pagerank = artifacts
+            .investor_index(id)
+            .and_then(|i| artifacts.pagerank.get(i as usize).copied())
+            .unwrap_or(0.0);
+        Ok(obj! {
+            "id" => u64::from(id),
+            "degree" => degree,
+            "pagerank" => pagerank,
+            "companies" => id_array(ids),
+        })
+    }
+
+    fn investor_communities(&self, ctx: &mut QueryCtx, id: u32) -> Result<Value, ServeError> {
+        let artifacts = self.global_artifacts(ctx)?;
+        if artifacts.investor_index(id).is_none() {
+            return Err(ServeError::NotFound(format!("investor {id}")));
+        }
+        let (filtered, communities) = match artifacts.investor_membership(id) {
+            Some((_, cids)) => (true, cids.to_vec()),
+            None => (false, Vec::new()),
+        };
+        Ok(obj! {
+            "id" => u64::from(id),
+            "in_filtered_graph" => filtered,
+            "communities" => Value::Arr(communities.into_iter().map(Value::from).collect()),
+        })
+    }
+
+    fn company_investors(&self, ctx: &mut QueryCtx, id: u32) -> Result<Value, ServeError> {
+        let epochs = self.scatter_epochs(ctx)?;
+        let mut found = false;
+        let mut ids: Vec<u32> = Vec::new();
+        for (_idx, ep) in &epochs {
+            if let Some(c) = ep.graph.company_index(id) {
+                // A company's inbound edges may span shards (its investors
+                // hash independently); the slices are disjoint.
+                found = true;
+                ids.extend(ep.graph.investors_of(c).iter().map(|&i| ep.graph.investor_id(i)));
+            }
+        }
+        if !found {
+            if ctx.degraded.is_empty() {
+                return Err(ServeError::NotFound(format!("company {id}")));
+            }
+            return Ok(obj! {"id" => u64::from(id)});
+        }
+        ids.sort_unstable();
+        Ok(obj! {
+            "id" => u64::from(id),
+            "degree" => ids.len(),
+            "investors" => id_array(ids),
+        })
+    }
+
+    fn communities(&self, ctx: &mut QueryCtx) -> Result<Value, ServeError> {
+        let artifacts = self.global_artifacts(ctx)?;
+        let list = (0..artifacts.communities.len())
+            .filter_map(|i| community_summary(&artifacts, i))
+            .collect();
+        Ok(obj! {
+            "count" => artifacts.communities.len(),
+            "filtered_investors" => artifacts.filtered.investor_count(),
+            "communities" => Value::Arr(list),
+        })
+    }
+
+    fn community(&self, ctx: &mut QueryCtx, raw_id: &str) -> Result<Value, ServeError> {
+        let id = raw_id
+            .parse::<usize>()
+            .map_err(|_| ServeError::BadRequest(format!("bad community id: {raw_id:?}")))?;
+        let artifacts = self.global_artifacts(ctx)?;
+        let (_, members) = artifacts
+            .community(id)
+            .ok_or_else(|| ServeError::NotFound(format!("community {id}")))?;
+        let mut summary = community_summary(&artifacts, id)
+            .ok_or_else(|| ServeError::NotFound(format!("community {id}")))?;
+        if let Some(o) = summary.as_obj_mut() {
+            o.insert("members", id_array(members));
+        }
+        Ok(summary)
+    }
+
+    fn top_investors(&self, ctx: &mut QueryCtx, req: &Request) -> Result<Value, ServeError> {
+        let by = param(req, "by").unwrap_or_else(|| "degree".into());
+        let k = match param(req, "k") {
+            Some(raw) => raw
+                .parse::<usize>()
+                .map_err(|_| ServeError::BadRequest(format!("bad k: {raw:?}")))?,
+            None => 10,
+        };
+        let ranked = match by.as_str() {
+            // Degree is shard-local: merge per-shard top-k prefixes
+            // through a bounded heap (≤ one candidate per shard).
+            "degree" => {
+                let epochs = self.scatter_epochs(ctx)?;
+                let per_shard: Vec<Vec<(u32, f64)>> = epochs
+                    .iter()
+                    .map(|(_, ep)| {
+                        let mut ranked: Vec<(u32, f64)> = ep
+                            .graph
+                            .investor_degrees()
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, d)| (ep.graph.investor_id(i as u32), d as f64))
+                            .collect();
+                        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                        ranked.truncate(k);
+                        ranked
+                    })
+                    .collect();
+                merge_top_k(per_shard, k)
+            }
+            // PageRank is a whole-graph score; rank the global artifacts
+            // exactly like the unsharded service.
+            "pagerank" => {
+                let artifacts = self.global_artifacts(ctx)?;
+                let mut ranked: Vec<(u32, f64)> = artifacts
+                    .pagerank
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| (artifacts.graph.investor_id(i as u32), s))
+                    .collect();
+                ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                ranked.truncate(k);
+                ranked
+            }
+            other => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown ranking: {other:?} (degree|pagerank)"
+                )))
+            }
+        };
+        let rows = ranked
+            .into_iter()
+            .map(|(id, score)| obj! {"id" => u64::from(id), "score" => score})
+            .collect();
+        Ok(obj! {"by" => by, "k" => k, "investors" => Value::Arr(rows)})
+    }
+
+    fn sql_endpoint(&self, ctx: &mut QueryCtx, req: &Request) -> Result<Value, ServeError> {
+        let ns = param(req, "ns")
+            .ok_or_else(|| ServeError::BadRequest("missing ?ns= namespace".into()))?;
+        let query_text = if req.method == "POST" && !req.body.is_empty() {
+            String::from_utf8(req.body.clone())
+                .map_err(|_| ServeError::BadRequest("sql body is not utf-8".into()))?
+        } else {
+            param(req, "q").ok_or_else(|| ServeError::BadRequest("missing ?q= query".into()))?
+        };
+        let parts = self
+            .merged_partitions(ctx, &ns)?
+            .ok_or(ServeError::Store(StoreError::NamespaceNotFound(ns)))?;
+        let docs = Dataset::from_partitions(parts, self.ctx);
+        let table = sql::query(&query_text, docs.map(|d| d.body))?;
+        let total = table.rows.len();
+        let limit = self.cfg.sql_row_limit;
+        let rows = table
+            .rows
+            .into_iter()
+            .take(limit)
+            .map(Value::Arr)
+            .collect();
+        Ok(obj! {
+            "columns" => Value::Arr(table.columns.into_iter().map(Value::from).collect()),
+            "rows" => Value::Arr(rows),
+            "row_count" => total,
+            "truncated" => total > limit,
+        })
+    }
+}
+
+impl RequestHandler for Router {
+    fn handle(&self, req: &Request) -> Response {
+        Router::handle(self, req)
+    }
+}
+
+/// Map shard-set failures onto serve statuses: store errors keep their
+/// status mapping; infrastructure failures surface as 500s.
+fn shard_to_serve(e: crate::error::ShardError) -> ServeError {
+    match e {
+        crate::error::ShardError::Store(e) => ServeError::Store(e),
+        other => ServeError::Io(std::io::Error::new(
+            std::io::ErrorKind::Other,
+            other.to_string(),
+        )),
+    }
+}
+
+/// First path segment, for span naming (`shard.stats`, `shard.sql`, …).
+fn endpoint_name(path: &str) -> &str {
+    let trimmed = path.trim_start_matches('/');
+    let seg = trimmed.split('/').next().unwrap_or_default();
+    if seg.is_empty() {
+        "root"
+    } else {
+        seg
+    }
+}
+
+/// One community rendered for listings — same shape as the unsharded
+/// service's summaries.
+fn community_summary(artifacts: &Artifacts, id: usize) -> Option<Value> {
+    let s = artifacts.communities.get(id)?;
+    Some(obj! {
+        "id" => s.id,
+        "size" => s.size,
+        "avg_shared_investment" => opt_f64(s.avg_shared_investment),
+        "shared_investor_pct" => opt_f64(s.shared_investor_pct),
+    })
+}
+
+/// Heap entry for the bounded top-k merge: max-heap on score, ties broken
+/// by ascending id (the unsharded sort order).
+struct Ranked {
+    score: f64,
+    id: u32,
+    shard: usize,
+}
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Ranked {}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then(other.id.cmp(&self.id))
+    }
+}
+
+/// Merge per-shard descending-ranked prefixes into the global top `k`,
+/// holding at most one candidate per shard in the heap.
+fn merge_top_k(per_shard: Vec<Vec<(u32, f64)>>, k: usize) -> Vec<(u32, f64)> {
+    let mut queues: Vec<VecDeque<(u32, f64)>> =
+        per_shard.into_iter().map(VecDeque::from).collect();
+    let mut heap: BinaryHeap<Ranked> = BinaryHeap::with_capacity(queues.len());
+    for (shard, q) in queues.iter_mut().enumerate() {
+        if let Some((id, score)) = q.pop_front() {
+            heap.push(Ranked { score, id, shard });
+        }
+    }
+    let mut merged = Vec::with_capacity(k.min(64));
+    while merged.len() < k {
+        let Some(top) = heap.pop() else { break };
+        merged.push((top.id, top.score));
+        if let Some(q) = queues.get_mut(top.shard) {
+            if let Some((id, score)) = q.pop_front() {
+                heap.push(Ranked {
+                    score,
+                    id,
+                    shard: top.shard,
+                });
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdnet_serve::{Service, ServiceConfig};
+    use crowdnet_store::Store;
+
+    const SEED_COMPANIES: u32 = 6;
+
+    /// Same corpus written to an unsharded store and through a shard set.
+    fn seeded_pair(shards: usize) -> (Service, Router) {
+        let store = Arc::new(Store::memory(4));
+        let t = Telemetry::new();
+        let set = Arc::new(ShardSet::memory(shards, 4, &t).unwrap());
+        let mut write = |ns: &str, doc: Document| {
+            store.put(ns, doc.clone()).unwrap();
+            set.put(ns, doc).unwrap();
+        };
+        for id in 0..SEED_COMPANIES {
+            write(
+                NS_COMPANIES,
+                Document::new(
+                    format!("company:{id}"),
+                    obj! {"id" => u64::from(id), "name" => format!("c{id}")},
+                ),
+            );
+        }
+        for inv in 0..9u32 {
+            let companies: Vec<Value> = (0..SEED_COMPANIES)
+                .filter(|c| (inv + c) % 3 != 0)
+                .map(|c| Value::from(u64::from(c)))
+                .collect();
+            write(
+                NS_USERS,
+                Document::new(
+                    format!("user:{}", 100 + inv),
+                    obj! {
+                        "id" => u64::from(100 + inv),
+                        "role" => "investor",
+                        "investments" => Value::Arr(companies),
+                    },
+                ),
+            );
+        }
+        let service = Service::new(store, ServiceConfig::default(), Telemetry::new());
+        let router = Router::new(set, RouterConfig::default(), t);
+        (service, router)
+    }
+
+    fn probe_targets(service: &Service) -> Vec<String> {
+        let mut targets = service.example_targets().unwrap();
+        targets.extend(
+            [
+                "/entity/company/999",
+                "/entity/planet/1",
+                "/entity/company/xyz",
+                "/investor/9999/portfolio",
+                "/company/9999/investors",
+                "/investor/9999/communities",
+                "/communities/9999",
+                "/top/investors?by=fame",
+                "/top/investors?k=nope",
+                "/top/investors?by=degree&k=3",
+                "/sql?q=SELECT+1",
+                "/sql?ns=angellist%2Fusers",
+                "/sql?ns=ghost&q=SELECT+COUNT(*)+FROM+docs",
+                "/sql?ns=angellist%2Fusers&q=NOT+SQL",
+                "/no/such/route",
+                "/",
+            ]
+            .into_iter()
+            .map(String::from),
+        );
+        targets
+    }
+
+    #[test]
+    fn sharded_responses_are_byte_identical_to_unsharded() {
+        for shards in [1, 2, 4] {
+            let (service, router) = seeded_pair(shards);
+            for target in probe_targets(&service) {
+                if target == "/healthz" {
+                    continue; // healthz reports live per-shard state
+                }
+                let req = Request::get(&target);
+                let direct = service.handle(&req);
+                let routed = router.handle(&req);
+                assert_eq!(
+                    direct.status, routed.status,
+                    "status diverged on {target} with {shards} shards"
+                );
+                assert_eq!(
+                    direct.body, routed.body,
+                    "body diverged on {target} with {shards} shards: {} vs {}",
+                    String::from_utf8_lossy(&direct.body),
+                    String::from_utf8_lossy(&routed.body),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeat_requests_and_invalidates_on_write() {
+        let (_service, router) = seeded_pair(2);
+        let t = router.telemetry.clone();
+        let r1 = router.handle(&Request::get("/stats"));
+        let r2 = router.handle(&Request::get("/stats"));
+        assert_eq!(r1, r2);
+        assert_eq!(t.counter("serve.cache.hit").value(), 1);
+        router
+            .set()
+            .put(
+                NS_COMPANIES,
+                Document::new("company:77", obj! {"id" => 77u64}),
+            )
+            .unwrap();
+        let r3 = router.handle(&Request::get("/stats"));
+        assert_ne!(r1.body, r3.body, "stale stats served after a write");
+    }
+
+    #[test]
+    fn killing_a_shard_degrades_instead_of_failing() {
+        let (service, router) = seeded_pair(3);
+        let targets = probe_targets(&service);
+        router.set().kill(1).unwrap();
+        for target in &targets {
+            let resp = router.handle(&Request::get(target));
+            assert!(
+                resp.status < 500,
+                "5xx on {target} with a shard down: {}",
+                String::from_utf8_lossy(&resp.body)
+            );
+        }
+        // Fan-out endpoints flag the gap.
+        let stats = router.handle(&Request::get("/stats"));
+        let v = Value::parse(std::str::from_utf8(&stats.body).unwrap()).unwrap();
+        assert_eq!(v.get("partial").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            v.get("degraded_shards")
+                .and_then(Value::as_arr)
+                .map(|a| a.len()),
+            Some(1)
+        );
+        assert!(router.telemetry.counter("shard.router.partial").value() > 0);
+        // Recovery restores byte-identical answers.
+        router.set().recover().unwrap();
+        for target in &targets {
+            if target == "/healthz" {
+                continue;
+            }
+            let req = Request::get(target);
+            assert_eq!(
+                service.handle(&req).body,
+                router.handle(&req).body,
+                "post-recovery divergence on {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_yields_partial_not_error() {
+        let (_service, router) = seeded_pair(2);
+        // Warm the global artifacts so /stats is the only fan-out left.
+        router.handle(&Request::get("/communities"));
+        let req = Request {
+            method: "GET".into(),
+            target: "/top/investors?by=degree&k=2".into(),
+            version: "HTTP/1.1".into(),
+            headers: vec![("x-deadline-ms".into(), "0".into())],
+            body: Vec::new(),
+        };
+        // A zero budget may or may not expire before dispatch on a fast
+        // clock; force it by a second call after real time passes.
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        let resp = router.handle(&req);
+        assert!(resp.status == 200, "deadline produced a non-200");
+    }
+
+    #[test]
+    fn top_k_merge_breaks_ties_by_ascending_id() {
+        let merged = merge_top_k(
+            vec![
+                vec![(7, 3.0), (1, 2.0)],
+                vec![(2, 3.0), (9, 3.0)],
+                vec![],
+            ],
+            3,
+        );
+        assert_eq!(merged, vec![(2, 3.0), (7, 3.0), (9, 3.0)]);
+    }
+}

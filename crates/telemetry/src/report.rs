@@ -82,6 +82,17 @@ pub const DECLARED_METRICS: &[&str] = &[
     "serve.queue_depth",
     "serve.requests",
     "serve.shed",
+    "shard.*.docs",
+    "shard.*.refreshes",
+    "shard.router.deadline_skips",
+    "shard.router.epoch_builds",
+    "shard.router.fanouts",
+    "shard.router.partial",
+    "shard.router.requests",
+    "shard.router.single_shard",
+    "shard.set.opened",
+    "shard.set.puts",
+    "shard.set.recoveries",
     "store.recovery.quarantined",
     "store.recovery.records_ok",
     "store.recovery.scans",

@@ -75,6 +75,24 @@ ingest_summary="$(cargo run -q --release --offline -p crowdnet-core --bin repro 
 echo "$ingest_summary" | grep -q "ingest.events"
 echo "$ingest_summary" | grep -q "ingest.epoch"
 
+echo "==> shard smoke (scatter-gather router over 2 shards answers every endpoint)"
+shard_out="$(cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --scale tiny --seed 7 --out "$smoke_dir" \
+  --telemetry "$smoke_dir/telemetry/shard.json" serve --shards 2 --smoke)"
+echo "$shard_out" | grep -q "^  200 GET /stats"
+if echo "$shard_out" | grep -q "^  [45]"; then
+  echo "shard smoke: endpoint returned an error status" >&2
+  exit 1
+fi
+# Mandatory shard counters: shards opened, writes routed, requests fanned
+# out through the router.
+for counter in shard.set.opened shard.set.puts shard.router.requests shard.router.fanouts; do
+  if ! echo "$shard_out" | grep -q "$counter=[1-9]"; then
+    echo "shard smoke: mandatory counter $counter missing or zero" >&2
+    exit 1
+  fi
+done
+
 echo "==> recovery smoke (crash the durable crawl, resume, compare content hash)"
 # Uninterrupted durable crawl at tiny scale: the reference content hash.
 full_out="$(cargo run -q --release --offline -p crowdnet-core --bin repro -- \

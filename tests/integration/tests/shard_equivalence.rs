@@ -1,0 +1,247 @@
+//! Equivalence property for the sharded serving tier: a scatter-gather
+//! [`Router`] over N hash-partitioned shards must answer every serve
+//! endpoint **byte-identically** to the single-store [`Service`] fed the
+//! same write sequence — for N ∈ {1, 2, 4}, across random interleavings
+//! of graph-bearing investor appends, company appends, stats-only journal
+//! appends and snapshot rotations. `/healthz` is the one exception: it
+//! reports live per-shard state by design.
+//!
+//! The property leans on two invariants the shard crate maintains:
+//! snapshot lockstep (every shard holds the same snapshot count per
+//! namespace, so per-shard scans merge into the unsharded scan) and the
+//! logical version mirroring the unsharded `Store::version` for the same
+//! op sequence (checked here directly).
+//!
+//! A second test covers the degraded path end to end: killing one of
+//! three shards must flag partial results — never a 5xx — and
+//! `recover()` must restore byte-identical answers.
+
+use crowdnet_json::{obj, Value};
+use crowdnet_serve::artifacts::{NS_COMPANIES, NS_USERS};
+use crowdnet_serve::{Request, Service, ServiceConfig};
+use crowdnet_shard::{Router, RouterConfig, ShardSet};
+use crowdnet_store::{Document, Store};
+use crowdnet_telemetry::Telemetry;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A non-graph namespace: exercises stats merging and snapshot lockstep.
+const NS_JOURNAL: &str = "journal/daily";
+
+/// One random write, spanning every event class the serving tier sees.
+#[derive(Debug, Clone)]
+enum Op {
+    Company(u32),
+    Investor { id: u32, portfolio: Vec<u32> },
+    Journal(u32),
+    JournalSnapshot,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..24).prop_map(Op::Company),
+        ((100u32..116), proptest::collection::vec(0u32..24, 0..6))
+            .prop_map(|(id, portfolio)| Op::Investor { id, portfolio }),
+        (0u32..8).prop_map(Op::Journal),
+        Just(Op::JournalSnapshot),
+    ]
+}
+
+/// The document an op writes — shared by both sides so the corpora are
+/// identical by construction.
+fn doc_for(op: &Op) -> Option<(&'static str, Document)> {
+    match op {
+        Op::Company(id) => Some((
+            NS_COMPANIES,
+            Document::new(
+                format!("company:{id}"),
+                obj! {"id" => u64::from(*id), "name" => format!("c{id}")},
+            ),
+        )),
+        Op::Investor { id, portfolio } => {
+            let arr: Vec<Value> = portfolio
+                .iter()
+                .map(|&c| Value::from(u64::from(c)))
+                .collect();
+            Some((
+                NS_USERS,
+                Document::new(
+                    format!("user:{id}"),
+                    obj! {
+                        "id" => u64::from(*id),
+                        "role" => "investor",
+                        "investments" => Value::Arr(arr)
+                    },
+                ),
+            ))
+        }
+        Op::Journal(day) => Some((
+            NS_JOURNAL,
+            Document::new(
+                format!("day:{day}"),
+                obj! {"day" => u64::from(*day), "funded" => u64::from(*day % 3)},
+            ),
+        )),
+        Op::JournalSnapshot => None,
+    }
+}
+
+fn apply_store(store: &Store, op: &Op) {
+    match doc_for(op) {
+        Some((ns, doc)) => store.put(ns, doc).expect("store put"),
+        None => {
+            store.new_snapshot(NS_JOURNAL).expect("store snapshot");
+        }
+    }
+}
+
+fn apply_set(set: &ShardSet, op: &Op) {
+    match doc_for(op) {
+        Some((ns, doc)) => set.put(ns, doc).expect("set put"),
+        None => {
+            set.new_snapshot(NS_JOURNAL).expect("set snapshot");
+        }
+    }
+}
+
+/// A fixed base corpus so `example_targets` always resolves real ids,
+/// followed by the random op tail.
+fn base_ops() -> Vec<Op> {
+    let mut ops: Vec<Op> = (0..6).map(Op::Company).collect();
+    ops.extend((100u32..106).map(|id| Op::Investor {
+        id,
+        portfolio: (0..6).filter(|c| (id + c) % 3 != 0).collect(),
+    }));
+    ops.push(Op::Journal(1));
+    ops
+}
+
+/// Build the unsharded reference and the sharded deployment from the
+/// same op sequence, asserting version lockstep along the way.
+fn build_pair(ops: &[Op], shards: usize) -> (Service, Router) {
+    let store = Arc::new(Store::memory(4));
+    for op in ops {
+        apply_store(&store, op);
+    }
+    let telemetry = Telemetry::new();
+    let set = ShardSet::memory(shards, store.partitions(), &telemetry).expect("shard set");
+    for op in ops {
+        apply_set(&set, op);
+    }
+    assert_eq!(
+        set.version(),
+        store.version(),
+        "logical shard-set version must mirror the unsharded store"
+    );
+    let service = Service::new(store, ServiceConfig::default(), Telemetry::new());
+    let router = Router::new(Arc::new(set), RouterConfig::default(), telemetry);
+    (service, router)
+}
+
+/// Every example target plus error and edge probes: unknown entities,
+/// malformed ids, missing params, unknown routes.
+fn probe_targets(service: &Service) -> Vec<String> {
+    let mut targets = service.example_targets().expect("example targets");
+    targets.extend(
+        [
+            "/entity/company/999",
+            "/entity/planet/1",
+            "/entity/company/xyz",
+            "/investor/9999/portfolio",
+            "/company/9999/investors",
+            "/investor/9999/communities",
+            "/communities/9999",
+            "/top/investors?by=fame",
+            "/top/investors?k=nope",
+            "/top/investors?by=degree&k=3",
+            "/sql?q=SELECT+1",
+            "/sql?ns=angellist%2Fusers",
+            "/sql?ns=ghost&q=SELECT+COUNT(*)+FROM+docs",
+            "/sql?ns=angellist%2Fusers&q=NOT+SQL",
+            "/sql?ns=journal%2Fdaily&q=SELECT+COUNT(*)+AS+n+FROM+docs",
+            "/no/such/route",
+            "/",
+        ]
+        .into_iter()
+        .map(String::from),
+    );
+    targets
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sharded_router_matches_unsharded_service_byte_for_byte(
+        tail in proptest::collection::vec(op_strategy(), 0..48),
+        shards in prop_oneof![Just(1usize), Just(2usize), Just(4usize)],
+    ) {
+        let mut ops = base_ops();
+        ops.extend(tail);
+        let (service, router) = build_pair(&ops, shards);
+        for target in probe_targets(&service) {
+            if target == "/healthz" {
+                continue; // reports live per-shard state by design
+            }
+            let req = Request::get(&target);
+            let direct = service.handle(&req);
+            let routed = router.handle(&req);
+            prop_assert!(
+                direct.status == routed.status,
+                "status diverged on {} with {} shards: {} vs {}",
+                target, shards, direct.status, routed.status
+            );
+            prop_assert!(
+                direct.body == routed.body,
+                "body diverged on {} with {} shards: {} vs {}",
+                target, shards,
+                String::from_utf8_lossy(&direct.body),
+                String::from_utf8_lossy(&routed.body)
+            );
+        }
+    }
+}
+
+#[test]
+fn killing_one_shard_degrades_and_recovery_restores_equivalence() {
+    let mut ops = base_ops();
+    ops.extend((0..12).map(|i| Op::Journal(i % 8)));
+    ops.push(Op::JournalSnapshot);
+    let (service, router) = build_pair(&ops, 3);
+    let targets = probe_targets(&service);
+
+    router.set().kill(1).expect("kill shard 1");
+    let mut partials = 0usize;
+    for target in &targets {
+        if target == "/healthz" {
+            continue;
+        }
+        let response = router.handle(&Request::get(target));
+        assert!(
+            response.status < 500,
+            "GET {target} returned {} with a shard down",
+            response.status
+        );
+        if String::from_utf8_lossy(&response.body).contains("\"partial\":true") {
+            partials += 1;
+        }
+    }
+    assert!(partials > 0, "no response was flagged partial with a shard down");
+
+    router.set().recover().expect("recover shard 1");
+    for target in &targets {
+        if target == "/healthz" {
+            continue;
+        }
+        let req = Request::get(target);
+        let direct = service.handle(&req);
+        let routed = router.handle(&req);
+        assert_eq!(direct.status, routed.status, "status diverged on {target} after recovery");
+        assert_eq!(
+            direct.body, routed.body,
+            "body diverged on {target} after recovery: {} vs {}",
+            String::from_utf8_lossy(&direct.body),
+            String::from_utf8_lossy(&routed.body),
+        );
+    }
+}
