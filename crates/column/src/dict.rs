@@ -1,0 +1,119 @@
+//! Interned string dictionary: every string a run stores (field names,
+//! string values, residual-JSON fallbacks) lives here exactly once and is
+//! referenced by a dense `u32` id.
+
+use crate::error::ColumnError;
+use crate::varint::{get_u64, put_u64};
+use std::collections::HashMap;
+
+/// Append-only interning dictionary.
+#[derive(Debug, Default, Clone)]
+pub struct Dict {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dict {
+    /// Empty dictionary.
+    pub fn new() -> Dict {
+        Dict::default()
+    }
+
+    /// Id of `s`, interning it on first sight.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = self.values.len() as u32;
+        self.values.push(s.to_string());
+        self.index.insert(s.to_string(), id);
+        id
+    }
+
+    /// The string behind `id`, if the id is valid.
+    pub fn get(&self, id: u32) -> Option<&str> {
+        self.values.get(id as usize).map(String::as_str)
+    }
+
+    /// Id of `s` if already interned (read-only lookup).
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// Number of interned entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Serialize: entry count, then length-prefixed UTF-8 per entry.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.values.len() as u64);
+        for v in &self.values {
+            put_u64(buf, v.len() as u64);
+            buf.extend_from_slice(v.as_bytes());
+        }
+    }
+
+    /// Inverse of [`Dict::encode`]; every failure is a typed error.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Dict, ColumnError> {
+        let n = get_u64(buf, pos).ok_or_else(|| corrupt("dict count"))? as usize;
+        let mut values = Vec::with_capacity(n.min(1 << 20));
+        let mut index = HashMap::with_capacity(n.min(1 << 20));
+        for i in 0..n {
+            let len = get_u64(buf, pos).ok_or_else(|| corrupt("dict entry len"))? as usize;
+            let end = pos.checked_add(len).ok_or_else(|| corrupt("dict entry len"))?;
+            let bytes = buf.get(*pos..end).ok_or_else(|| corrupt("dict entry bytes"))?;
+            let s = std::str::from_utf8(bytes)
+                .map_err(|_| corrupt("dict entry utf8"))?
+                .to_string();
+            *pos = end;
+            index.insert(s.clone(), i as u32);
+            values.push(s);
+        }
+        Ok(Dict { values, index })
+    }
+}
+
+fn corrupt(what: &str) -> ColumnError {
+    ColumnError::Corrupt(format!("dictionary: {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedupes_and_round_trips() {
+        let mut d = Dict::new();
+        let a = d.intern("investor");
+        let b = d.intern("employee");
+        assert_eq!(d.intern("investor"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        let mut buf = Vec::new();
+        d.encode(&mut buf);
+        let mut pos = 0;
+        let back = Dict::decode(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(back.get(a), Some("investor"));
+        assert_eq!(back.get(b), Some("employee"));
+        assert_eq!(back.index.get("employee"), Some(&b));
+    }
+
+    #[test]
+    fn truncated_decode_errors() {
+        let mut d = Dict::new();
+        d.intern("hello");
+        let mut buf = Vec::new();
+        d.encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(Dict::decode(&buf[..cut], &mut pos).is_err());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Column-layer errors. The projection is derived data, so most of these
+//! resolve to "rebuild from the JSON log" rather than to a user-facing
+//! failure — [`ColumnError::needs_rebuild`] encodes that contract.
+
+use crowdnet_store::StoreError;
+use std::fmt;
+
+/// Anything the column layer can fail with.
+#[derive(Debug)]
+pub enum ColumnError {
+    /// The backing JSON store failed underneath us.
+    Store(StoreError),
+    /// Filesystem trouble reaching the column directory.
+    Io(std::io::Error),
+    /// Encoded column data failed validation (bad frame, bad counts,
+    /// undecodable stream). Never repaired in place — rebuilt.
+    Corrupt(String),
+    /// The column directory is internally consistent but describes an
+    /// older state of the JSON log than what is on disk now.
+    Stale(String),
+    /// The requested namespace/snapshot (or the whole column directory)
+    /// is not present in the projection.
+    Missing(String),
+}
+
+impl ColumnError {
+    /// Is the cure a from-log rebuild (as opposed to a real I/O or store
+    /// failure the caller must handle)? Corruption, staleness and absence
+    /// all qualify: the projection is derived and never trusted.
+    pub fn needs_rebuild(&self) -> bool {
+        matches!(
+            self,
+            ColumnError::Corrupt(_) | ColumnError::Stale(_) | ColumnError::Missing(_)
+        )
+    }
+}
+
+impl fmt::Display for ColumnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnError::Store(e) => write!(f, "store: {e}"),
+            ColumnError::Io(e) => write!(f, "io: {e}"),
+            ColumnError::Corrupt(what) => write!(f, "corrupt column data: {what}"),
+            ColumnError::Stale(what) => write!(f, "stale column data: {what}"),
+            ColumnError::Missing(what) => write!(f, "missing column data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnError {}
+
+impl From<StoreError> for ColumnError {
+    fn from(e: StoreError) -> Self {
+        ColumnError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for ColumnError {
+    fn from(e: std::io::Error) -> Self {
+        ColumnError::Io(e)
+    }
+}

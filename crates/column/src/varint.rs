@@ -1,0 +1,92 @@
+//! LEB128 varints and zigzag, the wire primitives every column stream is
+//! built from. Encoders are infallible; decoders return `None` on
+//! truncation so corrupt frames surface as errors, never panics.
+
+/// Append `v` as an unsigned LEB128 varint.
+pub fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Read an unsigned LEB128 varint at `*pos`, advancing it.
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None; // overlong encoding
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Map a signed value to unsigned so small magnitudes stay small.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append `v` zigzag-encoded.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    put_u64(buf, zigzag(v));
+}
+
+/// Read a zigzag-encoded signed varint.
+pub fn get_i64(buf: &[u8], pos: &mut usize) -> Option<i64> {
+    get_u64(buf, pos).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip() {
+        let cases = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &cases {
+            put_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &cases {
+            assert_eq!(get_u64(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn i64_round_trip() {
+        let cases = [0i64, -1, 1, -64, 64, i64::MIN, i64::MAX];
+        let mut buf = Vec::new();
+        for &v in &cases {
+            put_i64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &cases {
+            assert_eq!(get_i64(&buf, &mut pos), Some(v));
+        }
+    }
+
+    #[test]
+    fn truncation_is_none_not_panic() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(get_u64(&buf[..cut], &mut pos), None);
+        }
+    }
+}

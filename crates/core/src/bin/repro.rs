@@ -43,15 +43,21 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--seed N] [--scale tiny|small|eval|paper|1/K] [--out DIR] [--telemetry PATH] [--port N] [--shards N] [--smoke] [-v|--verbose] [EXPERIMENT...]\n\
-         experiments: dataset-stats fig3 fig6 fig8 investor-graph communities fig4 fig5 fig7 causality dynamic predict correlations store-stats telemetry-report serve ingest crawl all\n\
+        "usage: repro [--seed N] [--scale tiny|small|eval|paper|1/K] [--out DIR] [--telemetry PATH] [--port N] [--shards N] [--smoke] [--columnar] [-v|--verbose] [EXPERIMENT...]\n\
+         experiments: dataset-stats fig3 fig6 fig8 investor-graph communities fig4 fig5 fig7 causality dynamic predict correlations store-stats telemetry-report serve ingest crawl column all\n\
          crawl flags: [--store DIR] [--resume] [--fresh] [--fail-at-op N] [--fault-seed S]\n\
            repro crawl writes a durable on-disk store; --resume continues an\n\
            interrupted crawl from its last checkpoint, --fail-at-op simulates\n\
            a crash at the Nth file operation (exit code 3)\n\
          serve flags: [--shards N] routes requests through a hash-partitioned\n\
            N-shard set and the scatter-gather router instead of the single\n\
-           unsharded service (0 = unsharded, the default)"
+           unsharded service (0 = unsharded, the default)\n\
+         --columnar projects the crawled store into typed columns and runs\n\
+           every analysis scan over them instead of re-parsing JSON\n\
+         column flags: [--store DIR] [--rebuild DIR]\n\
+           repro column opens the on-disk columnar projection next to the\n\
+           store's JSON log (building it when absent, corrupt or stale);\n\
+           --rebuild DIR forces a from-scratch rebuild of DIR's projection"
     );
     std::process::exit(2);
 }
@@ -70,6 +76,8 @@ struct Args {
     fresh: bool,
     fail_at_op: Option<u64>,
     fault_seed: u64,
+    columnar: bool,
+    rebuild: Option<PathBuf>,
     experiments: Vec<String>,
 }
 
@@ -88,6 +96,8 @@ fn parse_args() -> Args {
         fresh: false,
         fail_at_op: None,
         fault_seed: 1,
+        columnar: false,
+        rebuild: None,
         experiments: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -113,6 +123,10 @@ fn parse_args() -> Args {
             }
             "--fault-seed" => {
                 args.fault_seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--columnar" => args.columnar = true,
+            "--rebuild" => {
+                args.rebuild = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
             }
             "--verbose" | "-v" => args.verbose = args.verbose.saturating_add(1),
             "--help" | "-h" => usage(),
@@ -590,6 +604,66 @@ fn ingest_live(
     Ok(())
 }
 
+/// `repro column`: open (or force-rebuild with `--rebuild DIR`) the
+/// columnar projection living next to an on-disk store's JSON log, persist
+/// it, and print its shape. The store's partition count follows `--scale`,
+/// the same convention as `repro crawl --resume`.
+fn column_admin(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use crowdnet_column::{open_or_rebuild, save, ColumnConfig, ColumnSet};
+    use crowdnet_store::Store;
+    header("Columnar projection (crowdnet-column)");
+    let force = args.rebuild.is_some();
+    let dir = args.rebuild.clone().unwrap_or_else(|| args.store.clone());
+    let cfg = config(args.seed, &args.scale);
+    let telemetry = crowdnet_telemetry::Telemetry::new();
+    let store = Store::open(&dir, cfg.partitions)?.with_telemetry(&telemetry);
+    let (set, rebuilt) = if force {
+        let mut set =
+            ColumnSet::new(store.partitions(), ColumnConfig::default()).with_telemetry(&telemetry);
+        set.rebuild_from_store(&store)?;
+        (set, true)
+    } else {
+        open_or_rebuild(&store, ColumnConfig::default(), Some(&telemetry))?
+    };
+    let bytes = save(&store, &set)?;
+    let stats = set.catalog().stats();
+    println!(
+        "{} projection of {} at version {}: {} namespace(s), {} run(s), {} row(s), {} encoded bytes, {} dictionary entries",
+        if force {
+            "force-rebuilt"
+        } else if rebuilt {
+            "rebuilt (absent, corrupt or stale)"
+        } else {
+            "loaded committed"
+        },
+        dir.display(),
+        set.version(),
+        stats.namespaces,
+        stats.runs,
+        stats.rows,
+        stats.encoded_bytes,
+        stats.dict_entries,
+    );
+    println!("persisted {bytes} byte(s) under {}", dir.join(crowdnet_column::COLUMNS_DIR).display());
+    print_column_counters(&telemetry);
+    Ok(())
+}
+
+/// The `column.*` counter line printed by `--columnar` runs and
+/// `repro column` (the smoke-test surface `check.sh` greps).
+fn print_column_counters(telemetry: &crowdnet_telemetry::Telemetry) {
+    println!(
+        "column counters: column.builds={} column.rebuilds={} column.appends={} \
+         column.bytes={} column.scan.docs={} column.dict.entries={}",
+        telemetry.counter("column.builds").value(),
+        telemetry.counter("column.rebuilds").value(),
+        telemetry.counter("column.appends").value(),
+        telemetry.counter("column.bytes").value(),
+        telemetry.counter("column.scan.docs").value(),
+        telemetry.gauge("column.dict.entries").value(),
+    );
+}
+
 /// FNV-1a over a byte slice, folded into a running hash.
 fn fnv1a(hash: &mut u64, bytes: &[u8]) {
     for &b in bytes {
@@ -611,8 +685,9 @@ fn store_content_hash(store: &crowdnet_store::Store) -> Result<u64, Box<dyn std:
         }
         let latest = store.latest_snapshot(&ns)?;
         for snap in 0..=latest.0 {
-            let mut docs = store.scan_snapshot(&ns, crowdnet_store::SnapshotId(snap))?;
-            docs.sort_by(|a, b| a.key.cmp(&b.key));
+            // Scans come back partition-sorted; the k-way merge yields the
+            // global key order without re-sorting.
+            let docs = store.scan_snapshot_sorted(&ns, crowdnet_store::SnapshotId(snap))?;
             for doc in docs {
                 fnv1a(&mut hash, ns.as_bytes());
                 fnv1a(&mut hash, &snap.to_le_bytes());
@@ -738,6 +813,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if args.experiments.iter().any(|e| e == "crawl") {
         return crawl_durable(&args);
     }
+    if args.experiments.iter().any(|e| e == "column") {
+        return column_admin(&args);
+    }
     let cfg = config(args.seed, &args.scale);
     cfg.telemetry
         .set_verbosity(telemetry_report::verbosity_from_count(args.verbose));
@@ -756,7 +834,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.world.scale.users()
     );
     println!("running pipeline (generate world -> crawl all four sources)...");
-    let outcome = Pipeline::new(cfg.clone()).run()?;
+    let mut outcome = Pipeline::new(cfg.clone()).run()?;
+    if args.columnar {
+        outcome.build_columns()?;
+        let stats = outcome.columns.as_ref().map(|c| c.stats()).unwrap_or_default();
+        println!(
+            "columnar projection attached: {} namespace(s), {} row(s), {} encoded bytes — analysis scans decode columns",
+            stats.namespaces, stats.rows, stats.encoded_bytes
+        );
+    }
     println!(
         "crawled: {} companies, {} users, {} crunchbase, {} facebook, {} twitter (virtual time {:.1} min)",
         outcome.dataset.companies,
@@ -797,6 +883,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     for name in selected {
         run_experiment(name, &outcome, &cfg, &args.out)?;
+    }
+    if args.columnar {
+        print_column_counters(&outcome.telemetry);
     }
     if serve_requested || ingest_requested {
         let store = Arc::new(outcome.store);

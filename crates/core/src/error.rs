@@ -1,5 +1,6 @@
 //! Core error type.
 
+use crowdnet_column::ColumnError;
 use crowdnet_crawl::CrawlError;
 use crowdnet_store::StoreError;
 use std::fmt;
@@ -11,6 +12,8 @@ pub enum CoreError {
     Crawl(CrawlError),
     /// Store access failed.
     Store(StoreError),
+    /// The columnar projection failed.
+    Column(ColumnError),
     /// An analysis had nothing to work on (e.g. empty namespace).
     EmptyInput(String),
     /// Writing result files failed.
@@ -22,6 +25,7 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Crawl(e) => write!(f, "crawl failed: {e}"),
             CoreError::Store(e) => write!(f, "store failed: {e}"),
+            CoreError::Column(e) => write!(f, "columnar projection failed: {e}"),
             CoreError::EmptyInput(what) => write!(f, "no input for analysis: {what}"),
             CoreError::Io(e) => write!(f, "I/O failed: {e}"),
         }
@@ -33,6 +37,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Crawl(e) => Some(e),
             CoreError::Store(e) => Some(e),
+            CoreError::Column(e) => Some(e),
             CoreError::Io(e) => Some(e),
             CoreError::EmptyInput(_) => None,
         }
@@ -48,6 +53,12 @@ impl From<CrawlError> for CoreError {
 impl From<StoreError> for CoreError {
     fn from(e: StoreError) -> Self {
         CoreError::Store(e)
+    }
+}
+
+impl From<ColumnError> for CoreError {
+    fn from(e: ColumnError) -> Self {
+        CoreError::Column(e)
     }
 }
 

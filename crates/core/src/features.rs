@@ -55,13 +55,27 @@ pub struct InvestorRecord {
     pub follow_count: u64,
 }
 
+/// The columnar projection's partitions for `ns`, when the outcome carries
+/// a catalog (`repro --columnar`) holding the namespace. `None` routes the
+/// caller to the JSON scan; both paths yield identical partitions.
+fn columnar_scan(
+    outcome: &PipelineOutcome,
+    ns: &str,
+) -> Option<Dataset<crowdnet_store::Document>> {
+    let catalog = outcome.columns.as_deref()?;
+    Dataset::from_columns(catalog, ns, SnapshotId(0), outcome.ctx).ok()
+}
+
 /// Join the store into company records (partition-parallel).
 pub fn company_records(outcome: &PipelineOutcome) -> Result<Vec<CompanyRecord>, CoreError> {
     let ctx = outcome.ctx;
     let store = &outcome.store;
     let snap = SnapshotId(0);
 
-    let companies = scan_store(store, NS_COMPANIES, snap, ctx)?;
+    let companies = match columnar_scan(outcome, NS_COMPANIES) {
+        Some(d) => d,
+        None => scan_store(store, NS_COMPANIES, snap, ctx)?,
+    };
     if companies.count() == 0 {
         return Err(CoreError::EmptyInput(NS_COMPANIES.into()));
     }
@@ -133,7 +147,10 @@ pub fn company_records(outcome: &PipelineOutcome) -> Result<Vec<CompanyRecord>, 
 
 /// Investor records from AngelList user documents (role == investor).
 pub fn investor_records(outcome: &PipelineOutcome) -> Result<Vec<InvestorRecord>, CoreError> {
-    let users = scan_store(&outcome.store, NS_USERS, SnapshotId(0), outcome.ctx)?;
+    let users = match columnar_scan(outcome, NS_USERS) {
+        Some(d) => d,
+        None => scan_store(&outcome.store, NS_USERS, SnapshotId(0), outcome.ctx)?,
+    };
     if users.count() == 0 {
         return Err(CoreError::EmptyInput(NS_USERS.into()));
     }
@@ -161,7 +178,10 @@ pub fn investor_records(outcome: &PipelineOutcome) -> Result<Vec<InvestorRecord>
 
 /// Role counts from the user documents (§3's 4.3 % / 18.3 % / 44.2 %).
 pub fn role_counts(outcome: &PipelineOutcome) -> Result<Vec<(String, usize)>, CoreError> {
-    let users = scan_store(&outcome.store, NS_USERS, SnapshotId(0), outcome.ctx)?;
+    let users = match columnar_scan(outcome, NS_USERS) {
+        Some(d) => d,
+        None => scan_store(&outcome.store, NS_USERS, SnapshotId(0), outcome.ctx)?,
+    };
     let mut counts: Vec<(String, usize)> = users
         .map(|doc| {
             doc.body
@@ -194,14 +214,16 @@ fn keyed_docs(
     // A namespace only exists once something was crawled into it; a world
     // with (say) zero funded companies legitimately has no CrunchBase
     // namespace, which joins as an empty right side.
-    let docs: Dataset<crowdnet_store::Document> =
-        match scan_store(&outcome.store, ns, SnapshotId(0), outcome.ctx) {
+    let docs: Dataset<crowdnet_store::Document> = match columnar_scan(outcome, ns) {
+        Some(d) => d,
+        None => match scan_store(&outcome.store, ns, SnapshotId(0), outcome.ctx) {
             Ok(d) => d,
             Err(crowdnet_store::StoreError::NamespaceNotFound(_)) => {
                 Dataset::from_partitions(Vec::new(), outcome.ctx)
             }
             Err(e) => return Err(e.into()),
-        };
+        },
+    };
     Ok(docs
         .map(|doc| {
             let id = doc
@@ -280,6 +302,19 @@ mod tests {
         let edges = investment_edges(&o).unwrap();
         let total: usize = invs.iter().map(|i| i.investments.len()).sum();
         assert_eq!(edges.len(), total);
+    }
+
+    #[test]
+    fn columnar_scans_match_json_scans_exactly() {
+        let mut o = outcome();
+        let json_companies = company_records(&o).unwrap();
+        let json_investors = investor_records(&o).unwrap();
+        let json_roles = role_counts(&o).unwrap();
+        o.build_columns().unwrap();
+        assert!(o.columns.is_some());
+        assert_eq!(company_records(&o).unwrap(), json_companies);
+        assert_eq!(investor_records(&o).unwrap(), json_investors);
+        assert_eq!(role_counts(&o).unwrap(), json_roles);
     }
 
     #[test]

@@ -93,6 +93,25 @@ pub struct PipelineOutcome {
     /// The telemetry sink the run recorded into (same handle as
     /// `config.telemetry`; exposed for report building).
     pub telemetry: Telemetry,
+    /// Columnar projection of the store (attached by
+    /// [`PipelineOutcome::build_columns`], e.g. `repro --columnar`).
+    /// When present, feature scans decode columns instead of re-parsing
+    /// the JSON log; results are identical either way.
+    pub columns: Option<Arc<crowdnet_column::ColumnCatalog>>,
+}
+
+impl PipelineOutcome {
+    /// Project the crawled store into a columnar catalog and attach it,
+    /// routing every subsequent feature scan through typed columns.
+    pub fn build_columns(&mut self) -> Result<(), CoreError> {
+        let set = crowdnet_column::ColumnSet::build_from_store(
+            &self.store,
+            crowdnet_column::ColumnConfig::default(),
+            Some(&self.telemetry),
+        )?;
+        self.columns = Some(set.catalog());
+        Ok(())
+    }
 }
 
 /// The platform runner.
@@ -139,6 +158,7 @@ impl Pipeline {
             ctx: ExecCtx::new(self.config.threads),
             config: self.config.clone(),
             telemetry,
+            columns: None,
         })
     }
 }

@@ -296,6 +296,24 @@ impl<T: Send + Ord> Dataset<T> {
     }
 }
 
+impl Dataset<crowdnet_store::Document> {
+    /// Build a document dataset straight off the column projection — the
+    /// zero-JSON-parse twin of [`scan_store`]. One store partition per
+    /// dataset partition, identical documents in identical order, so every
+    /// downstream operator produces byte-identical results to the row path.
+    pub fn from_columns(
+        catalog: &crowdnet_column::ColumnCatalog,
+        ns: &str,
+        snapshot: SnapshotId,
+        ctx: ExecCtx,
+    ) -> Result<Dataset<crowdnet_store::Document>, crowdnet_column::ColumnError> {
+        Ok(Dataset::from_partitions(
+            catalog.docs_partitioned(ns, snapshot)?,
+            ctx,
+        ))
+    }
+}
+
 /// Scan a store namespace snapshot into a dataset of documents, one store
 /// partition per dataset partition (the HDFS-block → RDD-partition mapping).
 pub fn scan_store(

@@ -93,6 +93,20 @@ impl BipartiteGraph {
         }
     }
 
+    /// Build straight off the column projection's sealed edge segments —
+    /// no JSON decode, no document materialization. The catalog returns
+    /// edges in canonical document order with the serving tier's exact
+    /// extraction rules, so the resulting graph is structurally identical
+    /// (same dense indices, same adjacency) to
+    /// [`BipartiteGraph::from_edges`] over a document scan.
+    pub fn from_edge_columns(
+        catalog: &crowdnet_column::ColumnCatalog,
+        ns: &str,
+        snapshot: crowdnet_store::SnapshotId,
+    ) -> Result<BipartiteGraph, crowdnet_column::ColumnError> {
+        Ok(BipartiteGraph::from_edges(catalog.edges(ns, snapshot)?))
+    }
+
     /// Insert one `(investor_id, company_id)` edge in place, creating
     /// nodes as needed. Adjacency stays sorted (binary-search insert), so
     /// a graph grown edge-by-edge is structurally identical — same dense

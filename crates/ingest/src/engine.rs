@@ -25,10 +25,11 @@
 
 use crate::error::IngestError;
 use crate::maintain::{EntityMaintainer, GraphMaintainer, StatsMaintainer};
+use crowdnet_column::{ColumnCatalog, ColumnConfig, ColumnSet};
 use crowdnet_graph::{Coda, DynRankConfig};
 use crowdnet_serve::artifacts::{ArtifactParts, NS_COMPANIES, NS_USERS};
 use crowdnet_serve::{Artifacts, ArtifactsConfig, Service};
-use crowdnet_store::{ChangeEvent, ChangePayload, FeedPoll, SnapshotId, Store, StoreError, Subscription};
+use crowdnet_store::{ChangeEvent, ChangePayload, FeedPoll, SnapshotId, Store, Subscription};
 use crowdnet_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use std::sync::Arc;
 
@@ -46,6 +47,12 @@ pub struct IngestConfig {
     /// CoDA gradient iterations for warm-started epoch refits (the first,
     /// cold epoch uses `artifacts.iterations`).
     pub refit_iterations: usize,
+    /// Maintain a columnar projection of the store alongside the
+    /// artifact maintainers: appends accumulate per epoch and each
+    /// [`IngestEngine::publish`] seals them into runs, installs the
+    /// catalog into the service (same atomic swap as the artifacts) and
+    /// persists it next to the JSON log for disk stores.
+    pub columns: bool,
 }
 
 impl Default for IngestConfig {
@@ -55,6 +62,7 @@ impl Default for IngestConfig {
             artifacts: ArtifactsConfig::default(),
             pagerank: DynRankConfig::default(),
             refit_iterations: 5,
+            columns: true,
         }
     }
 }
@@ -86,6 +94,9 @@ pub struct IngestEngine {
     graph: GraphMaintainer,
     entities: EntityMaintainer,
     stats: StatsMaintainer,
+    /// Columnar projection maintained from the same feed (when
+    /// `cfg.columns`); sealed and published at every epoch.
+    columns: Option<ColumnSet>,
     /// Previous epoch's CoDA model + the epoch holding the filtered graph
     /// it was fitted on, for warm-starting the next refit.
     warm: Option<(Coda, Arc<Artifacts>)>,
@@ -104,6 +115,7 @@ pub struct IngestEngine {
     apply_graph_ms: Histogram,
     apply_entities_ms: Histogram,
     apply_stats_ms: Histogram,
+    column_save_errors: Counter,
     publish_ms: Histogram,
     pushes_seen: u64,
     recomputes_seen: u64,
@@ -119,8 +131,12 @@ impl IngestEngine {
         telemetry: Telemetry,
     ) -> Result<IngestEngine, IngestError> {
         let sub = store.subscribe(cfg.feed_capacity);
+        let columns = cfg.columns.then(|| {
+            ColumnSet::new(store.partitions(), ColumnConfig::default()).with_telemetry(&telemetry)
+        });
         let mut engine = IngestEngine {
             sub,
+            columns,
             graph: GraphMaintainer::new(
                 cfg.artifacts.min_investments,
                 cfg.artifacts.max_company_degree,
@@ -144,6 +160,7 @@ impl IngestEngine {
             apply_graph_ms: telemetry.histogram("ingest.apply_ms.graph"),
             apply_entities_ms: telemetry.histogram("ingest.apply_ms.entities"),
             apply_stats_ms: telemetry.histogram("ingest.apply_ms.stats"),
+            column_save_errors: telemetry.counter("ingest.column.save_errors"),
             publish_ms: telemetry.histogram("ingest.publish_ms"),
             pushes_seen: 0,
             recomputes_seen: 0,
@@ -180,6 +197,17 @@ impl IngestEngine {
         &self.stats
     }
 
+    /// The maintained columnar projection, when enabled.
+    pub fn columns(&self) -> Option<&ColumnSet> {
+        self.columns.as_ref()
+    }
+
+    /// An immutable catalog over the sealed columnar state (pending
+    /// appends not yet sealed by a publish are excluded), when enabled.
+    pub fn columns_catalog(&self) -> Option<Arc<ColumnCatalog>> {
+        self.columns.as_ref().map(ColumnSet::catalog)
+    }
+
     /// Rebuild every maintainer from a full store scan at the current
     /// version, then adopt that version as the applied watermark. This is
     /// both initial bootstrap and the overflow-recovery path; buffered
@@ -195,24 +223,45 @@ impl IngestEngine {
         );
         let mut entities = EntityMaintainer::default();
         let mut stats = StatsMaintainer::default();
-        for ns in [NS_COMPANIES, NS_USERS] {
-            let docs = match self.store.scan_snapshot(ns, SnapshotId(0)) {
-                Ok(docs) => docs,
-                Err(StoreError::NamespaceNotFound(_)) => continue,
-                Err(e) => return Err(e.into()),
-            };
-            for doc in &docs {
-                if ns == NS_USERS {
-                    graph.apply_doc(doc);
-                }
-                entities.apply_doc(doc);
-            }
+        if let Some(cols) = &mut self.columns {
+            cols.begin_rebuild();
         }
+        // One scan per `(namespace, snapshot)`: `scan_partitions` orders
+        // each partition once at the scan boundary and every consumer —
+        // graph, entities, stats, columns — reuses that canonical output.
+        // (Previously the corpus namespaces were scanned twice, re-sorting
+        // already-sorted logs for each maintainer pass.)
         for ns in self.store.namespaces()? {
             for snap in self.store.snapshots(&ns) {
-                let docs = self.store.scan_snapshot(&ns, snap)?;
-                stats.absorb_scan(&ns, snap, &docs);
+                let parts = self.store.scan_partitions(&ns, snap)?;
+                debug_assert!(
+                    parts
+                        .iter()
+                        .all(|docs| docs.windows(2).all(|w| w[0].key <= w[1].key)),
+                    "catch_up: scan output not in canonical key order"
+                );
+                let corpus =
+                    snap == SnapshotId(0) && (ns == NS_USERS || ns == NS_COMPANIES);
+                for docs in &parts {
+                    if corpus {
+                        for doc in docs {
+                            if ns == NS_USERS {
+                                graph.apply_doc(doc);
+                            }
+                            entities.apply_doc(doc);
+                        }
+                    }
+                    stats.absorb_scan(&ns, snap, docs);
+                }
+                if let Some(cols) = &mut self.columns {
+                    cols.absorb_scan(&ns, snap, parts);
+                }
             }
+        }
+        if let Some(cols) = &mut self.columns {
+            // Stamped with the pre-scan version: a racing write leaves the
+            // projection conservatively old and consumers re-derive.
+            cols.set_version(version);
         }
         self.graph = graph;
         self.entities = entities;
@@ -362,6 +411,12 @@ impl IngestEngine {
             .map_err(|_| IngestError::Thread("maintainer scope".into()))??;
         }
 
+        if let Some(cols) = &mut self.columns {
+            for ev in events {
+                cols.apply_event(ev);
+            }
+        }
+
         let docs = events
             .iter()
             .filter(|ev| matches!(ev.payload, ChangePayload::Append(_)))
@@ -415,8 +470,21 @@ impl IngestEngine {
         let (artifacts, model) = Artifacts::assemble(parts, &art_cfg, &self.telemetry, warm);
         let artifacts = Arc::new(artifacts);
         self.warm = model.map(|m| (m, Arc::clone(&artifacts)));
+        // Seal the epoch's pending column appends into runs, publish the
+        // catalog in the same swap as the artifacts, and persist it next
+        // to the JSON log (a no-op for memory stores). A failed save never
+        // fails the publish: the projection is derived and rebuildable.
+        let catalog = self.columns.as_mut().map(ColumnSet::seal);
         if let Some(svc) = service {
+            if let Some(catalog) = &catalog {
+                svc.install_columns(Arc::clone(catalog));
+            }
             svc.install_artifacts(Arc::clone(&artifacts));
+        }
+        if let Some(cols) = &self.columns {
+            if crowdnet_column::save(&self.store, cols).is_err() {
+                self.column_save_errors.inc();
+            }
         }
         self.epochs += 1;
         self.epochs_ctr.inc();
@@ -601,6 +669,70 @@ mod tests {
         assert!(Arc::ptr_eq(&pinned, &epoch));
         assert_eq!(epoch.graph.investor_count(), 2);
         assert_eq!(telemetry.counter("ingest.recoveries").value(), 1);
+    }
+
+    #[test]
+    fn engine_maintains_columns_through_feed_and_publish() {
+        let store = Arc::new(Store::memory(2));
+        put_company(&store, 0);
+        put_investor(&store, 10, &[0, 1]);
+        let telemetry = Telemetry::new();
+        let service =
+            Service::new(Arc::clone(&store), ServiceConfig::default(), telemetry.clone());
+        let mut engine =
+            IngestEngine::new(Arc::clone(&store), IngestConfig::default(), telemetry.clone())
+                .unwrap();
+        // Bootstrap projection covers the pre-subscription writes.
+        let catalog = engine.columns_catalog().unwrap();
+        assert_eq!(catalog.version(), store.version());
+        assert_eq!(
+            catalog.docs_sorted(NS_USERS, SnapshotId(0)).unwrap(),
+            store.scan_snapshot_sorted(NS_USERS, SnapshotId(0)).unwrap()
+        );
+        // Live appends accumulate as pending and seal at publish, landing
+        // in the service in the same swap as the artifacts.
+        put_investor(&store, 11, &[0]);
+        engine.drain().unwrap();
+        engine.publish(Some(&service));
+        let catalog = service.columns().unwrap();
+        assert_eq!(catalog.version(), store.version());
+        for ns in [NS_USERS, NS_COMPANIES] {
+            assert_eq!(
+                catalog.docs_sorted(ns, SnapshotId(0)).unwrap(),
+                store.scan_snapshot_sorted(ns, SnapshotId(0)).unwrap()
+            );
+        }
+        assert!(telemetry.counter("column.appends").value() >= 1);
+        assert_eq!(telemetry.counter("ingest.column.save_errors").value(), 0);
+    }
+
+    #[test]
+    fn publish_persists_columns_for_disk_stores() {
+        let root = std::env::temp_dir().join(format!(
+            "crowdnet-ingest-columns-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Arc::new(Store::open(&root, 2).unwrap());
+        put_company(&store, 0);
+        put_investor(&store, 10, &[0, 1]);
+        let mut engine =
+            IngestEngine::new(Arc::clone(&store), IngestConfig::default(), Telemetry::new())
+                .unwrap();
+        engine.publish(None);
+        // The persisted projection reopens without a rebuild and matches
+        // the log.
+        let loaded = crowdnet_column::load(
+            &store,
+            crowdnet_column::ColumnConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            loaded.catalog().docs_sorted(NS_USERS, SnapshotId(0)).unwrap(),
+            store.scan_snapshot_sorted(NS_USERS, SnapshotId(0)).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

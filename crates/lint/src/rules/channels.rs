@@ -1,5 +1,5 @@
-//! `unbounded-channel`: in the crawl, dataflow, serve, ingest and shard
-//! crates — the places producers can outrun consumers by orders of magnitude — an
+//! `unbounded-channel`: in the crawl, dataflow, serve, ingest, shard and
+//! column crates — the places producers can outrun consumers by orders of magnitude — an
 //! unbounded `mpsc::channel()` turns backpressure into unbounded memory
 //! growth. Those crates must use `sync_channel(bound)` (or another
 //! explicitly bounded queue); the zero-argument `channel()` constructor is
@@ -19,6 +19,7 @@ fn in_scope(path: &str) -> bool {
         || path.starts_with("crates/serve/")
         || path.starts_with("crates/ingest/")
         || path.starts_with("crates/shard/")
+        || path.starts_with("crates/column/")
 }
 
 pub fn check(a: &Analysis) -> Vec<Diagnostic> {
@@ -81,8 +82,12 @@ mod tests {
                 "crates/shard/src/backend.rs",
                 "fn f() { let (tx, rx) = mpsc::channel(); }",
             ),
+            (
+                "crates/column/src/catalog.rs",
+                "fn f() { let (tx, rx) = mpsc::channel(); }",
+            ),
         ]);
-        assert_eq!(check(&a).len(), 5);
+        assert_eq!(check(&a).len(), 6);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! `vfs-only-io`: the store's durability guarantees live entirely in the
-//! [`Vfs`] seam — every mutating file operation in `crates/store` and
-//! `crates/shard` (whose durable shards open per-shard stores) must go
-//! through it so the deterministic fault injector ([`FailpointFs`]) sees
+//! [`Vfs`] seam — every mutating file operation in `crates/store`,
+//! `crates/shard` (whose durable shards open per-shard stores) and
+//! `crates/column` (whose on-disk projection commits through the same
+//! seam) must go through it so the deterministic fault injector ([`FailpointFs`]) sees
 //! every write, fsync and rename. A direct `std::fs` mutation (or a raw
 //! `File::create` / `OpenOptions` handle) bypasses torn-write/crash-point
 //! injection and silently escapes the kill-at-random-point harness. The
@@ -29,7 +30,9 @@ const FS_MUTATORS: &[&str] = &[
 /// Files allowed to touch `std::fs` directly.
 fn exempt(path: &str) -> bool {
     path == "crates/store/src/vfs.rs"
-        || !(path.starts_with("crates/store/") || path.starts_with("crates/shard/"))
+        || !(path.starts_with("crates/store/")
+            || path.starts_with("crates/shard/")
+            || path.starts_with("crates/column/"))
 }
 
 pub fn check(a: &Analysis) -> Vec<Diagnostic> {
@@ -92,6 +95,15 @@ mod tests {
         let a = analysis(&[(
             "crates/shard/src/backend.rs",
             "fn f() { fs::create_dir_all(root)?; }",
+        )]);
+        assert_eq!(check(&a).len(), 1);
+    }
+
+    #[test]
+    fn flags_direct_mutations_in_column_code() {
+        let a = analysis(&[(
+            "crates/column/src/disk.rs",
+            "fn f() { fs::rename(tmp, dst)?; }",
         )]);
         assert_eq!(check(&a).len(), 1);
     }

@@ -145,6 +145,67 @@ impl Artifacts {
         Ok(Artifacts::from_documents(version, scans, telemetry, cfg))
     }
 
+    /// Build every artifact from the columnar projection instead of the
+    /// JSON log. The decoded column rows reproduce the canonical scan
+    /// exactly and the pre-extracted edge segments reproduce the
+    /// `role == "investor"` edge walk, so the result is byte-identical to
+    /// [`Artifacts::build`] at the catalog's version. Absent namespaces
+    /// are skipped like `build` skips `NamespaceNotFound`; any decode
+    /// error surfaces so the caller can fall back to the JSON path —
+    /// the projection is derived data and never trusted over the log.
+    pub fn from_columns(
+        catalog: &crowdnet_column::ColumnCatalog,
+        telemetry: &Telemetry,
+        cfg: &ArtifactsConfig,
+    ) -> Result<Artifacts, crowdnet_column::ColumnError> {
+        let _span = telemetry.span("serve.artifacts.build");
+        let version = catalog.version();
+
+        let mut scans: Vec<(&str, Vec<crowdnet_store::Document>)> = Vec::new();
+        for ns in [NS_COMPANIES, NS_USERS] {
+            if !catalog.has(ns, SnapshotId(0)) {
+                continue;
+            }
+            let docs: Vec<crowdnet_store::Document> = catalog
+                .docs_partitioned(ns, SnapshotId(0))?
+                .into_iter()
+                .flatten()
+                .collect();
+            scans.push((ns, docs));
+        }
+        let edges = if catalog.has(NS_USERS, SnapshotId(0)) {
+            catalog.edges(NS_USERS, SnapshotId(0))?
+        } else {
+            Vec::new()
+        };
+
+        let mut entities: FxHashMap<String, Value> = FxHashMap::default();
+        for (_, docs) in scans {
+            for doc in docs {
+                entities.insert(doc.key, doc.body);
+            }
+        }
+
+        let graph = BipartiteGraph::from_edges(edges);
+        let pagerank = pagerank(
+            &Projection::from_bipartite(&graph, cfg.max_company_degree),
+            &PageRankConfig::default(),
+        );
+        let (artifacts, _) = Artifacts::assemble(
+            ArtifactParts {
+                version,
+                graph,
+                entities,
+                pagerank,
+                stats: None,
+            },
+            cfg,
+            telemetry,
+            None,
+        );
+        Ok(artifacts)
+    }
+
     /// Build every artifact from already-gathered canonical scans of the
     /// corpus namespaces (each `Vec<Document>` in store scan order). This
     /// is [`Artifacts::build`] minus the store access, so a sharded router

@@ -4,6 +4,7 @@
 //! [`ServeError::status`]), so the in-process and TCP front ends agree on
 //! semantics by construction.
 
+use crowdnet_column::ColumnError;
 use crowdnet_dataflow::sql::SqlError;
 use crowdnet_store::StoreError;
 
@@ -12,6 +13,10 @@ use crowdnet_store::StoreError;
 pub enum ServeError {
     /// The underlying store failed (missing namespace, corrupt doc, I/O).
     Store(StoreError),
+    /// The column projection failed underneath an artifact build. Reads
+    /// fall back to the JSON path on `needs_rebuild` errors, so this only
+    /// surfaces for real I/O trouble.
+    Column(ColumnError),
     /// The ad-hoc SQL query failed to parse or execute.
     Sql(SqlError),
     /// The request was syntactically fine but semantically unusable
@@ -47,7 +52,7 @@ impl ServeError {
             ServeError::Store(StoreError::NamespaceNotFound(_))
             | ServeError::Store(StoreError::SnapshotNotFound { .. })
             | ServeError::NotFound(_) => 404,
-            ServeError::Store(_) | ServeError::Io(_) => 500,
+            ServeError::Store(_) | ServeError::Column(_) | ServeError::Io(_) => 500,
             ServeError::Sql(_) | ServeError::BadRequest(_) => 400,
             ServeError::MethodNotAllowed(_) => 405,
             ServeError::Shed { .. } | ServeError::DeadlineExceeded { .. } => 503,
@@ -60,6 +65,7 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Store(e) => write!(f, "store error: {e}"),
+            ServeError::Column(e) => write!(f, "column error: {e}"),
             ServeError::Sql(e) => write!(f, "sql error: {e}"),
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServeError::NotFound(m) => write!(f, "not found: {m}"),
@@ -81,6 +87,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Store(e) => Some(e),
+            ServeError::Column(e) => Some(e),
             ServeError::Sql(e) => Some(e),
             ServeError::Io(e) => Some(e),
             _ => None,
@@ -91,6 +98,12 @@ impl std::error::Error for ServeError {
 impl From<StoreError> for ServeError {
     fn from(e: StoreError) -> Self {
         ServeError::Store(e)
+    }
+}
+
+impl From<ColumnError> for ServeError {
+    fn from(e: ColumnError) -> Self {
+        ServeError::Column(e)
     }
 }
 

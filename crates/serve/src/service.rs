@@ -15,6 +15,7 @@ use crate::cache::{CacheConfig, CacheStats, ResultCache};
 use crate::error::ServeError;
 use crate::http::{Request, Response};
 use crate::router;
+use crowdnet_column::ColumnCatalog;
 use crowdnet_dataflow::ExecCtx;
 use crowdnet_store::Store;
 use crowdnet_telemetry::{Counter, Histogram, Telemetry};
@@ -54,6 +55,11 @@ pub struct Service {
     pub(crate) telemetry: Telemetry,
     pub(crate) cfg: ServiceConfig,
     artifacts_slot: RwLock<Option<Arc<Artifacts>>>,
+    /// Columnar projection of the store, when the owning tier maintains
+    /// one. Lazy rebuilds prefer it over re-parsing the JSON log whenever
+    /// its version matches the store; any column error falls back to the
+    /// JSON path — the projection is derived data and never trusted.
+    columns_slot: RwLock<Option<Arc<ColumnCatalog>>>,
     /// Pinned-epoch mode: an external publisher (the ingest tier) owns
     /// artifact freshness via [`Service::install_artifacts`]; requests
     /// read the installed epoch as-is and never rebuild inline.
@@ -81,6 +87,7 @@ impl Service {
             telemetry: telemetry.clone(),
             cfg,
             artifacts_slot: RwLock::new(None),
+            columns_slot: RwLock::new(None),
             pinned: AtomicBool::new(false),
             degraded: AtomicBool::new(false),
             cache,
@@ -111,6 +118,19 @@ impl Service {
     pub fn install_artifacts(&self, artifacts: Arc<Artifacts>) {
         *self.artifacts_slot.write() = Some(artifacts);
         self.pinned.store(true, Ordering::Release);
+    }
+
+    /// Publish a columnar projection for lazy rebuilds to answer from.
+    /// Unlike [`Service::install_artifacts`] this does not pin anything:
+    /// the next stale-version rebuild simply decodes columns instead of
+    /// re-parsing JSON, and a catalog that trails the store is ignored.
+    pub fn install_columns(&self, catalog: Arc<ColumnCatalog>) {
+        *self.columns_slot.write() = Some(catalog);
+    }
+
+    /// The installed columnar projection, if any.
+    pub fn columns(&self) -> Option<Arc<ColumnCatalog>> {
+        self.columns_slot.read().clone()
     }
 
     /// The installed epoch, when the service is in pinned-epoch mode.
@@ -154,13 +174,23 @@ impl Service {
             }
         }
         // Build outside any lock — scans and CoDA take real time and the
-        // read path above must stay contention-free meanwhile.
-        let built = Arc::new(Artifacts::build(
-            &self.store,
-            self.ctx,
-            &self.telemetry,
-            &self.cfg.artifacts,
-        )?);
+        // read path above must stay contention-free meanwhile. Prefer the
+        // columnar projection when one is installed at exactly this
+        // version; any column error (corrupt run, stale manifest) drops
+        // to the JSON scan, which is always authoritative.
+        let columnar = self
+            .columns()
+            .filter(|c| c.version() == version)
+            .and_then(|c| Artifacts::from_columns(&c, &self.telemetry, &self.cfg.artifacts).ok());
+        let built = match columnar {
+            Some(a) => Arc::new(a),
+            None => Arc::new(Artifacts::build(
+                &self.store,
+                self.ctx,
+                &self.telemetry,
+                &self.cfg.artifacts,
+            )?),
+        };
         let mut slot = self.artifacts_slot.write();
         match &*slot {
             // A racing builder won with an equal-or-newer stamp; use its
@@ -388,6 +418,59 @@ pub(crate) mod tests {
         svc.set_degraded(false);
         let again = svc.handle(&Request::get("/stats"));
         assert_eq!(healthy.body, again.body);
+    }
+
+    #[test]
+    fn columnar_rebuild_is_used_and_byte_identical_to_json_path() {
+        let run = |columnar: bool| {
+            let svc = seeded_service();
+            if columnar {
+                let set = crowdnet_column::ColumnSet::build_from_store(
+                    svc.store(),
+                    crowdnet_column::ColumnConfig::default(),
+                    Some(svc.telemetry()),
+                )
+                .unwrap();
+                svc.install_columns(set.catalog());
+            }
+            let mut bytes = Vec::new();
+            for target in svc.example_targets().unwrap() {
+                if target == "/healthz" {
+                    continue;
+                }
+                bytes.extend_from_slice(&svc.handle(&Request::get(&target)).body);
+            }
+            if columnar {
+                // The rebuild really decoded columns: the catalog's scan
+                // counter moved. (The JSON fallback never touches it.)
+                assert!(
+                    svc.telemetry().counter("column.scan.docs").value() > 0,
+                    "columnar path was installed but not used"
+                );
+            }
+            bytes
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn stale_columns_fall_back_to_the_json_scan() {
+        let svc = seeded_service();
+        let set = crowdnet_column::ColumnSet::build_from_store(
+            svc.store(),
+            crowdnet_column::ColumnConfig::default(),
+            Some(svc.telemetry()),
+        )
+        .unwrap();
+        svc.install_columns(set.catalog());
+        // A write moves the store past the catalog; the rebuild must not
+        // answer from the stale projection.
+        svc.store()
+            .put(NS_COMPANIES, Document::new("company:88", obj! {"id" => 88u64}))
+            .unwrap();
+        let a = svc.artifacts().unwrap();
+        assert_eq!(a.version, svc.store().version());
+        assert!(a.entity("company", 88).is_some(), "stale columnar epoch served");
     }
 
     #[test]

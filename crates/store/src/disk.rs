@@ -341,6 +341,20 @@ impl DiskBackend {
         &self.root
     }
 
+    /// The [`Vfs`] this backend performs all I/O through — shared with
+    /// derived on-disk structures (the column projection) so they inherit
+    /// the same fault-injection seam.
+    pub fn vfs_handle(&self) -> Arc<dyn Vfs> {
+        Arc::clone(&self.vfs)
+    }
+
+    /// Path of one partition's log file. Derived structures use its byte
+    /// length as a staleness probe (the log is append-only, so content
+    /// and length move together).
+    pub fn partition_log_path(&self, ns: &str, snapshot: u32, partition: usize) -> PathBuf {
+        self.part_path(ns, snapshot, partition)
+    }
+
     /// Cumulative recovery statistics since this backend was constructed.
     pub fn recovery_stats(&self) -> RecoveryStats {
         *self.recovery.lock()

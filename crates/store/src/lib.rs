@@ -48,5 +48,5 @@ pub use changefeed::{ChangeEvent, ChangePayload, FeedPoll, Subscription};
 pub use disk::RecoveryStats;
 pub use doc::Document;
 pub use error::StoreError;
-pub use store::{SnapshotId, Store};
+pub use store::{merge_sorted_partitions, partition_of, SnapshotId, Store};
 pub use vfs::{FailpointFs, FaultPlan, InjectedFaults, MemFs, RealFs, Vfs};

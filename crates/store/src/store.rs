@@ -66,13 +66,66 @@ pub struct Store {
 
 /// FNV-1a over the key bytes: stable partition assignment across runs and
 /// backends (document placement must be deterministic for reproducibility).
-fn partition_of(key: &str, partitions: usize) -> usize {
+/// Public so derived structures (the column projection) can mirror
+/// placement without holding a `Store`.
+pub fn partition_of(key: &str, partitions: usize) -> usize {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in key.as_bytes() {
         h ^= u64::from(*b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     (h % partitions as u64) as usize
+}
+
+/// k-way merge of per-partition canonical (key-sorted) runs into one
+/// globally key-sorted vector. Ties between partitions resolve to the
+/// lower partition index, which is exactly what a stable sort of the
+/// flattened partitions would produce — so this replaces the
+/// `flatten-then-re-sort` pattern without changing a single byte of
+/// output. Debug builds assert the inputs really are sorted, pinning the
+/// invariant to its one producer ([`Store::scan_partitions`]).
+pub fn merge_sorted_partitions(partitions: Vec<Vec<Document>>) -> Vec<Document> {
+    debug_assert!(
+        partitions
+            .iter()
+            .all(|docs| docs.windows(2).all(|w| w[0].key <= w[1].key)),
+        "merge_sorted_partitions: input partition not in canonical key order"
+    );
+    let total = partitions.iter().map(Vec::len).sum();
+    let mut queues: Vec<std::collections::VecDeque<Document>> =
+        partitions.into_iter().map(Into::into).collect();
+    let mut out: Vec<Document> = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for i in 0..queues.len() {
+            let front = match queues[i].front() {
+                Some(d) => d,
+                None => continue,
+            };
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    // Strict `<` keeps ties on the earliest partition —
+                    // the order a stable sort of the flattened input
+                    // would have produced.
+                    if let Some(bf) = queues[b].front() {
+                        if front.key < bf.key {
+                            best = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        match best {
+            Some(b) => {
+                if let Some(doc) = queues[b].pop_front() {
+                    out.push(doc);
+                }
+            }
+            None => break,
+        }
+    }
+    out
 }
 
 impl Store {
@@ -355,6 +408,49 @@ impl Store {
             m.scan_docs.add(out.iter().map(Vec::len).sum::<usize>() as u64);
         }
         Ok(out)
+    }
+
+    /// Scan one snapshot into a single globally key-sorted vector by
+    /// k-way-merging the per-partition canonical runs. The per-partition
+    /// sort inside [`Store::scan_partitions`] is the one place documents
+    /// get ordered; consumers that need a global order merge it here
+    /// instead of re-sorting flattened output.
+    pub fn scan_snapshot_sorted(
+        &self,
+        ns: &str,
+        snap: SnapshotId,
+    ) -> Result<Vec<Document>, StoreError> {
+        Ok(merge_sorted_partitions(self.scan_partitions(ns, snap)?))
+    }
+
+    /// The partition a key routes to in this store — exposed so derived
+    /// structures (the column projection) can mirror document placement
+    /// when maintaining themselves from the changefeed.
+    pub fn partition_index(&self, key: &str) -> usize {
+        partition_of(key, self.partitions)
+    }
+
+    /// Disk root and [`Vfs`] handle, when this store is disk-backed.
+    /// Derived on-disk structures (the column projection) persist next to
+    /// the log through the same Vfs so fault injection covers them too.
+    pub fn disk_layout(&self) -> Option<(PathBuf, Arc<dyn Vfs>)> {
+        match &self.backend {
+            Backend::Memory(_) => None,
+            Backend::Disk(b) => Some((b.root().to_path_buf(), b.vfs_handle())),
+        }
+    }
+
+    /// Path of one partition's JSON log file (disk backend only).
+    pub fn partition_log_path(
+        &self,
+        ns: &str,
+        snap: SnapshotId,
+        partition: usize,
+    ) -> Option<PathBuf> {
+        match &self.backend {
+            Backend::Memory(_) => None,
+            Backend::Disk(b) => Some(b.partition_log_path(ns, snap.0, partition)),
+        }
     }
 
     /// Number of documents in the latest snapshot.

@@ -68,6 +68,14 @@ pub trait Vfs: Send + Sync {
     fn exists(&self, path: &Path) -> bool;
     /// Is the path a directory?
     fn is_dir(&self, path: &Path) -> bool;
+    /// Current length of the file in bytes. The column projection uses
+    /// this as its cheap staleness probe against the JSON log, so it must
+    /// reflect every byte `open_append` handles have written. The default
+    /// reads the whole file; implementations override with a metadata
+    /// lookup where one exists.
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.read(path).map(|b| b.len() as u64)
+    }
 }
 
 /// `std::fs`-backed [`Vfs`]. This module is the one sanctioned home of
@@ -136,6 +144,9 @@ impl Vfs for RealFs {
     }
     fn is_dir(&self, path: &Path) -> bool {
         path.is_dir()
+    }
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        std::fs::metadata(path).map(|m| m.len())
     }
 }
 
@@ -461,6 +472,14 @@ impl Vfs for FailpointFs {
     fn is_dir(&self, path: &Path) -> bool {
         !self.core.state.lock().crashed && self.inner.is_dir(path)
     }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        let (_, crash_now) = self.core.tick()?;
+        if crash_now {
+            return Err(fault_err("crash during file_len"));
+        }
+        self.inner.file_len(path)
+    }
 }
 
 /// In-memory [`Vfs`] for tests: a plain tree of directories and byte
@@ -627,6 +646,14 @@ impl Vfs for MemFs {
     }
     fn is_dir(&self, path: &Path) -> bool {
         self.tree.lock().dirs.contains(path)
+    }
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.tree
+            .lock()
+            .files
+            .get(path)
+            .map(|v| v.len() as u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
     }
 }
 

@@ -36,6 +36,12 @@ pub const MANDATORY_COUNTERS: &[&str] = &[
 /// Add new metrics here when introducing them.
 pub const DECLARED_METRICS: &[&str] = &[
     "coda.iterations",
+    "column.appends",
+    "column.builds",
+    "column.bytes",
+    "column.dict.entries",
+    "column.rebuilds",
+    "column.scan.docs",
     "crawl.*.fail_permanent",
     "crawl.*.retry_ratelimit",
     "crawl.*.retry_transient",
@@ -62,6 +68,7 @@ pub const DECLARED_METRICS: &[&str] = &[
     "ingest.apply_ms.graph",
     "ingest.apply_ms.stats",
     "ingest.catchup.scans",
+    "ingest.column.save_errors",
     "ingest.docs",
     "ingest.edges",
     "ingest.epoch.version",

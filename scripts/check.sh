@@ -120,4 +120,32 @@ if [ "$resume_hash" != "$full_hash" ]; then
 fi
 echo "$resume_out" | grep -q "store.recovery.scans=[1-9]"
 
+echo "==> column smoke (projection rebuilds from the crawled log, reloads committed, column.* counters recorded)"
+# First open of the crawled store finds no committed projection: it must
+# rebuild from the JSON log, persist the runs and count the work.
+column_out="$(cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --scale tiny --seed 7 column --store "$smoke_dir/full-store")"
+echo "$column_out" | grep -q "^rebuilt (absent, corrupt or stale)"
+for counter in column.rebuilds column.bytes column.dict.entries; do
+  if ! echo "$column_out" | grep -q "$counter=[1-9]"; then
+    echo "column smoke: mandatory counter $counter missing or zero" >&2
+    exit 1
+  fi
+done
+# Second open must load the committed projection instead of rescanning.
+column_out2="$(cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --scale tiny --seed 7 column --store "$smoke_dir/full-store")"
+echo "$column_out2" | grep -q "^loaded committed"
+# Columnar analysis path: the same experiment answered through typed
+# columns, with the scan decode counted.
+columnar_out="$(cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --scale tiny --seed 7 --out "$smoke_dir" --columnar dataset-stats)"
+echo "$columnar_out" | grep -q "columnar projection attached"
+for counter in column.builds column.scan.docs; do
+  if ! echo "$columnar_out" | grep -q "$counter=[1-9]"; then
+    echo "column smoke: mandatory counter $counter missing or zero in --columnar run" >&2
+    exit 1
+  fi
+done
+
 echo "All checks passed."
