@@ -102,11 +102,11 @@ fn shard_scan_us(set: &ShardSet) -> Result<Vec<f64>, Box<dyn std::error::Error>>
     for shard in set.shards() {
         let mut total_us = 0u64;
         for _ in 0..SCAN_REPS {
-            let store = Arc::clone(shard.store());
+            let backend = Arc::clone(shard);
             let (tx, rx) = mpsc::sync_channel::<Result<u64, String>>(1);
             let job = Box::new(move || {
                 let t0 = Instant::now();
-                let timed = store
+                let timed = backend
                     .scan_partitions(SCAN_NS, SnapshotId(0))
                     .map(|parts| {
                         std::hint::black_box(&parts);
@@ -115,7 +115,7 @@ fn shard_scan_us(set: &ShardSet) -> Result<Vec<f64>, Box<dyn std::error::Error>>
                     .map_err(|e| e.to_string());
                 let _ = tx.send(timed);
             });
-            if let Err(job) = shard.submit(job) {
+            if let Err(job) = shard.offload(job) {
                 job();
             }
             total_us += rx.recv()??;

@@ -44,14 +44,23 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--seed N] [--scale tiny|small|eval|paper|1/K] [--out DIR] [--telemetry PATH] [--port N] [--shards N] [--smoke] [--columnar] [-v|--verbose] [EXPERIMENT...]\n\
-         experiments: dataset-stats fig3 fig6 fig8 investor-graph communities fig4 fig5 fig7 causality dynamic predict correlations store-stats telemetry-report serve ingest crawl column all\n\
+         experiments: dataset-stats fig3 fig6 fig8 investor-graph communities fig4 fig5 fig7 causality dynamic predict correlations store-stats telemetry-report serve ingest crawl column shard-server all\n\
          crawl flags: [--store DIR] [--resume] [--fresh] [--fail-at-op N] [--fault-seed S]\n\
            repro crawl writes a durable on-disk store; --resume continues an\n\
            interrupted crawl from its last checkpoint, --fail-at-op simulates\n\
            a crash at the Nth file operation (exit code 3)\n\
          serve flags: [--shards N] routes requests through a hash-partitioned\n\
            N-shard set and the scatter-gather router instead of the single\n\
-           unsharded service (0 = unsharded, the default)\n\
+           unsharded service (0 = unsharded, the default);\n\
+           [--remote ADDR,ADDR,...] scatter-gathers over out-of-process\n\
+           shard servers at the listed loopback addresses instead of\n\
+           in-process shards (shard count = number of addresses; empty\n\
+           fleets are imported, populated fleets adopted as-is)\n\
+         shard-server flags: --store DIR --index I --of N [--port P] [--partitions K]\n\
+           repro shard-server runs one durable shard of an N-shard fleet\n\
+           as its own process, serving its backend legs as POST\n\
+           /shard/<leg> wire frames; it announces\n\
+           \"shard-server listening on ADDR\" on stdout once live\n\
          --columnar projects the crawled store into typed columns and runs\n\
            every analysis scan over them instead of re-parsing JSON\n\
          column flags: [--store DIR] [--rebuild DIR]\n\
@@ -69,6 +78,10 @@ struct Args {
     telemetry: Option<PathBuf>,
     port: u16,
     shards: usize,
+    remote: Option<String>,
+    index: usize,
+    of: usize,
+    partitions: usize,
     smoke: bool,
     verbose: u8,
     store: PathBuf,
@@ -89,6 +102,10 @@ fn parse_args() -> Args {
         telemetry: None,
         port: 0,
         shards: 0,
+        remote: None,
+        index: 0,
+        of: 1,
+        partitions: 4,
         smoke: false,
         verbose: 0,
         store: PathBuf::from("out/store"),
@@ -112,6 +129,15 @@ fn parse_args() -> Args {
             "--port" => args.port = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
             "--shards" => {
                 args.shards = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--remote" => args.remote = Some(it.next().unwrap_or_else(|| usage())),
+            "--index" => {
+                args.index = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--of" => args.of = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--partitions" => {
+                args.partitions =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
             "--smoke" => args.smoke = true,
             "--store" => args.store = PathBuf::from(it.next().unwrap_or_else(|| usage())),
@@ -468,30 +494,67 @@ fn run_experiment(
     Ok(())
 }
 
+/// Run one shard of an out-of-process fleet: open the shard's durable
+/// store at `--store DIR` (creating or recovering it), expose its
+/// backend legs as `POST /shard/<leg>` wire frames through the serve
+/// front end, and announce the listen address on stdout — the exact line
+/// `ProcessSupervisor` and the check.sh drill scrape. Runs until Enter
+/// on an interactive stdin; supervised children (stdin closed) stay up
+/// until killed.
+fn shard_server(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use crowdnet_serve::{bind, Server, ServerConfig};
+    use crowdnet_shard::{LocalShard, ShardBackend};
+    use crowdnet_shardnet::{ShardServer, LISTEN_PREFIX};
+    let telemetry = crowdnet_telemetry::Telemetry::new();
+    let shard = Arc::new(LocalShard::open_with_vfs(
+        args.index,
+        &args.store,
+        args.partitions,
+        Arc::new(crowdnet_store::RealFs),
+        &telemetry,
+    )?);
+    let namespaces = shard.shard_stats()?.len();
+    println!(
+        "shard {}/{}: durable store {} ({} namespace(s) recovered)",
+        args.index,
+        args.of,
+        args.store.display(),
+        namespaces,
+    );
+    let handler = Arc::new(ShardServer::new(shard, &telemetry));
+    let server = Arc::new(Server::with_handler(handler, telemetry.clone(), ServerConfig::default()));
+    let handle = bind(server, args.port)?;
+    println!("{LISTEN_PREFIX}{}", handle.addr());
+    let mut line = String::new();
+    if std::io::stdin().read_line(&mut line).unwrap_or(0) == 0 {
+        // stdin is closed: a supervised child with nothing to wait on.
+        // Serve until the supervisor kills the process.
+        loop {
+            std::thread::park();
+        }
+    }
+    handle.shutdown();
+    Ok(())
+}
+
 /// Stand up the query-serving layer over the crawled store. `--smoke`
 /// exercises every example endpoint in-process and returns; otherwise the
 /// loopback TCP front end runs until Enter is pressed. With `--shards N`
 /// the corpus is imported into an N-shard set and served through the
-/// scatter-gather router instead of the single unsharded service.
+/// scatter-gather router instead of the single unsharded service; with
+/// `--remote ADDR,...` the shards are out-of-process servers reached
+/// through [`RemoteShard`](crowdnet_shardnet::RemoteShard) backends.
 fn serve_store(
     store: Arc<crowdnet_store::Store>,
     telemetry: crowdnet_telemetry::Telemetry,
     args: &Args,
 ) -> Result<(), Box<dyn std::error::Error>> {
     use crowdnet_serve::{bind, Request, Server, ServerConfig, Service, ServiceConfig};
-    use crowdnet_shard::{Router, RouterConfig, ShardSet};
+    use crowdnet_shard::{Router, RouterConfig, ShardBackend, ShardHealth, ShardSet};
+    use crowdnet_shardnet::{RemoteShard, RemoteShardConfig};
     header("Serving layer (crowdnet-serve)");
-    let (server, targets) = if args.shards > 0 {
-        println!(
-            "sharded serving: importing the corpus into {} hash-partitioned shard(s)",
-            args.shards
-        );
-        let set = Arc::new(ShardSet::memory(
-            args.shards,
-            store.partitions(),
-            &telemetry,
-        )?);
-        set.import_store(&store)?;
+    let sharded = args.shards > 0 || args.remote.is_some();
+    let route = |set: Arc<ShardSet>| -> Result<_, Box<dyn std::error::Error>> {
         let router = Arc::new(Router::new(
             Arc::clone(&set),
             RouterConfig::default(),
@@ -503,7 +566,54 @@ fn serve_store(
             telemetry.clone(),
             ServerConfig::default(),
         ));
-        (server, targets)
+        Ok((server, targets))
+    };
+    let (server, targets) = if let Some(remote) = &args.remote {
+        let addrs = remote
+            .split(',')
+            .map(|a| a.trim().parse::<std::net::SocketAddr>())
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("--remote: bad address list {remote:?}: {e}"))?;
+        println!(
+            "remote serving: scatter-gather over {} out-of-process shard(s) at {remote}",
+            addrs.len()
+        );
+        let backends = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                RemoteShard::new(i, *addr, RemoteShardConfig::default(), &telemetry)
+                    .map(|s| Arc::new(s) as Arc<dyn ShardBackend>)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let set = Arc::new(ShardSet::from_backends(backends, &telemetry));
+        // A fleet that already holds a corpus is adopted as-is (the
+        // restart drill: durable shard stores recover when their server
+        // comes back); an empty fleet gets the corpus imported over the
+        // wire through the submit leg.
+        let populated = set.shards().iter().any(|s| {
+            s.health() == ShardHealth::Healthy
+                && s.shard_stats().map(|st| !st.is_empty()).unwrap_or(false)
+        });
+        if populated {
+            println!("adopting populated remote shards (corpus import skipped)");
+        } else {
+            println!("importing the corpus into the remote fleet over the wire");
+            set.import_store(&store)?;
+        }
+        route(set)?
+    } else if args.shards > 0 {
+        println!(
+            "sharded serving: importing the corpus into {} hash-partitioned shard(s)",
+            args.shards
+        );
+        let set = Arc::new(ShardSet::memory(
+            args.shards,
+            store.partitions(),
+            &telemetry,
+        )?);
+        set.import_store(&store)?;
+        route(set)?
     } else {
         let service = Arc::new(Service::new(store, ServiceConfig::default(), telemetry.clone()));
         let targets = service.example_targets()?;
@@ -513,9 +623,28 @@ fn serve_store(
     if args.smoke {
         for target in targets {
             let response = server.call(Request::get(&target));
-            println!("  {:>3} GET {target}", response.status);
+            if sharded {
+                // Sharded smoke lines carry the degrade flag and a body
+                // digest so the check.sh drill can assert zero-5xx
+                // partials after a kill and byte-identical answers after
+                // a restart (the digest excludes nothing; callers skip
+                // version-bearing endpoints when comparing runs).
+                let partial = std::str::from_utf8(&response.body)
+                    .ok()
+                    .and_then(|s| crowdnet_json::Value::parse(s).ok())
+                    .and_then(|v| v.get("partial").and_then(crowdnet_json::Value::as_bool))
+                    .unwrap_or(false);
+                let mut digest = 0xcbf2_9ce4_8422_2325u64;
+                fnv1a(&mut digest, &response.body);
+                println!(
+                    "  {:>3} GET {target} partial={partial} digest={digest:016x}",
+                    response.status
+                );
+            } else {
+                println!("  {:>3} GET {target}", response.status);
+            }
         }
-        if args.shards > 0 {
+        if sharded {
             println!(
                 "shard counters: shard.set.opened={} shard.set.puts={} shard.router.requests={} \
                  shard.router.fanouts={} shard.router.single_shard={}",
@@ -524,6 +653,17 @@ fn serve_store(
                 telemetry.counter("shard.router.requests").value(),
                 telemetry.counter("shard.router.fanouts").value(),
                 telemetry.counter("shard.router.single_shard").value(),
+            );
+        }
+        if args.remote.is_some() {
+            println!(
+                "shardnet counters: shardnet.legs={} shardnet.retries={} shardnet.timeouts={} \
+                 shardnet.pool.reuse_hits={} shardnet.degraded_flips={}",
+                telemetry.counter("shardnet.legs").value(),
+                telemetry.counter("shardnet.retries").value(),
+                telemetry.counter("shardnet.timeouts").value(),
+                telemetry.counter("shardnet.pool.reuse_hits").value(),
+                telemetry.counter("shardnet.degraded_flips").value(),
             );
         }
         server.shutdown();
@@ -815,6 +955,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if args.experiments.iter().any(|e| e == "column") {
         return column_admin(&args);
+    }
+    if args.experiments.iter().any(|e| e == "shard-server") {
+        return shard_server(&args);
     }
     let cfg = config(args.seed, &args.scale);
     cfg.telemetry

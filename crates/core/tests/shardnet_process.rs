@@ -1,0 +1,180 @@
+//! Real process death for the out-of-process shard tier: spawn actual
+//! `repro shard-server` child processes under [`ProcessSupervisor`],
+//! SIGKILL one mid-fleet, and assert the PR 7 kill-one-shard contract
+//! holds across a genuine process boundary — degraded `"partial"`
+//! answers with zero 5xx while the shard is dead, and byte-identical
+//! equivalence with the unsharded service once the child is restarted
+//! (its durable store recovers on open) and the client repointed.
+
+use crowdnet_json::{obj, Value};
+use crowdnet_serve::{Request, Service, ServiceConfig};
+use crowdnet_shard::{Router, RouterConfig, ShardBackend, ShardHealth, ShardSet};
+use crowdnet_shardnet::{ProcessSupervisor, RemoteShard, RemoteShardConfig};
+use crowdnet_store::{Document, Store};
+use crowdnet_telemetry::Telemetry;
+use std::sync::Arc;
+
+const SHARDS: usize = 2;
+const PARTITIONS: usize = 4;
+
+fn server_args(dir: &std::path::Path, index: usize) -> Vec<String> {
+    [
+        "shard-server",
+        "--store",
+        &dir.join(format!("shard-{index}")).to_string_lossy(),
+        "--index",
+        &index.to_string(),
+        "--of",
+        &SHARDS.to_string(),
+        "--partitions",
+        &PARTITIONS.to_string(),
+        "--port",
+        "0",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn corpus() -> Vec<(&'static str, Document)> {
+    let mut docs = Vec::new();
+    for id in 0..8u64 {
+        docs.push((
+            "angellist/companies",
+            Document::new(format!("company:{id}"), obj! {"id" => id, "name" => format!("c{id}")}),
+        ));
+    }
+    for id in 100..108u64 {
+        let arr: Vec<Value> = (0..8).filter(|c| (id + c) % 3 != 0).map(Value::from).collect();
+        docs.push((
+            "angellist/users",
+            Document::new(
+                format!("user:{id}"),
+                obj! {"id" => id, "role" => "investor", "investments" => Value::Arr(arr)},
+            ),
+        ));
+    }
+    docs
+}
+
+/// Poll the remote shard back to Healthy after a restart; the probe is
+/// rate-limit-free in this config, so failures here are real.
+fn await_healthy(remote: &RemoteShard) {
+    for _ in 0..50 {
+        if remote.health() == ShardHealth::Healthy {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    panic!("remote shard never probed back to Healthy after restart");
+}
+
+#[test]
+fn sigkilled_shard_server_degrades_and_restart_restores_equivalence() {
+    let dir = std::env::temp_dir().join(format!("crowdnet-shardnet-proc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("test dir");
+
+    // Two real shard-server child processes on ephemeral loopback ports.
+    let repro = env!("CARGO_BIN_EXE_repro");
+    let mut supervisors: Vec<ProcessSupervisor> = (0..SHARDS)
+        .map(|i| ProcessSupervisor::spawn(repro, &server_args(&dir, i)).expect("spawn shard server"))
+        .collect();
+
+    let telemetry = Telemetry::new();
+    let config = RemoteShardConfig {
+        retries: 1,
+        backoff_base_ms: 1,
+        probe_interval_ms: 0,
+        ..RemoteShardConfig::default()
+    };
+    let remotes: Vec<Arc<RemoteShard>> = supervisors
+        .iter()
+        .enumerate()
+        .map(|(i, sup)| {
+            Arc::new(
+                RemoteShard::new(i, sup.addr().expect("listening"), config.clone(), &telemetry)
+                    .expect("remote shard"),
+            )
+        })
+        .collect();
+    let backends: Vec<Arc<dyn ShardBackend>> = remotes
+        .iter()
+        .map(|r| Arc::clone(r) as Arc<dyn ShardBackend>)
+        .collect();
+    let set = Arc::new(ShardSet::from_backends(backends, &telemetry));
+
+    // Same writes into the unsharded reference and over the wire.
+    let store = Arc::new(Store::memory(PARTITIONS));
+    for (ns, doc) in corpus() {
+        store.put(ns, doc.clone()).expect("store put");
+        set.put(ns, doc).expect("set put");
+    }
+    assert_eq!(set.version(), store.version(), "version lockstep over the wire");
+
+    let service = Service::new(Arc::clone(&store), ServiceConfig::default(), Telemetry::new());
+    let router = Router::new(Arc::clone(&set), RouterConfig::default(), telemetry);
+    let mut targets = service.example_targets().expect("targets");
+    targets.retain(|t| t != "/healthz"); // live per-shard state by design
+
+    for target in &targets {
+        let req = Request::get(target);
+        let direct = service.handle(&req);
+        let routed = router.handle(&req);
+        assert_eq!(direct.status, routed.status, "status diverged on {target}");
+        assert_eq!(
+            direct.body,
+            routed.body,
+            "body diverged on {target} before the kill"
+        );
+    }
+
+    // SIGKILL shard 1's process: no shutdown handshake, sockets die with it.
+    supervisors[1].kill().expect("kill shard server");
+    assert!(!supervisors[1].is_running());
+    // A fresh router over the same set: the first one cached every
+    // fully-healthy response above, and this drill must prove live
+    // scatters degrade — not that a warm cache hides a dead process.
+    let router = Router::new(
+        Arc::clone(&set),
+        RouterConfig::default(),
+        Telemetry::new(),
+    );
+    let mut partials = 0usize;
+    for target in &targets {
+        let response = router.handle(&Request::get(target));
+        assert!(
+            response.status < 500,
+            "GET {target} answered {} with a shard process dead",
+            response.status
+        );
+        if String::from_utf8_lossy(&response.body).contains("\"partial\":true") {
+            partials += 1;
+        }
+    }
+    assert!(partials > 0, "no response was flagged partial with a shard process dead");
+    assert_eq!(remotes[1].health(), ShardHealth::Down, "dead shard never probed Down");
+
+    // Restart from the same durable store: recovery on open brings the
+    // corpus back; repoint the client at the fresh ephemeral port.
+    let addr = supervisors[1].restart().expect("restart shard server");
+    remotes[1].set_addr(addr);
+    await_healthy(&remotes[1]);
+
+    for target in &targets {
+        let req = Request::get(target);
+        let direct = service.handle(&req);
+        let routed = router.handle(&req);
+        assert_eq!(direct.status, routed.status, "status diverged on {target} after restart");
+        assert_eq!(
+            direct.body,
+            routed.body,
+            "body diverged on {target} after restart: {} vs {}",
+            String::from_utf8_lossy(&direct.body),
+            String::from_utf8_lossy(&routed.body),
+        );
+    }
+
+    drop(supervisors);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,5 +1,5 @@
-//! `unbounded-channel`: in the crawl, dataflow, serve, ingest, shard and
-//! column crates — the places producers can outrun consumers by orders of magnitude — an
+//! `unbounded-channel`: in the crawl, dataflow, serve, ingest, shard,
+//! shardnet and column crates — the places producers can outrun consumers by orders of magnitude — an
 //! unbounded `mpsc::channel()` turns backpressure into unbounded memory
 //! growth. Those crates must use `sync_channel(bound)` (or another
 //! explicitly bounded queue); the zero-argument `channel()` constructor is
@@ -19,6 +19,7 @@ fn in_scope(path: &str) -> bool {
         || path.starts_with("crates/serve/")
         || path.starts_with("crates/ingest/")
         || path.starts_with("crates/shard/")
+        || path.starts_with("crates/shardnet/")
         || path.starts_with("crates/column/")
 }
 

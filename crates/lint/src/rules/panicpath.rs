@@ -2,7 +2,9 @@
 //! from the serve front end.
 //!
 //! Roots are every method of `impl Service` in `crates/serve`,
-//! `Server::call`, and every method of `impl Router` in `crates/shard` —
+//! `Server::call`, every method of `impl Router` in `crates/shard`, and
+//! every method of `impl ShardServer` / `impl RemoteShard` in
+//! `crates/shardnet` (the out-of-process leg handler and its client) —
 //! the functions a client request enters through. From those roots the
 //! workspace call graph is swept, and inside every reachable function
 //! (any crate) the rule flags:
@@ -11,10 +13,10 @@
 //! * `panic!` / `todo!` / `unimplemented!` invocations (`unreachable!`
 //!   is allowed: it documents an invariant, and rewriting it as an error
 //!   return would hide logic bugs), and
-//! * direct index expressions `expr[…]` — but only in `crates/serve` and
-//!   `crates/shard` themselves: the graph/dataflow numeric kernels index
-//!   dense arrays by construction, while the handler layers must use
-//!   checked access on client-controlled ids.
+//! * direct index expressions `expr[…]` — but only in `crates/serve`,
+//!   `crates/shard` and `crates/shardnet` themselves: the graph/dataflow
+//!   numeric kernels index dense arrays by construction, while the
+//!   handler layers must use checked access on client-controlled ids.
 //!
 //! The resolver under-approximates (see [`callgraph`](crate::callgraph)),
 //! so this is a best-effort reachability argument, not a proof — but it
@@ -48,6 +50,10 @@ pub fn check(a: &Analysis) -> Vec<Diagnostic> {
                     || (decl.impl_type.as_deref() == Some("Server") && decl.name == "call")
             }
             "shard" => decl.impl_type.as_deref() == Some("Router"),
+            "shardnet" => matches!(
+                decl.impl_type.as_deref(),
+                Some("ShardServer") | Some("RemoteShard")
+            ),
             _ => false,
         };
         if is_endpoint {
@@ -81,7 +87,11 @@ pub fn check(a: &Analysis) -> Vec<Diagnostic> {
                 EventKind::PanicMacro { name } if FLAGGED_MACROS.contains(&name.as_str()) => {
                     format!("{name}!")
                 }
-                EventKind::Index if info.krate == "serve" || info.krate == "shard" => {
+                EventKind::Index
+                    if info.krate == "serve"
+                        || info.krate == "shard"
+                        || info.krate == "shardnet" =>
+                {
                     "direct indexing".to_string()
                 }
                 _ => continue,
@@ -181,6 +191,23 @@ mod tests {
         assert!(
             d.iter().all(|d| d.file == "crates/shard/src/router.rs"),
             "ShardSet write path is not a request root: {d:?}"
+        );
+    }
+
+    #[test]
+    fn shardnet_server_and_client_methods_are_roots() {
+        let a = analysis(&[(
+            "crates/shardnet/src/server.rs",
+            "impl ShardServer { pub fn handle(&self) { let x = legs[i]; } }\n\
+             impl RemoteShard { pub fn epoch_meta(&self) { v.unwrap(); } }\n\
+             impl Pool { pub fn take(&self) { y.unwrap(); } }\n",
+        )]);
+        let d = check(&a);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|d| d.message.contains("direct indexing")));
+        assert!(
+            d.iter().all(|d| !d.message.contains("Pool::take")),
+            "pool internals are only flagged when reachable from a leg: {d:?}"
         );
     }
 

@@ -7,8 +7,12 @@
 //! value, never a panic, and input may arrive in arbitrary split reads
 //! (property-tested in `tests/proptest_http.rs`).
 //!
-//! One request per connection (`Connection: close`), the simplest protocol
-//! that still lets `curl` talk to the server.
+//! Connections default to one request (`Connection: close`), the simplest
+//! protocol that still lets `curl` talk to the server; a client that sends
+//! `Connection: keep-alive` may reuse the connection for a bounded number
+//! of requests (see `ServerConfig::max_requests_per_connection`) — the
+//! parser already buffers pipelined bytes across [`RequestParser::poll`]
+//! calls, so reuse is just not closing.
 
 /// Maximum bytes of the request line (method + target + version).
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -357,15 +361,26 @@ impl Response {
         self
     }
 
-    /// Serialize status line + headers + body to wire bytes.
+    /// Serialize status line + headers + body to wire bytes, announcing
+    /// the connection will close after this response.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with(false)
+    }
+
+    /// Serialize with an explicit connection disposition: `keep_alive`
+    /// announces the server will take another request on this connection.
+    pub fn encode_with(&self, keep_alive: bool) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.body.len() + 128);
         out.extend_from_slice(
             format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status)).as_bytes(),
         );
         out.extend_from_slice(b"Content-Type: application/json\r\n");
         out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
-        out.extend_from_slice(b"Connection: close\r\n");
+        if keep_alive {
+            out.extend_from_slice(b"Connection: keep-alive\r\n");
+        } else {
+            out.extend_from_slice(b"Connection: close\r\n");
+        }
         for (k, v) in &self.headers {
             out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
         }
@@ -543,6 +558,15 @@ mod tests {
         assert!(wire.contains("Connection: close\r\n"));
         assert!(wire.contains("Retry-After: 2\r\n"));
         assert!(wire.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn response_encodes_keep_alive_on_request() {
+        let r = Response::json(200, &crowdnet_json::obj! {"ok" => true});
+        let wire = String::from_utf8(r.encode_with(true)).unwrap();
+        assert!(wire.contains("Connection: keep-alive\r\n"));
+        assert!(!wire.contains("Connection: close\r\n"));
+        assert_eq!(r.encode(), r.encode_with(false));
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub struct ServerConfig {
     pub retry_after_secs: u64,
     /// Socket read timeout for the TCP front end.
     pub read_timeout_ms: u64,
+    /// Requests a keep-alive connection may serve before the server
+    /// closes it anyway — a reused connection occupies its worker, so the
+    /// bound caps how long one client can hold a pool slot.
+    pub max_requests_per_connection: usize,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +57,7 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             retry_after_secs: 1,
             read_timeout_ms: 5_000,
+            max_requests_per_connection: 64,
         }
     }
 }
@@ -84,6 +89,7 @@ pub struct Server {
     cfg: ServerConfig,
     shed: Counter,
     deadline_exceeded: Counter,
+    keepalive_reuses: Counter,
 }
 
 impl Server {
@@ -107,6 +113,7 @@ impl Server {
             pool: WorkerPool::new(cfg.workers, cfg.queue_capacity, &telemetry),
             shed: telemetry.counter("serve.shed"),
             deadline_exceeded: telemetry.counter("serve.deadline_exceeded"),
+            keepalive_reuses: telemetry.counter("serve.keepalive.reuses"),
             handler,
             service: None,
             telemetry,
@@ -254,9 +261,9 @@ pub fn bind(server: Arc<Server>, port: u16) -> Result<TcpHandle, ServeError> {
             if accept_server.pool.try_submit(job).is_err() {
                 // Shed inline: the queue is full and this thread must get
                 // back to accept() immediately.
-                if let Some(stream) = shed_stream {
+                if let Some(mut stream) = shed_stream {
                     let response = accept_server.shed_response();
-                    write_response(stream, &response);
+                    write_response(&mut stream, &response);
                 }
             }
         })
@@ -269,36 +276,71 @@ pub fn bind(server: Arc<Server>, port: u16) -> Result<TcpHandle, ServeError> {
     })
 }
 
-/// One connection: parse one request, answer it, close.
+/// One connection: parse requests, answer them. A connection closes after
+/// its first response unless the client asked for `Connection: keep-alive`,
+/// in which case it may serve up to `max_requests_per_connection` requests
+/// before the server closes it anyway (the connection holds a worker slot
+/// for its whole life, so reuse is bounded, never open-ended).
 fn handle_connection(server: &Arc<Server>, mut stream: TcpStream, admitted_ms: u64) {
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(
         server.cfg.read_timeout_ms.max(1),
     )));
+    // Responses are written head-then-body; Nagle would hold the tail write
+    // hostage to the client's delayed ACK on keep-alive connections.
+    let _ = stream.set_nodelay(true);
     let mut parser = RequestParser::new();
     let mut buf = [0u8; 4096];
-    let request = loop {
-        match parser.poll() {
-            Ok(Some(req)) => break req,
-            Ok(None) => {}
-            Err(e) => {
-                write_response(stream, &Response::error(e.status(), &e.to_string()));
-                return;
+    let max_requests = server.cfg.max_requests_per_connection.max(1);
+    let mut served = 0usize;
+    loop {
+        let request = loop {
+            match parser.poll() {
+                Ok(Some(req)) => break req,
+                Ok(None) => {}
+                Err(e) => {
+                    write_response(&mut stream, &Response::error(e.status(), &e.to_string()));
+                    return;
+                }
             }
+            match stream.read(&mut buf) {
+                Ok(0) => return, // client went away between/mid requests
+                Ok(n) => parser.feed(&buf[..n]),
+                Err(_) => return, // timeout or reset: nothing useful to answer
+            }
+        };
+        if served > 0 {
+            server.keepalive_reuses.inc();
         }
-        match stream.read(&mut buf) {
-            Ok(0) => return, // client went away mid-request
-            Ok(n) => parser.feed(&buf[..n]),
-            Err(_) => return, // timeout or reset: nothing useful to answer
+        // The deadline countdown starts when the request could first be
+        // acted on: admission for the first request (queue time counts),
+        // parse completion for keep-alive follow-ups.
+        let patience_from = if served == 0 {
+            admitted_ms
+        } else {
+            server.telemetry.now_ms()
+        };
+        let deadline = req_patience(server, &request)
+            .map(|p| patience_from.saturating_add(p));
+        served += 1;
+        let keep_alive = served < max_requests && wants_keep_alive(&request);
+        let response = server.execute(&request, deadline);
+        let _ = stream.write_all(&response.encode_with(keep_alive));
+        let _ = stream.flush();
+        if !keep_alive {
+            return;
         }
-    };
-    // The deadline countdown started at admission, not at parse time —
-    // time spent queued behind other connections counts against it.
-    let deadline = match req_patience(server, &request) {
-        Some(p) => Some(admitted_ms.saturating_add(p)),
-        None => None,
-    };
-    let response = server.execute(&request, deadline);
-    write_response(stream, &response);
+    }
+}
+
+/// Keep-alive is strictly opt-in: only an explicit `Connection: keep-alive`
+/// (any token in a comma-separated list) reuses the connection. HTTP/1.1's
+/// default-persistent rule is deliberately not honored — existing clients
+/// of this loopback server read to EOF.
+fn wants_keep_alive(req: &Request) -> bool {
+    req.header("connection").is_some_and(|v| {
+        v.split(',')
+            .any(|t| t.trim().eq_ignore_ascii_case("keep-alive"))
+    })
 }
 
 fn req_patience(server: &Arc<Server>, req: &Request) -> Option<u64> {
@@ -308,7 +350,7 @@ fn req_patience(server: &Arc<Server>, req: &Request) -> Option<u64> {
     }
 }
 
-fn write_response(mut stream: TcpStream, response: &Response) {
+fn write_response(stream: &mut TcpStream, response: &Response) {
     let _ = stream.write_all(&response.encode());
     let _ = stream.flush();
 }
@@ -443,6 +485,82 @@ mod tests {
         stream.read_to_string(&mut wire).unwrap();
         assert!(wire.starts_with("HTTP/1.1 200 OK"), "got: {wire}");
         assert!(wire.contains("\"ok\":true"));
+        handle.shutdown();
+    }
+
+    /// Read exactly one response off a keep-alive connection: head up to
+    /// the blank line, then `Content-Length` body bytes.
+    fn read_one_response(stream: &mut TcpStream) -> String {
+        let mut bytes = Vec::new();
+        let mut one = [0u8; 1];
+        while !bytes.ends_with(b"\r\n\r\n") {
+            match stream.read(&mut one) {
+                Ok(1) => bytes.push(one[0]),
+                _ => panic!("connection closed mid-head: {:?}", String::from_utf8_lossy(&bytes)),
+            }
+        }
+        let head = String::from_utf8(bytes.clone()).unwrap();
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(|v| v.trim().parse().unwrap()))
+            .expect("response without content-length");
+        let mut body = vec![0u8; content_length];
+        stream.read_exact(&mut body).unwrap();
+        head + &String::from_utf8_lossy(&body)
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let s = server(ServerConfig::default());
+        let handle = bind(Arc::clone(&s), 0).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        for i in 0..3 {
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap();
+            let wire = read_one_response(&mut stream);
+            assert!(wire.starts_with("HTTP/1.1 200"), "request {i} got: {wire}");
+            assert!(
+                wire.contains("Connection: keep-alive"),
+                "request {i} not kept alive: {wire}"
+            );
+        }
+        // Without the opt-in header the connection closes after the reply.
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let wire = read_one_response(&mut stream);
+        assert!(wire.contains("Connection: close"), "got: {wire}");
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "bytes after close: {rest:?}");
+        assert_eq!(s.telemetry().counter("serve.keepalive.reuses").value(), 3);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_connection_is_bounded() {
+        let s = server(ServerConfig {
+            max_requests_per_connection: 2,
+            ..ServerConfig::default()
+        });
+        let handle = bind(Arc::clone(&s), 0).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap();
+        let first = read_one_response(&mut stream);
+        assert!(first.contains("Connection: keep-alive"), "got: {first}");
+        // The second (= max) request is answered with close and the
+        // connection ends, opt-in header notwithstanding.
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap();
+        let second = read_one_response(&mut stream);
+        assert!(second.contains("Connection: close"), "got: {second}");
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "server exceeded the per-connection bound");
         handle.shutdown();
     }
 

@@ -2,18 +2,27 @@
 //! one executor thread.
 //!
 //! [`ShardBackend`] is the seam between the [`Router`](crate::Router) and
-//! a shard's physical home. The in-process [`LocalShard`] owns:
+//! a shard's physical home. The trait surface is a set of **serializable
+//! leg methods** — `epoch_meta`, `scan_partitions`, `entity_docs`,
+//! `investor_edges`, `company_edges`, `top_k_prefix`, `shard_stats`,
+//! `submit`, `recover` — every one a plain request/response exchange over
+//! owned data, so the same seam is implemented by the in-process
+//! [`LocalShard`] and by `crowdnet-shardnet`'s `RemoteShard`, which puts
+//! each leg on the wire as a length-prefixed JSON frame. The router never
+//! touches a shard's `Store` directly.
+//!
+//! The in-process [`LocalShard`] owns:
 //!
 //! * an `Arc<Store>` (memory, or disk behind the `Vfs` seam so fault
 //!   injection reaches every shard file);
 //! * an [`IngestEngine`] subscribed to that store's changefeed, drained
 //!   lazily to publish per-shard [`ShardEpoch`]s — the immutable
-//!   graph + entity view scatter queries answer from;
-//! * a persistent executor thread fed by a **bounded** channel, so N
-//!   shards give a fan-out query N-way parallelism without per-request
-//!   thread spawns (when the queue is full, the router runs the job
-//!   inline instead of blocking — the same never-wait discipline as the
-//!   serve worker pool).
+//!   graph + entity view the read legs answer from;
+//! * a persistent executor thread fed by a **bounded** channel
+//!   ([`ShardBackend::offload`]), so N shards give a fan-out query N-way
+//!   parallelism without per-request thread spawns (when the queue is
+//!   full, the router runs the job inline instead of blocking — the same
+//!   never-wait discipline as the serve worker pool).
 //!
 //! Health is a tri-state flag ([`ShardHealth`]): the router skips shards
 //! that are `Down` or `Recovering` and flags the response partial;
@@ -25,7 +34,8 @@ use crowdnet_graph::fxhash::FxHashMap;
 use crowdnet_graph::BipartiteGraph;
 use crowdnet_ingest::{IngestConfig, IngestEngine};
 use crowdnet_json::Value;
-use crowdnet_store::{Store, Vfs};
+use crowdnet_store::store::NamespaceStats;
+use crowdnet_store::{Document, SnapshotId, Store, Vfs};
 use crowdnet_telemetry::{Counter, Telemetry};
 use parking_lot::{Mutex, RwLock};
 use std::path::Path;
@@ -62,7 +72,8 @@ impl ShardHealth {
         }
     }
 
-    fn from_u8(v: u8) -> ShardHealth {
+    /// Decode from the atomic health byte (inverse of [`as_u8`](Self::as_u8)).
+    pub fn from_u8(v: u8) -> ShardHealth {
         match v {
             1 => ShardHealth::Recovering,
             2 => ShardHealth::Down,
@@ -70,7 +81,8 @@ impl ShardHealth {
         }
     }
 
-    fn as_u8(self) -> u8 {
+    /// Encode for the atomic health byte backends store their state in.
+    pub fn as_u8(self) -> u8 {
         match self {
             ShardHealth::Healthy => 0,
             ShardHealth::Recovering => 1,
@@ -92,26 +104,97 @@ pub struct ShardEpoch {
     pub entities: FxHashMap<String, Value>,
 }
 
-/// What the router needs from a shard, wherever it lives. Today's only
-/// implementation is the in-process [`LocalShard`]; the trait is the seam
-/// a remote/process-per-shard backend would implement.
+/// Summary of a shard's current epoch: the `epoch_meta` leg's reply, and
+/// the health probe's payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochMeta {
+    /// The shard's position in the set (sanity-checked by remote clients).
+    pub index: usize,
+    /// Store version the epoch is consistent at.
+    pub version: u64,
+    /// Store partition count (identical across the set by construction).
+    pub partitions: usize,
+    /// Investors in the shard's graph slice.
+    pub investors: usize,
+    /// Companies in the shard's graph slice.
+    pub companies: usize,
+    /// Entity documents in the epoch.
+    pub entities: usize,
+}
+
+/// One logical write, routed to a shard by the set. Serializable: the
+/// remote backend ships it as a JSON frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteOp {
+    /// Append a document to the namespace's latest snapshot.
+    Put {
+        /// Target namespace.
+        ns: String,
+        /// The document.
+        doc: Document,
+    },
+    /// Roll a new snapshot (creates the namespace at snapshot 0 when new).
+    NewSnapshot {
+        /// Target namespace.
+        ns: String,
+    },
+    /// Create the namespace at snapshot 0 iff it does not exist yet.
+    EnsureNamespace {
+        /// Target namespace.
+        ns: String,
+    },
+}
+
+/// Reply to a [`WriteOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteAck {
+    /// Latest snapshot id after the op (0 for a plain put on snapshot 0).
+    pub snapshot: u32,
+    /// Whether `EnsureNamespace` actually created the namespace.
+    pub created: bool,
+}
+
+/// What the router needs from a shard, wherever it lives: serializable
+/// request/response legs plus local health bookkeeping. Implemented
+/// in-process by [`LocalShard`] and over the wire by
+/// `crowdnet-shardnet::RemoteShard`.
 pub trait ShardBackend: Send + Sync {
     /// Position in the shard set (also the partitioner's output domain).
     fn index(&self) -> usize;
-    /// The shard's store.
-    fn store(&self) -> &Arc<Store>;
-    /// Current availability.
+    /// Current availability (tracked caller-side; never a remote call).
     fn health(&self) -> ShardHealth;
     /// Flip availability (recovery transitions, test kill switches).
     fn set_health(&self, health: ShardHealth);
-    /// The current epoch, refreshed first if the store has moved past it.
-    fn epoch(&self) -> Result<Arc<ShardEpoch>, ShardError>;
+    /// Leg: current epoch summary. Doubles as the health probe.
+    fn epoch_meta(&self) -> Result<EpochMeta, ShardError>;
+    /// Leg: the shard's slice of every partition of `ns` at `snapshot`,
+    /// in partition order with per-partition append order preserved.
+    fn scan_partitions(
+        &self,
+        ns: &str,
+        snapshot: SnapshotId,
+    ) -> Result<Vec<Vec<Document>>, ShardError>;
+    /// Leg: entity bodies for `keys`, positionally (`None` = not here).
+    fn entity_docs(&self, keys: &[String]) -> Result<Vec<Option<Value>>, ShardError>;
+    /// Leg: company ids investor `id` holds, in edge order (`None` = the
+    /// investor does not live on this shard).
+    fn investor_edges(&self, id: u32) -> Result<Option<Vec<u32>>, ShardError>;
+    /// Leg: investor ids of company `id` on this shard, in edge order
+    /// (`None` = the company is unknown here).
+    fn company_edges(&self, id: u32) -> Result<Option<Vec<u32>>, ShardError>;
+    /// Leg: the shard-local degree ranking, descending, ties by ascending
+    /// id, truncated to `k`.
+    fn top_k_prefix(&self, k: usize) -> Result<Vec<(u32, f64)>, ShardError>;
+    /// Leg: per-namespace store stats.
+    fn shard_stats(&self) -> Result<Vec<NamespaceStats>, ShardError>;
+    /// Leg: apply one write.
+    fn submit(&self, op: &WriteOp) -> Result<WriteAck, ShardError>;
     /// Hand a job to the shard's executor. Returns the job back when it
     /// cannot be queued (bounded queue full, executor gone) — the caller
     /// decides whether to run it inline.
-    fn submit(&self, job: Job) -> Result<(), Job>;
-    /// Recover the shard: replay the store's recovery path, catch the
-    /// ingest engine up, republish the epoch, mark healthy.
+    fn offload(&self, job: Job) -> Result<(), Job>;
+    /// Leg: recover the shard — replay the store's recovery path, catch
+    /// the ingest engine up, republish the epoch, mark healthy.
     fn recover(&self) -> Result<(), ShardError>;
 }
 
@@ -187,35 +270,15 @@ impl LocalShard {
             refreshes: telemetry.counter(&format!("shard.{index}.refreshes")),
         })
     }
-}
 
-/// Freeze the engine's maintained state into an immutable epoch.
-fn snapshot_epoch(engine: &IngestEngine) -> ShardEpoch {
-    ShardEpoch {
-        version: engine.applied_version(),
-        graph: engine.graph().graph().clone(),
-        entities: engine.entities().clone_map(),
-    }
-}
-
-impl ShardBackend for LocalShard {
-    fn index(&self) -> usize {
-        self.index
-    }
-
-    fn store(&self) -> &Arc<Store> {
+    /// The shard's store. Inherent (not on the trait): the store never
+    /// crosses the backend seam — the router and set speak legs only.
+    pub fn store(&self) -> &Arc<Store> {
         &self.store
     }
 
-    fn health(&self) -> ShardHealth {
-        ShardHealth::from_u8(self.health.load(Ordering::Acquire))
-    }
-
-    fn set_health(&self, health: ShardHealth) {
-        self.health.store(health.as_u8(), Ordering::Release);
-    }
-
-    fn epoch(&self) -> Result<Arc<ShardEpoch>, ShardError> {
+    /// The current epoch, refreshed first if the store has moved past it.
+    pub fn epoch(&self) -> Result<Arc<ShardEpoch>, ShardError> {
         let current = self.store.version();
         {
             let epoch = self.epoch.read();
@@ -233,8 +296,134 @@ impl ShardBackend for LocalShard {
         self.refreshes.inc();
         Ok(fresh)
     }
+}
 
-    fn submit(&self, job: Job) -> Result<(), Job> {
+/// Freeze the engine's maintained state into an immutable epoch.
+fn snapshot_epoch(engine: &IngestEngine) -> ShardEpoch {
+    ShardEpoch {
+        version: engine.applied_version(),
+        graph: engine.graph().graph().clone(),
+        entities: engine.entities().clone_map(),
+    }
+}
+
+impl ShardBackend for LocalShard {
+    fn index(&self) -> usize {
+        self.index
+    }
+
+    fn health(&self) -> ShardHealth {
+        ShardHealth::from_u8(self.health.load(Ordering::Acquire))
+    }
+
+    fn set_health(&self, health: ShardHealth) {
+        self.health.store(health.as_u8(), Ordering::Release);
+    }
+
+    fn epoch_meta(&self) -> Result<EpochMeta, ShardError> {
+        let epoch = self.epoch()?;
+        Ok(EpochMeta {
+            index: self.index,
+            version: epoch.version,
+            partitions: self.store.partitions(),
+            investors: epoch.graph.investor_count(),
+            companies: epoch.graph.company_count(),
+            entities: epoch.entities.len(),
+        })
+    }
+
+    fn scan_partitions(
+        &self,
+        ns: &str,
+        snapshot: SnapshotId,
+    ) -> Result<Vec<Vec<Document>>, ShardError> {
+        Ok(self.store.scan_partitions(ns, snapshot)?)
+    }
+
+    fn entity_docs(&self, keys: &[String]) -> Result<Vec<Option<Value>>, ShardError> {
+        let epoch = self.epoch()?;
+        Ok(keys
+            .iter()
+            .map(|k| epoch.entities.get(k).cloned())
+            .collect())
+    }
+
+    fn investor_edges(&self, id: u32) -> Result<Option<Vec<u32>>, ShardError> {
+        let epoch = self.epoch()?;
+        Ok(epoch.graph.investor_index(id).map(|i| {
+            epoch
+                .graph
+                .companies_of(i)
+                .iter()
+                .map(|&c| epoch.graph.company_id(c))
+                .collect()
+        }))
+    }
+
+    fn company_edges(&self, id: u32) -> Result<Option<Vec<u32>>, ShardError> {
+        let epoch = self.epoch()?;
+        Ok(epoch.graph.company_index(id).map(|c| {
+            epoch
+                .graph
+                .investors_of(c)
+                .iter()
+                .map(|&i| epoch.graph.investor_id(i))
+                .collect()
+        }))
+    }
+
+    fn top_k_prefix(&self, k: usize) -> Result<Vec<(u32, f64)>, ShardError> {
+        let epoch = self.epoch()?;
+        let mut ranked: Vec<(u32, f64)> = epoch
+            .graph
+            .investor_degrees()
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| (epoch.graph.investor_id(i as u32), d as f64))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        Ok(ranked)
+    }
+
+    fn shard_stats(&self) -> Result<Vec<NamespaceStats>, ShardError> {
+        Ok(self.store.stats()?)
+    }
+
+    fn submit(&self, op: &WriteOp) -> Result<WriteAck, ShardError> {
+        match op {
+            WriteOp::Put { ns, doc } => {
+                self.store.put(ns, doc.clone())?;
+                Ok(WriteAck {
+                    snapshot: self.store.latest_snapshot(ns)?.0,
+                    created: false,
+                })
+            }
+            WriteOp::NewSnapshot { ns } => {
+                let id = self.store.new_snapshot(ns)?;
+                Ok(WriteAck {
+                    snapshot: id.0,
+                    created: false,
+                })
+            }
+            WriteOp::EnsureNamespace { ns } => {
+                if self.store.snapshots(ns).is_empty() {
+                    let id = self.store.new_snapshot(ns)?;
+                    Ok(WriteAck {
+                        snapshot: id.0,
+                        created: true,
+                    })
+                } else {
+                    Ok(WriteAck {
+                        snapshot: self.store.latest_snapshot(ns)?.0,
+                        created: false,
+                    })
+                }
+            }
+        }
+    }
+
+    fn offload(&self, job: Job) -> Result<(), Job> {
         // Clone the sender out of the lock so the channel op runs with no
         // lock held.
         let tx = match self.exec_tx.lock().as_ref() {
@@ -304,12 +493,64 @@ mod tests {
     }
 
     #[test]
+    fn leg_methods_answer_from_the_epoch() {
+        let t = Telemetry::new();
+        let shard = LocalShard::open_memory(0, 2, &t).unwrap();
+        shard
+            .submit(&WriteOp::Put {
+                ns: "angellist/users".into(),
+                doc: Document::new(
+                    "user:7",
+                    obj! {"id" => 7u64, "role" => "investor", "investments" => Value::Arr(vec![Value::from(1u64), Value::from(3u64)])},
+                ),
+            })
+            .unwrap();
+        let meta = shard.epoch_meta().unwrap();
+        assert_eq!(meta.index, 0);
+        assert_eq!(meta.partitions, 2);
+        assert_eq!(meta.investors, 1);
+        assert_eq!(meta.entities, 1);
+        assert_eq!(meta.version, shard.store().version());
+        let docs = shard
+            .entity_docs(&["user:7".to_string(), "user:8".to_string()])
+            .unwrap();
+        assert!(docs[0].is_some());
+        assert!(docs[1].is_none());
+        assert_eq!(shard.investor_edges(7).unwrap(), Some(vec![1, 3]));
+        assert_eq!(shard.investor_edges(8).unwrap(), None);
+        assert_eq!(shard.company_edges(1).unwrap(), Some(vec![7]));
+        assert_eq!(shard.company_edges(99).unwrap(), None);
+        assert_eq!(shard.top_k_prefix(5).unwrap(), vec![(7, 2.0)]);
+        let stats = shard.shard_stats().unwrap();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].documents, 1);
+    }
+
+    #[test]
+    fn write_ops_roll_snapshots_and_report_creation() {
+        let t = Telemetry::new();
+        let shard = LocalShard::open_memory(0, 2, &t).unwrap();
+        let ns = "journal/daily".to_string();
+        let ack = shard
+            .submit(&WriteOp::EnsureNamespace { ns: ns.clone() })
+            .unwrap();
+        assert!(ack.created);
+        assert_eq!(ack.snapshot, 0);
+        let ack = shard
+            .submit(&WriteOp::EnsureNamespace { ns: ns.clone() })
+            .unwrap();
+        assert!(!ack.created);
+        let ack = shard.submit(&WriteOp::NewSnapshot { ns }).unwrap();
+        assert_eq!(ack.snapshot, 1);
+    }
+
+    #[test]
     fn executor_runs_submitted_jobs() {
         let t = Telemetry::new();
         let shard = LocalShard::open_memory(1, 2, &t).unwrap();
         let (tx, rx) = sync_channel::<u32>(1);
         shard
-            .submit(Box::new(move || {
+            .offload(Box::new(move || {
                 let _ = tx.send(42);
             }))
             .unwrap_or_else(|job| job());
@@ -328,11 +569,11 @@ mod tests {
     }
 
     #[test]
-    fn submit_after_drop_sender_returns_job() {
+    fn offload_after_drop_sender_returns_job() {
         let t = Telemetry::new();
         let shard = LocalShard::open_memory(3, 2, &t).unwrap();
         shard.exec_tx.lock().take();
         let job: Job = Box::new(|| {});
-        assert!(shard.submit(job).is_err());
+        assert!(shard.offload(job).is_err());
     }
 }

@@ -17,6 +17,28 @@ pub enum ShardError {
     NoSuchShard(usize),
     /// The shard's executor thread is gone (shutdown or panic).
     ExecutorGone(usize),
+    /// The shard is unreachable: connection refused, timed out, or the
+    /// connection died mid-leg. The router degrades, never 5xxes.
+    Unavailable {
+        /// Which shard.
+        shard: usize,
+        /// Human-readable transport failure.
+        reason: String,
+    },
+    /// The wire payload of a leg failed to decode (malformed frame,
+    /// unexpected shape). Counted, surfaced — never a panic.
+    Protocol(String),
+}
+
+impl ShardError {
+    /// True for failures of the shard's *transport*, not its data: the
+    /// router records the shard degraded instead of failing the request.
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            ShardError::Unavailable { .. } | ShardError::Protocol(_) | ShardError::ExecutorGone(_)
+        )
+    }
 }
 
 impl fmt::Display for ShardError {
@@ -26,6 +48,10 @@ impl fmt::Display for ShardError {
             ShardError::Ingest(e) => write!(f, "shard ingest: {e}"),
             ShardError::NoSuchShard(i) => write!(f, "no such shard: {i}"),
             ShardError::ExecutorGone(i) => write!(f, "shard {i} executor is gone"),
+            ShardError::Unavailable { shard, reason } => {
+                write!(f, "shard {shard} unavailable: {reason}")
+            }
+            ShardError::Protocol(m) => write!(f, "shard wire protocol: {m}"),
         }
     }
 }

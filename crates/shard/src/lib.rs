@@ -13,7 +13,11 @@
 //!   or disk behind the `Vfs` seam), its own changefeed and
 //!   [`IngestEngine`](crowdnet_ingest::IngestEngine) publishing per-shard
 //!   [`ShardEpoch`]s, and a persistent executor thread that gives
-//!   fan-outs N-way parallelism over a bounded queue.
+//!   fan-outs N-way parallelism over a bounded queue. The trait surface
+//!   is a set of *serializable legs* — every method takes and returns
+//!   owned plain data — so `crowdnet-shardnet`'s `RemoteShard` can put
+//!   the same seam on the wire and the router cannot tell the backends
+//!   apart.
 //! * [`ShardSet`] — the registry: opens/recovers N shards, routes writes,
 //!   keeps namespaces and snapshot ids in **lockstep** across shards (the
 //!   invariant every merge relies on), tracks health, and maintains the
@@ -35,8 +39,10 @@ pub mod partitioner;
 pub mod router;
 pub mod set;
 
-pub use backend::{Job, LocalShard, ShardBackend, ShardEpoch, ShardHealth};
+pub use backend::{
+    EpochMeta, Job, LocalShard, ShardBackend, ShardEpoch, ShardHealth, WriteAck, WriteOp,
+};
 pub use error::ShardError;
 pub use partitioner::Partitioner;
 pub use router::{Router, RouterConfig};
-pub use set::ShardSet;
+pub use set::{merge_stats, ShardSet};

@@ -3,32 +3,39 @@
 //! The [`Router`] answers the exact route table of
 //! `crowdnet_serve::Service` — same paths, same envelopes, same error
 //! strings — by fanning queries out to the healthy shards and merging
-//! their partial results:
+//! their partial results. Every fan-out leg is a serializable
+//! [`ShardBackend`](crate::ShardBackend) method (the router never touches
+//! a shard's store), so the same code path serves in-process
+//! `LocalShard`s and `crowdnet-shardnet`'s out-of-process `RemoteShard`s:
 //!
 //! * **entity** — single-shard: the partitioner names the owner, one
-//!   epoch lookup answers.
-//! * **portfolio / company investors** — scatter epochs; an investor's
-//!   edges live on one shard (co-location), a company's inbound edges
-//!   concatenate disjointly; merged ids sort ascending, matching the
-//!   canonical unsharded listing.
-//! * **top-k** — per-shard ranked prefixes merged through a bounded heap
-//!   (at most one candidate per shard in flight), ties broken by
+//!   `entity_docs` leg answers.
+//! * **portfolio / company investors** — scatter `investor_edges` /
+//!   `company_edges`; an investor's edges live on one shard
+//!   (co-location), a company's inbound edges concatenate disjointly;
+//!   merged ids sort ascending, matching the canonical unsharded listing.
+//! * **top-k** — per-shard `top_k_prefix` legs merged through a bounded
+//!   heap (at most one candidate per shard in flight), ties broken by
 //!   ascending id exactly like the unsharded sort.
-//! * **stats** — associative merge of per-shard `Store::stats`.
-//! * **sql / communities / pagerank** — per-shard partition scans are
-//!   concatenated in shard order and stable-sorted by key, which
+//! * **stats** — associative merge of per-shard `shard_stats` legs.
+//! * **sql / communities / pagerank** — per-shard `scan_partitions` legs
+//!   are concatenated in shard order and stable-sorted by key, which
 //!   reconstructs the unsharded store's canonical partition scans
 //!   byte-for-byte (same-key documents never span shards); communities
 //!   and PageRank come from global [`Artifacts`] assembled from that
 //!   canonical merge and cached per logical version.
 //!
 //! Fan-outs run on the shards' executor threads under a shared deadline
-//! budget: a shard that is down, mid-recovery, or past the budget is
-//! skipped and the response is flagged `"partial": true` with the shard
-//! indices in `"degraded_shards"` — degraded, never failed.
+//! budget: a shard that is down, mid-recovery, past the budget, or whose
+//! leg fails in *transport* (unreachable process, dead connection,
+//! malformed frame) is skipped and the response is flagged
+//! `"partial": true` with the shard indices in `"degraded_shards"` —
+//! degraded, never failed. Only logical errors (a bad query, a missing
+//! namespace) propagate as error statuses.
 
-use crate::backend::{Job, ShardEpoch, ShardHealth};
-use crate::set::ShardSet;
+use crate::backend::{Job, ShardBackend, ShardHealth};
+use crate::error::ShardError;
+use crate::set::{merge_stats, ShardSet};
 use crowdnet_json::{obj, Value};
 use crowdnet_serve::artifacts::{Artifacts, ArtifactsConfig, NS_COMPANIES, NS_USERS};
 use crowdnet_serve::cache::{CacheConfig, CacheStats, ResultCache};
@@ -294,7 +301,7 @@ impl Router {
             // Executor queue full (or gone): run the job inline rather
             // than blocking or failing — same never-wait discipline as
             // the serve worker pool.
-            if let Err(job) = shard.submit(wrapped) {
+            if let Err(job) = shard.offload(wrapped) {
                 job();
             }
             pending.push((idx, rx));
@@ -311,23 +318,38 @@ impl Router {
         gathered
     }
 
-    /// Current epochs of every healthy shard, refreshed in parallel.
-    fn scatter_epochs(
+    /// Scatter one leg call per healthy shard and gather its replies.
+    /// Transport failures (unreachable shard, dead connection, malformed
+    /// frame, executor gone) degrade the shard; logical errors propagate.
+    fn scatter_leg<T, F>(
         &self,
         ctx: &mut QueryCtx,
-    ) -> Result<Vec<(usize, Arc<ShardEpoch>)>, ServeError> {
+        leg: F,
+    ) -> Result<Vec<(usize, T)>, ServeError>
+    where
+        T: Send + 'static,
+        F: Fn(&Arc<dyn ShardBackend>) -> Result<T, ShardError> + Send + Sync + 'static,
+    {
+        let leg = Arc::new(leg);
         let results = self.scatter(ctx, |idx| {
             let shard = self.set.shards().get(idx).map(Arc::clone);
+            let leg = Arc::clone(&leg);
             Box::new(move || match shard {
-                Some(s) => s.epoch().map_err(shard_to_serve),
-                None => Err(ServeError::NotFound(format!("shard {idx}"))),
+                Some(s) => leg(&s),
+                None => Err(ShardError::NoSuchShard(idx)),
             })
         });
-        let mut epochs = Vec::with_capacity(results.len());
+        let mut gathered = Vec::with_capacity(results.len());
         for (idx, r) in results {
-            epochs.push((idx, r?));
+            match r {
+                Ok(v) => gathered.push((idx, v)),
+                Err(e) if e.is_transport() => {
+                    ctx.degraded.insert(idx);
+                }
+                Err(e) => return Err(shard_to_serve(e)),
+            }
         }
-        Ok(epochs)
+        Ok(gathered)
     }
 
     /// Canonical partition scans of `ns` at snapshot 0, merged across the
@@ -345,22 +367,19 @@ impl Router {
             let shard = self.set.shards().get(idx).map(Arc::clone);
             let ns = ns.to_string();
             Box::new(move || match shard {
-                Some(s) => s.store().scan_partitions(&ns, SnapshotId(0)),
-                None => Err(StoreError::NamespaceNotFound(ns)),
+                Some(s) => s.scan_partitions(&ns, SnapshotId(0)),
+                None => Err(ShardError::NoSuchShard(idx)),
             })
         });
-        let partitions = self
-            .set
-            .shards()
-            .first()
-            .map(|s| s.store().partitions())
-            .unwrap_or(1);
-        let mut merged: Vec<Vec<Document>> = vec![Vec::new(); partitions];
+        let mut merged: Vec<Vec<Document>> = Vec::new();
         let mut any = false;
-        for (_idx, r) in results {
+        for (idx, r) in results {
             match r {
                 Ok(parts) => {
                     any = true;
+                    if merged.len() < parts.len() {
+                        merged.resize_with(parts.len(), Vec::new);
+                    }
                     for (p, docs) in parts.into_iter().enumerate() {
                         if let Some(slot) = merged.get_mut(p) {
                             slot.extend(docs);
@@ -369,8 +388,11 @@ impl Router {
                 }
                 // Snapshot lockstep: a namespace exists on all shards or
                 // none, so any miss means the namespace is absent.
-                Err(StoreError::NamespaceNotFound(_)) => return Ok(None),
-                Err(e) => return Err(ServeError::Store(e)),
+                Err(ShardError::Store(StoreError::NamespaceNotFound(_))) => return Ok(None),
+                Err(e) if e.is_transport() => {
+                    ctx.degraded.insert(idx);
+                }
+                Err(e) => return Err(shard_to_serve(e)),
             }
         }
         if !any && ctx.degraded.is_empty() {
@@ -430,10 +452,21 @@ impl Router {
             .shards()
             .iter()
             .map(|s| {
+                // Live per-shard state: the version comes from the
+                // epoch_meta probe; a shard that is out (or unreachable)
+                // reports null rather than failing the endpoint.
+                let version = if s.health() == ShardHealth::Healthy {
+                    match s.epoch_meta() {
+                        Ok(m) => Value::from(m.version),
+                        Err(_) => Value::Null,
+                    }
+                } else {
+                    Value::Null
+                };
                 obj! {
                     "index" => s.index(),
                     "health" => s.health().as_str(),
-                    "version" => s.store().version(),
+                    "version" => version,
                 }
             })
             .collect();
@@ -451,18 +484,14 @@ impl Router {
     }
 
     fn stats(&self, ctx: &mut QueryCtx) -> Result<Value, ServeError> {
-        for (i, s) in self.set.shards().iter().enumerate() {
-            if s.health() != ShardHealth::Healthy {
-                ctx.degraded.insert(i);
-            }
-        }
-        let merged = self
-            .set
-            .merged_stats(|s| s.health() == ShardHealth::Healthy)
-            .map_err(shard_to_serve)?;
+        let legs = self.scatter_leg(ctx, |s| s.shard_stats())?;
+        let merged = merge_stats(legs.into_iter().map(|(_, v)| v));
         let mut rendered = render_stats(&merged, self.set.version());
         if let Some(o) = rendered.as_obj_mut() {
-            o.insert("degraded", Value::Bool(self.set.any_unhealthy()));
+            o.insert(
+                "degraded",
+                Value::Bool(self.set.any_unhealthy() || !ctx.degraded.is_empty()),
+            );
         }
         Ok(rendered)
     }
@@ -487,28 +516,34 @@ impl Router {
             ctx.degraded.insert(owner);
             return Ok(obj! {"kind" => kind, "id" => u64::from(id), "body" => Value::Null});
         }
-        let epoch = shard.epoch().map_err(shard_to_serve)?;
-        let body = epoch
-            .entities
-            .get(&key)
-            .cloned()
-            .ok_or_else(|| ServeError::NotFound(key))?;
+        let docs = match shard.entity_docs(std::slice::from_ref(&key)) {
+            Ok(docs) => docs,
+            Err(e) if e.is_transport() => {
+                // The owner died between the health check and the leg:
+                // same partial envelope as a flagged-down owner.
+                ctx.degraded.insert(owner);
+                return Ok(obj! {"kind" => kind, "id" => u64::from(id), "body" => Value::Null});
+            }
+            Err(e) => return Err(shard_to_serve(e)),
+        };
+        let body = docs
+            .into_iter()
+            .next()
+            .flatten()
+            .ok_or(ServeError::NotFound(key))?;
         Ok(obj! {"kind" => kind, "id" => u64::from(id), "body" => body})
     }
 
     fn portfolio(&self, ctx: &mut QueryCtx, id: u32) -> Result<Value, ServeError> {
         let artifacts = self.global_artifacts(ctx)?;
-        let epochs = self.scatter_epochs(ctx)?;
+        let legs = self.scatter_leg(ctx, move |s| s.investor_edges(id))?;
         let mut found = false;
-        let mut degree = 0usize;
         let mut ids: Vec<u32> = Vec::new();
-        for (_idx, ep) in &epochs {
-            if let Some(i) = ep.graph.investor_index(id) {
+        for (_idx, edges) in legs {
+            if let Some(companies) = edges {
                 // Co-location: exactly one shard owns the investor.
                 found = true;
-                let companies = ep.graph.companies_of(i);
-                degree += companies.len();
-                ids.extend(companies.iter().map(|&c| ep.graph.company_id(c)));
+                ids.extend(companies);
             }
         }
         if !found {
@@ -517,6 +552,7 @@ impl Router {
             }
             return Ok(obj! {"id" => u64::from(id)});
         }
+        let degree = ids.len();
         ids.sort_unstable();
         let pagerank = artifacts
             .investor_index(id)
@@ -547,15 +583,15 @@ impl Router {
     }
 
     fn company_investors(&self, ctx: &mut QueryCtx, id: u32) -> Result<Value, ServeError> {
-        let epochs = self.scatter_epochs(ctx)?;
+        let legs = self.scatter_leg(ctx, move |s| s.company_edges(id))?;
         let mut found = false;
         let mut ids: Vec<u32> = Vec::new();
-        for (_idx, ep) in &epochs {
-            if let Some(c) = ep.graph.company_index(id) {
+        for (_idx, investors) in legs {
+            if let Some(investors) = investors {
                 // A company's inbound edges may span shards (its investors
                 // hash independently); the slices are disjoint.
                 found = true;
-                ids.extend(ep.graph.investors_of(c).iter().map(|&i| ep.graph.investor_id(i)));
+                ids.extend(investors);
             }
         }
         if !found {
@@ -612,22 +648,9 @@ impl Router {
             // Degree is shard-local: merge per-shard top-k prefixes
             // through a bounded heap (≤ one candidate per shard).
             "degree" => {
-                let epochs = self.scatter_epochs(ctx)?;
-                let per_shard: Vec<Vec<(u32, f64)>> = epochs
-                    .iter()
-                    .map(|(_, ep)| {
-                        let mut ranked: Vec<(u32, f64)> = ep
-                            .graph
-                            .investor_degrees()
-                            .into_iter()
-                            .enumerate()
-                            .map(|(i, d)| (ep.graph.investor_id(i as u32), d as f64))
-                            .collect();
-                        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-                        ranked.truncate(k);
-                        ranked
-                    })
-                    .collect();
+                let legs = self.scatter_leg(ctx, move |s| s.top_k_prefix(k))?;
+                let per_shard: Vec<Vec<(u32, f64)>> =
+                    legs.into_iter().map(|(_, ranked)| ranked).collect();
                 merge_top_k(per_shard, k)
             }
             // PageRank is a whole-graph score; rank the global artifacts
@@ -962,6 +985,98 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(3));
         let resp = router.handle(&req);
         assert!(resp.status == 200, "deadline produced a non-200");
+    }
+
+    #[test]
+    fn transport_failures_degrade_instead_of_500() {
+        use crate::backend::{EpochMeta, WriteAck, WriteOp};
+        use crowdnet_store::store::NamespaceStats;
+
+        /// A backend whose every leg fails like a dead remote process.
+        struct DeadShard(usize);
+        impl ShardBackend for DeadShard {
+            fn index(&self) -> usize {
+                self.0
+            }
+            fn health(&self) -> ShardHealth {
+                ShardHealth::Healthy // dies between health check and leg
+            }
+            fn set_health(&self, _h: ShardHealth) {}
+            fn epoch_meta(&self) -> Result<EpochMeta, ShardError> {
+                Err(self.gone())
+            }
+            fn scan_partitions(
+                &self,
+                _ns: &str,
+                _snapshot: SnapshotId,
+            ) -> Result<Vec<Vec<Document>>, ShardError> {
+                Err(self.gone())
+            }
+            fn entity_docs(&self, _keys: &[String]) -> Result<Vec<Option<Value>>, ShardError> {
+                Err(self.gone())
+            }
+            fn investor_edges(&self, _id: u32) -> Result<Option<Vec<u32>>, ShardError> {
+                Err(self.gone())
+            }
+            fn company_edges(&self, _id: u32) -> Result<Option<Vec<u32>>, ShardError> {
+                Err(self.gone())
+            }
+            fn top_k_prefix(&self, _k: usize) -> Result<Vec<(u32, f64)>, ShardError> {
+                Err(self.gone())
+            }
+            fn shard_stats(&self) -> Result<Vec<NamespaceStats>, ShardError> {
+                Err(self.gone())
+            }
+            fn submit(&self, _op: &WriteOp) -> Result<WriteAck, ShardError> {
+                Err(self.gone())
+            }
+            fn offload(&self, job: Job) -> Result<(), Job> {
+                Err(job)
+            }
+            fn recover(&self) -> Result<(), ShardError> {
+                Err(self.gone())
+            }
+        }
+        impl DeadShard {
+            fn gone(&self) -> ShardError {
+                ShardError::Unavailable {
+                    shard: self.0,
+                    reason: "connection refused".into(),
+                }
+            }
+        }
+
+        let t = Telemetry::new();
+        let healthy = crate::backend::LocalShard::open_memory(0, 2, &t).unwrap();
+        let set = Arc::new(ShardSet::from_backends(
+            vec![
+                Arc::new(healthy) as Arc<dyn ShardBackend>,
+                Arc::new(DeadShard(1)) as Arc<dyn ShardBackend>,
+            ],
+            &t,
+        ));
+        set.shard(0)
+            .unwrap()
+            .submit(&WriteOp::Put {
+                ns: NS_USERS.into(),
+                doc: Document::new(
+                    "user:100",
+                    obj! {"id" => 100u64, "role" => "investor", "investments" => Value::Arr(vec![Value::from(1u64)])},
+                ),
+            })
+            .unwrap();
+        let router = Router::new(set, RouterConfig::default(), t);
+        for target in ["/stats", "/top/investors?by=degree&k=3", "/communities"] {
+            let resp = router.handle(&Request::get(target));
+            assert!(
+                resp.status < 500,
+                "5xx on {target} with a dead transport: {}",
+                String::from_utf8_lossy(&resp.body)
+            );
+        }
+        let stats = router.handle(&Request::get("/stats"));
+        let v = Value::parse(std::str::from_utf8(&stats.body).unwrap()).unwrap();
+        assert_eq!(v.get("partial").and_then(Value::as_bool), Some(true));
     }
 
     #[test]

@@ -16,12 +16,18 @@
 //!   which is what makes scatter-gathered `/sql`, `/stats` and artifact
 //!   builds byte-identical to the single-store path.
 //!
+//! Every interaction goes through the [`ShardBackend`] leg methods —
+//! never a shard's store directly — so a set assembled from remote
+//! backends ([`ShardSet::from_backends`]) behaves identically to one
+//! over in-process [`LocalShard`]s.
+//!
 //! The set also maintains the **logical version**: one bump per logical
 //! write (`put`, `new_snapshot`), mirroring what an unsharded
-//! [`Store::version`] would report for the same op sequence. The router
-//! stamps its result cache and global artifacts with it.
+//! [`Store::version`](crowdnet_store::Store::version) would report for
+//! the same op sequence. The router stamps its result cache and global
+//! artifacts with it.
 
-use crate::backend::{LocalShard, ShardBackend, ShardHealth};
+use crate::backend::{LocalShard, ShardBackend, ShardHealth, WriteOp};
 use crate::error::ShardError;
 use crate::partitioner::Partitioner;
 use crowdnet_store::store::NamespaceStats;
@@ -84,8 +90,8 @@ impl ShardSet {
         Ok(ShardSet::from_backends(shards, telemetry))
     }
 
-    /// Assemble a set from already-opened backends (the registry seam a
-    /// remote backend would plug into). Namespaces present on disk are
+    /// Assemble a set from already-opened backends (the registry seam the
+    /// remote backend plugs into). Namespaces present on disk are
     /// re-learned lazily; logical version restarts at 0, like a
     /// freshly-opened store's.
     pub fn from_backends(shards: Vec<Arc<dyn ShardBackend>>, telemetry: &Telemetry) -> ShardSet {
@@ -144,7 +150,10 @@ impl ShardSet {
             .shards
             .get(idx)
             .ok_or(ShardError::NoSuchShard(idx))?;
-        shard.store().put(ns, doc)?;
+        shard.submit(&WriteOp::Put {
+            ns: ns.to_string(),
+            doc,
+        })?;
         if let Some(c) = self.doc_counters.get(idx) {
             c.inc();
         }
@@ -158,8 +167,9 @@ impl ShardSet {
     /// snapshot 0 everywhere — the same semantics as the unsharded store.
     pub fn new_snapshot(&self, ns: &str) -> Result<SnapshotId, ShardError> {
         let mut latest = SnapshotId(0);
+        let op = WriteOp::NewSnapshot { ns: ns.to_string() };
         for shard in &self.shards {
-            latest = shard.store().new_snapshot(ns)?;
+            latest = SnapshotId(shard.submit(&op)?.snapshot);
         }
         self.namespaces.lock().insert(ns.to_string());
         self.version.fetch_add(1, Ordering::AcqRel);
@@ -174,40 +184,26 @@ impl ShardSet {
         if seen.contains(ns) {
             return Ok(());
         }
+        let op = WriteOp::EnsureNamespace { ns: ns.to_string() };
         for shard in &self.shards {
-            if shard.store().snapshots(ns).is_empty() {
-                shard.store().new_snapshot(ns)?;
-            }
+            shard.submit(&op)?;
         }
         seen.insert(ns.to_string());
         Ok(())
     }
 
-    /// Merged per-namespace stats across the given shards: document and
-    /// byte counts sum; snapshot counts agree under lockstep (merged as
-    /// max so a recovering shard cannot drag the count down). With every
+    /// Merged per-namespace stats across the given shards. With every
     /// shard included this is byte-identical to the unsharded
     /// `Store::stats`.
     pub fn merged_stats(
         &self,
         include: impl Fn(&Arc<dyn ShardBackend>) -> bool,
     ) -> Result<Vec<NamespaceStats>, ShardError> {
-        let mut merged: BTreeMap<String, NamespaceStats> = BTreeMap::new();
+        let mut per_shard = Vec::with_capacity(self.shards.len());
         for shard in self.shards.iter().filter(|s| include(s)) {
-            for ns in shard.store().stats()? {
-                match merged.get_mut(&ns.namespace) {
-                    Some(m) => {
-                        m.documents += ns.documents;
-                        m.encoded_bytes += ns.encoded_bytes;
-                        m.snapshots = m.snapshots.max(ns.snapshots);
-                    }
-                    None => {
-                        merged.insert(ns.namespace.clone(), ns);
-                    }
-                }
-            }
+            per_shard.push(shard.shard_stats()?);
         }
-        Ok(merged.into_values().collect())
+        Ok(merge_stats(per_shard))
     }
 
     /// Copy every namespace, snapshot and document of `src` into the set,
@@ -261,6 +257,29 @@ impl ShardSet {
     }
 }
 
+/// Associative merge of per-shard namespace stats: document and byte
+/// counts sum; snapshot counts agree under lockstep (merged as max so a
+/// recovering shard cannot drag the count down). Shared by the set and
+/// the router's scattered `/stats`.
+pub fn merge_stats(per_shard: impl IntoIterator<Item = Vec<NamespaceStats>>) -> Vec<NamespaceStats> {
+    let mut merged: BTreeMap<String, NamespaceStats> = BTreeMap::new();
+    for stats in per_shard {
+        for ns in stats {
+            match merged.get_mut(&ns.namespace) {
+                Some(m) => {
+                    m.documents += ns.documents;
+                    m.encoded_bytes += ns.encoded_bytes;
+                    m.snapshots = m.snapshots.max(ns.snapshots);
+                }
+                None => {
+                    merged.insert(ns.namespace.clone(), ns);
+                }
+            }
+        }
+    }
+    merged.into_values().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +294,27 @@ mod tests {
         )
     }
 
+    /// Everything a shard holds for `ns` at `snap`, via the scan leg.
+    fn shard_docs(shard: &Arc<dyn ShardBackend>, ns: &str, snap: u32) -> Vec<Document> {
+        shard
+            .scan_partitions(ns, SnapshotId(snap))
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Snapshot count of `ns` on a shard, via the stats leg.
+    fn shard_snapshots(shard: &Arc<dyn ShardBackend>, ns: &str) -> usize {
+        shard
+            .shard_stats()
+            .unwrap()
+            .into_iter()
+            .find(|s| s.namespace == ns)
+            .map(|s| s.snapshots)
+            .unwrap_or(0)
+    }
+
     #[test]
     fn puts_route_by_partitioner_and_bump_logical_version() {
         let t = Telemetry::new();
@@ -285,7 +325,7 @@ mod tests {
         assert_eq!(set.version(), 40);
         let mut total = 0;
         for (i, shard) in set.shards().iter().enumerate() {
-            let docs = shard.store().scan(NS).unwrap();
+            let docs = shard_docs(shard, NS, 0);
             for d in &docs {
                 assert_eq!(
                     set.partitioner().shard_of(NS, &d.key),
@@ -308,20 +348,17 @@ mod tests {
         set.put(NS, doc(1)).unwrap();
         // Every shard has the namespace at snapshot 0, docs or not.
         for shard in set.shards() {
-            assert_eq!(shard.store().snapshots(NS), vec![SnapshotId(0)]);
+            assert_eq!(shard_snapshots(shard, NS), 1);
         }
         assert_eq!(set.new_snapshot(NS).unwrap(), SnapshotId(1));
         for shard in set.shards() {
-            assert_eq!(
-                shard.store().snapshots(NS),
-                vec![SnapshotId(0), SnapshotId(1)]
-            );
+            assert_eq!(shard_snapshots(shard, NS), 2);
         }
         // A roll on a brand-new namespace creates it everywhere at 0,
         // exactly like the unsharded store.
         assert_eq!(set.new_snapshot("journal/daily").unwrap(), SnapshotId(0));
         for shard in set.shards() {
-            assert_eq!(shard.store().snapshots("journal/daily"), vec![SnapshotId(0)]);
+            assert_eq!(shard_snapshots(shard, "journal/daily"), 1);
         }
         assert_eq!(set.version(), 3); // put + 2 rolls
     }
@@ -371,17 +408,17 @@ mod tests {
         set.import_store(&src).unwrap();
         for ns in src.namespaces().unwrap() {
             assert_eq!(
-                src.latest_snapshot(&ns).unwrap(),
+                src.latest_snapshot(&ns).unwrap().0 as usize + 1,
                 set.shards()
                     .iter()
-                    .map(|s| s.store().latest_snapshot(&ns).unwrap())
+                    .map(|s| shard_snapshots(s, &ns))
                     .max()
                     .unwrap()
             );
             for snap in 0..=src.latest_snapshot(&ns).unwrap().0 {
                 let mut gathered: Vec<Document> = Vec::new();
                 for shard in set.shards() {
-                    gathered.extend(shard.store().scan_snapshot(&ns, SnapshotId(snap)).unwrap());
+                    gathered.extend(shard_docs(shard, &ns, snap));
                 }
                 gathered.sort_by(|a, b| a.key.cmp(&b.key));
                 let mut source = src.scan_snapshot(&ns, SnapshotId(snap)).unwrap();

@@ -1,0 +1,575 @@
+//! [`RemoteShard`]: a [`ShardBackend`] whose legs cross a TCP loopback
+//! to a shard-server process.
+//!
+//! The router cannot tell a `RemoteShard` from a `LocalShard` — that is
+//! the point of the serializable-leg seam. What this client adds is the
+//! failure discipline the out-of-process tier needs:
+//!
+//! * **Connection pool** — a small stack of keep-alive connections.
+//!   A pooled connection may have died since its last use (server
+//!   restart, idle timeout), so a failure on a *pooled* connection earns
+//!   one immediate fresh-connection retry that does not count against
+//!   the retry budget (`shardnet.pool.stale_retries`).
+//! * **Deadline budgets** — every socket operation runs under
+//!   `leg_timeout_ms`, which the serving layer derives from the router's
+//!   request deadline (see [`RemoteShardConfig::for_router_deadline`]):
+//!   a leg is never allowed to out-wait the request that needs it.
+//! * **Idempotent-only retries** — read legs and `recover` retry with
+//!   seeded exponential backoff plus jitter ([`rand::rngs::StdRng`], so
+//!   drills replay byte-for-byte); `submit` never retries, because
+//!   `NewSnapshot` is not idempotent and a duplicated write must not be
+//!   the client's doing.
+//! * **Degrade, never 5xx** — when an exchange finally fails the shard
+//!   flips to [`ShardHealth::Down`] (`shardnet.degraded_flips`) and the
+//!   error is [`ShardError::Unavailable`], which the router's gather
+//!   turns into a flagged partial response. While Down, [`health`]
+//!   probes the address at most once per `probe_interval_ms` and flips
+//!   back to Healthy the moment a TCP connect succeeds — which is how a
+//!   restarted server rejoins the fan-out without operator action.
+//!
+//! [`health`]: ShardBackend::health
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crowdnet_json::{obj, Value};
+use crowdnet_shard::{
+    EpochMeta, Job, ShardBackend, ShardError, ShardHealth, WriteAck, WriteOp,
+};
+use crowdnet_store::store::NamespaceStats;
+use crowdnet_store::SnapshotId;
+use crowdnet_telemetry::{Counter, Telemetry};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::wire::{self, ResponseParser, WireResponse};
+
+/// Executor queue bound, mirroring `LocalShard`'s never-wait discipline.
+const EXEC_QUEUE: usize = 128;
+
+/// Tuning for one remote shard connection.
+#[derive(Debug, Clone)]
+pub struct RemoteShardConfig {
+    /// TCP connect budget per attempt.
+    pub connect_timeout_ms: u64,
+    /// Socket read/write budget for one leg exchange.
+    pub leg_timeout_ms: u64,
+    /// Extra attempts after the first, idempotent legs only.
+    pub retries: u32,
+    /// First backoff step; doubles per retry, plus jitter in `[0, step]`.
+    pub backoff_base_ms: u64,
+    /// Seed for the backoff jitter — drills replay deterministically.
+    pub seed: u64,
+    /// Keep-alive connections retained between legs.
+    pub pool_capacity: usize,
+    /// Minimum spacing between reconnect probes while Down.
+    pub probe_interval_ms: u64,
+}
+
+impl Default for RemoteShardConfig {
+    fn default() -> RemoteShardConfig {
+        RemoteShardConfig {
+            connect_timeout_ms: 250,
+            leg_timeout_ms: 1_000,
+            retries: 2,
+            backoff_base_ms: 10,
+            seed: 0x5eed,
+            pool_capacity: 4,
+            probe_interval_ms: 200,
+        }
+    }
+}
+
+impl RemoteShardConfig {
+    /// Derive leg budgets from the router's request deadline: a leg gets
+    /// the whole deadline (the router already races legs concurrently),
+    /// a connect attempt a quarter of it, so even the worst case —
+    /// connect, then a stalled exchange — resolves within ~1.25
+    /// deadlines instead of hanging a worker.
+    pub fn for_router_deadline(deadline_ms: u64) -> RemoteShardConfig {
+        let deadline_ms = deadline_ms.max(4);
+        RemoteShardConfig {
+            connect_timeout_ms: (deadline_ms / 4).max(1),
+            leg_timeout_ms: deadline_ms,
+            ..RemoteShardConfig::default()
+        }
+    }
+}
+
+/// Client half of the out-of-process shard tier.
+pub struct RemoteShard {
+    index: usize,
+    addr: RwLock<SocketAddr>,
+    cfg: RemoteShardConfig,
+    telemetry: Telemetry,
+    health: AtomicU8,
+    last_probe_ms: AtomicU64,
+    pool: Mutex<Vec<TcpStream>>,
+    rng: Mutex<StdRng>,
+    exec_tx: Mutex<Option<SyncSender<Job>>>,
+    exec_thread: Mutex<Option<JoinHandle<()>>>,
+    legs: Counter,
+    retries_counter: Counter,
+    timeouts: Counter,
+    reuse_hits: Counter,
+    stale_retries: Counter,
+    degraded_flips: Counter,
+}
+
+impl RemoteShard {
+    /// Connect-lazily to the shard server at `addr` serving shard
+    /// `index`. No I/O happens here; the first leg dials.
+    pub fn new(
+        index: usize,
+        addr: SocketAddr,
+        cfg: RemoteShardConfig,
+        telemetry: &Telemetry,
+    ) -> Result<RemoteShard, ShardError> {
+        let (tx, rx) = sync_channel::<Job>(EXEC_QUEUE);
+        let thread = std::thread::Builder::new()
+            .name(format!("remote-shard-exec-{index}"))
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            })
+            .map_err(crowdnet_store::StoreError::Io)?;
+        let seed = cfg.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        Ok(RemoteShard {
+            index,
+            addr: RwLock::new(addr),
+            cfg,
+            telemetry: telemetry.clone(),
+            health: AtomicU8::new(ShardHealth::Healthy.as_u8()),
+            last_probe_ms: AtomicU64::new(0),
+            pool: Mutex::new(Vec::new()),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            exec_tx: Mutex::new(Some(tx)),
+            exec_thread: Mutex::new(Some(thread)),
+            legs: telemetry.counter("shardnet.legs"),
+            retries_counter: telemetry.counter("shardnet.retries"),
+            timeouts: telemetry.counter("shardnet.timeouts"),
+            reuse_hits: telemetry.counter("shardnet.pool.reuse_hits"),
+            stale_retries: telemetry.counter("shardnet.pool.stale_retries"),
+            degraded_flips: telemetry.counter("shardnet.degraded_flips"),
+        })
+    }
+
+    /// Point the client at a new address (a supervisor restarting the
+    /// server lands it on a fresh ephemeral port). Drops pooled
+    /// connections to the old address.
+    pub fn set_addr(&self, addr: SocketAddr) {
+        *self.addr.write() = addr;
+        self.pool.lock().clear();
+    }
+
+    /// The address currently dialed.
+    pub fn addr(&self) -> SocketAddr {
+        *self.addr.read()
+    }
+
+    // ---- exchange machinery -------------------------------------------
+
+    /// Run one leg with the full failure discipline; records latency and
+    /// flips health on the outcome.
+    fn call(&self, leg: &'static str, params: Value, idempotent: bool) -> Result<Value, ShardError> {
+        self.legs.inc();
+        let started = self.telemetry.now_ms();
+        let result = self.call_with_retries(leg, &params, idempotent);
+        self.telemetry
+            .histogram(&format!("shardnet.leg_ms.{leg}"))
+            .record(self.telemetry.now_ms().saturating_sub(started));
+        match &result {
+            Err(e) if e.is_transport() => self.note_transport_failure(),
+            // Any completed exchange proves the server is alive — even a
+            // logical error had to be computed by the shard.
+            _ => self.note_alive(),
+        }
+        result
+    }
+
+    fn call_with_retries(
+        &self,
+        leg: &str,
+        params: &Value,
+        idempotent: bool,
+    ) -> Result<Value, ShardError> {
+        let attempts = if idempotent {
+            self.cfg.retries.saturating_add(1)
+        } else {
+            1
+        };
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retries_counter.inc();
+                let step = self
+                    .cfg
+                    .backoff_base_ms
+                    .saturating_mul(1_u64 << (attempt - 1).min(6))
+                    .max(1);
+                let jitter = self.rng.lock().random_range(0..=step);
+                std::thread::sleep(Duration::from_millis(step.saturating_add(jitter)));
+            }
+            match self.exchange_envelope(leg, params) {
+                // A well-formed envelope ends the attempt loop: logical
+                // errors must not be retried into double execution, and
+                // retrying a frame the server called malformed cannot
+                // change the answer.
+                Ok(envelope) => return wire::open_envelope(envelope),
+                Err(reason) => last = reason,
+            }
+        }
+        Err(ShardError::Unavailable {
+            shard: self.index,
+            reason: last,
+        })
+    }
+
+    /// One transport attempt: pooled connection first (with a free
+    /// stale-retry on a fresh one), then decode the reply frame.
+    fn exchange_envelope(&self, leg: &str, params: &Value) -> Result<Value, String> {
+        let frame = wire::encode_frame(params);
+        // Pop as its own statement: an `if let` on `self.pool.lock().pop()`
+        // would hold the pool guard across the exchange — and deadlock
+        // when `finish` re-locks to return the connection.
+        let pooled = self.pool.lock().pop();
+        if let Some(mut conn) = pooled {
+            self.reuse_hits.inc();
+            match self.exchange_on(&mut conn, leg, &frame) {
+                Ok(resp) => return self.finish(conn, resp),
+                Err(_stale) => self.stale_retries.inc(),
+            }
+        }
+        let mut conn = self.connect()?;
+        let resp = self.exchange_on(&mut conn, leg, &frame)?;
+        self.finish(conn, resp)
+    }
+
+    fn connect(&self) -> Result<TcpStream, String> {
+        let addr = *self.addr.read();
+        let conn = TcpStream::connect_timeout(
+            &addr,
+            Duration::from_millis(self.cfg.connect_timeout_ms.max(1)),
+        )
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+        // Leg requests go out as head + frame in two writes; with Nagle on,
+        // the second write stalls behind the peer's delayed ACK (~40ms per
+        // exchange on loopback), which would dominate every leg budget.
+        conn.set_nodelay(true).map_err(|e| e.to_string())?;
+        Ok(conn)
+    }
+
+    /// Write the leg request, read exactly one HTTP response.
+    fn exchange_on(
+        &self,
+        conn: &mut TcpStream,
+        leg: &str,
+        frame: &[u8],
+    ) -> Result<WireResponse, String> {
+        let budget = Some(Duration::from_millis(self.cfg.leg_timeout_ms.max(1)));
+        conn.set_read_timeout(budget).map_err(|e| e.to_string())?;
+        conn.set_write_timeout(budget).map_err(|e| e.to_string())?;
+        let head = format!(
+            "POST /shard/{leg} HTTP/1.1\r\nHost: shard\r\nConnection: keep-alive\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            frame.len()
+        );
+        conn.write_all(head.as_bytes())
+            .and_then(|()| conn.write_all(frame))
+            .map_err(|e| self.io_reason("write", &e))?;
+        let mut parser = ResponseParser::new();
+        let mut buf = [0_u8; 4096];
+        loop {
+            if let Some(resp) = parser.poll()? {
+                return Ok(resp);
+            }
+            let n = conn
+                .read(&mut buf)
+                .map_err(|e| self.io_reason("read", &e))?;
+            if n == 0 {
+                return Err("connection closed mid-response".to_string());
+            }
+            parser.feed(buf.get(..n).unwrap_or_default());
+        }
+    }
+
+    /// Classify an I/O failure, counting deadline expiries.
+    fn io_reason(&self, op: &str, e: &std::io::Error) -> String {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            self.timeouts.inc();
+            format!("{op} timed out after {}ms", self.cfg.leg_timeout_ms)
+        } else {
+            format!("{op}: {e}")
+        }
+    }
+
+    /// Pool the connection if the server kept it open, then unwrap the
+    /// HTTP layer down to the reply frame.
+    fn finish(&self, conn: TcpStream, resp: WireResponse) -> Result<Value, String> {
+        if resp.status != 200 {
+            return Err(format!("shard server answered http {}", resp.status));
+        }
+        if resp.keep_alive {
+            let mut pool = self.pool.lock();
+            if pool.len() < self.cfg.pool_capacity {
+                pool.push(conn);
+            }
+        }
+        wire::decode_frame(&resp.body)
+    }
+
+    // ---- health accounting --------------------------------------------
+
+    fn note_alive(&self) {
+        let healthy = ShardHealth::Healthy.as_u8();
+        self.health.store(healthy, Ordering::Release);
+    }
+
+    fn note_transport_failure(&self) {
+        let prev = self
+            .health
+            .swap(ShardHealth::Down.as_u8(), Ordering::AcqRel);
+        if prev != ShardHealth::Down.as_u8() {
+            self.degraded_flips.inc();
+        }
+        // Pooled connections share whatever broke; drop them all.
+        self.pool.lock().clear();
+    }
+}
+
+impl ShardBackend for RemoteShard {
+    fn index(&self) -> usize {
+        self.index
+    }
+
+    /// While Down, dials the server (rate-limited) so a restarted
+    /// process rejoins fan-outs without an explicit operator signal.
+    fn health(&self) -> ShardHealth {
+        let current = ShardHealth::from_u8(self.health.load(Ordering::Acquire));
+        if current != ShardHealth::Down {
+            return current;
+        }
+        let now = self.telemetry.now_ms();
+        let last = self.last_probe_ms.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < self.cfg.probe_interval_ms
+            || self
+                .last_probe_ms
+                .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+        {
+            return current;
+        }
+        match self.connect() {
+            Ok(conn) => {
+                let mut pool = self.pool.lock();
+                if pool.len() < self.cfg.pool_capacity {
+                    pool.push(conn);
+                }
+                drop(pool);
+                self.note_alive();
+                ShardHealth::Healthy
+            }
+            Err(_) => current,
+        }
+    }
+
+    fn set_health(&self, health: ShardHealth) {
+        self.health.store(health.as_u8(), Ordering::Release);
+    }
+
+    fn epoch_meta(&self) -> Result<EpochMeta, ShardError> {
+        let v = self.call("epoch_meta", obj! {}, true)?;
+        wire::meta_from_value(&v).map_err(ShardError::Protocol)
+    }
+
+    fn scan_partitions(
+        &self,
+        ns: &str,
+        snapshot: SnapshotId,
+    ) -> Result<Vec<Vec<crowdnet_store::Document>>, ShardError> {
+        let v = self.call(
+            "scan_partitions",
+            obj! {"ns" => ns, "snapshot" => u64::from(snapshot.0)},
+            true,
+        )?;
+        wire::partitions_from_value(&v).map_err(ShardError::Protocol)
+    }
+
+    fn entity_docs(&self, keys: &[String]) -> Result<Vec<Option<Value>>, ShardError> {
+        let keys = Value::Arr(keys.iter().map(|k| Value::from(k.as_str())).collect());
+        let v = self.call("entity_docs", obj! {"keys" => keys}, true)?;
+        wire::docs_from_value(&v).map_err(ShardError::Protocol)
+    }
+
+    fn investor_edges(&self, id: u32) -> Result<Option<Vec<u32>>, ShardError> {
+        let v = self.call("investor_edges", obj! {"id" => u64::from(id)}, true)?;
+        wire::edges_from_value(&v).map_err(ShardError::Protocol)
+    }
+
+    fn company_edges(&self, id: u32) -> Result<Option<Vec<u32>>, ShardError> {
+        let v = self.call("company_edges", obj! {"id" => u64::from(id)}, true)?;
+        wire::edges_from_value(&v).map_err(ShardError::Protocol)
+    }
+
+    fn top_k_prefix(&self, k: usize) -> Result<Vec<(u32, f64)>, ShardError> {
+        let v = self.call("top_k_prefix", obj! {"k" => k}, true)?;
+        wire::ranked_from_value(&v).map_err(ShardError::Protocol)
+    }
+
+    fn shard_stats(&self) -> Result<Vec<NamespaceStats>, ShardError> {
+        let v = self.call("shard_stats", obj! {}, true)?;
+        wire::stats_from_value(&v).map_err(ShardError::Protocol)
+    }
+
+    /// The one non-idempotent leg: a transport failure surfaces
+    /// immediately instead of risking a doubled `NewSnapshot`.
+    fn submit(&self, op: &WriteOp) -> Result<WriteAck, ShardError> {
+        let v = self.call("submit", wire::write_op_to_value(op), false)?;
+        wire::ack_from_value(&v).map_err(ShardError::Protocol)
+    }
+
+    fn offload(&self, job: Job) -> Result<(), Job> {
+        let tx = match self.exec_tx.lock().as_ref() {
+            Some(tx) => tx.clone(),
+            None => return Err(job),
+        };
+        match tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => Err(job),
+        }
+    }
+
+    /// Replays the server-side journal; safe to retry.
+    fn recover(&self) -> Result<(), ShardError> {
+        self.call("recover", obj! {}, true).map(|_| ())
+    }
+}
+
+impl Drop for RemoteShard {
+    fn drop(&mut self) {
+        self.exec_tx.lock().take();
+        if let Some(thread) = self.exec_thread.lock().take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ShardServer;
+    use crowdnet_serve::server::{bind, Server, ServerConfig};
+    use crowdnet_shard::LocalShard;
+    use crowdnet_store::Document;
+    use std::sync::Arc;
+
+    /// Spin up a real shard server on an ephemeral loopback port.
+    fn serve_shard(telemetry: &Telemetry) -> (crowdnet_serve::server::TcpHandle, Arc<LocalShard>) {
+        let shard = Arc::new(LocalShard::open_memory(0, 4, telemetry).unwrap());
+        shard
+            .submit(&WriteOp::Put {
+                ns: "angellist/users".into(),
+                doc: Document::new("user:7", obj! {"id" => 7u64, "name" => "ada"}),
+            })
+            .unwrap();
+        let handler = Arc::new(ShardServer::new(Arc::clone(&shard), telemetry));
+        let server = Server::with_handler(handler, telemetry.clone(), ServerConfig::default());
+        let handle = bind(Arc::new(server), 0).unwrap();
+        (handle, shard)
+    }
+
+    fn client(addr: SocketAddr, telemetry: &Telemetry) -> RemoteShard {
+        let cfg = RemoteShardConfig {
+            retries: 1,
+            backoff_base_ms: 1,
+            probe_interval_ms: 0,
+            ..RemoteShardConfig::default()
+        };
+        RemoteShard::new(0, addr, cfg, telemetry).unwrap()
+    }
+
+    #[test]
+    fn remote_legs_match_the_local_shard() {
+        let t = Telemetry::new();
+        let (handle, shard) = serve_shard(&t);
+        let remote = client(handle.addr(), &t);
+
+        let local: &dyn ShardBackend = shard.as_ref();
+        assert_eq!(remote.epoch_meta().unwrap(), local.epoch_meta().unwrap());
+        assert_eq!(
+            remote.scan_partitions("angellist/users", SnapshotId(0)).unwrap(),
+            local.scan_partitions("angellist/users", SnapshotId(0)).unwrap()
+        );
+        let keys = vec!["user:7".to_string(), "user:404".to_string()];
+        assert_eq!(remote.entity_docs(&keys).unwrap(), local.entity_docs(&keys).unwrap());
+        assert_eq!(remote.shard_stats().unwrap(), local.shard_stats().unwrap());
+        assert_eq!(remote.top_k_prefix(5).unwrap(), local.top_k_prefix(5).unwrap());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn logical_errors_propagate_without_degrading() {
+        let t = Telemetry::new();
+        let (handle, _shard) = serve_shard(&t);
+        let remote = client(handle.addr(), &t);
+        match remote.scan_partitions("ghost", SnapshotId(0)) {
+            Err(e) => assert!(!e.is_transport(), "logical error degraded the shard: {e}"),
+            Ok(v) => panic!("missing namespace scanned: {v:?}"),
+        }
+        assert_eq!(remote.health(), ShardHealth::Healthy);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_pool_is_reused_across_legs() {
+        let t = Telemetry::new();
+        let (handle, _shard) = serve_shard(&t);
+        let remote = client(handle.addr(), &t);
+        for _ in 0..3 {
+            remote.epoch_meta().unwrap();
+        }
+        let counters = t.registry().counter_values();
+        let hits = counters
+            .iter()
+            .find(|(n, _)| n == "shardnet.pool.reuse_hits")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert!(hits >= 2, "pool never reused a connection ({hits} hits)");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn dead_server_degrades_and_restart_recovers() {
+        let t = Telemetry::new();
+        let (handle, _shard) = serve_shard(&t);
+        let addr = handle.addr();
+        let remote = client(addr, &t);
+        remote.epoch_meta().unwrap();
+
+        handle.shutdown();
+        match remote.epoch_meta() {
+            Err(e) => assert!(e.is_transport(), "expected transport failure, got {e}"),
+            Ok(m) => panic!("dead server answered: {m:?}"),
+        }
+        assert_eq!(
+            ShardHealth::from_u8(remote.health.load(Ordering::Acquire)),
+            ShardHealth::Down
+        );
+
+        // Bring a replacement up on a fresh port and repoint the client:
+        // the next health() probe readmits the shard to fan-outs.
+        let (handle2, _shard2) = serve_shard(&t);
+        remote.set_addr(handle2.addr());
+        assert_eq!(remote.health(), ShardHealth::Healthy);
+        remote.epoch_meta().unwrap();
+        handle2.shutdown();
+    }
+}

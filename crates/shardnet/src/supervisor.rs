@@ -1,0 +1,175 @@
+//! Test-infrastructure process supervisor: real shard-server child
+//! processes, really killed.
+//!
+//! The in-process kill-switch drills (`set_health(Down)`) prove the
+//! router's degrade logic, but they cannot prove the *transport* story —
+//! a SIGKILLed process takes its sockets with it mid-frame, refuses new
+//! connections, and comes back on a different ephemeral port. This
+//! supervisor exists so integration tests and the check.sh smoke drill
+//! exercise exactly that: spawn `repro shard-server … --port 0`, read
+//! the announced address off the child's stdout, [`kill`] it without
+//! ceremony, [`restart`] it, and repoint the [`RemoteShard`] at the new
+//! port.
+//!
+//! Not wired into any serving path — production supervision is an
+//! operator concern; this is the lab harness.
+//!
+//! [`kill`]: ProcessSupervisor::kill
+//! [`restart`]: ProcessSupervisor::restart
+//! [`RemoteShard`]: crate::RemoteShard
+
+use std::io::{self, BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+
+/// The stdout line a shard server prints once its listener is live.
+pub const LISTEN_PREFIX: &str = "shard-server listening on ";
+
+/// Owns one shard-server child process.
+pub struct ProcessSupervisor {
+    program: String,
+    args: Vec<String>,
+    child: Option<Child>,
+    addr: Option<SocketAddr>,
+}
+
+impl ProcessSupervisor {
+    /// Spawn `program args…` and block until it announces its listen
+    /// address (the args must request an ephemeral port, `--port 0`,
+    /// or restarts could collide with lingering sockets).
+    pub fn spawn(program: &str, args: &[String]) -> io::Result<ProcessSupervisor> {
+        let mut sup = ProcessSupervisor {
+            program: program.to_string(),
+            args: args.to_vec(),
+            child: None,
+            addr: None,
+        };
+        sup.start()?;
+        Ok(sup)
+    }
+
+    /// The address the current incarnation listens on, if it is up.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Whether the child is still running (reaps it if it just exited).
+    pub fn is_running(&mut self) -> bool {
+        match self.child.as_mut().map(Child::try_wait) {
+            Some(Ok(None)) => true,
+            _ => false,
+        }
+    }
+
+    /// SIGKILL the child — no shutdown handshake, by design — and reap
+    /// it. Idempotent: killing a dead or never-started child is fine.
+    pub fn kill(&mut self) -> io::Result<()> {
+        if let Some(mut child) = self.child.take() {
+            // kill() errors if the process already exited; either way it
+            // is gone, so fold that into success and just reap.
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.addr = None;
+        Ok(())
+    }
+
+    /// Kill whatever is running and bring up a fresh incarnation with
+    /// the same arguments. Returns the new (ephemeral) address.
+    pub fn restart(&mut self) -> io::Result<SocketAddr> {
+        self.kill()?;
+        self.start()?;
+        self.addr
+            .ok_or_else(|| io::Error::new(io::ErrorKind::Other, "restart lost the listen address"))
+    }
+
+    fn start(&mut self) -> io::Result<()> {
+        let mut child = Command::new(&self.program)
+            .args(&self.args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let stdout = child.stdout.take().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::Other, "child spawned without piped stdout")
+        })?;
+        let addr = read_listen_line(BufReader::new(stdout));
+        match addr {
+            Ok(addr) => {
+                self.child = Some(child);
+                self.addr = Some(addr);
+                Ok(())
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Scan child stdout for the listen announcement. EOF first means the
+/// child died during boot — surface whatever it last said.
+fn read_listen_line<R: BufRead>(mut stdout: R) -> io::Result<SocketAddr> {
+    let mut line = String::new();
+    let mut last = String::new();
+    loop {
+        line.clear();
+        if stdout.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("shard server exited before listening (last output: {last:?})"),
+            ));
+        }
+        if let Some(rest) = line.trim_end().strip_prefix(LISTEN_PREFIX) {
+            return rest.parse::<SocketAddr>().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad listen address {rest:?}: {e}"))
+            });
+        }
+        last = line.trim_end().to_string();
+    }
+}
+
+impl Drop for ProcessSupervisor {
+    fn drop(&mut self) {
+        let _ = self.kill();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_listen_line_and_skips_chatter() {
+        let out = b"booting\nrecovered 0 ops\nshard-server listening on 127.0.0.1:4711\n";
+        let addr = read_listen_line(&out[..]).unwrap();
+        assert_eq!(addr, "127.0.0.1:4711".parse().unwrap());
+    }
+
+    #[test]
+    fn eof_before_listening_reports_the_last_line() {
+        let out = b"booting\nfatal: store locked\n";
+        let e = read_listen_line(&out[..]).unwrap_err();
+        assert!(e.to_string().contains("store locked"), "{e}");
+    }
+
+    #[test]
+    fn supervises_a_real_child_process() {
+        // /bin/sh stands in for the shard server: prints a listen line,
+        // then sleeps so kill() has something to kill.
+        let args = vec![
+            "-c".to_string(),
+            format!("echo '{LISTEN_PREFIX}127.0.0.1:19991'; sleep 30"),
+        ];
+        let mut sup = ProcessSupervisor::spawn("/bin/sh", &args).unwrap();
+        assert_eq!(sup.addr(), Some("127.0.0.1:19991".parse().unwrap()));
+        assert!(sup.is_running());
+        sup.kill().unwrap();
+        assert!(!sup.is_running());
+        assert_eq!(sup.addr(), None);
+        let addr = sup.restart().unwrap();
+        assert_eq!(addr, "127.0.0.1:19991".parse().unwrap());
+        assert!(sup.is_running());
+    }
+}

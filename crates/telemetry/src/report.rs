@@ -85,6 +85,7 @@ pub const DECLARED_METRICS: &[&str] = &[
     "serve.cache.hit",
     "serve.cache.miss",
     "serve.deadline_exceeded",
+    "serve.keepalive.reuses",
     "serve.latency_ms",
     "serve.queue_depth",
     "serve.requests",
@@ -100,6 +101,16 @@ pub const DECLARED_METRICS: &[&str] = &[
     "shard.set.opened",
     "shard.set.puts",
     "shard.set.recoveries",
+    "shardnet.degraded_flips",
+    "shardnet.frames.malformed",
+    "shardnet.leg_ms.*",
+    "shardnet.legs",
+    "shardnet.pool.reuse_hits",
+    "shardnet.pool.stale_retries",
+    "shardnet.retries",
+    "shardnet.server.errors",
+    "shardnet.server.requests",
+    "shardnet.timeouts",
     "store.recovery.quarantined",
     "store.recovery.records_ok",
     "store.recovery.scans",

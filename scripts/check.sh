@@ -25,7 +25,7 @@ cargo test -q --offline -p crowdnet-lint --test golden >/dev/null
 
 echo "==> telemetry smoke (tiny pipeline -> report parses, mandatory counters present)"
 smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
+trap 'kill -9 $(cat "$smoke_dir/shardnet/pids" 2>/dev/null) 2>/dev/null; rm -rf "$smoke_dir"' EXIT
 cargo run -q --release --offline -p crowdnet-core --bin repro -- \
   --scale tiny --seed 7 --out "$smoke_dir" \
   --telemetry "$smoke_dir/telemetry/run.json" dataset-stats >/dev/null
@@ -92,6 +92,90 @@ for counter in shard.set.opened shard.set.puts shard.router.requests shard.route
     exit 1
   fi
 done
+
+echo "==> shardnet smoke (out-of-process shards: wire import, SIGKILL one server, degraded partials, restart recovery)"
+repro_bin="target/release/repro"
+shardnet_dir="$smoke_dir/shardnet"
+mkdir -p "$shardnet_dir"
+# Spawn two real shard-server processes on ephemeral loopback ports; their
+# pids go in a file the EXIT trap kills so a failed drill leaves no orphans.
+"$repro_bin" shard-server --store "$shardnet_dir/shard-0" --index 0 --of 2 --port 0 \
+  > "$shardnet_dir/s0.log" 2>/dev/null &
+s0_pid=$!
+"$repro_bin" shard-server --store "$shardnet_dir/shard-1" --index 1 --of 2 --port 0 \
+  > "$shardnet_dir/s1.log" 2>/dev/null &
+s1_pid=$!
+echo "$s0_pid $s1_pid" > "$shardnet_dir/pids"
+for _ in $(seq 1 50); do
+  grep -q "^shard-server listening on " "$shardnet_dir/s0.log" 2>/dev/null \
+    && grep -q "^shard-server listening on " "$shardnet_dir/s1.log" 2>/dev/null && break
+  sleep 0.2
+done
+addr0="$(sed -n 's/^shard-server listening on //p' "$shardnet_dir/s0.log")"
+addr1="$(sed -n 's/^shard-server listening on //p' "$shardnet_dir/s1.log")"
+test -n "$addr0" && test -n "$addr1"
+# Healthy fleet: the corpus is imported over the wire and every endpoint
+# answers 200 through the remote scatter-gather path.
+shardnet_out="$(cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --scale tiny --seed 7 --out "$smoke_dir" serve --remote "$addr0,$addr1" --smoke)"
+echo "$shardnet_out" | grep -q "importing the corpus into the remote fleet"
+echo "$shardnet_out" | grep -q "^  200 GET /stats"
+if echo "$shardnet_out" | grep -q "^  [45]"; then
+  echo "shardnet smoke: endpoint returned an error status over remote shards" >&2
+  exit 1
+fi
+for counter in shardnet.legs shardnet.pool.reuse_hits; do
+  if ! echo "$shardnet_out" | grep -q "$counter=[1-9]"; then
+    echo "shardnet smoke: mandatory counter $counter missing or zero" >&2
+    exit 1
+  fi
+done
+# SIGKILL shard 1's process: the adopted fleet must answer degraded
+# (partial=true) with zero 5xx, and the client must flip the shard down.
+kill -9 "$s1_pid" 2>/dev/null
+wait "$s1_pid" 2>/dev/null || true
+degraded_out="$(cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --scale tiny --seed 7 --out "$smoke_dir" serve --remote "$addr0,$addr1" --smoke)"
+echo "$degraded_out" | grep -q "adopting populated remote shards"
+echo "$degraded_out" | grep -q "partial=true"
+if echo "$degraded_out" | grep -q "^  [45]"; then
+  echo "shardnet smoke: degraded fleet returned an error status (must degrade, never 5xx)" >&2
+  exit 1
+fi
+echo "$degraded_out" | grep -q "shardnet.degraded_flips=[1-9]"
+# Restart shard 1 from its durable store on a fresh port: recovery on
+# open must restore byte-identical answers (digests compared on every
+# endpoint except the version-bearing /stats and live /healthz).
+"$repro_bin" shard-server --store "$shardnet_dir/shard-1" --index 1 --of 2 --port 0 \
+  > "$shardnet_dir/s1b.log" 2>/dev/null &
+s1_pid=$!
+echo "$s0_pid $s1_pid" > "$shardnet_dir/pids"
+for _ in $(seq 1 50); do
+  grep -q "^shard-server listening on " "$shardnet_dir/s1b.log" 2>/dev/null && break
+  sleep 0.2
+done
+addr1b="$(sed -n 's/^shard-server listening on //p' "$shardnet_dir/s1b.log")"
+test -n "$addr1b"
+restored_out="$(cargo run -q --release --offline -p crowdnet-core --bin repro -- \
+  --scale tiny --seed 7 --out "$smoke_dir" serve --remote "$addr0,$addr1b" --smoke)"
+if echo "$restored_out" | grep -q "^  [45]"; then
+  echo "shardnet smoke: restored fleet returned an error status" >&2
+  exit 1
+fi
+healthy_lines="$(echo "$shardnet_out" | grep '^  200 GET' | grep -v -e '/stats' -e '/healthz')"
+restored_lines="$(echo "$restored_out" | grep '^  200 GET' | grep -v -e '/stats' -e '/healthz')"
+if [ "$healthy_lines" != "$restored_lines" ]; then
+  echo "shardnet smoke: restarted fleet diverged from the healthy run:" >&2
+  diff <(echo "$healthy_lines") <(echo "$restored_lines") >&2 || true
+  exit 1
+fi
+if echo "$restored_lines" | grep -q "partial=true"; then
+  echo "shardnet smoke: restored fleet still flags partial responses" >&2
+  exit 1
+fi
+kill -9 "$s0_pid" "$s1_pid" 2>/dev/null
+wait "$s0_pid" "$s1_pid" 2>/dev/null || true
+: > "$shardnet_dir/pids"
 
 echo "==> recovery smoke (crash the durable crawl, resume, compare content hash)"
 # Uninterrupted durable crawl at tiny scale: the reference content hash.

@@ -1,0 +1,247 @@
+//! Equivalence property for the **out-of-process** shard tier: a
+//! scatter-gather [`Router`] over N [`RemoteShard`] backends — each
+//! talking to a real shard server over loopback TCP wire frames — must
+//! answer every serve endpoint **byte-identically** to both the
+//! in-process [`LocalShard`] deployment and the unsharded [`Service`],
+//! for N ∈ {1, 2, 4}, across random interleavings of investor appends,
+//! company appends, journal appends and snapshot rotations.
+//! (`/healthz` reports live per-shard state by design and is skipped.)
+//!
+//! Version lockstep is asserted directly: the remote set's logical
+//! version must mirror both the local set's and the unsharded store's
+//! for the same op sequence — every write went over the wire through
+//! the submit leg and still bumped exactly once.
+
+use crowdnet_json::{obj, Value};
+use crowdnet_serve::artifacts::{NS_COMPANIES, NS_USERS};
+use crowdnet_serve::{bind, Request, Server, ServerConfig, Service, ServiceConfig, TcpHandle};
+use crowdnet_shard::{LocalShard, Router, RouterConfig, ShardBackend, ShardSet};
+use crowdnet_shardnet::{RemoteShard, RemoteShardConfig, ShardServer};
+use crowdnet_store::{Document, Store};
+use crowdnet_telemetry::Telemetry;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const NS_JOURNAL: &str = "journal/daily";
+
+#[derive(Debug, Clone)]
+enum Op {
+    Company(u32),
+    Investor { id: u32, portfolio: Vec<u32> },
+    Journal(u32),
+    JournalSnapshot,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..24).prop_map(Op::Company),
+        ((100u32..116), proptest::collection::vec(0u32..24, 0..6))
+            .prop_map(|(id, portfolio)| Op::Investor { id, portfolio }),
+        (0u32..8).prop_map(Op::Journal),
+        Just(Op::JournalSnapshot),
+    ]
+}
+
+fn doc_for(op: &Op) -> Option<(&'static str, Document)> {
+    match op {
+        Op::Company(id) => Some((
+            NS_COMPANIES,
+            Document::new(
+                format!("company:{id}"),
+                obj! {"id" => u64::from(*id), "name" => format!("c{id}")},
+            ),
+        )),
+        Op::Investor { id, portfolio } => {
+            let arr: Vec<Value> = portfolio
+                .iter()
+                .map(|&c| Value::from(u64::from(c)))
+                .collect();
+            Some((
+                NS_USERS,
+                Document::new(
+                    format!("user:{id}"),
+                    obj! {
+                        "id" => u64::from(*id),
+                        "role" => "investor",
+                        "investments" => Value::Arr(arr)
+                    },
+                ),
+            ))
+        }
+        Op::Journal(day) => Some((
+            NS_JOURNAL,
+            Document::new(
+                format!("day:{day}"),
+                obj! {"day" => u64::from(*day), "funded" => u64::from(*day % 3)},
+            ),
+        )),
+        Op::JournalSnapshot => None,
+    }
+}
+
+fn apply_store(store: &Store, op: &Op) {
+    match doc_for(op) {
+        Some((ns, doc)) => store.put(ns, doc).expect("store put"),
+        None => {
+            store.new_snapshot(NS_JOURNAL).expect("store snapshot");
+        }
+    }
+}
+
+fn apply_set(set: &ShardSet, op: &Op) {
+    match doc_for(op) {
+        Some((ns, doc)) => set.put(ns, doc).expect("set put"),
+        None => {
+            set.new_snapshot(NS_JOURNAL).expect("set snapshot");
+        }
+    }
+}
+
+fn base_ops() -> Vec<Op> {
+    let mut ops: Vec<Op> = (0..6).map(Op::Company).collect();
+    ops.extend((100u32..106).map(|id| Op::Investor {
+        id,
+        portfolio: (0..6).filter(|c| (id + c) % 3 != 0).collect(),
+    }));
+    ops.push(Op::Journal(1));
+    ops
+}
+
+/// Fast-failing client config for loopback tests.
+fn client_config() -> RemoteShardConfig {
+    RemoteShardConfig {
+        retries: 1,
+        backoff_base_ms: 1,
+        probe_interval_ms: 0,
+        ..RemoteShardConfig::default()
+    }
+}
+
+/// One in-process shard server per shard, listening on loopback, plus a
+/// remote set routed at them. The handles keep the listeners alive.
+fn remote_deployment(
+    shards: usize,
+    telemetry: &Telemetry,
+) -> (Arc<ShardSet>, Vec<TcpHandle>) {
+    let mut handles = Vec::new();
+    let mut backends: Vec<Arc<dyn ShardBackend>> = Vec::new();
+    for index in 0..shards {
+        let server_telemetry = Telemetry::new();
+        let shard =
+            Arc::new(LocalShard::open_memory(index, 4, &server_telemetry).expect("local shard"));
+        let handler = Arc::new(ShardServer::new(shard, &server_telemetry));
+        let server = Arc::new(Server::with_handler(
+            handler,
+            server_telemetry,
+            ServerConfig::default(),
+        ));
+        let handle = bind(server, 0).expect("bind shard server");
+        let remote = RemoteShard::new(index, handle.addr(), client_config(), telemetry)
+            .expect("remote shard");
+        handles.push(handle);
+        backends.push(Arc::new(remote));
+    }
+    (
+        Arc::new(ShardSet::from_backends(backends, telemetry)),
+        handles,
+    )
+}
+
+/// Build all three deployments from the same op sequence, asserting
+/// version lockstep across them.
+fn build_triple(ops: &[Op], shards: usize) -> (Service, Router, Router, Vec<TcpHandle>) {
+    let store = Arc::new(Store::memory(4));
+    for op in ops {
+        apply_store(&store, op);
+    }
+
+    let local_telemetry = Telemetry::new();
+    let local_set =
+        ShardSet::memory(shards, store.partitions(), &local_telemetry).expect("local set");
+    for op in ops {
+        apply_set(&local_set, op);
+    }
+
+    let remote_telemetry = Telemetry::new();
+    let (remote_set, handles) = remote_deployment(shards, &remote_telemetry);
+    for op in ops {
+        apply_set(&remote_set, op);
+    }
+
+    assert_eq!(
+        remote_set.version(),
+        store.version(),
+        "remote logical version must mirror the unsharded store"
+    );
+    assert_eq!(
+        remote_set.version(),
+        local_set.version(),
+        "remote logical version must mirror the in-process set"
+    );
+
+    let service = Service::new(store, ServiceConfig::default(), Telemetry::new());
+    let local_router = Router::new(Arc::new(local_set), RouterConfig::default(), local_telemetry);
+    let remote_router = Router::new(remote_set, RouterConfig::default(), remote_telemetry);
+    (service, local_router, remote_router, handles)
+}
+
+/// Every example target plus error and edge probes.
+fn probe_targets(service: &Service) -> Vec<String> {
+    let mut targets = service.example_targets().expect("example targets");
+    targets.extend(
+        [
+            "/entity/company/999",
+            "/entity/planet/1",
+            "/investor/9999/portfolio",
+            "/company/9999/investors",
+            "/communities/9999",
+            "/top/investors?by=degree&k=3",
+            "/sql?ns=ghost&q=SELECT+COUNT(*)+FROM+docs",
+            "/sql?ns=journal%2Fdaily&q=SELECT+COUNT(*)+AS+n+FROM+docs",
+            "/no/such/route",
+        ]
+        .into_iter()
+        .map(String::from),
+    );
+    targets
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn remote_router_matches_local_and_unsharded_byte_for_byte(
+        tail in proptest::collection::vec(op_strategy(), 0..32),
+        shards in prop_oneof![Just(1usize), Just(2usize), Just(4usize)],
+    ) {
+        let mut ops = base_ops();
+        ops.extend(tail);
+        let (service, local_router, remote_router, _handles) = build_triple(&ops, shards);
+        for target in probe_targets(&service) {
+            if target == "/healthz" {
+                continue; // reports live per-shard state by design
+            }
+            let req = Request::get(&target);
+            let direct = service.handle(&req);
+            let local = local_router.handle(&req);
+            let remote = remote_router.handle(&req);
+            prop_assert!(
+                direct.status == remote.status,
+                "status diverged from unsharded on {} with {} remote shards: {} vs {}",
+                target, shards, direct.status, remote.status
+            );
+            prop_assert!(
+                direct.body == remote.body,
+                "body diverged from unsharded on {} with {} remote shards: {} vs {}",
+                target, shards,
+                String::from_utf8_lossy(&direct.body),
+                String::from_utf8_lossy(&remote.body)
+            );
+            prop_assert!(
+                local.status == remote.status && local.body == remote.body,
+                "remote diverged from the in-process shard tier on {} with {} shards",
+                target, shards
+            );
+        }
+    }
+}
