@@ -1,0 +1,353 @@
+//! `chaos-report` — serving latency and error composition under
+//! injected network faults, written as `BENCH_chaos.json`:
+//!
+//! - **Clean baseline**: the two-remote-shard deployment with a
+//!   pass-through [`FaultNet`] (no faults armed), closed-loop
+//!   cache-busted `/sql` scans through the router.
+//! - **flaky-link**: the victim shard's link resets mid-frame and
+//!   truncates writes on a seeded schedule — p50/p99 against the clean
+//!   run shows the cost of retries and flagged partials.
+//! - **slow-shard**: every exchange on the victim's link is delayed
+//!   past the gray-failure budget; the breaker's gray discipline must
+//!   shed the shard rather than let it drag every fan-out.
+//!
+//! Hard gates, not observations: **zero 5xx under every condition**,
+//! zero partials on the clean run, accurate partial flags everywhere
+//! (`"partial": true` ⇔ a non-empty `degraded_shards` list), and the
+//! fault conditions must actually inject something.
+//!
+//! ```sh
+//! cargo run --release -p crowdnet-bench --bin chaos-report [-- OUT.json]
+//! ```
+
+use crowdnet_chaos::{FaultNet, NetFaultPlan};
+use crowdnet_core::pipeline::{Pipeline, PipelineConfig};
+use crowdnet_json::{obj, Value};
+use crowdnet_serve::{bind, Request, Server, ServerConfig, TcpHandle};
+use crowdnet_shard::{LocalShard, Router, RouterConfig, ShardBackend, ShardSet};
+use crowdnet_shardnet::{BreakerConfig, RemoteShard, RemoteShardConfig, ShardServer};
+use crowdnet_socialsim::Clock;
+use crowdnet_store::Store;
+use crowdnet_telemetry::Telemetry;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+/// Remote shards behind the router; shard 1 is the faulted victim.
+const SHARDS: usize = 2;
+const VICTIM: usize = 1;
+/// Closed-loop requests per condition.
+const REQUESTS: usize = 150;
+/// Per-attempt socket budget; also the leg's whole retry budget.
+const LEG_TIMEOUT_MS: u64 = 250;
+/// Latency budget a chronically slow shard is judged against.
+const GRAY_BUDGET_MS: u64 = 60;
+/// Injected per-exchange delay for the slow-shard condition.
+const SLOW_DELAY_MS: u64 = 120;
+
+fn wall_telemetry() -> Telemetry {
+    let telemetry = Telemetry::new();
+    let wall = crowdnet_socialsim::clock::SystemClock;
+    telemetry.bind_clock(Arc::new(move || wall.now_ms()));
+    telemetry
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn sql_target(nonce: &str) -> String {
+    format!("/sql?ns=angellist%2Fusers&q=SELECT+COUNT(*)+AS+n+FROM+docs&nonce={nonce}")
+}
+
+/// `(partial flag, named degraded shards)` from a response body.
+fn classify(body: &[u8]) -> (bool, usize) {
+    let Some(v) = std::str::from_utf8(body).ok().and_then(|s| Value::parse(s).ok()) else {
+        return (false, 0);
+    };
+    let partial = v.get("partial").and_then(Value::as_bool).unwrap_or(false);
+    let degraded = match v.get("degraded_shards") {
+        Some(Value::Arr(items)) => items.len(),
+        _ => 0,
+    };
+    (partial, degraded)
+}
+
+/// One deployment: `SHARDS` shard servers on loopback, each remote
+/// dialled through its own [`FaultNet`], router in front with the
+/// result cache disabled (a cache hit would mask the faulted link).
+struct Deployment {
+    telemetry: Telemetry,
+    server: Arc<Server>,
+    faults: Vec<Arc<FaultNet>>,
+    handles: Vec<TcpHandle>,
+}
+
+fn deploy(store: &Store) -> Result<Deployment, Box<dyn std::error::Error>> {
+    let telemetry = wall_telemetry();
+    let mut handles = Vec::new();
+    let mut faults = Vec::new();
+    let mut backends: Vec<Arc<dyn ShardBackend>> = Vec::new();
+    for index in 0..SHARDS {
+        let server_telemetry = Telemetry::new();
+        let shard = Arc::new(LocalShard::open_memory(
+            index,
+            store.partitions(),
+            &server_telemetry,
+        )?);
+        let handler = Arc::new(ShardServer::new(shard, &server_telemetry));
+        let shard_server = Arc::new(Server::with_handler(
+            handler,
+            server_telemetry,
+            ServerConfig {
+                workers: 2,
+                read_timeout_ms: 250,
+                ..ServerConfig::default()
+            },
+        ));
+        let handle = bind(shard_server, 0)?;
+        let net = Arc::new(FaultNet::over_real(
+            NetFaultPlan::none(SEED ^ (index as u64).wrapping_mul(0x9e37)),
+            &telemetry,
+        ));
+        let cfg = RemoteShardConfig {
+            connect_timeout_ms: 100,
+            leg_timeout_ms: LEG_TIMEOUT_MS,
+            retries: 1,
+            backoff_base_ms: 2,
+            seed: SEED ^ 0xbac0,
+            // Unlike the deterministic drills (interval 0), keep a real
+            // probe spacing — wider than the closed-loop request period,
+            // so a shed shard *stays* shed long enough for the sweep to
+            // see degraded-mode latency instead of readmit-per-request.
+            probe_interval_ms: 2_000,
+            breaker: BreakerConfig {
+                gray_latency_ms: GRAY_BUDGET_MS,
+                gray_trip_after: 3,
+                ..BreakerConfig::default()
+            },
+            ..RemoteShardConfig::default()
+        };
+        let remote = Arc::new(RemoteShard::with_transport(
+            index,
+            handle.addr(),
+            cfg,
+            Arc::clone(&net) as Arc<dyn crowdnet_chaos::Transport>,
+            &telemetry,
+        )?);
+        backends.push(remote as Arc<dyn ShardBackend>);
+        faults.push(net);
+        handles.push(handle);
+    }
+    let set = Arc::new(ShardSet::from_backends(backends, &telemetry));
+    set.import_store(store)?;
+    let router = Router::new(
+        Arc::clone(&set),
+        RouterConfig {
+            cache: crowdnet_serve::cache::CacheConfig {
+                capacity_bytes: 0,
+                shards: 1,
+            },
+            ..RouterConfig::default()
+        },
+        telemetry.clone(),
+    );
+    let server = Arc::new(Server::with_handler(
+        Arc::new(router),
+        telemetry.clone(),
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+    ));
+    Ok(Deployment {
+        telemetry,
+        server,
+        faults,
+        handles,
+    })
+}
+
+/// Run the closed-loop workload against a fresh deployment with `plan`
+/// armed on the victim's link; returns the condition's report row.
+fn run_condition(
+    name: &str,
+    store: &Store,
+    plan: Option<NetFaultPlan>,
+) -> Result<(Value, ConditionStats), Box<dyn std::error::Error>> {
+    let deployment = deploy(store)?;
+    let warm = deployment.server.call(Request::get("/stats"));
+    assert_eq!(warm.status, 200, "{name}: warm-up request failed");
+    let faulted = plan.is_some();
+    if let Some(plan) = plan {
+        deployment.faults[VICTIM].set_plan(plan);
+    }
+
+    let mut us = Vec::with_capacity(REQUESTS);
+    let mut stats = ConditionStats::default();
+    for i in 0..REQUESTS {
+        let target = sql_target(&format!("{name}-{i}"));
+        let t0 = Instant::now();
+        let response = deployment.server.call(Request::get(&target));
+        us.push(t0.elapsed().as_micros() as u64);
+        let (partial, degraded) = classify(&response.body);
+        match response.status {
+            200 if partial => stats.partials += 1,
+            200 => stats.ok_full += 1,
+            s if (400..500).contains(&s) => stats.status_4xx += 1,
+            s if s >= 500 => stats.status_5xx += 1,
+            _ => {}
+        }
+        if partial != (degraded > 0) {
+            stats.partial_mismatches += 1;
+        }
+    }
+    us.sort_unstable();
+
+    let injected = deployment.faults[VICTIM].injected();
+    let t = &deployment.telemetry;
+    let breaker = obj! {
+        "opens" => t.counter("shardnet.breaker.opens").value(),
+        "closes" => t.counter("shardnet.breaker.closes").value(),
+        "half_opens" => t.counter("shardnet.breaker.half_opens").value(),
+        "gray_trips" => t.counter("shardnet.breaker.gray_trips").value(),
+    };
+    stats.injected_total = injected.connect_refused
+        + injected.connect_holes
+        + injected.resets
+        + injected.truncated_writes
+        + injected.dripped
+        + injected.black_holes
+        + injected.delays
+        + injected.partition_drops;
+    stats.gray_trips = t.counter("shardnet.breaker.gray_trips").value();
+
+    eprintln!(
+        "{name}: {REQUESTS} reqs, p50 {}us p99 {}us, {} full / {} partial / {} 4xx / {} 5xx, \
+         injected[{}]",
+        quantile(&us, 0.5),
+        quantile(&us, 0.99),
+        stats.ok_full,
+        stats.partials,
+        stats.status_4xx,
+        stats.status_5xx,
+        injected.summary(),
+    );
+
+    let row = obj! {
+        "condition" => name,
+        "faulted" => faulted,
+        "requests" => REQUESTS as u64,
+        "p50_us" => quantile(&us, 0.5),
+        "p90_us" => quantile(&us, 0.9),
+        "p99_us" => quantile(&us, 0.99),
+        "ok_full" => stats.ok_full,
+        "partials" => stats.partials,
+        "status_4xx" => stats.status_4xx,
+        "status_5xx" => stats.status_5xx,
+        "partial_mismatches" => stats.partial_mismatches,
+        "retries" => t.counter("shardnet.retries").value(),
+        "timeouts" => t.counter("shardnet.timeouts").value(),
+        "injected" => obj! {
+            "resets" => injected.resets,
+            "truncated_writes" => injected.truncated_writes,
+            "delays" => injected.delays,
+            "connect_refused" => injected.connect_refused,
+            "black_holes" => injected.black_holes,
+            "total" => stats.injected_total,
+        },
+        "breaker" => breaker,
+    };
+
+    deployment.server.shutdown();
+    for handle in deployment.handles {
+        handle.shutdown();
+    }
+    Ok((row, stats))
+}
+
+#[derive(Default)]
+struct ConditionStats {
+    ok_full: u64,
+    partials: u64,
+    status_4xx: u64,
+    status_5xx: u64,
+    partial_mismatches: u64,
+    injected_total: u64,
+    gray_trips: u64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_chaos.json".into());
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let outcome = Pipeline::new(PipelineConfig::tiny(SEED)).run()?;
+    let store = outcome.store;
+
+    let flaky = NetFaultPlan {
+        reset: 0.35,
+        truncate_write: 0.15,
+        ..NetFaultPlan::none(SEED ^ 0xf1a)
+    };
+    let slow = NetFaultPlan {
+        delay: 1.0,
+        delay_ms: SLOW_DELAY_MS,
+        ..NetFaultPlan::none(SEED ^ 0x510)
+    };
+
+    let (clean_row, clean) = run_condition("clean", &store, None)?;
+    let (flaky_row, flaky_stats) = run_condition("flaky-link", &store, Some(flaky))?;
+    let (slow_row, slow_stats) = run_condition("slow-shard", &store, Some(slow))?;
+
+    // The gates: a chaos bench that 5xxes, mislabels a partial, or
+    // injected nothing measured the wrong thing.
+    for (name, stats) in [
+        ("clean", &clean),
+        ("flaky-link", &flaky_stats),
+        ("slow-shard", &slow_stats),
+    ] {
+        if stats.status_5xx > 0 {
+            return Err(format!("{name}: {} response(s) were 5xx", stats.status_5xx).into());
+        }
+        if stats.partial_mismatches > 0 {
+            return Err(format!(
+                "{name}: {} response(s) mislabelled partial vs degraded_shards",
+                stats.partial_mismatches
+            )
+            .into());
+        }
+    }
+    if clean.partials > 0 {
+        return Err(format!("clean run flagged {} partial(s)", clean.partials).into());
+    }
+    if flaky_stats.injected_total == 0 {
+        return Err("flaky-link injected no faults".into());
+    }
+    if slow_stats.injected_total == 0 {
+        return Err("slow-shard injected no delays".into());
+    }
+    if slow_stats.gray_trips == 0 {
+        return Err("slow-shard never tripped the gray-failure detector".into());
+    }
+
+    let report = obj! {
+        "bench" => "chaos",
+        "world" => obj! { "seed" => SEED, "scale" => "tiny" },
+        "host_cores" => host_cores as u64,
+        "shards" => SHARDS as u64,
+        "victim" => VICTIM as u64,
+        "leg_timeout_ms" => LEG_TIMEOUT_MS,
+        "gray_budget_ms" => GRAY_BUDGET_MS,
+        "conditions" => Value::Arr(vec![clean_row, flaky_row, slow_row]),
+    };
+    std::fs::write(&out, report.to_pretty() + "\n")?;
+    println!("wrote {out}");
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! `crowdnet-chaos`: the network twin of the store's `FailpointFs`.
+//!
+//! PR 5 put a `Vfs` seam under the disk so every torn write and crash
+//! point became a deterministic, replayable input. This crate does the
+//! same for the TCP path the out-of-process shard tier lives on:
+//!
+//! * [`Transport`] / [`Conn`] — the seam. Everything that dials a
+//!   socket on the serving path goes through a `Transport`; the
+//!   `transport-only-net` lint rule keeps it that way.
+//! * [`RealTcp`] — the production transport: `TcpStream::connect_timeout`
+//!   plus `TCP_NODELAY`, exactly what the shard client did before the
+//!   seam existed.
+//! * [`FaultNet`] — a wrapper transport that injects connect refusals
+//!   and black holes, mid-frame connection resets, byte-truncated
+//!   writes, added latency, slow-drip reads, and one-way partitions on
+//!   a pure `(seed, op-counter)` schedule: two `FaultNet`s built from
+//!   equal plans misbehave identically, so a drill that fails replays
+//!   byte-for-byte under the same seed.
+//!
+//! Injected faults are double-entried: ground truth in
+//! [`InjectedNetFaults`] (what the schedule actually fired) and
+//! `chaos.*` telemetry counters (what the rest of the system can see).
+
+pub mod faultnet;
+pub mod transport;
+
+pub use faultnet::{FaultNet, InjectedNetFaults, NetFaultPlan, Partition};
+pub use transport::{Conn, RealTcp, Transport};

@@ -1,0 +1,111 @@
+//! The transport seam: every outbound socket on the serving path is a
+//! [`Conn`] produced by a [`Transport`], so fault injection is a
+//! constructor argument instead of a test-only network namespace.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One established connection. The surface is exactly what the shard
+/// client and the serve front end need — byte I/O plus deadline budgets —
+/// so a fault-injecting wrapper can interpose on every operation.
+pub trait Conn: Send {
+    /// Read up to `buf.len()` bytes; `Ok(0)` means orderly close.
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+    /// Write the whole buffer or fail.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flush buffered bytes to the peer.
+    fn flush(&mut self) -> io::Result<()>;
+    /// Budget for each subsequent read.
+    fn set_read_timeout(&mut self, budget: Option<Duration>) -> io::Result<()>;
+    /// Budget for each subsequent write.
+    fn set_write_timeout(&mut self, budget: Option<Duration>) -> io::Result<()>;
+}
+
+/// Dials connections. Implementations: [`RealTcp`] (production) and
+/// [`FaultNet`](crate::FaultNet) (seeded fault injection around an inner
+/// transport).
+pub trait Transport: Send + Sync {
+    /// Connect to `addr` within `timeout`.
+    fn connect(&self, addr: SocketAddr, timeout: Duration) -> io::Result<Box<dyn Conn>>;
+}
+
+impl Conn for TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        io::Read::read(self, buf)
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        io::Write::write_all(self, buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        io::Write::flush(self)
+    }
+
+    fn set_read_timeout(&mut self, budget: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, budget)
+    }
+
+    fn set_write_timeout(&mut self, budget: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, budget)
+    }
+}
+
+/// The production transport: plain loopback TCP.
+pub struct RealTcp;
+
+impl Transport for RealTcp {
+    fn connect(&self, addr: SocketAddr, timeout: Duration) -> io::Result<Box<dyn Conn>> {
+        let conn = TcpStream::connect_timeout(&addr, timeout.max(Duration::from_millis(1)))?;
+        // Leg requests go out as head + frame in two writes; with Nagle
+        // on, the second write stalls behind the peer's delayed ACK
+        // (~40ms per exchange on loopback), which would dominate every
+        // leg budget.
+        conn.set_nodelay(true)?;
+        Ok(Box::new(conn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    #[test]
+    fn real_tcp_round_trips_bytes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 5];
+            Read::read_exact(&mut sock, &mut buf).unwrap();
+            Write::write_all(&mut sock, &buf).unwrap();
+        });
+        let mut conn = RealTcp.connect(addr, Duration::from_millis(500)).unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        conn.write_all(b"hello").unwrap();
+        conn.flush().unwrap();
+        let mut back = [0u8; 5];
+        let mut got = 0;
+        while got < back.len() {
+            let n = conn.read(&mut back[got..]).unwrap();
+            assert!(n > 0, "peer closed early");
+            got += n;
+        }
+        assert_eq!(&back, b"hello");
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn real_tcp_connect_to_dead_port_errors() {
+        // Bind then drop: the port existed a moment ago, nothing listens now.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = RealTcp.connect(addr, Duration::from_millis(200));
+        assert!(err.is_err(), "connect to a dropped listener succeeded");
+    }
+}

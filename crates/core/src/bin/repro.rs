@@ -44,7 +44,7 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--seed N] [--scale tiny|small|eval|paper|1/K] [--out DIR] [--telemetry PATH] [--port N] [--shards N] [--smoke] [--columnar] [-v|--verbose] [EXPERIMENT...]\n\
-         experiments: dataset-stats fig3 fig6 fig8 investor-graph communities fig4 fig5 fig7 causality dynamic predict correlations store-stats telemetry-report serve ingest crawl column shard-server all\n\
+         experiments: dataset-stats fig3 fig6 fig8 investor-graph communities fig4 fig5 fig7 causality dynamic predict correlations store-stats telemetry-report serve ingest crawl column shard-server chaos all\n\
          crawl flags: [--store DIR] [--resume] [--fresh] [--fail-at-op N] [--fault-seed S]\n\
            repro crawl writes a durable on-disk store; --resume continues an\n\
            interrupted crawl from its last checkpoint, --fail-at-op simulates\n\
@@ -66,7 +66,12 @@ fn usage() -> ! {
          column flags: [--store DIR] [--rebuild DIR]\n\
            repro column opens the on-disk columnar projection next to the\n\
            store's JSON log (building it when absent, corrupt or stale);\n\
-           --rebuild DIR forces a from-scratch rebuild of DIR's projection"
+           --rebuild DIR forces a from-scratch rebuild of DIR's projection\n\
+         chaos flags: --scenario flaky-link|slow-shard|one-way-partition|restart-storm\n\
+           repro chaos runs a scripted network-fault drill against a full\n\
+           local serve + remote-shard topology, asserting zero 5xx,\n\
+           accurate partial flags, and byte-identical answers after heal;\n\
+           same --seed replays the same transcript byte-for-byte"
     );
     std::process::exit(2);
 }
@@ -91,6 +96,7 @@ struct Args {
     fault_seed: u64,
     columnar: bool,
     rebuild: Option<PathBuf>,
+    scenario: Option<String>,
     experiments: Vec<String>,
 }
 
@@ -115,6 +121,7 @@ fn parse_args() -> Args {
         fault_seed: 1,
         columnar: false,
         rebuild: None,
+        scenario: None,
         experiments: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -151,6 +158,7 @@ fn parse_args() -> Args {
                 args.fault_seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
             "--columnar" => args.columnar = true,
+            "--scenario" => args.scenario = Some(it.next().unwrap_or_else(|| usage())),
             "--rebuild" => {
                 args.rebuild = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
             }
@@ -945,6 +953,37 @@ fn crawl_durable(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
+/// `repro chaos --scenario NAME [--seed S]`: run one scripted
+/// network-fault drill and print its deterministic transcript. Exit code
+/// 1 when any invariant (zero 5xx, accurate partials, post-heal
+/// re-equivalence, breaker recovery) is violated. Everything printed is
+/// seed-determined, so `repro chaos` piped to a file diffs clean against
+/// a re-run at the same seed.
+fn chaos_drill(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = args.scenario.as_deref().unwrap_or_else(|| {
+        eprintln!(
+            "repro chaos requires --scenario; one of: {}",
+            crowdnet_core::chaosdrill::SCENARIOS.join(" ")
+        );
+        std::process::exit(2);
+    });
+    let report = crowdnet_core::chaosdrill::run(scenario, args.seed)?;
+    print!("{}", report.transcript);
+    if report.passed() {
+        println!("chaos drill {scenario}: PASS");
+        Ok(())
+    } else {
+        for v in &report.violations {
+            println!("violation: {v}");
+        }
+        println!(
+            "chaos drill {scenario}: FAIL ({} violation(s))",
+            report.violations.len()
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
     if args.experiments.iter().any(|e| e == "telemetry-report") {
@@ -958,6 +997,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if args.experiments.iter().any(|e| e == "shard-server") {
         return shard_server(&args);
+    }
+    if args.experiments.iter().any(|e| e == "chaos") {
+        return chaos_drill(&args);
     }
     let cfg = config(args.seed, &args.scale);
     cfg.telemetry

@@ -1,0 +1,519 @@
+//! Scripted network-partition drills: `repro chaos --scenario NAME --seed S`.
+//!
+//! A drill stands up the full local serving topology — the tiny crawled
+//! corpus, two out-of-process shard servers on loopback, a
+//! [`RemoteShard`] client per shard dialing through a seeded
+//! [`FaultNet`], the scatter-gather router behind the serve front end —
+//! and then runs a named scenario: a sequence of phases that inject
+//! faults on shard 1 (the victim), drive the example workload through
+//! the front end, and assert the robustness invariants the shardnet tier
+//! promises:
+//!
+//! * **zero 5xx** — a broken shard degrades responses, never errors them;
+//! * **accurate partials** — a response says `"partial": true` exactly
+//!   when it names degraded shards, and never in a fault-free phase;
+//! * **re-equivalence after heal** — once faults lift and the breaker
+//!   closes, every answer is byte-identical to the unsharded service;
+//! * **deterministic replay** — the same scenario at the same seed
+//!   produces a byte-identical transcript, because every fault comes off
+//!   the `FaultNet`'s `(seed, op-counter)` schedule and the transcript
+//!   carries no timings or addresses.
+//!
+//! Scenarios: `flaky-link` (probabilistic resets and truncated writes),
+//! `slow-shard` (every victim exchange delayed past the gray-failure
+//! budget), `one-way-partition` (requests pass, responses vanish), and
+//! `restart-storm` (the victim's listener dies and returns twice).
+//!
+//! [`RemoteShard`]: crowdnet_shardnet::RemoteShard
+//! [`FaultNet`]: crowdnet_chaos::FaultNet
+
+use crowdnet_chaos::{FaultNet, NetFaultPlan, Partition, Transport};
+use crowdnet_json::Value;
+use crowdnet_serve::{bind, Request, Server, ServerConfig, Service, ServiceConfig, TcpHandle};
+use crowdnet_shard::{LocalShard, Router, RouterConfig, ShardBackend, ShardHealth, ShardSet};
+use crowdnet_shardnet::{
+    BreakerConfig, BreakerState, RemoteShard, RemoteShardConfig, ShardServer,
+};
+use crowdnet_socialsim::Clock;
+use crowdnet_store::Store;
+use crowdnet_telemetry::Telemetry;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::pipeline::{Pipeline, PipelineConfig};
+
+/// Every scenario `repro chaos` accepts.
+pub const SCENARIOS: &[&str] = &[
+    "flaky-link",
+    "slow-shard",
+    "one-way-partition",
+    "restart-storm",
+];
+
+/// Shards in the drill topology; shard `VICTIM` takes the faults.
+const SHARDS: usize = 2;
+const VICTIM: usize = 1;
+/// Leg budget: bounds how long a black-holed read stalls a request.
+const LEG_TIMEOUT_MS: u64 = 150;
+/// The gray-failure latency budget the slow-shard scenario runs under.
+const GRAY_BUDGET_MS: u64 = 40;
+/// Injected delay per victim exchange in slow-shard — must clear
+/// `GRAY_BUDGET_MS` by a margin no loopback jitter can erase.
+const SLOW_DELAY_MS: u64 = 120;
+
+/// The outcome of one drill run.
+pub struct DrillReport {
+    /// Deterministic phase-by-phase log: same scenario + same seed ⇒
+    /// byte-identical transcript (no timings, no addresses).
+    pub transcript: String,
+    /// Invariant breaches; empty means the drill passed.
+    pub violations: Vec<String>,
+}
+
+impl DrillReport {
+    /// Did every invariant hold?
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// What one workload pass may and must produce.
+struct PassRules {
+    /// Flagged partials are expected (faults are active). When false, any
+    /// partial is a violation.
+    allow_partials: bool,
+    /// Structural lower bound on flagged partials (a partitioned or dead
+    /// shard *must* degrade fan-outs). `0` disables the check.
+    min_partials: usize,
+    /// Every response must be byte-identical to the unsharded service.
+    require_equivalence: bool,
+}
+
+impl PassRules {
+    fn faulty(min_partials: usize) -> PassRules {
+        PassRules {
+            allow_partials: true,
+            min_partials,
+            require_equivalence: false,
+        }
+    }
+
+    fn healed() -> PassRules {
+        PassRules {
+            allow_partials: false,
+            min_partials: 0,
+            require_equivalence: true,
+        }
+    }
+}
+
+struct Drill {
+    telemetry: Telemetry,
+    /// Unsharded reference service over the same corpus.
+    service: Arc<Service>,
+    server: Arc<Server>,
+    remotes: Vec<Arc<RemoteShard>>,
+    faults: Vec<Arc<FaultNet>>,
+    /// Kept alive so a killed server's shard survives to its restart.
+    shards: Vec<Arc<LocalShard>>,
+    handles: Vec<Option<TcpHandle>>,
+    targets: Vec<String>,
+    /// Per-target reference digests from the unsharded service.
+    reference: Vec<u64>,
+    transcript: String,
+    violations: Vec<String>,
+    seed: u64,
+}
+
+/// Run one named scenario; every invariant breach lands in
+/// [`DrillReport::violations`].
+pub fn run(scenario: &str, seed: u64) -> Result<DrillReport, Box<dyn std::error::Error>> {
+    if !SCENARIOS.contains(&scenario) {
+        return Err(format!(
+            "unknown scenario {scenario:?}; expected one of {SCENARIOS:?}"
+        )
+        .into());
+    }
+    let breaker = match scenario {
+        "slow-shard" => BreakerConfig {
+            gray_latency_ms: GRAY_BUDGET_MS,
+            gray_trip_after: 3,
+            ..BreakerConfig::default()
+        },
+        _ => BreakerConfig::default(),
+    };
+    let mut drill = Drill::deploy(seed, breaker)?;
+    let _ = writeln!(
+        drill.transcript,
+        "scenario={scenario} seed={seed} shards={SHARDS} targets={}",
+        drill.targets.len()
+    );
+    drill.pass("baseline", 1, &PassRules::healed());
+    match scenario {
+        "flaky-link" => {
+            drill.set_victim_plan(NetFaultPlan {
+                reset: 0.45,
+                truncate_write: 0.15,
+                ..NetFaultPlan::none(seed ^ 0xf1ae)
+            });
+            drill.pass("inject", 3, &PassRules::faulty(0));
+            drill.heal_and_settle();
+            drill.pass("heal", 2, &PassRules::healed());
+        }
+        "slow-shard" => {
+            drill.set_victim_plan(NetFaultPlan {
+                delay: 1.0,
+                delay_ms: SLOW_DELAY_MS,
+                ..NetFaultPlan::none(seed ^ 0x510e)
+            });
+            drill.pass("inject", 3, &PassRules::faulty(0));
+            drill.expect_counter_at_least("shardnet.breaker.gray_trips", 1);
+            drill.heal_and_settle();
+            drill.pass("heal", 2, &PassRules::healed());
+        }
+        "one-way-partition" => {
+            drill.set_victim_plan(NetFaultPlan::partitioned(
+                seed ^ 0x0e1a,
+                Partition::DropResponses,
+            ));
+            drill.pass("inject", 2, &PassRules::faulty(1));
+            drill.expect_counter_at_least("shardnet.breaker.opens", 1);
+            drill.heal_and_settle();
+            drill.pass("heal", 2, &PassRules::healed());
+            drill.expect_counter_at_least("shardnet.breaker.half_opens", 1);
+            drill.expect_counter_at_least("shardnet.breaker.closes", 1);
+        }
+        "restart-storm" => {
+            for round in 0..2u32 {
+                drill.kill_victim();
+                drill.pass(&format!("storm-{round}"), 2, &PassRules::faulty(1));
+                drill.restart_victim()?;
+                drill.heal_and_settle();
+                drill.pass(&format!("recover-{round}"), 1, &PassRules::healed());
+            }
+            drill.expect_counter_at_least("shardnet.breaker.opens", 1);
+            drill.expect_counter_at_least("shardnet.breaker.half_opens", 1);
+            drill.expect_counter_at_least("shardnet.breaker.closes", 1);
+        }
+        _ => unreachable!("scenario validated above"),
+    }
+    drill.finish()
+}
+
+impl Drill {
+    fn deploy(seed: u64, breaker: BreakerConfig) -> Result<Drill, Box<dyn std::error::Error>> {
+        // The drill measures real leg latencies (the gray detector needs
+        // them), so the telemetry clock is the wall clock. The transcript
+        // stays deterministic because it never prints a timing.
+        let telemetry = Telemetry::new();
+        let wall = crowdnet_socialsim::clock::SystemClock;
+        telemetry.bind_clock(Arc::new(move || wall.now_ms()));
+
+        let outcome = Pipeline::new(PipelineConfig::tiny(seed)).run()?;
+        let store = Arc::new(outcome.store);
+        let service = Arc::new(Service::new(
+            Arc::clone(&store),
+            ServiceConfig::default(),
+            telemetry.clone(),
+        ));
+
+        let mut remotes = Vec::new();
+        let mut faults = Vec::new();
+        let mut shards = Vec::new();
+        let mut handles = Vec::new();
+        let mut backends: Vec<Arc<dyn ShardBackend>> = Vec::new();
+        for index in 0..SHARDS {
+            let (shard, handle) = spawn_shard_server(index, &store)?;
+            // Every remote dials through its own FaultNet (clean plan
+            // until a phase arms it), so even the healthy shard's traffic
+            // is counted under `chaos.*`.
+            let net = Arc::new(FaultNet::over_real(
+                NetFaultPlan::none(seed ^ (index as u64).wrapping_mul(0x9e37_79b9)),
+                &telemetry,
+            ));
+            let cfg = RemoteShardConfig {
+                connect_timeout_ms: 100,
+                leg_timeout_ms: LEG_TIMEOUT_MS,
+                retries: 1,
+                backoff_base_ms: 2,
+                seed: seed ^ 0xbac0,
+                probe_interval_ms: 0,
+                breaker: breaker.clone(),
+                ..RemoteShardConfig::default()
+            };
+            let remote = Arc::new(RemoteShard::with_transport(
+                index,
+                handle.addr(),
+                cfg,
+                Arc::clone(&net) as Arc<dyn Transport>,
+                &telemetry,
+            )?);
+            backends.push(Arc::clone(&remote) as Arc<dyn ShardBackend>);
+            remotes.push(remote);
+            faults.push(net);
+            shards.push(shard);
+            handles.push(Some(handle));
+        }
+        let set = Arc::new(ShardSet::from_backends(backends, &telemetry));
+        set.import_store(&store)?;
+        // No result cache: a drill is about the live failure path, and a
+        // cache hit would mask the victim entirely (the baseline pass
+        // would warm it and every later phase would never touch a shard).
+        let router_cfg = RouterConfig {
+            cache: crowdnet_serve::cache::CacheConfig {
+                capacity_bytes: 0,
+                shards: 1,
+            },
+            ..RouterConfig::default()
+        };
+        let router = Arc::new(Router::new(set, router_cfg, telemetry.clone()));
+        // `/healthz` answers differ between the sharded and unsharded
+        // deployments by design; the drill workload is the data surface.
+        let mut targets = router.example_targets()?;
+        targets.retain(|t| t != "/healthz");
+        let server = Arc::new(Server::with_handler(
+            router,
+            telemetry.clone(),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        ));
+        let reference = targets
+            .iter()
+            .map(|t| {
+                let resp = service.handle(&Request::get(t));
+                digest(&resp.body)
+            })
+            .collect();
+        Ok(Drill {
+            telemetry,
+            service,
+            server,
+            remotes,
+            faults,
+            shards,
+            handles,
+            targets,
+            reference,
+            transcript: String::new(),
+            violations: Vec::new(),
+            seed,
+        })
+    }
+
+    fn set_victim_plan(&mut self, plan: NetFaultPlan) {
+        self.faults[VICTIM].set_plan(plan);
+    }
+
+    fn kill_victim(&mut self) {
+        if let Some(handle) = self.handles[VICTIM].take() {
+            handle.shutdown();
+        }
+        let _ = writeln!(self.transcript, "action=kill shard={VICTIM}");
+    }
+
+    fn restart_victim(&mut self) -> Result<(), Box<dyn std::error::Error>> {
+        // Same LocalShard, fresh listener on a fresh ephemeral port: the
+        // durable half of a restart without a second process.
+        let shard = Arc::clone(&self.shards[VICTIM]);
+        let server_telemetry = Telemetry::new();
+        let handler = Arc::new(ShardServer::new(shard, &server_telemetry));
+        let server = Arc::new(Server::with_handler(
+            handler,
+            server_telemetry,
+            shard_server_config(),
+        ));
+        let handle = bind(server, 0)?;
+        self.remotes[VICTIM].set_addr(handle.addr());
+        self.handles[VICTIM] = Some(handle);
+        let _ = writeln!(self.transcript, "action=restart shard={VICTIM}");
+        Ok(())
+    }
+
+    /// Lift every fault and probe the fleet back to Healthy. Bounded so a
+    /// broken probe path fails the drill instead of hanging it.
+    fn heal_and_settle(&mut self) {
+        for net in &self.faults {
+            net.heal();
+        }
+        for (i, remote) in self.remotes.iter().enumerate() {
+            let mut healthy = false;
+            for _ in 0..50 {
+                if ShardBackend::health(remote.as_ref()) == ShardHealth::Healthy {
+                    healthy = true;
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            if !healthy {
+                self.violations
+                    .push(format!("shard {i} never probed back to Healthy after heal"));
+            }
+        }
+        let _ = writeln!(self.transcript, "action=heal");
+    }
+
+    /// Drive the workload `repeats` times through the front end, logging
+    /// one line per response and enforcing the pass rules.
+    fn pass(&mut self, phase: &str, repeats: usize, rules: &PassRules) {
+        let _ = writeln!(self.transcript, "phase={phase}");
+        let mut partials = 0usize;
+        for round in 0..repeats {
+            for (t, target) in self.targets.iter().enumerate() {
+                let resp = self.server.call(Request::get(target));
+                let (partial, degraded) = classify(&resp.body);
+                let d = digest(&resp.body);
+                let _ = writeln!(
+                    self.transcript,
+                    "  [{round}] GET {target} -> {} partial={partial} digest={d:016x}",
+                    resp.status
+                );
+                if resp.status >= 500 {
+                    self.violations.push(format!(
+                        "{phase}: GET {target} answered {} — zero-5xx violated",
+                        resp.status
+                    ));
+                }
+                if partial != (degraded > 0) {
+                    self.violations.push(format!(
+                        "{phase}: GET {target} partial={partial} but names {degraded} degraded shard(s)"
+                    ));
+                }
+                if partial {
+                    partials += 1;
+                    if !rules.allow_partials {
+                        self.violations.push(format!(
+                            "{phase}: GET {target} flagged partial in a fault-free phase"
+                        ));
+                    }
+                }
+                if rules.require_equivalence && d != self.reference[t] {
+                    self.violations.push(format!(
+                        "{phase}: GET {target} digest {d:016x} != unsharded {:016x}",
+                        self.reference[t]
+                    ));
+                }
+            }
+        }
+        if partials < rules.min_partials {
+            self.violations.push(format!(
+                "{phase}: {partials} flagged partial(s), expected at least {}",
+                rules.min_partials
+            ));
+        }
+        self.log_phase_counters(phase);
+    }
+
+    fn log_phase_counters(&mut self, phase: &str) {
+        let line = format!(
+            "  counters[{phase}]: breaker state={} opens={} half_opens={} reopens={} closes={} gray_trips={}",
+            self.remotes[VICTIM].breaker_state().as_str(),
+            self.counter("shardnet.breaker.opens"),
+            self.counter("shardnet.breaker.half_opens"),
+            self.counter("shardnet.breaker.reopens"),
+            self.counter("shardnet.breaker.closes"),
+            self.counter("shardnet.breaker.gray_trips"),
+        );
+        let _ = writeln!(self.transcript, "{line}");
+        let _ = writeln!(
+            self.transcript,
+            "  injected[{phase}]: {}",
+            self.faults[VICTIM].injected().summary()
+        );
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.telemetry.counter(name).value()
+    }
+
+    fn expect_counter_at_least(&mut self, name: &str, min: u64) {
+        let v = self.counter(name);
+        if v < min {
+            self.violations
+                .push(format!("{name}={v}, scenario requires at least {min}"));
+        }
+    }
+
+    fn finish(mut self) -> Result<DrillReport, Box<dyn std::error::Error>> {
+        // The drill must end settled: breaker closed, shard healthy.
+        let state = self.remotes[VICTIM].breaker_state();
+        if state != BreakerState::Closed {
+            self.violations
+                .push(format!("victim breaker ended {} — never recovered", state.as_str()));
+        }
+        let _ = writeln!(
+            self.transcript,
+            "end: chaos.connects={} chaos.exchanges={} violations={}",
+            self.counter("chaos.connects"),
+            self.counter("chaos.exchanges"),
+            self.violations.len()
+        );
+        // Tear down the sharded deployment; the unsharded reference dies
+        // with its Arc.
+        self.server.shutdown();
+        for handle in self.handles.iter_mut().filter_map(Option::take) {
+            handle.shutdown();
+        }
+        let _ = (&self.service, self.seed);
+        Ok(DrillReport {
+            transcript: self.transcript,
+            violations: self.violations,
+        })
+    }
+}
+
+/// Short read budgets so a connection stuck behind an injected
+/// truncated write is shed quickly instead of parking a worker.
+fn shard_server_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        read_timeout_ms: 250,
+        idle_timeout_ms: 5_000,
+        ..ServerConfig::default()
+    }
+}
+
+fn spawn_shard_server(
+    index: usize,
+    store: &Store,
+) -> Result<(Arc<LocalShard>, TcpHandle), Box<dyn std::error::Error>> {
+    let server_telemetry = Telemetry::new();
+    let shard = Arc::new(LocalShard::open_memory(
+        index,
+        store.partitions(),
+        &server_telemetry,
+    )?);
+    let handler = Arc::new(ShardServer::new(Arc::clone(&shard), &server_telemetry));
+    let server = Arc::new(Server::with_handler(
+        handler,
+        server_telemetry,
+        shard_server_config(),
+    ));
+    let handle = bind(server, 0)?;
+    Ok((shard, handle))
+}
+
+/// `(partial flag, named degraded shards)` from a response body; bodies
+/// that aren't JSON objects carry neither.
+fn classify(body: &[u8]) -> (bool, usize) {
+    let Some(v) = std::str::from_utf8(body).ok().and_then(|s| Value::parse(s).ok()) else {
+        return (false, 0);
+    };
+    let partial = v.get("partial").and_then(Value::as_bool).unwrap_or(false);
+    let degraded = match v.get("degraded_shards") {
+        Some(Value::Arr(items)) => items.len(),
+        _ => 0,
+    };
+    (partial, degraded)
+}
+
+/// FNV-1a digest of a response body — the byte-identity check's currency.
+fn digest(body: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in body {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

@@ -19,6 +19,7 @@
 //! assert!(!table.rows.is_empty());
 //! ```
 
+pub mod chaosdrill;
 pub mod error;
 pub mod experiments;
 pub mod features;

@@ -10,6 +10,7 @@ mod counters;
 mod errors;
 mod locks;
 mod panicpath;
+mod transportnet;
 mod unwrap;
 mod vfsio;
 mod vfsproto;
@@ -108,6 +109,17 @@ pub const ALL: &[Rule] = &[
                   that are recognisably the Vfs seam participate, so Vec::append never \
                   matches. vfs.rs and single-op delegation shims are exempt.",
         check: vfsproto::check,
+    },
+    Rule {
+        id: transportnet::ID,
+        summary: "outbound TCP must dial through the chaos Transport seam",
+        explain: "The chaos harness injects network faults (refused connects, resets, \
+                  partitions, slow drips) at the Transport trait in crates/chaos. A raw \
+                  TcpStream::connect/connect_timeout anywhere else opens a connection the \
+                  fault injector never sees, so partition drills pass while real traffic \
+                  bypasses the faults. Dial through a chaos::Transport (RealTcp in \
+                  production); transport.rs itself and test code are exempt.",
+        check: transportnet::check,
     },
     Rule {
         id: counters::ID,

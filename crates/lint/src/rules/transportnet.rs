@@ -1,0 +1,101 @@
+//! `transport-only-net`: every outbound TCP connection in the workspace
+//! must be dialled through the [`Transport`] seam in `crates/chaos` —
+//! that is the choke point where the deterministic fault injector
+//! ([`FaultNet`]) can refuse, delay, reset or black-hole a connection on
+//! a seeded schedule. A raw `TcpStream::connect` anywhere else opens a
+//! side channel the chaos drills cannot see: the scenario scripts would
+//! report a clean run while real traffic bypassed the injected faults.
+//! `transport.rs` itself (where `RealTcp` wraps the socket behind the
+//! trait) and test code are the only sanctioned dial sites.
+
+use crate::{Analysis, Diagnostic};
+
+pub const ID: &str = "transport-only-net";
+
+/// `TcpStream` constructors that must route through the Transport seam.
+const DIALERS: &[&str] = &["connect", "connect_timeout"];
+
+/// The one file allowed to dial raw sockets: the seam implementation.
+fn exempt(path: &str) -> bool {
+    path == "crates/chaos/src/transport.rs"
+}
+
+pub fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &a.files {
+        if exempt(&f.rel_path) || f.is_test_path() {
+            continue;
+        }
+        for (i, t) in f.tokens.iter().enumerate() {
+            // `TcpStream::connect` / `TcpStream::connect_timeout` —
+            // recover the path segment before the `::`.
+            let qualifier = (i >= 3
+                && f.tokens[i - 1].is_punct(':')
+                && f.tokens[i - 2].is_punct(':'))
+            .then(|| f.tokens[i - 3].text.as_str());
+            if qualifier != Some("TcpStream") || !DIALERS.contains(&t.text.as_str()) {
+                continue;
+            }
+            if f.in_test(t.line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: ID,
+                file: f.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "TcpStream::{} bypasses the Transport seam — chaos fault injection \
+                     cannot see this connection; dial through a chaos::Transport",
+                    t.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::testutil::analysis;
+
+    #[test]
+    fn flags_raw_dials_in_library_code() {
+        let a = analysis(&[(
+            "crates/serve/src/server.rs",
+            "fn f(a: SocketAddr) { let s = TcpStream::connect(a)?; \
+             let t = std::net::TcpStream::connect_timeout(&a, d)?; }",
+        )]);
+        let d = check(&a);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|d| d.rule == ID));
+    }
+
+    #[test]
+    fn the_seam_module_and_tests_are_exempt() {
+        let a = analysis(&[
+            (
+                "crates/chaos/src/transport.rs",
+                "fn f(a: SocketAddr) { TcpStream::connect_timeout(&a, d)?; }",
+            ),
+            (
+                "crates/shardnet/tests/wire.rs",
+                "fn f(a: SocketAddr) { TcpStream::connect(a)?; }",
+            ),
+            (
+                "crates/serve/src/server.rs",
+                "#[cfg(test)]\nmod tests {\n fn f(a: SocketAddr) { TcpStream::connect(a)?; }\n}",
+            ),
+        ]);
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn listeners_and_unqualified_connects_are_fine() {
+        let a = analysis(&[(
+            "crates/serve/src/server.rs",
+            "fn f(a: SocketAddr) { TcpListener::bind(a)?; transport.connect(a, d)?; self.connect()?; }",
+        )]);
+        assert!(check(&a).is_empty());
+    }
+}

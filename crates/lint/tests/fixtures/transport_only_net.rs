@@ -1,0 +1,9 @@
+//@ expect: transport-only-net @ crates/shardnet/src/client.rs:2
+//@ file: crates/shardnet/src/client.rs
+pub fn dial(addr: SocketAddr) -> io::Result<TcpStream> {
+    std::net::TcpStream::connect(addr)
+}
+//@ file: crates/chaos/src/transport.rs
+pub fn dial(addr: SocketAddr, d: Duration) -> io::Result<TcpStream> {
+    TcpStream::connect_timeout(&addr, d)
+}

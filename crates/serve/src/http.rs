@@ -133,6 +133,14 @@ impl RequestParser {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// True when no partial request is buffered — the connection is
+    /// between requests, so a read stall is client idleness, not a
+    /// request cut off mid-flight. (The front end closes idle
+    /// connections on a separate, longer budget.)
+    pub fn is_idle(&self) -> bool {
+        self.buf.is_empty()
+    }
+
     /// Try to parse a complete request from everything fed so far.
     ///
     /// `Ok(None)` means "incomplete — feed more". Errors are terminal: the

@@ -20,9 +20,9 @@ use crate::http::{Request, RequestParser, Response};
 use crate::pool::WorkerPool;
 use crate::router;
 use crate::service::Service;
+use crowdnet_chaos::{Conn, RealTcp, Transport};
 use crowdnet_telemetry::{Counter, Telemetry};
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
@@ -41,8 +41,14 @@ pub struct ServerConfig {
     pub default_deadline_ms: Option<u64>,
     /// Advertised `Retry-After` on shed responses.
     pub retry_after_secs: u64,
-    /// Socket read timeout for the TCP front end.
+    /// Socket read timeout while a request is mid-flight (bytes of it
+    /// have arrived but it is not complete).
     pub read_timeout_ms: u64,
+    /// Read timeout while a connection is *between* requests — a
+    /// keep-alive client holding a worker slot without sending anything.
+    /// Expiry closes the connection and counts under
+    /// `serve.http.idle_closes`.
+    pub idle_timeout_ms: u64,
     /// Requests a keep-alive connection may serve before the server
     /// closes it anyway — a reused connection occupies its worker, so the
     /// bound caps how long one client can hold a pool slot.
@@ -57,6 +63,7 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             retry_after_secs: 1,
             read_timeout_ms: 5_000,
+            idle_timeout_ms: 10_000,
             max_requests_per_connection: 64,
         }
     }
@@ -90,6 +97,7 @@ pub struct Server {
     shed: Counter,
     deadline_exceeded: Counter,
     keepalive_reuses: Counter,
+    idle_closes: Counter,
 }
 
 impl Server {
@@ -114,6 +122,7 @@ impl Server {
             shed: telemetry.counter("serve.shed"),
             deadline_exceeded: telemetry.counter("serve.deadline_exceeded"),
             keepalive_reuses: telemetry.counter("serve.keepalive.reuses"),
+            idle_closes: telemetry.counter("serve.http.idle_closes"),
             handler,
             service: None,
             telemetry,
@@ -218,8 +227,9 @@ impl TcpHandle {
     /// join everything.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept() call with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        // Unblock the accept() call with a throwaway connection (through
+        // the transport seam: the front end dials no raw sockets).
+        let _ = RealTcp.connect(self.addr, std::time::Duration::from_millis(250));
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
@@ -254,6 +264,11 @@ pub fn bind(server: Arc<Server>, port: u16) -> Result<TcpHandle, ServeError> {
             }
             let conn_server = Arc::clone(&accept_server);
             let admitted_ms = conn_server.telemetry.now_ms();
+            // Responses are written head-then-body; Nagle would hold the
+            // tail write hostage to the client's delayed ACK on keep-alive
+            // connections. Done here because past this point the stream is
+            // an abstract `Conn` with no socket options.
+            let _ = stream.set_nodelay(true);
             // A dup of the socket, kept out of the job so a shed decision
             // can still answer the client.
             let shed_stream = stream.try_clone().ok();
@@ -281,17 +296,25 @@ pub fn bind(server: Arc<Server>, port: u16) -> Result<TcpHandle, ServeError> {
 /// in which case it may serve up to `max_requests_per_connection` requests
 /// before the server closes it anyway (the connection holds a worker slot
 /// for its whole life, so reuse is bounded, never open-ended).
-fn handle_connection(server: &Arc<Server>, mut stream: TcpStream, admitted_ms: u64) {
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(
-        server.cfg.read_timeout_ms.max(1),
-    )));
-    // Responses are written head-then-body; Nagle would hold the tail write
-    // hostage to the client's delayed ACK on keep-alive connections.
-    let _ = stream.set_nodelay(true);
+///
+/// Reads run under two budgets: `read_timeout_ms` while a request is
+/// mid-flight, `idle_timeout_ms` while the connection is between requests
+/// — an idle keep-alive client occupies a worker, so idleness is shed on
+/// its own (longer) clock and counted under `serve.http.idle_closes`.
+///
+/// Generic over [`Conn`] so chaos drills can drive the exact production
+/// loop through an injected transport; the accept loop instantiates it
+/// with a plain `TcpStream`.
+fn handle_connection<C: Conn>(server: &Arc<Server>, mut stream: C, admitted_ms: u64) {
+    let read_budget = std::time::Duration::from_millis(server.cfg.read_timeout_ms.max(1));
+    let idle_budget = std::time::Duration::from_millis(server.cfg.idle_timeout_ms.max(1));
     let mut parser = RequestParser::new();
     let mut buf = [0u8; 4096];
     let max_requests = server.cfg.max_requests_per_connection.max(1);
     let mut served = 0usize;
+    // Tracks the budget currently armed on the socket so switching is a
+    // syscall only when idleness actually flips.
+    let mut armed_idle: Option<bool> = None;
     loop {
         let request = loop {
             match parser.poll() {
@@ -302,10 +325,30 @@ fn handle_connection(server: &Arc<Server>, mut stream: TcpStream, admitted_ms: u
                     return;
                 }
             }
+            let idle = parser.is_idle();
+            if armed_idle != Some(idle) {
+                let budget = if idle { idle_budget } else { read_budget };
+                let _ = stream.set_read_timeout(Some(budget));
+                armed_idle = Some(idle);
+            }
             match stream.read(&mut buf) {
                 Ok(0) => return, // client went away between/mid requests
                 Ok(n) => parser.feed(&buf[..n]),
-                Err(_) => return, // timeout or reset: nothing useful to answer
+                Err(e) => {
+                    // A timeout with no request in flight is an idle
+                    // keep-alive client (or a connect-and-say-nothing one)
+                    // being shed; mid-request stalls and resets close
+                    // silently as before.
+                    if idle
+                        && matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        )
+                    {
+                        server.idle_closes.inc();
+                    }
+                    return;
+                }
             }
         };
         if served > 0 {
@@ -350,7 +393,7 @@ fn req_patience(server: &Arc<Server>, req: &Request) -> Option<u64> {
     }
 }
 
-fn write_response(stream: &mut TcpStream, response: &Response) {
+fn write_response<C: Conn>(stream: &mut C, response: &Response) {
     let _ = stream.write_all(&response.encode());
     let _ = stream.flush();
 }
@@ -360,6 +403,8 @@ mod tests {
     use super::*;
     use crate::service::tests::seeded_service;
     use crowdnet_json::Value;
+    use std::io::Read;
+    use std::net::TcpStream;
     use std::sync::atomic::AtomicU64;
     use std::sync::mpsc;
     use std::time::Duration;
@@ -494,7 +539,7 @@ mod tests {
         let mut bytes = Vec::new();
         let mut one = [0u8; 1];
         while !bytes.ends_with(b"\r\n\r\n") {
-            match stream.read(&mut one) {
+            match Read::read(stream, &mut one) {
                 Ok(1) => bytes.push(one[0]),
                 _ => panic!("connection closed mid-head: {:?}", String::from_utf8_lossy(&bytes)),
             }
@@ -561,6 +606,48 @@ mod tests {
         let mut rest = Vec::new();
         stream.read_to_end(&mut rest).unwrap();
         assert!(rest.is_empty(), "server exceeded the per-connection bound");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn idle_keep_alive_connection_is_closed_and_counted() {
+        let s = server(ServerConfig {
+            idle_timeout_ms: 60,
+            ..ServerConfig::default()
+        });
+        let handle = bind(Arc::clone(&s), 0).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // One real request keeps the connection open...
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap();
+        let wire = read_one_response(&mut stream);
+        assert!(wire.contains("Connection: keep-alive"), "got: {wire}");
+        // ...then the client goes silent. The server must shed the idle
+        // connection (EOF to us) instead of parking a worker on it.
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "unexpected bytes on idle close: {rest:?}");
+        assert_eq!(s.telemetry().counter("serve.http.idle_closes").value(), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn mid_request_stall_closes_without_counting_as_idle() {
+        let s = server(ServerConfig {
+            read_timeout_ms: 60,
+            idle_timeout_ms: 10_000,
+            ..ServerConfig::default()
+        });
+        let handle = bind(Arc::clone(&s), 0).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Half a request line, then silence: this is a mid-request stall,
+        // which closes on the (short) read budget but is not idleness.
+        stream.write_all(b"GET /heal").unwrap();
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "got a response to half a request: {rest:?}");
+        assert_eq!(s.telemetry().counter("serve.http.idle_closes").value(), 0);
         handle.shutdown();
     }
 

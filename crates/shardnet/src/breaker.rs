@@ -1,0 +1,347 @@
+//! Per-remote circuit breaker: the failure discipline between "one leg
+//! failed" and "stop sending traffic to this shard".
+//!
+//! The first shardnet cut flipped a shard Down on any transport failure
+//! and back Healthy on any TCP connect — a two-state model that both
+//! over-reacts (one refused connect during a server's accept hiccup
+//! benches the shard) and under-reacts (a shard that *answers* every
+//! probe but blows its latency budget on every leg is never shed). This
+//! breaker replaces it with the classic three-state machine plus a gray
+//! -failure detector:
+//!
+//! ```text
+//!             consecutive failures ≥ N, or
+//!             windowed error rate ≥ R, or
+//!             gray: M successes in a row over the latency budget
+//!   Closed ────────────────────────────────────────────────▶ Open
+//!     ▲                                                       │
+//!     │ first leg succeeds                probe connect OK     │
+//!     └───────────────── HalfOpen ◀──────────────────────────┘
+//!                            │
+//!                            └── leg fails again ──▶ Open (reopen)
+//! ```
+//!
+//! While **Closed**, individual failures degrade individual requests
+//! (the router's partial-response machinery) without benching the
+//! shard. **Open** removes the shard from fan-outs entirely; the
+//! client's rate-limited probe moves it to **HalfOpen**, which admits
+//! real traffic — the next leg's outcome closes or reopens the breaker.
+//! Every transition is counted under `shardnet.breaker.*`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crowdnet_telemetry::{Counter, Telemetry};
+use parking_lot::Mutex;
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; failures are tallied.
+    Closed,
+    /// Shard is benched; only probes may readmit it.
+    Open,
+    /// Probe succeeded; the next legs decide Closed vs Open.
+    HalfOpen,
+}
+
+impl BreakerState {
+    pub fn as_u8(self) -> u8 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> BreakerState {
+        match v {
+            1 => BreakerState::Open,
+            2 => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Thresholds for the breaker state machine.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failed calls (post-retry) that open the breaker.
+    pub consecutive_failures: u32,
+    /// Outcome window for the error-rate trip.
+    pub window: usize,
+    /// Open when the window is full and at least this fraction failed.
+    pub error_rate: f64,
+    /// Gray-failure budget: a *successful* call slower than this counts
+    /// against the shard. `0` disables gray detection.
+    pub gray_latency_ms: u64,
+    /// Successive over-budget successes that trip the gray detector.
+    pub gray_trip_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            consecutive_failures: 3,
+            window: 8,
+            error_rate: 0.5,
+            gray_latency_ms: 0,
+            gray_trip_after: 4,
+        }
+    }
+}
+
+/// What a recorded outcome did to the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// No transition.
+    NoChange,
+    /// Closed/HalfOpen → Open (failure thresholds).
+    Opened,
+    /// Open/HalfOpen → Closed (a success proved the shard back).
+    Closed,
+    /// Closed → Open because the shard chronically blows its latency
+    /// budget while still answering.
+    GrayTripped,
+}
+
+struct BreakerWindow {
+    /// Failed calls since the last success.
+    consecutive: u32,
+    /// Recent outcomes, `true` = failure, newest at the back.
+    outcomes: VecDeque<bool>,
+    /// Successive successful-but-over-budget calls.
+    gray_streak: u32,
+}
+
+/// See the module docs for the state machine.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: AtomicU8,
+    window: Mutex<BreakerWindow>,
+    opens: Counter,
+    closes: Counter,
+    half_opens: Counter,
+    reopens: Counter,
+    gray_trips: Counter,
+}
+
+impl CircuitBreaker {
+    pub fn new(cfg: BreakerConfig, telemetry: &Telemetry) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            state: AtomicU8::new(BreakerState::Closed.as_u8()),
+            window: Mutex::new(BreakerWindow {
+                consecutive: 0,
+                outcomes: VecDeque::new(),
+                gray_streak: 0,
+            }),
+            opens: telemetry.counter("shardnet.breaker.opens"),
+            closes: telemetry.counter("shardnet.breaker.closes"),
+            half_opens: telemetry.counter("shardnet.breaker.half_opens"),
+            reopens: telemetry.counter("shardnet.breaker.reopens"),
+            gray_trips: telemetry.counter("shardnet.breaker.gray_trips"),
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        BreakerState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// A call completed (a logical error counts: the shard computed it).
+    /// `latency_ms` feeds the gray-failure detector.
+    pub fn on_success(&self, latency_ms: u64) -> Verdict {
+        let mut w = self.window.lock();
+        w.consecutive = 0;
+        Self::push(&mut w.outcomes, self.cfg.window, false);
+        if self.cfg.gray_latency_ms > 0 && latency_ms > self.cfg.gray_latency_ms {
+            w.gray_streak += 1;
+            if w.gray_streak >= self.cfg.gray_trip_after.max(1)
+                && self.state() != BreakerState::Open
+            {
+                w.gray_streak = 0;
+                w.outcomes.clear();
+                self.state.store(BreakerState::Open.as_u8(), Ordering::Release);
+                self.gray_trips.inc();
+                self.opens.inc();
+                return Verdict::GrayTripped;
+            }
+        } else {
+            w.gray_streak = 0;
+        }
+        match self.state() {
+            BreakerState::Closed => Verdict::NoChange,
+            // A success while Open can only be a probe-admitted leg that
+            // raced the transition; either way the shard just proved
+            // itself.
+            BreakerState::HalfOpen | BreakerState::Open => {
+                self.state.store(BreakerState::Closed.as_u8(), Ordering::Release);
+                self.closes.inc();
+                Verdict::Closed
+            }
+        }
+    }
+
+    /// A call failed at the transport layer (post-retry).
+    pub fn on_transport_failure(&self) -> Verdict {
+        let mut w = self.window.lock();
+        w.gray_streak = 0;
+        match self.state() {
+            BreakerState::HalfOpen => {
+                // The probe traffic failed: straight back to Open.
+                w.consecutive = 0;
+                w.outcomes.clear();
+                self.state.store(BreakerState::Open.as_u8(), Ordering::Release);
+                self.reopens.inc();
+                Verdict::Opened
+            }
+            BreakerState::Open => Verdict::NoChange,
+            BreakerState::Closed => {
+                w.consecutive += 1;
+                Self::push(&mut w.outcomes, self.cfg.window, true);
+                let full = w.outcomes.len() >= self.cfg.window.max(1);
+                let failures = w.outcomes.iter().filter(|&&f| f).count();
+                let rate = failures as f64 / w.outcomes.len().max(1) as f64;
+                if w.consecutive >= self.cfg.consecutive_failures.max(1)
+                    || (full && rate >= self.cfg.error_rate)
+                {
+                    w.consecutive = 0;
+                    w.outcomes.clear();
+                    self.state.store(BreakerState::Open.as_u8(), Ordering::Release);
+                    self.opens.inc();
+                    Verdict::Opened
+                } else {
+                    Verdict::NoChange
+                }
+            }
+        }
+    }
+
+    /// A probe connect succeeded while Open: admit real traffic to
+    /// decide. Returns whether the transition happened.
+    pub fn begin_probe(&self) -> bool {
+        let moved = self
+            .state
+            .compare_exchange(
+                BreakerState::Open.as_u8(),
+                BreakerState::HalfOpen.as_u8(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        if moved {
+            self.half_opens.inc();
+        }
+        moved
+    }
+
+    fn push(outcomes: &mut VecDeque<bool>, cap: usize, failed: bool) {
+        outcomes.push_back(failed);
+        while outcomes.len() > cap.max(1) {
+            outcomes.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(cfg: BreakerConfig) -> (CircuitBreaker, Telemetry) {
+        let t = Telemetry::new();
+        (CircuitBreaker::new(cfg, &t), t)
+    }
+
+    #[test]
+    fn consecutive_failures_open_then_probe_recovers() {
+        let (b, t) = breaker(BreakerConfig {
+            consecutive_failures: 3,
+            ..BreakerConfig::default()
+        });
+        assert_eq!(b.on_transport_failure(), Verdict::NoChange);
+        assert_eq!(b.on_transport_failure(), Verdict::NoChange);
+        assert_eq!(b.on_transport_failure(), Verdict::Opened);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Further failures while Open don't re-open.
+        assert_eq!(b.on_transport_failure(), Verdict::NoChange);
+        assert!(b.begin_probe());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.on_success(0), Verdict::Closed);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(t.counter("shardnet.breaker.opens").value(), 1);
+        assert_eq!(t.counter("shardnet.breaker.half_opens").value(), 1);
+        assert_eq!(t.counter("shardnet.breaker.closes").value(), 1);
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let (b, t) = breaker(BreakerConfig {
+            consecutive_failures: 1,
+            ..BreakerConfig::default()
+        });
+        assert_eq!(b.on_transport_failure(), Verdict::Opened);
+        assert!(b.begin_probe());
+        assert_eq!(b.on_transport_failure(), Verdict::Opened);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(t.counter("shardnet.breaker.reopens").value(), 1);
+    }
+
+    #[test]
+    fn error_rate_opens_with_interleaved_successes() {
+        let (b, _t) = breaker(BreakerConfig {
+            consecutive_failures: 100, // out of reach: only the rate can trip
+            window: 4,
+            error_rate: 0.5,
+            ..BreakerConfig::default()
+        });
+        // Alternate failure/success: rate settles at 0.5 once the window
+        // fills, which meets the threshold.
+        let mut opened = false;
+        for _ in 0..4 {
+            if b.on_transport_failure() == Verdict::Opened {
+                opened = true;
+                break;
+            }
+            b.on_success(0);
+        }
+        assert!(opened, "50% error rate over a full window never opened");
+    }
+
+    #[test]
+    fn gray_latency_trips_on_successes_alone() {
+        let (b, t) = breaker(BreakerConfig {
+            gray_latency_ms: 10,
+            gray_trip_after: 3,
+            ..BreakerConfig::default()
+        });
+        assert_eq!(b.on_success(50), Verdict::NoChange);
+        assert_eq!(b.on_success(50), Verdict::NoChange);
+        assert_eq!(b.on_success(50), Verdict::GrayTripped);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(t.counter("shardnet.breaker.gray_trips").value(), 1);
+        // A fast success within budget resets the streak after recovery.
+        assert!(b.begin_probe());
+        assert_eq!(b.on_success(1), Verdict::Closed);
+        assert_eq!(b.on_success(50), Verdict::NoChange);
+        assert_eq!(b.on_success(1), Verdict::NoChange);
+        assert_eq!(b.on_success(50), Verdict::NoChange);
+        assert_eq!(b.state(), BreakerState::Closed, "streak failed to reset");
+    }
+
+    #[test]
+    fn zero_gray_budget_disables_detection() {
+        let (b, _t) = breaker(BreakerConfig::default());
+        for _ in 0..64 {
+            assert_eq!(b.on_success(10_000), Verdict::NoChange);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -32,11 +32,13 @@
 //! [`LocalShard`]: crowdnet_shard::LocalShard
 //! [`ShardBackend`]: crowdnet_shard::ShardBackend
 
+pub mod breaker;
 pub mod client;
 pub mod server;
 pub mod supervisor;
 pub mod wire;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Verdict};
 pub use client::{RemoteShard, RemoteShardConfig};
 pub use server::ShardServer;
 pub use supervisor::{ProcessSupervisor, LISTEN_PREFIX};

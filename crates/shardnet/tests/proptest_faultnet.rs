@@ -1,0 +1,211 @@
+//! Chaos-schedule robustness properties: a [`RemoteShard`] dialling
+//! through an arbitrary seeded [`FaultNet`] plan must (a) never panic
+//! and surface every failure as a typed [`ShardError`], (b) never wedge
+//! its circuit breaker — after the network heals, a bounded probe loop
+//! always readmits the shard and the breaker closes — and (c) replay
+//! byte-identically at the same seed, including the backoff jitter
+//! sleeps the retry loop drew along the way.
+//!
+//! The telemetry clock is left at its frozen default on purpose: leg
+//! budgets then never expire mid-retry, so the attempt/backoff sequence
+//! is a pure function of the fault schedule and the seeds — which is
+//! exactly the replay contract `repro chaos` makes.
+
+use crowdnet_chaos::{FaultNet, NetFaultPlan, Partition};
+use crowdnet_json::obj;
+use crowdnet_serve::server::{bind, Server, ServerConfig, TcpHandle};
+use crowdnet_shard::{LocalShard, ShardBackend, ShardHealth, WriteOp};
+use crowdnet_shardnet::{
+    BreakerConfig, BreakerState, RemoteShard, RemoteShardConfig, ShardServer,
+};
+use crowdnet_store::Document;
+use crowdnet_telemetry::Telemetry;
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// The idempotent legs a schedule may exercise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Leg {
+    EpochMeta,
+    ShardStats,
+    EntityDocs,
+    TopK,
+    InvestorEdges,
+}
+
+fn leg_strategy() -> impl Strategy<Value = Leg> {
+    prop_oneof![
+        Just(Leg::EpochMeta),
+        Just(Leg::ShardStats),
+        Just(Leg::EntityDocs),
+        Just(Leg::TopK),
+        Just(Leg::InvestorEdges),
+    ]
+}
+
+/// Arbitrary fault schedules, bounded so a black-holed read (which must
+/// wait out the full leg timeout) cannot stretch a case past a few
+/// hundred milliseconds.
+fn plan_strategy() -> impl Strategy<Value = NetFaultPlan> {
+    (
+        (any::<u64>(), 0.0f64..0.3, 0.0f64..0.15, 0.0f64..0.35),
+        (0.0f64..0.3, 0.0f64..0.3, 0.0f64..0.2, 0.0f64..0.5, 0u64..40),
+        // Mostly unpartitioned; a structural partition fails everything,
+        // which the dedicated property below covers head-on.
+        (0u8..6).prop_map(|p| match p {
+            0 => Partition::DropRequests,
+            1 => Partition::DropResponses,
+            _ => Partition::None,
+        }),
+    )
+        .prop_map(
+            |((seed, refused, hole, reset), (trunc, drip, black, delay, delay_ms), partition)| {
+                NetFaultPlan {
+                    seed,
+                    connect_refused: refused,
+                    connect_black_hole: hole,
+                    reset,
+                    truncate_write: trunc,
+                    drip_read: drip,
+                    black_hole: black,
+                    delay,
+                    delay_ms,
+                    partition,
+                }
+            },
+        )
+}
+
+/// Shard server on an ephemeral port, sized so a connection wedged by a
+/// truncated request sheds in 50ms instead of starving the workers.
+fn serve_shard(telemetry: &Telemetry) -> (TcpHandle, Arc<LocalShard>) {
+    let shard = Arc::new(LocalShard::open_memory(0, 4, telemetry).expect("shard"));
+    shard
+        .submit(&WriteOp::Put {
+            ns: "angellist/users".into(),
+            doc: Document::new("user:7", obj! {"id" => 7u64, "name" => "ada"}),
+        })
+        .expect("seed doc");
+    let handler = Arc::new(ShardServer::new(Arc::clone(&shard), telemetry));
+    let cfg = ServerConfig {
+        workers: 2,
+        read_timeout_ms: 50,
+        idle_timeout_ms: 2_000,
+        ..ServerConfig::default()
+    };
+    let server = Server::with_handler(handler, telemetry.clone(), cfg);
+    (bind(Arc::new(server), 0).expect("bind"), shard)
+}
+
+/// Run one schedule end to end and render its transcript: per-leg
+/// outcome kinds, the healed-recovery tail, the backoff history and the
+/// injected-fault tally. Two runs at the same seeds must produce the
+/// same bytes.
+fn run_schedule(client_seed: u64, plan: NetFaultPlan, legs: &[Leg]) -> String {
+    let telemetry = Telemetry::new();
+    let (handle, _shard) = serve_shard(&telemetry);
+    let net = Arc::new(FaultNet::over_real(plan, &telemetry));
+    let cfg = RemoteShardConfig {
+        connect_timeout_ms: 100,
+        leg_timeout_ms: 250,
+        retries: 1,
+        backoff_base_ms: 1,
+        seed: client_seed,
+        pool_capacity: 2,
+        probe_interval_ms: 0,
+        breaker: BreakerConfig {
+            consecutive_failures: 2,
+            ..BreakerConfig::default()
+        },
+    };
+    let remote = RemoteShard::with_transport(
+        0,
+        handle.addr(),
+        cfg,
+        Arc::clone(&net) as Arc<dyn crowdnet_chaos::Transport>,
+        &telemetry,
+    )
+    .expect("client");
+
+    let mut transcript = String::new();
+    for (i, leg) in legs.iter().enumerate() {
+        let result = match leg {
+            Leg::EpochMeta => remote.epoch_meta().map(|_| ()),
+            Leg::ShardStats => remote.shard_stats().map(|_| ()),
+            Leg::EntityDocs => remote
+                .entity_docs(&["user:7".to_string(), "user:404".to_string()])
+                .map(|_| ()),
+            Leg::TopK => remote.top_k_prefix(3).map(|_| ()),
+            Leg::InvestorEdges => remote.investor_edges(7).map(|_| ()),
+        };
+        let kind = match &result {
+            Ok(()) => "ok",
+            Err(e) if e.is_transport() => "transport",
+            Err(_) => "logical",
+        };
+        let _ = writeln!(transcript, "[{i}] {leg:?} -> {kind}");
+    }
+
+    // Heal the network; the breaker must never wedge: a bounded probe
+    // loop readmits the shard and one clean leg closes the breaker.
+    net.heal();
+    let mut probes = 0;
+    while remote.health() != ShardHealth::Healthy {
+        probes += 1;
+        assert!(probes <= 50, "breaker wedged: shard never readmitted");
+    }
+    remote.epoch_meta().expect("healed leg succeeds");
+    assert_eq!(
+        remote.breaker_state(),
+        BreakerState::Closed,
+        "breaker did not close after a successful healed leg"
+    );
+
+    let _ = writeln!(transcript, "probes={probes}");
+    let _ = writeln!(transcript, "backoff={:?}", remote.backoff_history());
+    let _ = writeln!(transcript, "injected: {}", net.injected().summary());
+    handle.shutdown();
+    transcript
+}
+
+proptest! {
+    // Each case spins real sockets and may wait out real read timeouts;
+    // a handful of cases already walks every fault class.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whatever the schedule throws, every leg resolves to a typed
+    /// outcome, the breaker recovers once the network heals, and the
+    /// whole run replays byte-identically at the same seeds.
+    #[test]
+    fn arbitrary_schedules_recover_and_replay(
+        client_seed in any::<u64>(),
+        plan in plan_strategy(),
+        legs in proptest::collection::vec(leg_strategy(), 4..10),
+    ) {
+        let first = run_schedule(client_seed, plan.clone(), &legs);
+        let second = run_schedule(client_seed, plan, &legs);
+        prop_assert_eq!(first, second);
+    }
+
+    /// A full partition is the worst schedule: every leg fails, the
+    /// breaker opens — and healing still readmits the shard.
+    #[test]
+    fn full_partitions_open_the_breaker_and_heal(
+        client_seed in any::<u64>(),
+        net_seed in any::<u64>(),
+        drop_responses in any::<bool>(),
+    ) {
+        let partition = if drop_responses {
+            Partition::DropResponses
+        } else {
+            Partition::DropRequests
+        };
+        let plan = NetFaultPlan::partitioned(net_seed, partition);
+        let transcript = run_schedule(client_seed, plan, &[Leg::EpochMeta; 4]);
+        prop_assert!(
+            transcript.lines().take(4).all(|l| l.ends_with("-> transport")),
+            "partitioned legs answered: {transcript}"
+        );
+    }
+}

@@ -35,6 +35,16 @@ pub const MANDATORY_COUNTERS: &[&str] = &[
 /// matches one dotted segment, covering names built with `format!`).
 /// Add new metrics here when introducing them.
 pub const DECLARED_METRICS: &[&str] = &[
+    "chaos.connects",
+    "chaos.exchanges",
+    "chaos.injected.black_holes",
+    "chaos.injected.connect_holes",
+    "chaos.injected.connect_refused",
+    "chaos.injected.delays",
+    "chaos.injected.dripped_reads",
+    "chaos.injected.partition_drops",
+    "chaos.injected.resets",
+    "chaos.injected.truncated_writes",
     "coda.iterations",
     "column.appends",
     "column.builds",
@@ -85,6 +95,7 @@ pub const DECLARED_METRICS: &[&str] = &[
     "serve.cache.hit",
     "serve.cache.miss",
     "serve.deadline_exceeded",
+    "serve.http.idle_closes",
     "serve.keepalive.reuses",
     "serve.latency_ms",
     "serve.queue_depth",
@@ -101,6 +112,12 @@ pub const DECLARED_METRICS: &[&str] = &[
     "shard.set.opened",
     "shard.set.puts",
     "shard.set.recoveries",
+    "shardnet.backoff_ms",
+    "shardnet.breaker.closes",
+    "shardnet.breaker.gray_trips",
+    "shardnet.breaker.half_opens",
+    "shardnet.breaker.opens",
+    "shardnet.breaker.reopens",
     "shardnet.degraded_flips",
     "shardnet.frames.malformed",
     "shardnet.leg_ms.*",

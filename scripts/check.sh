@@ -25,7 +25,9 @@ cargo test -q --offline -p crowdnet-lint --test golden >/dev/null
 
 echo "==> telemetry smoke (tiny pipeline -> report parses, mandatory counters present)"
 smoke_dir="$(mktemp -d)"
-trap 'kill -9 $(cat "$smoke_dir/shardnet/pids" 2>/dev/null) 2>/dev/null; rm -rf "$smoke_dir"' EXIT
+# `|| true` keeps an empty pid list (the happy path: every server already
+# reaped) from failing the trap under set -e and masking the real exit code.
+trap 'kill -9 $(cat "$smoke_dir/shardnet/pids" 2>/dev/null) 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
 cargo run -q --release --offline -p crowdnet-core --bin repro -- \
   --scale tiny --seed 7 --out "$smoke_dir" \
   --telemetry "$smoke_dir/telemetry/run.json" dataset-stats >/dev/null
@@ -176,6 +178,31 @@ fi
 kill -9 "$s0_pid" "$s1_pid" 2>/dev/null
 wait "$s0_pid" "$s1_pid" 2>/dev/null || true
 : > "$shardnet_dir/pids"
+
+echo "==> chaos drills (scripted fault scenarios: zero 5xx, accurate partials, breaker recovery, seeded replay)"
+# flaky-link: the victim's link resets and truncates on a seeded schedule;
+# the drill's own invariants (zero 5xx, partial accuracy, re-equivalence
+# after heal) are enforced inside the binary — PASS is the whole gate.
+chaos_flaky="$("$repro_bin" --scenario flaky-link --seed 7 chaos)"
+echo "$chaos_flaky" | grep -q "chaos drill flaky-link: PASS"
+# The breaker must visibly open and close again, the injector must have
+# actually fired, and the chaos.* tallies must be non-zero.
+echo "$chaos_flaky" | grep -q "counters\[heal\]: breaker state=closed opens=[1-9]"
+echo "$chaos_flaky" | grep -Eq "injected\[heal\]: .* resets=[1-9]"
+echo "$chaos_flaky" | grep -q "end: chaos.connects=[1-9]"
+echo "$chaos_flaky" | grep -q "violations=0"
+# one-way-partition, twice at the same seed: the drill transcript must
+# replay byte-identically — fault injection is deterministic, not flaky.
+chaos_part_a="$("$repro_bin" --scenario one-way-partition --seed 7 chaos)"
+chaos_part_b="$("$repro_bin" --scenario one-way-partition --seed 7 chaos)"
+echo "$chaos_part_a" | grep -q "chaos drill one-way-partition: PASS"
+echo "$chaos_part_a" | grep -q "partial=true"
+echo "$chaos_part_a" | grep -Eq "injected\[[a-z]*\]: .* partition_drops=[1-9]"
+if [ "$chaos_part_a" != "$chaos_part_b" ]; then
+  echo "chaos drill: same-seed replay diverged:" >&2
+  diff <(echo "$chaos_part_a") <(echo "$chaos_part_b") >&2 || true
+  exit 1
+fi
 
 echo "==> recovery smoke (crash the durable crawl, resume, compare content hash)"
 # Uninterrupted durable crawl at tiny scale: the reference content hash.
